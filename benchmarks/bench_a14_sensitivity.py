@@ -1,0 +1,35 @@
+"""A14: extension -- sensitivity of the admission limit.
+
+Which spec-sheet numbers move N_max?  Each hardware/workload parameter
+is perturbed +-10 % around the Table 1 operating point and the
+stream-level admission limit recomputed.
+"""
+
+from repro.analysis import render_table
+from repro.analysis.sensitivity import admission_sensitivity
+
+
+def run_sensitivity(spec):
+    return admission_sensitivity(spec, mean_size=200_000.0, cv=0.5,
+                                 t=1.0, m=1200, g=12, epsilon=0.01,
+                                 rel_delta=0.10)
+
+
+def test_a14_sensitivity(benchmark, viking, record):
+    rows = benchmark.pedantic(run_sensitivity, args=(viking,), rounds=1,
+                              iterations=1)
+    table = render_table(
+        ["parameter (+-10%)", "N_max @ -10%", "N_max base",
+         "N_max @ +10%", "swing"],
+        [[r.parameter, str(r.n_max_low), str(r.n_max_base),
+          str(r.n_max_high), str(r.swing)] for r in rows],
+        title="A14: N_max^perror sensitivity (Table 1 operating point)")
+    record("a14_sensitivity", table)
+
+    by_name = {r.parameter: r for r in rows}
+    assert all(r.n_max_base == 28 for r in rows)
+    # The transfer path (capacities / fragment size) dominates; seek
+    # coefficients barely matter at N ~ 28.
+    assert by_name["zone capacities"].swing >= 3
+    assert abs(by_name["mean fragment size"].swing) >= 3
+    assert by_name["seek sqrt coefficient"].swing <= 2

@@ -1,0 +1,55 @@
+"""A16: comparator -- Grouped Sweeping Scheduling [CKY93].
+
+The paper's related work positions its one-SCAN-per-round scheme
+against GSS.  This bench reproduces the classic trade-off with the
+paper's own Chernoff model on the Table 1 disk: more groups mean lower
+delivery latency and smaller client buffers but fewer admitted streams,
+with g = 1 (the paper's choice) maximising throughput.
+"""
+
+import numpy as np
+
+from repro.analysis import format_probability, render_table
+from repro.core import RoundServiceTimeModel
+from repro.core.gss import gss_group_p_late, gss_tradeoff
+from repro.server.simulation import simulate_rounds
+
+T = 1.0
+GROUPS = (1, 2, 4, 8)
+
+
+def run_tradeoff(spec, sizes):
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    points = gss_tradeoff(model, T, 0.01, group_counts=GROUPS)
+    # Validate the g=4 point against sub-round simulation.
+    g = 4
+    point = next(p for p in points if p.groups == g)
+    group_size = -(-point.n_max // g)
+    batch = simulate_rounds(spec, sizes, group_size, T / g, 12_000,
+                            np.random.default_rng(33))
+    simulated = float(np.mean(batch.service_times > T / g))
+    return points, (g, point.n_max, simulated,
+                    gss_group_p_late(model, point.n_max, g, T))
+
+
+def test_a16_gss(benchmark, viking, paper_sizes, record):
+    points, (g, n_at_g, simulated, bound) = benchmark.pedantic(
+        run_tradeoff, args=(viking, paper_sizes), rounds=1, iterations=1)
+    table = render_table(
+        ["groups g", "N_max(1%)", "group p_late bound",
+         "delivery latency [s]", "client buffer [fragments]"],
+        [[str(p.groups), str(p.n_max),
+          format_probability(p.group_p_late),
+          f"{p.max_delivery_latency:g}", f"{p.buffer_fragments:g}"]
+         for p in points],
+        title="A16: SCAN (g=1) vs Grouped Sweeping Scheduling")
+    footer = (f"\nsimulated sub-round p_late at g={g}, N={n_at_g}: "
+              f"{format_probability(simulated)} (bound "
+              f"{format_probability(bound)})")
+    record("a16_gss", table + footer)
+
+    nmaxes = [p.n_max for p in points]
+    assert nmaxes[0] == 26             # the paper's SCAN point
+    assert nmaxes == sorted(nmaxes, reverse=True)
+    assert nmaxes[-1] < 20             # heavy grouping really costs
+    assert bound >= simulated

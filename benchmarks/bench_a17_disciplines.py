@@ -1,0 +1,91 @@
+"""A17: comparator -- disk scheduling disciplines inside a round.
+
+§2.3 picks SCAN "in order to minimize disk seeks".  This bench
+quantifies the choice: for the Table 1 batch size, the lumped seek cost
+and the resulting round-overrun probability under FIFO, SSTF, C-SCAN
+and SCAN, Monte-Carlo'd over sector-uniform batches.
+"""
+
+import numpy as np
+
+from repro.analysis import format_probability, render_table
+from repro.disk import DiskRequest
+from repro.disk.scan import (
+    order_cscan,
+    order_fifo,
+    order_scan,
+    order_sstf,
+)
+
+T = 1.0
+N = 27
+BATCHES = 4000
+
+
+def _batch_cost(curve, arm, ordered):
+    cylinders = np.array([r.cylinder for r in ordered], dtype=float)
+    hops = np.concatenate(([abs(cylinders[0] - arm)],
+                           np.abs(np.diff(cylinders))))
+    return float(np.sum(curve(hops))), int(cylinders[-1])
+
+
+def run_comparison(spec, sizes):
+    rng = np.random.default_rng(7)
+    rot = spec.rot
+
+    def scan_elevator(reqs, arm, parity):
+        return order_scan(reqs, ascending=(parity % 2 == 0))
+
+    disciplines = {
+        "FIFO": lambda reqs, arm, parity: order_fifo(reqs),
+        "SSTF": lambda reqs, arm, parity: order_sstf(reqs, arm),
+        "C-SCAN": lambda reqs, arm, parity: order_cscan(reqs),
+        "SCAN (paper)": scan_elevator,
+    }
+    seek_sums = {name: np.empty(BATCHES) for name in disciplines}
+    late = {name: 0 for name in disciplines}
+    arms = {name: 0 for name in disciplines}
+
+    for b in range(BATCHES):
+        cylinders = spec.geometry.sample_cylinder(rng, size=N)
+        requests = [DiskRequest(stream_id=i, size=1.0, cylinder=int(c))
+                    for i, c in enumerate(cylinders)]
+        # Shared non-seek time components across disciplines: isolates
+        # the ordering effect.
+        rotation = float(np.sum(rng.uniform(0.0, rot, size=N)))
+        sizes_draw = np.asarray(sizes.sample(rng, N))
+        rates = np.asarray(spec.geometry.rate_of_cylinder(cylinders))
+        transfer = float(np.sum(sizes_draw / rates))
+        for name, order in disciplines.items():
+            ordered = order(requests, arms[name], b)
+            seek, end = _batch_cost(spec.seek_curve, arms[name], ordered)
+            arms[name] = end
+            seek_sums[name][b] = seek
+            if seek + rotation + transfer > T:
+                late[name] += 1
+
+    return [(name, float(np.mean(seek_sums[name])),
+             float(np.quantile(seek_sums[name], 0.99)),
+             late[name] / BATCHES) for name in disciplines]
+
+
+def test_a17_disciplines(benchmark, viking, paper_sizes, record):
+    rows = benchmark.pedantic(run_comparison, args=(viking, paper_sizes),
+                              rounds=1, iterations=1)
+    table = render_table(
+        ["discipline", "mean lumped seek [ms]", "p99 seek [ms]",
+         f"sim p_late({N})"],
+        [[name, f"{1e3 * mean:.1f}", f"{1e3 * p99:.1f}",
+          format_probability(p)] for name, mean, p99, p in rows],
+        title=f"A17: scheduling disciplines, N={N} requests/round "
+        f"({BATCHES} batches)")
+    record("a17_disciplines", table)
+
+    by_name = dict((name, (mean, p99, p)) for name, mean, p99, p in rows)
+    scan_mean = by_name["SCAN (paper)"][0]
+    # SCAN minimises seeks; C-SCAN pays the fly-back; FIFO pays
+    # ~2.3x more seek time and two orders of magnitude worse lateness.
+    assert scan_mean <= by_name["SSTF"][0] * 1.05
+    assert scan_mean < by_name["C-SCAN"][0]
+    assert by_name["FIFO"][0] > 2 * scan_mean
+    assert by_name["FIFO"][2] > 50 * by_name["SCAN (paper)"][2]

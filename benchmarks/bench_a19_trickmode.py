@@ -1,0 +1,45 @@
+"""A19: extension -- fast-forward (trick-mode) provisioning.
+
+§2.1 assumes users "consume complete objects (as opposed to
+fast-forwarding)".  This bench prices that assumption: admission limits
+when a fraction of viewers is in k-times scan mode (every fragment
+fetched, displayed at speed), across FF shares and speeds.
+"""
+
+from repro.analysis import render_table
+from repro.core import RoundServiceTimeModel
+from repro.core.trickmode import n_max_with_ff
+
+T = 1.0
+FRACTIONS = (0.0, 0.1, 0.2, 0.5)
+SPEEDS = (2, 4)
+
+
+def run_sweep(spec, sizes):
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    rows = []
+    for fraction in FRACTIONS:
+        row = [fraction]
+        for k in SPEEDS:
+            row.append(n_max_with_ff(model, T, 0.01, fraction, k))
+        rows.append(tuple(row))
+    return rows
+
+
+def test_a19_trickmode(benchmark, viking, paper_sizes, record):
+    rows = benchmark.pedantic(run_sweep, args=(viking, paper_sizes),
+                              rounds=1, iterations=1)
+    table = render_table(
+        ["FF share"] + [f"N_max @ {k}x scan" for k in SPEEDS],
+        [[f"{fraction:.0%}"] + [str(v) for v in values]
+         for fraction, *values in rows],
+        title="A19: admission under fast-forward load (delta = 1%)")
+    record("a19_trickmode", table)
+
+    by_fraction = {fraction: values for fraction, *values in rows}
+    assert by_fraction[0.0] == [26, 26]  # no FF: the paper's number
+    # More FF or faster FF always costs streams, monotonically.
+    for col in range(len(SPEEDS)):
+        column = [by_fraction[f][col] for f in FRACTIONS]
+        assert column == sorted(column, reverse=True)
+    assert by_fraction[0.5][1] < 0.6 * by_fraction[0.0][1]

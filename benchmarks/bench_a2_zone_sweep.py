@@ -1,0 +1,87 @@
+"""A2: ablation -- zone-count sweep and the cost of ignoring zones.
+
+Sweeps the same physical capacity range (58368..95744 bytes/track) over
+Z in {1, 2, 4, 8, 15, 30} zones and compares (i) the full multi-zone
+model against (ii) a single-zone collapse at the harmonic-mean rate.
+The collapse preserves E[T_trans] but loses the zone-induced variance,
+so it *understates* p_late -- quantifying what the §3.2 machinery buys.
+"""
+
+from repro.analysis import format_probability, render_table
+from repro.core import MultiZoneTransferModel, RoundServiceTimeModel, n_max_plate
+from repro.server.simulation import estimate_p_late
+
+T = 1.0
+N_PROBE = 27
+ZONES = (1, 2, 4, 8, 15, 30)
+
+
+def run_sweep(spec, sizes):
+    rows = []
+    for z in ZONES:
+        zoned = spec.with_zones(z) if z > 1 else spec.with_zones(2)
+        if z == 1:
+            # True single-zone disk at the capacity midpoint.
+            from repro.disk import ZoneMap
+            from dataclasses import replace
+            mid = 0.5 * (58368.0 + 95744.0)
+            zoned = replace(spec, name="Z1",
+                            zone_map=ZoneMap.linear(1, mid, mid, spec.rot))
+        model = RoundServiceTimeModel.for_disk(zoned, sizes,
+                                               multizone=True)
+        analytic = model.b_late(N_PROBE, T)
+        sim = estimate_p_late(zoned, sizes, N_PROBE, T, rounds=15_000,
+                              seed=300 + z)
+        rows.append((z, model.transfer.mean(), model.transfer.var(),
+                     analytic, sim.p_late, n_max_plate(model, T, 0.01)))
+    return rows
+
+
+def run_collapse_comparison(spec, sizes):
+    full = RoundServiceTimeModel.for_disk(spec, sizes, multizone=True)
+    collapsed = RoundServiceTimeModel.for_disk(spec, sizes,
+                                               multizone=False)
+    transfer = MultiZoneTransferModel(spec.zone_map, sizes)
+    return {
+        "full_p": full.b_late(N_PROBE, T),
+        "collapsed_p": collapsed.b_late(N_PROBE, T),
+        "full_nmax": n_max_plate(full, T, 0.01),
+        "collapsed_nmax": n_max_plate(collapsed, T, 0.01),
+        "var_ratio": transfer.var() / collapsed.transfer.var(),
+    }
+
+
+def test_a2_zone_sweep(benchmark, viking, paper_sizes, record):
+    rows = benchmark.pedantic(run_sweep, args=(viking, paper_sizes),
+                              rounds=1, iterations=1)
+    table = render_table(
+        ["Z", "E[T_trans] [ms]", "Var[T_trans]", f"b_late({N_PROBE})",
+         "sim p_late", "N_max(1%)"],
+        [[str(z), f"{1e3 * m:.2f}", f"{v:.3e}",
+          format_probability(a), format_probability(s), str(nmax)]
+         for z, m, v, a, s, nmax in rows],
+        title="A2: zone-count sweep (same capacity range)")
+    record("a2_zone_sweep", table)
+    for _, _, _, analytic, sim, _ in rows:
+        assert analytic >= sim
+
+
+def test_a2_singlezone_collapse(benchmark, viking, paper_sizes, record):
+    result = benchmark(run_collapse_comparison, viking, paper_sizes)
+    table = render_table(
+        ["model", f"b_late({N_PROBE})", "N_max(1%)"],
+        [
+            ["full multi-zone (3.2)",
+             format_probability(result["full_p"]),
+             str(result["full_nmax"])],
+            ["single-zone collapse (harmonic rate)",
+             format_probability(result["collapsed_p"]),
+             str(result["collapsed_nmax"])],
+        ],
+        title="A2b: what ignoring zones does to the bound "
+        f"(transfer-variance ratio {result['var_ratio']:.2f}x)")
+    record("a2_singlezone_collapse", table)
+    # Ignoring zone variability makes the bound optimistic.
+    assert result["collapsed_p"] < result["full_p"]
+    assert result["var_ratio"] > 1.0
+    assert result["collapsed_nmax"] >= result["full_nmax"]

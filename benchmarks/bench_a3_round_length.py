@@ -1,0 +1,53 @@
+"""A3: ablation -- round length t.
+
+The round length trades throughput against startup latency (§2.3: "an
+admitted stream may receive a small startup delay of up to one round").
+Longer rounds amortise seeks over more data per request, so the
+admissible *bandwidth* rises with t while per-stream startup worsens.
+"""
+
+from repro.analysis import render_table
+from repro.core import GlitchModel, RoundServiceTimeModel, n_max_perror, n_max_plate
+from repro.distributions import Gamma
+
+ROUND_LENGTHS = (0.25, 0.5, 1.0, 2.0, 4.0)
+MEAN_BANDWIDTH = 200_000.0  # bytes/second of display per stream
+CV = 0.5
+
+
+def run_sweep(spec):
+    rows = []
+    for t in ROUND_LENGTHS:
+        # Constant display time per fragment: fragment size scales with
+        # t for the same display bandwidth.
+        sizes = Gamma.from_mean_std(MEAN_BANDWIDTH * t,
+                                    CV * MEAN_BANDWIDTH * t)
+        model = RoundServiceTimeModel.for_disk(spec, sizes)
+        glitch = GlitchModel(model, t=t)
+        m = max(int(round(1200 / t)), 1)   # same 20-minute playback
+        g = max(int(round(0.01 * m)), 1)   # same 1% glitch tolerance
+        plate = n_max_plate(model, t, 0.01)
+        perror = n_max_perror(glitch, m, g, 0.01)
+        rows.append((t, plate, perror,
+                     perror * MEAN_BANDWIDTH / 1e6, t))
+    return rows
+
+
+def test_a3_round_length(benchmark, viking, record):
+    rows = benchmark.pedantic(run_sweep, args=(viking,), rounds=1,
+                              iterations=1)
+    table = render_table(
+        ["t [s]", "N_max^plate", "N_max^perror",
+         "admitted bandwidth [MB/s]", "max startup delay [s]"],
+        [[f"{t:g}", str(plate), str(perror), f"{bw:.2f}", f"{d:g}"]
+         for t, plate, perror, bw, d in rows],
+        title="A3: round-length sweep (200 KB/s streams, cv=0.5)")
+    record("a3_round_length", table)
+
+    perrors = [r[2] for r in rows]
+    bandwidths = [r[3] for r in rows]
+    # Longer rounds amortise seeks: admitted streams rise monotonically.
+    assert perrors == sorted(perrors)
+    assert bandwidths == sorted(bandwidths)
+    # And the t=1s point reproduces the paper's headline 28.
+    assert rows[2][2] == 28

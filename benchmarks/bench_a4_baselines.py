@@ -1,0 +1,66 @@
+"""A4: ablation -- bound tightness against the prior-work baselines.
+
+Compares, at several multiprogramming levels, the simulated truth
+against (i) this paper's Chernoff bound, (ii) the [CL96]-style
+Tschebyscheff bound and (iii) the [CZ94]-style CLT normal approximation.
+Expected shape (§3.1's argument): Chernoff is conservative yet within a
+small factor of the truth; Tschebyscheff is conservative but orders of
+magnitude looser in the tail; the CLT is tight near the bulk but *not*
+an upper bound in the deep tail.
+"""
+
+from repro.analysis import format_probability, render_table
+from repro.core import RoundServiceTimeModel
+from repro.core.baselines import (
+    normal_approximation_p_late,
+    tschebyscheff_p_late,
+)
+from repro.server.simulation import estimate_p_late
+
+T = 1.0
+N_RANGE = (24, 26, 28, 30, 31)
+ROUNDS = 200_000  # deep-tail resolution
+
+
+def run_comparison(spec, sizes):
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    rows = []
+    for n in N_RANGE:
+        sim = estimate_p_late(spec, sizes, n, T, rounds=ROUNDS,
+                              seed=400 + n)
+        rows.append({
+            "n": n,
+            "sim": sim.p_late,
+            "ci": (sim.ci_low, sim.ci_high),
+            "chernoff": model.b_late(n, T),
+            "tschebyscheff": tschebyscheff_p_late(model, n, T),
+            "clt": normal_approximation_p_late(model, n, T),
+        })
+    return rows
+
+
+def test_a4_baselines(benchmark, viking, paper_sizes, record):
+    rows = benchmark.pedantic(run_comparison, args=(viking, paper_sizes),
+                              rounds=1, iterations=1)
+    table = render_table(
+        ["N", "simulated", "Chernoff (this paper)",
+         "Tschebyscheff [CL96]", "CLT normal [CZ94]"],
+        [[str(r["n"]), format_probability(r["sim"]),
+          format_probability(r["chernoff"]),
+          format_probability(r["tschebyscheff"]),
+          format_probability(r["clt"])] for r in rows],
+        title=f"A4: p_late bounds vs simulation ({ROUNDS} rounds/point)")
+    record("a4_baselines", table)
+
+    for r in rows:
+        # Both true bounds dominate the simulation.
+        assert r["chernoff"] >= r["sim"] - 1e-12
+        assert r["tschebyscheff"] >= r["sim"] - 1e-12
+        # Chernoff is never looser than Tschebyscheff here.
+        assert r["chernoff"] <= r["tschebyscheff"] + 1e-12
+
+    # The CLT undershoots the simulated truth somewhere in the deep
+    # tail (the paper's §3.1 criticism).
+    undershoots = [r for r in rows
+                   if r["sim"] > 0 and r["clt"] < r["sim"]]
+    assert undershoots, "CLT never undershot -- raise ROUNDS"

@@ -1,0 +1,75 @@
+"""A9: extension -- mixed continuous/discrete workloads (§6, [NMW97]).
+
+Shares a disk between N continuous streams and a discrete (web-page)
+workload.  Reports, per policy, the continuous glitch rate and the
+discrete throughput -- demonstrating that continuous-first isolation
+keeps the §3 guarantee intact while still moving substantial discrete
+traffic through the leftover time.
+"""
+
+import numpy as np
+
+from repro.analysis import format_probability, render_table
+from repro.core.mixed import MixedWorkloadModel
+from repro.distributions import Gamma
+from repro.server.mixed import simulate_mixed_rounds
+
+T = 1.0
+N = 26              # the paper's round-level admission point
+K_VALUES = (0, 10, 25, 50)
+ROUNDS = 3000
+
+
+def run_ablation(spec, cont_sizes):
+    disc_sizes = Gamma.from_mean_std(8_000.0, 8_000.0)
+    model = MixedWorkloadModel(spec=spec, continuous_sizes=cont_sizes,
+                               discrete_sizes=disc_sizes)
+    rows = []
+    for k in K_VALUES:
+        for policy in ("integrated", "continuous-first"):
+            if k == 0 and policy == "integrated":
+                continue
+            batch = simulate_mixed_rounds(
+                spec, cont_sizes, disc_sizes, N, k, T, ROUNDS,
+                np.random.default_rng(97 + k), policy=policy)
+            analytic = (model.p_late_integrated(N, k, T)
+                        if policy == "integrated"
+                        else model.continuous_model().b_late(N, T))
+            rows.append((policy, k, analytic,
+                         batch.continuous_glitch_rate,
+                         batch.mean_discrete_throughput))
+    k_budget = model.max_discrete_integrated(N, T, 0.01)
+    estimate = model.discrete_throughput_estimate(N, T)
+    return rows, k_budget, estimate
+
+
+def test_a9_mixed_workload(benchmark, viking, paper_sizes, record):
+    rows, k_budget, estimate = benchmark.pedantic(
+        run_ablation, args=(viking, paper_sizes), rounds=1, iterations=1)
+    table = render_table(
+        ["policy", "K discrete", "analytic cont. bound",
+         "sim cont. glitch rate", "discrete served/round"],
+        [[policy, str(k), format_probability(a), format_probability(s),
+          f"{d:.1f}"] for policy, k, a, s, d in rows],
+        title=f"A9: mixed workload at N={N} continuous (t=1s)")
+    footer = (f"\nintegrated-policy discrete budget at delta=1%: "
+              f"K={k_budget}; leftover-based throughput estimate: "
+              f"{estimate:.1f}/round")
+    record("a9_mixed_workload", table + footer)
+
+    cf = {k: (a, s, d) for policy, k, a, s, d in rows
+          if policy == "continuous-first"}
+    integ = {k: (a, s, d) for policy, k, a, s, d in rows
+             if policy == "integrated"}
+    # Continuous-first isolates the streams: glitch rate flat in K.
+    baseline = cf[0][1]
+    for k in K_VALUES[1:]:
+        assert abs(cf[k][1] - baseline) < 0.005
+    # Integrated leaks discrete load into the streams at high K.
+    assert integ[50][1] > cf[50][1]
+    # Discrete throughput grows with offered K under both policies.
+    assert cf[50][2] > cf[10][2]
+    # Analytic bounds hold.
+    for policy, k, analytic, sim, _ in rows:
+        assert analytic >= sim - 1e-9, (policy, k)
+    assert k_budget > 0

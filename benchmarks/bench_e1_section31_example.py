@@ -1,0 +1,41 @@
+"""E1: §3.1 worked example -- single-zone Chernoff bounds.
+
+Paper numbers: SEEK(27) = 0.10932 s, E[T_trans] = 0.02174 s,
+Var[T_trans] = 0.00011815 s^2, p_late(27, 1s) ~ 0.0103,
+p_late(26, 1s) ~ 0.00225, N_max^plate(delta=0.01) = 26.
+"""
+
+from repro.analysis import render_table
+from repro.core import RoundServiceTimeModel, n_max_plate, oyang_seek_bound
+
+
+def run_example(spec, sizes):
+    model = RoundServiceTimeModel.for_disk(spec, sizes, multizone=False)
+    return {
+        "seek_27": oyang_seek_bound(spec.seek_curve, spec.cylinders, 27),
+        "e_trans": model.transfer.mean(),
+        "var_trans": model.transfer.var(),
+        "p_late_27": model.b_late(27, 1.0),
+        "p_late_26": model.b_late(26, 1.0),
+        "n_max": n_max_plate(model, 1.0, 0.01),
+    }
+
+
+def test_e1_section31_example(benchmark, viking_single_zone, paper_sizes,
+                              record):
+    result = benchmark(run_example, viking_single_zone, paper_sizes)
+    table = render_table(
+        ["quantity", "paper", "reproduced"],
+        [
+            ["SEEK(27) [s]", "0.10932", f"{result['seek_27']:.5f}"],
+            ["E[T_trans] [s]", "0.02174", f"{result['e_trans']:.5f}"],
+            ["Var[T_trans] [s^2]", "0.00011815",
+             f"{result['var_trans']:.8f}"],
+            ["p_late(27, 1s)", "~0.0103", f"{result['p_late_27']:.5f}"],
+            ["p_late(26, 1s)", "~0.00225", f"{result['p_late_26']:.5f}"],
+            ["N_max^plate (delta=1%)", "26", str(result["n_max"])],
+        ],
+        title="E1: Section 3.1 worked example (single-zone disk)")
+    record("e1_section31_example", table)
+    assert result["n_max"] == 26
+    assert abs(result["p_late_27"] - 0.0103) / 0.0103 < 0.15

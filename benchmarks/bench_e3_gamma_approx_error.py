@@ -1,0 +1,48 @@
+"""E3: §3.2's Gamma-approximation quality claim.
+
+The paper approximates the multi-zone transfer-time density (eq. 3.2.7)
+by a moment-matched Gamma (eq. 3.2.10) and reports "relative error ...
+less than 2 percent in the most relevant range of the transfer time
+(... between 5 and 100 milliseconds)".  We measure the density error
+(peak-normalised) and the distribution-function error on that range.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import MultiZoneTransferModel
+
+
+def run_report(spec, sizes):
+    model = MultiZoneTransferModel(spec.zone_map, sizes)
+    density = model.approximation_report(5e-3, 100e-3, points=300)
+    ts = density.times
+    cdf_exact = model.exact_cdf(ts)
+    cdf_gamma = np.asarray(model.gamma_approximation().cdf(ts))
+    return {
+        "density_err": density.max_relative_error,
+        "cdf_err": float(np.max(np.abs(cdf_exact - cdf_gamma))),
+        "continuous_err": model.approximation_report(
+            5e-3, 100e-3, use_continuous=True).max_relative_error,
+    }
+
+
+def test_e3_gamma_approx_error(benchmark, viking, paper_sizes, record):
+    result = benchmark(run_report, viking, paper_sizes)
+    table = render_table(
+        ["metric", "paper claim", "reproduced"],
+        [
+            ["max density error (discrete zones)", "< 2 %",
+             f"{100 * result['density_err']:.2f} %"],
+            ["max density error (continuous eq. 3.2.7)", "< 2 %",
+             f"{100 * result['continuous_err']:.2f} %"],
+            ["max distribution-function error", "-",
+             f"{100 * result['cdf_err']:.3f} %"],
+        ],
+        title="E3: Gamma approximation of the multi-zone transfer time")
+    record("e3_gamma_approx_error", table)
+    # Measured residual: ~3.2 % density error at the mode (vs the
+    # paper's < 2 % claim), but < 1 % in distribution -- see
+    # EXPERIMENTS.md.
+    assert result["density_err"] < 0.04
+    assert result["cdf_err"] < 0.01

@@ -1,0 +1,41 @@
+"""E4: §3.3 worked example -- per-stream glitch bound.
+
+Paper: "for ... N = 28, a round length of t = 1 second, and streams
+with M = 1200 rounds, the probability that an individual stream suffers
+more than 12 glitches (i.e., 1 percent of M) is at most 0.14e-3."
+"""
+
+from repro.analysis import format_probability, render_table
+from repro.core import GlitchModel, RoundServiceTimeModel
+
+
+def run_example(spec, sizes):
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    glitch = GlitchModel(model, t=1.0)
+    return {
+        "b_glitch": glitch.b_glitch(28),
+        "p_error_hr": glitch.p_error(28, 1200, 12),
+        "p_error_exact": glitch.p_error_exact_tail(28, 1200, 12),
+        "expected": glitch.expected_glitches(28, 1200),
+    }
+
+
+def test_e4_section33_example(benchmark, viking, paper_sizes, record):
+    result = benchmark(run_example, viking, paper_sizes)
+    table = render_table(
+        ["quantity", "paper", "reproduced"],
+        [
+            ["b_glitch(28, 1s)", "-",
+             format_probability(result["b_glitch"])],
+            ["p_error(28, 1200, 12) Hagerup-Rueb", "0.00014",
+             format_probability(result["p_error_hr"])],
+            ["p_error via exact Binomial tail", "-",
+             format_probability(result["p_error_exact"])],
+            ["E[#glitches in 1200 rounds] bound", "-",
+             f"{result['expected']:.2f}"],
+        ],
+        title="E4: Section 3.3 worked example (stream-level bound)")
+    record("e4_section33_example", table)
+    # Same order of magnitude as the paper's 1.4e-4.
+    assert 0.3e-4 < result["p_error_hr"] < 1e-3
+    assert result["p_error_exact"] <= result["p_error_hr"]

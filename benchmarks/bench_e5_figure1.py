@@ -1,0 +1,57 @@
+"""E5: Figure 1 -- analytic vs simulated p_late as a function of N.
+
+The paper's chart shows the analytic bound always above the simulated
+probability, both rising steeply around N ~ 26-30; at the 1 % threshold
+the model admits 26 streams while the simulated system sustains 28.
+"""
+
+from repro.analysis import ComparisonRow, comparison_table
+from repro.analysis.plotting import ascii_chart
+from repro.core import RoundServiceTimeModel
+from repro.server.simulation import estimate_p_late
+
+N_RANGE = range(20, 33)
+ROUNDS = 20_000
+T = 1.0
+
+
+def run_figure1(spec, sizes):
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    rows = []
+    for n in N_RANGE:
+        analytic = model.b_late(n, T)
+        sim = estimate_p_late(spec, sizes, n, T, rounds=ROUNDS,
+                              seed=1000 + n)
+        rows.append(ComparisonRow(label=str(n), analytic=analytic,
+                                  simulated=sim.p_late,
+                                  ci_low=sim.ci_low, ci_high=sim.ci_high))
+    return rows
+
+
+def _crossover(rows, threshold=0.01, key=lambda r: r.analytic):
+    admitted = [int(r.label) for r in rows if key(r) <= threshold]
+    return max(admitted) if admitted else 0
+
+
+def test_e5_figure1(benchmark, viking, paper_sizes, record):
+    rows = benchmark.pedantic(run_figure1, args=(viking, paper_sizes),
+                              rounds=1, iterations=1)
+    analytic_nmax = _crossover(rows)
+    simulated_nmax = _crossover(rows, key=lambda r: r.simulated)
+    table = comparison_table(
+        rows, title="E5: Figure 1 -- p_late(N, t=1s), analytic vs "
+        "simulated (20000 rounds/point)")
+    footer = (f"\nN_max at 1% threshold: analytic={analytic_nmax} "
+              f"(paper: 26), simulated={simulated_nmax} (paper: 28)")
+    chart = ascii_chart(
+        [int(r.label) for r in rows],
+        {"analytic bound": [r.analytic for r in rows],
+         "simulated": [r.simulated for r in rows]},
+        log_y=True, y_floor=1e-5,
+        title="Figure 1: p_late vs N (log scale)")
+    record("e5_figure1", table + footer + "\n\n" + chart)
+
+    # Shape checks: conservative everywhere, same crossovers as paper.
+    assert all(row.conservative for row in rows)
+    assert analytic_nmax == 26
+    assert simulated_nmax == 28

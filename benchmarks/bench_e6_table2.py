@@ -1,0 +1,75 @@
+"""E6: Table 2 -- p_error, analytic vs simulated, N = 28..32.
+
+Paper's Table 2 (M = 1200, g = 12, t = 1 s):
+
+    N   analytic   simulated
+    28  0.00014    0
+    29  0.318      0
+    30  1          0
+    31  1          0.00678
+    32  1          0.454
+
+Shape to reproduce: the analytic bound saturates to 1 by N = 30 while
+the simulated system first shows stream-level errors at N = 31 and
+degrades massively at N = 32 -- the analytic admission limit (28) gives
+away three streams against the simulated truth (31).
+"""
+
+from repro.analysis import ComparisonRow, comparison_table
+from repro.core import GlitchModel, RoundServiceTimeModel, n_max_perror
+from repro.server.simulation import estimate_p_error
+
+M = 1200
+G = 12
+T = 1.0
+RUNS = 150
+N_RANGE = (28, 29, 30, 31, 32)
+PAPER = {28: (0.00014, 0.0), 29: (0.318, 0.0), 30: (1.0, 0.0),
+         31: (1.0, 0.00678), 32: (1.0, 0.454)}
+
+
+def run_table2(spec, sizes):
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    glitch = GlitchModel(model, t=T)
+    rows = []
+    for n in N_RANGE:
+        analytic = glitch.p_error(n, M, G)
+        sim = estimate_p_error(spec, sizes, n, T, M, G, runs=RUNS,
+                               seed=2000 + n)
+        rows.append(ComparisonRow(label=str(n), analytic=analytic,
+                                  simulated=sim.p_error,
+                                  ci_low=sim.ci_low, ci_high=sim.ci_high))
+    return rows, n_max_perror(glitch, M, G, 0.01)
+
+
+def test_e6_table2(benchmark, viking, paper_sizes, record):
+    rows, analytic_nmax = benchmark.pedantic(
+        run_table2, args=(viking, paper_sizes), rounds=1, iterations=1)
+    simulated_nmax = max((int(r.label) for r in rows
+                          if r.simulated <= 0.01), default=0)
+    table = comparison_table(
+        rows, title=f"E6: Table 2 -- p_error (M={M}, g={G}, "
+        f"{RUNS} runs/point)")
+    footer = (f"\nN_max at eps=1%: analytic={analytic_nmax} (paper: 28), "
+              f"simulated={simulated_nmax} (paper: 31)\n"
+              "note: our simulated p_error(31) ~ 0.013 vs the paper's "
+              "0.00678 -- same 'first errors at N=31' shape, but the "
+              "value straddles the 1% threshold, so the derived N_max "
+              "can land at 30 or 31 depending on simulator details.")
+    record("e6_table2", table + footer)
+
+    by_n = {int(r.label): r for r in rows}
+    # Analytic column: tiny at 28, ~0.3 at 29, saturated from 30.
+    assert by_n[28].analytic < 1e-3
+    assert 0.05 < by_n[29].analytic < 0.8
+    assert by_n[30].analytic == 1.0
+    # Simulated column: clean through 30, first errors at 31, collapse
+    # at 32.
+    assert by_n[28].simulated == 0.0
+    assert by_n[29].simulated == 0.0
+    assert by_n[30].simulated <= 0.005
+    assert 0.0 < by_n[31].simulated < 0.1
+    assert by_n[32].simulated > 0.2
+    assert analytic_nmax == 28
+    assert simulated_nmax in (30, 31)
+    assert all(row.conservative for row in rows)

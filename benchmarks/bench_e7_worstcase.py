@@ -1,0 +1,59 @@
+"""E7: eq. (4.1) -- deterministic worst-case comparison.
+
+Paper: T_rot^max = 8.34 ms, T_seek^max = 18 ms, T_trans^max = 71.7 ms
+(99-percentile fragment at the innermost-zone rate) give N_max^wc = 10;
+the optimistic variant (95-percentile at the mean zone rate,
+T_trans^max = 41.9 ms) gives N_max^wc = 14.  Both are far below the
+stochastic admission levels (26-28).
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    GlitchModel,
+    RoundServiceTimeModel,
+    n_max_perror,
+    n_max_plate,
+    worst_case_n_max,
+)
+from repro.core.baselines import worst_case_components
+
+
+def run_worstcase(spec, sizes):
+    rot, seek, trans99 = worst_case_components(spec, sizes, 0.99, "min")
+    _, _, trans95 = worst_case_components(spec, sizes, 0.95, "mean")
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    glitch = GlitchModel(model, t=1.0)
+    return {
+        "components": (rot, seek, trans99, trans95),
+        "wc_conservative": worst_case_n_max(1.0, rot, seek, trans99),
+        "wc_optimistic": worst_case_n_max(1.0, rot, seek, trans95),
+        "stochastic_plate": n_max_plate(model, 1.0, 0.01),
+        "stochastic_perror": n_max_perror(glitch, 1200, 12, 0.01),
+    }
+
+
+def test_e7_worstcase(benchmark, viking, paper_sizes, record):
+    result = benchmark(run_worstcase, viking, paper_sizes)
+    rot, seek, trans99, trans95 = result["components"]
+    table = render_table(
+        ["admission policy", "paper", "reproduced"],
+        [
+            ["T_rot^max [ms]", "8.34", f"{1000 * rot:.2f}"],
+            ["T_seek^max [ms]", "18", f"{1000 * seek:.2f}"],
+            ["T_trans^max 99pct@Cmin [ms]", "71.7",
+             f"{1000 * trans99:.1f}"],
+            ["T_trans^max 95pct@mean [ms]", "41.9",
+             f"{1000 * trans95:.1f}"],
+            ["N_max^wc conservative", "10",
+             str(result["wc_conservative"])],
+            ["N_max^wc optimistic", "14", str(result["wc_optimistic"])],
+            ["N_max stochastic (p_late<=1%)", "26",
+             str(result["stochastic_plate"])],
+            ["N_max stochastic (p_error<=1%)", "28",
+             str(result["stochastic_perror"])],
+        ],
+        title="E7: eq. (4.1) worst-case vs stochastic admission")
+    record("e7_worstcase", table)
+    assert result["wc_conservative"] == 10
+    assert result["wc_optimistic"] == 14
+    assert result["stochastic_perror"] == 28

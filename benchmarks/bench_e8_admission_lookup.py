@@ -1,0 +1,56 @@
+"""E8: §5 admission lookup table.
+
+"We suggest using a lookup table with precomputed values of N_max for
+different tolerance thresholds of the glitch rate.  This scheme incurs
+almost no run-time overhead."  The bench builds the table over a
+threshold grid (the expensive, configuration-time step) and then times
+the run-time probe, which must be sub-microsecond-ish.
+"""
+
+import time
+
+from repro.analysis import render_table
+from repro.core import AdmissionTable, GlitchModel, RoundServiceTimeModel
+
+PLATE_THRESHOLDS = (0.001, 0.005, 0.01, 0.05, 0.10)
+PERROR_THRESHOLDS = (0.0001, 0.001, 0.01, 0.05, 0.10)
+
+
+def build_table(spec, sizes):
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    glitch = GlitchModel(model, t=1.0)
+    table = AdmissionTable(glitch, m=1200, g=12)
+    table.build(plate_thresholds=PLATE_THRESHOLDS,
+                perror_thresholds=PERROR_THRESHOLDS)
+    return table
+
+
+def test_e8_build_lookup_table(benchmark, viking, paper_sizes, record):
+    table = benchmark.pedantic(build_table, args=(viking, paper_sizes),
+                               rounds=1, iterations=1)
+    entries = table.entries()
+
+    # The §5 run-time path: probing the prebuilt table.
+    start = time.perf_counter()
+    probes = 100_000
+    for _ in range(probes):
+        table.n_max_perror(0.01)
+    probe_ns = (time.perf_counter() - start) / probes * 1e9
+
+    rows = [["p_late <= " + f"{d:g}", str(n)]
+            for d, n in sorted(entries["plate"].items())]
+    rows += [["p_error <= " + f"{e:g}", str(n)]
+             for e, n in sorted(entries["perror"].items())]
+    rows.append(["run-time probe cost", f"{probe_ns:.0f} ns"])
+    table_text = render_table(
+        ["tolerance threshold", "N_max"], rows,
+        title="E8: Section 5 admission lookup table "
+        "(Table 1 disk, t=1s, M=1200, g=12)")
+    record("e8_admission_lookup", table_text)
+
+    assert entries["plate"][0.01] == 26
+    assert entries["perror"][0.01] == 28
+    # Thresholds order N_max monotonically.
+    plate_values = [entries["plate"][d] for d in PLATE_THRESHOLDS]
+    assert plate_values == sorted(plate_values)
+    assert probe_ns < 50_000  # "almost no run-time overhead"

@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures and result recording.
+
+Every bench regenerates one paper artifact (table/figure) or ablation.
+Besides the pytest-benchmark timing, each bench writes its data table to
+``benchmarks/results/<name>.txt`` so the numbers survive output capture
+and feed EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.disk import quantum_viking_2_1, single_zone_viking
+from repro.workload import paper_fragment_sizes
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def viking():
+    """Table 1's Quantum Viking 2.1."""
+    return quantum_viking_2_1()
+
+
+@pytest.fixture(scope="session")
+def viking_single_zone():
+    """The §3.1 single-zone example disk."""
+    return single_zone_viking()
+
+
+@pytest.fixture(scope="session")
+def paper_sizes():
+    """Table 1's Gamma(200 KB, 100 KB) fragment-size law."""
+    return paper_fragment_sizes()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write a result table to benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Building the §5 admission lookup table for an operations team.
+
+"We suggest using a lookup table with precomputed values of N_max for
+different tolerance thresholds of the glitch rate. ... The table has to
+be updated ... only if the disk configuration or general data
+characteristics change."
+
+This example precomputes the table over a grid of service classes
+(strict/standard/relaxed) and workload variants, then exercises the
+run-time admission path against it.
+
+Run:  python examples/admission_lookup_table.py
+"""
+
+from repro import (
+    AdmissionController,
+    AdmissionTable,
+    GlitchModel,
+    RoundServiceTimeModel,
+    quantum_viking_2_1,
+)
+from repro.analysis import render_table
+from repro.distributions import Gamma
+from repro.errors import AdmissionError
+
+SERVICE_CLASSES = {
+    # name: (glitch fraction g/M, confidence epsilon)
+    "strict   (0.1% glitches @ 99.9%)": (0.001, 0.001),
+    "standard (1% glitches @ 99%)": (0.01, 0.01),
+    "relaxed  (5% glitches @ 95%)": (0.05, 0.05),
+}
+
+WORKLOADS = {
+    "low-rate audio (64 KB/s, cv 0.3)": Gamma.from_mean_std(64_000.0,
+                                                            19_200.0),
+    "paper video (200 KB/s, cv 0.5)": Gamma.from_mean_std(200_000.0,
+                                                          100_000.0),
+    "high-rate video (400 KB/s, cv 0.6)": Gamma.from_mean_std(400_000.0,
+                                                              240_000.0),
+}
+
+T = 1.0
+M = 1200
+
+
+def main() -> None:
+    spec = quantum_viking_2_1()
+    rows = []
+    tables = {}
+    for wl_name, law in WORKLOADS.items():
+        model = RoundServiceTimeModel.for_disk(spec, law)
+        glitch = GlitchModel(model, T)
+        row = [wl_name]
+        for cls_name, (rate, eps) in SERVICE_CLASSES.items():
+            g = max(int(rate * M), 1)
+            table = AdmissionTable(glitch, m=M, g=g)
+            n = table.n_max_perror(eps)
+            tables[(wl_name, cls_name)] = table
+            row.append(str(n))
+        rows.append(row)
+
+    print(render_table(
+        ["workload"] + list(SERVICE_CLASSES),
+        rows,
+        title=f"N_max per disk (Quantum Viking 2.1, t={T:g}s, M={M})"))
+
+    # Run-time admission against the standard class / paper workload.
+    table = tables[("paper video (200 KB/s, cv 0.5)",
+                    "standard (1% glitches @ 99%)")]
+    controller = AdmissionController.from_table(table, epsilon=0.01,
+                                                disks=8)
+    print(f"\n8-disk farm, standard class: capacity "
+          f"{controller.capacity} streams")
+    admitted = 0
+    try:
+        while True:
+            controller.admit()
+            admitted += 1
+    except AdmissionError as err:
+        print(f"stream #{admitted + 1} rejected: {err}")
+    print(f"admitted {admitted} streams; "
+          f"rejections recorded: {controller.rejections}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Running the paper's §6 outlook: buffering, prefetch and mixed data.
+
+Scenario: a teleteaching server pushes video streams to client PCs with
+a few megabytes of buffer memory, while the same disks serve the course
+web site (HTML pages, images).  This example walks the extensions end
+to end:
+
+1. admit streams with the stochastic guarantee,
+2. switch on server prefetch and show what client buffers do to the
+   *visible* quality,
+3. let discrete web traffic ride the leftover time and check the
+   streams never notice.
+
+Run:  python examples/buffered_mixed_service.py
+"""
+
+import numpy as np
+
+from repro import RoundServiceTimeModel, n_max_perror, GlitchModel
+from repro.analysis import format_probability, render_table
+from repro.core.buffering import PrefetchPlan
+from repro.core.mixed import MixedWorkloadModel
+from repro.disk import quantum_viking_2_1
+from repro.distributions import Gamma
+from repro.server.mixed import simulate_discrete_queue
+from repro.server.prefetch import simulate_prefetch
+from repro.workload import paper_fragment_sizes
+
+T = 1.0
+SIM_ROUNDS = 6000
+
+
+def main() -> None:
+    spec = quantum_viking_2_1()
+    sizes = paper_fragment_sizes()
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+
+    # --- 1. admit at the stream-level guarantee ----------------------
+    n = n_max_perror(GlitchModel(model, T), 1200, 12, 0.01)
+    print(f"admitted N = {n} streams per disk "
+          f"(P[>=12 glitches/1200 rounds] <= 1%)\n")
+
+    # --- 2. prefetch + client buffers --------------------------------
+    rows = []
+    for headroom, capacity in ((0, 2), (0, 8), (2, 4), (3, 8)):
+        plan = PrefetchPlan(model, n=n, t=T, headroom=headroom)
+        sim = simulate_prefetch(spec, sizes, n, T, SIM_ROUNDS,
+                                headroom=headroom, capacity=capacity,
+                                prefill=min(2, capacity), seed=headroom)
+        rows.append([str(headroom), str(capacity),
+                     format_probability(plan.chain(capacity)
+                                        .hiccup_rate()),
+                     format_probability(sim.hiccup_rate),
+                     format_probability(sim.glitch_rate),
+                     f"{sim.mean_buffer:.1f}"])
+    print(render_table(
+        ["prefetch slots", "client buffer", "chain hiccup bound",
+         "sim hiccups", "sim glitches", "mean buffer"],
+        rows, title="visible quality vs buffering"))
+    print("note: without prefetch (rows 1-2) the buffer depth does not "
+          "change the\nhiccup rate -- buffers only delay hiccups unless "
+          "the server refills them.\n")
+
+    # --- 3. discrete web traffic on the leftover ----------------------
+    disc_sizes = Gamma.from_mean_std(8_000.0, 8_000.0)
+    mixed = MixedWorkloadModel(spec=spec, continuous_sizes=sizes,
+                               discrete_sizes=disc_sizes)
+    capacity_est = mixed.discrete_throughput_estimate(n, T)
+    rows = []
+    for load in (0.5, 0.9):
+        result = simulate_discrete_queue(
+            spec, sizes, disc_sizes, n=n,
+            arrival_rate=load * capacity_est, t=T, rounds=1500,
+            rng=np.random.default_rng(int(10 * load)))
+        rows.append([f"{load:.0%}",
+                     f"{result.arrival_rate:.1f}",
+                     f"{result.mean_response_rounds:.2f}",
+                     format_probability(
+                         float(np.mean(result.continuous_glitches)))])
+    print(render_table(
+        ["offered web load", "pages/round", "mean response [rounds]",
+         "stream glitch rate"],
+        rows, title=f"web traffic on the leftover "
+        f"(capacity ~{capacity_est:.0f} pages/round)"))
+    print("\nthe streams' glitch rate is identical with and without web "
+          "traffic:\ncontinuous-first scheduling isolates the paper's "
+          "guarantee while the\nleftover moves real discrete work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many disks does a news-on-demand site need?
+
+The paper's model answers configuration questions before any hardware
+is bought (§1: "configuring the server (choosing the number of disks,
+etc.)").  This example sizes a server for a target user population
+under a stream-level quality-of-service contract, and shows how the
+answer moves with the round length and with faster disk generations.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import math
+
+from repro import (
+    GlitchModel,
+    RoundServiceTimeModel,
+    n_max_perror,
+    paper_fragment_sizes,
+    quantum_viking_2_1,
+    scaled_viking,
+)
+from repro.analysis import render_table
+
+TARGET_USERS = 500          # concurrent streams the site must carry
+PLAYBACK_MIN = 20           # typical object length, minutes
+GLITCH_TOLERANCE = 0.01     # <= 1 % of rounds may glitch ...
+CONFIDENCE = 0.01           # ... with probability >= 99 % per stream
+
+
+def streams_per_disk(spec, t: float) -> int:
+    sizes = paper_fragment_sizes()
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    glitch = GlitchModel(model, t)
+    m = int(PLAYBACK_MIN * 60 / t)
+    g = max(int(GLITCH_TOLERANCE * m), 1)
+    return n_max_perror(glitch, m, g, CONFIDENCE)
+
+
+def main() -> None:
+    print(f"target: {TARGET_USERS} concurrent streams, "
+          f"{PLAYBACK_MIN}-minute objects, "
+          f"P[> {GLITCH_TOLERANCE:.0%} glitches] <= {CONFIDENCE:.0%}\n")
+
+    # Sweep the round length on the baseline drive.
+    rows = []
+    for t in (0.5, 1.0, 2.0):
+        per_disk = streams_per_disk(quantum_viking_2_1(), t)
+        disks = math.ceil(TARGET_USERS / per_disk)
+        rows.append([f"{t:g}", str(per_disk), str(disks),
+                     f"{t:g}"])
+    print(render_table(
+        ["round t [s]", "streams/disk", "disks needed",
+         "max startup delay [s]"],
+        rows, title="Quantum Viking 2.1 (Table 1)"))
+
+    # Faster drive generations (same mechanics, scaled media rate).
+    print()
+    rows = []
+    for scale in (1.0, 2.0, 4.0):
+        spec = scaled_viking(rate_scale=scale)
+        per_disk = streams_per_disk(spec, 1.0)
+        disks = math.ceil(TARGET_USERS / per_disk)
+        rows.append([f"{scale:g}x", str(per_disk), str(disks)])
+    print(render_table(
+        ["media rate", "streams/disk", "disks needed"],
+        rows, title="Disk-generation sweep (t = 1 s)"))
+
+    # The deterministic alternative, for contrast.
+    from repro.core import worst_case_n_max
+    from repro.core.baselines import worst_case_components
+    spec = quantum_viking_2_1()
+    rot, seek, trans = worst_case_components(spec, paper_fragment_sizes(),
+                                             0.99, "min")
+    wc = worst_case_n_max(1.0, rot, seek, trans)
+    print(f"\nworst-case sizing would need "
+          f"{math.ceil(TARGET_USERS / wc)} disks "
+          f"({wc} streams/disk) -- "
+          f"{math.ceil(TARGET_USERS / wc) - math.ceil(TARGET_USERS / streams_per_disk(spec, 1.0))} "
+          f"more than the stochastic contract.")
+
+
+if __name__ == "__main__":
+    main()

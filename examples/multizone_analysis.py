@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""What multi-zone recording does to service guarantees.
+
+Walks through §3.2's chain of effects on the Table 1 drive:
+
+1. the zone-skewed transfer-rate law (outer tracks hold more data, so
+   sector-uniform requests favour fast zones),
+2. the resulting transfer-time distribution, its exact density
+   (eq. 3.2.7) and the moment-matched Gamma (eq. 3.2.10),
+3. how modelling vs ignoring the zones moves the Chernoff bound and the
+   admitted stream count.
+
+Run:  python examples/multizone_analysis.py
+"""
+
+import numpy as np
+
+from repro import (
+    MultiZoneTransferModel,
+    RoundServiceTimeModel,
+    n_max_plate,
+    paper_fragment_sizes,
+    quantum_viking_2_1,
+)
+from repro.analysis import render_table
+
+
+def ascii_plot(xs, series, width=60, height=12, labels=("exact", "gamma")):
+    """Tiny ASCII overlay plot of densities (no plotting deps)."""
+    top = max(max(s) for s in series)
+    rows = []
+    marks = ("*", "o")
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, s in enumerate(series):
+        for i in range(width):
+            x_idx = int(i / (width - 1) * (len(xs) - 1))
+            level = int((height - 1) * s[x_idx] / top)
+            grid[height - 1 - level][i] = marks[s_idx]
+    for row in grid:
+        rows.append("".join(row))
+    rows.append("-" * width)
+    rows.append(f"t: {xs[0] * 1e3:.0f} ms .. {xs[-1] * 1e3:.0f} ms   "
+                + "  ".join(f"{m}={l}" for m, l in zip(marks, labels)))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    spec = quantum_viking_2_1()
+    sizes = paper_fragment_sizes()
+    zm = spec.zone_map
+
+    # 1. Zone law -------------------------------------------------------
+    rows = []
+    for i in (0, 7, 14):
+        rows.append([str(i + 1), f"{zm.capacities[i] / 1e3:.1f}",
+                     f"{zm.rates[i] / 1e6:.2f}",
+                     f"{zm.zone_probabilities[i]:.4f}"])
+    print(render_table(
+        ["zone", "track cap [KB]", "rate [MB/s]", "P[hit]"],
+        rows, title=f"zone profile ({zm.zones} zones, "
+        f"outer/inner rate ratio {zm.r_max / zm.r_min:.2f}x)"))
+    print(f"mean rate (sector-uniform): {zm.mean_rate() / 1e6:.2f} MB/s, "
+          f"harmonic mean: {zm.harmonic_mean_rate() / 1e6:.2f} MB/s\n")
+
+    # 2. Transfer-time law ---------------------------------------------
+    transfer = MultiZoneTransferModel(zm, sizes)
+    print(f"transfer time: mean {transfer.mean() * 1e3:.2f} ms, "
+          f"sd {np.sqrt(transfer.var()) * 1e3:.2f} ms")
+    report = transfer.approximation_report(5e-3, 100e-3, points=120)
+    print(f"gamma approximation: max density error "
+          f"{100 * report.max_relative_error:.1f}% on 5-100 ms\n")
+    print(ascii_plot(report.times,
+                     [report.exact_pdf, report.approx_pdf]))
+
+    # 3. Effect on guarantees --------------------------------------------
+    t = 1.0
+    full = RoundServiceTimeModel.for_disk(spec, sizes, multizone=True)
+    flat = RoundServiceTimeModel.for_disk(spec, sizes, multizone=False)
+    rows = []
+    for n in (24, 26, 28):
+        rows.append([str(n), f"{full.b_late(n, t):.5f}",
+                     f"{flat.b_late(n, t):.5f}"])
+    rows.append(["N_max(1%)", str(n_max_plate(full, t, 0.01)),
+                 str(n_max_plate(flat, t, 0.01))])
+    print()
+    print(render_table(
+        ["", "multi-zone model (3.2)", "zones ignored"],
+        rows, title="what the zone model changes"))
+    print("\nIgnoring zones keeps the mean transfer time but loses its "
+          "zone-induced variance,\nmaking the bound optimistic -- the "
+          "multi-zone machinery is what keeps the\nguarantee honest on "
+          "real drives.")
+
+
+if __name__ == "__main__":
+    main()

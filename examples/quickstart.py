@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: stochastic service guarantees in ten lines.
+
+Builds the paper's Table 1 configuration, asks the analytic model how
+many concurrent streams one disk can sustain under a quality-of-service
+target, and double-checks the answer with a Monte-Carlo simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    GlitchModel,
+    RoundServiceTimeModel,
+    estimate_p_late,
+    n_max_perror,
+    n_max_plate,
+    paper_fragment_sizes,
+    quantum_viking_2_1,
+)
+
+
+def main() -> None:
+    # 1. The hardware: a Quantum Viking 2.1 (6720 cylinders, 15 zones,
+    #    inner-to-outer transfer-rate ratio ~1.6x), straight from the
+    #    paper's Table 1.
+    disk = quantum_viking_2_1()
+    print(f"disk: {disk.name}, {disk.geometry}")
+
+    # 2. The workload: VBR video fragments, one second of display time
+    #    each, Gamma-distributed with mean 200 KB and sd 100 KB.
+    sizes = paper_fragment_sizes()
+    print(f"fragments: mean {sizes.mean() / 1e3:.0f} KB, "
+          f"sd {sizes.std() / 1e3:.0f} KB")
+
+    # 3. The analytic model of one scheduling round (t = 1 s).
+    model = RoundServiceTimeModel.for_disk(disk, sizes)
+    t = 1.0
+    for n in (20, 26, 28, 30):
+        result = model.p_late(n, t)
+        print(f"  N={n:2d}: E[T_N]={model.mean(n):.3f}s, "
+              f"P[round late] <= {result.bound:.5f} "
+              f"(theta*={result.theta:.1f})")
+
+    # 4. Admission control, two ways.
+    delta = 0.01
+    n_round = n_max_plate(model, t, delta)
+    print(f"\nround-level guarantee: at most {n_round} streams keep "
+          f"P[round late] <= {delta:.0%}")
+
+    glitch = GlitchModel(model, t)
+    m, g, eps = 1200, 12, 0.01
+    n_stream = n_max_perror(glitch, m, g, eps)
+    print(f"stream-level guarantee: at most {n_stream} streams keep "
+          f"P[>= {g} glitches in {m} rounds] <= {eps:.0%}")
+
+    # 5. Trust but verify: simulate the admitted load.
+    sim = estimate_p_late(disk, sizes, n_stream, t, rounds=20_000)
+    print(f"\nsimulated p_late at N={n_stream}: {sim.p_late:.5f} "
+          f"(95% CI [{sim.ci_low:.5f}, {sim.ci_high:.5f}]) -- "
+          f"comfortably under the analytic bound "
+          f"{model.b_late(n_stream, t):.5f}")
+
+
+if __name__ == "__main__":
+    main()

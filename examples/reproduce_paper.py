@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's headline numbers in one run.
+
+A condensed version of the full benchmark harness (`pytest benchmarks/
+--benchmark-only` regenerates everything with assertions): this script
+recomputes every worked example, Figure 1's crossovers and Table 2's
+shape, and prints a paper-vs-reproduced scorecard.
+
+Run:  python examples/reproduce_paper.py        (~30 s)
+"""
+
+from repro import (
+    GlitchModel,
+    RoundServiceTimeModel,
+    estimate_p_error,
+    estimate_p_late,
+    n_max_perror,
+    n_max_plate,
+    oyang_seek_bound,
+    paper_fragment_sizes,
+    quantum_viking_2_1,
+    single_zone_viking,
+    worst_case_n_max,
+)
+from repro.analysis import render_table
+from repro.core.baselines import worst_case_components
+
+
+def main() -> None:
+    sizes = paper_fragment_sizes()
+    sz = single_zone_viking()
+    mz = quantum_viking_2_1()
+    sz_model = RoundServiceTimeModel.for_disk(sz, sizes, multizone=False)
+    mz_model = RoundServiceTimeModel.for_disk(mz, sizes)
+    glitch = GlitchModel(mz_model, t=1.0)
+
+    rows = []
+
+    def add(label, paper, value):
+        rows.append([label, paper, value])
+
+    # §3.1 worked example.
+    add("SEEK(27) [s]", "0.10932",
+        f"{oyang_seek_bound(sz.seek_curve, sz.cylinders, 27):.5f}")
+    add("§3.1 p_late(27)", "~0.0103", f"{sz_model.b_late(27, 1.0):.5f}")
+    add("§3.1 p_late(26)", "~0.00225", f"{sz_model.b_late(26, 1.0):.5f}")
+
+    # §3.2 worked example.
+    add("§3.2 p_late(26)", "0.00324", f"{mz_model.b_late(26, 1.0):.5f}")
+    add("§3.2 p_late(27)", "0.0133", f"{mz_model.b_late(27, 1.0):.5f}")
+    add("N_max^plate (1%)", "26", str(n_max_plate(mz_model, 1.0, 0.01)))
+
+    # §3.3 / Table 2 analytic side.
+    add("§3.3 p_error(28,1200,12)", "0.00014",
+        f"{glitch.p_error(28, 1200, 12):.5f}")
+    add("N_max^perror (1%)", "28",
+        str(n_max_perror(glitch, 1200, 12, 0.01)))
+
+    # Figure 1, simulated side.
+    sim28 = estimate_p_late(mz, sizes, 28, 1.0, rounds=20_000, seed=1)
+    sim29 = estimate_p_late(mz, sizes, 29, 1.0, rounds=20_000, seed=1)
+    add("Fig.1 simulated N_max (1%)", "28",
+        "28" if sim28.p_late <= 0.01 < sim29.p_late else "MISMATCH")
+
+    # Table 2, simulated side (coarser runs for speed).
+    sim31 = estimate_p_error(mz, sizes, 31, 1.0, 1200, 12, runs=60,
+                             seed=2)
+    sim32 = estimate_p_error(mz, sizes, 32, 1.0, 1200, 12, runs=40,
+                             seed=2)
+    add("Table 2 sim p_error(31)", "0.00678", f"{sim31.p_error:.4f}")
+    add("Table 2 sim p_error(32)", "0.454", f"{sim32.p_error:.3f}")
+
+    # eq. (4.1).
+    rot, seek, trans = worst_case_components(mz, sizes, 0.99, "min")
+    add("N_max^wc conservative", "10",
+        str(worst_case_n_max(1.0, rot, seek, trans)))
+    rot, seek, trans = worst_case_components(mz, sizes, 0.95, "mean")
+    add("N_max^wc optimistic", "14",
+        str(worst_case_n_max(1.0, rot, seek, trans)))
+
+    print(render_table(["quantity", "paper", "reproduced"], rows,
+                       title="Nerjes/Muth/Weikum PODS'97 -- scorecard"))
+
+
+if __name__ == "__main__":
+    main()

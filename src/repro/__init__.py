@@ -1,0 +1,143 @@
+"""Stochastic service guarantees for continuous data on multi-zone disks.
+
+A from-scratch reproduction of Nerjes, Muth & Weikum, *Stochastic
+Service Guarantees for Continuous Data on Multi-Zone Disks* (PODS 1997):
+an analytic Chernoff-bound model of the glitch rate of round-based
+continuous-media disk service, the admission control built on it, and
+the detailed disk simulator used to validate it.
+
+Quick tour::
+
+    from repro import (RoundServiceTimeModel, GlitchModel,
+                       quantum_viking_2_1, paper_fragment_sizes,
+                       n_max_perror)
+
+    spec = quantum_viking_2_1()               # Table 1 disk
+    sizes = paper_fragment_sizes()            # Gamma(200 KB, 100 KB)
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    glitch = GlitchModel(model, t=1.0)
+    print(model.b_late(26, 1.0))              # ~0.003  (paper: 0.00324)
+    print(n_max_perror(glitch, m=1200, g=12, epsilon=0.01))   # 28
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    ChernoffResult,
+    GlitchModel,
+    RoundServiceTimeModel,
+    AdmissionTable,
+    MultiZoneTransferModel,
+    chernoff_tail_bound,
+    n_max_perror,
+    n_max_plate,
+    oyang_seek_bound,
+    single_zone_transfer_time,
+    worst_case_n_max,
+)
+from repro.disk import (
+    DiskDrive,
+    DiskGeometry,
+    DiskRequest,
+    DiskSpec,
+    SeekCurve,
+    ZoneMap,
+    quantum_viking_2_1,
+    scaled_viking,
+    single_zone_viking,
+)
+from repro.distributions import (
+    Deterministic,
+    Distribution,
+    Empirical,
+    Gamma,
+    LogNormal,
+    Pareto,
+    Truncated,
+    Uniform,
+    binomial_tail,
+    hagerup_rub_tail,
+)
+from repro.errors import (
+    AdmissionError,
+    ChernoffError,
+    ConfigurationError,
+    DistributionError,
+    GeometryError,
+    ModelError,
+    ReproError,
+    SimulationError,
+)
+from repro.server import (
+    AdmissionController,
+    MediaServer,
+    estimate_p_error,
+    estimate_p_late,
+    simulate_rounds,
+)
+from repro.workload import (
+    Catalog,
+    MpegGopModel,
+    fragment_trace,
+    paper_fragment_sizes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "ChernoffResult",
+    "GlitchModel",
+    "RoundServiceTimeModel",
+    "AdmissionTable",
+    "MultiZoneTransferModel",
+    "chernoff_tail_bound",
+    "n_max_perror",
+    "n_max_plate",
+    "oyang_seek_bound",
+    "single_zone_transfer_time",
+    "worst_case_n_max",
+    # disk
+    "DiskDrive",
+    "DiskGeometry",
+    "DiskRequest",
+    "DiskSpec",
+    "SeekCurve",
+    "ZoneMap",
+    "quantum_viking_2_1",
+    "scaled_viking",
+    "single_zone_viking",
+    # distributions
+    "Deterministic",
+    "Distribution",
+    "Empirical",
+    "Gamma",
+    "LogNormal",
+    "Pareto",
+    "Truncated",
+    "Uniform",
+    "binomial_tail",
+    "hagerup_rub_tail",
+    # errors
+    "AdmissionError",
+    "ChernoffError",
+    "ConfigurationError",
+    "DistributionError",
+    "GeometryError",
+    "ModelError",
+    "ReproError",
+    "SimulationError",
+    # server
+    "AdmissionController",
+    "MediaServer",
+    "estimate_p_error",
+    "estimate_p_late",
+    "simulate_rounds",
+    # workload
+    "Catalog",
+    "MpegGopModel",
+    "fragment_trace",
+    "paper_fragment_sizes",
+]

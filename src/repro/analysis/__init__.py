@@ -1,0 +1,35 @@
+"""Statistical estimators and experiment-reporting utilities."""
+
+from repro.analysis.stats import (
+    wilson_interval,
+    mean_confidence_interval,
+    batch_means,
+)
+from repro.analysis.tables import render_table, format_probability
+from repro.analysis.compare import ComparisonRow, comparison_table
+from repro.analysis.plotting import ascii_chart
+from repro.analysis.experiments import (
+    Experiment,
+    REGISTRY,
+    all_experiments,
+)
+from repro.analysis.report import build_report, write_report
+from repro.analysis.sensitivity import SensitivityRow, admission_sensitivity
+
+__all__ = [
+    "wilson_interval",
+    "mean_confidence_interval",
+    "batch_means",
+    "render_table",
+    "format_probability",
+    "ComparisonRow",
+    "comparison_table",
+    "ascii_chart",
+    "Experiment",
+    "REGISTRY",
+    "all_experiments",
+    "build_report",
+    "write_report",
+    "SensitivityRow",
+    "admission_sensitivity",
+]

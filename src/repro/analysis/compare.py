@@ -1,0 +1,61 @@
+"""Analytic-vs-simulated comparison records.
+
+Every validation experiment produces rows pairing the analytic bound
+with the simulated estimate (plus its confidence interval); the
+``conservative`` flag checks the defining property of the paper's
+bounds -- the analytic value must sit at or above the simulated truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_probability, render_table
+
+__all__ = ["ComparisonRow", "comparison_table"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One (parameter, analytic, simulated) comparison."""
+
+    label: str
+    analytic: float
+    simulated: float
+    ci_low: float | None = None
+    ci_high: float | None = None
+
+    @property
+    def conservative(self) -> bool:
+        """True when the analytic bound does not undercut the simulated
+        value (allowing for the CI when one is attached)."""
+        reference = self.simulated if self.ci_low is None else self.ci_low
+        return self.analytic >= reference
+
+    @property
+    def slack(self) -> float:
+        """Analytic minus simulated (how much the bound gives away)."""
+        return self.analytic - self.simulated
+
+
+def comparison_table(rows, title: str | None = None,
+                     label_header: str = "N") -> str:
+    """Render comparison rows the way the paper's Table 2 is laid out."""
+    body = []
+    for row in rows:
+        if row.ci_low is None:
+            ci = "-"
+        else:
+            ci = (f"[{format_probability(row.ci_low)}, "
+                  f"{format_probability(row.ci_high)}]")
+        body.append([
+            row.label,
+            format_probability(row.analytic),
+            format_probability(row.simulated),
+            ci,
+            "yes" if row.conservative else "NO",
+        ])
+    return render_table(
+        [label_header, "analytic", "simulated", "sim 95% CI",
+         "conservative"],
+        body, title=title)

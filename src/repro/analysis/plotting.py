@@ -1,0 +1,105 @@
+"""Dependency-free ASCII charts for benchmark artifacts.
+
+The benches regenerate the paper's *figures* as data tables plus an
+ASCII rendering (no plotting libraries are available offline).  Two
+chart types cover the paper's needs: an xy line/scatter overlay
+(Figure 1) and a log-scale variant for probability curves spanning
+orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "*o+x#@"
+
+
+def _scale(value: float, lo: float, hi: float, log: bool) -> float:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return 0.5
+    return (value - lo) / (hi - lo)
+
+
+def ascii_chart(x: Sequence[float],
+                series: dict[str, Sequence[float]],
+                width: int = 64, height: int = 16,
+                log_y: bool = False, y_floor: float = 1e-6,
+                title: str | None = None) -> str:
+    """Render overlaid series as an ASCII chart.
+
+    Parameters
+    ----------
+    x:
+        Common x coordinates (monotone).
+    series:
+        Mapping of label to y values (same length as ``x``).
+    log_y:
+        Use a log10 y axis; values at or below ``y_floor`` are clamped
+        to the floor (drawn on the axis), which suits probability
+        curves with exact zeros.
+    """
+    if len(x) < 2:
+        raise ConfigurationError("need >= 2 x points")
+    if not series:
+        raise ConfigurationError("need >= 1 series")
+    for label, ys in series.items():
+        if len(ys) != len(x):
+            raise ConfigurationError(
+                f"series {label!r} has {len(ys)} points, "
+                f"expected {len(x)}")
+    if len(series) > len(_MARKS):
+        raise ConfigurationError(
+            f"at most {len(_MARKS)} series supported")
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart too small to be legible")
+
+    cleaned = {
+        label: [max(float(v), y_floor) if log_y else float(v)
+                for v in ys]
+        for label, ys in series.items()
+    }
+    y_lo = min(min(ys) for ys in cleaned.values())
+    y_hi = max(max(ys) for ys in cleaned.values())
+    if log_y:
+        y_lo = max(y_lo, y_floor)
+        y_hi = max(y_hi, y_lo * 10)
+    x_lo, x_hi = float(x[0]), float(x[-1])
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (label, ys) in enumerate(cleaned.items()):
+        mark = _MARKS[s_idx]
+        for xi, yi in zip(x, ys):
+            col = round(_scale(float(xi), x_lo, x_hi, False)
+                        * (width - 1))
+            row = round(_scale(yi, y_lo, y_hi, log_y) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    def y_label(fraction: float) -> str:
+        if log_y:
+            value = 10 ** (math.log10(y_lo)
+                           + fraction * (math.log10(y_hi)
+                                         - math.log10(y_lo)))
+        else:
+            value = y_lo + fraction * (y_hi - y_lo)
+        return f"{value:8.2e}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        fraction = 1.0 - i / (height - 1)
+        label = y_label(fraction) if i % max(height // 4, 1) == 0 else \
+            " " * 8
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(f"{'':8} x: {x_lo:g} .. {x_hi:g}    "
+                 + "  ".join(f"{_MARKS[i]}={label}"
+                             for i, label in enumerate(cleaned)))
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Reproduction-report generator.
+
+Assembles a single markdown document from the experiment registry and
+whatever result artifacts the benches have written -- the "what did
+this checkout actually measure" companion to the curated EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.experiments import all_experiments, result_path
+
+__all__ = ["build_report", "write_report"]
+
+
+def build_report(results_base: Path | str | None = None) -> str:
+    """Markdown report over all registered experiments.
+
+    Experiments whose artifacts are missing are listed as "not yet run"
+    so the report doubles as a coverage check.
+    """
+    lines = [
+        "# Reproduction report",
+        "",
+        "Generated from `benchmarks/results/`; regenerate the inputs "
+        "with `pytest benchmarks/ --benchmark-only`.",
+        "",
+    ]
+    missing: list[str] = []
+    for section, title in (("E", "Paper artifacts"),
+                           ("A", "Ablations and extensions")):
+        lines.append(f"## {title}")
+        lines.append("")
+        for exp in all_experiments():
+            if not exp.id.startswith(section):
+                continue
+            lines.append(f"### {exp.id}: {exp.title}")
+            lines.append("")
+            lines.append(f"*{exp.paper_artifact}* "
+                         f"(`benchmarks/{exp.bench}`)")
+            lines.append("")
+            for name in exp.results:
+                path = result_path(name, base=results_base)
+                if path.is_file():
+                    lines.append("```")
+                    lines.append(path.read_text(encoding="utf-8")
+                                 .rstrip())
+                    lines.append("```")
+                else:
+                    missing.append(f"{exp.id}/{name}")
+                    lines.append(f"*artifact `{name}` not yet run*")
+                lines.append("")
+    if missing:
+        lines.append("## Missing artifacts")
+        lines.append("")
+        lines.extend(f"- {entry}" for entry in missing)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(path: Path | str,
+                 results_base: Path | str | None = None) -> Path:
+    """Write the report to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(build_report(results_base), encoding="utf-8")
+    return path

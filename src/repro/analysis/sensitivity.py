@@ -1,0 +1,119 @@
+"""Sensitivity of the admission limit to configuration parameters.
+
+§5: the lookup table "has to be updated by re-evaluating the analytic
+model only if the disk configuration or general data characteristics
+change".  This module quantifies *how much* each parameter matters:
+finite-difference sensitivities of ``N_max^perror`` with respect to the
+drive's mechanics (rotation speed, seek coefficients, zone capacities)
+and the workload moments (mean fragment size, coefficient of
+variation), so an operator knows which spec-sheet numbers deserve
+re-measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.glitch import GlitchModel
+from repro.core.admission import n_max_perror
+from repro.core.service_time import RoundServiceTimeModel
+from repro.disk.presets import DiskSpec
+from repro.disk.seek import SeekCurve
+from repro.disk.zones import ZoneMap
+from repro.distributions import Gamma
+from repro.errors import ConfigurationError
+
+__all__ = ["SensitivityRow", "admission_sensitivity"]
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """N_max at -delta / base / +delta of one parameter."""
+
+    parameter: str
+    rel_delta: float
+    n_max_low: int
+    n_max_base: int
+    n_max_high: int
+
+    @property
+    def swing(self) -> int:
+        """Total N_max movement across the +-delta window."""
+        return self.n_max_high - self.n_max_low
+
+
+def _perturbed_specs(spec: DiskSpec, factor: float) -> dict[str, DiskSpec]:
+    """One spec per perturbable hardware parameter, scaled by
+    ``factor``."""
+    zone = spec.zone_map
+    curve = spec.seek_curve
+    return {
+        "rotation time": replace(
+            spec, zone_map=ZoneMap(zone.capacities, zone.rot * factor)),
+        "zone capacities": replace(
+            spec, zone_map=ZoneMap(zone.capacities * factor, zone.rot)),
+        "seek sqrt coefficient": replace(
+            spec, seek_curve=SeekCurve(
+                curve.a_sqrt, curve.b_sqrt * factor, curve.a_lin,
+                curve.b_lin, curve.threshold)),
+        "seek linear coefficient": replace(
+            spec, seek_curve=SeekCurve(
+                curve.a_sqrt, curve.b_sqrt, curve.a_lin,
+                curve.b_lin * factor, curve.threshold)),
+    }
+
+
+def _n_max(spec: DiskSpec, mean: float, cv: float, t: float, m: int,
+           g: int, epsilon: float) -> int:
+    sizes = Gamma.from_mean_std(mean, cv * mean)
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    return n_max_perror(GlitchModel(model, t), m, g, epsilon)
+
+
+def admission_sensitivity(spec: DiskSpec, mean_size: float, cv: float,
+                          t: float, m: int, g: int, epsilon: float,
+                          rel_delta: float = 0.10) -> list[SensitivityRow]:
+    """Finite-difference sensitivity table of ``N_max^perror``.
+
+    Every hardware and workload parameter is scaled by ``1 +- rel_delta``
+    in turn while the rest stay at base values.
+    """
+    if not (0.0 < rel_delta < 1.0):
+        raise ConfigurationError(
+            f"rel_delta must be in (0, 1), got {rel_delta!r}")
+    base = _n_max(spec, mean_size, cv, t, m, g, epsilon)
+    rows = []
+
+    lows = _perturbed_specs(spec, 1.0 - rel_delta)
+    highs = _perturbed_specs(spec, 1.0 + rel_delta)
+    for name in lows:
+        rows.append(SensitivityRow(
+            parameter=name, rel_delta=rel_delta,
+            n_max_low=_n_max(lows[name], mean_size, cv, t, m, g,
+                             epsilon),
+            n_max_base=base,
+            n_max_high=_n_max(highs[name], mean_size, cv, t, m, g,
+                              epsilon)))
+
+    rows.append(SensitivityRow(
+        parameter="mean fragment size", rel_delta=rel_delta,
+        n_max_low=_n_max(spec, mean_size * (1 - rel_delta), cv, t, m, g,
+                         epsilon),
+        n_max_base=base,
+        n_max_high=_n_max(spec, mean_size * (1 + rel_delta), cv, t, m,
+                          g, epsilon)))
+    rows.append(SensitivityRow(
+        parameter="size coefficient of variation", rel_delta=rel_delta,
+        n_max_low=_n_max(spec, mean_size, cv * (1 - rel_delta), t, m, g,
+                         epsilon),
+        n_max_base=base,
+        n_max_high=_n_max(spec, mean_size, cv * (1 + rel_delta), t, m,
+                          g, epsilon)))
+    rows.append(SensitivityRow(
+        parameter="round length", rel_delta=rel_delta,
+        n_max_low=_n_max(spec, mean_size, cv, t * (1 - rel_delta),
+                         int(m / (1 - rel_delta)), g, epsilon),
+        n_max_base=base,
+        n_max_high=_n_max(spec, mean_size, cv, t * (1 + rel_delta),
+                          int(m / (1 + rel_delta)), g, epsilon)))
+    return rows

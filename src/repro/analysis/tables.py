@@ -1,0 +1,52 @@
+"""Plain-text table rendering for benchmark/experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["render_table", "format_probability"]
+
+
+def format_probability(p: float, digits: int = 5) -> str:
+    """Human-friendly probability: fixed point in the mid range,
+    scientific for deep tails, bare ``0``/``1`` at the ends."""
+    if p == 0.0:
+        return "0"
+    if p >= 1.0:
+        return "1"
+    if p >= 10.0 ** (-digits):
+        return f"{p:.{digits}f}"
+    return f"{p:.2e}"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table (the benches print paper tables
+    with this)."""
+    if not headers:
+        raise ConfigurationError("headers must be non-empty")
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i])
+                          for i, cell in enumerate(cells)).rstrip()
+
+    rule = "-+-".join("-" * w for w in widths)
+    out: list[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(rule)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,323 @@
+"""Command-line interface.
+
+Exposes the admission-control math to operators without writing Python::
+
+    python -m repro admission --mean-kb 200 --std-kb 100 --round 1.0
+    python -m repro plate --n-from 20 --n-to 32
+    python -m repro simulate --n 28 --rounds 20000
+    python -m repro worstcase
+    python -m repro approx
+
+All commands default to the paper's Table 1 drive (Quantum Viking 2.1);
+``--disk single-zone`` selects the §3.1 example disk and
+``--rate-scale`` models faster drive generations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis import format_probability, render_table
+from repro.core import (
+    GlitchModel,
+    MultiZoneTransferModel,
+    RoundServiceTimeModel,
+    n_max_perror,
+    n_max_plate,
+    worst_case_n_max,
+)
+from repro.core.baselines import worst_case_components
+from repro.disk import quantum_viking_2_1, scaled_viking, single_zone_viking
+from repro.distributions import Gamma
+from repro.server.simulation import estimate_p_error, estimate_p_late
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--disk", choices=("viking", "single-zone"),
+                        default="viking",
+                        help="disk preset (default: Table 1 Viking)")
+    parser.add_argument("--rate-scale", type=float, default=1.0,
+                        help="scale the media transfer rate (drive "
+                        "generations)")
+    parser.add_argument("--mean-kb", type=float, default=200.0,
+                        help="mean fragment size in KB (1000 bytes)")
+    parser.add_argument("--std-kb", type=float, default=100.0,
+                        help="fragment-size standard deviation in KB")
+    parser.add_argument("--round", type=float, default=1.0, dest="t",
+                        help="round length in seconds")
+
+
+def _spec(args: argparse.Namespace):
+    if args.disk == "single-zone":
+        spec = single_zone_viking()
+    elif args.rate_scale != 1.0:
+        spec = scaled_viking(rate_scale=args.rate_scale)
+    else:
+        spec = quantum_viking_2_1()
+    return spec
+
+
+def _model(args: argparse.Namespace) -> RoundServiceTimeModel:
+    sizes = Gamma.from_mean_std(args.mean_kb * 1000.0,
+                                args.std_kb * 1000.0)
+    return RoundServiceTimeModel.for_disk(_spec(args), sizes)
+
+
+def _cmd_admission(args: argparse.Namespace) -> int:
+    model = _model(args)
+    glitch = GlitchModel(model, args.t)
+    plate = n_max_plate(model, args.t, args.delta)
+    perror = n_max_perror(glitch, args.m, args.g, args.epsilon)
+    print(render_table(
+        ["criterion", "N_max"],
+        [
+            [f"round-level: P[round late] <= {args.delta:g}",
+             str(plate)],
+            [f"stream-level: P[>= {args.g} glitches in {args.m} rounds]"
+             f" <= {args.epsilon:g}", str(perror)],
+        ],
+        title=f"admission limits ({_spec(args).name}, t={args.t:g}s)"))
+    return 0
+
+
+def _cmd_plate(args: argparse.Namespace) -> int:
+    model = _model(args)
+    rows = []
+    for n in range(args.n_from, args.n_to + 1):
+        result = model.p_late(n, args.t)
+        rows.append([str(n), f"{model.mean(n):.4f}",
+                     format_probability(result.bound)])
+    print(render_table(["N", "E[T_N] [s]", "b_late(N, t)"], rows,
+                       title=f"Chernoff lateness bounds "
+                       f"({_spec(args).name}, t={args.t:g}s)"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    sizes = Gamma.from_mean_std(args.mean_kb * 1000.0,
+                                args.std_kb * 1000.0)
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    est = estimate_p_late(spec, sizes, args.n, args.t,
+                          rounds=args.rounds, seed=args.seed)
+    rows = [
+        ["simulated p_late", format_probability(est.p_late)],
+        ["95% CI", f"[{format_probability(est.ci_low)}, "
+                   f"{format_probability(est.ci_high)}]"],
+        ["analytic bound", format_probability(
+            model.b_late(args.n, args.t))],
+    ]
+    if args.perror:
+        pe = estimate_p_error(spec, sizes, args.n, args.t, args.m,
+                              args.g, runs=args.runs, seed=args.seed)
+        glitch = GlitchModel(model, args.t)
+        rows.append(["simulated p_error", format_probability(pe.p_error)])
+        rows.append(["analytic p_error bound", format_probability(
+            glitch.p_error(args.n, args.m, args.g))])
+    print(render_table(
+        ["quantity", "value"], rows,
+        title=f"simulation at N={args.n} ({est.rounds} rounds)"))
+    return 0
+
+
+def _cmd_worstcase(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    sizes = Gamma.from_mean_std(args.mean_kb * 1000.0,
+                                args.std_kb * 1000.0)
+    rows = []
+    for quantile, rate, label in ((0.99, "min", "conservative"),
+                                  (0.95, "mean", "optimistic")):
+        rot, seek, trans = worst_case_components(spec, sizes, quantile,
+                                                 rate)
+        rows.append([label, f"{1e3 * trans:.1f}",
+                     str(worst_case_n_max(args.t, rot, seek, trans))])
+    print(render_table(
+        ["variant", "T_trans^max [ms]", "N_max^wc"], rows,
+        title=f"deterministic worst case (eq. 4.1, {spec.name})"))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.analysis.sensitivity import admission_sensitivity
+
+    rows = admission_sensitivity(
+        _spec(args), mean_size=args.mean_kb * 1000.0,
+        cv=args.std_kb / args.mean_kb, t=args.t, m=args.m, g=args.g,
+        epsilon=args.epsilon, rel_delta=args.rel_delta)
+    print(render_table(
+        [f"parameter (+-{args.rel_delta:.0%})", "N_max low",
+         "N_max base", "N_max high", "swing"],
+        [[r.parameter, str(r.n_max_low), str(r.n_max_base),
+          str(r.n_max_high), str(r.swing)] for r in rows],
+        title="admission-limit sensitivity"))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.tuning import tune_round_length
+
+    tuning = tune_round_length(
+        _spec(args), display_bandwidth=args.mean_kb * 1000.0,
+        cv=args.std_kb / args.mean_kb,
+        playback_seconds=args.playback)
+    print(render_table(
+        ["round t [s]", "N_max", "bandwidth [MB/s]",
+         "startup delay [s]"],
+        [[f"{p.t:g}", str(p.n_max), f"{p.bandwidth / 1e6:.2f}",
+          f"{p.startup_delay:g}"] for p in tuning.points],
+        title="round-length sweep"))
+    print(f"\nknee: t = {tuning.knee.t:g} s "
+          f"({tuning.knee.bandwidth / 1e6:.2f} MB/s, "
+          f">= {tuning.knee_fraction:.0%} of peak)")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.distributions.fit import fit_fragment_sizes
+    from repro.workload.trace_io import load_trace
+
+    sample = load_trace(args.trace)
+    results = fit_fragment_sizes(sample, cap=args.cap)
+    print(render_table(
+        ["law", "mean [KB]", "sd [KB]", "KS statistic", "KS p-value"],
+        [[r.name, f"{r.distribution.mean() / 1e3:.1f}",
+          f"{r.distribution.std() / 1e3:.1f}",
+          f"{r.ks_statistic:.4f}", f"{r.ks_pvalue:.3g}"]
+         for r in results],
+        title=f"fragment-size fits ({sample.size} samples, "
+        f"best first)"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+
+    target = write_report(args.output)
+    print(f"report written to {target}")
+    return 0
+
+
+def _cmd_approx(args: argparse.Namespace) -> int:
+    spec = _spec(args)
+    if spec.zone_map.zones == 1:
+        print("single-zone disk: the Gamma transfer time is exact; "
+              "nothing to approximate", file=sys.stderr)
+        return 1
+    sizes = Gamma.from_mean_std(args.mean_kb * 1000.0,
+                                args.std_kb * 1000.0)
+    transfer = MultiZoneTransferModel(spec.zone_map, sizes)
+    report = transfer.approximation_report(args.t_lo * 1e-3,
+                                           args.t_hi * 1e-3)
+    print(render_table(
+        ["quantity", "value"],
+        [
+            ["E[T_trans] [ms]", f"{1e3 * transfer.mean():.3f}"],
+            ["sd[T_trans] [ms]", f"{1e3 * transfer.var() ** 0.5:.3f}"],
+            ["max density error",
+             f"{100 * report.max_relative_error:.2f} %"],
+        ],
+        title=f"Gamma approximation (eq. 3.2.10) on "
+        f"{args.t_lo:g}-{args.t_hi:g} ms"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stochastic service guarantees for continuous data "
+        "on multi-zone disks (PODS'97 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("admission", help="compute N_max limits")
+    _add_common(p)
+    p.add_argument("--delta", type=float, default=0.01,
+                   help="round-lateness tolerance (eq. 3.1.7)")
+    p.add_argument("--epsilon", type=float, default=0.01,
+                   help="stream-error tolerance (eq. 3.3.6)")
+    p.add_argument("-m", type=int, default=1200,
+                   help="rounds per stream (playback length)")
+    p.add_argument("-g", type=int, default=12,
+                   help="tolerated glitches per stream")
+    p.set_defaults(func=_cmd_admission)
+
+    p = sub.add_parser("plate", help="tabulate b_late(N, t)")
+    _add_common(p)
+    p.add_argument("--n-from", type=int, default=20)
+    p.add_argument("--n-to", type=int, default=32)
+    p.set_defaults(func=_cmd_plate)
+
+    p = sub.add_parser("simulate", help="Monte-Carlo validation")
+    _add_common(p)
+    p.add_argument("--n", type=int, required=True,
+                   help="multiprogramming level to simulate")
+    p.add_argument("--rounds", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--perror", action="store_true",
+                   help="also estimate the stream-level p_error")
+    p.add_argument("-m", type=int, default=1200)
+    p.add_argument("-g", type=int, default=12)
+    p.add_argument("--runs", type=int, default=50)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("worstcase",
+                       help="deterministic worst case (eq. 4.1)")
+    _add_common(p)
+    p.set_defaults(func=_cmd_worstcase)
+
+    p = sub.add_parser("approx",
+                       help="multi-zone Gamma approximation quality")
+    _add_common(p)
+    p.add_argument("--t-lo", type=float, default=5.0,
+                   help="range start in ms")
+    p.add_argument("--t-hi", type=float, default=100.0,
+                   help="range end in ms")
+    p.set_defaults(func=_cmd_approx)
+
+    p = sub.add_parser("sensitivity",
+                       help="N_max sensitivity to parameters")
+    _add_common(p)
+    p.add_argument("--epsilon", type=float, default=0.01)
+    p.add_argument("-m", type=int, default=1200)
+    p.add_argument("-g", type=int, default=12)
+    p.add_argument("--rel-delta", type=float, default=0.10)
+    p.set_defaults(func=_cmd_sensitivity)
+
+    p = sub.add_parser("tune", help="round-length knee finder")
+    _add_common(p)
+    p.add_argument("--playback", type=float, default=1200.0,
+                   help="stream length in seconds")
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("fit",
+                       help="fit size laws to a fragment trace CSV")
+    p.add_argument("trace", help="trace file from workload.trace_io")
+    p.add_argument("--cap", type=float, default=None,
+                   help="truncation cap in bytes for heavy tails")
+    p.set_defaults(func=_cmd_fit)
+
+    p = sub.add_parser("report",
+                       help="write the reproduction report markdown")
+    p.add_argument("--output", default="reproduction_report.md")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as exc:  # surface library errors as CLI errors
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""The paper's primary contribution: the analytic service-guarantee model.
+
+Layer map (bottom-up):
+
+- :mod:`repro.core.mgf` -- log-moment-generating-function algebra; builds
+  the transform of eq. (3.1.4)/(3.2.11) as a product of per-component
+  terms.
+- :mod:`repro.core.chernoff` -- the tail-bound optimiser of
+  eq. (3.1.5)/(3.2.12).
+- :mod:`repro.core.seek` -- Oyang's worst-case lumped SCAN seek bound.
+- :mod:`repro.core.transfer` -- transfer-time laws: exact single-zone,
+  and the multi-zone density of eq. (3.2.7) with its moment-matched
+  Gamma approximation (eq. 3.2.10).
+- :mod:`repro.core.service_time` -- the round service time ``T_N`` and
+  ``b_late(N, t)`` (eq. 3.1.6).
+- :mod:`repro.core.glitch` -- per-stream glitch probability
+  (eq. 3.3.3) and the ``p_error`` bound over ``M`` rounds (eq. 3.3.5).
+- :mod:`repro.core.admission` -- ``N_max`` solvers (eq. 3.1.7, 3.3.6,
+  4.1) and the §5 lookup tables.
+- :mod:`repro.core.baselines` -- prior-work comparators (deterministic
+  worst case, CLT normal approximation, Tschebyscheff bound,
+  independent-seeks model).
+"""
+
+from repro.core.mgf import (
+    LogMGF,
+    DistributionTerm,
+    ConstantTerm,
+    UniformTerm,
+    GammaTerm,
+    NumericTerm,
+    ProductMGF,
+)
+from repro.core.chernoff import ChernoffResult, chernoff_tail_bound
+from repro.core.seek import oyang_seek_bound, equidistant_positions
+from repro.core.transfer import (
+    single_zone_transfer_time,
+    MultiZoneTransferModel,
+)
+from repro.core.service_time import RoundServiceTimeModel
+from repro.core.glitch import GlitchModel
+from repro.core.admission import (
+    n_max_plate,
+    n_max_perror,
+    worst_case_n_max,
+    AdmissionTable,
+)
+from repro.core.baselines import (
+    normal_approximation_p_late,
+    tschebyscheff_p_late,
+    independent_seek_time_distribution,
+)
+from repro.core.heterogeneous import (
+    StreamClass,
+    class_mixture_model,
+    fixed_mix_p_late,
+)
+from repro.core.buffering import BufferChain, PrefetchPlan
+from repro.core.mixed import MixedWorkloadModel
+from repro.core.striping import (
+    balanced_glitch_bound,
+    random_phase_glitch_bound,
+    n_max_balanced,
+    n_max_random_phases,
+)
+from repro.core.sharing import (
+    zipf_popularity,
+    expected_distinct_fetches,
+    sharing_factor,
+    effective_stream_capacity,
+)
+from repro.core.faults import recalibration_disturbance, with_recalibration
+from repro.core.farm import FarmPlan, plan_farm, degraded_mode_n_max
+from repro.core.gss import gss_group_p_late, gss_tradeoff, n_max_gss
+from repro.core.tuning import tune_round_length
+from repro.core.buffering import n_max_hiccup, optimal_prefill
+
+__all__ = [
+    "LogMGF",
+    "DistributionTerm",
+    "ConstantTerm",
+    "UniformTerm",
+    "GammaTerm",
+    "NumericTerm",
+    "ProductMGF",
+    "ChernoffResult",
+    "chernoff_tail_bound",
+    "oyang_seek_bound",
+    "equidistant_positions",
+    "single_zone_transfer_time",
+    "MultiZoneTransferModel",
+    "RoundServiceTimeModel",
+    "GlitchModel",
+    "n_max_plate",
+    "n_max_perror",
+    "worst_case_n_max",
+    "AdmissionTable",
+    "normal_approximation_p_late",
+    "tschebyscheff_p_late",
+    "independent_seek_time_distribution",
+    "StreamClass",
+    "class_mixture_model",
+    "fixed_mix_p_late",
+    "BufferChain",
+    "PrefetchPlan",
+    "MixedWorkloadModel",
+    "balanced_glitch_bound",
+    "random_phase_glitch_bound",
+    "n_max_balanced",
+    "n_max_random_phases",
+    "zipf_popularity",
+    "expected_distinct_fetches",
+    "sharing_factor",
+    "effective_stream_capacity",
+    "recalibration_disturbance",
+    "with_recalibration",
+    "FarmPlan",
+    "plan_farm",
+    "degraded_mode_n_max",
+    "gss_group_p_late",
+    "gss_tradeoff",
+    "n_max_gss",
+    "tune_round_length",
+    "n_max_hiccup",
+    "optimal_prefill",
+]

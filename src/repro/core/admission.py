@@ -1,0 +1,136 @@
+"""Maximum-admissible-stream solvers and §5 lookup tables.
+
+Three admission criteria from the paper:
+
+- ``N_max^plate`` (eq. 3.1.7): largest ``N`` with ``b_late(N,t) <= delta``.
+- ``N_max^perror`` (eq. 3.3.6): largest ``N`` with
+  ``p_error(N,t,M,g) <= epsilon``.
+- ``N_max^wc`` (eq. 4.1): the deterministic worst-case count.
+
+Both bound families are non-decreasing in ``N`` (more requests per round
+can only push the round later), so a linear scan with early exit is exact
+and cheap; the lookup table of §5 precomputes the scans for a grid of
+tolerance thresholds so run-time admission is a dictionary probe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.glitch import GlitchModel
+from repro.core.service_time import RoundServiceTimeModel
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "n_max_plate",
+    "n_max_perror",
+    "worst_case_n_max",
+    "AdmissionTable",
+]
+
+
+def _scan_max_n(predicate, n_cap: int) -> int:
+    """Largest ``n`` in ``[1, n_cap]`` with ``predicate(n)`` true, under
+    monotonicity (true for a prefix).  Returns 0 if even ``n=1`` fails."""
+    best = 0
+    for n in range(1, n_cap + 1):
+        if predicate(n):
+            best = n
+        else:
+            break
+    return best
+
+
+def n_max_plate(service_model: RoundServiceTimeModel, t: float,
+                delta: float, n_cap: int = 512) -> int:
+    """``N_max^plate = max{N : b_late(N, t) <= delta}`` (eq. 3.1.7)."""
+    if not (0.0 < delta < 1.0):
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta!r}")
+    if n_cap < 1:
+        raise ConfigurationError(f"n_cap must be >= 1, got {n_cap!r}")
+    return _scan_max_n(lambda n: service_model.b_late(n, t) <= delta, n_cap)
+
+
+def n_max_perror(glitch_model: GlitchModel, m: int, g: int,
+                 epsilon: float, n_cap: int = 512) -> int:
+    """``N_max^perror = max{N : p_error(N,t,M,g) <= epsilon}``
+    (eq. 3.3.6)."""
+    if not (0.0 < epsilon < 1.0):
+        raise ConfigurationError(
+            f"epsilon must be in (0, 1), got {epsilon!r}")
+    if n_cap < 1:
+        raise ConfigurationError(f"n_cap must be >= 1, got {n_cap!r}")
+    return _scan_max_n(
+        lambda n: glitch_model.p_error(n, m, g) <= epsilon, n_cap)
+
+
+def worst_case_n_max(t: float, rot: float, seek_max: float,
+                     transfer_max: float) -> int:
+    """Deterministic worst case, eq. (4.1)::
+
+        N_max^wc = floor(t / (T_rot^max + T_seek^max + T_trans^max))
+
+    Callers choose the percentile/rate convention for ``transfer_max``
+    (the paper uses the 99-percentile fragment at the innermost-zone
+    rate, or optimistically the 95-percentile at the mean rate).
+    """
+    for name, value in (("t", t), ("rot", rot), ("seek_max", seek_max),
+                        ("transfer_max", transfer_max)):
+        if not (value > 0.0 and math.isfinite(value)):
+            raise ConfigurationError(
+                f"{name} must be positive and finite, got {value!r}")
+    return int(t // (rot + seek_max + transfer_max))
+
+
+@dataclass
+class AdmissionTable:
+    """Precomputed ``N_max`` lookup table (§5).
+
+    "To implement this form of admission control, we suggest using a
+    lookup table with precomputed values of N_max for different tolerance
+    thresholds of the glitch rate."  Keys are the tolerance parameters;
+    the table needs re-evaluation only when disk or data characteristics
+    change.
+    """
+
+    glitch_model: GlitchModel
+    m: int
+    g: int
+    n_cap: int = 256
+    _plate: dict[float, int] = field(default_factory=dict, repr=False)
+    _perror: dict[float, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.g < 0 or self.g > self.m:
+            raise ConfigurationError(
+                f"invalid (m, g) = ({self.m}, {self.g})")
+
+    # ------------------------------------------------------------------
+    def build(self, plate_thresholds=(), perror_thresholds=()) -> None:
+        """Precompute ``N_max`` for every requested threshold."""
+        for delta in plate_thresholds:
+            self.n_max_plate(delta)
+        for eps in perror_thresholds:
+            self.n_max_perror(eps)
+
+    def n_max_plate(self, delta: float) -> int:
+        """``N_max^plate`` for round-lateness tolerance ``delta``
+        (computed once, then served from the table)."""
+        if delta not in self._plate:
+            self._plate[delta] = n_max_plate(
+                self.glitch_model.service_model, self.glitch_model.t,
+                delta, n_cap=self.n_cap)
+        return self._plate[delta]
+
+    def n_max_perror(self, epsilon: float) -> int:
+        """``N_max^perror`` for stream-glitch tolerance ``epsilon``."""
+        if epsilon not in self._perror:
+            self._perror[epsilon] = n_max_perror(
+                self.glitch_model, self.m, self.g, epsilon,
+                n_cap=self.n_cap)
+        return self._perror[epsilon]
+
+    def entries(self) -> dict[str, dict[float, int]]:
+        """Snapshot of all precomputed entries."""
+        return {"plate": dict(self._plate), "perror": dict(self._perror)}

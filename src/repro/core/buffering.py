@@ -1,0 +1,227 @@
+"""Client buffering and server prefetch (the paper's §6 outlook).
+
+§6: "Buffering data on the server and/or the client would enable a more
+efficient disk scheduling by preloading fragments ahead of time and
+saving resources for heavy-load periods later."
+
+The analysis here makes that quantitative with a buffer-occupancy
+Markov chain.  Let ``b`` be the number of fragments buffered at a
+client when a round starts; each round the client consumes one fragment
+(a *visible hiccup* if ``b = 0``) and the server delivers ``D``
+fragments (the due one, plus possibly prefetched ones), capped by the
+buffer capacity ``B``::
+
+    b' = min(b - 1{b >= 1} + D, B)
+
+Two core facts this module exposes:
+
+- **Without prefetch buffering does not help the long-run hiccup
+  rate.**  With ``D <= 1`` the chain's only upward move is out of state
+  0, so the stationary mass sits on {0, 1} and the hiccup rate equals
+  the glitch rate ``p`` exactly, whatever ``B`` is.  (Buffers only delay
+  the hiccups.)
+- **With prefetch the hiccup rate drops geometrically in ``B``.**  A
+  modest probability of a second delivery per round gives the chain
+  upward drift and pushes the stationary mass away from 0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.service_time import RoundServiceTimeModel
+from repro.errors import ConfigurationError
+
+__all__ = ["BufferChain", "PrefetchPlan", "n_max_hiccup",
+           "optimal_prefill"]
+
+
+class BufferChain:
+    """Buffer-occupancy Markov chain of one client.
+
+    Parameters
+    ----------
+    delivery_pmf:
+        Probabilities ``P[D = 0], P[D = 1], ..., P[D = d_max]`` of the
+        number of fragments delivered per round; must sum to 1.
+    capacity:
+        Client buffer capacity ``B`` in fragments (>= 1).
+    """
+
+    def __init__(self, delivery_pmf, capacity: int) -> None:
+        pmf = np.asarray(delivery_pmf, dtype=float)
+        if pmf.ndim != 1 or pmf.size < 1:
+            raise ConfigurationError("delivery_pmf must be a 1-d sequence")
+        if np.any(pmf < 0) or not math.isclose(float(np.sum(pmf)), 1.0,
+                                               rel_tol=1e-9):
+            raise ConfigurationError("delivery_pmf must sum to 1")
+        if capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {capacity!r}")
+        self.pmf = pmf
+        self.capacity = int(capacity)
+        self._transition = self._build_transition()
+
+    def _build_transition(self) -> np.ndarray:
+        size = self.capacity + 1
+        matrix = np.zeros((size, size))
+        for b in range(size):
+            consumed = 1 if b >= 1 else 0
+            for d, prob in enumerate(self.pmf):
+                nxt = min(b - consumed + d, self.capacity)
+                matrix[b, max(nxt, 0)] += prob
+        return matrix
+
+    # ------------------------------------------------------------------
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        """Row-stochastic transition matrix over states 0..B (copy)."""
+        return self._transition.copy()
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary occupancy distribution (solved by linear algebra).
+
+        For chains with transient states (e.g. no prefetch, where
+        occupancies above 1 cannot be re-entered), this is the limiting
+        distribution started anywhere in the recurrent class.
+        """
+        size = self.capacity + 1
+        a = np.vstack([self._transition.T - np.eye(size),
+                       np.ones((1, size))])
+        b = np.concatenate([np.zeros(size), [1.0]])
+        solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+        solution = np.clip(solution, 0.0, None)
+        return solution / np.sum(solution)
+
+    def hiccup_rate(self) -> float:
+        """Long-run visible-hiccup probability per round: the stationary
+        mass at occupancy 0."""
+        return float(self.stationary_distribution()[0])
+
+    def transient_hiccups(self, start: int, rounds: int) -> float:
+        """Expected hiccups over the first ``rounds`` rounds when the
+        buffer starts with ``start`` prefilled fragments (the startup-
+        delay trade-off: prefilling costs ``start`` rounds of delay)."""
+        if not (0 <= start <= self.capacity):
+            raise ConfigurationError(
+                f"start must be in [0, {self.capacity}], got {start!r}")
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds!r}")
+        state = np.zeros(self.capacity + 1)
+        state[start] = 1.0
+        expected = 0.0
+        for _ in range(rounds):
+            expected += state[0]
+            state = state @ self._transition
+        return expected
+
+
+@dataclass(frozen=True)
+class PrefetchPlan:
+    """Derive a delivery pmf from the round model and a prefetch policy.
+
+    The server runs ``n`` streams and, in every round, additionally
+    issues prefetch fetches for the ``headroom`` streams with the
+    lowest client buffers, provided the enlarged batch still meets the
+    round deadline.  For one stream this yields (approximately
+    independently per round)::
+
+        P[D = 0] = p_miss                    (its due fetch glitched)
+        P[D = 2] = (1 - p_miss) * r * p_fit  (due + prefetched)
+        P[D = 1] = the rest
+
+    where ``r = headroom / n`` is the chance the stream is among the
+    prefetched ones and ``p_fit = 1 - b_late(n + headroom, t)`` is a
+    conservative bound on the enlarged round fitting the deadline.
+    """
+
+    model: RoundServiceTimeModel
+    n: int
+    t: float
+    headroom: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n!r}")
+        if self.headroom < 0:
+            raise ConfigurationError(
+                f"headroom must be >= 0, got {self.headroom!r}")
+        if self.t <= 0:
+            raise ConfigurationError(
+                f"t must be positive, got {self.t!r}")
+
+    def delivery_pmf(self) -> np.ndarray:
+        """The per-round delivery pmf ``[P0, P1, P2]`` for one stream."""
+        from repro.core.glitch import GlitchModel
+        glitch = GlitchModel(self.model, self.t)
+        p_miss = glitch.b_glitch(self.n + self.headroom)
+        if self.headroom == 0:
+            return np.array([p_miss, 1.0 - p_miss, 0.0])
+        r = min(self.headroom / self.n, 1.0)
+        p_fit = 1.0 - self.model.b_late(self.n + self.headroom, self.t)
+        p2 = (1.0 - p_miss) * r * p_fit
+        p1 = 1.0 - p_miss - p2
+        return np.array([p_miss, p1, p2])
+
+    def chain(self, capacity: int) -> BufferChain:
+        """The buffer chain under this plan for a given capacity."""
+        return BufferChain(self.delivery_pmf(), capacity)
+
+
+def optimal_prefill(chain: BufferChain, horizon: int,
+                    hiccup_budget: float) -> int:
+    """Smallest startup prefill meeting a transient-hiccup budget.
+
+    Prefilling ``b`` fragments costs ``b`` rounds of startup delay
+    (§2.3's bounded wait, stretched) but suppresses the early hiccups a
+    cold buffer would suffer.  Returns the smallest ``b`` whose expected
+    hiccups over the first ``horizon`` rounds stay within
+    ``hiccup_budget``; returns the full capacity if even that misses
+    the budget (the steady-state rate then dominates and prefill cannot
+    help further).
+    """
+    if hiccup_budget < 0:
+        raise ConfigurationError(
+            f"hiccup_budget must be >= 0, got {hiccup_budget!r}")
+    for prefill in range(chain.capacity + 1):
+        if chain.transient_hiccups(prefill, horizon) <= hiccup_budget:
+            return prefill
+    return chain.capacity
+
+
+def n_max_hiccup(model: RoundServiceTimeModel, t: float, capacity: int,
+                 headroom: int, m: int, h: int, epsilon: float,
+                 n_cap: int = 512) -> int:
+    """Admission by *visible* hiccups instead of raw glitches.
+
+    Largest ``N`` such that a stream with a ``capacity``-deep client
+    buffer under a ``headroom``-slot prefetch plan suffers ``>= h``
+    visible hiccups over ``m`` rounds with probability at most
+    ``epsilon``.  Uses the buffer chain's stationary hiccup rate as the
+    per-round probability and the Hagerup-Rüb tail (the chain's hiccups
+    are positively correlated round-to-round, so the Binomial treatment
+    is an approximation, but the rate itself is built on conservative
+    Chernoff inputs; validate against :func:`repro.server.prefetch.
+    simulate_prefetch` when it matters).
+
+    With ``headroom = 0`` this degenerates (correctly) to roughly the
+    glitch-based criterion: buffers alone do not improve the rate.
+    """
+    from repro.distributions import hagerup_rub_tail
+    if not (0.0 < epsilon < 1.0):
+        raise ConfigurationError(
+            f"epsilon must be in (0, 1), got {epsilon!r}")
+    if not (0 <= h <= m):
+        raise ConfigurationError(f"h must be in [0, {m}], got {h!r}")
+    best = 0
+    for n in range(1, n_cap + 1):
+        rate = PrefetchPlan(model, n=n, t=t,
+                            headroom=headroom).chain(capacity).hiccup_rate()
+        if hagerup_rub_tail(m, min(rate, 1.0), h) <= epsilon:
+            best = n
+        else:
+            break
+    return best

@@ -1,0 +1,63 @@
+"""Disk fault/degradation modelling (robustness extension).
+
+1990s drives -- the paper's hardware generation -- performed periodic
+*thermal recalibration*: the actuator seizes the arm for tens of
+milliseconds at unpredictable instants, a notorious problem for
+continuous media (it motivated "AV-rated" drives).  The MGF algebra of
+§3.1 absorbs such a disturbance for free: a recalibration hitting a
+round with probability ``q`` and costing ``d`` seconds is the two-point
+mixture ``(1-q) delta_0 + q delta_d``, whose MGF multiplies into the
+round transform (eq. 3.1.4) like any other independent term.
+
+The same mechanism models *degraded media rate* (e.g. a drive remapping
+sectors): scale the zone capacities and rebuild the transfer term.
+"""
+
+from __future__ import annotations
+
+from repro.core.service_time import RoundServiceTimeModel
+from repro.distributions import Deterministic, Distribution, Mixture
+from repro.errors import ConfigurationError
+
+__all__ = ["recalibration_disturbance", "with_recalibration"]
+
+
+def recalibration_disturbance(prob: float, duration: float) -> Mixture:
+    """The per-round disturbance law: 0 w.p. ``1-prob``, ``duration``
+    seconds w.p. ``prob``."""
+    if not (0.0 < prob < 1.0):
+        raise ConfigurationError(
+            f"prob must be in (0, 1), got {prob!r}")
+    if duration <= 0.0:
+        raise ConfigurationError(
+            f"duration must be positive, got {duration!r}")
+    return Mixture([(1.0 - prob, Deterministic(0.0)),
+                    (prob, Deterministic(duration))])
+
+
+class _RecalibratedModel(RoundServiceTimeModel):
+    """Round model with one recalibration opportunity per round."""
+
+    def __init__(self, base: RoundServiceTimeModel,
+                 disturbance: Distribution) -> None:
+        super().__init__(seek_bound=base._seek_bound, rot=base.rot,
+                         transfer=base.transfer)
+        self._disturbance = disturbance
+
+    def log_mgf(self, n: int):
+        from repro.core.mgf import DistributionTerm, ProductMGF
+        base = super().log_mgf(n)
+        return ProductMGF([(base, 1),
+                           (DistributionTerm(self._disturbance), 1)])
+
+
+def with_recalibration(model: RoundServiceTimeModel, prob: float,
+                       duration: float) -> RoundServiceTimeModel:
+    """A copy of ``model`` whose rounds each suffer a thermal
+    recalibration of ``duration`` seconds with probability ``prob``.
+
+    All the derived machinery (``b_late``, :class:`GlitchModel`,
+    ``N_max`` solvers) works on the returned model unchanged.
+    """
+    return _RecalibratedModel(model, recalibration_disturbance(prob,
+                                                               duration))

@@ -1,0 +1,94 @@
+"""Per-stream glitch probability (§3.3).
+
+With fragments placed at uncorrelated random positions, the ``k``
+glitches of an overrunning round hit a uniformly random ``k``-subset of
+the ``N`` streams.  Equation (3.3.2) telescopes the per-stream glitch
+probability into::
+
+    p_glitch(N, t) = (1/N) * sum_{k=1..N} p_late(k, t)
+
+bounded by ``b_glitch(N,t) = (1/N) sum_k b_late(k, t)`` (eq. 3.3.3).
+Glitches of one stream across ``M`` rounds are Binomial(M, p_glitch)
+(eq. 3.3.4); their upper tail ``p_error = P[#glitches >= g]`` is bounded
+by the Hagerup-Rüb inequality (eq. 3.3.5).
+
+Note the paper's prose says "more than g glitches" while eq. (3.3.5)
+bounds ``P[... >= g]``; we follow the formula (``>= g``) everywhere and
+say so in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.service_time import RoundServiceTimeModel
+from repro.distributions import binomial_tail, hagerup_rub_tail
+from repro.errors import ConfigurationError
+
+__all__ = ["GlitchModel"]
+
+
+class GlitchModel:
+    """Glitch-rate bounds for one stream under multiprogramming level N.
+
+    Parameters
+    ----------
+    service_model:
+        The round service-time model providing ``b_late(k, t)``.
+    t:
+        Round length in seconds.
+    """
+
+    def __init__(self, service_model: RoundServiceTimeModel,
+                 t: float) -> None:
+        if not (t > 0.0):
+            raise ConfigurationError(f"round length must be positive: {t!r}")
+        self.service_model = service_model
+        self.t = float(t)
+
+    # ------------------------------------------------------------------
+    @lru_cache(maxsize=1024)
+    def b_glitch(self, n: int) -> float:
+        """Bound on P[a given stream glitches in one round], eq. (3.3.3).
+
+        ``(1/N) sum_{k=1..N} b_late(k, t)``, clipped to 1.
+        """
+        if not isinstance(n, int) or n < 1:
+            raise ConfigurationError(f"n must be an int >= 1, got {n!r}")
+        total = sum(self.service_model.b_late(k, self.t)
+                    for k in range(1, n + 1))
+        return min(total / n, 1.0)
+
+    # ------------------------------------------------------------------
+    def p_error(self, n: int, m: int, g: int) -> float:
+        """Bound on P[stream suffers >= g glitches in M rounds].
+
+        Hagerup-Rüb bound (eq. 3.3.5) evaluated at ``b_glitch(n)``; since
+        ``b_glitch`` upper-bounds ``p_glitch`` and the binomial tail is
+        monotone in ``p``, the result bounds the true ``p_error``.
+        """
+        return hagerup_rub_tail(m, self.b_glitch(n), g)
+
+    def p_error_exact_tail(self, n: int, m: int, g: int) -> float:
+        """Exact Binomial(M, b_glitch) tail -- eq. (3.3.4) summed.
+
+        Still an upper bound on the true ``p_error`` (through
+        ``b_glitch``), but without the Hagerup-Rüb slack; used to measure
+        how much the closed-form bound gives away.
+        """
+        return binomial_tail(m, self.b_glitch(n), g)
+
+    def expected_glitches(self, n: int, m: int) -> float:
+        """Upper bound on the expected number of glitches of one stream
+        over ``M`` rounds: ``M * b_glitch(n)``."""
+        if m < 1:
+            raise ConfigurationError(f"m must be >= 1, got {m!r}")
+        return m * self.b_glitch(n)
+
+    def glitch_rate_bound(self, n: int) -> float:
+        """Upper bound on the long-run per-round glitch rate of a
+        stream (equals ``b_glitch``; provided for API clarity)."""
+        return self.b_glitch(n)
+
+    def __repr__(self) -> str:
+        return f"GlitchModel(t={self.t:.6g}, model={self.service_model!r})"

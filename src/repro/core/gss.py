@@ -1,0 +1,103 @@
+"""Grouped Sweeping Scheduling (GSS) comparator.
+
+The paper's related work cites [CKY93]'s GSS: instead of serving all
+``N`` streams in one SCAN sweep per round, the streams are partitioned
+into ``g`` groups; each round is divided into ``g`` sub-rounds of
+length ``t/g`` and each group is served by a SCAN sweep inside its own
+sub-round.  ``g = 1`` recovers the paper's scheme; ``g = N`` degenerates
+to round-robin with one seek per request.
+
+The trade-off GSS buys: a stream's fragment arrives within a *sub*-round
+of its deadline, so client buffers can shrink by roughly a factor ``g``
+(a fragment is consumed while the next is fetched one sub-round later,
+not one full round).  The price: ``g`` sweeps per round amortise seeks
+over ``N/g`` requests instead of ``N``, so fewer streams fit.  The
+machinery here quantifies both sides with the paper's own Chernoff
+model: a group of ``ceil(N/g)`` streams must finish within ``t/g``,
+which is exactly a §3 round with rescaled parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.glitch import GlitchModel
+from repro.core.service_time import RoundServiceTimeModel
+from repro.errors import ConfigurationError
+
+__all__ = ["GssOperatingPoint", "gss_group_p_late", "n_max_gss",
+           "gss_tradeoff"]
+
+
+def _validate(n: int, groups: int, t: float) -> None:
+    if groups < 1:
+        raise ConfigurationError(f"groups must be >= 1, got {groups!r}")
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n!r}")
+    if t <= 0:
+        raise ConfigurationError(f"t must be positive, got {t!r}")
+
+
+def gss_group_p_late(model: RoundServiceTimeModel, n: int, groups: int,
+                     t: float) -> float:
+    """Chernoff bound on one *group* overrunning its sub-round.
+
+    A group holds ``ceil(n/groups)`` requests and must complete within
+    ``t/groups``; this is the paper's ``b_late`` at rescaled arguments.
+    (Each group's glitch exposure is per sub-round; since a stream is
+    served exactly once per full round, this is also its per-round
+    lateness bound.)
+    """
+    _validate(n, groups, t)
+    group_size = math.ceil(n / groups)
+    return model.b_late(group_size, t / groups)
+
+
+def n_max_gss(model: RoundServiceTimeModel, t: float, groups: int,
+              delta: float, n_cap: int = 512) -> int:
+    """Largest total ``N`` with every group's sub-round bound within
+    ``delta``."""
+    if not (0.0 < delta < 1.0):
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta!r}")
+    best = 0
+    for n in range(1, n_cap + 1):
+        if gss_group_p_late(model, n, groups, t) <= delta:
+            best = n
+        else:
+            # b_late is monotone in the group size, but the ceil() can
+            # hold the group size flat while n grows -- once it fails it
+            # fails for larger n too (group size non-decreasing in n).
+            break
+    return best
+
+
+@dataclass(frozen=True)
+class GssOperatingPoint:
+    """The admission/latency/buffer profile of one group count."""
+
+    groups: int
+    n_max: int
+    group_p_late: float
+    max_delivery_latency: float   # worst wait from request to deadline
+    buffer_fragments: float       # client buffering in fragment units
+
+
+def gss_tradeoff(model: RoundServiceTimeModel, t: float, delta: float,
+                 group_counts=(1, 2, 4, 8)) -> list[GssOperatingPoint]:
+    """Sweep the group count and report the classic GSS trade-off.
+
+    Buffering is reported in fragment-equivalents: with ``g`` groups a
+    client consumes a fragment over the full round while the next one
+    arrives within ``1/g`` of a round, needing ``1 + 1/g`` fragments of
+    buffer instead of SCAN's 2.
+    """
+    points = []
+    for g in sorted(set(int(c) for c in group_counts)):
+        n = n_max_gss(model, t, g, delta)
+        p = (gss_group_p_late(model, n, g, t) if n else 1.0)
+        points.append(GssOperatingPoint(
+            groups=g, n_max=n, group_p_late=p,
+            max_delivery_latency=t / g,
+            buffer_fragments=1.0 + 1.0 / g))
+    return points

@@ -1,0 +1,122 @@
+"""Heterogeneous stream classes (extension).
+
+The paper's abstract promises "variable display bandwidth both across
+different streams and within a single stream".  Within-stream
+variability is the Gamma fragment law; *across-stream* variability is
+handled here: the server carries several stream classes (audio, SD
+video, HD video, ...) and a round's batch mixes their requests.  With
+class ``i`` holding a fraction ``w_i`` of the admitted streams, a
+uniformly-chosen request's transfer time follows the class mixture,
+which still has an MGF, so eq. (3.1.4)'s N-fold convolution applies to
+the mixture term unchanged.
+
+This is exact when each round's batch is a multinomial draw over
+classes (e.g. randomly phased streams) and a very good approximation
+when class counts per round are fixed at ``N * w_i`` (the MGF of the
+fixed-count round is the product of per-class powers; both are provided
+so the difference can be measured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mgf import ConstantTerm, DistributionTerm, ProductMGF, UniformTerm
+from repro.core.chernoff import chernoff_tail_bound
+from repro.core.seek import oyang_seek_bound
+from repro.core.service_time import RoundServiceTimeModel
+from repro.core.transfer import MultiZoneTransferModel, single_zone_transfer_time
+from repro.disk.presets import DiskSpec
+from repro.distributions import Distribution, Mixture
+from repro.errors import ConfigurationError
+
+__all__ = ["StreamClass", "class_mixture_model", "fixed_mix_p_late"]
+
+
+@dataclass(frozen=True)
+class StreamClass:
+    """One class of streams sharing a fragment-size law.
+
+    Attributes
+    ----------
+    name:
+        Display label.
+    size_dist:
+        Fragment-size distribution of the class (bytes per round).
+    share:
+        Fraction (or unnormalised weight) of the admitted streams that
+        belong to this class.
+    """
+
+    name: str
+    size_dist: Distribution
+    share: float
+
+    def __post_init__(self) -> None:
+        if self.share <= 0:
+            raise ConfigurationError(
+                f"class {self.name!r} share must be positive")
+
+
+def _class_transfer(spec: DiskSpec, size_dist: Distribution,
+                    multizone: bool) -> Distribution:
+    if multizone and spec.zone_map.zones > 1:
+        return MultiZoneTransferModel(spec.zone_map,
+                                      size_dist).gamma_approximation()
+    rate = (spec.zone_map.harmonic_mean_rate()
+            if spec.zone_map.zones > 1 else spec.zone_map.r_min)
+    return single_zone_transfer_time(size_dist, rate)
+
+
+def class_mixture_model(spec: DiskSpec, classes: list[StreamClass],
+                        multizone: bool = True) -> RoundServiceTimeModel:
+    """Round model whose per-request transfer time is the class mixture.
+
+    Suitable for admission control over the *total* stream count when
+    the class mix is (approximately) stable.
+    """
+    if not classes:
+        raise ConfigurationError("need at least one stream class")
+    transfer = Mixture([
+        (cls.share, _class_transfer(spec, cls.size_dist, multizone))
+        for cls in classes
+    ])
+
+    def seek_bound(n: int, _spec=spec) -> float:
+        return oyang_seek_bound(_spec.seek_curve, _spec.cylinders, n)
+
+    return RoundServiceTimeModel(seek_bound=seek_bound, rot=spec.rot,
+                                 transfer=transfer)
+
+
+def fixed_mix_p_late(spec: DiskSpec, counts: dict[str, int],
+                     classes: list[StreamClass], t: float,
+                     multizone: bool = True) -> float:
+    """Chernoff bound for a round with *fixed* per-class counts.
+
+    ``counts`` maps class names to the exact number of requests of that
+    class in the round; the MGF is the product of per-class powers
+    (tighter than the multinomial mixture when the mix is pinned).
+    """
+    by_name = {cls.name: cls for cls in classes}
+    unknown = set(counts) - set(by_name)
+    if unknown:
+        raise ConfigurationError(f"unknown classes: {sorted(unknown)}")
+    n_total = sum(counts.values())
+    if n_total < 1:
+        raise ConfigurationError("need at least one request in the round")
+    if any(c < 0 for c in counts.values()):
+        raise ConfigurationError("class counts must be >= 0")
+
+    factors: list[tuple] = [
+        (ConstantTerm(oyang_seek_bound(spec.seek_curve, spec.cylinders,
+                                       n_total)), 1),
+        (UniformTerm(spec.rot), n_total),
+    ]
+    for name, count in counts.items():
+        if count == 0:
+            continue
+        transfer = _class_transfer(spec, by_name[name].size_dist,
+                                   multizone)
+        factors.append((DistributionTerm(transfer), count))
+    return chernoff_tail_bound(ProductMGF(factors), t).bound

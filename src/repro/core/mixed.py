@@ -1,0 +1,159 @@
+"""Mixed continuous/discrete workloads (the paper's §6 outlook).
+
+§6: "We advocate sharing disks between continuous and discrete data, as
+this provides a much better resource utilization ... [NMW97] has
+investigated a first approach to the analytic modeling of such
+mixed-workload multimedia servers."
+
+Each round the disk serves its ``N`` continuous requests plus up to
+``K`` discrete requests (HTML pages, images -- small, own size law).
+Two scheduling policies:
+
+- ``integrated``: all ``N + K`` requests share one SCAN sweep.  A round
+  overrun can glitch continuous streams, so the continuous guarantee
+  must be re-derived with the enlarged transform
+  ``SEEK(N+K) * rot^(N+K) * trans_c^N * trans_d^K``.
+- ``continuous-first``: the sweep serves continuous requests first;
+  discrete requests only consume the round's leftover.  The continuous
+  guarantee is *unchanged* (``b_late(N, t)``), and the discrete side is
+  characterised by the leftover-time distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chernoff import chernoff_tail_bound
+from repro.core.mgf import ConstantTerm, DistributionTerm, ProductMGF, UniformTerm
+from repro.core.seek import oyang_seek_bound
+from repro.core.service_time import RoundServiceTimeModel
+from repro.core.transfer import MultiZoneTransferModel, single_zone_transfer_time
+from repro.disk.presets import DiskSpec
+from repro.distributions import Distribution
+from repro.errors import ConfigurationError
+
+__all__ = ["MixedWorkloadModel"]
+
+
+@dataclass(frozen=True)
+class MixedWorkloadModel:
+    """Analytic model of one disk under a continuous + discrete mix.
+
+    Parameters
+    ----------
+    spec:
+        The disk.
+    continuous_sizes:
+        Fragment-size law of the continuous streams (bytes/round).
+    discrete_sizes:
+        Request-size law of the discrete workload (bytes/request).
+    multizone:
+        Whether to use the §3.2 zone-aware transfer law.
+    """
+
+    spec: DiskSpec
+    continuous_sizes: Distribution
+    discrete_sizes: Distribution
+    multizone: bool = True
+
+    def _transfer(self, sizes: Distribution) -> Distribution:
+        if self.multizone and self.spec.zone_map.zones > 1:
+            return MultiZoneTransferModel(self.spec.zone_map,
+                                          sizes).gamma_approximation()
+        rate = (self.spec.zone_map.harmonic_mean_rate()
+                if self.spec.zone_map.zones > 1
+                else self.spec.zone_map.r_min)
+        return single_zone_transfer_time(sizes, rate)
+
+    def continuous_model(self) -> RoundServiceTimeModel:
+        """The plain continuous-only round model (§3.1/3.2)."""
+        return RoundServiceTimeModel.for_disk(
+            self.spec, self.continuous_sizes, multizone=self.multizone)
+
+    # ------------------------------------------------------------------
+    def mixed_log_mgf(self, n: int, k: int) -> ProductMGF:
+        """MGF of the total time to serve ``n`` continuous plus ``k``
+        discrete requests in one SCAN sweep."""
+        if n < 0 or k < 0 or n + k < 1:
+            raise ConfigurationError(
+                f"need n, k >= 0 with n + k >= 1, got n={n!r}, k={k!r}")
+        factors: list[tuple] = [
+            (ConstantTerm(oyang_seek_bound(self.spec.seek_curve,
+                                           self.spec.cylinders, n + k)),
+             1),
+            (UniformTerm(self.spec.rot), n + k),
+        ]
+        if n:
+            factors.append(
+                (DistributionTerm(self._transfer(self.continuous_sizes)),
+                 n))
+        if k:
+            factors.append(
+                (DistributionTerm(self._transfer(self.discrete_sizes)),
+                 k))
+        return ProductMGF(factors)
+
+    def p_late_integrated(self, n: int, k: int, t: float) -> float:
+        """Chernoff bound on the integrated-sweep round overrunning.
+
+        Under the integrated policy this bounds the continuous glitch
+        exposure with ``k`` discrete requests mixed into every sweep.
+        """
+        if t <= 0:
+            raise ConfigurationError(f"t must be positive, got {t!r}")
+        return chernoff_tail_bound(self.mixed_log_mgf(n, k), t).bound
+
+    def max_discrete_integrated(self, n: int, t: float, delta: float,
+                                k_cap: int = 4096) -> int:
+        """Largest ``k`` keeping the integrated bound within ``delta``."""
+        if not (0.0 < delta < 1.0):
+            raise ConfigurationError(
+                f"delta must be in (0, 1), got {delta!r}")
+        if self.p_late_integrated(n, 0, t) > delta:
+            return 0
+        best = 0
+        for k in range(1, k_cap + 1):
+            if self.p_late_integrated(n, k, t) <= delta:
+                best = k
+            else:
+                break
+        return best
+
+    # ------------------------------------------------------------------
+    # continuous-first policy: discrete lives off the leftover.
+    # ------------------------------------------------------------------
+    def expected_leftover(self, n: int, t: float) -> float:
+        """Expected slack ``max(t - E[T_N], 0)`` of a continuous-only
+        round (the budget the discrete side can consume)."""
+        return max(t - self.continuous_model().mean(n), 0.0)
+
+    def expected_discrete_service(self) -> float:
+        """Mean service time of one discrete request appended to the
+        sweep: an independent-ish seek (bounded by the equidistant gap
+        of the enlarged sweep is intractable here, so we charge the mean
+        random seek), plus rotation, plus transfer."""
+        curve = self.spec.seek_curve
+        # Mean |U1 - U2| * CYL = CYL/3 for uniform positions.
+        mean_seek = float(curve(self.spec.cylinders / 3.0))
+        return (mean_seek + self.spec.rot / 2.0
+                + self._transfer(self.discrete_sizes).mean())
+
+    def discrete_throughput_estimate(self, n: int, t: float) -> float:
+        """Discrete requests per round the leftover sustains on average
+        (a planning estimate, not a bound)."""
+        service = self.expected_discrete_service()
+        return self.expected_leftover(n, t) / service
+
+    def discrete_completion_bound(self, n: int, k: int, t: float) -> float:
+        """Bound on P[the k-th discrete request misses the round] under
+        continuous-first: the probability that serving all continuous
+        plus the first ``k`` discrete requests exceeds ``t``.
+
+        Because continuous requests are served first, this same quantity
+        read with ``k = 0`` recovers the unchanged continuous guarantee.
+        """
+        if k < 0:
+            raise ConfigurationError(f"k must be >= 0, got {k!r}")
+        if k == 0:
+            return self.continuous_model().b_late(n, t)
+        return self.p_late_integrated(n, k, t)

@@ -1,0 +1,50 @@
+"""Worst-case lumped SCAN seek time (Oyang's bound).
+
+[Oya95] shows that, for seek-time functions that are square-root-like for
+short distances and linear for long ones, the *total* seek time of one
+SCAN sweep over ``N`` requests is maximised when the requests sit at the
+equidistant cylinders ``i * CYL / (N+1)``, ``i = 1..N`` (§3.1).  The
+sweep then consists of ``N + 1`` hops of ``CYL/(N+1)`` cylinders each
+(edge -> first request, N-1 inter-request hops, last request -> edge),
+so::
+
+    SEEK(N) = (N + 1) * seek(CYL / (N + 1))
+
+The paper's worked example confirms the convention: for N = 27 and
+CYL = 6720 it quotes SEEK = 0.10932 s = 28 * seek(240).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.disk.seek import SeekCurve
+from repro.errors import ConfigurationError
+
+__all__ = ["equidistant_positions", "oyang_seek_bound"]
+
+
+def equidistant_positions(cylinders: int, n: int) -> np.ndarray:
+    """The worst-case request cylinders ``i * CYL/(N+1)``, ``i = 1..N``."""
+    if cylinders < 2:
+        raise ConfigurationError(f"cylinders must be >= 2, got {cylinders!r}")
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n!r}")
+    i = np.arange(1, n + 1, dtype=float)
+    return i * cylinders / (n + 1)
+
+
+def oyang_seek_bound(seek_curve: SeekCurve, cylinders: int, n: int) -> float:
+    """Upper bound ``SEEK(N)`` on the lumped seek time of one sweep.
+
+    The bound is valid for multi-zone disks too (§3.2: zoning only skews
+    positions toward the outer tracks, which can only shorten seeks).
+
+    ``n = 0`` returns 0 (an empty sweep does not move the arm).
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n!r}")
+    if n == 0:
+        return 0.0
+    gap = cylinders / (n + 1)
+    return (n + 1) * float(seek_curve(gap))

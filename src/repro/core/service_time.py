@@ -1,0 +1,140 @@
+"""Round service time ``T_N`` and the lateness bound ``b_late(N, t)``.
+
+Assembles eq. (3.1.1)::
+
+    T_N = SEEK(N) + sum_i T_rot,i + sum_i T_trans,i
+
+into the product MGF of eq. (3.1.4)/(3.2.11) and exposes the Chernoff
+bound of eq. (3.1.6)/(3.2.12).  ``SEEK(N)`` is the Oyang worst-case
+constant, rotation is ``Uniform(0, ROT)`` and the transfer term is the
+(possibly multi-zone moment-matched) Gamma.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.core.chernoff import ChernoffResult, chernoff_tail_bound
+from repro.core.mgf import (
+    ConstantTerm,
+    DistributionTerm,
+    LogMGF,
+    ProductMGF,
+    UniformTerm,
+)
+from repro.core.seek import oyang_seek_bound
+from repro.core.transfer import MultiZoneTransferModel, single_zone_transfer_time
+from repro.disk.presets import DiskSpec
+from repro.distributions import Distribution
+from repro.errors import ConfigurationError, ModelError
+
+__all__ = ["RoundServiceTimeModel"]
+
+
+class RoundServiceTimeModel:
+    """Analytic model of the total service time of one round.
+
+    Parameters
+    ----------
+    seek_bound:
+        Callable ``n -> SEEK(n)`` giving the lumped-seek upper bound for
+        ``n`` requests (usually Oyang's; injectable for ablations).
+    rot:
+        Revolution time (seconds); rotational latency is
+        ``Uniform(0, rot)`` per request.
+    transfer:
+        A :class:`~repro.distributions.base.Distribution` with an MGF
+        modelling the per-request transfer time.
+    """
+
+    def __init__(self, seek_bound, rot: float,
+                 transfer: Distribution) -> None:
+        if not (rot > 0.0 and math.isfinite(rot)):
+            raise ConfigurationError(f"rot must be positive, got {rot!r}")
+        if not transfer.has_mgf():
+            raise ModelError(
+                "transfer-time distribution must have an MGF; "
+                "truncate heavy-tailed laws first")
+        self._seek_bound = seek_bound
+        self.rot = float(rot)
+        self.transfer = transfer
+        self._rot_term = UniformTerm(self.rot)
+        self._transfer_term = DistributionTerm(transfer)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_disk(cls, spec: DiskSpec, size_dist: Distribution,
+                 multizone: bool = True) -> "RoundServiceTimeModel":
+        """Build the model for a concrete disk and fragment-size law.
+
+        ``multizone=True`` uses the §3.2 zone-skewed transfer law
+        (moment-matched Gamma); ``multizone=False`` collapses the disk to
+        a single-zone drive at the *harmonic-mean* rate -- the
+        mean-preserving conventional-disk reading used to quantify what
+        ignoring zones costs (ablation A2).
+        """
+        if multizone and spec.zone_map.zones > 1:
+            transfer = MultiZoneTransferModel(
+                spec.zone_map, size_dist).gamma_approximation()
+        else:
+            rate = (spec.zone_map.harmonic_mean_rate()
+                    if spec.zone_map.zones > 1 else spec.zone_map.r_min)
+            transfer = single_zone_transfer_time(size_dist, rate)
+
+        def seek_bound(n: int, _spec=spec) -> float:
+            return oyang_seek_bound(_spec.seek_curve, _spec.cylinders, n)
+
+        return cls(seek_bound=seek_bound, rot=spec.rot, transfer=transfer)
+
+    # ------------------------------------------------------------------
+    def seek(self, n: int) -> float:
+        """``SEEK(n)`` -- worst-case lumped seek time for ``n`` requests."""
+        return float(self._seek_bound(n))
+
+    def log_mgf(self, n: int) -> LogMGF:
+        """The MGF of ``T_n`` (eq. 3.1.4 / 3.2.11)."""
+        if not isinstance(n, int) or n < 1:
+            raise ConfigurationError(f"n must be an int >= 1, got {n!r}")
+        return ProductMGF([
+            (ConstantTerm(self.seek(n)), 1),
+            (self._rot_term, n),
+            (self._transfer_term, n),
+        ])
+
+    def mean(self, n: int) -> float:
+        """``E[T_n]`` (with the worst-case SEEK treated as constant)."""
+        return self.log_mgf(n).mean()
+
+    def var(self, n: int) -> float:
+        """``Var[T_n]``."""
+        return self.log_mgf(n).var()
+
+    # ------------------------------------------------------------------
+    def p_late(self, n: int, t: float) -> ChernoffResult:
+        """Chernoff bound ``b_late(n, t)`` on ``P[T_n >= t]``
+        (eq. 3.1.6 / 3.2.12), with full optimisation detail."""
+        return self._p_late_cached(n, t)
+
+    @lru_cache(maxsize=4096)
+    def _p_late_cached(self, n: int, t: float) -> ChernoffResult:
+        return chernoff_tail_bound(self.log_mgf(n), t)
+
+    def b_late(self, n: int, t: float) -> float:
+        """Convenience scalar: the bound value of :meth:`p_late`."""
+        return self.p_late(n, t).bound
+
+    def p_late_curve(self, ns, t: float) -> list[float]:
+        """``b_late(n, t)`` for each ``n`` in ``ns`` (Figure 1's analytic
+        series)."""
+        return [self.b_late(int(n), t) for n in ns]
+
+    def utilisation(self, n: int, t: float) -> float:
+        """Expected fraction of the round spent busy, ``E[T_n] / t``."""
+        if t <= 0.0:
+            raise ConfigurationError(f"round length must be positive: {t!r}")
+        return self.mean(n) / t
+
+    def __repr__(self) -> str:
+        return (f"RoundServiceTimeModel(rot={self.rot:.6g}, "
+                f"transfer={self.transfer!r})")

@@ -1,0 +1,100 @@
+"""Request sharing (multicast) under popularity-skewed catalogs.
+
+Two streams watching the same object at the same offset need the same
+fragment in the same round; a server fetches it once and multicasts it
+(:class:`repro.server.MediaServer` does).  With a Zipf-popular catalog
+this shrinks the *physical* per-disk load below the admitted stream
+count, which the admission controller can exploit.
+
+The model: ``n`` streams pick objects i.i.d. with popularity ``p_v``
+over ``V`` objects of ``L`` rounds each, and start phases i.i.d.
+uniform over the ``L`` offsets.  Two streams collide (share every
+subsequent fetch!) iff they picked the same object *and* the same
+phase, so stream slots fall into ``V * L`` "cells" with probabilities
+``p_v / L``; the expected physical load is the expected number of
+occupied cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "zipf_popularity",
+    "expected_distinct_fetches",
+    "sharing_factor",
+    "effective_stream_capacity",
+]
+
+
+def zipf_popularity(objects: int, exponent: float = 0.8) -> np.ndarray:
+    """Zipf popularity vector ``p_v ~ v^-exponent`` over ``objects``."""
+    if objects < 1:
+        raise ConfigurationError(f"objects must be >= 1, got {objects!r}")
+    if exponent < 0:
+        raise ConfigurationError(
+            f"exponent must be >= 0, got {exponent!r}")
+    ranks = np.arange(1, objects + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / np.sum(weights)
+
+
+def expected_distinct_fetches(n: int, popularity, length: int) -> float:
+    """Expected number of *physical* fetches per round for ``n`` streams.
+
+    ``E[#occupied cells] = sum_cells (1 - (1 - q_cell)^n)`` with
+    ``q_cell = p_v / L`` -- exact under the i.i.d. object/phase model.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n!r}")
+    if length < 1:
+        raise ConfigurationError(f"length must be >= 1, got {length!r}")
+    p = np.asarray(popularity, dtype=float)
+    if np.any(p < 0) or not np.isclose(float(np.sum(p)), 1.0):
+        raise ConfigurationError("popularity must be a probability vector")
+    q = p / length
+    # Cells of one object share q; aggregate per object to stay O(V).
+    return float(np.sum(length * (1.0 - (1.0 - q) ** n)))
+
+
+def sharing_factor(n: int, popularity, length: int) -> float:
+    """Physical-to-logical load ratio in [something, 1]: fraction of
+    stream requests that need their own disk fetch."""
+    if n == 0:
+        return 1.0
+    return expected_distinct_fetches(n, popularity, length) / n
+
+
+def effective_stream_capacity(n_max_physical: int, popularity,
+                              length: int, n_cap: int = 100_000) -> int:
+    """Largest stream count whose *expected* physical load fits the
+    per-farm physical limit ``n_max_physical``.
+
+    A planning estimate (expectation-based): with heavy sharing a
+    server admits far more streams than physical fetch slots.
+    """
+    if n_max_physical < 0:
+        raise ConfigurationError(
+            f"n_max_physical must be >= 0, got {n_max_physical!r}")
+
+    def fits(n: int) -> bool:
+        return expected_distinct_fetches(n, popularity,
+                                         length) <= n_max_physical
+
+    if not fits(1):
+        return 0
+    # Geometric bracket, then binary search (the load is monotone in n).
+    hi = 1
+    while hi < n_cap and fits(hi * 2):
+        hi *= 2
+    hi = min(hi * 2, n_cap)
+    lo = hi // 2
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if fits(mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

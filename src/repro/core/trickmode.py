@@ -1,0 +1,72 @@
+"""Trick modes: fast-forward load analysis.
+
+§2.1 assumes "most users consume complete objects (as opposed to
+fast-forwarding a video or viewing only a short prefix)".  This module
+quantifies what relaxing that assumption costs.
+
+Two fast-forward implementations exist in practice:
+
+- **skip mode**: display every ``k``-th fragment at normal rate.  The
+  stream still fetches one fragment per round, so the *load is
+  unchanged* -- only the striping phase pattern shifts (fragment
+  ``i + k`` lives ``k`` disks ahead, which round-robin striping absorbs:
+  the stream simply advances its phase class by ``k - 1`` each round).
+- **scan mode**: display all content at ``k``-times speed.  The stream
+  consumes ``k`` fragments per round and therefore places ``k`` requests
+  into every sweep -- a ``k``-fold load multiplier that the admission
+  control must charge.
+
+The scan-mode analysis maps directly onto the §3 machinery: a round
+serving ``n_normal`` normal streams and ``n_ff`` scan-mode streams at
+multiplier ``k`` is a round of ``n_normal + k * n_ff`` i.i.d. requests.
+"""
+
+from __future__ import annotations
+
+from repro.core.service_time import RoundServiceTimeModel
+from repro.errors import ConfigurationError
+
+__all__ = ["scan_mode_requests", "ff_round_bound", "n_max_with_ff"]
+
+
+def scan_mode_requests(n_normal: int, n_ff: int, k: int) -> int:
+    """Requests per round with ``n_ff`` scan-mode streams at ``k``x."""
+    if n_normal < 0 or n_ff < 0 or n_normal + n_ff < 1:
+        raise ConfigurationError(
+            f"need non-negative stream counts with at least one "
+            f"stream, got n_normal={n_normal!r}, n_ff={n_ff!r}")
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k!r}")
+    return n_normal + k * n_ff
+
+
+def ff_round_bound(model: RoundServiceTimeModel, n_normal: int,
+                   n_ff: int, k: int, t: float) -> float:
+    """Chernoff lateness bound of a round with scan-mode FF streams."""
+    return model.b_late(scan_mode_requests(n_normal, n_ff, k), t)
+
+
+def n_max_with_ff(model: RoundServiceTimeModel, t: float, delta: float,
+                  ff_fraction: float, k: int, n_cap: int = 512) -> int:
+    """Largest total stream count when a fraction fast-forwards.
+
+    ``ff_fraction`` of the admitted streams are assumed to be in
+    ``k``-times scan mode at any instant (the provisioning worst case a
+    VOD operator plans for); the rest stream normally.  Returns the
+    largest total ``N`` whose worst-round bound stays within ``delta``.
+    """
+    if not (0.0 <= ff_fraction <= 1.0):
+        raise ConfigurationError(
+            f"ff_fraction must be in [0, 1], got {ff_fraction!r}")
+    if not (0.0 < delta < 1.0):
+        raise ConfigurationError(
+            f"delta must be in (0, 1), got {delta!r}")
+    best = 0
+    for n in range(1, n_cap + 1):
+        n_ff = int(round(ff_fraction * n))
+        requests = scan_mode_requests(n - n_ff, n_ff, k)
+        if model.b_late(requests, t) <= delta:
+            best = n
+        else:
+            break
+    return best

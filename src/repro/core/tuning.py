@@ -1,0 +1,114 @@
+"""Round-length tuning.
+
+The round length ``t`` is "a configuration parameter of our
+architecture; changing it would require all data to be re-fragmented"
+(§2.3) -- so it is worth choosing well before ingesting a catalog.
+Longer rounds amortise seek/rotation overhead over more transferred
+bytes and admit more streams, but every admitted stream may wait up to
+one round before starting, and client buffers must hold whole fragments.
+
+Admitted bandwidth grows with ``t`` through the practically relevant
+range, but not forever: the stream-level guarantee tolerates
+``floor(glitch_fraction * M)`` glitches, and with long rounds ``M``
+shrinks until the integer budget snaps down a step (e.g. from 2 allowed
+glitches to 1), which can *reduce* the admitted count again.  The
+interesting object is therefore the *knee*: the shortest round already
+achieving (almost) the peak bandwidth over the candidate grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.admission import n_max_perror
+from repro.core.glitch import GlitchModel
+from repro.core.service_time import RoundServiceTimeModel
+from repro.disk.presets import DiskSpec
+from repro.distributions import Gamma
+from repro.errors import ConfigurationError
+
+__all__ = ["RoundLengthPoint", "RoundLengthTuning", "tune_round_length"]
+
+
+@dataclass(frozen=True)
+class RoundLengthPoint:
+    """Admission outcome at one candidate round length."""
+
+    t: float
+    n_max: int
+    bandwidth: float          # bytes/second of admitted display load
+    startup_delay: float      # worst-case stream startup wait = t
+
+
+@dataclass(frozen=True)
+class RoundLengthTuning:
+    """Result of a round-length sweep."""
+
+    points: tuple[RoundLengthPoint, ...]
+    knee: RoundLengthPoint
+    knee_fraction: float
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Largest admitted bandwidth over the candidate grid."""
+        return max(p.bandwidth for p in self.points)
+
+
+def tune_round_length(spec: DiskSpec, display_bandwidth: float,
+                      cv: float, playback_seconds: float,
+                      glitch_fraction: float = 0.01,
+                      epsilon: float = 0.01,
+                      candidates=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+                      knee_fraction: float = 0.9) -> RoundLengthTuning:
+    """Sweep candidate round lengths and locate the bandwidth knee.
+
+    Parameters
+    ----------
+    display_bandwidth:
+        Per-stream display bandwidth in bytes/second; a round of length
+        ``t`` carries fragments of mean ``display_bandwidth * t``.
+    cv:
+        Coefficient of variation of the fragment sizes (VBR burstiness);
+        held constant across ``t`` (scene-level variability dominates).
+    playback_seconds:
+        Stream length; the per-stream guarantee tolerates
+        ``glitch_fraction`` of its rounds glitching with confidence
+        ``1 - epsilon``.
+    knee_fraction:
+        The knee is the shortest candidate achieving this fraction of
+        the grid's peak bandwidth.
+    """
+    if display_bandwidth <= 0:
+        raise ConfigurationError(
+            f"display_bandwidth must be positive, "
+            f"got {display_bandwidth!r}")
+    if not (0.0 < cv < 2.0):
+        raise ConfigurationError(f"cv must be in (0, 2), got {cv!r}")
+    if playback_seconds <= 0:
+        raise ConfigurationError(
+            f"playback_seconds must be positive, "
+            f"got {playback_seconds!r}")
+    if not (0.0 < knee_fraction <= 1.0):
+        raise ConfigurationError(
+            f"knee_fraction must be in (0, 1], got {knee_fraction!r}")
+    grid = sorted(set(float(c) for c in candidates))
+    if not grid or grid[0] <= 0:
+        raise ConfigurationError("candidates must be positive")
+
+    points = []
+    for t in grid:
+        sizes = Gamma.from_mean_std(display_bandwidth * t,
+                                    cv * display_bandwidth * t)
+        model = RoundServiceTimeModel.for_disk(spec, sizes)
+        glitch = GlitchModel(model, t)
+        m = max(int(round(playback_seconds / t)), 1)
+        g = max(int(glitch_fraction * m), 1)
+        n_max = n_max_perror(glitch, m, g, epsilon)
+        points.append(RoundLengthPoint(
+            t=t, n_max=n_max, bandwidth=n_max * display_bandwidth,
+            startup_delay=t))
+
+    target = knee_fraction * max(p.bandwidth for p in points)
+    knee = next(p for p in points if p.bandwidth >= target)
+    return RoundLengthTuning(points=tuple(points), knee=knee,
+                             knee_fraction=knee_fraction)

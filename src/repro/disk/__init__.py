@@ -1,0 +1,60 @@
+"""Zoned-disk model substrate.
+
+This package models the physical behaviour the paper's simulator needs:
+
+- :class:`~repro.disk.seek.SeekCurve` -- the piecewise sqrt/linear seek
+  time function of Table 1 (after [RW94]),
+- :class:`~repro.disk.zones.ZoneMap` -- the linear multi-zone capacity
+  profile of eq. (3.2.2)/(3.2.3),
+- :class:`~repro.disk.geometry.DiskGeometry` -- cylinders, zone
+  boundaries and capacity-weighted placement,
+- :class:`~repro.disk.drive.DiskDrive` -- a stateful drive that serves
+  requests (seek + rotational latency + zoned transfer),
+- :mod:`~repro.disk.scan` -- SCAN (elevator) batch ordering and sweep
+  service, and
+- :mod:`~repro.disk.presets` -- ready-made parameter sets, notably the
+  Quantum Viking 2.1 of Table 1.
+"""
+
+from repro.disk.seek import SeekCurve
+from repro.disk.zones import ZoneMap
+from repro.disk.geometry import DiskGeometry
+from repro.disk.request import DiskRequest, ServiceBreakdown
+from repro.disk.drive import DiskDrive
+from repro.disk.scan import order_scan, sweep_service, lumped_seek_time
+from repro.disk.presets import (
+    DiskSpec,
+    quantum_viking_2_1,
+    single_zone_viking,
+    scaled_viking,
+    seagate_hawk_1lp,
+    modern_av_drive,
+)
+from repro.disk.placement import (
+    PlacementPolicy,
+    SectorUniformPlacement,
+    OuterZonesPlacement,
+    OrganPipePlacement,
+)
+
+__all__ = [
+    "SeekCurve",
+    "ZoneMap",
+    "DiskGeometry",
+    "DiskRequest",
+    "ServiceBreakdown",
+    "DiskDrive",
+    "order_scan",
+    "sweep_service",
+    "lumped_seek_time",
+    "DiskSpec",
+    "quantum_viking_2_1",
+    "single_zone_viking",
+    "scaled_viking",
+    "seagate_hawk_1lp",
+    "modern_av_drive",
+    "PlacementPolicy",
+    "SectorUniformPlacement",
+    "OuterZonesPlacement",
+    "OrganPipePlacement",
+]

@@ -1,0 +1,152 @@
+"""Data-placement policies over a zoned disk (§2.2 outlook).
+
+The paper assumes sector-uniform placement and leaves smarter schemes
+as future work: "more advanced placement schemes ... should employ a
+generalized organ-pipe permutation [Won83], storing the hottest data at
+an optimal point somewhere between the middle and the outermost track
+[TKKD96, TCG96b], to find the best compromise between short seeks and
+high bandwidth."
+
+A policy is a probability distribution over cylinders describing where
+*accessed* data lives.  It affects the service-time model twice:
+
+- the transfer rate of a request follows the policy's zone mix
+  (captured analytically through the zone-hit probabilities), and
+- seek distances shrink when accesses concentrate (captured by the
+  simulator; the analytic SEEK bound stays worst-case, so the analytic
+  side remains conservative).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.disk.geometry import DiskGeometry
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PlacementPolicy",
+    "SectorUniformPlacement",
+    "OuterZonesPlacement",
+    "OrganPipePlacement",
+]
+
+
+class PlacementPolicy(abc.ABC):
+    """Distribution of accessed data over cylinders."""
+
+    @abc.abstractmethod
+    def cylinder_weights(self, geometry: DiskGeometry) -> np.ndarray:
+        """Unnormalised access weight per cylinder (length CYL)."""
+
+    # ------------------------------------------------------------------
+    def cylinder_probabilities(self, geometry: DiskGeometry) -> np.ndarray:
+        """Normalised access probability per cylinder."""
+        weights = np.asarray(self.cylinder_weights(geometry), dtype=float)
+        if weights.shape != (geometry.cylinders,):
+            raise ConfigurationError(
+                f"policy produced {weights.shape}, expected "
+                f"({geometry.cylinders},)")
+        if np.any(weights < 0) or not np.any(weights > 0):
+            raise ConfigurationError(
+                "placement weights must be non-negative with some mass")
+        return weights / np.sum(weights)
+
+    def zone_probabilities(self, geometry: DiskGeometry) -> np.ndarray:
+        """Probability of an access hitting each zone under the policy."""
+        probs = self.cylinder_probabilities(geometry)
+        zones = geometry.zone_of_cylinder(np.arange(geometry.cylinders))
+        return np.bincount(zones, weights=probs,
+                           minlength=geometry.zones)
+
+    def rate_moment(self, geometry: DiskGeometry, k: int) -> float:
+        """``E[R^k]`` of the transfer rate under the policy."""
+        zone_probs = self.zone_probabilities(geometry)
+        rates = geometry.zone_map.rates
+        return float(np.sum(zone_probs * rates ** k))
+
+    def sample_cylinders(self, geometry: DiskGeometry,
+                         rng: np.random.Generator, size=None):
+        """Sample access cylinders under the policy."""
+        probs = self.cylinder_probabilities(geometry)
+        return rng.choice(geometry.cylinders, size=size, p=probs)
+
+    def mean_pairwise_seek_distance(self, geometry: DiskGeometry) -> float:
+        """``E|C1 - C2|`` for two independent accesses -- a proxy for
+        how much the policy shortens seeks (exact, O(CYL))."""
+        probs = self.cylinder_probabilities(geometry)
+        cdf = np.cumsum(probs)
+        # E|C1-C2| = 2 * sum_c F(c)(1 - F(c)) for integer support.
+        return float(2.0 * np.sum(cdf * (1.0 - cdf)))
+
+
+class SectorUniformPlacement(PlacementPolicy):
+    """The paper's baseline: every sector equally likely, so a
+    cylinder's weight is its track capacity (eq. 3.2.1)."""
+
+    def cylinder_weights(self, geometry: DiskGeometry) -> np.ndarray:
+        zones = geometry.zone_of_cylinder(np.arange(geometry.cylinders))
+        return geometry.zone_map.capacities[zones]
+
+    def __repr__(self) -> str:
+        return "SectorUniformPlacement()"
+
+
+class OuterZonesPlacement(PlacementPolicy):
+    """Hot data packed into the outermost ``fraction`` of cylinders
+    (maximum bandwidth, e.g. [Bir95]-style fast-band placement)."""
+
+    def __init__(self, fraction: float = 0.5) -> None:
+        if not (0.0 < fraction <= 1.0):
+            raise ConfigurationError(
+                f"fraction must be in (0, 1], got {fraction!r}")
+        self.fraction = float(fraction)
+
+    def cylinder_weights(self, geometry: DiskGeometry) -> np.ndarray:
+        zones = geometry.zone_of_cylinder(np.arange(geometry.cylinders))
+        weights = geometry.zone_map.capacities[zones].astype(float)
+        cut = int(round((1.0 - self.fraction) * geometry.cylinders))
+        weights[:cut] = 0.0
+        return weights
+
+    def __repr__(self) -> str:
+        return f"OuterZonesPlacement(fraction={self.fraction:g})"
+
+
+class OrganPipePlacement(PlacementPolicy):
+    """Access mass decaying geometrically with distance from a centre
+    cylinder -- the organ-pipe arrangement with the hottest data at
+    ``centre_fraction`` of the radius ([Won83, TKKD96]).
+
+    ``skew`` controls how concentrated the accesses are: the weight of
+    a cylinder at distance ``d`` from the centre is
+    ``skew^(d / cylinders)`` scaled by track capacity, so ``skew = 1``
+    degenerates to sector-uniform and small ``skew`` pins accesses to
+    the centre.
+    """
+
+    def __init__(self, centre_fraction: float = 0.75,
+                 skew: float = 1e-3) -> None:
+        if not (0.0 <= centre_fraction <= 1.0):
+            raise ConfigurationError(
+                f"centre_fraction must be in [0, 1], "
+                f"got {centre_fraction!r}")
+        if not (0.0 < skew <= 1.0):
+            raise ConfigurationError(
+                f"skew must be in (0, 1], got {skew!r}")
+        self.centre_fraction = float(centre_fraction)
+        self.skew = float(skew)
+
+    def cylinder_weights(self, geometry: DiskGeometry) -> np.ndarray:
+        cylinders = np.arange(geometry.cylinders)
+        zones = geometry.zone_of_cylinder(cylinders)
+        capacity = geometry.zone_map.capacities[zones].astype(float)
+        centre = self.centre_fraction * (geometry.cylinders - 1)
+        distance = np.abs(cylinders - centre) / geometry.cylinders
+        return capacity * self.skew ** distance
+
+    def __repr__(self) -> str:
+        return (f"OrganPipePlacement(centre_fraction="
+                f"{self.centre_fraction:g}, skew={self.skew:g})")

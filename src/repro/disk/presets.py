@@ -1,0 +1,142 @@
+"""Ready-made disk parameter sets.
+
+:func:`quantum_viking_2_1` encodes Table 1 of the paper exactly; the
+other constructors are controlled variations used by the worked examples
+and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.seek import SeekCurve
+from repro.disk.zones import ZoneMap
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DiskSpec",
+    "quantum_viking_2_1",
+    "single_zone_viking",
+    "scaled_viking",
+    "seagate_hawk_1lp",
+    "modern_av_drive",
+]
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Bundle of everything the models need to know about one disk."""
+
+    name: str
+    cylinders: int
+    zone_map: ZoneMap
+    seek_curve: SeekCurve
+    surfaces: int = 1
+    _geometry: DiskGeometry = field(init=False, repr=False, compare=False,
+                                    default=None)
+
+    def __post_init__(self) -> None:
+        if self.cylinders < 1:
+            raise ConfigurationError(
+                f"cylinders must be >= 1, got {self.cylinders!r}")
+        object.__setattr__(
+            self, "_geometry",
+            DiskGeometry(self.cylinders, self.zone_map,
+                         surfaces=self.surfaces))
+
+    @property
+    def geometry(self) -> DiskGeometry:
+        """The derived cylinder/zone layout."""
+        return self._geometry
+
+    @property
+    def rot(self) -> float:
+        """Revolution time in seconds."""
+        return self.zone_map.rot
+
+    def with_zones(self, zones: int) -> "DiskSpec":
+        """Same drive with the capacity range re-split into ``zones``
+        zones (ablation A2).  Total min/max capacities are preserved."""
+        zone_map = ZoneMap.linear(zones, self.zone_map.c_min,
+                                  self.zone_map.c_max, self.zone_map.rot)
+        return replace(self, name=f"{self.name}-Z{zones}",
+                       zone_map=zone_map)
+
+
+#: Seek-time curve of Table 1 (Quantum Viking 2.1).
+_VIKING_SEEK = SeekCurve(
+    a_sqrt=1.867e-3,
+    b_sqrt=1.315e-4,
+    a_lin=3.8635e-3,
+    b_lin=2.1e-6,
+    threshold=1344,
+)
+
+
+def quantum_viking_2_1() -> DiskSpec:
+    """The Quantum Viking 2.1 drive of Table 1.
+
+    CYL=6720 cylinders, Z=15 zones, ROT=8.34 ms, track capacities from
+    58368 bytes (innermost) to 95744 bytes (outermost), linear profile.
+    """
+    zone_map = ZoneMap.linear(zones=15, c_min=58368.0, c_max=95744.0,
+                              rot=8.34e-3)
+    return DiskSpec(name="Quantum Viking 2.1", cylinders=6720,
+                    zone_map=zone_map, seek_curve=_VIKING_SEEK)
+
+
+def single_zone_viking(track_capacity: float = 76800.0) -> DiskSpec:
+    """Single-zone disk used in the §3.1 worked example.
+
+    The example quotes a "track capacity of 75 KBytes"; matching its
+    ``E[T_trans] = 0.02174 s`` for 200 KB (decimal) fragments requires
+    the KiB reading, 75 * 1024 = 76800 bytes, which is the default here.
+    """
+    zone_map = ZoneMap.linear(zones=1, c_min=track_capacity,
+                              c_max=track_capacity, rot=8.34e-3)
+    return DiskSpec(name="Viking (single-zone)", cylinders=6720,
+                    zone_map=zone_map, seek_curve=_VIKING_SEEK)
+
+
+def seagate_hawk_1lp() -> DiskSpec:
+    """A Seagate Hawk-class drive of the same era ([RW94]'s disk family).
+
+    Approximate public specs: ~2760 cylinders, 9 zones, 5400 rpm
+    (11.1 ms revolution), ~44-74 KB tracks.  Provided as a second
+    realistic operating point for the examples; the paper's experiments
+    all use :func:`quantum_viking_2_1`.
+    """
+    zone_map = ZoneMap.linear(zones=9, c_min=44544.0, c_max=74240.0,
+                              rot=11.1e-3)
+    seek = SeekCurve(a_sqrt=2.5e-3, b_sqrt=2.1e-4, a_lin=5.0e-3,
+                     b_lin=4.4e-6, threshold=620)
+    return DiskSpec(name="Seagate Hawk 1LP (approx.)", cylinders=2760,
+                    zone_map=zone_map, seek_curve=seek)
+
+
+def modern_av_drive() -> DiskSpec:
+    """A late-90s "AV-rated" drive: 7200 rpm, wider zone spread, faster
+    arm -- the class of hardware §5's prototype targeted."""
+    zone_map = ZoneMap.linear(zones=20, c_min=120_000.0, c_max=220_000.0,
+                              rot=8.33e-3)
+    seek = SeekCurve(a_sqrt=1.2e-3, b_sqrt=9.0e-5, a_lin=2.8e-3,
+                     b_lin=1.3e-6, threshold=1500)
+    return DiskSpec(name="AV-class drive (synthetic)", cylinders=10_000,
+                    zone_map=zone_map, seek_curve=seek)
+
+
+def scaled_viking(rate_scale: float = 1.0, zones: int = 15,
+                  cylinders: int = 6720) -> DiskSpec:
+    """A Viking-like drive with scaled transfer rates.
+
+    Used by capacity-planning examples to model faster drive generations
+    while keeping the Table-1 seek/rotation behaviour.
+    """
+    if rate_scale <= 0:
+        raise ConfigurationError(
+            f"rate_scale must be positive, got {rate_scale!r}")
+    zone_map = ZoneMap.linear(zones=zones, c_min=58368.0 * rate_scale,
+                              c_max=95744.0 * rate_scale, rot=8.34e-3)
+    return DiskSpec(name=f"Viking x{rate_scale:g}", cylinders=cylinders,
+                    zone_map=zone_map, seek_curve=_VIKING_SEEK)

@@ -1,0 +1,51 @@
+"""Request and service-breakdown records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DiskRequest", "ServiceBreakdown"]
+
+
+@dataclass(frozen=True)
+class DiskRequest:
+    """One fragment fetch.
+
+    Attributes
+    ----------
+    stream_id:
+        Identifier of the owning stream (used for glitch accounting).
+    size:
+        Fragment size in bytes.
+    cylinder:
+        Target cylinder (determines both the seek and, through the zone
+        map, the transfer rate).
+    """
+
+    stream_id: int
+    size: float
+    cylinder: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(
+                f"request size must be positive, got {self.size!r}")
+        if self.cylinder < 0:
+            raise ConfigurationError(
+                f"cylinder must be >= 0, got {self.cylinder!r}")
+
+
+@dataclass(frozen=True)
+class ServiceBreakdown:
+    """Timing components of one served request."""
+
+    seek: float
+    rotation: float
+    transfer: float
+
+    @property
+    def total(self) -> float:
+        """Total service time in seconds."""
+        return self.seek + self.rotation + self.transfer

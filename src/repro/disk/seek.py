@@ -1,0 +1,91 @@
+"""Seek-time curves.
+
+Following [RW94] and [Oya95], the seek time is modelled as proportional
+to the square root of the seek distance for short seeks (the arm spends
+its time accelerating and decelerating) and linear for long seeks (the
+arm coasts at maximum velocity), cf. Table 1 of the paper::
+
+    seek(d) = a_sqrt + b_sqrt * sqrt(d)      for 0 < d < threshold
+    seek(d) = a_lin  + b_lin  * d            for d >= threshold
+    seek(0) = 0
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SeekCurve"]
+
+
+@dataclass(frozen=True)
+class SeekCurve:
+    """Piecewise sqrt/linear seek-time function.
+
+    Attributes
+    ----------
+    a_sqrt, b_sqrt:
+        Intercept and coefficient of the square-root branch (seconds,
+        seconds per sqrt(cylinder)).
+    a_lin, b_lin:
+        Intercept and coefficient of the linear branch (seconds,
+        seconds per cylinder).
+    threshold:
+        Distance (in cylinders) where the linear branch takes over.
+    """
+
+    a_sqrt: float
+    b_sqrt: float
+    a_lin: float
+    b_lin: float
+    threshold: int
+
+    def __post_init__(self) -> None:
+        for name in ("a_sqrt", "b_sqrt", "a_lin", "b_lin"):
+            value = getattr(self, name)
+            if not (value >= 0.0 and math.isfinite(value)):
+                raise ConfigurationError(
+                    f"seek coefficient {name} must be >= 0, got {value!r}")
+        if self.threshold <= 0:
+            raise ConfigurationError(
+                f"threshold must be positive, got {self.threshold!r}")
+
+    # ------------------------------------------------------------------
+    def __call__(self, distance):
+        """Seek time for a distance in cylinders (vectorised).
+
+        ``seek(0) = 0`` -- staying on the same cylinder costs nothing
+        (track-to-track switches are folded into the rotational model).
+        """
+        d = np.asarray(distance, dtype=float)
+        if np.any(d < 0):
+            raise ConfigurationError("seek distance must be >= 0")
+        short = self.a_sqrt + self.b_sqrt * np.sqrt(d)
+        long_ = self.a_lin + self.b_lin * d
+        result = np.where(d < self.threshold, short, long_)
+        result = np.where(d == 0, 0.0, result)
+        if np.isscalar(distance) or np.ndim(distance) == 0:
+            return float(result)
+        return result
+
+    def max_time(self, cylinders: int) -> float:
+        """Seek time of a full-stroke seek across ``cylinders - 1``
+        cylinders -- the ``T_seek^max`` of eq. (4.1)."""
+        if cylinders < 2:
+            raise ConfigurationError("need at least 2 cylinders")
+        return float(self(cylinders - 1))
+
+    def discontinuity(self) -> float:
+        """Jump of the curve at the branch threshold (seconds).
+
+        Useful as a sanity check that a parameter set is approximately
+        continuous, like Table 1's (jump of ~2 microseconds).
+        """
+        d = float(self.threshold)
+        short = self.a_sqrt + self.b_sqrt * math.sqrt(d)
+        long_ = self.a_lin + self.b_lin * d
+        return long_ - short

@@ -1,0 +1,208 @@
+"""Multi-zone capacity and transfer-rate model.
+
+Zone ``i`` (1-based in the paper, 0-based here) of ``Z`` zones has track
+capacity growing linearly from ``C_min`` (innermost) to ``C_max``
+(outermost), eq. (3.2.2), and transfer rate ``R_i = C_i / ROT``,
+eq. (3.2.3).  All zones hold the same number of tracks; with placement
+uniform over *sectors*, a request hits zone ``i`` with probability
+``C_i / C`` where ``C = sum_j C_j`` (eq. 3.2.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ZoneMap"]
+
+
+class ZoneMap:
+    """Capacity/rate profile of a zoned disk.
+
+    Parameters
+    ----------
+    capacities:
+        Per-track capacity of every zone in bytes, ordered innermost to
+        outermost (must be non-decreasing and positive).
+    rot:
+        Revolution time in seconds.
+    """
+
+    def __init__(self, capacities, rot: float) -> None:
+        caps = np.asarray(capacities, dtype=float)
+        if caps.ndim != 1 or caps.size < 1:
+            raise ConfigurationError(
+                "capacities must be a non-empty 1-d sequence")
+        if np.any(caps <= 0):
+            raise ConfigurationError("track capacities must be positive")
+        if np.any(np.diff(caps) < 0):
+            raise ConfigurationError(
+                "track capacities must be non-decreasing inner -> outer")
+        if not (rot > 0.0 and math.isfinite(rot)):
+            raise ConfigurationError(f"rot must be positive, got {rot!r}")
+        self._caps = caps.copy()
+        self._caps.flags.writeable = False
+        self.rot = float(rot)
+        self._total = float(np.sum(caps))
+        self._probs = caps / self._total
+        self._probs.flags.writeable = False
+        self._cum = np.cumsum(self._probs)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def linear(cls, zones: int, c_min: float, c_max: float,
+               rot: float) -> "ZoneMap":
+        """The paper's linear profile, eq. (3.2.2).
+
+        ``C_i = C_min + (C_max - C_min) * (i - 1) / (Z - 1)``, i=1..Z.
+        ``zones == 1`` degenerates to a conventional single-zone disk
+        with track capacity ``c_min`` (then ``c_max`` must equal it).
+        """
+        if zones < 1:
+            raise ConfigurationError(f"zones must be >= 1, got {zones!r}")
+        if zones == 1:
+            if c_max != c_min:
+                raise ConfigurationError(
+                    "single-zone profile requires c_min == c_max")
+            return cls([c_min], rot)
+        if c_max < c_min:
+            raise ConfigurationError("require c_max >= c_min")
+        i = np.arange(zones, dtype=float)
+        caps = c_min + (c_max - c_min) * i / (zones - 1)
+        return cls(caps, rot)
+
+    # ------------------------------------------------------------------
+    @property
+    def zones(self) -> int:
+        """Number of zones ``Z``."""
+        return self._caps.size
+
+    @property
+    def capacities(self) -> np.ndarray:
+        """Per-track capacities in bytes, innermost first (read-only)."""
+        return self._caps
+
+    @property
+    def c_min(self) -> float:
+        """Innermost-zone track capacity."""
+        return float(self._caps[0])
+
+    @property
+    def c_max(self) -> float:
+        """Outermost-zone track capacity."""
+        return float(self._caps[-1])
+
+    @property
+    def total_track_capacity(self) -> float:
+        """``C = sum_i C_i`` -- the normaliser of eq. (3.2.1)."""
+        return self._total
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Per-zone transfer rates ``R_i = C_i / ROT`` in bytes/second."""
+        return self._caps / self.rot
+
+    @property
+    def r_min(self) -> float:
+        """Innermost (slowest) transfer rate."""
+        return self.c_min / self.rot
+
+    @property
+    def r_max(self) -> float:
+        """Outermost (fastest) transfer rate."""
+        return self.c_max / self.rot
+
+    @property
+    def zone_probabilities(self) -> np.ndarray:
+        """Probability of a uniform-over-sectors request hitting each
+        zone: ``C_i / C`` (eq. 3.2.1, read-only)."""
+        return self._probs
+
+    # ------------------------------------------------------------------
+    # Moments of the (inverse) transfer rate under sector-uniform access.
+    # ------------------------------------------------------------------
+    def rate_moment(self, k: int) -> float:
+        """``E[R^k]`` for integer k (possibly negative).
+
+        With ``S`` independent of ``R``, the transfer time ``T = S / R``
+        has raw moments ``E[T^k] = E[S^k] * E[R^-k]``; the model in
+        :mod:`repro.core.transfer` uses ``k = -1, -2``.
+        """
+        rates = self.rates
+        return float(np.sum(self._probs * rates ** k))
+
+    def mean_rate(self) -> float:
+        """``E[R]`` under sector-uniform placement (outer-zone biased)."""
+        return self.rate_moment(1)
+
+    def harmonic_mean_rate(self) -> float:
+        """``1 / E[1/R]`` -- the rate whose single-zone disk matches the
+        multi-zone mean transfer time.
+
+        For the linear equal-track profile this collapses to
+        ``C / (Z * ROT)``, the arithmetic-mean capacity over zones,
+        because zone hit probability is itself proportional to ``C_i``.
+        """
+        return 1.0 / self.rate_moment(-1)
+
+    # ------------------------------------------------------------------
+    # Distribution of the transfer rate (discrete and the paper's
+    # continuous approximation).
+    # ------------------------------------------------------------------
+    def rate_cdf(self, r) -> np.ndarray:
+        """Exact discrete cdf ``P[R <= r]`` (eq. 3.2.1/3.2.4)."""
+        r = np.asarray(r, dtype=float)
+        rates = self.rates
+        idx = np.searchsorted(rates, r, side="right")
+        cum = np.concatenate(([0.0], self._cum))
+        return cum[idx]
+
+    def continuous_rate_pdf(self, r) -> np.ndarray:
+        """Continuous-approximation density of the transfer rate.
+
+        In the limit of many zones the linear profile gives a density
+        proportional to ``r`` on ``[R_min, R_max]``::
+
+            f(r) = 2 r / (R_max^2 - R_min^2)
+
+        (the continuum version of eq. 3.2.6: tracks are hit with
+        probability proportional to their capacity, and capacity is
+        proportional to rate).  For a single zone the density is a point
+        mass and this method raises.
+        """
+        if self.zones == 1:
+            raise ConfigurationError(
+                "continuous rate density undefined for a single zone")
+        r = np.asarray(r, dtype=float)
+        lo, hi = self.r_min, self.r_max
+        dens = 2.0 * r / (hi * hi - lo * lo)
+        return np.where((r >= lo) & (r <= hi), dens, 0.0)
+
+    def continuous_rate_cdf(self, r) -> np.ndarray:
+        """Continuous-approximation cdf matching
+        :meth:`continuous_rate_pdf`."""
+        if self.zones == 1:
+            raise ConfigurationError(
+                "continuous rate cdf undefined for a single zone")
+        r = np.asarray(r, dtype=float)
+        lo, hi = self.r_min, self.r_max
+        raw = (r * r - lo * lo) / (hi * hi - lo * lo)
+        return np.clip(raw, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    def sample_zone(self, rng: np.random.Generator, size=None):
+        """Sample zone indices (0-based) with sector-uniform weights."""
+        u = rng.random(size=size)
+        return np.searchsorted(self._cum, u, side="right")
+
+    def sample_rate(self, rng: np.random.Generator, size=None):
+        """Sample transfer rates of sector-uniform requests."""
+        zones = self.sample_zone(rng, size=size)
+        return self.rates[zones]
+
+    def __repr__(self) -> str:
+        return (f"ZoneMap(zones={self.zones}, c_min={self.c_min:.0f}, "
+                f"c_max={self.c_max:.0f}, rot={self.rot:.6g})")

@@ -1,0 +1,53 @@
+"""Probability-distribution substrate.
+
+The analytic model of the paper consumes distributions through two narrow
+interfaces: their first two moments (for moment matching, eq. 3.2.10) and
+their moment generating function / Laplace-Stieltjes transform (for the
+Chernoff machinery, eq. 3.1.3-3.1.5).  The simulator additionally needs
+sampling.  Every distribution here implements the full
+:class:`~repro.distributions.base.Distribution` protocol: pdf, cdf,
+quantiles, moments, sampling and -- where it exists -- the log-MGF.
+
+Fragment sizes in the paper are Gamma distributed; the paper notes the
+derivation goes through for "other heavy-tailed distributions such as
+Pareto or Lognormal as long as we can derive (or approximate) the
+corresponding Laplace-Stieltjes transform".  Lognormal and Pareto have no
+finite MGF on any right neighbourhood of zero, so the ablation experiments
+use :class:`~repro.distributions.truncated.Truncated` versions whose MGF
+is computed by quadrature -- physically justified because a fragment can
+never exceed one round's worth of the maximum display bandwidth.
+"""
+
+from repro.distributions.base import Distribution
+from repro.distributions.gamma import Gamma
+from repro.distributions.lognormal import LogNormal
+from repro.distributions.pareto import Pareto
+from repro.distributions.uniform import Uniform
+from repro.distributions.deterministic import Deterministic
+from repro.distributions.truncated import Truncated
+from repro.distributions.empirical import Empirical
+from repro.distributions.mixture import Mixture
+from repro.distributions.fit import FitResult, best_fit, fit_fragment_sizes
+from repro.distributions.binomial import (
+    binomial_tail,
+    hagerup_rub_tail,
+    log_hagerup_rub_tail,
+)
+
+__all__ = [
+    "Distribution",
+    "Gamma",
+    "LogNormal",
+    "Pareto",
+    "Uniform",
+    "Deterministic",
+    "Truncated",
+    "Empirical",
+    "Mixture",
+    "FitResult",
+    "best_fit",
+    "fit_fragment_sizes",
+    "binomial_tail",
+    "hagerup_rub_tail",
+    "log_hagerup_rub_tail",
+]

@@ -1,0 +1,102 @@
+"""Empirical distribution built from observed samples.
+
+Trace-driven experiments (ablation A6) fragment a synthetic MPEG VBR
+trace into constant-display-time fragments and feed the resulting size
+sample into both the simulator (resampling) and the analytic model (the
+sample mean/variance for moment matching, or the sample-based MGF for the
+numeric Chernoff path).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.errors import ConfigurationError
+
+__all__ = ["Empirical"]
+
+
+class Empirical(Distribution):
+    """Distribution placing mass ``1/n`` on each observed sample."""
+
+    def __init__(self, samples) -> None:
+        data = np.asarray(samples, dtype=float).ravel()
+        if data.size < 2:
+            raise ConfigurationError(
+                f"need at least 2 samples, got {data.size}")
+        if not np.all(np.isfinite(data)):
+            raise ConfigurationError("samples must be finite")
+        self._data = np.sort(data)
+        self._n = data.size
+        self._mean = float(np.mean(self._data))
+        self._var = float(np.var(self._data))
+        if self._var == 0.0:
+            raise ConfigurationError(
+                "degenerate sample (zero variance); use Deterministic")
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The sorted underlying sample (read-only view)."""
+        view = self._data.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return self._n
+
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        return self._mean
+
+    def var(self) -> float:
+        return self._var
+
+    def pdf(self, x):
+        # The empirical law is atomic; report a kernel-free histogram
+        # density so plotting utilities get something sensible.
+        x = np.asarray(x, dtype=float)
+        lo, hi = self._data[0], self._data[-1]
+        if hi == lo:
+            return np.zeros_like(x)
+        bins = max(int(math.sqrt(self._n)), 4)
+        hist, edges = np.histogram(self._data, bins=bins, density=True)
+        idx = np.clip(np.searchsorted(edges, x, side="right") - 1,
+                      0, bins - 1)
+        inside = (x >= lo) & (x <= hi)
+        return np.where(inside, hist[idx], 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.searchsorted(self._data, x, side="right") / self._n
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        idx = np.clip(np.ceil(q * self._n).astype(int) - 1, 0, self._n - 1)
+        return self._data[idx]
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return rng.choice(self._data, size=size, replace=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def theta_sup(self) -> float:
+        return math.inf
+
+    def log_mgf(self, theta: float) -> float:
+        """Sample MGF ``log (1/n) sum_i e^{theta x_i}`` with max-factoring."""
+        exponent = theta * self._data
+        peak = float(np.max(exponent))
+        return peak + math.log(float(np.mean(np.exp(exponent - peak))))
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (float(self._data[0]), float(self._data[-1]))
+
+    def __repr__(self) -> str:
+        return (f"Empirical(n={self._n}, mean={self._mean:.6g}, "
+                f"std={math.sqrt(self._var):.6g})")

@@ -1,0 +1,158 @@
+"""Finite mixture distribution.
+
+The paper's model draws each request's transfer time i.i.d. from one
+law; when the server carries *heterogeneous stream classes* (audio at
+64 KB/s next to video at 400 KB/s -- §1's "variable display bandwidth
+both across different streams and within a single stream"), the natural
+per-request law is the class mixture weighted by class population.  A
+mixture of MGF-carrying components again has an MGF
+(``E[e^{tX}] = sum_i w_i E_i[e^{tX}]``), so the whole Chernoff pipeline
+goes through unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.errors import ConfigurationError, DistributionError
+
+__all__ = ["Mixture"]
+
+
+class Mixture(Distribution):
+    """Mixture ``sum_i w_i F_i`` of component distributions.
+
+    Parameters
+    ----------
+    components:
+        Sequence of ``(weight, distribution)`` pairs; weights must be
+        positive and are normalised to 1.
+    """
+
+    def __init__(self, components) -> None:
+        pairs = list(components)
+        if not pairs:
+            raise ConfigurationError("mixture needs >= 1 component")
+        weights = np.array([w for w, _ in pairs], dtype=float)
+        if np.any(weights <= 0):
+            raise ConfigurationError("mixture weights must be positive")
+        self._weights = weights / np.sum(weights)
+        self._dists = [d for _, d in pairs]
+        self._mean = float(sum(w * d.mean()
+                               for w, d in zip(self._weights, self._dists)))
+        second = float(sum(w * d.second_moment()
+                           for w, d in zip(self._weights, self._dists)))
+        self._var = max(second - self._mean ** 2, 0.0)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalised component weights (read-only copy)."""
+        return self._weights.copy()
+
+    @property
+    def components(self) -> list[Distribution]:
+        """The component distributions."""
+        return list(self._dists)
+
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        return self._mean
+
+    def var(self) -> float:
+        return self._var
+
+    def moment(self, k: int) -> float:
+        """Raw moment as the weighted component moments (requires each
+        component to expose ``moment``)."""
+        total = 0.0
+        for w, d in zip(self._weights, self._dists):
+            moment = getattr(d, "moment", None)
+            if not callable(moment):
+                raise DistributionError(
+                    f"component {d!r} exposes no raw moments")
+            total += w * float(moment(k))
+        return total
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        total = np.zeros_like(x, dtype=float)
+        for w, d in zip(self._weights, self._dists):
+            total = total + w * np.asarray(d.pdf(x))
+        return total
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        total = np.zeros_like(x, dtype=float)
+        for w, d in zip(self._weights, self._dists):
+            total = total + w * np.asarray(d.cdf(x))
+        return total
+
+    def ppf(self, q):
+        """Quantiles by bisection on the mixture cdf (no closed form)."""
+        q = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q < 0) | (q > 1)):
+            raise ConfigurationError("quantiles must lie in [0, 1]")
+        # Bracket with the extreme component quantiles.
+        lo = np.min([np.asarray(d.ppf(np.minimum(q, 1 - 1e-12)))
+                     for d in self._dists], axis=0)
+        hi = np.max([np.asarray(d.ppf(np.minimum(q, 1 - 1e-12)))
+                     for d in self._dists], axis=0)
+        lo = np.minimum(lo, hi - 1e-12)
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            below = self.cdf(mid) < q
+            lo = np.where(below, mid, lo)
+            hi = np.where(below, hi, mid)
+            if np.max(hi - lo) < 1e-12 * max(np.max(np.abs(hi)), 1.0):
+                break
+        return 0.5 * (lo + hi)
+
+    def sample(self, rng: np.random.Generator, size=None):
+        if size is None:
+            idx = int(rng.choice(len(self._dists), p=self._weights))
+            return self._dists[idx].sample(rng)
+        shape = (size,) if isinstance(size, int) else tuple(size)
+        flat = int(np.prod(shape))
+        idx = rng.choice(len(self._dists), size=flat, p=self._weights)
+        out = np.empty(flat, dtype=float)
+        for i, d in enumerate(self._dists):
+            mask = idx == i
+            count = int(np.sum(mask))
+            if count:
+                out[mask] = np.asarray(d.sample(rng, size=count))
+        return out.reshape(shape)
+
+    # ------------------------------------------------------------------
+    @property
+    def theta_sup(self) -> float:
+        sups = []
+        for d in self._dists:
+            if not d.has_mgf():
+                raise DistributionError(
+                    f"mixture component {d!r} has no MGF")
+            sups.append(d.theta_sup)
+        return min(sups)
+
+    def log_mgf(self, theta: float) -> float:
+        """``log sum_i w_i exp(logmgf_i(theta))`` via log-sum-exp."""
+        logs = []
+        for w, d in zip(self._weights, self._dists):
+            value = d.log_mgf(theta)
+            if math.isinf(value):
+                return math.inf
+            logs.append(math.log(w) + value)
+        peak = max(logs)
+        return peak + math.log(sum(math.exp(v - peak) for v in logs))
+
+    @property
+    def support(self) -> tuple[float, float]:
+        lows, highs = zip(*(d.support for d in self._dists))
+        return (min(lows), max(highs))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{w:.3f}*{d!r}"
+                          for w, d in zip(self._weights, self._dists))
+        return f"Mixture({inner})"

@@ -1,0 +1,93 @@
+"""Pareto distribution (American/Lomax-free, classic ``x_m`` form).
+
+Listed by the paper as an alternative heavy-tailed fragment-size law.
+A Pareto tail ``P[X > x] = (x_m/x)^alpha`` has infinite MGF for every
+``theta > 0``, so Chernoff bounds require the truncated variant
+(:class:`repro.distributions.truncated.Truncated`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.errors import ConfigurationError, DistributionError
+
+__all__ = ["Pareto"]
+
+
+class Pareto(Distribution):
+    """Pareto distribution with scale ``xm`` and tail index ``alpha``.
+
+    ``pdf(x) = alpha * xm^alpha / x^(alpha+1)`` for ``x >= xm``.
+    """
+
+    def __init__(self, xm: float, alpha: float) -> None:
+        self.xm = self._require_positive("xm", xm)
+        self.alpha = self._require_positive("alpha", alpha)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mean_var(cls, mean: float, var: float) -> "Pareto":
+        """Moment-matched Pareto (requires ``alpha > 2``, i.e. the target
+        coefficient of variation must be below ``1/sqrt(alpha(alpha-2))``'s
+        feasible range; concretely we solve ``alpha`` from ``cv^2``).
+
+        For a Pareto, ``cv^2 = 1 / (alpha * (alpha - 2))``, so
+        ``alpha = 1 + sqrt(1 + 1/cv^2)``.
+        """
+        if not (mean > 0.0 and var > 0.0):
+            raise ConfigurationError("mean and var must be positive")
+        cv2 = var / (mean * mean)
+        alpha = 1.0 + math.sqrt(1.0 + 1.0 / cv2)
+        xm = mean * (alpha - 1.0) / alpha
+        return cls(xm=xm, alpha=alpha)
+
+    @classmethod
+    def from_mean_std(cls, mean: float, std: float) -> "Pareto":
+        """Moment-matched Pareto from mean and standard deviation."""
+        return cls.from_mean_var(mean, std * std)
+
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            raise DistributionError(
+                f"Pareto mean infinite for alpha={self.alpha} <= 1")
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+    def var(self) -> float:
+        if self.alpha <= 2.0:
+            raise DistributionError(
+                f"Pareto variance infinite for alpha={self.alpha} <= 2")
+        a = self.alpha
+        return self.xm ** 2 * a / ((a - 1.0) ** 2 * (a - 2.0))
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            dens = self.alpha * self.xm ** self.alpha / x ** (self.alpha + 1)
+        return np.where(x >= self.xm, dens, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            tail = (self.xm / x) ** self.alpha
+        return np.where(x >= self.xm, 1.0 - tail, 0.0)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        return self.xm / (1.0 - q) ** (1.0 / self.alpha)
+
+    def sample(self, rng: np.random.Generator, size=None):
+        # Inverse-transform sampling; rng.pareto returns the Lomax form.
+        u = rng.random(size=size)
+        return self.xm / (1.0 - u) ** (1.0 / self.alpha)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.xm, math.inf)
+
+    def __repr__(self) -> str:
+        return f"Pareto(xm={self.xm:.6g}, alpha={self.alpha:.6g})"

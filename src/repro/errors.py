@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish configuration
+mistakes from numerical-model failures and admission rejections.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ModelError",
+    "DistributionError",
+    "ChernoffError",
+    "AdmissionError",
+    "SimulationError",
+    "GeometryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A user-supplied parameter set is inconsistent or out of range.
+
+    Raised eagerly at object-construction time (disks with zero zones,
+    negative round lengths, variance of zero where a coefficient of
+    variation is required, ...), so that model evaluation code can assume
+    validated inputs.
+    """
+
+
+class ModelError(ReproError):
+    """The analytic model could not be evaluated.
+
+    This covers structural problems such as requesting the moment
+    generating function of a distribution that has none (e.g. an
+    untruncated Pareto), or composing transforms with incompatible
+    domains.
+    """
+
+
+class DistributionError(ModelError):
+    """A probability-distribution operation is undefined or failed."""
+
+
+class ChernoffError(ModelError):
+    """The Chernoff-bound optimisation failed to produce a finite bound."""
+
+
+class AdmissionError(ReproError):
+    """A stream could not be admitted by the admission controller."""
+
+    def __init__(self, message: str, *, active_streams: int | None = None,
+                 limit: int | None = None) -> None:
+        super().__init__(message)
+        #: Number of streams active when the request was rejected.
+        self.active_streams = active_streams
+        #: The controller's stream limit (``N_max``) at rejection time.
+        self.limit = limit
+
+
+class SimulationError(ReproError):
+    """The discrete-event or Monte-Carlo simulator detected an
+    inconsistent internal state (e.g. an event scheduled in the past)."""
+
+
+class GeometryError(ConfigurationError):
+    """A disk-geometry lookup was out of range (bad cylinder, sector or
+    zone index)."""

@@ -1,0 +1,46 @@
+"""Round-based multimedia server (§2) and its validation simulators.
+
+- :mod:`repro.server.layout` -- coarse-grained round-robin striping and
+  random in-disk placement (§2.1, §3.3 independence condition).
+- :mod:`repro.server.streams` -- stream state, client buffers, glitch
+  accounting.
+- :mod:`repro.server.admission` -- run-time admission control backed by
+  the precomputed ``N_max`` lookup table (§5).
+- :mod:`repro.server.scheduler` / :mod:`repro.server.server` -- the
+  event-driven server: one SCAN sweep per disk per round on the
+  :mod:`repro.sim` kernel.
+- :mod:`repro.server.simulation` -- the vectorised Monte-Carlo path used
+  for the large validation sweeps (Figure 1, Table 2).
+"""
+
+from repro.server.layout import StripedLayout, FragmentLocation
+from repro.server.streams import Stream, StreamStats, ClientBuffer
+from repro.server.admission import AdmissionController
+from repro.server.server import MediaServer, ServerReport
+from repro.server.simulation import (
+    RoundBatch,
+    simulate_rounds,
+    estimate_p_late,
+    simulate_stream_glitches,
+    estimate_p_error,
+    PLateEstimate,
+    PErrorEstimate,
+)
+
+__all__ = [
+    "StripedLayout",
+    "FragmentLocation",
+    "Stream",
+    "StreamStats",
+    "ClientBuffer",
+    "AdmissionController",
+    "MediaServer",
+    "ServerReport",
+    "RoundBatch",
+    "simulate_rounds",
+    "estimate_p_late",
+    "simulate_stream_glitches",
+    "estimate_p_error",
+    "PLateEstimate",
+    "PErrorEstimate",
+]

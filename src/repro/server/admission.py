@@ -1,0 +1,88 @@
+"""Run-time admission control (§2.3, §5).
+
+The controller enforces a per-disk stream limit ``n_max`` computed by the
+analytic model (:mod:`repro.core.admission`): a new stream is admitted
+only if, after admission, no disk would serve more than ``n_max``
+requests in any round.  With stride-1 round-robin striping, a farm of
+``d`` disks serves ``ceil(active / d)`` requests per disk per round in
+the worst case, so the admission test is ``ceil((active + 1)/d) <=
+n_max``.
+
+Lookup tables with precomputed ``n_max`` per tolerance threshold (the §5
+scheme) plug in through :meth:`AdmissionController.from_table`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.admission import AdmissionTable
+from repro.errors import AdmissionError, ConfigurationError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Counting admission controller with a per-disk stream limit."""
+
+    def __init__(self, n_max_per_disk: int, disks: int = 1) -> None:
+        if n_max_per_disk < 0:
+            raise ConfigurationError(
+                f"n_max_per_disk must be >= 0, got {n_max_per_disk!r}")
+        if disks < 1:
+            raise ConfigurationError(f"disks must be >= 1, got {disks!r}")
+        self.n_max_per_disk = int(n_max_per_disk)
+        self.disks = int(disks)
+        self._active = 0
+        #: Total admission requests seen.
+        self.requests = 0
+        #: Requests turned away.
+        self.rejections = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(cls, table: AdmissionTable, *, epsilon: float,
+                   disks: int = 1) -> "AdmissionController":
+        """Build a controller from a §5 lookup table, keyed by the
+        stream-level tolerance ``epsilon`` for ``p_error``."""
+        return cls(table.n_max_perror(epsilon), disks=disks)
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Streams currently admitted."""
+        return self._active
+
+    @property
+    def capacity(self) -> int:
+        """Maximum concurrently admissible streams
+        (``n_max_per_disk * disks``)."""
+        return self.n_max_per_disk * self.disks
+
+    def would_admit(self) -> bool:
+        """Whether one more stream fits without breaking the per-disk
+        guarantee."""
+        return math.ceil((self._active + 1) / self.disks) \
+            <= self.n_max_per_disk
+
+    def admit(self) -> None:
+        """Admit a stream or raise :class:`AdmissionError`."""
+        self.requests += 1
+        if not self.would_admit():
+            self.rejections += 1
+            raise AdmissionError(
+                f"admission denied: {self._active} active streams, "
+                f"per-disk limit {self.n_max_per_disk} on "
+                f"{self.disks} disk(s)",
+                active_streams=self._active, limit=self.capacity)
+        self._active += 1
+
+    def release(self) -> None:
+        """A stream terminated."""
+        if self._active <= 0:
+            raise ConfigurationError("release() without an active stream")
+        self._active -= 1
+
+    def __repr__(self) -> str:
+        return (f"AdmissionController(active={self._active}/"
+                f"{self.capacity}, rejected={self.rejections})")

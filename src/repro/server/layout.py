@@ -1,0 +1,124 @@
+"""Data layout: coarse-grained striping and random in-disk placement.
+
+Fragments of an object are assigned to disks round-robin (§2.1, the
+[ÖRS96]/[BGM94] coarse-grained scheme with cluster size 1 and stride 1),
+so time-wise successive fragments of a stream hit successive disks and
+the per-disk load stays balanced.  Within a disk, each fragment gets an
+independent sector-uniform position -- the §3.3 independence condition
+("one has to ensure that all fragments of one object reside in
+uncorrelated positions of the sweeps of the different disks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.disk.presets import DiskSpec
+from repro.errors import ConfigurationError
+
+__all__ = ["FragmentLocation", "StripedLayout"]
+
+
+@dataclass(frozen=True)
+class FragmentLocation:
+    """Physical address of one stored fragment."""
+
+    disk: int
+    cylinder: int
+    size: float
+
+
+class StripedLayout:
+    """Placement directory for continuous objects on a disk farm.
+
+    Parameters
+    ----------
+    specs:
+        One :class:`DiskSpec` per disk (usually ``[spec] * d``).
+    rng:
+        Source of the random in-disk positions.
+    """
+
+    def __init__(self, specs: list[DiskSpec],
+                 rng: np.random.Generator) -> None:
+        if not specs:
+            raise ConfigurationError("need at least one disk")
+        self.specs = list(specs)
+        self._rng = rng
+        self._objects: dict[str, list[FragmentLocation]] = {}
+        self._next_first_disk = 0
+
+    @property
+    def disks(self) -> int:
+        """Number of disks in the farm."""
+        return len(self.specs)
+
+    # ------------------------------------------------------------------
+    def store(self, name: str, fragment_sizes) -> list[FragmentLocation]:
+        """Lay out an object's fragments round-robin across the disks.
+
+        The starting disk rotates per object so that concurrent streams
+        on different objects stay balanced even at low object counts.
+        """
+        if name in self._objects:
+            raise ConfigurationError(f"object {name!r} already stored")
+        sizes = np.asarray(fragment_sizes, dtype=float).ravel()
+        if sizes.size == 0:
+            raise ConfigurationError("object must have >= 1 fragment")
+        if np.any(sizes <= 0):
+            raise ConfigurationError("fragment sizes must be positive")
+        first = self._next_first_disk
+        self._next_first_disk = (self._next_first_disk + 1) % self.disks
+        locations = []
+        for idx, size in enumerate(sizes):
+            disk = (first + idx) % self.disks
+            cylinder = int(self.specs[disk].geometry.sample_cylinder(
+                self._rng))
+            locations.append(FragmentLocation(disk=disk, cylinder=cylinder,
+                                              size=float(size)))
+        self._objects[name] = locations
+        return locations
+
+    def locate(self, name: str, fragment: int) -> FragmentLocation:
+        """Address of one fragment of a stored object."""
+        locations = self._objects.get(name)
+        if locations is None:
+            raise ConfigurationError(f"unknown object {name!r}")
+        if not (0 <= fragment < len(locations)):
+            raise ConfigurationError(
+                f"fragment {fragment} out of range "
+                f"[0, {len(locations)}) for object {name!r}")
+        return locations[fragment]
+
+    def object_length(self, name: str) -> int:
+        """Number of fragments of a stored object."""
+        locations = self._objects.get(name)
+        if locations is None:
+            raise ConfigurationError(f"unknown object {name!r}")
+        return len(locations)
+
+    def objects(self) -> list[str]:
+        """Names of all stored objects."""
+        return list(self._objects)
+
+    def disk_load_profile(self, name: str) -> np.ndarray:
+        """Fragments per disk for one object -- round-robin striping
+        makes this balanced to within one fragment."""
+        locations = self.locate_all(name)
+        counts = np.zeros(self.disks, dtype=int)
+        for loc in locations:
+            counts[loc.disk] += 1
+        return counts
+
+    def locate_all(self, name: str) -> list[FragmentLocation]:
+        """All fragment locations of an object, in display order."""
+        locations = self._objects.get(name)
+        if locations is None:
+            raise ConfigurationError(f"unknown object {name!r}")
+        return list(locations)
+
+    def __repr__(self) -> str:
+        return (f"StripedLayout(disks={self.disks}, "
+                f"objects={len(self._objects)})")

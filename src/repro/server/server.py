@@ -1,0 +1,291 @@
+"""The multimedia server facade (§2, §5).
+
+:class:`MediaServer` ties the pieces together: a disk farm with striped
+layout, round-based SCAN scheduling on the event kernel, admission
+control against the analytic ``N_max``, and per-stream glitch
+accounting.  It is the "prototype server" counterpart of the paper's §5
+-- small enough to trace microscopically, and statistically equivalent
+to the vectorised validation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.disk.drive import DiskDrive
+from repro.disk.presets import DiskSpec
+from repro.disk.request import DiskRequest
+from repro.errors import ConfigurationError
+from repro.server.admission import AdmissionController
+from repro.server.layout import StripedLayout
+from repro.server.scheduler import DiskScheduler, RoundOutcome
+from repro.server.streams import Stream
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+__all__ = ["MediaServer", "ServerReport"]
+
+
+@dataclass
+class ServerReport:
+    """Summary of one server run."""
+
+    rounds: int = 0
+    requests: int = 0
+    physical_requests: int = 0
+    delivered: int = 0
+    glitches: int = 0
+    late_rounds: int = 0
+    per_disk_late_rounds: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def sharing_factor(self) -> float:
+        """Physical fetches per logical request (multicast saves the
+        difference)."""
+        if self.requests == 0:
+            return 1.0
+        return self.physical_requests / self.requests
+
+    @property
+    def glitch_rate(self) -> float:
+        """Overall fraction of requests that missed their deadline."""
+        if self.requests == 0:
+            return 0.0
+        return self.glitches / self.requests
+
+    @property
+    def p_late(self) -> float:
+        """Fraction of (disk, round) pairs that overran."""
+        if self.rounds == 0:
+            return 0.0
+        disks = max(len(self.per_disk_late_rounds), 1)
+        return self.late_rounds / (self.rounds * disks)
+
+
+class MediaServer:
+    """Round-based continuous-media server over a striped disk farm.
+
+    Parameters
+    ----------
+    specs:
+        One :class:`DiskSpec` per disk.
+    round_length:
+        The scheduling round ``t`` in seconds (= fragment display time).
+    admission:
+        The admission controller; ``None`` disables admission control
+        (useful for deliberately overloading the server in experiments).
+    seed:
+        Root seed for all randomness (placement, latencies).
+    """
+
+    def __init__(self, specs: list[DiskSpec], round_length: float,
+                 admission: AdmissionController | None = None,
+                 seed: int = 0) -> None:
+        if not specs:
+            raise ConfigurationError("need at least one disk")
+        if round_length <= 0:
+            raise ConfigurationError(
+                f"round_length must be positive, got {round_length!r}")
+        if admission is not None and admission.disks != len(specs):
+            raise ConfigurationError(
+                f"admission controller covers {admission.disks} disks "
+                f"but the farm has {len(specs)}")
+        self.specs = list(specs)
+        self.round_length = float(round_length)
+        self.admission = admission
+        self.rng = RngRegistry(seed)
+        self.engine = Engine()
+        self.layout = StripedLayout(self.specs,
+                                    self.rng.stream("placement"))
+        self.streams: dict[int, Stream] = {}
+        self.report = ServerReport(
+            per_disk_late_rounds={d: 0 for d in range(len(specs))})
+        self._next_stream_id = 0
+        self._round_index = 0
+        # Per-disk load balance: with stride-1 round-robin striping, a
+        # stream's disk in round r is (c + r) mod D for a constant
+        # "phase" c, so the per-disk batch size equals the number of
+        # streams in each phase class.  We track class populations and
+        # stagger stream starts to keep them level.
+        self._phase_counts = [0] * len(self.specs)
+        self._stream_phase: dict[int, int] = {}
+        self._startup_delays: list[int] = []
+        # Multicast state: (round, disk, representative stream) ->
+        # all streams waiting for that fetch.
+        self._multicast: dict[tuple[int, int, int], list[int]] = {}
+        self._schedulers = [
+            DiskScheduler(self.engine, DiskDrive(spec.geometry,
+                                                 spec.seek_curve),
+                          self.rng.stream(f"disk-{d}"),
+                          self._handle_outcome, disk_id=d)
+            for d, spec in enumerate(self.specs)
+        ]
+
+    @property
+    def disks(self) -> int:
+        """Number of disks in the farm."""
+        return len(self.specs)
+
+    # ------------------------------------------------------------------
+    # content and sessions
+    # ------------------------------------------------------------------
+    def store_object(self, name: str, fragment_sizes) -> None:
+        """Ingest a continuous object (sizes in bytes, one per round of
+        display time)."""
+        self.layout.store(name, fragment_sizes)
+
+    def open_stream(self, object_name: str, buffer_capacity: int = 2,
+                    balance_start: bool = True) -> Stream:
+        """Admit and start a stream on a stored object.
+
+        Raises :class:`~repro.errors.AdmissionError` when the admission
+        controller is present and the server is full.
+
+        With ``balance_start`` (the default) the start round is chosen
+        within the next ``D`` rounds so the stream lands in the
+        least-populated disk-phase class, keeping every disk's per-round
+        batch at ``ceil(active/D)`` -- the uniform-load assumption the
+        admission model relies on (§2.3's "startup delay of up to one
+        round", generalised to up to ``D`` rounds on a ``D``-disk farm).
+        ``balance_start=False`` starts at the current round regardless
+        (useful for stress experiments).
+        """
+        length = self.layout.object_length(object_name)
+        if self.admission is not None:
+            self.admission.admit()
+        first_disk = self.layout.locate(object_name, 0).disk
+        d = self.disks
+        if balance_start and d > 1:
+            # Phase class of a start at round s: (first_disk - s) mod D.
+            best_delay = min(
+                range(d),
+                key=lambda delay: self._phase_counts[
+                    (first_disk - (self._round_index + delay)) % d])
+            start_round = self._round_index + best_delay
+        else:
+            start_round = self._round_index
+        phase = (first_disk - start_round) % d
+        stream = Stream(self._next_stream_id, object_name, length,
+                        start_round=start_round,
+                        buffer_capacity=buffer_capacity)
+        #: Rounds the stream waits before its first fetch (the §2.3
+        #: startup delay, stretched to <= D rounds by balancing).
+        stream.start_delay = start_round - self._round_index
+        self._startup_delays.append(stream.start_delay)
+        self.streams[stream.stream_id] = stream
+        self._stream_phase[stream.stream_id] = phase
+        self._phase_counts[phase] += 1
+        self._next_stream_id += 1
+        return stream
+
+    def close_stream(self, stream: Stream) -> None:
+        """Tear down a stream (releases its admission slot)."""
+        if stream.stream_id not in self.streams:
+            raise ConfigurationError(
+                f"stream {stream.stream_id} is not active")
+        del self.streams[stream.stream_id]
+        phase = self._stream_phase.pop(stream.stream_id)
+        self._phase_counts[phase] -= 1
+        if self.admission is not None:
+            self.admission.release()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_rounds(self, rounds: int) -> ServerReport:
+        """Run ``rounds`` scheduling rounds and return the report.
+
+        Streams that finish their object mid-run are closed
+        automatically.
+        """
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds!r}")
+        for _ in range(rounds):
+            self._dispatch_round()
+            self.engine.run(until=(self._round_index + 1)
+                            * self.round_length)
+            self._round_index += 1
+            self.report.rounds += 1
+            self._reap_finished()
+        return self.report
+
+    def _dispatch_round(self) -> None:
+        deadline = (self._round_index + 1) * self.round_length
+        batches: dict[int, list[DiskRequest]] = {
+            d: [] for d in range(len(self.specs))}
+        # Identical fetches (same object, same fragment, same round) are
+        # served once and multicast to every requesting stream -- a
+        # server would never read the same block twice in one sweep.
+        groups: dict[tuple[str, int], list[int]] = {}
+        for stream in self.streams.values():
+            fragment = stream.fragment_for_round(self._round_index)
+            if fragment is None:
+                continue
+            self.report.requests += 1
+            groups.setdefault((stream.object_name, fragment),
+                              []).append(stream.stream_id)
+        for (object_name, fragment), members in groups.items():
+            location = self.layout.locate(object_name, fragment)
+            representative = members[0]
+            self.report.physical_requests += 1
+            batches[location.disk].append(DiskRequest(
+                stream_id=representative, size=location.size,
+                cylinder=location.cylinder))
+            if len(members) > 1:
+                self._multicast[(self._round_index, location.disk,
+                                 representative)] = members
+        for disk, requests in batches.items():
+            if requests:
+                self._schedulers[disk].submit(self._round_index, deadline,
+                                              requests)
+
+    def _expand_multicast(self, round_index: int, disk: int,
+                          representative: int) -> list[int]:
+        members = self._multicast.pop((round_index, disk, representative),
+                                      None)
+        return members if members is not None else [representative]
+
+    def _handle_outcome(self, disk: int, outcome: RoundOutcome) -> None:
+        for rep in outcome.served_on_time:
+            for stream_id in self._expand_multicast(outcome.round_index,
+                                                    disk, rep):
+                stream = self.streams.get(stream_id)
+                if stream is not None:
+                    stream.record_delivery(outcome.round_index)
+                    self.report.delivered += 1
+        if outcome.glitched:
+            self.report.late_rounds += 1
+            self.report.per_disk_late_rounds[disk] += 1
+        for rep in outcome.glitched:
+            for stream_id in self._expand_multicast(outcome.round_index,
+                                                    disk, rep):
+                stream = self.streams.get(stream_id)
+                if stream is not None:
+                    stream.record_glitch(outcome.round_index)
+                self.report.glitches += 1
+
+    def _reap_finished(self) -> None:
+        finished = [s for s in self.streams.values()
+                    if s.is_finished(self._round_index)]
+        for stream in finished:
+            self.close_stream(stream)
+
+    # ------------------------------------------------------------------
+    def active_streams(self) -> int:
+        """Streams currently open."""
+        return len(self.streams)
+
+    def startup_delays(self) -> list[int]:
+        """Startup delays (in rounds) of every stream admitted so far.
+
+        With ``balance_start`` each delay is below the disk count; the
+        worst wall-clock wait is ``max(startup_delays()) *
+        round_length``.
+        """
+        return list(self._startup_delays)
+
+    def __repr__(self) -> str:
+        return (f"MediaServer(disks={len(self.specs)}, "
+                f"round={self.round_length}s, "
+                f"streams={len(self.streams)}, "
+                f"round_index={self._round_index})")

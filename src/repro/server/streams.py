@@ -1,0 +1,129 @@
+"""Stream state, client buffers and glitch accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["ClientBuffer", "Stream", "StreamStats"]
+
+
+class ClientBuffer:
+    """The client-side fragment buffer of §2.
+
+    The server delivers the fragment for round ``r+1`` during round
+    ``r``; the client consumes one fragment per round.  The minimum
+    workable capacity is therefore 2 fragments (one being displayed, one
+    arriving); clients with more local memory may buffer deeper.
+    """
+
+    MIN_CAPACITY = 2
+
+    def __init__(self, capacity: int = MIN_CAPACITY) -> None:
+        if capacity < self.MIN_CAPACITY:
+            raise ConfigurationError(
+                f"client buffer needs >= {self.MIN_CAPACITY} fragments, "
+                f"got {capacity!r}")
+        self.capacity = int(capacity)
+        self._occupied = 0
+        self.high_watermark = 0
+
+    @property
+    def occupied(self) -> int:
+        """Fragments currently buffered."""
+        return self._occupied
+
+    @property
+    def free(self) -> int:
+        """Free fragment slots."""
+        return self.capacity - self._occupied
+
+    def deliver(self) -> None:
+        """A fragment arrived from the server."""
+        if self._occupied >= self.capacity:
+            raise SimulationError("client buffer overflow")
+        self._occupied += 1
+        self.high_watermark = max(self.high_watermark, self._occupied)
+
+    def consume(self) -> bool:
+        """The client displays one fragment; returns False on underrun
+        (nothing buffered -- the visible hiccup of a glitch)."""
+        if self._occupied == 0:
+            return False
+        self._occupied -= 1
+        return True
+
+
+@dataclass
+class StreamStats:
+    """Aggregated delivery statistics of one stream."""
+
+    delivered: int = 0
+    glitches: int = 0
+    glitch_rounds: list[int] = field(default_factory=list)
+
+    @property
+    def requested(self) -> int:
+        """Fragments requested so far."""
+        return self.delivered + self.glitches
+
+    def glitch_rate(self) -> float:
+        """Fraction of requested fragments that missed their deadline."""
+        if self.requested == 0:
+            raise SimulationError("stream has not requested any fragments")
+        return self.glitches / self.requested
+
+
+class Stream:
+    """One admitted continuous-data stream.
+
+    A stream starts at ``start_round`` and requests fragment
+    ``r - start_round`` of its object in round ``r`` (to be displayed in
+    round ``r + 1``), until the object is exhausted.
+    """
+
+    def __init__(self, stream_id: int, object_name: str, length: int,
+                 start_round: int, buffer_capacity: int = 2) -> None:
+        if length < 1:
+            raise ConfigurationError(
+                f"object length must be >= 1, got {length!r}")
+        if start_round < 0:
+            raise ConfigurationError(
+                f"start_round must be >= 0, got {start_round!r}")
+        self.stream_id = int(stream_id)
+        self.object_name = object_name
+        self.length = int(length)
+        self.start_round = int(start_round)
+        self.buffer = ClientBuffer(buffer_capacity)
+        self.stats = StreamStats()
+
+    # ------------------------------------------------------------------
+    def fragment_for_round(self, round_index: int) -> int | None:
+        """Fragment index this stream needs fetched in ``round_index``,
+        or None when the stream is inactive/finished then."""
+        offset = round_index - self.start_round
+        if offset < 0 or offset >= self.length:
+            return None
+        return offset
+
+    def is_finished(self, round_index: int) -> bool:
+        """Whether the stream has requested its last fragment before
+        ``round_index``."""
+        return round_index - self.start_round >= self.length
+
+    def record_delivery(self, round_index: int) -> None:
+        """A fragment arrived on time."""
+        self.stats.delivered += 1
+        if self.buffer.free > 0:
+            self.buffer.deliver()
+
+    def record_glitch(self, round_index: int) -> None:
+        """A fragment missed its deadline (dropped)."""
+        self.stats.glitches += 1
+        self.stats.glitch_rounds.append(round_index)
+
+    def __repr__(self) -> str:
+        return (f"Stream(id={self.stream_id}, object={self.object_name!r}, "
+                f"delivered={self.stats.delivered}, "
+                f"glitches={self.stats.glitches})")

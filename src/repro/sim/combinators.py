@@ -1,0 +1,98 @@
+"""Event combinators: wait for all/any of several events.
+
+The round scheduler waits for every disk's sweep; admission tests race
+a timeout against a slot release.  Both shapes are provided here as
+first-class events so processes can ``yield`` them directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Event
+
+__all__ = ["all_of", "any_of"]
+
+
+def _values(events: Sequence[Event]) -> list[Any]:
+    return [e._value for e in events]
+
+
+def all_of(engine: Engine, events: Sequence[Event]) -> Event:
+    """An event firing when *every* input event has fired.
+
+    Succeeds with the list of input values (input order).  If any input
+    fails, the combinator fails with that exception as soon as it is
+    observed.
+    """
+    events = list(events)
+    if not events:
+        raise SimulationError("all_of requires at least one event")
+    result = engine.event()
+    pending = sum(1 for e in events if not e.processed)
+    state = {"remaining": pending, "done": False}
+
+    def check_settled(event: Event) -> None:
+        if state["done"]:
+            return
+        if event._ok is False:
+            state["done"] = True
+            result.fail(event._value)
+            return
+        state["remaining"] -= 1
+        if state["remaining"] <= 0:
+            state["done"] = True
+            result.succeed(_values(events))
+
+    settled_now = True
+    for event in events:
+        if event.processed:
+            if event._ok is False:
+                result.fail(event._value)
+                return result
+        else:
+            settled_now = False
+            event.callbacks.append(check_settled)
+    if settled_now:
+        result.succeed(_values(events))
+    return result
+
+
+def any_of(engine: Engine, events: Sequence[Event]) -> Event:
+    """An event firing when the *first* input event fires.
+
+    Succeeds with ``(index, value)`` of the winner; a failing winner
+    fails the combinator.  Later events are left untouched (their own
+    waiters still see them).
+    """
+    events = list(events)
+    if not events:
+        raise SimulationError("any_of requires at least one event")
+    result = engine.event()
+
+    for index, event in enumerate(events):
+        if event.processed:
+            if event._ok:
+                result.succeed((index, event._value))
+            else:
+                result.fail(event._value)
+            return result
+
+    state = {"done": False}
+
+    def make_callback(index: int):
+        def on_fire(event: Event) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            if event._ok:
+                result.succeed((index, event._value))
+            else:
+                result.fail(event._value)
+        return on_fire
+
+    for index, event in enumerate(events):
+        event.callbacks.append(make_callback(index))
+    return result

@@ -1,0 +1,138 @@
+"""Statistics collection for simulations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Monitor", "TimeWeightedMonitor"]
+
+
+class Monitor:
+    """Accumulates scalar observations and summarises them.
+
+    Uses Welford's online algorithm so long simulations do not need to
+    retain every sample; ``keep_samples=True`` retains them anyway for
+    quantile work.
+    """
+
+    def __init__(self, name: str = "", keep_samples: bool = False) -> None:
+        self.name = name
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._samples: list[float] | None = [] if keep_samples else None
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if self._samples is not None:
+            self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        if self._n == 0:
+            raise SimulationError(f"monitor {self.name!r} has no samples")
+        return self._mean
+
+    @property
+    def var(self) -> float:
+        """Unbiased sample variance."""
+        if self._n < 2:
+            raise SimulationError(
+                f"monitor {self.name!r} needs >= 2 samples for variance")
+        return self._m2 / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.var)
+
+    @property
+    def min(self) -> float:
+        """Smallest observation."""
+        if self._n == 0:
+            raise SimulationError(f"monitor {self.name!r} has no samples")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Largest observation."""
+        if self._n == 0:
+            raise SimulationError(f"monitor {self.name!r} has no samples")
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile; requires ``keep_samples=True``."""
+        if self._samples is None:
+            raise SimulationError(
+                f"monitor {self.name!r} was created without keep_samples")
+        if not self._samples:
+            raise SimulationError(f"monitor {self.name!r} has no samples")
+        return float(np.quantile(self._samples, q))
+
+    def __repr__(self) -> str:
+        if self._n == 0:
+            return f"Monitor({self.name!r}, empty)"
+        return (f"Monitor({self.name!r}, n={self._n}, "
+                f"mean={self._mean:.6g})")
+
+
+class TimeWeightedMonitor:
+    """Integrates a piecewise-constant signal over simulation time
+    (queue lengths, number of active streams, ...)."""
+
+    def __init__(self, name: str = "", start_time: float = 0.0,
+                 initial: float = 0.0) -> None:
+        self.name = name
+        self._last_time = float(start_time)
+        self._last_value = float(initial)
+        self._area = 0.0
+        self._elapsed = 0.0
+
+    def record(self, now: float, value: float) -> None:
+        """The signal changed to ``value`` at time ``now``."""
+        if now < self._last_time:
+            raise SimulationError(
+                f"time went backwards in monitor {self.name!r}")
+        dt = now - self._last_time
+        self._area += self._last_value * dt
+        self._elapsed += dt
+        self._last_time = float(now)
+        self._last_value = float(value)
+
+    def time_average(self, now: float | None = None) -> float:
+        """Time-weighted average of the signal up to ``now``."""
+        area, elapsed = self._area, self._elapsed
+        if now is not None:
+            if now < self._last_time:
+                raise SimulationError(
+                    f"time went backwards in monitor {self.name!r}")
+            dt = now - self._last_time
+            area += self._last_value * dt
+            elapsed += dt
+        if elapsed == 0.0:
+            raise SimulationError(
+                f"monitor {self.name!r} covers zero elapsed time")
+        return area / elapsed
+
+    def __repr__(self) -> str:
+        return (f"TimeWeightedMonitor({self.name!r}, "
+                f"last={self._last_value:.6g}@{self._last_time:.6g})")

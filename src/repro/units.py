@@ -1,0 +1,91 @@
+"""Unit conventions and conversion helpers.
+
+Everything inside the library uses **SI base units**: seconds for time and
+bytes for data sizes.  Rates are bytes/second.  The helpers here exist so
+that parameter tables lifted from the paper (which mixes milliseconds,
+"KBytes" of 1000 bytes and KiB of 1024 bytes) can be written down in their
+original units without silent conversion mistakes.
+
+The paper is not consistent about what a "KByte" is: the worst-case
+calculation of eq. (4.1) only reproduces with 1000-byte kilobytes, while
+the Section 3.1 worked example's ``E[T_trans] = 0.02174 s`` implies a
+75 KiB (1024-byte) track.  Both constants are provided; parameter presets
+state which one they use.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "KIB",
+    "MB",
+    "MIB",
+    "GB",
+    "MS",
+    "US",
+    "kilobytes",
+    "kibibytes",
+    "megabytes",
+    "milliseconds",
+    "microseconds",
+    "seconds_to_ms",
+    "bytes_to_kb",
+]
+
+#: Decimal kilobyte (1000 bytes) -- the convention the paper's eq. (4.1)
+#: numbers are consistent with.
+KB = 1_000
+
+#: Binary kibibyte (1024 bytes) -- the convention implied by the §3.1
+#: worked example's track capacity.
+KIB = 1_024
+
+#: Decimal megabyte.
+MB = 1_000_000
+
+#: Binary mebibyte.
+MIB = 1_048_576
+
+#: Decimal gigabyte.
+GB = 1_000_000_000
+
+#: One millisecond in seconds.
+MS = 1e-3
+
+#: One microsecond in seconds.
+US = 1e-6
+
+
+def kilobytes(n: float) -> float:
+    """Convert decimal kilobytes to bytes."""
+    return n * KB
+
+
+def kibibytes(n: float) -> float:
+    """Convert binary kibibytes to bytes."""
+    return n * KIB
+
+
+def megabytes(n: float) -> float:
+    """Convert decimal megabytes to bytes."""
+    return n * MB
+
+
+def milliseconds(n: float) -> float:
+    """Convert milliseconds to seconds."""
+    return n * MS
+
+
+def microseconds(n: float) -> float:
+    """Convert microseconds to seconds."""
+    return n * US
+
+
+def seconds_to_ms(t: float) -> float:
+    """Convert seconds to milliseconds (for display)."""
+    return t / MS
+
+
+def bytes_to_kb(n: float) -> float:
+    """Convert bytes to decimal kilobytes (for display)."""
+    return n / KB

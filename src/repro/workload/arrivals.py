@@ -1,0 +1,91 @@
+"""Session arrival processes.
+
+Server-level experiments need a stream of client arrivals.  Two models
+cover the paper's application domains (news-on-demand, teleteaching):
+
+- :class:`PoissonArrivals` -- memoryless arrivals at a constant rate.
+- :class:`DiurnalArrivals` -- a 24-hour sinusoidal rate profile
+  (evening peak for news-on-demand), realised as a per-round
+  inhomogeneous Poisson process.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PoissonArrivals", "DiurnalArrivals"]
+
+
+class PoissonArrivals:
+    """Homogeneous Poisson arrivals.
+
+    ``rate`` is in arrivals per round; :meth:`draw` returns the number
+    of sessions opening in one round.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ConfigurationError(f"rate must be >= 0, got {rate!r}")
+        self.rate = float(rate)
+
+    def rate_at(self, round_index: int) -> float:
+        """Arrival rate during the given round (constant here)."""
+        return self.rate
+
+    def draw(self, rng: np.random.Generator, round_index: int) -> int:
+        """Number of arrivals in the given round."""
+        return int(rng.poisson(self.rate_at(round_index)))
+
+    def expected_arrivals(self, rounds: int) -> float:
+        """Expected total arrivals over ``rounds`` rounds."""
+        if rounds < 0:
+            raise ConfigurationError(
+                f"rounds must be >= 0, got {rounds!r}")
+        return self.rate * rounds
+
+    def __repr__(self) -> str:
+        return f"PoissonArrivals(rate={self.rate:g})"
+
+
+class DiurnalArrivals(PoissonArrivals):
+    """Sinusoidal 24-hour arrival profile.
+
+    ``rate_at(r) = base * (1 + amplitude * sin(2*pi*(r*t/86400 -
+    phase)))``, clipped at zero.  ``phase`` in fractional days places
+    the peak (0.25 puts it a quarter-day after midnight plus the sine's
+    own quarter-period, i.e. evening for phase ~0.54).
+    """
+
+    def __init__(self, base_rate: float, amplitude: float,
+                 round_length: float, phase: float = 0.0) -> None:
+        super().__init__(base_rate)
+        if not (0.0 <= amplitude <= 1.0):
+            raise ConfigurationError(
+                f"amplitude must be in [0, 1], got {amplitude!r}")
+        if round_length <= 0:
+            raise ConfigurationError(
+                f"round_length must be positive, got {round_length!r}")
+        self.amplitude = float(amplitude)
+        self.round_length = float(round_length)
+        self.phase = float(phase)
+
+    def rate_at(self, round_index: int) -> float:
+        day_fraction = (round_index * self.round_length) / 86_400.0
+        factor = 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (day_fraction - self.phase))
+        return max(self.rate * factor, 0.0)
+
+    def expected_arrivals(self, rounds: int) -> float:
+        if rounds < 0:
+            raise ConfigurationError(
+                f"rounds must be >= 0, got {rounds!r}")
+        return float(sum(self.rate_at(r) for r in range(rounds)))
+
+    def __repr__(self) -> str:
+        return (f"DiurnalArrivals(base={self.rate:g}, "
+                f"amplitude={self.amplitude:g}, "
+                f"round={self.round_length:g}s)")

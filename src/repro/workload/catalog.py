@@ -1,0 +1,115 @@
+"""Object catalog and session workload for full-server experiments.
+
+A :class:`Catalog` holds :class:`VideoObject` entries (name + fragment
+sizes) and draws display sessions with Zipf-like popularity -- the
+news-on-demand access pattern of the paper's motivating applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.fragmentation import fragment_trace
+from repro.workload.vbr import MpegGopModel
+
+__all__ = ["VideoObject", "Catalog"]
+
+
+@dataclass(frozen=True)
+class VideoObject:
+    """One ingested continuous object."""
+
+    name: str
+    fragment_sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.fragment_sizes, dtype=float)
+        if sizes.size == 0:
+            raise ConfigurationError(
+                f"object {self.name!r} has no fragments")
+        if np.any(sizes <= 0):
+            raise ConfigurationError(
+                f"object {self.name!r} has non-positive fragment sizes")
+        object.__setattr__(self, "fragment_sizes", sizes)
+
+    @property
+    def rounds(self) -> int:
+        """Playback length in rounds."""
+        return int(self.fragment_sizes.size)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total stored size in bytes."""
+        return float(np.sum(self.fragment_sizes))
+
+    def mean_fragment(self) -> float:
+        """Mean fragment size in bytes."""
+        return float(np.mean(self.fragment_sizes))
+
+
+class Catalog:
+    """A set of objects plus a Zipf popularity law over them."""
+
+    def __init__(self, objects: list[VideoObject],
+                 zipf_exponent: float = 0.8) -> None:
+        if not objects:
+            raise ConfigurationError("catalog must hold >= 1 object")
+        names = [obj.name for obj in objects]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("object names must be unique")
+        if zipf_exponent < 0:
+            raise ConfigurationError(
+                f"zipf_exponent must be >= 0, got {zipf_exponent!r}")
+        self.objects = list(objects)
+        ranks = np.arange(1, len(objects) + 1, dtype=float)
+        weights = ranks ** (-zipf_exponent)
+        self._probs = weights / np.sum(weights)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def synthetic(cls, rng: np.random.Generator, n_objects: int = 10,
+                  duration_s: float = 120.0, round_length: float = 1.0,
+                  model: MpegGopModel | None = None,
+                  zipf_exponent: float = 0.8) -> "Catalog":
+        """Generate a catalog of VBR objects from the MPEG GoP model."""
+        if n_objects < 1:
+            raise ConfigurationError(
+                f"n_objects must be >= 1, got {n_objects!r}")
+        model = model or MpegGopModel()
+        objects = []
+        for i in range(n_objects):
+            frames = model.generate_seconds(rng, duration_s)
+            fragments = fragment_trace(frames, model.frame_rate,
+                                       round_length)
+            objects.append(VideoObject(name=f"video-{i:03d}",
+                                       fragment_sizes=fragments))
+        return cls(objects, zipf_exponent=zipf_exponent)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def get(self, name: str) -> VideoObject:
+        """Object by name."""
+        for obj in self.objects:
+            if obj.name == name:
+                return obj
+        raise ConfigurationError(f"unknown object {name!r}")
+
+    def pick(self, rng: np.random.Generator) -> VideoObject:
+        """Draw an object according to the popularity law."""
+        idx = int(rng.choice(len(self.objects), p=self._probs))
+        return self.objects[idx]
+
+    def all_fragment_sizes(self) -> np.ndarray:
+        """Pooled fragment sizes of the whole catalog (feeds the
+        empirical size law and the admission model's workload
+        statistics, §2.3)."""
+        return np.concatenate([obj.fragment_sizes for obj in self.objects])
+
+    def __repr__(self) -> str:
+        return (f"Catalog(objects={len(self.objects)}, "
+                f"fragments={self.all_fragment_sizes().size})")

@@ -1,0 +1,63 @@
+"""Constant-display-time fragmentation (§2.1).
+
+"All data fragments stored by the server have the same display time
+... As a consequence, fragments vary in size."  Given a frame-size trace
+and a round length, the fragmenter groups the frames displayed within
+each round into one fragment whose size is the sum of its frames --
+exactly the parsing step the paper describes for object ingestion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["fragment_trace"]
+
+
+def fragment_trace(frame_sizes, frame_rate: float,
+                   round_length: float) -> np.ndarray:
+    """Fragment a frame-size trace into constant-display-time fragments.
+
+    Parameters
+    ----------
+    frame_sizes:
+        Per-frame sizes in bytes, display order.
+    frame_rate:
+        Frames per second of the object.
+    round_length:
+        The server's round length ``t`` in seconds (= fragment display
+        time).
+
+    Returns
+    -------
+    numpy.ndarray
+        Fragment sizes in bytes.  A trailing partial window becomes a
+        final (smaller) fragment, as a real object's tail would.
+    """
+    sizes = np.asarray(frame_sizes, dtype=float).ravel()
+    if sizes.size == 0:
+        raise ConfigurationError("frame trace is empty")
+    if np.any(sizes <= 0):
+        raise ConfigurationError("frame sizes must be positive")
+    if frame_rate <= 0:
+        raise ConfigurationError(
+            f"frame_rate must be positive, got {frame_rate!r}")
+    if round_length <= 0:
+        raise ConfigurationError(
+            f"round_length must be positive, got {round_length!r}")
+    frames_per_fragment = int(round(frame_rate * round_length))
+    if frames_per_fragment < 1:
+        raise ConfigurationError(
+            "round shorter than one frame; increase round_length")
+    n_full = sizes.size // frames_per_fragment
+    fragments = []
+    if n_full:
+        fragments.append(
+            sizes[:n_full * frames_per_fragment]
+            .reshape(n_full, frames_per_fragment).sum(axis=1))
+    tail = sizes[n_full * frames_per_fragment:]
+    if tail.size:
+        fragments.append(np.array([tail.sum()]))
+    return np.concatenate(fragments)

@@ -1,0 +1,117 @@
+"""Trace and catalog persistence.
+
+Ingestion is expensive (§2.1: objects are parsed into constant-time
+fragments once); these helpers save and reload fragment traces and
+whole catalogs as portable CSV so experiments can share workloads.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.catalog import Catalog, VideoObject
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "save_catalog",
+    "load_catalog",
+]
+
+
+def save_trace(path: Path | str, sizes) -> Path:
+    """Write a fragment/frame-size trace (bytes) as one-column CSV."""
+    data = np.asarray(sizes, dtype=float).ravel()
+    if data.size == 0:
+        raise ConfigurationError("trace is empty")
+    if np.any(data <= 0):
+        raise ConfigurationError("trace sizes must be positive")
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["size_bytes"])
+        writer.writerows([f"{v:.6f}"] for v in data)
+    return path
+
+
+def load_trace(path: Path | str) -> np.ndarray:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["size_bytes"]:
+            raise ConfigurationError(
+                f"{path} is not a trace file (header {header!r})")
+        try:
+            values = [float(row[0]) for row in reader if row]
+        except (ValueError, IndexError) as exc:
+            raise ConfigurationError(
+                f"{path} contains malformed rows") from exc
+    if not values:
+        raise ConfigurationError(f"{path} holds no samples")
+    data = np.asarray(values)
+    if np.any(data <= 0):
+        raise ConfigurationError(f"{path} contains non-positive sizes")
+    return data
+
+
+def save_catalog(path: Path | str, catalog: Catalog) -> Path:
+    """Write a catalog as long-form CSV (object, fragment index, size)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["object", "fragment", "size_bytes"])
+        for obj in catalog.objects:
+            for idx, size in enumerate(obj.fragment_sizes):
+                writer.writerow([obj.name, idx, f"{float(size):.6f}"])
+    return path
+
+
+def load_catalog(path: Path | str, zipf_exponent: float = 0.8) -> Catalog:
+    """Read a catalog written by :func:`save_catalog`.
+
+    Fragment rows may appear in any order; they are reassembled by
+    index per object.  Objects keep file order of first appearance.
+    """
+    path = Path(path)
+    per_object: dict[str, dict[int, float]] = {}
+    order: list[str] = []
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["object", "fragment", "size_bytes"]:
+            raise ConfigurationError(
+                f"{path} is not a catalog file (header {header!r})")
+        for row in reader:
+            if not row:
+                continue
+            try:
+                name, idx, size = row[0], int(row[1]), float(row[2])
+            except (ValueError, IndexError) as exc:
+                raise ConfigurationError(
+                    f"{path} contains malformed rows") from exc
+            if name not in per_object:
+                per_object[name] = {}
+                order.append(name)
+            if idx in per_object[name]:
+                raise ConfigurationError(
+                    f"duplicate fragment {idx} of object {name!r}")
+            per_object[name][idx] = size
+    if not per_object:
+        raise ConfigurationError(f"{path} holds no objects")
+
+    objects = []
+    for name in order:
+        fragments = per_object[name]
+        expected = set(range(len(fragments)))
+        if set(fragments) != expected:
+            raise ConfigurationError(
+                f"object {name!r} has gaps in its fragment indices")
+        sizes = np.array([fragments[i] for i in range(len(fragments))])
+        objects.append(VideoObject(name=name, fragment_sizes=sizes))
+    return Catalog(objects, zipf_exponent=zipf_exponent)

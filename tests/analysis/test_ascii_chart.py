@@ -1,0 +1,71 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_chart
+from repro.errors import ConfigurationError
+
+
+class TestRendering:
+    def test_basic_shape(self):
+        out = ascii_chart([0, 1, 2, 3], {"line": [0.0, 1.0, 2.0, 3.0]},
+                          width=20, height=6, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + 6 + 2  # title + grid + axis + legend
+        assert "*=line" in lines[-1]
+
+    def test_marks_placed_monotone(self):
+        out = ascii_chart([0, 1, 2], {"up": [0.0, 0.5, 1.0]},
+                          width=21, height=7)
+        grid = [l.split("|", 1)[1] for l in out.splitlines()
+                if "|" in l]
+        # Highest value drawn on the top row, lowest on the bottom.
+        assert "*" in grid[0]
+        assert "*" in grid[-1]
+        assert grid[0].index("*") > grid[-1].index("*")
+
+    def test_two_series_distinct_marks(self):
+        out = ascii_chart([0, 1], {"a": [0, 1], "b": [1, 0]},
+                          width=16, height=4)
+        assert "*=a" in out and "o=b" in out
+        grid = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        body = "".join(grid)
+        assert "*" in body and "o" in body
+
+    def test_log_scale_clamps_zeros(self):
+        out = ascii_chart([1, 2, 3],
+                          {"p": [0.0, 1e-3, 1e-1]},
+                          log_y=True, y_floor=1e-5, width=24, height=6)
+        # The zero is drawn at the floor (bottom row), not dropped.
+        grid = [l.split("|", 1)[1] for l in out.splitlines()
+                if "|" in l]
+        assert "*" in grid[-1]
+
+    def test_axis_labels_scientific(self):
+        out = ascii_chart([0, 1], {"a": [1e-4, 1e-1]}, log_y=True,
+                          width=20, height=8)
+        assert "e-0" in out  # scientific y labels present
+
+
+class TestValidation:
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1], {"a": [1.0]})
+
+    def test_needs_series(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1, 2], {})
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1, 2], {"a": [1.0]})
+
+    def test_too_many_series(self):
+        series = {f"s{i}": [0.0, 1.0] for i in range(7)}
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0, 1], series)
+
+    def test_too_small(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0, 1], {"a": [0, 1]}, width=4, height=2)

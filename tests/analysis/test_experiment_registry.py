@@ -1,0 +1,59 @@
+"""Experiment-registry tests: the registry must stay in sync with the
+actual bench files on disk."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import (
+    REGISTRY,
+    all_experiments,
+    get,
+    result_path,
+)
+from repro.errors import ConfigurationError
+
+REPO = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO / "benchmarks"
+
+
+class TestRegistry:
+    def test_paper_artifacts_complete(self):
+        # Every table/figure/worked example of the paper is covered.
+        paper_ids = [e.id for e in all_experiments()
+                     if e.is_paper_artifact]
+        assert paper_ids == [f"E{i}" for i in range(1, 9)]
+
+    def test_all_ablations_present(self):
+        ablation_ids = {e.id for e in all_experiments()
+                        if not e.is_paper_artifact}
+        assert ablation_ids == {f"A{i}" for i in range(1, 20)}
+
+    def test_every_bench_file_exists(self):
+        for exp in all_experiments():
+            assert (BENCH_DIR / exp.bench).is_file(), exp.id
+
+    def test_every_bench_file_is_registered(self):
+        registered = {exp.bench for exp in all_experiments()}
+        on_disk = {p.name for p in BENCH_DIR.glob("bench_*.py")}
+        assert on_disk == registered
+
+    def test_get(self):
+        assert get("E5").title == "Figure 1"
+        with pytest.raises(ConfigurationError):
+            get("E99")
+
+    def test_result_path_resolution(self):
+        path = result_path("e5_figure1")
+        assert path.name == "e5_figure1.txt"
+        assert path.parent.name == "results"
+        assert path.parent.parent.name == "benchmarks"
+
+    def test_result_path_explicit_base(self, tmp_path):
+        path = result_path("x", base=tmp_path)
+        assert path == tmp_path / "x.txt"
+
+    def test_ids_unique(self):
+        ids = [e.id for e in all_experiments()]
+        assert len(ids) == len(set(ids))
+        assert set(ids) == set(REGISTRY)

@@ -1,0 +1,33 @@
+"""Shared fixtures: the paper's disk and workload parameter sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disk import quantum_viking_2_1, single_zone_viking
+from repro.workload import paper_fragment_sizes
+
+
+@pytest.fixture(scope="session")
+def viking():
+    """Table 1's Quantum Viking 2.1 (15 zones)."""
+    return quantum_viking_2_1()
+
+
+@pytest.fixture(scope="session")
+def viking_single_zone():
+    """The §3.1 worked example's single-zone variant (75 KiB tracks)."""
+    return single_zone_viking()
+
+
+@pytest.fixture(scope="session")
+def paper_sizes():
+    """Table 1's fragment-size law: Gamma(mean 200 KB, sd 100 KB)."""
+    return paper_fragment_sizes()
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,131 @@
+"""Admission-control solver tests (eq. 3.1.7, 3.3.6, 4.1, §5)."""
+
+import pytest
+
+from repro.core import (
+    AdmissionTable,
+    GlitchModel,
+    RoundServiceTimeModel,
+    n_max_perror,
+    n_max_plate,
+    worst_case_n_max,
+)
+from repro.core.baselines import worst_case_components
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def model(viking, paper_sizes):
+    return RoundServiceTimeModel.for_disk(viking, paper_sizes)
+
+
+@pytest.fixture(scope="module")
+def glitch(model):
+    return GlitchModel(model, t=1.0)
+
+
+class TestNMaxPlate:
+    def test_paper_value(self, model):
+        # §3.2: delta = 1% => N_max = 26 on the Table 1 disk.
+        assert n_max_plate(model, 1.0, 0.01) == 26
+
+    def test_definition_is_boundary(self, model):
+        n = n_max_plate(model, 1.0, 0.01)
+        assert model.b_late(n, 1.0) <= 0.01
+        assert model.b_late(n + 1, 1.0) > 0.01
+
+    def test_looser_threshold_admits_more(self, model):
+        assert (n_max_plate(model, 1.0, 0.05)
+                >= n_max_plate(model, 1.0, 0.01)
+                >= n_max_plate(model, 1.0, 0.001))
+
+    def test_zero_when_even_one_stream_fails(self, model):
+        # Round of 10 ms cannot even absorb SEEK(1): N_max = 0.
+        assert n_max_plate(model, 0.01, 0.01) == 0
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            n_max_plate(model, 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            n_max_plate(model, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            n_max_plate(model, 1.0, 0.01, n_cap=0)
+
+
+class TestNMaxPError:
+    def test_paper_value(self, glitch):
+        # §4: "The analytic bound according to (3.3.6) would be 28".
+        assert n_max_perror(glitch, 1200, 12, 0.01) == 28
+
+    def test_definition_is_boundary(self, glitch):
+        n = n_max_perror(glitch, 1200, 12, 0.01)
+        assert glitch.p_error(n, 1200, 12) <= 0.01
+        assert glitch.p_error(n + 1, 1200, 12) > 0.01
+
+    def test_stream_level_beats_round_level(self, model, glitch):
+        # Tolerating 1% of rounds per stream admits more streams than
+        # requiring 99% of whole rounds to be on time.
+        assert (n_max_perror(glitch, 1200, 12, 0.01)
+                > n_max_plate(model, 1.0, 0.01))
+
+    def test_validation(self, glitch):
+        with pytest.raises(ConfigurationError):
+            n_max_perror(glitch, 1200, 12, 0.0)
+
+
+class TestWorstCase:
+    def test_paper_conservative_value(self, viking, paper_sizes):
+        rot, seek, trans = worst_case_components(viking, paper_sizes,
+                                                 0.99, "min")
+        assert worst_case_n_max(1.0, rot, seek, trans) == 10
+
+    def test_paper_optimistic_value(self, viking, paper_sizes):
+        rot, seek, trans = worst_case_components(viking, paper_sizes,
+                                                 0.95, "mean")
+        assert worst_case_n_max(1.0, rot, seek, trans) == 14
+
+    def test_component_values(self, viking, paper_sizes):
+        rot, seek, trans = worst_case_components(viking, paper_sizes,
+                                                 0.99, "min")
+        assert rot == pytest.approx(8.34e-3)
+        assert seek == pytest.approx(18e-3, abs=1e-4)
+        assert trans == pytest.approx(71.7e-3, abs=5e-4)
+
+    def test_stochastic_beats_worst_case(self, viking, paper_sizes, model,
+                                         glitch):
+        # The paper's headline: 26-28 streams stochastic vs 10 worst-case.
+        rot, seek, trans = worst_case_components(viking, paper_sizes,
+                                                 0.99, "min")
+        wc = worst_case_n_max(1.0, rot, seek, trans)
+        assert n_max_plate(model, 1.0, 0.01) >= 2.5 * wc
+
+    def test_validation(self, viking, paper_sizes):
+        with pytest.raises(ConfigurationError):
+            worst_case_n_max(1.0, 0.0, 0.01, 0.01)
+        with pytest.raises(ConfigurationError):
+            worst_case_components(viking, paper_sizes, 1.5, "min")
+        with pytest.raises(ConfigurationError):
+            worst_case_components(viking, paper_sizes, 0.99, "median")
+
+
+class TestAdmissionTable:
+    def test_precompute_and_lookup(self, glitch):
+        table = AdmissionTable(glitch, m=1200, g=12)
+        table.build(plate_thresholds=(0.01, 0.05),
+                    perror_thresholds=(0.01,))
+        entries = table.entries()
+        assert entries["plate"][0.01] == 26
+        assert entries["perror"][0.01] == 28
+
+    def test_lookup_is_cached(self, glitch):
+        table = AdmissionTable(glitch, m=1200, g=12)
+        first = table.n_max_perror(0.01)
+        # Poison the underlying dict to prove the second call is a probe.
+        table._perror[0.01] = first
+        assert table.n_max_perror(0.01) == first
+
+    def test_validation(self, glitch):
+        with pytest.raises(ConfigurationError):
+            AdmissionTable(glitch, m=0, g=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionTable(glitch, m=10, g=11)

@@ -1,0 +1,105 @@
+"""Baseline-comparator tests (§1/§3.1's prior-work approaches)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RoundServiceTimeModel
+from repro.core.baselines import (
+    independent_seek_time_distribution,
+    normal_approximation_p_late,
+    tschebyscheff_p_late,
+)
+from repro.core.chernoff import chernoff_tail_bound
+from repro.core.mgf import DistributionTerm
+from repro.errors import ConfigurationError
+from repro.server.simulation import simulate_rounds
+
+
+@pytest.fixture(scope="module")
+def model(viking, paper_sizes):
+    return RoundServiceTimeModel.for_disk(viking, paper_sizes)
+
+
+class TestNormalApproximation:
+    def test_half_at_mean(self, model):
+        n = 26
+        t = model.mean(n)
+        assert normal_approximation_p_late(model, n, t) == pytest.approx(
+            0.5, abs=1e-9)
+
+    def test_not_conservative_in_the_tail(self, model):
+        # The paper's §3.1 criticism: CLT underestimates the tail for
+        # realistic N.  The Chernoff bound dominates the true tail; the
+        # normal approximation dips below the Chernoff bound far out,
+        # and below the *simulated* truth in the deep tail.
+        n = 26
+        clt = normal_approximation_p_late(model, n, 1.0)
+        chernoff = model.b_late(n, 1.0)
+        assert clt < chernoff
+
+    def test_matches_simulation_better_near_centre(self, viking,
+                                                   paper_sizes, model):
+        # Around the distribution's bulk the CLT is decent: within a
+        # factor ~2.5 of simulation at p ~ 5-15 %.
+        n = 31
+        rng = np.random.default_rng(11)
+        batch = simulate_rounds(viking, paper_sizes, n, 1.0, 20_000, rng)
+        simulated = float(np.mean(batch.service_times >= 1.0))
+        clt = normal_approximation_p_late(model, n, 1.0)
+        assert 0.3 < clt / simulated < 3.0
+
+
+class TestTschebyscheff:
+    def test_valid_but_coarse(self, model):
+        # [CL96]-style bound: valid (dominates simulation/Chernoff-truth)
+        # but much weaker than Chernoff in the tail.
+        n = 26
+        cheb = tschebyscheff_p_late(model, n, 1.0)
+        chern = model.b_late(n, 1.0)
+        assert cheb >= chern
+        assert cheb > 10 * chern  # "relatively coarse" indeed
+
+    def test_trivial_below_mean(self, model):
+        n = 26
+        assert tschebyscheff_p_late(model, n, model.mean(n) * 0.9) == 1.0
+
+    def test_clipped_at_one(self, model):
+        assert tschebyscheff_p_late(model, 26,
+                                    model.mean(26) + 1e-9) == 1.0
+
+
+class TestIndependentSeeks:
+    def test_distribution_moments(self, viking):
+        dist = independent_seek_time_distribution(viking, samples=100_000)
+        # Mean independent-seek distance is CYL/3; its time sits between
+        # seek(CYL/4) and seek(CYL/2) for this curve.
+        lo = float(viking.seek_curve(viking.cylinders / 4))
+        hi = float(viking.seek_curve(viking.cylinders / 2))
+        assert lo < dist.mean() < hi
+
+    def test_scan_bound_beats_independent_seeks(self, viking, paper_sizes):
+        # Build a round model where every request pays an independent
+        # seek, and compare N_max-style bounds: SCAN admits more.
+        from repro.core.mgf import ConstantTerm, ProductMGF, UniformTerm
+
+        seek_dist = independent_seek_time_distribution(viking,
+                                                       samples=50_000)
+        scan_model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        n = 26
+        indep_logmgf = ProductMGF([
+            (DistributionTerm(seek_dist), n),
+            (UniformTerm(viking.rot), n),
+            (DistributionTerm(scan_model.transfer), n),
+        ])
+        indep_bound = chernoff_tail_bound(indep_logmgf, 1.0).bound
+        scan_bound = scan_model.b_late(n, 1.0)
+        assert scan_bound < indep_bound
+
+    def test_sample_size_validation(self, viking):
+        with pytest.raises(ConfigurationError):
+            independent_seek_time_distribution(viking, samples=10)
+
+    def test_deterministic_for_fixed_seed(self, viking):
+        a = independent_seek_time_distribution(viking, samples=5000, seed=3)
+        b = independent_seek_time_distribution(viking, samples=5000, seed=3)
+        assert a.mean() == b.mean()

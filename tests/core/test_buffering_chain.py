@@ -1,0 +1,176 @@
+"""Buffer-occupancy chain and prefetch-plan tests (§6 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RoundServiceTimeModel
+from repro.core.buffering import BufferChain, PrefetchPlan
+from repro.errors import ConfigurationError
+
+
+class TestBufferChain:
+    def test_transition_rows_stochastic(self):
+        chain = BufferChain([0.1, 0.7, 0.2], capacity=4)
+        rows = chain.transition_matrix.sum(axis=1)
+        assert rows == pytest.approx(np.ones(5))
+
+    def test_no_prefetch_hiccup_equals_glitch_rate(self):
+        # The headline fact: D <= 1 means buffering cannot reduce the
+        # long-run hiccup rate -- it equals p for every capacity.
+        for p in (0.01, 0.05, 0.2):
+            for capacity in (1, 3, 10):
+                chain = BufferChain([p, 1.0 - p], capacity)
+                assert chain.hiccup_rate() == pytest.approx(p, abs=1e-9)
+
+    def test_prefetch_drops_geometrically_in_capacity(self):
+        pmf = [0.05, 0.80, 0.15]  # upward drift
+        rates = [BufferChain(pmf, b).hiccup_rate() for b in (1, 2, 4, 8)]
+        assert rates == sorted(rates, reverse=True)
+        assert rates[-1] < rates[0] / 20
+
+    def test_birth_death_closed_form(self):
+        # With P[D=0]=p0, P[D=2]=p2 and the rest on 1, the interior
+        # states follow a birth-death chain with ratio rho = p2/p0.
+        p0, p2 = 0.1, 0.2
+        chain = BufferChain([p0, 0.7, p2], capacity=20)
+        pi = chain.stationary_distribution()
+        rho = p2 / p0
+        # Skip the state-1 boundary (its balance equation includes the
+        # state-0 consume-nothing special case).
+        ratios = pi[3:11] / pi[2:10]
+        assert ratios == pytest.approx(np.full(8, rho), rel=1e-6)
+
+    def test_transient_hiccups_decrease_with_prefill(self):
+        pmf = [0.1, 0.8, 0.1]
+        chain = BufferChain(pmf, capacity=6)
+        costs = [chain.transient_hiccups(start, 100)
+                 for start in (0, 2, 4, 6)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_transient_converges_to_stationary(self):
+        pmf = [0.1, 0.7, 0.2]
+        chain = BufferChain(pmf, capacity=4)
+        horizon = 20_000
+        expected = chain.transient_hiccups(2, horizon) / horizon
+        assert expected == pytest.approx(chain.hiccup_rate(), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BufferChain([0.5, 0.4], capacity=2)  # doesn't sum to 1
+        with pytest.raises(ConfigurationError):
+            BufferChain([-0.1, 1.1], capacity=2)
+        with pytest.raises(ConfigurationError):
+            BufferChain([1.0], capacity=0)
+        chain = BufferChain([0.5, 0.5], capacity=2)
+        with pytest.raises(ConfigurationError):
+            chain.transient_hiccups(5, 10)
+        with pytest.raises(ConfigurationError):
+            chain.transient_hiccups(0, 0)
+
+
+class TestPrefetchPlan:
+    @pytest.fixture(scope="class")
+    def model(self, viking, paper_sizes):
+        return RoundServiceTimeModel.for_disk(viking, paper_sizes)
+
+    def test_pmf_sums_to_one(self, model):
+        plan = PrefetchPlan(model, n=28, t=1.0, headroom=3)
+        pmf = plan.delivery_pmf()
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= 0)
+
+    def test_zero_headroom_has_no_double_delivery(self, model):
+        plan = PrefetchPlan(model, n=28, t=1.0, headroom=0)
+        pmf = plan.delivery_pmf()
+        assert pmf[2] == 0.0
+        # ... and therefore buffering does not help:
+        assert plan.chain(4).hiccup_rate() == pytest.approx(pmf[0],
+                                                            abs=1e-9)
+
+    def test_headroom_trades_misses_for_refills(self, model):
+        small = PrefetchPlan(model, n=28, t=1.0, headroom=1).delivery_pmf()
+        large = PrefetchPlan(model, n=28, t=1.0, headroom=4).delivery_pmf()
+        assert large[0] > small[0]   # bigger batches miss more often
+        assert large[2] > small[2]   # but refill much more often
+
+    def test_hiccup_rate_below_no_prefetch_for_sane_headroom(self, model):
+        base = PrefetchPlan(model, n=28, t=1.0, headroom=0)
+        plan = PrefetchPlan(model, n=28, t=1.0, headroom=3)
+        assert plan.chain(6).hiccup_rate() < base.chain(6).hiccup_rate()
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            PrefetchPlan(model, n=0, t=1.0, headroom=1)
+        with pytest.raises(ConfigurationError):
+            PrefetchPlan(model, n=10, t=1.0, headroom=-1)
+        with pytest.raises(ConfigurationError):
+            PrefetchPlan(model, n=10, t=0.0, headroom=1)
+
+
+class TestOptimalPrefill:
+    def test_more_budget_less_prefill(self):
+        from repro.core.buffering import optimal_prefill
+
+        chain = BufferChain([0.1, 0.8, 0.1], capacity=6)
+        prefills = [optimal_prefill(chain, horizon=100, hiccup_budget=b)
+                    for b in (0.5, 2.0, 20.0)]
+        assert prefills == sorted(prefills, reverse=True)
+
+    def test_budget_met_at_returned_prefill(self):
+        from repro.core.buffering import optimal_prefill
+
+        chain = BufferChain([0.1, 0.8, 0.1], capacity=6)
+        budget = 1.0
+        prefill = optimal_prefill(chain, horizon=100,
+                                  hiccup_budget=budget)
+        assert chain.transient_hiccups(prefill, 100) <= budget
+        if prefill > 0:
+            assert chain.transient_hiccups(prefill - 1, 100) > budget
+
+    def test_capacity_returned_when_budget_unreachable(self):
+        from repro.core.buffering import optimal_prefill
+
+        # Strong downward drift: hiccups are inevitable; prefill maxes
+        # out at capacity.
+        chain = BufferChain([0.5, 0.5], capacity=3)
+        assert optimal_prefill(chain, horizon=1000,
+                               hiccup_budget=0.0) == 3
+
+    def test_validation(self):
+        from repro.core.buffering import optimal_prefill
+
+        chain = BufferChain([0.1, 0.9], capacity=2)
+        with pytest.raises(ConfigurationError):
+            optimal_prefill(chain, 100, -1.0)
+
+
+class TestHiccupAdmission:
+    def test_matches_glitch_admission_at_the_cliff(self, viking,
+                                                   paper_sizes):
+        """Admission by visible hiccups coincides with admission by
+        glitches at the Table 1 operating point: the Chernoff bound's
+        cliff around N=29 is so sharp that neither buffers nor prefetch
+        headroom can push the *guaranteed* limit past it (prefetch adds
+        batch load exactly where the bound explodes).  Prefetching's
+        value shows up in realised quality (A8), not in the worst-case
+        admission count."""
+        from repro.core.buffering import n_max_hiccup
+
+        model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        base = n_max_hiccup(model, 1.0, capacity=2, headroom=0, m=1200,
+                            h=12, epsilon=0.01)
+        assert base == 28  # degenerates to the glitch criterion
+        for headroom, capacity in ((2, 4), (3, 8)):
+            n = n_max_hiccup(model, 1.0, capacity=capacity,
+                             headroom=headroom, m=1200, h=12,
+                             epsilon=0.01)
+            assert 28 <= n <= 29
+
+    def test_validation(self, viking, paper_sizes):
+        from repro.core.buffering import n_max_hiccup
+
+        model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        with pytest.raises(ConfigurationError):
+            n_max_hiccup(model, 1.0, 2, 0, 100, 12, 0.0)
+        with pytest.raises(ConfigurationError):
+            n_max_hiccup(model, 1.0, 2, 0, 100, 200, 0.01)

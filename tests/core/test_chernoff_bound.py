@@ -1,0 +1,127 @@
+"""Chernoff-bound optimiser tests.
+
+The key correctness checks exploit cases with known exact answers:
+for an exponential/Gamma variable the optimal Chernoff exponent has a
+closed form, and for any variable the bound must dominate the true tail.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.chernoff import chernoff_tail_bound
+from repro.core.mgf import (
+    ConstantTerm,
+    DistributionTerm,
+    GammaTerm,
+    ProductMGF,
+    UniformTerm,
+)
+from repro.distributions import Gamma, Uniform
+from repro.errors import ConfigurationError
+
+
+class TestExactCases:
+    def test_exponential_closed_form(self):
+        # X ~ Exp(rate): inf_theta e^{-theta t}(rate/(rate-theta)) has
+        # optimum theta* = rate - 1/t, bound = rate*t*e^{1-rate*t}.
+        rate = 2.0
+        t = 3.0
+        result = chernoff_tail_bound(GammaTerm(Gamma(1.0, rate)), t)
+        assert result.theta == pytest.approx(rate - 1.0 / t, rel=1e-6)
+        assert result.bound == pytest.approx(
+            rate * t * math.exp(1 - rate * t), rel=1e-8)
+
+    def test_gamma_closed_form(self):
+        # X ~ Gamma(shape,rate): theta* = rate - shape/t,
+        # bound = (rate*t/shape)^shape * e^{shape - rate*t}.
+        shape, rate, t = 4.0, 2.0, 6.0
+        result = chernoff_tail_bound(GammaTerm(Gamma(shape, rate)), t)
+        assert result.theta == pytest.approx(rate - shape / t, rel=1e-6)
+        expected = (rate * t / shape) ** shape * math.exp(shape - rate * t)
+        assert result.bound == pytest.approx(expected, rel=1e-8)
+
+    def test_constant_below_threshold(self):
+        # P[c >= t] = 0 for t > c: bound should collapse to ~0
+        # exponentially fast... but a constant's objective is linear:
+        # -theta(t - c), minimised at the domain edge.  The optimiser
+        # must at least produce a very small bound.
+        result = chernoff_tail_bound(ConstantTerm(1.0), 2.0)
+        assert result.bound < 1e-30
+
+    def test_trivial_when_t_below_mean(self):
+        g = GammaTerm(Gamma(4.0, 2.0))  # mean 2.0
+        result = chernoff_tail_bound(g, 1.5)
+        assert result.bound == 1.0
+        assert result.trivial
+
+    def test_trivial_at_exact_mean(self):
+        g = GammaTerm(Gamma(4.0, 2.0))
+        assert chernoff_tail_bound(g, 2.0).bound == 1.0
+
+
+class TestDomination:
+    def test_bounds_true_gamma_tail(self):
+        g = Gamma(4.0, 2.0)
+        for t in (2.5, 3.0, 5.0, 8.0):
+            bound = chernoff_tail_bound(GammaTerm(g), t).bound
+            assert bound >= float(g.sf(t))
+
+    def test_bounds_uniform_sum_tail_monte_carlo(self, rng):
+        # Sum of 20 uniforms on [0, 1]: empirical tail must sit below
+        # the Chernoff bound.
+        n = 20
+        term = DistributionTerm(Uniform(0.0, 1.0))
+        logmgf = term.pow(n)
+        t = 13.0
+        bound = chernoff_tail_bound(logmgf, t).bound
+        sample = rng.random((200_000, n)).sum(axis=1)
+        empirical = float(np.mean(sample >= t))
+        assert bound >= empirical
+        # ... and is within a couple orders of magnitude (tightness).
+        assert bound < max(100 * empirical, 1e-3)
+
+    def test_monotone_in_t(self):
+        g = GammaTerm(Gamma(4.0, 2.0)).pow(10)
+        ts = np.linspace(25.0, 60.0, 8)
+        bounds = [chernoff_tail_bound(g, float(t)).bound for t in ts]
+        assert bounds == sorted(bounds, reverse=True)
+
+
+class TestNumerics:
+    def test_log_bound_usable_in_deep_tail(self):
+        g = GammaTerm(Gamma(4.0, 2.0))
+        result = chernoff_tail_bound(g, 100.0)
+        assert result.bound == 0.0 or result.bound < 1e-60
+        assert result.log_bound < -150.0
+        assert math.isfinite(result.log_bound)
+
+    def test_round_model_shape(self):
+        # The actual model shape: constant + N uniforms + N gammas, with
+        # the gamma pole bounding the domain.
+        n = 27
+        logmgf = ProductMGF([
+            (ConstantTerm(0.10932), 1),
+            (UniformTerm(8.34e-3), n),
+            (GammaTerm(Gamma.from_mean_var(0.02174, 0.00011815)), n),
+        ])
+        result = chernoff_tail_bound(logmgf, 1.0)
+        assert 0.005 < result.bound < 0.02  # ~0.0103 in the paper
+        assert 0.0 < result.theta < logmgf.theta_sup
+
+    def test_rejects_bad_threshold(self):
+        g = GammaTerm(Gamma(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            chernoff_tail_bound(g, 0.0)
+        with pytest.raises(ConfigurationError):
+            chernoff_tail_bound(g, -1.0)
+        with pytest.raises(ConfigurationError):
+            chernoff_tail_bound(g, math.inf)
+
+    def test_result_metadata(self):
+        g = GammaTerm(Gamma(4.0, 2.0))
+        result = chernoff_tail_bound(g, 4.0)
+        assert result.t == 4.0
+        assert not result.trivial
+        assert result.bound == pytest.approx(math.exp(result.log_bound))

@@ -1,0 +1,114 @@
+"""Fault-injection and sensitivity-analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import admission_sensitivity
+from repro.core import GlitchModel, RoundServiceTimeModel, n_max_perror
+from repro.core.faults import recalibration_disturbance, with_recalibration
+from repro.errors import ConfigurationError
+from repro.server.simulation import simulate_rounds
+
+
+@pytest.fixture(scope="module")
+def model(viking, paper_sizes):
+    return RoundServiceTimeModel.for_disk(viking, paper_sizes)
+
+
+class TestRecalibration:
+    def test_disturbance_law(self):
+        d = recalibration_disturbance(0.1, 0.05)
+        assert d.mean() == pytest.approx(0.005)
+        assert d.has_mgf()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            recalibration_disturbance(0.0, 0.05)
+        with pytest.raises(ConfigurationError):
+            recalibration_disturbance(1.0, 0.05)
+        with pytest.raises(ConfigurationError):
+            recalibration_disturbance(0.1, 0.0)
+
+    def test_degrades_the_bound(self, model):
+        faulty = with_recalibration(model, prob=0.05, duration=0.075)
+        assert faulty.b_late(26, 1.0) > model.b_late(26, 1.0)
+        # The disturbance raises the round mean by q*d.
+        assert faulty.log_mgf(26).mean() == pytest.approx(
+            model.mean(26) + 0.05 * 0.075)
+
+    def test_worse_recal_worse_bound(self, model):
+        mild = with_recalibration(model, 0.02, 0.05)
+        harsh = with_recalibration(model, 0.10, 0.10)
+        assert harsh.b_late(26, 1.0) > mild.b_late(26, 1.0)
+
+    def test_admission_shrinks_under_faults(self, model):
+        base = n_max_perror(GlitchModel(model, 1.0), 1200, 12, 0.01)
+        faulty = with_recalibration(model, prob=0.05, duration=0.075)
+        degraded = n_max_perror(GlitchModel(faulty, 1.0), 1200, 12, 0.01)
+        assert degraded < base
+
+    def test_bound_covers_faulty_simulation(self, viking, paper_sizes,
+                                            model):
+        prob, duration = 0.05, 0.075
+        faulty = with_recalibration(model, prob, duration)
+        rng = np.random.default_rng(6)
+        batch = simulate_rounds(viking, paper_sizes, 27, 1.0, 20_000,
+                                rng, recal_prob=prob,
+                                recal_duration=duration)
+        simulated = float(np.mean(batch.service_times > 1.0))
+        assert simulated > 0.0
+        assert faulty.b_late(27, 1.0) >= simulated
+        # The clean model would NOT have covered the faulty system at
+        # the same certainty margin -- the term matters.
+        assert simulated > model.b_late(25, 1.0)
+
+    def test_simulator_validation(self, viking, paper_sizes, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_rounds(viking, paper_sizes, 5, 1.0, 10, rng,
+                            recal_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            simulate_rounds(viking, paper_sizes, 5, 1.0, 10, rng,
+                            recal_prob=0.1, recal_duration=0.0)
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def table(self, viking):
+        return admission_sensitivity(viking, mean_size=200_000.0, cv=0.5,
+                                     t=1.0, m=1200, g=12, epsilon=0.01,
+                                     rel_delta=0.10)
+
+    def test_covers_all_parameters(self, table):
+        names = {row.parameter for row in table}
+        assert names == {
+            "rotation time", "zone capacities", "seek sqrt coefficient",
+            "seek linear coefficient", "mean fragment size",
+            "size coefficient of variation", "round length",
+        }
+
+    def test_base_is_paper_value(self, table):
+        assert all(row.n_max_base == 28 for row in table)
+
+    def test_directions_are_physical(self, table):
+        rows = {row.parameter: row for row in table}
+        # Faster rotation (lower ROT) and bigger capacities help.
+        assert rows["rotation time"].n_max_low >= \
+            rows["rotation time"].n_max_high
+        assert rows["zone capacities"].n_max_low <= \
+            rows["zone capacities"].n_max_high
+        # Bigger fragments hurt.
+        assert rows["mean fragment size"].n_max_low >= \
+            rows["mean fragment size"].n_max_high
+        # Longer rounds help (at matched playback time).
+        assert rows["round length"].n_max_low <= \
+            rows["round length"].n_max_high
+
+    def test_capacity_dominates_seek_coefficients(self, table):
+        rows = {row.parameter: row for row in table}
+        assert rows["zone capacities"].swing >= \
+            rows["seek sqrt coefficient"].swing
+
+    def test_validation(self, viking):
+        with pytest.raises(ConfigurationError):
+            admission_sensitivity(viking, 200_000.0, 0.5, 1.0, 1200, 12,
+                                  0.01, rel_delta=0.0)

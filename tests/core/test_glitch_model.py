@@ -1,0 +1,90 @@
+"""GlitchModel tests (§3.3)."""
+
+import pytest
+
+from repro.core import GlitchModel, RoundServiceTimeModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def glitch(viking, paper_sizes):
+    model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+    return GlitchModel(model, t=1.0)
+
+
+class TestBGlitch:
+    def test_eq_3_3_3_average_of_blate(self, glitch):
+        n = 28
+        expected = sum(glitch.service_model.b_late(k, 1.0)
+                       for k in range(1, n + 1)) / n
+        assert glitch.b_glitch(n) == pytest.approx(min(expected, 1.0))
+
+    def test_below_blate_at_same_n(self, glitch):
+        # Averaging over k <= N can only reduce the bound.
+        n = 28
+        assert glitch.b_glitch(n) <= glitch.service_model.b_late(n, 1.0)
+
+    def test_monotone_in_n(self, glitch):
+        values = [glitch.b_glitch(n) for n in range(20, 34)]
+        assert values == sorted(values)
+
+    def test_stays_below_one_even_in_overload(self, glitch):
+        # Averaging over k=1..N keeps the bound strictly below 1 as long
+        # as small batches still fit the round.
+        assert 0.5 < glitch.b_glitch(80) < 1.0
+
+    def test_clipped_at_one_when_no_batch_fits(self, viking, paper_sizes):
+        # With a 10 ms round even a single request's SEEK bound misses
+        # the deadline, so every term is 1 and the average clips at 1.
+        model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        tight = GlitchModel(model, t=0.01)
+        assert tight.b_glitch(5) == 1.0
+
+    def test_rejects_bad_n(self, glitch):
+        with pytest.raises(ConfigurationError):
+            glitch.b_glitch(0)
+
+    def test_rejects_bad_round_length(self, viking, paper_sizes):
+        model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        with pytest.raises(ConfigurationError):
+            GlitchModel(model, t=0.0)
+
+
+class TestPError:
+    def test_paper_section_3_3_example(self, glitch):
+        # "for ... N = 28 ... M = 1200 rounds, the probability that an
+        # individual stream suffers more than 12 glitches is at most
+        # 0.14e-3."  Our bound lands at the same order of magnitude.
+        p = glitch.p_error(28, 1200, 12)
+        assert 0.5e-4 < p < 1e-3
+
+    def test_paper_table_2_column(self, glitch):
+        # Table 2 analytic: 0.00014 / 0.318 / 1 / 1 / 1 for N=28..32.
+        assert glitch.p_error(28, 1200, 12) < 1e-3
+        assert 0.1 < glitch.p_error(29, 1200, 12) < 0.7
+        assert glitch.p_error(30, 1200, 12) == 1.0
+        assert glitch.p_error(31, 1200, 12) == 1.0
+        assert glitch.p_error(32, 1200, 12) == 1.0
+
+    def test_hr_dominates_exact_binomial_tail(self, glitch):
+        for n in (26, 28, 29):
+            assert (glitch.p_error(n, 1200, 12)
+                    >= glitch.p_error_exact_tail(n, 1200, 12))
+
+    def test_monotone_in_n(self, glitch):
+        values = [glitch.p_error(n, 1200, 12) for n in range(24, 33)]
+        assert values == sorted(values)
+
+    def test_monotone_in_g(self, glitch):
+        values = [glitch.p_error(28, 1200, g) for g in (6, 9, 12, 18)]
+        assert values == sorted(values, reverse=True)
+
+    def test_expected_glitches(self, glitch):
+        n, m = 28, 1200
+        assert glitch.expected_glitches(n, m) == pytest.approx(
+            m * glitch.b_glitch(n))
+        with pytest.raises(ConfigurationError):
+            glitch.expected_glitches(28, 0)
+
+    def test_glitch_rate_bound_alias(self, glitch):
+        assert glitch.glitch_rate_bound(28) == glitch.b_glitch(28)

@@ -1,0 +1,97 @@
+"""Grouped Sweeping Scheduling tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import RoundServiceTimeModel, n_max_plate
+from repro.core.gss import (
+    GssOperatingPoint,
+    gss_group_p_late,
+    gss_tradeoff,
+    n_max_gss,
+)
+from repro.errors import ConfigurationError
+from repro.server.simulation import simulate_rounds
+
+
+@pytest.fixture(scope="module")
+def model(viking, paper_sizes):
+    return RoundServiceTimeModel.for_disk(viking, paper_sizes)
+
+
+class TestGroupBound:
+    def test_one_group_is_scan(self, model):
+        assert gss_group_p_late(model, 26, 1, 1.0) == pytest.approx(
+            model.b_late(26, 1.0))
+
+    def test_rescaling(self, model):
+        # 28 streams in 4 groups: groups of 7 within 0.25 s.
+        assert gss_group_p_late(model, 28, 4, 1.0) == pytest.approx(
+            model.b_late(7, 0.25))
+
+    def test_more_groups_worse_bound(self, model):
+        n = 24
+        bounds = [gss_group_p_late(model, n, g, 1.0) for g in (1, 2, 4)]
+        assert bounds == sorted(bounds)
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            gss_group_p_late(model, 0, 1, 1.0)
+        with pytest.raises(ConfigurationError):
+            gss_group_p_late(model, 10, 0, 1.0)
+        with pytest.raises(ConfigurationError):
+            gss_group_p_late(model, 10, 2, 0.0)
+
+
+class TestAdmission:
+    def test_scan_recovers_paper_value(self, model):
+        assert n_max_gss(model, 1.0, 1, 0.01) == \
+            n_max_plate(model, 1.0, 0.01) == 26
+
+    def test_grouping_costs_streams(self, model):
+        nmaxes = [n_max_gss(model, 1.0, g, 0.01) for g in (1, 2, 4, 8)]
+        assert nmaxes == sorted(nmaxes, reverse=True)
+        assert nmaxes[0] > nmaxes[-1]
+
+    def test_boundary(self, model):
+        g = 4
+        n = n_max_gss(model, 1.0, g, 0.01)
+        assert gss_group_p_late(model, n, g, 1.0) <= 0.01
+        assert gss_group_p_late(model, n + 1, g, 1.0) > 0.01
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            n_max_gss(model, 1.0, 1, 0.0)
+
+
+class TestTradeoff:
+    def test_profile_shape(self, model):
+        points = gss_tradeoff(model, 1.0, 0.01)
+        assert [p.groups for p in points] == [1, 2, 4, 8]
+        # Latency and buffer shrink with g; admission shrinks too.
+        latencies = [p.max_delivery_latency for p in points]
+        buffers = [p.buffer_fragments for p in points]
+        nmaxes = [p.n_max for p in points]
+        assert latencies == sorted(latencies, reverse=True)
+        assert buffers == sorted(buffers, reverse=True)
+        assert nmaxes == sorted(nmaxes, reverse=True)
+
+    def test_scan_point(self, model):
+        scan = gss_tradeoff(model, 1.0, 0.01)[0]
+        assert scan == GssOperatingPoint(
+            groups=1, n_max=26,
+            group_p_late=pytest.approx(model.b_late(26, 1.0)),
+            max_delivery_latency=1.0, buffer_fragments=2.0)
+
+
+class TestSimulation:
+    def test_group_bound_covers_subround_simulation(self, viking,
+                                                    paper_sizes, model):
+        # A GSS group of size ceil(n/g) within t/g is distributionally a
+        # §3 round at rescaled parameters -- simulate it directly.
+        n, g, t = 24, 4, 1.0
+        group_size = -(-n // g)
+        batch = simulate_rounds(viking, paper_sizes, group_size, t / g,
+                                10_000, np.random.default_rng(21))
+        simulated = float(np.mean(batch.service_times > t / g))
+        assert gss_group_p_late(model, n, g, t) >= simulated

@@ -1,0 +1,126 @@
+"""Log-MGF algebra unit tests."""
+
+import math
+
+import pytest
+
+from repro.core.mgf import (
+    ConstantTerm,
+    DistributionTerm,
+    GammaTerm,
+    NumericTerm,
+    ProductMGF,
+    UniformTerm,
+)
+from repro.distributions import Gamma, LogNormal, Truncated, Uniform
+from repro.errors import ConfigurationError, ModelError
+
+
+class TestTerms:
+    def test_constant_term(self):
+        t = ConstantTerm(0.10932)
+        assert t(2.0) == pytest.approx(0.21864)
+        assert t.mean() == 0.10932
+        assert t.var() == 0.0
+        assert t.theta_sup == math.inf
+
+    def test_uniform_term_matches_distribution(self):
+        rot = 8.34e-3
+        term = UniformTerm(rot)
+        dist = Uniform(0.0, rot)
+        for theta in (-100.0, 0.0, 50.0, 1000.0):
+            assert term(theta) == pytest.approx(dist.log_mgf(theta))
+
+    def test_gamma_term_pole(self):
+        term = GammaTerm(Gamma(shape=2.0, rate=5.0))
+        assert term.theta_sup == 5.0
+        assert math.isinf(term(5.0))
+        assert math.isinf(term(6.0))
+
+    def test_gamma_term_from_moments(self):
+        term = GammaTerm.from_mean_var(0.02, 1e-4)
+        assert term.mean() == pytest.approx(0.02)
+        assert term.var() == pytest.approx(1e-4)
+
+    def test_numeric_term_requires_mgf(self):
+        with pytest.raises(ModelError):
+            NumericTerm(LogNormal(0.0, 1.0))
+        truncated = Truncated(LogNormal(0.0, 1.0), 0.0, 50.0)
+        term = NumericTerm(truncated)
+        assert math.isfinite(term(0.5))
+
+
+class TestProduct:
+    def test_sum_of_independent_gammas(self):
+        # Gamma(a1,r) + Gamma(a2,r) = Gamma(a1+a2,r): MGFs must agree.
+        g1 = GammaTerm(Gamma(2.0, 5.0))
+        g2 = GammaTerm(Gamma(3.0, 5.0))
+        combined = g1 * g2
+        direct = GammaTerm(Gamma(5.0, 5.0))
+        for theta in (0.0, 1.0, 4.0):
+            assert combined(theta) == pytest.approx(direct(theta))
+
+    def test_pow_is_repeated_product(self):
+        g = GammaTerm(Gamma(2.0, 5.0))
+        assert g.pow(3)(1.0) == pytest.approx(3 * g(1.0))
+
+    def test_mean_and_var_additive(self):
+        rot = UniformTerm(8.34e-3)
+        trans = GammaTerm(Gamma(4.0, 200.0))
+        seek = ConstantTerm(0.1)
+        n = 26
+        product = ProductMGF([(seek, 1), (rot, n), (trans, n)])
+        assert product.mean() == pytest.approx(
+            0.1 + n * rot.mean() + n * trans.mean())
+        assert product.var() == pytest.approx(
+            n * rot.var() + n * trans.var())
+
+    def test_theta_sup_is_min_over_factors(self):
+        product = ProductMGF([(GammaTerm(Gamma(1.0, 3.0)), 2),
+                              (UniformTerm(1.0), 1)])
+        assert product.theta_sup == 3.0
+
+    def test_paper_eq_3_1_4_shape(self):
+        # T_N*(s) = e^{-s SEEK}((1-e^{-s ROT})/(s ROT))^N (a/(a+s))^{bN}
+        seek, rot = 0.10932, 8.34e-3
+        alpha, beta = 183.9, 4.0
+        n = 27
+        product = ProductMGF([
+            (ConstantTerm(seek), 1),
+            (UniformTerm(rot), n),
+            (GammaTerm(Gamma(beta, alpha)), n),
+        ])
+        s = 3.7
+        expected = (math.exp(-s * seek)
+                    * ((1 - math.exp(-s * rot)) / (s * rot)) ** n
+                    * (alpha / (alpha + s)) ** (beta * n))
+        assert product.laplace_stieltjes(s) == pytest.approx(expected,
+                                                             rel=1e-10)
+
+    def test_flattening_nested_products(self):
+        g = GammaTerm(Gamma(2.0, 5.0))
+        inner = ProductMGF([(g, 2)])
+        outer = ProductMGF([(inner, 3)])
+        assert outer(1.0) == pytest.approx(6 * g(1.0))
+
+    def test_zero_multiplicity_dropped(self):
+        g = GammaTerm(Gamma(2.0, 5.0))
+        product = ProductMGF([(g, 0)])
+        assert product.factors == ()
+        assert product(1.0) == 0.0
+
+    def test_infinite_factor_propagates(self):
+        product = ProductMGF([(GammaTerm(Gamma(1.0, 2.0)), 1),
+                              (ConstantTerm(1.0), 1)])
+        assert math.isinf(product(2.5))
+
+    def test_rejects_negative_multiplicity(self):
+        g = GammaTerm(Gamma(2.0, 5.0))
+        with pytest.raises(ConfigurationError):
+            ProductMGF([(g, -1)])
+        with pytest.raises(ConfigurationError):
+            g.pow(-2)
+
+    def test_distribution_term_rejects_mgf_less(self):
+        with pytest.raises(ModelError):
+            DistributionTerm(LogNormal(0.0, 1.0))

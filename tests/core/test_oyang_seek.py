@@ -1,0 +1,87 @@
+"""Oyang seek-bound tests (§3.1, [Oya95])."""
+
+import numpy as np
+import pytest
+
+from repro.core import equidistant_positions, oyang_seek_bound
+from repro.disk import DiskDrive, DiskRequest, quantum_viking_2_1
+from repro.disk.scan import lumped_seek_time
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return quantum_viking_2_1()
+
+
+class TestBoundValues:
+    def test_paper_seek_27(self, spec):
+        # §3.1: "for this disk and N = 27, we obtain SEEK = 0.10932 s".
+        assert oyang_seek_bound(spec.seek_curve, 6720, 27) == pytest.approx(
+            0.10932, abs=5e-5)
+
+    def test_structure_n_plus_one_hops(self, spec):
+        n = 27
+        gap = 6720 / (n + 1)
+        assert oyang_seek_bound(spec.seek_curve, 6720, n) == pytest.approx(
+            (n + 1) * float(spec.seek_curve(gap)))
+
+    def test_zero_requests_zero_seek(self, spec):
+        assert oyang_seek_bound(spec.seek_curve, 6720, 0) == 0.0
+
+    def test_increasing_in_n(self, spec):
+        values = [oyang_seek_bound(spec.seek_curve, 6720, n)
+                  for n in range(1, 60)]
+        assert values == sorted(values)
+
+    def test_rejects_negative_n(self, spec):
+        with pytest.raises(ConfigurationError):
+            oyang_seek_bound(spec.seek_curve, 6720, -1)
+
+
+class TestEquidistantPositions:
+    def test_positions(self):
+        pos = equidistant_positions(6720, 27)
+        assert pos.shape == (27,)
+        assert pos[0] == pytest.approx(6720 / 28)
+        assert pos[-1] == pytest.approx(27 * 6720 / 28)
+        assert np.allclose(np.diff(pos), 6720 / 28)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            equidistant_positions(1, 5)
+        with pytest.raises(ConfigurationError):
+            equidistant_positions(100, 0)
+
+
+class TestUpperBoundProperty:
+    @pytest.mark.parametrize("n", [5, 15, 27, 40])
+    def test_dominates_random_sweeps(self, spec, n, rng):
+        """The heart of [Oya95]: equidistant positions maximise the
+        lumped SCAN seek, so random batches must come in below SEEK(N).
+        """
+        bound = oyang_seek_bound(spec.seek_curve, spec.cylinders, n)
+        drive = DiskDrive(spec.geometry, spec.seek_curve,
+                          initial_cylinder=0)
+        for _ in range(200):
+            cylinders = rng.integers(0, spec.cylinders, size=n)
+            requests = [DiskRequest(stream_id=i, size=1.0, cylinder=int(c))
+                        for i, c in enumerate(cylinders)]
+            simulated = lumped_seek_time(drive, requests,
+                                         include_initial=True)
+            assert simulated <= bound + 1e-12
+
+    def test_equidistant_batch_attains_bound_minus_runout(self, spec):
+        # Serving the actual equidistant batch from cylinder 0 costs
+        # exactly SEEK(N) minus the final run-out hop.
+        n = 27
+        positions = equidistant_positions(spec.cylinders, n)
+        requests = [DiskRequest(stream_id=i, size=1.0,
+                                cylinder=int(round(p)))
+                    for i, p in enumerate(positions)]
+        drive = DiskDrive(spec.geometry, spec.seek_curve,
+                          initial_cylinder=0)
+        simulated = lumped_seek_time(drive, requests)
+        bound = oyang_seek_bound(spec.seek_curve, spec.cylinders, n)
+        gap_time = float(spec.seek_curve(spec.cylinders / (n + 1)))
+        assert simulated == pytest.approx(bound - gap_time, rel=1e-3)

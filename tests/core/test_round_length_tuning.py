@@ -1,0 +1,100 @@
+"""Round-length tuning tests."""
+
+import pytest
+
+from repro.core.tuning import tune_round_length
+from repro.disk import modern_av_drive, quantum_viking_2_1, seagate_hawk_1lp
+from repro.errors import ConfigurationError
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def tuning(self, viking):
+        return tune_round_length(viking, display_bandwidth=200_000.0,
+                                 cv=0.5, playback_seconds=1200.0)
+
+    def test_bandwidth_grows_through_practical_range(self, tuning):
+        # Monotone up to t = 4 s; the 8 s point can dip because the
+        # integer glitch budget floor(1% * M) snaps down a step.
+        practical = [p.bandwidth for p in tuning.points if p.t <= 4.0]
+        assert practical == sorted(practical)
+
+    def test_integer_glitch_budget_can_bend_the_curve(self, tuning):
+        # Documented non-monotonicity: the peak need not be at the
+        # longest round.  (If disk/grid changes ever make the curve
+        # fully monotone this assertion still holds.)
+        assert tuning.peak_bandwidth >= tuning.points[-1].bandwidth
+
+    def test_paper_point_included(self, tuning):
+        at_1s = next(p for p in tuning.points if p.t == 1.0)
+        assert at_1s.n_max == 28
+
+    def test_knee_is_shortest_near_peak(self, tuning):
+        target = tuning.knee_fraction * tuning.peak_bandwidth
+        assert tuning.knee.bandwidth >= target
+        earlier = [p for p in tuning.points if p.t < tuning.knee.t]
+        assert all(p.bandwidth < target for p in earlier)
+
+    def test_knee_shorter_than_max_candidate(self, tuning):
+        # Diminishing returns: the knee comes well before 8 s rounds.
+        assert tuning.knee.t <= 2.0
+
+    def test_startup_delay_equals_t(self, tuning):
+        for p in tuning.points:
+            assert p.startup_delay == p.t
+
+
+class TestAcrossDrives:
+    def test_faster_drives_admit_more_everywhere(self):
+        old = tune_round_length(seagate_hawk_1lp(), 200_000.0, 0.5,
+                                1200.0)
+        new = tune_round_length(modern_av_drive(), 200_000.0, 0.5,
+                                1200.0)
+        for p_old, p_new in zip(old.points, new.points):
+            assert p_new.n_max > p_old.n_max
+
+    def test_knee_defined_for_all_drives(self):
+        for spec in (quantum_viking_2_1(), modern_av_drive(),
+                     seagate_hawk_1lp()):
+            tuning = tune_round_length(spec, 200_000.0, 0.5, 1200.0)
+            assert tuning.knee in tuning.points
+            assert tuning.knee.bandwidth >= 0.9 * tuning.peak_bandwidth
+
+
+class TestValidation:
+    def test_bad_inputs(self, viking):
+        with pytest.raises(ConfigurationError):
+            tune_round_length(viking, 0.0, 0.5, 1200.0)
+        with pytest.raises(ConfigurationError):
+            tune_round_length(viking, 2e5, 2.5, 1200.0)
+        with pytest.raises(ConfigurationError):
+            tune_round_length(viking, 2e5, 0.5, 0.0)
+        with pytest.raises(ConfigurationError):
+            tune_round_length(viking, 2e5, 0.5, 1200.0,
+                              candidates=(0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            tune_round_length(viking, 2e5, 0.5, 1200.0,
+                              knee_fraction=0.0)
+
+
+class TestNewPresets:
+    def test_hawk_parameters(self):
+        spec = seagate_hawk_1lp()
+        assert spec.zone_map.zones == 9
+        assert spec.rot == pytest.approx(11.1e-3)
+        assert abs(spec.seek_curve.discontinuity()) < 5e-4
+
+    def test_av_drive_parameters(self):
+        spec = modern_av_drive()
+        assert spec.zone_map.zones == 20
+        assert spec.cylinders == 10_000
+        assert abs(spec.seek_curve.discontinuity()) < 5e-4
+
+    def test_av_drive_outperforms_viking(self, paper_sizes):
+        from repro.core import RoundServiceTimeModel, n_max_plate
+        viking_model = RoundServiceTimeModel.for_disk(
+            quantum_viking_2_1(), paper_sizes)
+        av_model = RoundServiceTimeModel.for_disk(modern_av_drive(),
+                                                  paper_sizes)
+        assert (n_max_plate(av_model, 1.0, 0.01)
+                > n_max_plate(viking_model, 1.0, 0.01))

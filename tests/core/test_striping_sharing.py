@@ -1,0 +1,135 @@
+"""Phase-balance and multicast-sharing model tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import GlitchModel, RoundServiceTimeModel, n_max_perror
+from repro.core.sharing import (
+    effective_stream_capacity,
+    expected_distinct_fetches,
+    sharing_factor,
+    zipf_popularity,
+)
+from repro.core.striping import (
+    balanced_glitch_bound,
+    n_max_balanced,
+    n_max_random_phases,
+    random_phase_glitch_bound,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def glitch(viking, paper_sizes):
+    model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+    return GlitchModel(model, t=1.0)
+
+
+class TestPhaseBalance:
+    def test_single_disk_identical(self, glitch):
+        assert random_phase_glitch_bound(glitch, 20, 1) == \
+            balanced_glitch_bound(glitch, 20, 1)
+
+    def test_random_phases_never_better(self, glitch):
+        for n_total, disks in [(52, 2), (104, 4), (80, 4)]:
+            assert (random_phase_glitch_bound(glitch, n_total, disks)
+                    >= balanced_glitch_bound(glitch, n_total, disks)
+                    - 1e-12)
+
+    def test_balanced_matches_per_disk_model(self, glitch):
+        # 4 disks, 104 streams balanced -> 26 per disk.
+        assert balanced_glitch_bound(glitch, 104, 4) == pytest.approx(
+            glitch.b_glitch(26))
+
+    def test_random_phase_mixture_value(self, glitch):
+        # Hand-check the binomial mixture at a small config.
+        from scipy import stats
+        n_total, disks = 10, 2
+        pmf = stats.binom.pmf(range(10), 9, 0.5)
+        expected = sum(p * glitch.b_glitch(1 + k)
+                       for k, p in enumerate(pmf))
+        assert random_phase_glitch_bound(glitch, 10, 2) == pytest.approx(
+            min(expected, 1.0), rel=1e-9)
+
+    def test_farm_nmax_balanced_scales_with_disks(self, glitch):
+        per_disk = n_max_perror(glitch, 1200, 12, 0.01)
+        for disks in (1, 2, 4):
+            total = n_max_balanced(glitch, disks, 1200, 12, 0.01)
+            # Balanced farms admit disks * per-disk (within rounding of
+            # the ceil() in the balanced bound).
+            assert disks * per_disk <= total <= disks * per_disk + disks
+
+    def test_random_phases_cost_streams(self, glitch):
+        disks = 4
+        balanced = n_max_balanced(glitch, disks, 1200, 12, 0.01)
+        random = n_max_random_phases(glitch, disks, 1200, 12, 0.01)
+        assert random < balanced
+        # The loss is substantial -- double-digit percent.
+        assert random <= 0.95 * balanced
+
+    def test_validation(self, glitch):
+        with pytest.raises(ConfigurationError):
+            balanced_glitch_bound(glitch, 0, 2)
+        with pytest.raises(ConfigurationError):
+            random_phase_glitch_bound(glitch, 10, 0)
+        with pytest.raises(ConfigurationError):
+            n_max_balanced(glitch, 2, 1200, 12, 0.0)
+
+
+class TestSharing:
+    def test_zipf_normalised_and_skewed(self):
+        p = zipf_popularity(10, 1.0)
+        assert float(np.sum(p)) == pytest.approx(1.0)
+        assert p[0] > p[-1]
+        flat = zipf_popularity(10, 0.0)
+        assert flat == pytest.approx(np.full(10, 0.1))
+
+    def test_no_sharing_limit(self):
+        # Huge catalog, long objects: every stream fetches for itself.
+        p = zipf_popularity(10_000, 0.5)
+        assert sharing_factor(50, p, length=7200) == pytest.approx(
+            1.0, abs=1e-3)
+
+    def test_total_sharing_limit(self):
+        # One object of one round: everyone shares a single fetch.
+        assert expected_distinct_fetches(50, [1.0], 1) == pytest.approx(
+            1.0)
+
+    def test_matches_monte_carlo(self, rng):
+        p = zipf_popularity(20, 1.1)
+        length = 30
+        n = 40
+        trials = 2000
+        objects = rng.choice(20, size=(trials, n), p=p)
+        phases = rng.integers(0, length, size=(trials, n))
+        cells = objects * length + phases
+        distinct = np.array([len(set(row)) for row in cells])
+        assert float(np.mean(distinct)) == pytest.approx(
+            expected_distinct_fetches(n, p, length), rel=0.02)
+
+    def test_monotone_in_n(self):
+        p = zipf_popularity(5, 1.0)
+        values = [expected_distinct_fetches(n, p, 10)
+                  for n in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+        assert values[-1] <= 50  # capped by cells
+
+    def test_effective_capacity_exceeds_physical(self):
+        p = zipf_popularity(8, 1.2)
+        capacity = effective_stream_capacity(26, p, length=60)
+        assert capacity > 26  # sharing stretches physical slots
+
+    def test_effective_capacity_boundary(self):
+        p = zipf_popularity(8, 1.2)
+        capacity = effective_stream_capacity(26, p, length=60)
+        assert expected_distinct_fetches(capacity, p, 60) <= 26
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_popularity(0)
+        with pytest.raises(ConfigurationError):
+            expected_distinct_fetches(5, [0.5, 0.4], 10)
+        with pytest.raises(ConfigurationError):
+            expected_distinct_fetches(-1, [1.0], 10)
+        with pytest.raises(ConfigurationError):
+            effective_stream_capacity(-1, [1.0], 10)

@@ -1,0 +1,64 @@
+"""Trick-mode (fast-forward) load analysis tests."""
+
+import pytest
+
+from repro.core import RoundServiceTimeModel, n_max_plate
+from repro.core.trickmode import (
+    ff_round_bound,
+    n_max_with_ff,
+    scan_mode_requests,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def model(viking, paper_sizes):
+    return RoundServiceTimeModel.for_disk(viking, paper_sizes)
+
+
+class TestScanModeRequests:
+    def test_multiplier(self):
+        assert scan_mode_requests(20, 5, 2) == 30
+        assert scan_mode_requests(20, 0, 4) == 20
+        assert scan_mode_requests(0, 5, 3) == 15
+
+    def test_k_one_is_normal_playback(self):
+        assert scan_mode_requests(10, 10, 1) == 20
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            scan_mode_requests(-1, 5, 2)
+        with pytest.raises(ConfigurationError):
+            scan_mode_requests(0, 0, 2)
+        with pytest.raises(ConfigurationError):
+            scan_mode_requests(5, 5, 0)
+
+
+class TestBounds:
+    def test_ff_equivalent_to_inflated_round(self, model):
+        assert ff_round_bound(model, 20, 3, 2, 1.0) == pytest.approx(
+            model.b_late(26, 1.0))
+
+    def test_no_ff_recovers_plain_admission(self, model):
+        assert (n_max_with_ff(model, 1.0, 0.01, ff_fraction=0.0, k=4)
+                == n_max_plate(model, 1.0, 0.01))
+
+    def test_ff_costs_streams(self, model):
+        base = n_max_with_ff(model, 1.0, 0.01, 0.0, 2)
+        with_ff = n_max_with_ff(model, 1.0, 0.01, 0.2, 2)
+        heavy_ff = n_max_with_ff(model, 1.0, 0.01, 0.2, 4)
+        assert with_ff < base
+        assert heavy_ff < with_ff
+
+    def test_full_ff_divides_capacity(self, model):
+        # Everyone in 2x scan mode: every stream counts double, so the
+        # limit is ~half the plain N_max (off-by-one from rounding).
+        base = n_max_plate(model, 1.0, 0.01)
+        all_ff = n_max_with_ff(model, 1.0, 0.01, 1.0, 2)
+        assert all_ff == pytest.approx(base / 2, abs=1)
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            n_max_with_ff(model, 1.0, 0.01, 1.5, 2)
+        with pytest.raises(ConfigurationError):
+            n_max_with_ff(model, 1.0, 0.0, 0.5, 2)

@@ -1,0 +1,94 @@
+"""Scheduling-discipline comparator tests (FIFO / SSTF / C-SCAN)."""
+
+import numpy as np
+import pytest
+
+from repro.disk import DiskDrive, DiskRequest, quantum_viking_2_1
+from repro.disk.scan import (
+    batch_seek_time,
+    order_cscan,
+    order_fifo,
+    order_scan,
+    order_sstf,
+)
+
+
+@pytest.fixture(scope="module")
+def drive():
+    spec = quantum_viking_2_1()
+    return DiskDrive(spec.geometry, spec.seek_curve, initial_cylinder=0)
+
+
+def _requests(cylinders):
+    return [DiskRequest(stream_id=i, size=1.0, cylinder=int(c))
+            for i, c in enumerate(cylinders)]
+
+
+class TestOrderings:
+    def test_fifo_identity(self):
+        reqs = _requests([5, 1, 3])
+        assert [r.cylinder for r in order_fifo(reqs)] == [5, 1, 3]
+
+    def test_sstf_greedy(self):
+        reqs = _requests([100, 2000, 150, 1900])
+        ordered = order_sstf(reqs, start_cylinder=0)
+        assert [r.cylinder for r in ordered] == [100, 150, 1900, 2000]
+
+    def test_sstf_from_middle(self):
+        reqs = _requests([100, 2000])
+        ordered = order_sstf(reqs, start_cylinder=1900)
+        assert [r.cylinder for r in ordered] == [2000, 100]
+
+    def test_cscan_always_ascending(self):
+        reqs = _requests([500, 100, 300])
+        assert [r.cylinder for r in order_cscan(reqs)] == [100, 300, 500]
+
+    def test_empty_batches(self, drive):
+        assert order_fifo([]) == []
+        assert order_sstf([], 0) == []
+        assert order_cscan([]) == []
+        assert batch_seek_time(drive, []) == 0.0
+
+
+class TestSeekCosts:
+    def test_batch_seek_matches_manual(self, drive):
+        spec = quantum_viking_2_1()
+        reqs = _requests([1000, 3000])
+        total = batch_seek_time(drive, reqs)
+        expected = float(spec.seek_curve(1000)) + float(
+            spec.seek_curve(2000))
+        assert total == pytest.approx(expected)
+
+    @pytest.mark.parametrize("n", [5, 15, 30])
+    def test_scan_never_loses_to_fifo(self, drive, n, rng):
+        for _ in range(50):
+            reqs = _requests(rng.integers(0, 6720, size=n))
+            scan_cost = batch_seek_time(drive, order_scan(reqs))
+            fifo_cost = batch_seek_time(drive, order_fifo(reqs))
+            assert scan_cost <= fifo_cost + 1e-12
+
+    @pytest.mark.parametrize("n", [5, 15, 30])
+    def test_sstf_close_to_scan_within_batch(self, drive, n, rng):
+        # In a closed batch SSTF and SCAN both do near-minimal arm
+        # travel; SSTF may pay for occasional direction flips but never
+        # catastrophically.
+        ratios = []
+        for _ in range(100):
+            reqs = _requests(rng.integers(0, 6720, size=n))
+            scan_cost = batch_seek_time(drive, order_scan(reqs))
+            sstf_cost = batch_seek_time(
+                drive, order_sstf(reqs, drive.arm_cylinder))
+            ratios.append(sstf_cost / scan_cost)
+        assert np.mean(ratios) < 1.4
+
+    def test_cscan_pays_flyback(self, drive, rng):
+        # From an arm parked high, C-SCAN must fly back to the lowest
+        # request while SCAN would just sweep downward.
+        spec = quantum_viking_2_1()
+        high_drive = DiskDrive(spec.geometry, spec.seek_curve,
+                               initial_cylinder=6500)
+        reqs = _requests([100, 2000, 4000, 6000])
+        cscan_cost = batch_seek_time(high_drive, order_cscan(reqs))
+        scan_down = batch_seek_time(high_drive,
+                                    order_scan(reqs, ascending=False))
+        assert cscan_cost > scan_down

@@ -1,0 +1,139 @@
+"""Placement-policy tests (§2.2 outlook extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiZoneTransferModel, RoundServiceTimeModel
+from repro.disk.placement import (
+    OrganPipePlacement,
+    OuterZonesPlacement,
+    SectorUniformPlacement,
+)
+from repro.errors import ConfigurationError
+from repro.server.simulation import simulate_rounds
+
+
+class TestSectorUniform:
+    def test_matches_zone_map_law(self, viking):
+        policy = SectorUniformPlacement()
+        zone_probs = policy.zone_probabilities(viking.geometry)
+        assert zone_probs == pytest.approx(
+            viking.zone_map.zone_probabilities, abs=1e-12)
+
+    def test_rate_moments_match_zone_map(self, viking):
+        policy = SectorUniformPlacement()
+        for k in (-2, -1, 1):
+            assert policy.rate_moment(viking.geometry, k) == pytest.approx(
+                viking.zone_map.rate_moment(k), rel=1e-12)
+
+    def test_sampling_matches_probabilities(self, viking, rng):
+        policy = SectorUniformPlacement()
+        cyl = policy.sample_cylinders(viking.geometry, rng, size=100_000)
+        zones = viking.geometry.zone_of_cylinder(cyl)
+        freq = np.bincount(zones, minlength=15) / cyl.size
+        assert freq == pytest.approx(
+            policy.zone_probabilities(viking.geometry), abs=0.01)
+
+
+class TestOuterZones:
+    def test_no_mass_in_inner_region(self, viking):
+        policy = OuterZonesPlacement(fraction=0.5)
+        probs = policy.cylinder_probabilities(viking.geometry)
+        cut = viking.geometry.cylinders // 2
+        assert np.all(probs[:cut] == 0.0)
+        assert np.sum(probs[cut:]) == pytest.approx(1.0)
+
+    def test_faster_mean_rate_than_uniform(self, viking):
+        uniform = SectorUniformPlacement()
+        outer = OuterZonesPlacement(fraction=0.3)
+        assert (outer.rate_moment(viking.geometry, -1)
+                < uniform.rate_moment(viking.geometry, -1))
+
+    def test_shorter_seeks_than_uniform(self, viking):
+        uniform = SectorUniformPlacement()
+        outer = OuterZonesPlacement(fraction=0.3)
+        assert (outer.mean_pairwise_seek_distance(viking.geometry)
+                < 0.5 * uniform.mean_pairwise_seek_distance(
+                    viking.geometry))
+
+    def test_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            OuterZonesPlacement(fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            OuterZonesPlacement(fraction=1.5)
+
+
+class TestOrganPipe:
+    def test_peak_at_centre(self, viking):
+        policy = OrganPipePlacement(centre_fraction=0.75, skew=1e-3)
+        probs = policy.cylinder_probabilities(viking.geometry)
+        centre = int(0.75 * (viking.geometry.cylinders - 1))
+        assert np.argmax(probs) == pytest.approx(centre, abs=2)
+
+    def test_skew_one_degenerates_to_uniform(self, viking):
+        organ = OrganPipePlacement(centre_fraction=0.5, skew=1.0)
+        uniform = SectorUniformPlacement()
+        assert organ.cylinder_probabilities(viking.geometry) == \
+            pytest.approx(uniform.cylinder_probabilities(viking.geometry))
+
+    def test_stronger_skew_shortens_seeks(self, viking):
+        distances = [
+            OrganPipePlacement(0.75, skew).mean_pairwise_seek_distance(
+                viking.geometry)
+            for skew in (1.0, 1e-2, 1e-4)]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OrganPipePlacement(centre_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            OrganPipePlacement(skew=0.0)
+
+
+class TestModelIntegration:
+    def test_outer_placement_improves_transfer_time(self, viking,
+                                                    paper_sizes):
+        uniform = MultiZoneTransferModel(viking.zone_map, paper_sizes)
+        outer_policy = OuterZonesPlacement(fraction=0.3)
+        outer = MultiZoneTransferModel(
+            viking.zone_map, paper_sizes,
+            zone_probabilities=outer_policy.zone_probabilities(
+                viking.geometry))
+        assert outer.mean() < uniform.mean()
+
+    def test_zone_probability_validation(self, viking, paper_sizes):
+        with pytest.raises(ConfigurationError):
+            MultiZoneTransferModel(viking.zone_map, paper_sizes,
+                                   zone_probabilities=[0.5, 0.5])
+        bad = np.full(15, 0.1)
+        with pytest.raises(ConfigurationError):
+            MultiZoneTransferModel(viking.zone_map, paper_sizes,
+                                   zone_probabilities=bad)
+
+    def test_simulator_honours_placement(self, viking, paper_sizes, rng):
+        outer = OuterZonesPlacement(fraction=0.3)
+        batch = simulate_rounds(viking, paper_sizes, 20, 1.0, 2000, rng,
+                                placement=outer)
+        uniform_batch = simulate_rounds(viking, paper_sizes, 20, 1.0,
+                                        2000, rng)
+        # Outer placement: faster transfers AND shorter seeks => faster
+        # rounds.
+        assert (float(np.mean(batch.service_times))
+                < float(np.mean(uniform_batch.service_times)))
+        assert (float(np.mean(batch.seek_times))
+                < float(np.mean(uniform_batch.seek_times)))
+
+    def test_placement_raises_admission(self, viking, paper_sizes):
+        # The end-to-end payoff: hot-band placement admits more streams.
+        from repro.core import n_max_plate
+        uniform_model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        outer_policy = OuterZonesPlacement(fraction=0.3)
+        transfer = MultiZoneTransferModel(
+            viking.zone_map, paper_sizes,
+            zone_probabilities=outer_policy.zone_probabilities(
+                viking.geometry)).gamma_approximation()
+        outer_model = RoundServiceTimeModel(
+            seek_bound=lambda n: uniform_model.seek(n), rot=viking.rot,
+            transfer=transfer)
+        assert (n_max_plate(outer_model, 1.0, 0.01)
+                >= n_max_plate(uniform_model, 1.0, 0.01))

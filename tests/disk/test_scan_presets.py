@@ -1,0 +1,134 @@
+"""SCAN ordering/sweep and preset tests."""
+
+import numpy as np
+import pytest
+
+from repro.disk import (
+    DiskDrive,
+    DiskRequest,
+    lumped_seek_time,
+    order_scan,
+    quantum_viking_2_1,
+    scaled_viking,
+    single_zone_viking,
+    sweep_service,
+)
+from repro.errors import ConfigurationError
+
+
+def _requests(cylinders):
+    return [DiskRequest(stream_id=i, size=100_000.0, cylinder=c)
+            for i, c in enumerate(cylinders)]
+
+
+class TestOrderScan:
+    def test_ascending_sort(self):
+        reqs = _requests([500, 100, 300])
+        ordered = order_scan(reqs)
+        assert [r.cylinder for r in ordered] == [100, 300, 500]
+
+    def test_descending_sort(self):
+        reqs = _requests([500, 100, 300])
+        ordered = order_scan(reqs, ascending=False)
+        assert [r.cylinder for r in ordered] == [500, 300, 100]
+
+    def test_stable_on_ties(self):
+        reqs = _requests([100, 100, 100])
+        ordered = order_scan(reqs)
+        assert [r.stream_id for r in ordered] == [0, 1, 2]
+
+    def test_empty_batch(self):
+        assert order_scan([]) == []
+
+
+class TestLumpedSeek:
+    def test_matches_manual_sum(self):
+        spec = quantum_viking_2_1()
+        drive = DiskDrive(spec.geometry, spec.seek_curve,
+                          initial_cylinder=0)
+        reqs = _requests([1000, 3000, 2000])
+        total = lumped_seek_time(drive, reqs)
+        expected = (float(spec.seek_curve(1000))
+                    + float(spec.seek_curve(1000))
+                    + float(spec.seek_curve(1000)))
+        assert total == pytest.approx(expected)
+
+    def test_without_initial_seek(self):
+        spec = quantum_viking_2_1()
+        drive = DiskDrive(spec.geometry, spec.seek_curve,
+                          initial_cylinder=0)
+        reqs = _requests([1000, 2000])
+        with_initial = lumped_seek_time(drive, reqs, include_initial=True)
+        without = lumped_seek_time(drive, reqs, include_initial=False)
+        assert with_initial - without == pytest.approx(
+            float(spec.seek_curve(1000)))
+
+    def test_empty_batch_costs_nothing(self):
+        spec = quantum_viking_2_1()
+        drive = DiskDrive(spec.geometry, spec.seek_curve)
+        assert lumped_seek_time(drive, []) == 0.0
+
+    def test_scan_beats_fifo(self, rng):
+        # SCAN's raison d'etre: lumped seek under SCAN <= serving the
+        # same batch in arrival order.
+        spec = quantum_viking_2_1()
+        drive = DiskDrive(spec.geometry, spec.seek_curve)
+        cylinders = rng.integers(0, 6720, size=20)
+        reqs = _requests(cylinders)
+        scan_total = lumped_seek_time(drive, reqs)
+        fifo_dists = np.abs(np.diff(np.concatenate(([0], cylinders))))
+        fifo_total = float(np.sum(spec.seek_curve(fifo_dists)))
+        assert scan_total <= fifo_total + 1e-12
+
+
+class TestSweepService:
+    def test_serves_in_scan_order_and_moves_arm(self, rng):
+        spec = quantum_viking_2_1()
+        drive = DiskDrive(spec.geometry, spec.seek_curve)
+        reqs = _requests([4000, 1000, 2500])
+        outcome = sweep_service(drive, reqs, rng)
+        assert [r.cylinder for r, _ in outcome] == [1000, 2500, 4000]
+        assert drive.arm_cylinder == 4000
+        assert drive.served == 3
+
+    def test_total_time_decomposition(self, rng):
+        spec = quantum_viking_2_1()
+        drive = DiskDrive(spec.geometry, spec.seek_curve)
+        reqs = _requests([4000, 1000, 2500])
+        outcome = sweep_service(drive, reqs, rng)
+        total = sum(b.total for _, b in outcome)
+        assert drive.busy_time == pytest.approx(total)
+
+
+class TestPresets:
+    def test_table1_parameters(self):
+        spec = quantum_viking_2_1()
+        assert spec.cylinders == 6720
+        assert spec.zone_map.zones == 15
+        assert spec.rot == pytest.approx(8.34e-3)
+        assert spec.zone_map.c_min == 58368.0
+        assert spec.zone_map.c_max == 95744.0
+
+    def test_single_zone_example_disk(self):
+        spec = single_zone_viking()
+        assert spec.zone_map.zones == 1
+        # 75 KiB track => rate that gives E[T_trans]=0.0217 s for 200 KB.
+        assert spec.zone_map.r_min == pytest.approx(76800.0 / 8.34e-3)
+
+    def test_with_zones_rescales(self):
+        spec = quantum_viking_2_1().with_zones(30)
+        assert spec.zone_map.zones == 30
+        assert spec.zone_map.c_min == 58368.0
+        assert spec.zone_map.c_max == 95744.0
+        assert spec.cylinders == 6720
+
+    def test_scaled_viking(self):
+        spec = scaled_viking(rate_scale=2.0)
+        assert spec.zone_map.c_min == pytest.approx(2 * 58368.0)
+        with pytest.raises(ConfigurationError):
+            scaled_viking(rate_scale=0.0)
+
+    def test_geometry_cached_and_consistent(self):
+        spec = quantum_viking_2_1()
+        assert spec.geometry is spec.geometry
+        assert spec.geometry.cylinders == spec.cylinders

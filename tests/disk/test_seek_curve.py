@@ -1,0 +1,79 @@
+"""Seek-curve unit tests against Table 1's parameter set."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.disk import SeekCurve, quantum_viking_2_1
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return quantum_viking_2_1().seek_curve
+
+
+class TestTable1Curve:
+    def test_short_seek_branch(self, curve):
+        # seek(240) drives the SEEK(27)=0.10932 s worked example.
+        expected = 1.867e-3 + 1.315e-4 * math.sqrt(240.0)
+        assert curve(240) == pytest.approx(expected, rel=1e-12)
+
+    def test_long_seek_branch(self, curve):
+        expected = 3.8635e-3 + 2.1e-6 * 2000.0
+        assert curve(2000) == pytest.approx(expected, rel=1e-12)
+
+    def test_branch_threshold(self, curve):
+        assert curve.threshold == 1344
+        below = curve(1343)
+        above = curve(1344)
+        # Table 1's curve is continuous to within a few microseconds.
+        assert abs(above - below) < 1e-5
+        assert abs(curve.discontinuity()) < 1e-5
+
+    def test_zero_distance_free(self, curve):
+        assert curve(0) == 0.0
+
+    def test_full_stroke_is_eq41_seek_max(self, curve):
+        # eq. (4.1): T_seek^max = 18 ms.
+        assert curve.max_time(6720) == pytest.approx(18e-3, abs=1e-4)
+
+    def test_monotone_nondecreasing(self, curve):
+        d = np.arange(0, 6720, 7)
+        times = curve(d)
+        assert np.all(np.diff(times) >= -1e-15)
+
+
+class TestVectorisation:
+    def test_array_input(self, curve):
+        d = np.array([0, 100, 1343, 1344, 5000])
+        out = curve(d)
+        assert out.shape == d.shape
+        assert out[0] == 0.0
+        for i, dist in enumerate(d):
+            assert out[i] == pytest.approx(float(curve(int(dist))))
+
+    def test_scalar_returns_float(self, curve):
+        assert isinstance(curve(100), float)
+
+    def test_rejects_negative_distance(self, curve):
+        with pytest.raises(ConfigurationError):
+            curve(-1)
+        with pytest.raises(ConfigurationError):
+            curve(np.array([1, -2]))
+
+
+class TestValidation:
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            SeekCurve(-1e-3, 1e-4, 1e-3, 1e-6, 100)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            SeekCurve(1e-3, 1e-4, 1e-3, 1e-6, 0)
+
+    def test_max_time_needs_two_cylinders(self):
+        curve = SeekCurve(1e-3, 1e-4, 1e-3, 1e-6, 100)
+        with pytest.raises(ConfigurationError):
+            curve.max_time(1)

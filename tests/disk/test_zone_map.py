@@ -1,0 +1,138 @@
+"""ZoneMap unit tests against §3.2's formulas."""
+
+import numpy as np
+import pytest
+
+from repro.disk import ZoneMap, quantum_viking_2_1
+from repro.errors import ConfigurationError
+
+ROT = 8.34e-3
+
+
+@pytest.fixture(scope="module")
+def viking_zones():
+    return quantum_viking_2_1().zone_map
+
+
+class TestLinearProfile:
+    def test_eq_3_2_2_capacities(self, viking_zones):
+        # C_i = C_min + (C_max - C_min)(i-1)/(Z-1).
+        z = viking_zones
+        assert z.zones == 15
+        assert z.c_min == 58368.0
+        assert z.c_max == 95744.0
+        i = np.arange(15)
+        expected = 58368.0 + (95744.0 - 58368.0) * i / 14
+        assert z.capacities == pytest.approx(expected)
+
+    def test_eq_3_2_3_rates(self, viking_zones):
+        z = viking_zones
+        assert z.rates == pytest.approx(z.capacities / ROT)
+        assert z.r_min == pytest.approx(58368.0 / ROT)
+        assert z.r_max == pytest.approx(95744.0 / ROT)
+
+    def test_rate_ratio_about_factor_two(self, viking_zones):
+        # §2.2: "capacity and transfer rate ratio ... of a factor of two".
+        ratio = viking_zones.r_max / viking_zones.r_min
+        assert 1.5 < ratio < 2.0
+
+    def test_single_zone_degenerate(self):
+        z = ZoneMap.linear(1, 76800.0, 76800.0, ROT)
+        assert z.zones == 1
+        assert z.zone_probabilities == pytest.approx([1.0])
+
+    def test_single_zone_requires_equal_caps(self):
+        with pytest.raises(ConfigurationError):
+            ZoneMap.linear(1, 100.0, 200.0, ROT)
+
+
+class TestZoneLaw:
+    def test_eq_3_2_1_probabilities(self, viking_zones):
+        # P[zone i] = C_i / C.
+        z = viking_zones
+        assert z.zone_probabilities == pytest.approx(
+            z.capacities / np.sum(z.capacities))
+        assert float(np.sum(z.zone_probabilities)) == pytest.approx(1.0)
+
+    def test_outer_zones_more_likely(self, viking_zones):
+        probs = viking_zones.zone_probabilities
+        assert np.all(np.diff(probs) > 0)
+
+    def test_rate_cdf_matches_cumulative(self, viking_zones):
+        z = viking_zones
+        # Just above the k-th rate the cdf equals sum of first k probs
+        # (eq. 3.2.4 in discrete form).
+        for k in (0, 7, 14):
+            r = z.rates[k] * 1.0000001
+            assert float(z.rate_cdf(r)) == pytest.approx(
+                float(np.sum(z.zone_probabilities[:k + 1])))
+
+    def test_rate_cdf_edges(self, viking_zones):
+        z = viking_zones
+        assert float(z.rate_cdf(z.r_min * 0.99)) == 0.0
+        assert float(z.rate_cdf(z.r_max * 1.01)) == 1.0
+
+
+class TestInverseRateMoments:
+    def test_closed_form_inverse_mean(self, viking_zones):
+        # E[1/R] = sum (C_i/C)(ROT/C_i) = Z*ROT/C.
+        z = viking_zones
+        expected = z.zones * ROT / z.total_track_capacity
+        assert z.rate_moment(-1) == pytest.approx(expected, rel=1e-12)
+
+    def test_harmonic_mean_is_arithmetic_capacity(self, viking_zones):
+        # For the linear equal-track profile, 1/E[1/R] = C/(Z*ROT).
+        z = viking_zones
+        assert z.harmonic_mean_rate() == pytest.approx(
+            z.total_track_capacity / (z.zones * ROT), rel=1e-12)
+
+    def test_mean_rate_exceeds_harmonic(self, viking_zones):
+        assert viking_zones.mean_rate() > viking_zones.harmonic_mean_rate()
+
+    def test_sampled_rates_match_moments(self, viking_zones, rng):
+        z = viking_zones
+        rates = z.sample_rate(rng, size=400_000)
+        assert np.mean(rates) == pytest.approx(z.mean_rate(), rel=0.005)
+        assert np.mean(1.0 / rates) == pytest.approx(z.rate_moment(-1),
+                                                     rel=0.005)
+
+
+class TestContinuousApproximation:
+    def test_density_integrates_to_one(self, viking_zones):
+        z = viking_zones
+        r = np.linspace(z.r_min, z.r_max, 100_001)
+        assert np.trapezoid(z.continuous_rate_pdf(r), r) == pytest.approx(
+            1.0, abs=1e-6)
+
+    def test_density_proportional_to_rate(self, viking_zones):
+        z = viking_zones
+        assert float(z.continuous_rate_pdf(z.r_max)) / float(
+            z.continuous_rate_pdf(z.r_min)) == pytest.approx(
+                z.r_max / z.r_min)
+
+    def test_cdf_matches_discrete_at_many_zones(self):
+        fine = ZoneMap.linear(500, 58368.0, 95744.0, ROT)
+        r = np.linspace(fine.r_min * 1.01, fine.r_max * 0.99, 17)
+        assert fine.rate_cdf(r) == pytest.approx(
+            fine.continuous_rate_cdf(r), abs=5e-3)
+
+    def test_single_zone_has_no_continuous_density(self):
+        z = ZoneMap.linear(1, 100.0, 100.0, ROT)
+        with pytest.raises(ConfigurationError):
+            z.continuous_rate_pdf(1.0)
+
+
+class TestValidation:
+    def test_rejects_decreasing_capacities(self):
+        with pytest.raises(ConfigurationError):
+            ZoneMap([100.0, 90.0], ROT)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            ZoneMap([0.0, 10.0], ROT)
+        with pytest.raises(ConfigurationError):
+            ZoneMap([10.0, 20.0], 0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ZoneMap([], ROT)

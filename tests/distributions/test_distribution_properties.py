@@ -1,0 +1,162 @@
+"""Property-based tests on the distribution substrate (hypothesis).
+
+These pin down the invariants the analytic model relies on:
+moment-matching round-trips, cdf monotonicity, ppf/cdf inversion, and
+the MGF's local behaviour (derivative at 0 = mean, convexity).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Deterministic,
+    Empirical,
+    Gamma,
+    LogNormal,
+    Pareto,
+    Truncated,
+    Uniform,
+)
+
+positive = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False,
+                     allow_infinity=False)
+moderate = st.floats(min_value=1e-2, max_value=1e3, allow_nan=False,
+                     allow_infinity=False)
+
+
+@st.composite
+def mean_std_pairs(draw):
+    mean = draw(st.floats(min_value=0.1, max_value=1e5))
+    cv = draw(st.floats(min_value=0.05, max_value=2.0))
+    return mean, mean * cv
+
+
+class TestMomentMatching:
+    @given(mean_std_pairs())
+    def test_gamma_roundtrip(self, pair):
+        mean, std = pair
+        g = Gamma.from_mean_std(mean, std)
+        assert math.isclose(g.mean(), mean, rel_tol=1e-9)
+        assert math.isclose(g.std(), std, rel_tol=1e-9)
+
+    @given(mean_std_pairs())
+    def test_lognormal_roundtrip(self, pair):
+        mean, std = pair
+        ln = LogNormal.from_mean_std(mean, std)
+        assert math.isclose(ln.mean(), mean, rel_tol=1e-9)
+        assert math.isclose(ln.std(), std, rel_tol=1e-7)
+
+    @given(mean_std_pairs())
+    def test_pareto_roundtrip(self, pair):
+        mean, std = pair
+        p = Pareto.from_mean_std(mean, std)
+        assert math.isclose(p.mean(), mean, rel_tol=1e-9)
+        assert math.isclose(p.std(), std, rel_tol=1e-7)
+
+
+class TestCdfInvariants:
+    @given(mean_std_pairs(),
+           st.lists(st.floats(min_value=0.001, max_value=0.999),
+                    min_size=2, max_size=8))
+    def test_gamma_cdf_monotone_and_inverts(self, pair, quantiles):
+        g = Gamma.from_mean_std(*pair)
+        q = np.sort(np.asarray(quantiles))
+        x = g.ppf(q)
+        # Monotone up to scipy ppf's last-ulp wobble at nearly-equal
+        # quantiles.
+        scale = max(float(np.max(np.abs(x))), 1e-300)
+        assert np.all(np.diff(x) >= -1e-12 * scale)
+        assert np.allclose(g.cdf(x), q, atol=1e-8)
+
+    @given(st.floats(min_value=-10, max_value=10),
+           st.floats(min_value=0.1, max_value=10))
+    def test_uniform_cdf_bounds(self, low, width):
+        u = Uniform(low, low + width)
+        xs = np.linspace(low - 1, low + width + 1, 50)
+        c = u.cdf(xs)
+        assert np.all((c >= 0) & (c <= 1))
+        assert np.all(np.diff(c) >= -1e-12)
+
+
+class TestMgfInvariants:
+    @given(mean_std_pairs(), st.floats(min_value=1e-4, max_value=0.5))
+    def test_gamma_mgf_derivative_is_mean(self, pair, frac):
+        g = Gamma.from_mean_std(*pair)
+        h = frac * g.rate * 1e-6
+        numeric = (g.log_mgf(h) - g.log_mgf(-h)) / (2 * h)
+        assert math.isclose(numeric, g.mean(), rel_tol=1e-3)
+
+    @given(st.floats(min_value=1e-4, max_value=1e3))
+    def test_uniform_mgf_convex(self, rot):
+        u = Uniform(0.0, rot)
+        thetas = np.linspace(-2.0 / rot, 2.0 / rot, 9)
+        values = [u.log_mgf(float(t)) for t in thetas]
+        # Convexity: midpoint below chord.
+        for i in range(len(thetas) - 2):
+            mid = values[i + 1]
+            chord = 0.5 * (values[i] + values[i + 2])
+            assert mid <= chord + 1e-9
+
+    @given(mean_std_pairs())
+    def test_mgf_at_zero_is_zero(self, pair):
+        g = Gamma.from_mean_std(*pair)
+        assert g.log_mgf(0.0) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestTruncationInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(mean_std_pairs(), st.floats(min_value=1.5, max_value=20.0))
+    def test_truncated_mean_below_cap(self, pair, cap_factor):
+        mean, std = pair
+        cap = mean * cap_factor
+        t = Truncated(LogNormal.from_mean_std(mean, std), 0.0, cap)
+        assert 0.0 < t.mean() <= cap
+        assert t.mean() <= mean * 1.0001  # truncation can only shrink
+
+    @settings(max_examples=25, deadline=None)
+    @given(mean_std_pairs(), st.floats(min_value=2.0, max_value=50.0),
+           st.floats(min_value=0.0, max_value=5.0))
+    def test_truncated_mgf_bounded_by_cap(self, pair, cap_factor, theta):
+        mean, std = pair
+        cap = mean * cap_factor
+        t = Truncated(Gamma.from_mean_std(mean, std), 0.0, cap)
+        # E[e^{theta X}] <= e^{theta * cap}; equivalently log <= theta*cap.
+        scaled = theta / mean  # keep exponents in a sane range
+        assert t.log_mgf(scaled) <= scaled * cap + 1e-9
+
+
+class TestEmpiricalInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4),
+                    min_size=3, max_size=200, unique=True))
+    def test_empirical_cdf_matches_rank(self, data):
+        from hypothesis import assume
+        # Distinct subnormal-scale values can underflow the variance to
+        # exactly 0, which Empirical rightly rejects.
+        assume(float(np.var(np.asarray(data))) > 0.0)
+        e = Empirical(data)
+        ordered = np.sort(np.asarray(data, dtype=float))
+        n = len(ordered)
+        for k in (0, n // 2, n - 1):
+            assert float(e.cdf(ordered[k])) == pytest.approx((k + 1) / n)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=3, max_size=50, unique=True),
+           st.floats(min_value=-0.2, max_value=0.2))
+    def test_empirical_mgf_dominates_jensen(self, data, theta):
+        # Jensen: log E[e^{tX}] >= t E[X].
+        e = Empirical(data)
+        assert e.log_mgf(theta) >= theta * e.mean() - 1e-9
+
+
+class TestDeterministicInvariants:
+    @given(st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=-5, max_value=5))
+    def test_mgf_exactly_linear(self, value, theta):
+        d = Deterministic(value)
+        assert d.log_mgf(theta) == pytest.approx(theta * value, rel=1e-12)

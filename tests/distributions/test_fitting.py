@@ -1,0 +1,69 @@
+"""Distribution-fitting tests."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gamma, LogNormal
+from repro.distributions.fit import best_fit, fit_fragment_sizes
+from repro.errors import ConfigurationError
+
+
+class TestFitting:
+    def test_recovers_gamma_data(self, rng):
+        truth = Gamma.from_mean_std(200_000.0, 100_000.0)
+        sample = truth.sample(rng, size=20_000)
+        winner = best_fit(sample)
+        assert winner.name == "gamma"
+        assert winner.distribution.mean() == pytest.approx(200_000.0,
+                                                           rel=0.03)
+        assert winner.ks_pvalue > 0.01
+
+    def test_recovers_lognormal_data(self, rng):
+        truth = LogNormal.from_mean_std(200_000.0, 150_000.0)
+        sample = truth.sample(rng, size=20_000)
+        winner = best_fit(sample)
+        assert winner.name == "lognormal"
+
+    def test_results_sorted_by_ks(self, rng):
+        sample = Gamma.from_mean_std(10.0, 3.0).sample(rng, 5000)
+        results = fit_fragment_sizes(sample)
+        stats_ = [r.ks_statistic for r in results]
+        assert stats_ == sorted(stats_)
+        assert {r.name for r in results} == {"gamma", "lognormal",
+                                             "pareto"}
+
+    def test_cap_makes_heavy_tails_chernoff_ready(self, rng):
+        sample = Gamma.from_mean_std(200_000.0, 100_000.0).sample(
+            rng, 5000)
+        cap = float(np.max(sample)) * 2
+        results = fit_fragment_sizes(sample, cap=cap)
+        for result in results:
+            assert result.distribution.has_mgf(), result.name
+
+    def test_without_cap_heavy_tails_lack_mgf(self, rng):
+        sample = Gamma.from_mean_std(10.0, 3.0).sample(rng, 2000)
+        by_name = {r.name: r for r in fit_fragment_sizes(sample)}
+        assert by_name["gamma"].distribution.has_mgf()
+        assert not by_name["lognormal"].distribution.has_mgf()
+
+    def test_fitted_law_drives_admission(self, viking, rng):
+        # The §2.3 loop: sample -> fit -> model -> N_max.
+        from repro.core import RoundServiceTimeModel, n_max_plate
+
+        sample = Gamma.from_mean_std(200_000.0, 100_000.0).sample(
+            rng, 30_000)
+        winner = best_fit(sample)
+        model = RoundServiceTimeModel.for_disk(viking,
+                                               winner.distribution)
+        assert n_max_plate(model, 1.0, 0.01) in (25, 26, 27)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            fit_fragment_sizes([1.0] * 5)  # too few
+        with pytest.raises(ConfigurationError):
+            fit_fragment_sizes([-1.0] * 30)
+        with pytest.raises(ConfigurationError):
+            fit_fragment_sizes([5.0] * 30)  # zero variance
+        sample = list(rng.gamma(4.0, 50.0, size=100))
+        with pytest.raises(ConfigurationError):
+            fit_fragment_sizes(sample, cap=1.0)  # cap below max

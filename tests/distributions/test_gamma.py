@@ -1,0 +1,105 @@
+"""Gamma distribution unit tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gamma
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_moment_matching_recovers_mean_and_var(self):
+        g = Gamma.from_mean_var(3.0, 0.5)
+        assert g.mean() == pytest.approx(3.0)
+        assert g.var() == pytest.approx(0.5)
+
+    def test_paper_parameterisation(self):
+        # eq. (3.1.2): alpha = E/Var, beta = E^2/Var.
+        g = Gamma.from_mean_var(0.02174, 0.00011815)
+        assert g.rate == pytest.approx(0.02174 / 0.00011815)
+        assert g.shape == pytest.approx(0.02174 ** 2 / 0.00011815)
+
+    def test_from_mean_std(self):
+        g = Gamma.from_mean_std(200_000.0, 100_000.0)
+        assert g.shape == pytest.approx(4.0)
+        assert g.std() == pytest.approx(100_000.0)
+
+    @pytest.mark.parametrize("shape,rate", [(0.0, 1.0), (-1.0, 1.0),
+                                            (1.0, 0.0), (1.0, -2.0)])
+    def test_rejects_non_positive_parameters(self, shape, rate):
+        with pytest.raises(ConfigurationError):
+            Gamma(shape, rate)
+
+    def test_rejects_non_positive_moments(self):
+        with pytest.raises(ConfigurationError):
+            Gamma.from_mean_var(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            Gamma.from_mean_var(1.0, 0.0)
+
+
+class TestDensities:
+    def test_pdf_integrates_to_one(self):
+        g = Gamma(shape=4.0, rate=2.0)
+        x = np.linspace(0.0, 40.0, 200_001)
+        integral = np.trapezoid(g.pdf(x), x)
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_ppf_roundtrip(self):
+        g = Gamma(shape=2.5, rate=0.7)
+        q = np.array([0.01, 0.25, 0.5, 0.75, 0.99])
+        assert g.cdf(g.ppf(q)) == pytest.approx(q, abs=1e-10)
+
+    def test_percentile_used_by_eq_4_1(self):
+        # 99-percentile of the Table 1 size law, quoted implicitly via
+        # T_trans^max = 71.7 ms at rate C_min/ROT.
+        g = Gamma.from_mean_std(200_000.0, 100_000.0)
+        p99 = float(g.ppf(0.99))
+        rate = 58368.0 / 8.34e-3
+        assert p99 / rate == pytest.approx(0.0717, abs=5e-4)
+
+
+class TestMoments:
+    def test_closed_form_raw_moments(self):
+        g = Gamma(shape=3.0, rate=2.0)
+        # E[X^2] = beta(beta+1)/alpha^2
+        assert g.moment(2) == pytest.approx(3.0 * 4.0 / 4.0)
+        assert g.moment(0) == pytest.approx(1.0)
+        assert g.moment(1) == pytest.approx(g.mean())
+
+    def test_moment_rejects_negative_order(self):
+        with pytest.raises(ConfigurationError):
+            Gamma(1.0, 1.0).moment(-1)
+
+    def test_sample_moments_match(self, rng):
+        g = Gamma.from_mean_std(10.0, 3.0)
+        sample = g.sample(rng, size=200_000)
+        assert np.mean(sample) == pytest.approx(10.0, rel=0.01)
+        assert np.std(sample) == pytest.approx(3.0, rel=0.02)
+
+
+class TestTransform:
+    def test_log_mgf_matches_paper_lst_form(self):
+        # T*(s) = (alpha/(alpha+s))^beta  <=>  M(theta)=(alpha/(alpha-theta))^beta
+        g = Gamma(shape=2.0, rate=5.0)
+        theta = 1.3
+        expected = 2.0 * math.log(5.0 / (5.0 - theta))
+        assert g.log_mgf(theta) == pytest.approx(expected)
+
+    def test_log_mgf_infinite_at_pole(self):
+        g = Gamma(shape=2.0, rate=5.0)
+        assert math.isinf(g.log_mgf(5.0))
+        assert g.theta_sup == 5.0
+
+    def test_log_mgf_negative_theta_is_lst(self):
+        g = Gamma(shape=1.5, rate=2.0)
+        s = 0.7
+        assert math.exp(g.log_mgf(-s)) == pytest.approx(
+            (2.0 / (2.0 + s)) ** 1.5)
+
+    def test_mgf_derivative_at_zero_is_mean(self):
+        g = Gamma(shape=4.0, rate=3.0)
+        h = 1e-6
+        numeric = (g.log_mgf(h) - g.log_mgf(-h)) / (2 * h)
+        assert numeric == pytest.approx(g.mean(), rel=1e-5)

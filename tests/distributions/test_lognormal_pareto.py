@@ -1,0 +1,88 @@
+"""Lognormal and Pareto unit tests (the heavy-tailed alternatives)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormal, Pareto
+from repro.errors import ConfigurationError, DistributionError
+
+
+class TestLogNormal:
+    def test_moment_matching(self):
+        ln = LogNormal.from_mean_var(200_000.0, 100_000.0 ** 2)
+        assert ln.mean() == pytest.approx(200_000.0)
+        assert ln.var() == pytest.approx(100_000.0 ** 2, rel=1e-9)
+
+    def test_closed_form_raw_moments(self):
+        ln = LogNormal(mu=1.0, sigma=0.5)
+        assert ln.moment(1) == pytest.approx(ln.mean())
+        assert ln.moment(2) == pytest.approx(ln.var() + ln.mean() ** 2)
+
+    def test_no_mgf(self):
+        ln = LogNormal(0.0, 1.0)
+        assert not ln.has_mgf()
+        with pytest.raises(DistributionError):
+            ln.log_mgf(0.1)
+
+    def test_cdf_ppf_roundtrip(self):
+        ln = LogNormal(2.0, 0.7)
+        q = np.array([0.05, 0.5, 0.95])
+        assert ln.cdf(ln.ppf(q)) == pytest.approx(q, abs=1e-12)
+
+    def test_sampling_matches_moments(self, rng):
+        ln = LogNormal.from_mean_std(100.0, 30.0)
+        s = ln.sample(rng, size=300_000)
+        assert np.mean(s) == pytest.approx(100.0, rel=0.01)
+        assert np.std(s) == pytest.approx(30.0, rel=0.03)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LogNormal(mu=math.nan, sigma=1.0)
+        with pytest.raises(ConfigurationError):
+            LogNormal(mu=0.0, sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            LogNormal.from_mean_var(-5.0, 1.0)
+
+
+class TestPareto:
+    def test_moment_matching(self):
+        p = Pareto.from_mean_std(200_000.0, 100_000.0)
+        assert p.mean() == pytest.approx(200_000.0, rel=1e-12)
+        assert p.std() == pytest.approx(100_000.0, rel=1e-9)
+        assert p.alpha > 2.0  # variance exists
+
+    def test_tail_is_power_law(self):
+        p = Pareto(xm=1.0, alpha=2.5)
+        x = 10.0
+        assert float(p.sf(x)) == pytest.approx(x ** -2.5)
+
+    def test_infinite_moments_raise(self):
+        with pytest.raises(DistributionError):
+            Pareto(1.0, 0.9).mean()
+        with pytest.raises(DistributionError):
+            Pareto(1.0, 1.5).var()
+
+    def test_no_mgf(self):
+        p = Pareto(1.0, 3.0)
+        assert not p.has_mgf()
+        with pytest.raises(DistributionError):
+            p.log_mgf(0.01)
+
+    def test_ppf_inverts_cdf(self):
+        p = Pareto(2.0, 3.0)
+        q = np.array([0.1, 0.5, 0.9, 0.999])
+        assert p.cdf(p.ppf(q)) == pytest.approx(q, abs=1e-12)
+
+    def test_support_starts_at_xm(self):
+        p = Pareto(2.0, 3.0)
+        assert p.support[0] == 2.0
+        assert p.pdf(1.9) == 0.0
+        assert float(p.pdf(2.1)) > 0.0
+
+    def test_sampling_stays_above_xm(self, rng):
+        p = Pareto(5.0, 4.0)
+        s = p.sample(rng, size=50_000)
+        assert np.all(s >= 5.0)
+        assert np.mean(s) == pytest.approx(p.mean(), rel=0.02)

@@ -1,0 +1,132 @@
+"""Mixture distribution tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Gamma, LogNormal, Mixture, Uniform
+from repro.errors import ConfigurationError, DistributionError
+
+
+@pytest.fixture
+def audio_video():
+    """Two-class mixture: light audio, heavy video."""
+    return Mixture([
+        (0.3, Gamma.from_mean_std(64_000.0, 20_000.0)),
+        (0.7, Gamma.from_mean_std(300_000.0, 150_000.0)),
+    ])
+
+
+class TestMoments:
+    def test_mean_is_weighted(self, audio_video):
+        expected = 0.3 * 64_000.0 + 0.7 * 300_000.0
+        assert audio_video.mean() == pytest.approx(expected)
+
+    def test_variance_includes_between_class_term(self, audio_video):
+        # Var > weighted within-class variance (law of total variance).
+        within = 0.3 * 20_000.0 ** 2 + 0.7 * 150_000.0 ** 2
+        assert audio_video.var() > within
+
+    def test_law_of_total_variance(self, audio_video):
+        means = np.array([64_000.0, 300_000.0])
+        weights = np.array([0.3, 0.7])
+        within = 0.3 * 20_000.0 ** 2 + 0.7 * 150_000.0 ** 2
+        grand = float(weights @ means)
+        between = float(weights @ (means - grand) ** 2)
+        assert audio_video.var() == pytest.approx(within + between,
+                                                  rel=1e-9)
+
+    def test_weights_normalised(self):
+        m = Mixture([(2.0, Gamma(1.0, 1.0)), (6.0, Gamma(2.0, 1.0))])
+        assert m.weights == pytest.approx([0.25, 0.75])
+
+    def test_raw_moments(self, audio_video):
+        assert audio_video.moment(1) == pytest.approx(audio_video.mean())
+        assert audio_video.moment(2) == pytest.approx(
+            audio_video.second_moment())
+
+
+class TestDensities:
+    def test_pdf_integrates_to_one(self, audio_video):
+        x = np.linspace(0.0, 2e6, 400_001)
+        assert np.trapezoid(audio_video.pdf(x), x) == pytest.approx(
+            1.0, abs=1e-4)
+
+    def test_cdf_is_weighted(self, audio_video):
+        x = 150_000.0
+        parts = [d.cdf(x) for d in audio_video.components]
+        expected = 0.3 * float(parts[0]) + 0.7 * float(parts[1])
+        assert float(audio_video.cdf(x)) == pytest.approx(expected)
+
+    def test_bimodal_shape(self):
+        m = Mixture([(0.5, Gamma.from_mean_std(10.0, 1.0)),
+                     (0.5, Gamma.from_mean_std(100.0, 5.0))])
+        # Density has mass near both modes and a trough between.
+        assert float(m.pdf(10.0)) > 10 * float(m.pdf(50.0))
+        assert float(m.pdf(100.0)) > 10 * float(m.pdf(50.0))
+
+    def test_ppf_inverts_cdf(self, audio_video):
+        q = np.array([0.05, 0.3, 0.5, 0.9, 0.99])
+        x = audio_video.ppf(q)
+        assert audio_video.cdf(x) == pytest.approx(q, abs=1e-7)
+        assert np.all(np.diff(x) > 0)
+
+    def test_ppf_validation(self, audio_video):
+        with pytest.raises(ConfigurationError):
+            audio_video.ppf([1.5])
+
+
+class TestSampling:
+    def test_sample_moments(self, audio_video, rng):
+        s = audio_video.sample(rng, size=300_000)
+        assert np.mean(s) == pytest.approx(audio_video.mean(), rel=0.01)
+        assert np.std(s) == pytest.approx(audio_video.std(), rel=0.02)
+
+    def test_scalar_sample(self, audio_video, rng):
+        value = audio_video.sample(rng)
+        assert np.isscalar(value) or np.ndim(value) == 0
+
+    def test_shape_preserved(self, audio_video, rng):
+        s = audio_video.sample(rng, size=(7, 3))
+        assert s.shape == (7, 3)
+
+
+class TestTransform:
+    def test_log_mgf_is_weighted_logsumexp(self, audio_video):
+        theta = 1e-6
+        parts = [math.exp(d.log_mgf(theta))
+                 for d in audio_video.components]
+        expected = math.log(0.3 * parts[0] + 0.7 * parts[1])
+        assert audio_video.log_mgf(theta) == pytest.approx(expected,
+                                                           rel=1e-9)
+
+    def test_theta_sup_min_over_components(self):
+        m = Mixture([(0.5, Gamma(1.0, 2.0)), (0.5, Gamma(1.0, 5.0))])
+        assert m.theta_sup == 2.0
+        assert math.isinf(m.log_mgf(2.0))
+
+    def test_mgf_less_component_rejected(self):
+        m = Mixture([(0.5, Gamma(1.0, 1.0)),
+                     (0.5, LogNormal(0.0, 1.0))])
+        with pytest.raises(DistributionError):
+            m.theta_sup
+
+    def test_uniform_components_unbounded_domain(self):
+        m = Mixture([(0.5, Uniform(0.0, 1.0)), (0.5, Uniform(2.0, 3.0))])
+        assert math.isinf(m.theta_sup)
+        assert math.isfinite(m.log_mgf(50.0))
+
+
+class TestValidation:
+    def test_empty_mixture(self):
+        with pytest.raises(ConfigurationError):
+            Mixture([])
+
+    def test_non_positive_weight(self):
+        with pytest.raises(ConfigurationError):
+            Mixture([(0.0, Gamma(1.0, 1.0))])
+
+    def test_support_is_union_hull(self):
+        m = Mixture([(0.5, Uniform(0.0, 1.0)), (0.5, Uniform(5.0, 6.0))])
+        assert m.support == (0.0, 6.0)

@@ -1,0 +1,145 @@
+"""Truncated and Empirical distribution unit tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Empirical,
+    Gamma,
+    LogNormal,
+    Pareto,
+    Truncated,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTruncated:
+    def test_support_and_mass(self):
+        t = Truncated(Gamma(4.0, 2.0), low=1.0, high=4.0)
+        assert t.support == (1.0, 4.0)
+        assert float(t.cdf(1.0)) == pytest.approx(0.0, abs=1e-12)
+        assert float(t.cdf(4.0)) == pytest.approx(1.0, abs=1e-12)
+
+    def test_pdf_renormalised(self):
+        base = Gamma(4.0, 2.0)
+        t = Truncated(base, low=1.0, high=4.0)
+        x = np.linspace(1.0, 4.0, 20_001)
+        integral = np.trapezoid(t.pdf(x), x)
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_moments_by_quadrature_match_sampling(self, rng):
+        t = Truncated(LogNormal.from_mean_std(10.0, 8.0), low=0.0,
+                      high=40.0)
+        s = t.sample(rng, size=400_000)
+        assert np.mean(s) == pytest.approx(t.mean(), rel=0.005)
+        assert np.var(s) == pytest.approx(t.var(), rel=0.02)
+
+    def test_gives_pareto_an_mgf(self):
+        base = Pareto.from_mean_std(200_000.0, 100_000.0)
+        t = Truncated(base, low=base.xm, high=2_000_000.0)
+        assert t.has_mgf()
+        theta = 1e-8
+        value = t.log_mgf(theta)
+        assert math.isfinite(value)
+        # Second-order expansion: theta*mean + theta^2*var/2.
+        expected = theta * t.mean() + 0.5 * theta ** 2 * t.var()
+        assert value == pytest.approx(expected, rel=1e-3)
+
+    def test_log_mgf_large_theta_no_overflow(self):
+        t = Truncated(Gamma(4.0, 2.0), low=0.0, high=10.0)
+        value = t.log_mgf(500.0)  # exp(5000) would overflow
+        assert math.isfinite(value)
+        assert value <= 500.0 * 10.0
+
+    def test_samples_respect_bounds(self, rng):
+        t = Truncated(Gamma(2.0, 1.0), low=1.0, high=3.0)
+        s = t.sample(rng, size=20_000)
+        assert np.all((s >= 1.0) & (s <= 3.0))
+
+    def test_ppf_roundtrip(self):
+        t = Truncated(Gamma(3.0, 1.0), low=0.5, high=6.0)
+        q = np.array([0.05, 0.5, 0.95])
+        assert t.cdf(t.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_rejects_bad_windows(self):
+        g = Gamma(2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            Truncated(g, low=3.0, high=3.0)
+        with pytest.raises(ConfigurationError):
+            Truncated(g, low=1.0, high=math.inf)
+        with pytest.raises(ConfigurationError):
+            # Pareto has no mass below xm.
+            Truncated(Pareto(5.0, 3.0), low=1.0, high=4.0)
+
+
+class TestEmpirical:
+    def test_moments_match_sample(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        e = Empirical(data)
+        assert e.mean() == pytest.approx(2.5)
+        assert e.var() == pytest.approx(np.var(data))
+
+    def test_cdf_steps(self):
+        e = Empirical([1.0, 2.0, 3.0])
+        assert float(e.cdf(0.5)) == 0.0
+        assert float(e.cdf(1.0)) == pytest.approx(1 / 3)
+        assert float(e.cdf(2.5)) == pytest.approx(2 / 3)
+        assert float(e.cdf(3.0)) == 1.0
+
+    def test_ppf_picks_order_statistics(self):
+        e = Empirical([10.0, 20.0, 30.0, 40.0])
+        assert float(e.ppf(0.25)) == 10.0
+        assert float(e.ppf(1.0)) == 40.0
+
+    def test_resampling_stays_in_sample(self, rng):
+        data = np.array([1.0, 5.0, 9.0])
+        e = Empirical(data)
+        drawn = e.sample(rng, size=1000)
+        assert set(np.unique(drawn)) <= set(data)
+
+    def test_log_mgf_is_sample_average(self):
+        e = Empirical([0.0, 1.0])
+        theta = 2.0
+        expected = math.log(0.5 * (1.0 + math.exp(2.0)))
+        assert e.log_mgf(theta) == pytest.approx(expected)
+
+    def test_log_mgf_no_overflow(self):
+        e = Empirical([900.0, 1000.0])
+        value = e.log_mgf(10.0)  # exp(10000) overflows naively
+        assert math.isfinite(value)
+        assert value == pytest.approx(
+            10_000.0 + math.log(0.5 * (1 + math.exp(-1000.0))), rel=1e-12)
+
+    def test_rejects_degenerate_samples(self):
+        with pytest.raises(ConfigurationError):
+            Empirical([1.0])
+        with pytest.raises(ConfigurationError):
+            Empirical([2.0, 2.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            Empirical([1.0, math.nan])
+
+
+class TestDeterministic:
+    def test_point_mass(self):
+        d = Deterministic(3.0)
+        assert d.mean() == 3.0
+        assert d.var() == 0.0
+        assert float(d.cdf(2.999)) == 0.0
+        assert float(d.cdf(3.0)) == 1.0
+
+    def test_log_mgf_linear(self):
+        d = Deterministic(0.10932)  # the SEEK constant
+        assert d.log_mgf(2.0) == pytest.approx(0.21864)
+        assert d.theta_sup == math.inf
+
+    def test_sampling_constant(self, rng):
+        d = Deterministic(7.0)
+        assert d.sample(rng) == 7.0
+        assert np.all(d.sample(rng, size=5) == 7.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ConfigurationError):
+            Deterministic(math.inf)

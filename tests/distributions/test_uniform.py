@@ -1,0 +1,108 @@
+"""Uniform distribution unit tests (the rotational-latency law)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Uniform
+from repro.errors import ConfigurationError
+
+ROT = 8.34e-3
+
+
+class TestConstruction:
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            Uniform(2.0, 1.0)
+
+    def test_rejects_infinite_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(0.0, math.inf)
+
+
+class TestMoments:
+    def test_rotational_latency_moments(self):
+        u = Uniform(0.0, ROT)
+        assert u.mean() == pytest.approx(ROT / 2)
+        assert u.var() == pytest.approx(ROT ** 2 / 12)
+
+    def test_support(self):
+        u = Uniform(-1.0, 3.0)
+        assert u.support == (-1.0, 3.0)
+
+
+class TestDensities:
+    def test_pdf_inside_and_outside(self):
+        u = Uniform(0.0, 2.0)
+        assert u.pdf(1.0) == pytest.approx(0.5)
+        assert u.pdf(-0.1) == 0.0
+        assert u.pdf(2.1) == 0.0
+
+    def test_cdf_clips(self):
+        u = Uniform(0.0, 2.0)
+        assert u.cdf(-1.0) == 0.0
+        assert u.cdf(1.0) == pytest.approx(0.5)
+        assert u.cdf(5.0) == 1.0
+
+    def test_ppf_is_linear(self):
+        u = Uniform(1.0, 3.0)
+        assert u.ppf(0.0) == 1.0
+        assert u.ppf(0.5) == pytest.approx(2.0)
+        assert u.ppf(1.0) == 3.0
+
+    def test_samples_in_support(self, rng):
+        u = Uniform(0.0, ROT)
+        s = u.sample(rng, size=10_000)
+        assert np.all((s >= 0.0) & (s <= ROT))
+        assert np.mean(s) == pytest.approx(ROT / 2, rel=0.02)
+
+
+class TestTransform:
+    def test_log_mgf_matches_paper_form(self):
+        # T_rot*(s) = (1 - e^{-s ROT})/(s ROT); M(theta) = T*(-theta).
+        u = Uniform(0.0, ROT)
+        theta = 50.0
+        expected = math.log(
+            (math.exp(theta * ROT) - 1.0) / (theta * ROT))
+        assert u.log_mgf(theta) == pytest.approx(expected, rel=1e-12)
+
+    def test_log_mgf_near_zero_series(self):
+        u = Uniform(0.0, ROT)
+        # log M(theta) -> theta * mean as theta -> 0.
+        theta = 1e-10
+        assert u.log_mgf(theta) == pytest.approx(theta * ROT / 2, rel=1e-6)
+
+    def test_log_mgf_continuous_across_branch(self):
+        # Both branches evaluate near-identically around |theta*ROT|=1e-8.
+        u = Uniform(0.0, ROT)
+        for factor in (0.99, 1.01):
+            theta = factor * 1e-8 / ROT
+            series = theta * ROT / 2 + (theta * ROT) ** 2 / 24
+            assert u.log_mgf(theta) == pytest.approx(series, rel=1e-9)
+
+    def test_log_mgf_negative_theta(self):
+        u = Uniform(0.0, ROT)
+        s = 120.0
+        expected = math.log((1.0 - math.exp(-s * ROT)) / (s * ROT))
+        assert u.log_mgf(-s) == pytest.approx(expected, rel=1e-12)
+
+    def test_log_mgf_large_theta_no_overflow(self):
+        u = Uniform(0.0, ROT)
+        value = u.log_mgf(1e6)  # theta*ROT = 8340: would overflow naively
+        assert math.isfinite(value)
+        # Dominated by theta*high - log(theta*width).
+        assert value == pytest.approx(
+            1e6 * ROT - math.log(1e6 * ROT), rel=1e-9)
+
+    def test_theta_sup_unbounded(self):
+        assert Uniform(0.0, 1.0).theta_sup == math.inf
+
+    def test_nonzero_low_bound(self):
+        u = Uniform(2.0, 3.0)
+        theta = 0.5
+        expected = math.log(
+            (math.exp(3 * theta) - math.exp(2 * theta)) / theta)
+        assert u.log_mgf(theta) == pytest.approx(expected, rel=1e-12)

@@ -1,0 +1,69 @@
+"""Run-time admission controller tests (§5)."""
+
+import pytest
+
+from repro.core import AdmissionTable, GlitchModel, RoundServiceTimeModel
+from repro.disk import quantum_viking_2_1
+from repro.errors import AdmissionError, ConfigurationError
+from repro.server import AdmissionController
+from repro.workload import paper_fragment_sizes
+
+
+class TestCounting:
+    def test_admits_to_capacity_then_rejects(self):
+        ctrl = AdmissionController(n_max_per_disk=3, disks=2)
+        for _ in range(6):
+            ctrl.admit()
+        assert ctrl.active == 6
+        with pytest.raises(AdmissionError) as err:
+            ctrl.admit()
+        assert err.value.active_streams == 6
+        assert err.value.limit == 6
+        assert ctrl.rejections == 1
+        assert ctrl.requests == 7
+
+    def test_release_frees_slot(self):
+        ctrl = AdmissionController(n_max_per_disk=1, disks=1)
+        ctrl.admit()
+        with pytest.raises(AdmissionError):
+            ctrl.admit()
+        ctrl.release()
+        ctrl.admit()
+        assert ctrl.active == 1
+
+    def test_per_disk_ceiling(self):
+        # 2 disks, limit 2 per disk: the 5th stream would make one disk
+        # serve ceil(5/2)=3 requests in some round.
+        ctrl = AdmissionController(n_max_per_disk=2, disks=2)
+        for _ in range(4):
+            ctrl.admit()
+        assert not ctrl.would_admit()
+
+    def test_zero_limit_rejects_everything(self):
+        ctrl = AdmissionController(n_max_per_disk=0)
+        assert not ctrl.would_admit()
+        with pytest.raises(AdmissionError):
+            ctrl.admit()
+
+    def test_release_without_admit(self):
+        ctrl = AdmissionController(n_max_per_disk=1)
+        with pytest.raises(ConfigurationError):
+            ctrl.release()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(n_max_per_disk=-1)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(n_max_per_disk=1, disks=0)
+
+
+class TestTableIntegration:
+    def test_from_lookup_table(self):
+        model = RoundServiceTimeModel.for_disk(quantum_viking_2_1(),
+                                               paper_fragment_sizes())
+        glitch = GlitchModel(model, t=1.0)
+        table = AdmissionTable(glitch, m=1200, g=12)
+        ctrl = AdmissionController.from_table(table, epsilon=0.01, disks=4)
+        # Paper: N_max^perror = 28 per disk.
+        assert ctrl.n_max_per_disk == 28
+        assert ctrl.capacity == 112

@@ -1,0 +1,93 @@
+"""Cross-validation: event-driven server vs vectorised Monte Carlo.
+
+The two simulation paths share the disk model but differ in mechanics
+(generator coroutines vs bulk numpy, exact vs approximate arm carry-over
+on overruns).  Their p_late estimates must agree statistically.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.disk import quantum_viking_2_1
+from repro.server import MediaServer
+from repro.server.simulation import simulate_rounds
+
+
+@pytest.mark.slow
+class TestPathsAgree:
+    def test_p_late_statistically_equal(self, paper_sizes):
+        n = 29  # p_late ~ 1.4 %: enough events either way
+        t = 1.0
+        rounds = 3000
+        spec = quantum_viking_2_1()
+
+        # Vectorised path.
+        rng = np.random.default_rng(101)
+        batch = simulate_rounds(spec, paper_sizes, n, t, rounds, rng)
+        vec_late = int(np.sum(batch.service_times > t))
+
+        # Event-driven path: one disk, n eternal streams.
+        server = MediaServer([spec], t, admission=None, seed=202)
+        sizes = paper_sizes.sample(np.random.default_rng(7),
+                                   size=(n, rounds))
+        for s in range(n):
+            server.store_object(f"stream-{s}", sizes[s])
+            server.open_stream(f"stream-{s}")
+        report = server.run_rounds(rounds)
+        ev_late = report.late_rounds
+
+        p_vec = vec_late / rounds
+        p_ev = ev_late / rounds
+        # Two-proportion z-test at ~4 sigma.
+        pooled = (vec_late + ev_late) / (2 * rounds)
+        se = math.sqrt(2 * pooled * (1 - pooled) / rounds)
+        assert abs(p_vec - p_ev) < 4 * se + 1e-9, (p_vec, p_ev)
+
+    def test_mean_service_time_agrees(self, paper_sizes):
+        # Compare the busy-time the two paths charge for identical load
+        # levels (different random draws, so compare means).
+        n, t, rounds = 20, 1.0, 1500
+        spec = quantum_viking_2_1()
+
+        rng = np.random.default_rng(33)
+        batch = simulate_rounds(spec, paper_sizes, n, t, rounds, rng)
+        vec_mean = float(np.mean(batch.service_times))
+
+        server = MediaServer([spec], t, admission=None, seed=44)
+        sizes = paper_sizes.sample(np.random.default_rng(55),
+                                   size=(n, rounds))
+        for s in range(n):
+            server.store_object(f"stream-{s}", sizes[s])
+            server.open_stream(f"stream-{s}")
+        server.run_rounds(rounds)
+        drive_busy = sum(sched.drive.busy_time
+                         for sched in server._schedulers)
+        ev_mean = drive_busy / rounds
+
+        assert ev_mean == pytest.approx(vec_mean, rel=0.03)
+
+    def test_glitch_rate_agrees(self, paper_sizes):
+        n, t, rounds = 30, 1.0, 2000  # heavy load, frequent glitches
+        spec = quantum_viking_2_1()
+
+        rng = np.random.default_rng(66)
+        batch = simulate_rounds(spec, paper_sizes, n, t, rounds, rng)
+        vec_rate = float(np.mean(batch.glitches))
+
+        server = MediaServer([spec], t, admission=None, seed=77)
+        sizes = paper_sizes.sample(np.random.default_rng(88),
+                                   size=(n, rounds))
+        for s in range(n):
+            server.store_object(f"stream-{s}", sizes[s])
+            server.open_stream(f"stream-{s}")
+        report = server.run_rounds(rounds)
+        ev_rate = report.glitches / report.requests
+
+        lo, hi = wilson_interval(int(vec_rate * rounds * n), rounds * n,
+                                 confidence=0.999)
+        # Allow extra slack: the event path carries overrun time into
+        # the next round (realistic), the vectorised path does not.
+        assert lo * 0.5 <= ev_rate <= hi * 2.0 + 0.01

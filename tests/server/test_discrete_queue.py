@@ -1,0 +1,92 @@
+"""Discrete-queue simulation tests (§6 mixed-workload extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mixed import MixedWorkloadModel
+from repro.distributions import Gamma
+from repro.errors import ConfigurationError
+from repro.server.mixed import simulate_discrete_queue
+
+
+@pytest.fixture(scope="module")
+def disc_sizes():
+    return Gamma.from_mean_std(8_000.0, 8_000.0)
+
+
+class TestMechanics:
+    def test_accounting(self, viking, paper_sizes, disc_sizes):
+        result = simulate_discrete_queue(
+            viking, paper_sizes, disc_sizes, n=20, arrival_rate=5.0,
+            t=1.0, rounds=300, rng=np.random.default_rng(1))
+        assert result.served <= result.arrived
+        assert result.response_times.size == result.served
+        assert np.all(result.response_times >= 1)
+        assert result.queue_lengths.shape == (300,)
+
+    def test_zero_arrivals(self, viking, paper_sizes, disc_sizes):
+        result = simulate_discrete_queue(
+            viking, paper_sizes, disc_sizes, n=20, arrival_rate=0.0,
+            t=1.0, rounds=100, rng=np.random.default_rng(1))
+        assert result.arrived == 0
+        assert result.served == 0
+        assert np.isnan(result.mean_response_rounds)
+
+    def test_validation(self, viking, paper_sizes, disc_sizes):
+        with pytest.raises(ConfigurationError):
+            simulate_discrete_queue(
+                viking, paper_sizes, disc_sizes, 20, -1.0, 1.0, 100,
+                np.random.default_rng(0))
+
+
+class TestQueueing:
+    def test_light_load_fast_responses(self, viking, paper_sizes,
+                                       disc_sizes):
+        # Plenty of leftover at N=20: responses mostly same-round.
+        result = simulate_discrete_queue(
+            viking, paper_sizes, disc_sizes, n=20, arrival_rate=3.0,
+            t=1.0, rounds=600, rng=np.random.default_rng(2))
+        assert not result.saturated
+        assert result.mean_response_rounds < 1.5
+        assert result.served >= 0.95 * result.arrived
+
+    def test_overload_saturates(self, viking, paper_sizes, disc_sizes):
+        # Offered discrete load far above the leftover capacity.
+        mixed = MixedWorkloadModel(spec=viking,
+                                   continuous_sizes=paper_sizes,
+                                   discrete_sizes=disc_sizes)
+        capacity = mixed.discrete_throughput_estimate(26, 1.0)
+        result = simulate_discrete_queue(
+            viking, paper_sizes, disc_sizes, n=26,
+            arrival_rate=3.0 * capacity, t=1.0, rounds=600,
+            rng=np.random.default_rng(3))
+        assert result.saturated
+        assert result.served < result.arrived
+
+    def test_response_time_grows_with_load(self, viking, paper_sizes,
+                                           disc_sizes):
+        mixed = MixedWorkloadModel(spec=viking,
+                                   continuous_sizes=paper_sizes,
+                                   discrete_sizes=disc_sizes)
+        capacity = mixed.discrete_throughput_estimate(24, 1.0)
+        responses = []
+        for load in (0.3, 0.7, 0.95):
+            result = simulate_discrete_queue(
+                viking, paper_sizes, disc_sizes, n=24,
+                arrival_rate=load * capacity, t=1.0, rounds=800,
+                rng=np.random.default_rng(4))
+            responses.append(result.mean_response_rounds)
+        assert responses == sorted(responses)
+
+    def test_continuous_unaffected_by_discrete_overload(
+            self, viking, paper_sizes, disc_sizes):
+        quiet = simulate_discrete_queue(
+            viking, paper_sizes, disc_sizes, n=26, arrival_rate=0.0,
+            t=1.0, rounds=2000, rng=np.random.default_rng(5))
+        flooded = simulate_discrete_queue(
+            viking, paper_sizes, disc_sizes, n=26, arrival_rate=100.0,
+            t=1.0, rounds=2000, rng=np.random.default_rng(5))
+        # Continuous-first: glitch rates statistically identical.
+        assert float(np.mean(flooded.continuous_glitches)) == \
+            pytest.approx(float(np.mean(quiet.continuous_glitches)),
+                          abs=0.003)

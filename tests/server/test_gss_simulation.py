@@ -1,0 +1,77 @@
+"""GSS simulator tests (coupled sub-rounds)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RoundServiceTimeModel
+from repro.core.gss import gss_group_p_late, n_max_gss
+from repro.errors import ConfigurationError
+from repro.server.gss_sim import simulate_gss_rounds
+from repro.server.simulation import simulate_rounds
+
+
+class TestMechanics:
+    def test_shapes(self, viking, paper_sizes, rng):
+        batch = simulate_gss_rounds(viking, paper_sizes, n=16, groups=4,
+                                    t=1.0, rounds=50, rng=rng)
+        assert batch.group_service_times.shape == (50, 4)
+        assert batch.group_late.shape == (50, 4)
+        assert batch.sub_round_length == pytest.approx(0.25)
+        assert batch.rounds == 50
+
+    def test_one_group_matches_scan_statistics(self, viking, paper_sizes):
+        gss = simulate_gss_rounds(viking, paper_sizes, n=26, groups=1,
+                                  t=1.0, rounds=3000,
+                                  rng=np.random.default_rng(1))
+        scan = simulate_rounds(viking, paper_sizes, 26, 1.0, 3000,
+                               np.random.default_rng(2))
+        assert float(np.mean(gss.group_service_times)) == pytest.approx(
+            float(np.mean(scan.service_times)), rel=0.02)
+
+    def test_validation(self, viking, paper_sizes, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_gss_rounds(viking, paper_sizes, 10, 0, 1.0, 10, rng)
+        with pytest.raises(ConfigurationError):
+            simulate_gss_rounds(viking, paper_sizes, 10, 11, 1.0, 10,
+                                rng)
+
+
+class TestAgainstAnalytics:
+    def test_bound_covers_coupled_system_at_admission(self, viking,
+                                                      paper_sizes):
+        # At the GSS admission point the rescaled analytic bound must
+        # cover the coupled simulation (late groups delaying successors
+        # included).
+        model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        g, t = 4, 1.0
+        n = n_max_gss(model, t, g, 0.01)
+        batch = simulate_gss_rounds(viking, paper_sizes, n, g, t,
+                                    rounds=5000,
+                                    rng=np.random.default_rng(3))
+        assert gss_group_p_late(model, n, g, t) >= batch.p_late_group
+
+    def test_grouping_increases_overhead(self, viking, paper_sizes):
+        # Same total N: more groups means more sweeps and more total
+        # busy time per round.
+        n, t = 16, 1.0
+        totals = []
+        for g in (1, 4):
+            batch = simulate_gss_rounds(viking, paper_sizes, n, g, t,
+                                        rounds=2000,
+                                        rng=np.random.default_rng(4))
+            totals.append(float(np.mean(
+                np.sum(batch.group_service_times, axis=1))))
+        assert totals[1] > totals[0]
+
+    def test_lateness_cascade_is_propagated(self, viking, paper_sizes):
+        # Overload the groups: a late group must make successors late
+        # more often than the i.i.d. rescaling predicts, visible as a
+        # positive correlation between consecutive groups' lateness.
+        batch = simulate_gss_rounds(viking, paper_sizes, n=36, groups=4,
+                                    t=1.0, rounds=4000,
+                                    rng=np.random.default_rng(5))
+        late = batch.group_late.astype(float)
+        assert float(np.mean(late)) > 0.05  # overloaded on purpose
+        first, second = late[:, 0], late[:, 1]
+        corr = float(np.corrcoef(first, second)[0, 1])
+        assert corr > 0.05

@@ -1,0 +1,127 @@
+"""Layout and stream-state tests."""
+
+import numpy as np
+import pytest
+
+from repro.disk import quantum_viking_2_1
+from repro.errors import ConfigurationError, SimulationError
+from repro.server import ClientBuffer, Stream, StripedLayout
+
+
+@pytest.fixture
+def layout(rng):
+    return StripedLayout([quantum_viking_2_1()] * 4, rng)
+
+
+class TestStripedLayout:
+    def test_round_robin_striping(self, layout):
+        layout.store("movie", [1000.0] * 10)
+        disks = [layout.locate("movie", i).disk for i in range(10)]
+        first = disks[0]
+        assert disks == [(first + i) % 4 for i in range(10)]
+
+    def test_successive_fragments_hit_different_disks(self, layout):
+        # §2.1: time-wise successive fragments of a stream never share a
+        # disk (for D > 1).
+        layout.store("movie", [1000.0] * 20)
+        locs = layout.locate_all("movie")
+        for a, b in zip(locs, locs[1:]):
+            assert a.disk != b.disk
+
+    def test_balanced_load(self, layout):
+        layout.store("movie", [1000.0] * 22)
+        profile = layout.disk_load_profile("movie")
+        assert profile.max() - profile.min() <= 1
+        assert profile.sum() == 22
+
+    def test_start_disk_rotates_per_object(self, layout):
+        layout.store("a", [1.0])
+        layout.store("b", [1.0])
+        assert layout.locate("a", 0).disk != layout.locate("b", 0).disk
+
+    def test_positions_are_scattered(self, rng):
+        layout = StripedLayout([quantum_viking_2_1()], rng)
+        layout.store("movie", [1000.0] * 500)
+        cylinders = np.array([loc.cylinder
+                              for loc in layout.locate_all("movie")])
+        # Random placement: spread across the disk, not clustered.
+        assert cylinders.std() > 1000
+        assert len(np.unique(cylinders)) > 400
+
+    def test_validation(self, layout, rng):
+        with pytest.raises(ConfigurationError):
+            StripedLayout([], rng)
+        with pytest.raises(ConfigurationError):
+            layout.store("empty", [])
+        with pytest.raises(ConfigurationError):
+            layout.store("bad", [0.0])
+        layout.store("dup", [1.0])
+        with pytest.raises(ConfigurationError):
+            layout.store("dup", [1.0])
+        with pytest.raises(ConfigurationError):
+            layout.locate("missing", 0)
+        with pytest.raises(ConfigurationError):
+            layout.locate("dup", 5)
+
+
+class TestClientBuffer:
+    def test_minimum_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ClientBuffer(1)
+
+    def test_deliver_consume_cycle(self):
+        buf = ClientBuffer(2)
+        buf.deliver()
+        assert buf.occupied == 1
+        assert buf.consume()
+        assert buf.occupied == 0
+
+    def test_underrun_returns_false(self):
+        buf = ClientBuffer(2)
+        assert not buf.consume()
+
+    def test_overflow_raises(self):
+        buf = ClientBuffer(2)
+        buf.deliver()
+        buf.deliver()
+        with pytest.raises(SimulationError):
+            buf.deliver()
+
+    def test_high_watermark(self):
+        buf = ClientBuffer(3)
+        buf.deliver()
+        buf.deliver()
+        buf.consume()
+        assert buf.high_watermark == 2
+
+
+class TestStream:
+    def test_fragment_schedule(self):
+        s = Stream(0, "movie", length=5, start_round=10)
+        assert s.fragment_for_round(9) is None
+        assert s.fragment_for_round(10) == 0
+        assert s.fragment_for_round(14) == 4
+        assert s.fragment_for_round(15) is None
+        assert not s.is_finished(14)
+        assert s.is_finished(15)
+
+    def test_glitch_accounting(self):
+        s = Stream(0, "movie", length=100, start_round=0)
+        s.record_delivery(0)
+        s.record_glitch(1)
+        s.record_delivery(2)
+        assert s.stats.delivered == 2
+        assert s.stats.glitches == 1
+        assert s.stats.glitch_rounds == [1]
+        assert s.stats.glitch_rate() == pytest.approx(1 / 3)
+
+    def test_glitch_rate_requires_requests(self):
+        s = Stream(0, "movie", length=1, start_round=0)
+        with pytest.raises(SimulationError):
+            s.stats.glitch_rate()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Stream(0, "movie", length=0, start_round=0)
+        with pytest.raises(ConfigurationError):
+            Stream(0, "movie", length=5, start_round=-1)

@@ -1,0 +1,178 @@
+"""Tests for event combinators and the priority resource."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, PriorityResource, all_of, any_of
+
+
+class TestAllOf:
+    def test_waits_for_slowest(self):
+        engine = Engine()
+        a = engine.timeout(1.0, value="a")
+        b = engine.timeout(3.0, value="b")
+        done = []
+
+        def waiter(engine):
+            values = yield all_of(engine, [a, b])
+            done.append((engine.now, values))
+
+        engine.process(waiter(engine))
+        engine.run()
+        assert done == [(3.0, ["a", "b"])]
+
+    def test_preserves_input_order(self):
+        engine = Engine()
+        slow = engine.timeout(5.0, value="slow")
+        fast = engine.timeout(1.0, value="fast")
+        result = all_of(engine, [slow, fast])
+        engine.run()
+        assert result.value == ["slow", "fast"]
+
+    def test_already_fired_events(self):
+        engine = Engine()
+        a = engine.event()
+        a.succeed("early")
+        engine.run()
+        result = all_of(engine, [a])
+        assert result.triggered
+        engine.run()
+        assert result.value == ["early"]
+
+    def test_failure_propagates(self):
+        engine = Engine()
+        good = engine.timeout(1.0)
+        bad = engine.event()
+        caught = []
+
+        def waiter(engine):
+            try:
+                yield all_of(engine, [good, bad])
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        def failer(engine):
+            yield engine.timeout(2.0)
+            bad.fail(RuntimeError("broken"))
+
+        engine.process(waiter(engine))
+        engine.process(failer(engine))
+        engine.run()
+        assert caught == ["broken"]
+
+    def test_empty_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            all_of(engine, [])
+
+
+class TestAnyOf:
+    def test_first_wins(self):
+        engine = Engine()
+        slow = engine.timeout(5.0, value="slow")
+        fast = engine.timeout(1.0, value="fast")
+        seen = []
+
+        def waiter(engine):
+            index, value = yield any_of(engine, [slow, fast])
+            seen.append((engine.now, index, value))
+
+        engine.process(waiter(engine))
+        engine.run()
+        assert seen == [(1.0, 1, "fast")]
+
+    def test_timeout_race_pattern(self):
+        # The admission-with-deadline idiom: a slot never frees, the
+        # timeout wins.
+        engine = Engine()
+        never = engine.event()
+        deadline = engine.timeout(2.0, value="timed out")
+        outcome = []
+
+        def waiter(engine):
+            index, value = yield any_of(engine, [never, deadline])
+            outcome.append((index, value))
+
+        engine.process(waiter(engine))
+        engine.run()
+        assert outcome == [(1, "timed out")]
+
+    def test_pre_fired_short_circuits(self):
+        engine = Engine()
+        ready = engine.event()
+        ready.succeed("now")
+        engine.run()
+        result = any_of(engine, [ready, engine.timeout(9.0)])
+        engine.run(until=0.5)
+        assert result.value == (0, "now")
+
+    def test_losers_still_usable(self):
+        engine = Engine()
+        fast = engine.timeout(1.0, value="fast")
+        slow = engine.timeout(2.0, value="slow")
+        any_of(engine, [fast, slow])
+        late = []
+
+        def waiter(engine):
+            value = yield slow
+            late.append(value)
+
+        engine.process(waiter(engine))
+        engine.run()
+        assert late == ["slow"]
+
+    def test_empty_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            any_of(engine, [])
+
+
+class TestPriorityResource:
+    def test_priority_order(self):
+        engine = Engine()
+        res = PriorityResource(engine, capacity=1)
+        served = []
+
+        def worker(engine, res, name, priority):
+            yield res.request(priority=priority)
+            served.append(name)
+            yield engine.timeout(1.0)
+            res.release()
+
+        # Holder first, then queue discrete before continuous arrives.
+        engine.process(worker(engine, res, "holder", 0))
+        engine.process(worker(engine, res, "discrete", 10))
+        engine.process(worker(engine, res, "continuous", 0))
+        engine.run()
+        assert served == ["holder", "continuous", "discrete"]
+
+    def test_fifo_within_priority(self):
+        engine = Engine()
+        res = PriorityResource(engine, capacity=1)
+        served = []
+
+        def worker(engine, res, name):
+            yield res.request(priority=5)
+            served.append(name)
+            yield engine.timeout(1.0)
+            res.release()
+
+        for name in ("first", "second", "third"):
+            engine.process(worker(engine, res, name))
+        engine.run()
+        assert served == ["first", "second", "third"]
+
+    def test_release_without_request(self):
+        engine = Engine()
+        res = PriorityResource(engine)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_counters(self):
+        engine = Engine()
+        res = PriorityResource(engine, capacity=2)
+        res.request(priority=1)
+        res.request(priority=2)
+        res.request(priority=0)
+        assert res.in_use == 2
+        assert res.queue_length == 1

@@ -1,0 +1,89 @@
+"""Property-based tests of the event kernel's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine
+
+delays = st.lists(st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False),
+                  min_size=1, max_size=40)
+
+
+class TestTemporalOrder:
+    @settings(max_examples=60, deadline=None)
+    @given(delays)
+    def test_timeouts_fire_in_time_order(self, ds):
+        engine = Engine()
+        fired: list[tuple[float, int]] = []
+
+        def waiter(engine, delay, tag):
+            yield engine.timeout(delay)
+            fired.append((engine.now, tag))
+
+        for tag, delay in enumerate(ds):
+            engine.process(waiter(engine, delay, tag))
+        engine.run()
+
+        times = [t for t, _ in fired]
+        assert times == sorted(times)
+        assert len(fired) == len(ds)
+        # Every process observed exactly its own delay.
+        by_tag = dict((tag, t) for t, tag in fired)
+        for tag, delay in enumerate(ds):
+            assert abs(by_tag[tag] - delay) < 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(delays)
+    def test_fifo_among_equal_times(self, ds):
+        # Processes scheduled at the same instant fire in creation
+        # order.
+        engine = Engine()
+        fired: list[int] = []
+        delay = 5.0
+
+        def waiter(engine, tag):
+            yield engine.timeout(delay)
+            fired.append(tag)
+
+        count = len(ds)  # reuse the list length as a process count
+        for tag in range(count):
+            engine.process(waiter(engine, tag))
+        engine.run()
+        assert fired == list(range(count))
+
+    @settings(max_examples=40, deadline=None)
+    @given(delays, st.floats(min_value=0.0, max_value=100.0))
+    def test_run_until_cuts_exactly(self, ds, horizon):
+        engine = Engine()
+        fired: list[float] = []
+
+        def waiter(engine, delay):
+            yield engine.timeout(delay)
+            fired.append(engine.now)
+
+        for delay in ds:
+            engine.process(waiter(engine, delay))
+        engine.run(until=horizon)
+        assert engine.now == horizon
+        assert all(t <= horizon for t in fired)
+        expected = sum(1 for d in ds if d <= horizon)
+        assert len(fired) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(delays)
+    def test_chained_timeouts_accumulate(self, ds):
+        engine = Engine()
+        checkpoints: list[float] = []
+
+        def chain(engine):
+            for delay in ds:
+                yield engine.timeout(delay)
+                checkpoints.append(engine.now)
+
+        engine.process(chain(engine))
+        engine.run()
+        running = 0.0
+        for delay, observed in zip(ds, checkpoints):
+            running += delay
+            assert abs(observed - running) < 1e-6

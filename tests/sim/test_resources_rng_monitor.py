@@ -1,0 +1,201 @@
+"""Resource, Store, RngRegistry and Monitor tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Engine,
+    Monitor,
+    Resource,
+    RngRegistry,
+    Store,
+    TimeWeightedMonitor,
+)
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self):
+        engine = Engine()
+        res = Resource(engine, capacity=2)
+        grants = []
+
+        def worker(engine, res, name, hold):
+            yield res.request()
+            grants.append((name, engine.now))
+            yield engine.timeout(hold)
+            res.release()
+
+        engine.process(worker(engine, res, "a", 5.0))
+        engine.process(worker(engine, res, "b", 5.0))
+        engine.process(worker(engine, res, "c", 1.0))
+        engine.run()
+        times = dict((name, when) for name, when in grants)
+        assert times["a"] == 0.0
+        assert times["b"] == 0.0
+        assert times["c"] == 5.0  # had to wait for a unit
+
+    def test_fifo_queueing(self):
+        engine = Engine()
+        res = Resource(engine, capacity=1)
+        order = []
+
+        def worker(engine, res, name):
+            yield res.request()
+            order.append(name)
+            yield engine.timeout(1.0)
+            res.release()
+
+        for name in ("first", "second", "third"):
+            engine.process(worker(engine, res, name))
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_without_request(self):
+        engine = Engine()
+        res = Resource(engine)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_counters(self):
+        engine = Engine()
+        res = Resource(engine, capacity=3)
+        res.request()
+        res.request()
+        assert res.in_use == 2
+        assert res.available == 1
+        assert res.queue_length == 0
+
+    def test_bad_capacity(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            Resource(engine, capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        engine = Engine()
+        store = Store(engine)
+        store.put("item")
+        got = []
+
+        def getter(engine, store):
+            value = yield store.get()
+            got.append(value)
+
+        engine.process(getter(engine, store))
+        engine.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self):
+        engine = Engine()
+        store = Store(engine)
+        got = []
+
+        def getter(engine, store):
+            value = yield store.get()
+            got.append((engine.now, value))
+
+        def putter(engine, store):
+            yield engine.timeout(4.0)
+            store.put("late")
+
+        engine.process(getter(engine, store))
+        engine.process(putter(engine, store))
+        engine.run()
+        assert got == [(4.0, "late")]
+
+    def test_fifo_items(self):
+        engine = Engine()
+        store = Store(engine)
+        store.put(1)
+        store.put(2)
+        got = []
+
+        def getter(engine, store):
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        engine.process(getter(engine, store))
+        engine.run()
+        assert got == [1, 2]
+        assert store.size == 0
+
+
+class TestRngRegistry:
+    def test_reproducible(self):
+        a = RngRegistry(seed=7).stream("sizes").random(5)
+        b = RngRegistry(seed=7).stream("sizes").random(5)
+        assert np.array_equal(a, b)
+
+    def test_streams_independent(self):
+        reg = RngRegistry(seed=7)
+        a = reg.stream("sizes").random(1000)
+        b = reg.stream("rotation").random(1000)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
+        assert not np.array_equal(a[:5], b[:5])
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("x").random(5)
+        b = RngRegistry(seed=2).stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_same_stream_is_cached(self):
+        reg = RngRegistry(seed=0)
+        assert reg.stream("x") is reg.stream("x")
+        assert "x" in reg
+
+
+class TestMonitor:
+    def test_welford_matches_numpy(self, rng):
+        data = rng.normal(3.0, 2.0, size=1000)
+        mon = Monitor("test")
+        for x in data:
+            mon.record(x)
+        assert mon.count == 1000
+        assert mon.mean == pytest.approx(float(np.mean(data)))
+        assert mon.var == pytest.approx(float(np.var(data, ddof=1)))
+        assert mon.min == pytest.approx(float(np.min(data)))
+        assert mon.max == pytest.approx(float(np.max(data)))
+
+    def test_quantiles_need_samples(self):
+        mon = Monitor("q", keep_samples=True)
+        for x in range(101):
+            mon.record(float(x))
+        assert mon.quantile(0.5) == pytest.approx(50.0)
+        bare = Monitor("bare")
+        bare.record(1.0)
+        with pytest.raises(SimulationError):
+            bare.quantile(0.5)
+
+    def test_empty_monitor_raises(self):
+        mon = Monitor("empty")
+        with pytest.raises(SimulationError):
+            mon.mean
+        mon.record(1.0)
+        with pytest.raises(SimulationError):
+            mon.var  # needs two samples
+
+
+class TestTimeWeightedMonitor:
+    def test_piecewise_average(self):
+        mon = TimeWeightedMonitor("queue", start_time=0.0, initial=0.0)
+        mon.record(2.0, 10.0)   # 0 for [0,2)
+        mon.record(6.0, 0.0)    # 10 for [2,6)
+        # average over [0,6] = (0*2 + 10*4)/6
+        assert mon.time_average(6.0) == pytest.approx(40.0 / 6.0)
+
+    def test_extends_to_now(self):
+        mon = TimeWeightedMonitor("x", initial=5.0)
+        assert mon.time_average(10.0) == pytest.approx(5.0)
+
+    def test_time_backwards_rejected(self):
+        mon = TimeWeightedMonitor("x")
+        mon.record(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            mon.record(4.0, 2.0)
+
+    def test_zero_elapsed_rejected(self):
+        mon = TimeWeightedMonitor("x")
+        with pytest.raises(SimulationError):
+            mon.time_average()

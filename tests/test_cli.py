@@ -1,0 +1,140 @@
+"""CLI tests (in-process via ``main(argv)``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestAdmission:
+    def test_default_reproduces_paper(self, capsys):
+        code, out, _ = run(capsys, "admission")
+        assert code == 0
+        assert "26" in out  # N_max^plate
+        assert "28" in out  # N_max^perror
+
+    def test_custom_workload(self, capsys):
+        code, out, _ = run(capsys, "admission", "--mean-kb", "400",
+                           "--std-kb", "200")
+        assert code == 0
+        # Heavier fragments admit fewer streams than 26.
+        lines = [l for l in out.splitlines() if "round-level" in l]
+        n = int(lines[0].split("|")[-1])
+        assert n < 26
+
+    def test_single_zone_disk(self, capsys):
+        code, out, _ = run(capsys, "admission", "--disk", "single-zone")
+        assert code == 0
+        assert "single-zone" in out
+
+    def test_rate_scale(self, capsys):
+        code, out, _ = run(capsys, "admission", "--rate-scale", "2")
+        assert code == 0
+        lines = [l for l in out.splitlines() if "round-level" in l]
+        assert int(lines[0].split("|")[-1]) > 26
+
+
+class TestPlate:
+    def test_tabulates_range(self, capsys):
+        code, out, _ = run(capsys, "plate", "--n-from", "26",
+                           "--n-to", "27")
+        assert code == 0
+        assert "26" in out and "27" in out
+        assert "b_late" in out
+
+
+class TestSimulate:
+    def test_p_late_only(self, capsys):
+        code, out, _ = run(capsys, "simulate", "--n", "26", "--rounds",
+                           "2000")
+        assert code == 0
+        assert "simulated p_late" in out
+        assert "analytic bound" in out
+
+    def test_with_perror(self, capsys):
+        code, out, _ = run(capsys, "simulate", "--n", "30", "--rounds",
+                           "1000", "--perror", "-m", "200", "-g", "4",
+                           "--runs", "3")
+        assert code == 0
+        assert "simulated p_error" in out
+
+
+class TestWorstCase:
+    def test_reproduces_eq41(self, capsys):
+        code, out, _ = run(capsys, "worstcase")
+        assert code == 0
+        assert "10" in out
+        assert "14" in out
+
+
+class TestApprox:
+    def test_reports_error(self, capsys):
+        code, out, _ = run(capsys, "approx")
+        assert code == 0
+        assert "%" in out
+
+    def test_single_zone_refuses(self, capsys):
+        code, _, err = run(capsys, "approx", "--disk", "single-zone")
+        assert code == 1
+        assert "exact" in err
+
+
+class TestSensitivityCommand:
+    def test_runs(self, capsys):
+        code, out, _ = run(capsys, "sensitivity")
+        assert code == 0
+        assert "rotation time" in out
+        assert "swing" in out
+
+
+class TestTuneCommand:
+    def test_runs_and_reports_knee(self, capsys):
+        code, out, _ = run(capsys, "tune")
+        assert code == 0
+        assert "knee: t =" in out
+        assert "MB/s" in out
+
+
+class TestFitCommand:
+    def test_fits_saved_trace(self, capsys, tmp_path, rng):
+        from repro.distributions import Gamma
+        from repro.workload.trace_io import save_trace
+
+        sample = Gamma.from_mean_std(200_000.0, 100_000.0).sample(
+            rng, 2000)
+        trace = save_trace(tmp_path / "trace.csv", sample)
+        code, out, _ = run(capsys, "fit", str(trace))
+        assert code == 0
+        assert "gamma" in out
+        assert "KS statistic" in out
+
+    def test_missing_trace_is_cli_error(self, capsys, tmp_path):
+        code, _, err = run(capsys, "fit", str(tmp_path / "nope.csv"))
+        assert code == 2
+        assert "error:" in err
+
+
+class TestReportCommand:
+    def test_writes_markdown(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        code, out, _ = run(capsys, "report", "--output", str(target))
+        assert code == 0
+        assert target.is_file()
+        assert "Reproduction report" in target.read_text()
+
+
+class TestErrors:
+    def test_library_error_becomes_exit_2(self, capsys):
+        code, _, err = run(capsys, "admission", "--delta", "2.0")
+        assert code == 2
+        assert "error:" in err
+
+    def test_parser_exposes_subcommands(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])  # subcommand required

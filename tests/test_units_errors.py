@@ -1,0 +1,69 @@
+"""Units helpers and error-hierarchy tests."""
+
+import pytest
+
+from repro import units
+from repro.errors import (
+    AdmissionError,
+    ChernoffError,
+    ConfigurationError,
+    DistributionError,
+    GeometryError,
+    ModelError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestUnits:
+    def test_decimal_vs_binary_kilobytes(self):
+        assert units.kilobytes(200) == 200_000
+        assert units.kibibytes(75) == 76_800  # the §3.1 track capacity
+
+    def test_time_conversions(self):
+        assert units.milliseconds(8.34) == pytest.approx(8.34e-3)
+        assert units.microseconds(500) == pytest.approx(5e-4)
+        assert units.seconds_to_ms(0.00834) == pytest.approx(8.34)
+
+    def test_size_conversions(self):
+        assert units.megabytes(2) == 2_000_000
+        assert units.bytes_to_kb(200_000) == 200
+
+    def test_constants(self):
+        assert units.KB == 1000
+        assert units.KIB == 1024
+        assert units.MIB == 1024 ** 2
+        assert units.GB == 10 ** 9
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        for exc in (ConfigurationError, ModelError, DistributionError,
+                    ChernoffError, AdmissionError, SimulationError,
+                    GeometryError):
+            assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        # Callers using plain `except ValueError` still catch config
+        # mistakes.
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(GeometryError, ConfigurationError)
+
+    def test_model_family(self):
+        assert issubclass(DistributionError, ModelError)
+        assert issubclass(ChernoffError, ModelError)
+
+    def test_admission_error_payload(self):
+        err = AdmissionError("full", active_streams=26, limit=26)
+        assert err.active_streams == 26
+        assert err.limit == 26
+        assert "full" in str(err)
+
+    def test_admission_error_defaults(self):
+        err = AdmissionError("nope")
+        assert err.active_streams is None
+        assert err.limit is None
+
+    def test_single_except_catches_family(self):
+        with pytest.raises(ReproError):
+            raise GeometryError("bad cylinder")

@@ -1,0 +1,80 @@
+"""Arrival-process tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.arrivals import DiurnalArrivals, PoissonArrivals
+
+
+class TestPoisson:
+    def test_mean_rate(self, rng):
+        arrivals = PoissonArrivals(rate=2.5)
+        draws = [arrivals.draw(rng, r) for r in range(4000)]
+        assert np.mean(draws) == pytest.approx(2.5, rel=0.05)
+
+    def test_expected_arrivals(self):
+        assert PoissonArrivals(1.5).expected_arrivals(100) == \
+            pytest.approx(150.0)
+
+    def test_zero_rate(self, rng):
+        arrivals = PoissonArrivals(0.0)
+        assert all(arrivals.draw(rng, r) == 0 for r in range(50))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(-1.0)
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(1.0).expected_arrivals(-1)
+
+
+class TestDiurnal:
+    def test_oscillates_around_base(self):
+        arrivals = DiurnalArrivals(base_rate=2.0, amplitude=0.5,
+                                   round_length=60.0)
+        rounds_per_day = 86_400 // 60
+        rates = [arrivals.rate_at(r) for r in range(rounds_per_day)]
+        assert min(rates) == pytest.approx(1.0, abs=0.01)
+        assert max(rates) == pytest.approx(3.0, abs=0.01)
+        assert np.mean(rates) == pytest.approx(2.0, rel=0.01)
+
+    def test_period_is_one_day(self):
+        arrivals = DiurnalArrivals(base_rate=1.0, amplitude=0.8,
+                                   round_length=3600.0)
+        assert arrivals.rate_at(0) == pytest.approx(
+            arrivals.rate_at(24), rel=1e-9)
+
+    def test_phase_shifts_peak(self):
+        round_length = 3600.0
+        unshifted = DiurnalArrivals(1.0, 1.0, round_length, phase=0.0)
+        shifted = DiurnalArrivals(1.0, 1.0, round_length, phase=0.25)
+        peak_unshifted = max(range(24), key=unshifted.rate_at)
+        peak_shifted = max(range(24), key=shifted.rate_at)
+        assert (peak_shifted - peak_unshifted) % 24 == 6  # quarter day
+
+    def test_never_negative(self):
+        arrivals = DiurnalArrivals(1.0, 1.0, 60.0)
+        assert all(arrivals.rate_at(r) >= 0.0 for r in range(2000))
+
+    def test_expected_arrivals_matches_rates(self):
+        arrivals = DiurnalArrivals(2.0, 0.3, 3600.0)
+        expected = arrivals.expected_arrivals(24)
+        assert expected == pytest.approx(
+            sum(arrivals.rate_at(r) for r in range(24)))
+
+    def test_draw_follows_rate(self, rng):
+        arrivals = DiurnalArrivals(base_rate=5.0, amplitude=0.9,
+                                   round_length=3600.0, phase=0.0)
+        peak_round = max(range(24), key=arrivals.rate_at)
+        trough_round = min(range(24), key=arrivals.rate_at)
+        peak = np.mean([arrivals.draw(rng, peak_round)
+                        for _ in range(2000)])
+        trough = np.mean([arrivals.draw(rng, trough_round)
+                          for _ in range(2000)])
+        assert peak > 3 * trough
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(1.0, 1.5, 60.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(1.0, 0.5, 0.0)

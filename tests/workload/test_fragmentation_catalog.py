@@ -1,0 +1,144 @@
+"""Fragmentation and catalog tests (§2.1's constant-time fragments)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload import Catalog, MpegGopModel, VideoObject, fragment_trace
+from repro.workload.fragmentsize import (
+    lognormal_fragment_sizes,
+    paper_fragment_sizes,
+    truncated_pareto_fragment_sizes,
+)
+
+
+class TestFragmentTrace:
+    def test_conserves_bytes(self, rng):
+        frames = rng.gamma(2.0, 5000.0, size=1000)
+        fragments = fragment_trace(frames, frame_rate=25.0,
+                                   round_length=1.0)
+        assert float(np.sum(fragments)) == pytest.approx(
+            float(np.sum(frames)))
+
+    def test_fragment_count(self, rng):
+        frames = rng.gamma(2.0, 5000.0, size=250)
+        fragments = fragment_trace(frames, 25.0, 1.0)
+        assert fragments.shape == (10,)
+
+    def test_partial_tail_kept(self, rng):
+        frames = rng.gamma(2.0, 5000.0, size=260)
+        fragments = fragment_trace(frames, 25.0, 1.0)
+        assert fragments.shape == (11,)
+        # Tail fragment covers 10 frames: smaller on average.
+        assert fragments[-1] < np.mean(fragments[:-1])
+
+    def test_round_length_scales_fragments(self, rng):
+        frames = rng.gamma(2.0, 5000.0, size=1000)
+        short = fragment_trace(frames, 25.0, 1.0)
+        long_ = fragment_trace(frames, 25.0, 2.0)
+        assert long_.size == short.size // 2
+        assert np.mean(long_) == pytest.approx(2 * np.mean(short), rel=0.1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            fragment_trace([], 25.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            fragment_trace([0.0, 1.0], 25.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            fragment_trace([1.0], 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            fragment_trace([1.0], 25.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            fragment_trace([1.0] * 10, 25.0, 0.001)  # < one frame
+
+    def test_vbr_fragments_have_realistic_cv(self, rng):
+        # The whole point of VBR modelling: fragment sizes vary.  With
+        # strong scene modulation the per-fragment cv lands in the
+        # ballpark the paper assumes (0.5).
+        model = MpegGopModel(scene_correlation=0.95, scene_sigma=0.45)
+        frames = model.generate_frames(rng, 100_000)
+        fragments = fragment_trace(frames, model.frame_rate, 1.0)
+        cv = float(np.std(fragments) / np.mean(fragments))
+        assert 0.2 < cv < 0.9
+
+
+class TestVideoObject:
+    def test_properties(self):
+        obj = VideoObject("clip", np.array([100.0, 200.0, 300.0]))
+        assert obj.rounds == 3
+        assert obj.total_bytes == 600.0
+        assert obj.mean_fragment() == 200.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VideoObject("empty", np.array([]))
+        with pytest.raises(ConfigurationError):
+            VideoObject("bad", np.array([1.0, -1.0]))
+
+
+class TestCatalog:
+    def test_synthetic_catalog(self, rng):
+        catalog = Catalog.synthetic(rng, n_objects=5, duration_s=60.0)
+        assert len(catalog) == 5
+        for obj in catalog.objects:
+            assert obj.rounds == 60
+        pooled = catalog.all_fragment_sizes()
+        assert pooled.size == 300
+
+    def test_zipf_popularity_skews_picks(self, rng):
+        catalog = Catalog.synthetic(rng, n_objects=6, duration_s=10.0,
+                                    zipf_exponent=1.2)
+        names = [catalog.pick(rng).name for _ in range(4000)]
+        counts = {n: names.count(n) for n in set(names)}
+        assert counts["video-000"] > counts.get("video-005", 0)
+
+    def test_uniform_when_exponent_zero(self, rng):
+        catalog = Catalog.synthetic(rng, n_objects=4, duration_s=10.0,
+                                    zipf_exponent=0.0)
+        names = [catalog.pick(rng).name for _ in range(8000)]
+        freqs = np.array([names.count(f"video-{i:03d}")
+                          for i in range(4)]) / 8000
+        assert np.allclose(freqs, 0.25, atol=0.03)
+
+    def test_get_by_name(self, rng):
+        catalog = Catalog.synthetic(rng, n_objects=2, duration_s=5.0)
+        assert catalog.get("video-001").name == "video-001"
+        with pytest.raises(ConfigurationError):
+            catalog.get("nope")
+
+    def test_duplicate_names_rejected(self):
+        obj = VideoObject("x", np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            Catalog([obj, obj])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Catalog([])
+
+
+class TestSizeHelpers:
+    def test_paper_law(self):
+        g = paper_fragment_sizes()
+        assert g.mean() == pytest.approx(200_000.0)
+        assert g.std() == pytest.approx(100_000.0)
+
+    def test_lognormal_with_cap_has_mgf(self):
+        d = lognormal_fragment_sizes(200_000.0, 100_000.0, cap=2e6)
+        assert d.has_mgf()
+
+    def test_lognormal_without_cap_has_none(self):
+        d = lognormal_fragment_sizes(200_000.0, 100_000.0)
+        assert not d.has_mgf()
+
+    def test_truncated_pareto(self):
+        d = truncated_pareto_fragment_sizes(200_000.0, 100_000.0, cap=2e6)
+        assert d.has_mgf()
+        assert d.mean() < 200_000.0  # truncation shaves the tail
+        assert d.mean() > 150_000.0
+
+    def test_cap_validation(self):
+        with pytest.raises(ConfigurationError):
+            truncated_pareto_fragment_sizes(200_000.0, 100_000.0,
+                                            cap=100_000.0)
+        with pytest.raises(ConfigurationError):
+            lognormal_fragment_sizes(200_000.0, 100_000.0, cap=50_000.0)

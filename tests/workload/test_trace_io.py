@@ -1,0 +1,91 @@
+"""Trace/catalog persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload import Catalog, VideoObject
+from repro.workload.trace_io import (
+    load_catalog,
+    load_trace,
+    save_catalog,
+    save_trace,
+)
+
+
+class TestTraceRoundtrip:
+    def test_roundtrip_exact(self, tmp_path, rng):
+        sizes = rng.gamma(4.0, 50_000.0, size=500)
+        path = save_trace(tmp_path / "trace.csv", sizes)
+        loaded = load_trace(path)
+        assert np.allclose(loaded, sizes, rtol=1e-6)
+
+    def test_rejects_empty_and_negative(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_trace(tmp_path / "x.csv", [])
+        with pytest.raises(ConfigurationError):
+            save_trace(tmp_path / "x.csv", [1.0, -2.0])
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(bad)
+
+    def test_load_rejects_malformed_rows(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("size_bytes\nnot-a-number\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(bad)
+
+    def test_load_rejects_empty_body(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("size_bytes\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(bad)
+
+
+class TestCatalogRoundtrip:
+    def test_roundtrip(self, tmp_path, rng):
+        catalog = Catalog.synthetic(rng, n_objects=3, duration_s=20.0)
+        path = save_catalog(tmp_path / "catalog.csv", catalog)
+        loaded = load_catalog(path)
+        assert len(loaded) == 3
+        for original, restored in zip(catalog.objects, loaded.objects):
+            assert restored.name == original.name
+            assert np.allclose(restored.fragment_sizes,
+                               original.fragment_sizes, rtol=1e-6)
+
+    def test_zipf_exponent_applied_on_load(self, tmp_path, rng):
+        catalog = Catalog.synthetic(rng, n_objects=4, duration_s=10.0)
+        path = save_catalog(tmp_path / "catalog.csv", catalog)
+        loaded = load_catalog(path, zipf_exponent=2.0)
+        names = [loaded.pick(rng).name for _ in range(2000)]
+        assert names.count("video-000") > names.count("video-003")
+
+    def test_rejects_gaps(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("object,fragment,size_bytes\n"
+                       "clip,0,100\nclip,2,100\n")
+        with pytest.raises(ConfigurationError):
+            load_catalog(bad)
+
+    def test_rejects_duplicates(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("object,fragment,size_bytes\n"
+                       "clip,0,100\nclip,0,200\n")
+        with pytest.raises(ConfigurationError):
+            load_catalog(bad)
+
+    def test_rejects_foreign_header(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x,y\n1,2\n")
+        with pytest.raises(ConfigurationError):
+            load_catalog(bad)
+
+    def test_preserves_object_order(self, tmp_path):
+        objects = [VideoObject("zz", np.array([1.0])),
+                   VideoObject("aa", np.array([2.0]))]
+        path = save_catalog(tmp_path / "c.csv", Catalog(objects))
+        loaded = load_catalog(path)
+        assert [o.name for o in loaded.objects] == ["zz", "aa"]

@@ -1,0 +1,102 @@
+"""MPEG GoP VBR trace-generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload import MpegGopModel
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        MpegGopModel()
+
+    def test_pattern_must_start_with_i(self):
+        with pytest.raises(ConfigurationError):
+            MpegGopModel(gop_pattern="BIP")
+        with pytest.raises(ConfigurationError):
+            MpegGopModel(gop_pattern="")
+
+    def test_pattern_alphabet(self):
+        with pytest.raises(ConfigurationError):
+            MpegGopModel(gop_pattern="IXB")
+
+    def test_missing_mean_sizes(self):
+        with pytest.raises(ConfigurationError):
+            MpegGopModel(gop_pattern="IP", mean_sizes={"I": 1000.0})
+
+    def test_bad_numeric_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MpegGopModel(frame_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            MpegGopModel(cv=0.0)
+        with pytest.raises(ConfigurationError):
+            MpegGopModel(scene_correlation=1.0)
+        with pytest.raises(ConfigurationError):
+            MpegGopModel(scene_sigma=-0.1)
+
+
+class TestTraces:
+    def test_frame_count(self, rng):
+        model = MpegGopModel()
+        trace = model.generate_frames(rng, 500)
+        assert trace.shape == (500,)
+        assert np.all(trace > 0)
+
+    def test_generate_seconds(self, rng):
+        model = MpegGopModel(frame_rate=25.0)
+        trace = model.generate_seconds(rng, 10.0)
+        assert trace.shape == (250,)
+
+    def test_i_frames_larger_on_average(self, rng):
+        model = MpegGopModel(scene_sigma=0.0)
+        trace = model.generate_frames(rng, 12_000)
+        pattern = np.array(list(model.gop_pattern))
+        types = pattern[np.arange(trace.size) % len(pattern)]
+        i_mean = trace[types == "I"].mean()
+        p_mean = trace[types == "P"].mean()
+        b_mean = trace[types == "B"].mean()
+        assert i_mean > p_mean > b_mean
+
+    def test_type_means_match_configuration(self, rng):
+        model = MpegGopModel(scene_sigma=0.0)
+        trace = model.generate_frames(rng, 60_000)
+        pattern = np.array(list(model.gop_pattern))
+        types = pattern[np.arange(trace.size) % len(pattern)]
+        for t in "IPB":
+            observed = trace[types == t].mean()
+            assert observed == pytest.approx(model.mean_sizes[t], rel=0.03)
+
+    def test_mean_bandwidth_matches_trace(self, rng):
+        model = MpegGopModel()
+        trace = model.generate_frames(rng, 300_000)
+        bandwidth = trace.mean() * model.frame_rate
+        assert bandwidth == pytest.approx(model.mean_bandwidth(), rel=0.05)
+
+    def test_scene_process_induces_autocorrelation(self, rng):
+        # Aggregate per GoP first: the raw trace is autocorrelated at
+        # GoP lags by the frame-type pattern alone, so scene-level
+        # correlation must be measured on GoP totals.
+        correlated = MpegGopModel(scene_correlation=0.99, scene_sigma=0.4)
+        flat = MpegGopModel(scene_sigma=0.0)
+        gop = len(correlated.gop_pattern)
+
+        def gop_autocorr(trace):
+            totals = trace[:(trace.size // gop) * gop].reshape(
+                -1, gop).sum(axis=1)
+            return float(np.corrcoef(totals[:-1], totals[1:])[0, 1])
+
+        tc = correlated.generate_frames(rng, 24_000)
+        tf = flat.generate_frames(rng, 24_000)
+        assert gop_autocorr(tc) > 0.5
+        assert abs(gop_autocorr(tf)) < 0.1
+
+    def test_reproducible_with_seeded_rng(self):
+        model = MpegGopModel()
+        a = model.generate_frames(np.random.default_rng(4), 100)
+        b = model.generate_frames(np.random.default_rng(4), 100)
+        assert np.array_equal(a, b)
+
+    def test_rejects_zero_frames(self, rng):
+        with pytest.raises(ConfigurationError):
+            MpegGopModel().generate_frames(rng, 0)
