@@ -1,0 +1,101 @@
+"""A20: parallel Monte-Carlo scaling and the memoized admission pipeline.
+
+Two infrastructure claims behind the Figure 1 / Table 2 / §5 regeneration
+speed:
+
+1. The chunk fan-out of :mod:`repro.parallel` is *bit-identical* across
+   worker counts for a fixed seed, and scales wall-clock with workers.
+   The speedup assertion only fires on hosts with >= 4 cores (CI
+   containers are often single-core; there the bench just records the
+   measured ratio).
+2. The process-wide bound cache collapses the Chernoff-optimisation
+   count of an :class:`repro.core.AdmissionTable` build over a grid of
+   tolerance thresholds: every probed ``(model, n, t)`` is optimised
+   once, so rebuilding the §5 table costs >= 5x fewer optimisations than
+   the uncached pipeline.
+"""
+
+import os
+import time
+
+from repro.analysis import render_table
+from repro.cache import cache_disabled, cache_stats, clear_cache
+from repro.core import AdmissionTable, GlitchModel, RoundServiceTimeModel
+from repro.parallel import estimate_p_late_parallel
+
+N = 28
+T = 1.0
+ROUNDS = 40_000
+SEED = 424242
+
+PLATE_THRESHOLDS = (0.001, 0.005, 0.01, 0.05, 0.10)
+PERROR_THRESHOLDS = (0.0001, 0.001, 0.01, 0.05, 0.10)
+
+
+def _timed_p_late(spec, sizes, jobs):
+    start = time.perf_counter()
+    est = estimate_p_late_parallel(spec, sizes, N, T, rounds=ROUNDS,
+                                   seed=SEED, jobs=jobs)
+    return est, time.perf_counter() - start
+
+
+def _optimisations(spec, sizes, *, cached):
+    """Chernoff optimisations performed by one full AdmissionTable
+    build (cache cleared first, so cached runs start cold)."""
+    clear_cache()
+    model = RoundServiceTimeModel.for_disk(spec, sizes)
+    glitch = GlitchModel(model, t=T)
+    table = AdmissionTable(glitch, m=1200, g=12)
+    before = cache_stats()
+    if cached:
+        table.build(plate_thresholds=PLATE_THRESHOLDS,
+                    perror_thresholds=PERROR_THRESHOLDS)
+    else:
+        with cache_disabled():
+            table.build(plate_thresholds=PLATE_THRESHOLDS,
+                        perror_thresholds=PERROR_THRESHOLDS)
+    after = cache_stats()
+    # Every cache miss and every uncached call runs one optimisation.
+    work = ((after.misses - before.misses)
+            + (after.uncached - before.uncached))
+    return table.entries(), work
+
+
+def test_a20_parallel_scaling(benchmark, viking, paper_sizes, record):
+    est1, serial_s = _timed_p_late(viking, paper_sizes, jobs=1)
+    est4, par_s = benchmark.pedantic(
+        _timed_p_late, args=(viking, paper_sizes, 4),
+        rounds=1, iterations=1)
+    assert est1 == est4, "fan-out must be bit-identical across jobs"
+    speedup = serial_s / par_s
+
+    entries_cached, work_cached = _optimisations(viking, paper_sizes,
+                                                 cached=True)
+    entries_uncached, work_uncached = _optimisations(viking, paper_sizes,
+                                                     cached=False)
+    assert entries_cached == entries_uncached
+    assert entries_cached["plate"][0.01] == 26
+    assert entries_cached["perror"][0.01] == 28
+    ratio = work_uncached / work_cached
+
+    rows = [
+        ["p_late rounds", f"{ROUNDS}"],
+        ["serial (jobs=1) [s]", f"{serial_s:.2f}"],
+        ["parallel (jobs=4) [s]", f"{par_s:.2f}"],
+        ["speedup", f"{speedup:.2f}x"],
+        ["bit-identical across jobs", "yes"],
+        ["host cores", str(os.cpu_count())],
+        ["table build: optimisations (uncached)", str(work_uncached)],
+        ["table build: optimisations (cached)", str(work_cached)],
+        ["optimisation reduction", f"{ratio:.1f}x"],
+    ]
+    record("a20_parallel_scaling", render_table(
+        ["quantity", "value"], rows,
+        title="A20: parallel Monte-Carlo scaling + bound-cache "
+        "effectiveness (Table 1 disk, N=28, t=1s)"))
+
+    assert ratio >= 5.0, (
+        f"cache must cut Chernoff optimisations >= 5x, got {ratio:.1f}x")
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at 4 workers, got {speedup:.2f}x")

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.analysis import format_probability, render_table
 from repro.core import RoundServiceTimeModel
-from repro.core.buffering import BufferChain, PrefetchPlan
+from repro.core.buffering import PrefetchPlan
 from repro.server.prefetch import simulate_prefetch
 
 T = 1.0

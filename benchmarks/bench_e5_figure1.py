@@ -5,6 +5,8 @@ probability, both rising steeply around N ~ 26-30; at the 1 % threshold
 the model admits 26 streams while the simulated system sustains 28.
 """
 
+import os
+
 from repro.analysis import ComparisonRow, comparison_table
 from repro.analysis.plotting import ascii_chart
 from repro.core import RoundServiceTimeModel
@@ -13,6 +15,10 @@ from repro.server.simulation import estimate_p_late
 N_RANGE = range(20, 33)
 ROUNDS = 20_000
 T = 1.0
+#: Worker processes for the Monte-Carlo points.  Results are
+#: bit-identical for any value (chunked substream decomposition), so CI
+#: can export REPRO_BENCH_JOBS=0 (all cores) without changing numbers.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def run_figure1(spec, sizes):
@@ -21,7 +27,7 @@ def run_figure1(spec, sizes):
     for n in N_RANGE:
         analytic = model.b_late(n, T)
         sim = estimate_p_late(spec, sizes, n, T, rounds=ROUNDS,
-                              seed=1000 + n)
+                              seed=1000 + n, jobs=JOBS)
         rows.append(ComparisonRow(label=str(n), analytic=analytic,
                                   simulated=sim.p_late,
                                   ci_low=sim.ci_low, ci_high=sim.ci_high))

@@ -15,6 +15,8 @@ degrades massively at N = 32 -- the analytic admission limit (28) gives
 away three streams against the simulated truth (31).
 """
 
+import os
+
 from repro.analysis import ComparisonRow, comparison_table
 from repro.core import GlitchModel, RoundServiceTimeModel, n_max_perror
 from repro.server.simulation import estimate_p_error
@@ -23,6 +25,9 @@ M = 1200
 G = 12
 T = 1.0
 RUNS = 150
+#: Worker processes for the per-stream lifetimes; bit-identical to the
+#: serial loop for any value (per-run SeedSequence children).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 N_RANGE = (28, 29, 30, 31, 32)
 PAPER = {28: (0.00014, 0.0), 29: (0.318, 0.0), 30: (1.0, 0.0),
          31: (1.0, 0.00678), 32: (1.0, 0.454)}
@@ -35,7 +40,7 @@ def run_table2(spec, sizes):
     for n in N_RANGE:
         analytic = glitch.p_error(n, M, G)
         sim = estimate_p_error(spec, sizes, n, T, M, G, runs=RUNS,
-                               seed=2000 + n)
+                               seed=2000 + n, jobs=JOBS)
         rows.append(ComparisonRow(label=str(n), analytic=analytic,
                                   simulated=sim.p_error,
                                   ci_low=sim.ci_low, ci_high=sim.ci_high))

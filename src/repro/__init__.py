@@ -23,6 +23,12 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from repro.cache import (
+    cache_disabled,
+    cache_stats,
+    clear_cache,
+    set_cache_enabled,
+)
 from repro.core import (
     ChernoffResult,
     GlitchModel,
@@ -87,6 +93,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # cache
+    "cache_disabled",
+    "cache_stats",
+    "clear_cache",
+    "set_cache_enabled",
     # core
     "ChernoffResult",
     "GlitchModel",

@@ -111,6 +111,10 @@ _ENTRIES = [
     Experiment("A19", "Trick modes",
                "§2.1's no-fast-forward assumption, priced",
                "bench_a19_trickmode.py", ("a19_trickmode",)),
+    Experiment("A20", "Parallel scaling + bound cache",
+               "infrastructure: deterministic Monte-Carlo fan-out and "
+               "memoized admission scans",
+               "bench_a20_parallel_scaling.py", ("a20_parallel_scaling",)),
 ]
 
 #: Registry keyed by experiment id.

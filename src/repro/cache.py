@@ -1,0 +1,322 @@
+"""Memoization layer for the analytic admission pipeline.
+
+Admission scans evaluate the same Chernoff optimisations over and over:
+``n_max_plate`` probes ``b_late(n, t)`` for many ``n``, ``b_glitch``
+sums ``b_late(k, t)`` over ``k <= n``, and §5 lookup-table builds repeat
+both for a grid of tolerance thresholds.  The paper's remedy is
+precomputation ("we suggest using a lookup table with precomputed
+values of N_max"); this module supplies the machinery:
+
+- :func:`fingerprint` -- a stable content hash of model parameters
+  (disk spec + fragment-law params + ``t``), so results can be shared
+  across model *instances* built from the same configuration.
+- :class:`BoundCache` / :func:`get_cache` -- a process-wide memo of
+  ``ChernoffResult`` values keyed by ``(model fingerprint, n, t)``,
+  with hit/miss statistics and a kill switch (CLI ``--no-cache``).
+- :func:`bisect_max_n` -- the monotone threshold search used by the
+  ``N_max`` solvers: exponential search plus bisection, O(log n_cap)
+  predicate probes instead of a linear scan, with a documented
+  full-scan fallback for non-monotone predicates.
+
+Everything here is deliberately dependency-free within the package so
+that ``repro.core`` modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import math
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "fingerprint",
+    "instance_fingerprint",
+    "canonical_threshold",
+    "CacheStats",
+    "BoundCache",
+    "get_cache",
+    "clear_cache",
+    "cache_stats",
+    "set_cache_enabled",
+    "cache_disabled",
+    "bisect_max_n",
+]
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+
+def _canonical(obj) -> str:
+    """Deterministic, collision-resistant text encoding of a parameter
+    bundle.  Floats are encoded exactly (``float.hex``) so nearby but
+    distinct configurations never alias."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return repr(obj)
+    if isinstance(obj, float):
+        return obj.hex()
+    if isinstance(obj, np.floating):
+        return float(obj).hex()
+    if isinstance(obj, np.integer):
+        return repr(int(obj))
+    if isinstance(obj, np.ndarray):
+        digest = hashlib.sha1(np.ascontiguousarray(obj).tobytes())
+        return f"ndarray({obj.dtype},{obj.shape},{digest.hexdigest()})"
+    if isinstance(obj, (tuple, list)):
+        inner = ",".join(_canonical(x) for x in obj)
+        return f"[{inner}]"
+    if isinstance(obj, dict):
+        inner = ",".join(
+            f"{_canonical(k)}:{_canonical(v)}"
+            for k, v in sorted(obj.items(), key=lambda kv: repr(kv[0])))
+        return f"{{{inner}}}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        inner = ",".join(
+            f"{f.name}={_canonical(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj) if f.compare)
+        return f"{type(obj).__name__}({inner})"
+    if hasattr(obj, "__dict__"):
+        inner = ",".join(
+            f"{name}={_canonical(value)}"
+            for name, value in sorted(vars(obj).items())
+            if not callable(value))
+        return f"{type(obj).__name__}({inner})"
+    return repr(obj)
+
+
+def fingerprint(*parts) -> str:
+    """Stable hash of a heterogeneous parameter bundle.
+
+    Two calls with equal (by content) parts return the same string in
+    any process on any platform; use it to key cached results by model
+    configuration rather than object identity.
+    """
+    payload = ";".join(_canonical(p) for p in parts)
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+_INSTANCE_COUNTER = itertools.count()
+_INSTANCE_LOCK = threading.Lock()
+
+
+def instance_fingerprint(tag: str) -> str:
+    """A fingerprint unique to one object lifetime.
+
+    Fallback for models built from opaque callables (e.g. a custom
+    ``seek_bound``): caching still works for the instance itself but is
+    never shared across instances, which is the only safe default when
+    the configuration cannot be hashed.
+    """
+    with _INSTANCE_LOCK:
+        serial = next(_INSTANCE_COUNTER)
+    return f"instance:{tag}:{serial}"
+
+
+def canonical_threshold(value: float) -> float:
+    """Canonical dict-key representation of a tolerance threshold.
+
+    Thresholds arrive as floats from CLI parsing, YAML-ish configs and
+    arithmetic (``1 - 0.99``); keying lookup tables on the raw bits
+    makes ``0.01`` and ``0.010000000000000002`` distinct entries.  We
+    round to 12 significant digits -- far below any meaningful
+    tolerance resolution, far above double-precision noise.
+    """
+    if not (isinstance(value, (int, float)) and math.isfinite(value)):
+        raise ConfigurationError(
+            f"threshold must be a finite number, got {value!r}")
+    return float(f"{float(value):.12g}")
+
+
+# ----------------------------------------------------------------------
+# The bound cache
+# ----------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`BoundCache`.
+
+    ``evaluations`` is the number of times the underlying computation
+    actually ran (cache misses plus disabled-cache calls) -- the
+    quantity the A20 bench compares cached vs uncached.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    uncached: int = 0
+
+    @property
+    def evaluations(self) -> int:
+        return self.misses + self.uncached
+
+    def snapshot(self) -> "CacheStats":
+        """Independent copy of the counters at this instant."""
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          uncached=self.uncached)
+
+
+@dataclass
+class BoundCache:
+    """Process-wide memo for expensive pure computations.
+
+    Keys must be hashable and should start with a model fingerprint so
+    that distinct configurations never collide.  The cache is bounded:
+    once ``max_entries`` is reached the oldest insertions are evicted
+    (FIFO -- admission scans have strong locality, LRU buys nothing).
+    """
+
+    enabled: bool = True
+    max_entries: int = 200_000
+    stats: CacheStats = field(default_factory=CacheStats)
+    _store: dict = field(default_factory=dict, repr=False)
+
+    def get_or_compute(self, key, compute):
+        """Return the cached value for ``key``, computing it on miss."""
+        if not self.enabled:
+            self.stats.uncached += 1
+            return compute()
+        try:
+            value = self._store[key]
+        except KeyError:
+            pass
+        else:
+            self.stats.hits += 1
+            return value
+        self.stats.misses += 1
+        value = compute()
+        if len(self._store) >= self.max_entries:
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = value
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are reset too)."""
+        self._store.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+_GLOBAL_CACHE = BoundCache()
+
+
+def get_cache() -> BoundCache:
+    """The process-wide bound cache used by the analytic models."""
+    return _GLOBAL_CACHE
+
+
+def clear_cache() -> None:
+    """Drop all globally cached bounds and reset the statistics."""
+    _GLOBAL_CACHE.clear()
+
+
+def cache_stats() -> CacheStats:
+    """Snapshot of the global cache counters."""
+    return _GLOBAL_CACHE.stats.snapshot()
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Globally enable/disable memoization (CLI ``--no-cache``)."""
+    _GLOBAL_CACHE.enabled = bool(enabled)
+
+
+@contextmanager
+def cache_disabled():
+    """Context manager running its body with the global cache off."""
+    previous = _GLOBAL_CACHE.enabled
+    _GLOBAL_CACHE.enabled = False
+    try:
+        yield
+    finally:
+        _GLOBAL_CACHE.enabled = previous
+
+
+# ----------------------------------------------------------------------
+# Monotone threshold search
+# ----------------------------------------------------------------------
+
+def bisect_max_n(predicate, n_cap: int, *, full_scan: bool = False,
+                 verify_above: int = 0) -> int:
+    """Largest ``n`` in ``[1, n_cap]`` with ``predicate(n)`` true, for
+    predicates true on a prefix (monotone in ``n``).
+
+    Exponential search locates the first failure, bisection refines it:
+    O(log n_cap) probes instead of the O(n*) linear scan, and each
+    probed ``n`` is evaluated exactly once.
+
+    The prefix assumption is essential: a non-monotone predicate makes
+    bisection silently wrong.  Two escape hatches:
+
+    - ``full_scan=True`` evaluates every ``n`` up to ``n_cap`` and
+      returns the true maximum (exact for *any* predicate).
+    - ``verify_above=k`` probes ``k`` extra points spread between the
+      found boundary and ``n_cap``; if any is true, non-monotonicity is
+      detected and the helper transparently falls back to the full
+      scan.  Detection is necessarily best-effort -- only probed points
+      can contradict the assumption.
+
+    Returns 0 when even ``n = 1`` fails (under the prefix assumption;
+    with ``full_scan`` only when no ``n`` passes at all).
+    """
+    if n_cap < 1:
+        raise ConfigurationError(f"n_cap must be >= 1, got {n_cap!r}")
+    if verify_above < 0:
+        raise ConfigurationError(
+            f"verify_above must be >= 0, got {verify_above!r}")
+
+    memo: dict[int, bool] = {}
+
+    def probe(n: int) -> bool:
+        if n not in memo:
+            memo[n] = bool(predicate(n))
+        return memo[n]
+
+    def exhaustive() -> int:
+        best = 0
+        for n in range(1, n_cap + 1):
+            if probe(n):
+                best = n
+        return best
+
+    if full_scan:
+        return exhaustive()
+
+    if not probe(1):
+        return 0
+
+    # Exponential phase: double until the predicate fails or the cap is
+    # reached.  ``lo`` is always a known-true point.
+    lo = 1
+    while lo < n_cap:
+        nxt = min(lo * 2, n_cap)
+        if not probe(nxt):
+            break
+        lo = nxt
+    if lo == n_cap:
+        return n_cap
+
+    # Bisection phase on (lo, hi]: lo true, hi false.
+    hi = min(lo * 2, n_cap)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if probe(mid):
+            lo = mid
+        else:
+            hi = mid
+    best = lo
+
+    if verify_above and best < n_cap:
+        checks = np.unique(np.geomspace(
+            best + 1, n_cap, num=verify_above).astype(int))
+        if any(probe(int(n)) for n in checks if n > best):
+            # The prefix assumption is broken; fall back to exactness.
+            return exhaustive()
+    return best

@@ -20,6 +20,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.analysis import format_probability, render_table
+from repro.cache import set_cache_enabled
 from repro.core import (
     GlitchModel,
     MultiZoneTransferModel,
@@ -49,6 +50,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="fragment-size standard deviation in KB")
     parser.add_argument("--round", type=float, default=1.0, dest="t",
                         help="round length in seconds")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the process-wide Chernoff bound "
+                        "cache (every b_late query re-optimises)")
 
 
 def _spec(args: argparse.Namespace):
@@ -103,7 +107,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                                 args.std_kb * 1000.0)
     model = RoundServiceTimeModel.for_disk(spec, sizes)
     est = estimate_p_late(spec, sizes, args.n, args.t,
-                          rounds=args.rounds, seed=args.seed)
+                          rounds=args.rounds, seed=args.seed,
+                          jobs=args.jobs)
     rows = [
         ["simulated p_late", format_probability(est.p_late)],
         ["95% CI", f"[{format_probability(est.ci_low)}, "
@@ -113,7 +118,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     ]
     if args.perror:
         pe = estimate_p_error(spec, sizes, args.n, args.t, args.m,
-                              args.g, runs=args.runs, seed=args.seed)
+                              args.g, runs=args.runs, seed=args.seed,
+                              jobs=args.jobs)
         glitch = GlitchModel(model, args.t)
         rows.append(["simulated p_error", format_probability(pe.p_error)])
         rows.append(["analytic p_error bound", format_probability(
@@ -257,6 +263,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="multiprogramming level to simulate")
     p.add_argument("--rounds", type=int, default=20_000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the Monte-Carlo fan-out "
+                   "(0 = all cores; results are bit-identical for any "
+                   "value; default: historical serial path)")
     p.add_argument("--perror", action="store_true",
                    help="also estimate the stream-level p_error")
     p.add_argument("-m", type=int, default=1200)
@@ -312,11 +322,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    disabled = bool(getattr(args, "no_cache", False))
+    if disabled:
+        set_cache_enabled(False)
     try:
         return args.func(args)
     except Exception as exc:  # surface library errors as CLI errors
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if disabled:
+            set_cache_enabled(True)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,9 +8,19 @@ Three admission criteria from the paper:
 - ``N_max^wc`` (eq. 4.1): the deterministic worst-case count.
 
 Both bound families are non-decreasing in ``N`` (more requests per round
-can only push the round later), so a linear scan with early exit is exact
-and cheap; the lookup table of §5 precomputes the scans for a grid of
-tolerance thresholds so run-time admission is a dictionary probe.
+can only push the round later), so the solvers run an exponential-search
+plus bisection (:func:`repro.cache.bisect_max_n`) -- O(log n_cap)
+predicate probes -- and every probed ``b_late`` lands in the process-wide
+bound cache, so §5 table builds over a grid of tolerance thresholds pay
+for each Chernoff optimisation once.
+
+The monotonicity argument holds for the *exact* bounds; discretisation
+effects (e.g. the integer glitch budget discussed in
+:mod:`repro.core.tuning`) or a perturbed optimiser could in principle
+break it.  Pass ``exact=True`` to fall back to an exhaustive scan up to
+``n_cap`` that is correct for any predicate, or leave the default
+``verify_above`` probes on to detect (best-effort) a broken prefix and
+auto-fall-back.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.cache import bisect_max_n, canonical_threshold
 from repro.core.glitch import GlitchModel
 from repro.core.service_time import RoundServiceTimeModel
 from repro.errors import ConfigurationError
@@ -30,39 +41,42 @@ __all__ = [
 ]
 
 
-def _scan_max_n(predicate, n_cap: int) -> int:
-    """Largest ``n`` in ``[1, n_cap]`` with ``predicate(n)`` true, under
-    monotonicity (true for a prefix).  Returns 0 if even ``n=1`` fails."""
-    best = 0
-    for n in range(1, n_cap + 1):
-        if predicate(n):
-            best = n
-        else:
-            break
-    return best
-
-
 def n_max_plate(service_model: RoundServiceTimeModel, t: float,
-                delta: float, n_cap: int = 512) -> int:
-    """``N_max^plate = max{N : b_late(N, t) <= delta}`` (eq. 3.1.7)."""
+                delta: float, n_cap: int = 512, *,
+                exact: bool = False) -> int:
+    """``N_max^plate = max{N : b_late(N, t) <= delta}`` (eq. 3.1.7).
+
+    ``exact=True`` replaces the O(log n_cap) bisection with a full scan
+    up to ``n_cap`` (exact even for a non-monotone predicate).
+    """
     if not (0.0 < delta < 1.0):
         raise ConfigurationError(f"delta must be in (0, 1), got {delta!r}")
     if n_cap < 1:
         raise ConfigurationError(f"n_cap must be >= 1, got {n_cap!r}")
-    return _scan_max_n(lambda n: service_model.b_late(n, t) <= delta, n_cap)
+    return bisect_max_n(
+        lambda n: service_model.b_late(n, t) <= delta, n_cap,
+        full_scan=exact, verify_above=0 if exact else 2)
 
 
 def n_max_perror(glitch_model: GlitchModel, m: int, g: int,
-                 epsilon: float, n_cap: int = 512) -> int:
+                 epsilon: float, n_cap: int = 512, *,
+                 exact: bool = False) -> int:
     """``N_max^perror = max{N : p_error(N,t,M,g) <= epsilon}``
-    (eq. 3.3.6)."""
+    (eq. 3.3.6).
+
+    No ``verify_above`` probes by default: evaluating ``p_error`` at a
+    large ``n`` costs ``b_late(k, t)`` for every ``k <= n``, so blind
+    high-``n`` probes would defeat the point of the bisection.  Use
+    ``exact=True`` when non-monotonicity is suspected.
+    """
     if not (0.0 < epsilon < 1.0):
         raise ConfigurationError(
             f"epsilon must be in (0, 1), got {epsilon!r}")
     if n_cap < 1:
         raise ConfigurationError(f"n_cap must be >= 1, got {n_cap!r}")
-    return _scan_max_n(
-        lambda n: glitch_model.p_error(n, m, g) <= epsilon, n_cap)
+    return bisect_max_n(
+        lambda n: glitch_model.p_error(n, m, g) <= epsilon, n_cap,
+        full_scan=exact)
 
 
 def worst_case_n_max(t: float, rot: float, seek_max: float,
@@ -89,7 +103,10 @@ class AdmissionTable:
 
     "To implement this form of admission control, we suggest using a
     lookup table with precomputed values of N_max for different tolerance
-    thresholds of the glitch rate."  Keys are the tolerance parameters;
+    thresholds of the glitch rate."  Keys are the tolerance parameters,
+    stored under their canonical 12-significant-digit representation
+    (:func:`repro.cache.canonical_threshold`) so ``0.01`` and the
+    arithmetic artefact ``0.010000000000000002`` probe the same entry;
     the table needs re-evaluation only when disk or data characteristics
     change.
     """
@@ -98,6 +115,7 @@ class AdmissionTable:
     m: int
     g: int
     n_cap: int = 256
+    exact: bool = False
     _plate: dict[float, int] = field(default_factory=dict, repr=False)
     _perror: dict[float, int] = field(default_factory=dict, repr=False)
 
@@ -117,20 +135,22 @@ class AdmissionTable:
     def n_max_plate(self, delta: float) -> int:
         """``N_max^plate`` for round-lateness tolerance ``delta``
         (computed once, then served from the table)."""
-        if delta not in self._plate:
-            self._plate[delta] = n_max_plate(
+        key = canonical_threshold(delta)
+        if key not in self._plate:
+            self._plate[key] = n_max_plate(
                 self.glitch_model.service_model, self.glitch_model.t,
-                delta, n_cap=self.n_cap)
-        return self._plate[delta]
+                key, n_cap=self.n_cap, exact=self.exact)
+        return self._plate[key]
 
     def n_max_perror(self, epsilon: float) -> int:
         """``N_max^perror`` for stream-glitch tolerance ``epsilon``."""
-        if epsilon not in self._perror:
-            self._perror[epsilon] = n_max_perror(
-                self.glitch_model, self.m, self.g, epsilon,
-                n_cap=self.n_cap)
-        return self._perror[epsilon]
+        key = canonical_threshold(epsilon)
+        if key not in self._perror:
+            self._perror[key] = n_max_perror(
+                self.glitch_model, self.m, self.g, key,
+                n_cap=self.n_cap, exact=self.exact)
+        return self._perror[key]
 
     def entries(self) -> dict[str, dict[float, int]]:
-        """Snapshot of all precomputed entries."""
+        """Snapshot of all precomputed entries (canonical keys)."""
         return {"plate": dict(self._plate), "perror": dict(self._perror)}

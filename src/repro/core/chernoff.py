@@ -74,6 +74,22 @@ def _objective(logmgf: LogMGF, t: float):
     return g
 
 
+def _largest_finite_theta(g, lo: float, hi: float) -> float:
+    """Largest ``theta`` (to float resolution) with ``g`` finite, given
+    ``g(lo)`` finite and ``g(hi)`` on the ``_BIG`` plateau.  Bisects the
+    numeric domain boundary so the search interval can use the whole
+    finite region instead of being clamped a factor of two short."""
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if not (lo < mid < hi):
+            break
+        if g(mid) >= _BIG:
+            hi = mid
+        else:
+            lo = mid
+    return lo
+
+
 def chernoff_tail_bound(logmgf: LogMGF, t: float) -> ChernoffResult:
     """Tightest Chernoff bound on ``P[X >= t]`` for the given log-MGF.
 
@@ -97,12 +113,30 @@ def chernoff_tail_bound(logmgf: LogMGF, t: float) -> ChernoffResult:
         # report the deepest point reached.
         hi = 1.0
         best = g(hi)
+        # theta_sup is infinite, but the *numeric* domain may not be
+        # (quadrature/naive MGFs overflow); if the unit seed already
+        # sits on the _BIG plateau, shrink into finite territory first.
+        shrinks = 0
+        while best >= _BIG and shrinks < 400:
+            hi *= 0.5
+            best = g(hi)
+            shrinks += 1
+        if best >= _BIG:  # pragma: no cover - pathological MGF
+            raise ChernoffError(
+                "objective is non-finite arbitrarily close to theta=0; "
+                "MGF looks inconsistent")
         for _ in range(200):
             if best <= _DEEP_TAIL_LOG:
                 return ChernoffResult(bound=0.0, log_bound=best,
                                       theta=hi, t=t)
             nxt = g(hi * 2.0)
-            if nxt >= best or nxt >= _BIG:
+            if nxt >= _BIG:
+                # Doubling would land on the pole/overflow plateau:
+                # clamp to the finite side and refine the boundary so
+                # the seed grid spans the whole usable domain.
+                hi = _largest_finite_theta(g, hi, hi * 2.0)
+                break
+            if nxt >= best:
                 hi *= 2.0
                 break
             best = nxt
@@ -121,11 +155,28 @@ def chernoff_tail_bound(logmgf: LogMGF, t: float) -> ChernoffResult:
     values = np.array([g(theta) for theta in grid])
     seed_idx = int(np.argmin(values))
 
+    # An argmin at index 0 means every *positive* grid point is worse
+    # than theta = 0 -- either the bound is genuinely trivial, or the
+    # dip is narrower than the grid's smallest positive point (huge-N
+    # or near-deterministic models).  Zoom the grid toward zero until
+    # the argmin is interior instead of handing the minimiser the
+    # degenerate bracket (0, first_grid_point) with a tolerance coarser
+    # than the dip it must locate.
+    zooms = 0
+    while seed_idx == 0 and grid[1] > 0.0 and zooms < 8:
+        grid = np.concatenate(
+            ([0.0], np.geomspace(grid[1] * 1e-9, grid[1], 512)))
+        values = np.array([g(theta) for theta in grid])
+        seed_idx = int(np.argmin(values))
+        zooms += 1
+
     lo_idx = max(seed_idx - 1, 0)
     hi_idx = min(seed_idx + 1, len(grid) - 1)
+    bracket_lo = float(grid[lo_idx])
+    bracket_hi = float(grid[hi_idx])
     result = optimize.minimize_scalar(
-        g, bounds=(grid[lo_idx], grid[hi_idx]), method="bounded",
-        options={"xatol": hi * 1e-14})
+        g, bounds=(bracket_lo, bracket_hi), method="bounded",
+        options={"xatol": max(bracket_hi - bracket_lo, 1e-300) * 1e-11})
     theta_star = float(result.x)
     log_bound = float(min(result.fun, values[seed_idx]))
     if values[seed_idx] < result.fun:

@@ -22,7 +22,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.glitch import GlitchModel
 from repro.core.service_time import RoundServiceTimeModel
 from repro.errors import ConfigurationError
 

@@ -13,8 +13,8 @@ constant, rotation is ``Uniform(0, ROT)`` and the transfer term is the
 from __future__ import annotations
 
 import math
-from functools import lru_cache
 
+from repro import cache as _cache
 from repro.core.chernoff import ChernoffResult, chernoff_tail_bound
 from repro.core.mgf import (
     ConstantTerm,
@@ -46,10 +46,17 @@ class RoundServiceTimeModel:
     transfer:
         A :class:`~repro.distributions.base.Distribution` with an MGF
         modelling the per-request transfer time.
+    fingerprint:
+        Stable identity of the model configuration, used to share
+        cached ``ChernoffResult`` values across instances built from
+        the same disk/fragment-law parameters (see :mod:`repro.cache`).
+        Defaults to a per-instance token, which still memoises repeated
+        queries on *this* model but never aliases other instances.
     """
 
     def __init__(self, seek_bound, rot: float,
-                 transfer: Distribution) -> None:
+                 transfer: Distribution,
+                 fingerprint: str | None = None) -> None:
         if not (rot > 0.0 and math.isfinite(rot)):
             raise ConfigurationError(f"rot must be positive, got {rot!r}")
         if not transfer.has_mgf():
@@ -61,6 +68,9 @@ class RoundServiceTimeModel:
         self.transfer = transfer
         self._rot_term = UniformTerm(self.rot)
         self._transfer_term = DistributionTerm(transfer)
+        self.fingerprint = (
+            fingerprint if fingerprint is not None
+            else _cache.instance_fingerprint("RoundServiceTimeModel"))
 
     # ------------------------------------------------------------------
     @classmethod
@@ -85,7 +95,13 @@ class RoundServiceTimeModel:
         def seek_bound(n: int, _spec=spec) -> float:
             return oyang_seek_bound(_spec.seek_curve, _spec.cylinders, n)
 
-        return cls(seek_bound=seek_bound, rot=spec.rot, transfer=transfer)
+        # Content-addressed identity: two models built from equal disk
+        # and fragment-law parameters share cached Chernoff results.
+        fp = _cache.fingerprint(
+            "round-service-time", spec.cylinders, spec.surfaces,
+            spec.zone_map, spec.seek_curve, size_dist, bool(multizone))
+        return cls(seek_bound=seek_bound, rot=spec.rot, transfer=transfer,
+                   fingerprint=fp)
 
     # ------------------------------------------------------------------
     def seek(self, n: int) -> float:
@@ -113,12 +129,21 @@ class RoundServiceTimeModel:
     # ------------------------------------------------------------------
     def p_late(self, n: int, t: float) -> ChernoffResult:
         """Chernoff bound ``b_late(n, t)`` on ``P[T_n >= t]``
-        (eq. 3.1.6 / 3.2.12), with full optimisation detail."""
-        return self._p_late_cached(n, t)
+        (eq. 3.1.6 / 3.2.12), with full optimisation detail.
 
-    @lru_cache(maxsize=4096)
-    def _p_late_cached(self, n: int, t: float) -> ChernoffResult:
-        return chernoff_tail_bound(self.log_mgf(n), t)
+        Memoised in the process-wide :mod:`repro.cache` bound cache
+        keyed by the model fingerprint, so admission scans, lookup-table
+        builds and repeated CLI invocations in one process all share
+        one optimisation per distinct ``(model, n, t)``.
+        """
+        if not isinstance(n, int) or n < 1:
+            raise ConfigurationError(f"n must be an int >= 1, got {n!r}")
+        if not (t > 0.0 and math.isfinite(t)):
+            raise ConfigurationError(
+                f"threshold t must be positive, got {t!r}")
+        key = ("b_late", self.fingerprint, n, float(t).hex())
+        return _cache.get_cache().get_or_compute(
+            key, lambda: chernoff_tail_bound(self.log_mgf(n), t))
 
     def b_late(self, n: int, t: float) -> float:
         """Convenience scalar: the bound value of :meth:`p_late`."""

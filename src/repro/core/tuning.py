@@ -59,7 +59,8 @@ def tune_round_length(spec: DiskSpec, display_bandwidth: float,
                       glitch_fraction: float = 0.01,
                       epsilon: float = 0.01,
                       candidates=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
-                      knee_fraction: float = 0.9) -> RoundLengthTuning:
+                      knee_fraction: float = 0.9,
+                      exact: bool = False) -> RoundLengthTuning:
     """Sweep candidate round lengths and locate the bandwidth knee.
 
     Parameters
@@ -77,6 +78,13 @@ def tune_round_length(spec: DiskSpec, display_bandwidth: float,
     knee_fraction:
         The knee is the shortest candidate achieving this fraction of
         the grid's peak bandwidth.
+    exact:
+        Run the admission solver as an exhaustive scan instead of the
+        bisection.  ``p_error`` is monotone in ``N`` for fixed
+        ``(t, M, g)``, but the integer glitch budget ``g = floor(
+        glitch_fraction * M)`` snaps *between* candidates, and callers
+        who post-process the per-``t`` curves sometimes want the
+        solver's output provably independent of the prefix assumption.
     """
     if display_bandwidth <= 0:
         raise ConfigurationError(
@@ -103,7 +111,7 @@ def tune_round_length(spec: DiskSpec, display_bandwidth: float,
         glitch = GlitchModel(model, t)
         m = max(int(round(playback_seconds / t)), 1)
         g = max(int(glitch_fraction * m), 1)
-        n_max = n_max_perror(glitch, m, g, epsilon)
+        n_max = n_max_perror(glitch, m, g, epsilon, exact=exact)
         points.append(RoundLengthPoint(
             t=t, n_max=n_max, bandwidth=n_max * display_bandwidth,
             startup_delay=t))

@@ -1,0 +1,214 @@
+"""Deterministic process-parallel execution of the Monte-Carlo hot paths.
+
+The validation experiments (Figure 1, Table 2, the A-series ablations)
+burn almost all of their wall-clock in :func:`simulate_rounds` and
+:func:`simulate_stream_glitches`.  Both are embarrassingly parallel at
+the right granularity -- independent blocks of rounds, independent
+stream lifetimes -- so this module fans them out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Determinism contract
+--------------------
+Results are **bit-identical for the same seed regardless of the worker
+count**.  The work decomposition is fixed up front (``rounds`` split
+into ``chunk_rounds``-sized blocks; one task per stream-glitch run) and
+each task draws from its own :class:`numpy.random.SeedSequence` child
+stream (``SeedSequence(seed).spawn(...)``), so the random numbers a
+task consumes depend only on ``(seed, task index)`` -- never on which
+process ran it or in what order tasks finished.  ``jobs=1`` executes
+the identical decomposition in-process, which is what the equivalence
+tests assert against.
+
+The chunked round decomposition is *statistically* equivalent to one
+long serial simulation but not bit-equal to it: the disk arm's
+carry-over position resets at chunk boundaries (each chunk starts at
+``initial_arm``), perturbing one repositioning seek per
+``chunk_rounds`` rounds -- the same order of approximation the serial
+path already accepts at its internal block boundaries (see
+``docs/SIMULATOR.md``).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.analysis.stats import wilson_interval
+from repro.disk.presets import DiskSpec
+from repro.distributions import Distribution
+from repro.errors import ConfigurationError
+from repro.server.simulation import (
+    PErrorEstimate,
+    PLateEstimate,
+    RoundBatch,
+    simulate_rounds,
+)
+
+__all__ = [
+    "resolve_jobs",
+    "simulate_rounds_parallel",
+    "estimate_p_late_parallel",
+    "simulate_stream_glitches_parallel",
+    "estimate_p_error_parallel",
+]
+
+#: Rounds per fan-out task.  Small enough that typical workloads
+#: (20k-100k rounds) split into tens of tasks and load-balance well,
+#: large enough that per-task pickling/IPC overhead stays negligible.
+DEFAULT_CHUNK_ROUNDS = 2048
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if not isinstance(jobs, int) or jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs!r}")
+    return jobs
+
+
+def _chunk_sizes(total: int, chunk: int) -> list[int]:
+    """Split ``total`` rounds into fixed-size blocks (last one ragged).
+
+    The decomposition depends only on ``(total, chunk)`` -- never on the
+    worker count -- which is what makes results worker-invariant.
+    """
+    if chunk < 1:
+        raise ConfigurationError(f"chunk_rounds must be >= 1, got {chunk!r}")
+    full, rem = divmod(total, chunk)
+    return [chunk] * full + ([rem] if rem else [])
+
+
+def _run_round_chunk(task) -> RoundBatch:
+    """Worker entry point: simulate one independent block of rounds.
+
+    Module-level (picklable) on purpose; receives a single tuple so
+    ``ProcessPoolExecutor.map`` can stream tasks.
+    """
+    (spec, size_dist, n, t, rounds, seed_seq, initial_arm, placement,
+     recal_prob, recal_duration) = task
+    rng = np.random.default_rng(seed_seq)
+    return simulate_rounds(spec, size_dist, n, t, rounds, rng,
+                           initial_arm=initial_arm, placement=placement,
+                           recal_prob=recal_prob,
+                           recal_duration=recal_duration)
+
+
+def _run_glitch_run(task) -> np.ndarray:
+    """Worker entry point: one stream lifetime of ``m`` rounds; returns
+    per-stream glitch counts, shape ``(n,)``."""
+    spec, size_dist, n, t, m, seed_seq = task
+    rng = np.random.default_rng(seed_seq)
+    batch = simulate_rounds(spec, size_dist, n, t, m, rng)
+    return np.sum(batch.glitches, axis=0)
+
+
+def _fan_out(worker, tasks, jobs: int) -> list:
+    """Run ``worker`` over ``tasks``, in-process or on a pool.
+
+    Results come back in task order either way, so callers can
+    concatenate without bookkeeping.
+    """
+    if jobs == 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, tasks))
+
+
+def _concat_batches(batches: list[RoundBatch]) -> RoundBatch:
+    return RoundBatch(
+        service_times=np.concatenate(
+            [b.service_times for b in batches]),
+        glitches=np.concatenate([b.glitches for b in batches], axis=0),
+        seek_times=np.concatenate([b.seek_times for b in batches]),
+        first_seek_times=np.concatenate(
+            [b.first_seek_times for b in batches]))
+
+
+# ----------------------------------------------------------------------
+# Public fan-outs
+# ----------------------------------------------------------------------
+
+def simulate_rounds_parallel(spec: DiskSpec, size_dist: Distribution,
+                             n: int, t: float, rounds: int, seed: int = 0,
+                             jobs: int | None = None,
+                             chunk_rounds: int = DEFAULT_CHUNK_ROUNDS,
+                             initial_arm: int = 0, placement=None,
+                             recal_prob: float = 0.0,
+                             recal_duration: float = 0.0) -> RoundBatch:
+    """Chunk-parallel :func:`repro.server.simulation.simulate_rounds`.
+
+    ``rounds`` is split into ``chunk_rounds`` blocks; block ``i`` draws
+    from ``SeedSequence(seed).spawn(...)[i]`` and starts its sweep at
+    ``initial_arm``.  Bit-identical output for any ``jobs`` value.
+    """
+    jobs = resolve_jobs(jobs)
+    sizes = _chunk_sizes(rounds, chunk_rounds)
+    if not sizes:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds!r}")
+    children = np.random.SeedSequence(seed).spawn(len(sizes))
+    tasks = [(spec, size_dist, n, t, block, child, initial_arm,
+              placement, recal_prob, recal_duration)
+             for block, child in zip(sizes, children)]
+    return _concat_batches(_fan_out(_run_round_chunk, tasks, jobs))
+
+
+def estimate_p_late_parallel(spec: DiskSpec, size_dist: Distribution,
+                             n: int, t: float, rounds: int = 20_000,
+                             seed: int = 0, jobs: int | None = None,
+                             chunk_rounds: int = DEFAULT_CHUNK_ROUNDS
+                             ) -> PLateEstimate:
+    """Monte-Carlo ``p_late`` estimate over the chunk-parallel path."""
+    batch = simulate_rounds_parallel(spec, size_dist, n, t, rounds,
+                                     seed=seed, jobs=jobs,
+                                     chunk_rounds=chunk_rounds)
+    late = int(np.sum(batch.service_times > t))
+    low, high = wilson_interval(late, rounds)
+    return PLateEstimate(n=n, t=t, rounds=rounds, late_rounds=late,
+                         p_late=late / rounds, ci_low=low, ci_high=high)
+
+
+def simulate_stream_glitches_parallel(spec: DiskSpec,
+                                      size_dist: Distribution, n: int,
+                                      t: float, m: int, runs: int,
+                                      seed: int = 0,
+                                      jobs: int | None = None
+                                      ) -> np.ndarray:
+    """Parallel per-stream glitch counts, shape ``(runs, n)``.
+
+    Uses the same per-run ``SeedSequence.spawn`` scheme as the serial
+    :func:`repro.server.simulation.simulate_stream_glitches`, so the
+    result is bit-identical to the serial function *and* invariant to
+    ``jobs``.
+    """
+    if runs < 1:
+        raise ConfigurationError(f"runs must be >= 1, got {runs!r}")
+    jobs = resolve_jobs(jobs)
+    children = np.random.SeedSequence(seed).spawn(runs)
+    tasks = [(spec, size_dist, n, t, m, child) for child in children]
+    rows = _fan_out(_run_glitch_run, tasks, jobs)
+    return np.stack(rows).astype(np.int64)
+
+
+def estimate_p_error_parallel(spec: DiskSpec, size_dist: Distribution,
+                              n: int, t: float, m: int, g: int,
+                              runs: int = 100, seed: int = 0,
+                              jobs: int | None = None) -> PErrorEstimate:
+    """Monte-Carlo ``p_error`` estimate over the run-parallel path."""
+    if not (0 <= g <= m):
+        raise ConfigurationError(f"g must be in [0, m], got {g!r}")
+    if not (t > 0.0 and math.isfinite(t)):
+        raise ConfigurationError(f"round length must be positive, got {t!r}")
+    counts = simulate_stream_glitches_parallel(spec, size_dist, n, t, m,
+                                               runs, seed=seed, jobs=jobs)
+    streams = counts.size
+    bad = int(np.sum(counts >= g))
+    low, high = wilson_interval(bad, streams)
+    return PErrorEstimate(n=n, t=t, m=m, g=g, streams=streams,
+                          bad_streams=bad, p_error=bad / streams,
+                          ci_low=low, ci_high=high,
+                          mean_glitches=float(np.mean(counts)))

@@ -237,10 +237,21 @@ class PLateEstimate:
 
 
 def estimate_p_late(spec: DiskSpec, size_dist: Distribution, n: int,
-                    t: float, rounds: int = 20_000,
-                    seed: int = 0) -> PLateEstimate:
+                    t: float, rounds: int = 20_000, seed: int = 0,
+                    jobs: int | None = None) -> PLateEstimate:
     """Monte-Carlo estimate of the probability a round overruns
-    (Figure 1's simulated series)."""
+    (Figure 1's simulated series).
+
+    ``jobs=None`` keeps the historical single-stream RNG layout
+    (byte-identical to earlier releases for a given seed).  Any explicit
+    ``jobs`` value -- including 1 -- switches to the chunk-parallel
+    decomposition of :mod:`repro.parallel`, whose results are
+    bit-identical across worker counts but use per-chunk substreams.
+    """
+    if jobs is not None:
+        from repro.parallel import estimate_p_late_parallel
+        return estimate_p_late_parallel(spec, size_dist, n, t,
+                                        rounds=rounds, seed=seed, jobs=jobs)
     rng = np.random.default_rng(seed)
     batch = simulate_rounds(spec, size_dist, n, t, rounds, rng)
     late = int(np.sum(batch.service_times > t))
@@ -251,14 +262,24 @@ def estimate_p_late(spec: DiskSpec, size_dist: Distribution, n: int,
 
 def simulate_stream_glitches(spec: DiskSpec, size_dist: Distribution,
                              n: int, t: float, m: int, runs: int,
-                             seed: int = 0) -> np.ndarray:
+                             seed: int = 0,
+                             jobs: int | None = None) -> np.ndarray:
     """Per-stream glitch counts over ``m`` rounds, repeated ``runs``
     times.  Returns an integer array of shape ``(runs, n)``.
 
     Each run is an independent server lifetime of ``m`` rounds with the
     same ``n`` streams active throughout (the paper's Table 2 setting:
     streams of M = 1200 rounds).
+
+    Runs already draw from per-run ``SeedSequence`` children, so the
+    ``jobs`` fan-out (via :mod:`repro.parallel`) is bit-identical to
+    this serial loop for every worker count.
     """
+    if jobs is not None:
+        from repro.parallel import simulate_stream_glitches_parallel
+        return simulate_stream_glitches_parallel(spec, size_dist, n, t,
+                                                 m, runs, seed=seed,
+                                                 jobs=jobs)
     if runs < 1:
         raise ConfigurationError(f"runs must be >= 1, got {runs!r}")
     counts = np.empty((runs, n), dtype=np.int64)
@@ -288,12 +309,16 @@ class PErrorEstimate:
 
 def estimate_p_error(spec: DiskSpec, size_dist: Distribution, n: int,
                      t: float, m: int, g: int, runs: int = 100,
-                     seed: int = 0) -> PErrorEstimate:
+                     seed: int = 0,
+                     jobs: int | None = None) -> PErrorEstimate:
     """Monte-Carlo estimate of the per-stream error probability
-    (Table 2's simulated column)."""
+    (Table 2's simulated column).  ``jobs`` fans the runs out over
+    worker processes with bit-identical results (see
+    :func:`simulate_stream_glitches`)."""
     if not (0 <= g <= m):
         raise ConfigurationError(f"g must be in [0, m], got {g!r}")
-    counts = simulate_stream_glitches(spec, size_dist, n, t, m, runs, seed)
+    counts = simulate_stream_glitches(spec, size_dist, n, t, m, runs,
+                                      seed, jobs=jobs)
     streams = counts.size
     bad = int(np.sum(counts >= g))
     low, high = wilson_interval(bad, streams)

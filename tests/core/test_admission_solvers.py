@@ -129,3 +129,18 @@ class TestAdmissionTable:
             AdmissionTable(glitch, m=0, g=0)
         with pytest.raises(ConfigurationError):
             AdmissionTable(glitch, m=10, g=11)
+
+
+    def test_canonical_threshold_keys(self, glitch):
+        # 0.1 * 0.1 != 0.01 bitwise; the table must treat them as the
+        # same tolerance instead of re-solving under a noise key.
+        table = AdmissionTable(glitch, m=1200, g=12)
+        first = table.n_max_perror(0.01)
+        assert table.n_max_perror(0.1 * 0.1) == first
+        assert list(table.entries()["perror"]) == [0.01]
+
+    def test_exact_table_matches_bisection(self, glitch):
+        fast = AdmissionTable(glitch, m=1200, g=12)
+        slow = AdmissionTable(glitch, m=1200, g=12, exact=True)
+        assert fast.n_max_plate(0.01) == slow.n_max_plate(0.01) == 26
+        assert fast.n_max_perror(0.01) == slow.n_max_perror(0.01) == 28

@@ -80,7 +80,7 @@ class TestIndependentSeeks:
     def test_scan_bound_beats_independent_seeks(self, viking, paper_sizes):
         # Build a round model where every request pays an independent
         # seek, and compare N_max-style bounds: SCAN admits more.
-        from repro.core.mgf import ConstantTerm, ProductMGF, UniformTerm
+        from repro.core.mgf import ProductMGF, UniformTerm
 
         seek_dist = independent_seek_time_distribution(viking,
                                                        samples=50_000)

@@ -13,6 +13,7 @@ import pytest
 from repro.core.chernoff import chernoff_tail_bound
 from repro.core.mgf import (
     ConstantTerm,
+    LogMGF,
     DistributionTerm,
     GammaTerm,
     ProductMGF,
@@ -125,3 +126,78 @@ class TestNumerics:
         assert result.t == 4.0
         assert not result.trivial
         assert result.bound == pytest.approx(math.exp(result.log_bound))
+
+
+class _NaiveTwoPointMGF(LogMGF):
+    """Fair coin on {a, b} with the MGF evaluated the naive way.
+
+    ``log(0.5 e^{theta a} + 0.5 e^{theta b})`` overflows double
+    precision once ``theta * b > ~709`` even though the analytic
+    ``theta_sup`` is infinite -- the same failure mode as
+    quadrature-evaluated empirical MGFs.  Used to pin down optimiser
+    behaviour when the *numeric* domain is far smaller than the
+    analytic one.
+    """
+
+    def __init__(self, a: float, b: float) -> None:
+        self.a = float(a)
+        self.b = float(b)
+
+    @property
+    def theta_sup(self) -> float:
+        return math.inf
+
+    def __call__(self, theta: float) -> float:
+        with np.errstate(over="ignore"):  # the overflow IS the point
+            return float(np.log(0.5 * np.exp(theta * self.a)
+                                + 0.5 * np.exp(theta * self.b)))
+
+    def mean(self) -> float:
+        return 0.5 * (self.a + self.b)
+
+    def var(self) -> float:
+        return 0.25 * (self.b - self.a) ** 2
+
+
+class TestRegressions:
+    """Reproducers for two historical optimiser failures."""
+
+    @pytest.mark.parametrize("scale", [1e12, 1e13])
+    def test_bracket_clamps_to_numeric_domain_boundary(self, scale):
+        # Regression: with a naive MGF that overflows at theta*b ~ 709,
+        # the bracket expansion used to double ``hi`` straight onto the
+        # _BIG plateau and keep it there, so the whole seed grid sat on
+        # the plateau and the optimiser fell back to the trivial bound 1.
+        # The expansion must instead clamp ``hi`` to the last finite
+        # theta.  Exact answer: for a fair coin on {a, b} and
+        # a < t < b the optimal Chernoff bound at t -> b^- approaches
+        # inf_theta e^{-theta t} E e^{theta X}; at t = 0.999b it is
+        # ~0.5288, against a true tail of 0.5.
+        logmgf = _NaiveTwoPointMGF(0.9 * scale, 1.0 * scale)
+        t = 0.999 * scale
+        result = chernoff_tail_bound(logmgf, t)
+        assert not result.trivial
+        assert result.theta > 0.0
+        assert 0.5 <= result.bound < 0.6
+        assert result.bound == pytest.approx(0.5288, rel=1e-2)
+
+    @pytest.mark.parametrize("shape", [1e31, 1e32])
+    def test_seed_grid_zooms_when_argmin_at_zero(self, shape):
+        # Regression: for a huge-shape Gamma (tiny relative variance)
+        # with t just above the mean, the optimal theta* sits far below
+        # the seed grid's smallest positive point (hi * 1e-9), so the
+        # grid argmin landed at index 0 and the minimiser received the
+        # degenerate bracket (0, grid[1]) with a tolerance coarser than
+        # the dip -- returning theta* ~ 0 and the trivial bound 1 for a
+        # genuinely bounded tail (true probability ~3.7e-6, five
+        # standard deviations out).  The grid must zoom toward zero
+        # until the argmin is interior.
+        g = GammaTerm(Gamma(shape, 1.0))
+        t = shape + 5.0 * math.sqrt(shape)  # mean + 5 sd
+        result = chernoff_tail_bound(g, t)
+        assert not result.trivial
+        assert result.theta > 0.0
+        # Float cancellation at theta*mean ~ 5e15 keeps the optimised
+        # exponent from matching the analytic value tightly; the
+        # regression contract is "non-trivial and deep", not exact.
+        assert result.bound < 1e-3

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import RoundServiceTimeModel, oyang_seek_bound
-from repro.disk import quantum_viking_2_1, single_zone_viking
-from repro.distributions import Gamma, LogNormal
+from repro.disk import single_zone_viking
+from repro.distributions import LogNormal
 from repro.errors import ConfigurationError, ModelError
 from repro.server.simulation import simulate_rounds
 

@@ -1,0 +1,134 @@
+"""Determinism and equivalence tests for the parallel execution layer.
+
+The contract under test: for a fixed seed, every estimate is
+bit-identical no matter how many worker processes compute it, and the
+stream-glitch fan-out matches the serial function exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    DEFAULT_CHUNK_ROUNDS,
+    estimate_p_error_parallel,
+    estimate_p_late_parallel,
+    resolve_jobs,
+    simulate_rounds_parallel,
+    simulate_stream_glitches_parallel,
+)
+from repro.server import simulation as sim
+
+ROUNDS = 5_000
+N = 28
+T = 1.0
+
+
+class TestResolveJobs:
+    def test_none_and_zero_mean_all_cores(self):
+        import os
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_explicit_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-1)
+
+
+class TestJobsInvariance:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_p_late_bit_identical(self, viking, paper_sizes, jobs):
+        base = estimate_p_late_parallel(viking, paper_sizes, N, T,
+                                        rounds=ROUNDS, seed=11, jobs=1)
+        other = estimate_p_late_parallel(viking, paper_sizes, N, T,
+                                         rounds=ROUNDS, seed=11,
+                                         jobs=jobs)
+        assert base == other
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_round_batch_bit_identical(self, viking, paper_sizes, jobs):
+        a = simulate_rounds_parallel(viking, paper_sizes, 8, T, 3000,
+                                     seed=5, jobs=1, chunk_rounds=512)
+        b = simulate_rounds_parallel(viking, paper_sizes, 8, T, 3000,
+                                     seed=5, jobs=jobs, chunk_rounds=512)
+        assert np.array_equal(a.service_times, b.service_times)
+        assert np.array_equal(a.glitches, b.glitches)
+        assert np.array_equal(a.seek_times, b.seek_times)
+        assert np.array_equal(a.first_seek_times, b.first_seek_times)
+
+    def test_p_error_bit_identical(self, viking, paper_sizes):
+        kw = dict(runs=8, seed=3)
+        base = estimate_p_error_parallel(viking, paper_sizes, 30, T,
+                                         120, 2, **kw, jobs=1)
+        par = estimate_p_error_parallel(viking, paper_sizes, 30, T,
+                                        120, 2, **kw, jobs=2)
+        assert base == par
+
+    def test_different_seeds_differ(self, viking, paper_sizes):
+        a = simulate_rounds_parallel(viking, paper_sizes, 8, T, 1024,
+                                     seed=1, jobs=1, chunk_rounds=256)
+        b = simulate_rounds_parallel(viking, paper_sizes, 8, T, 1024,
+                                     seed=2, jobs=1, chunk_rounds=256)
+        assert not np.array_equal(a.service_times, b.service_times)
+
+
+class TestGlitchFanOutMatchesSerial:
+    def test_bit_identical_to_serial_function(self, viking,
+                                              paper_sizes):
+        serial = sim.simulate_stream_glitches(viking, paper_sizes, 12,
+                                              T, 40, 6, seed=9)
+        par = simulate_stream_glitches_parallel(viking, paper_sizes, 12,
+                                                T, 40, 6, seed=9,
+                                                jobs=2)
+        assert np.array_equal(serial, par)
+
+    def test_simulation_module_delegates(self, viking, paper_sizes):
+        serial = sim.simulate_stream_glitches(viking, paper_sizes, 12,
+                                              T, 40, 6, seed=9)
+        via_jobs = sim.simulate_stream_glitches(viking, paper_sizes, 12,
+                                                T, 40, 6, seed=9,
+                                                jobs=2)
+        assert np.array_equal(serial, via_jobs)
+
+    def test_estimate_p_error_delegates(self, viking, paper_sizes):
+        serial = sim.estimate_p_error(viking, paper_sizes, 30, T, 120,
+                                      2, runs=6, seed=4)
+        par = sim.estimate_p_error(viking, paper_sizes, 30, T, 120, 2,
+                                   runs=6, seed=4, jobs=2)
+        assert serial == par
+
+
+class TestChunking:
+    def test_shapes_and_chunk_concatenation(self, viking, paper_sizes):
+        rounds = 2 * DEFAULT_CHUNK_ROUNDS + 17  # ragged tail chunk
+        batch = simulate_rounds_parallel(viking, paper_sizes, 4, T,
+                                         rounds, seed=0, jobs=2)
+        assert batch.rounds == rounds
+        assert batch.glitches.shape == (rounds, 4)
+
+    def test_jobs_none_legacy_path_unchanged(self, viking,
+                                             paper_sizes):
+        # estimate_p_late without jobs must keep the historical
+        # single-stream RNG layout: one Generator consumed sequentially.
+        legacy = sim.estimate_p_late(viking, paper_sizes, 8, T,
+                                     rounds=1000, seed=7)
+        rng = np.random.default_rng(7)
+        batch = sim.simulate_rounds(viking, paper_sizes, 8, T, 1000,
+                                    rng)
+        assert legacy.late_rounds == int(
+            np.sum(batch.service_times > T))
+
+    def test_rejects_bad_rounds_and_chunks(self, viking, paper_sizes):
+        with pytest.raises(ConfigurationError):
+            simulate_rounds_parallel(viking, paper_sizes, 4, T, 0,
+                                     jobs=1)
+        with pytest.raises(ConfigurationError):
+            simulate_rounds_parallel(viking, paper_sizes, 4, T, 100,
+                                     jobs=1, chunk_rounds=0)
+        with pytest.raises(ConfigurationError):
+            simulate_stream_glitches_parallel(viking, paper_sizes, 4,
+                                              T, 10, 0, jobs=1)

@@ -1,0 +1,193 @@
+"""Tests of the bound cache: fingerprints, memoized bisection, and the
+cached-vs-uncached / probe-count contracts of the admission pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import cache
+from repro.cache import (
+    BoundCache,
+    bisect_max_n,
+    cache_disabled,
+    cache_stats,
+    canonical_threshold,
+    clear_cache,
+    fingerprint,
+    instance_fingerprint,
+)
+from repro.core import (
+    GlitchModel,
+    RoundServiceTimeModel,
+    n_max_perror,
+    n_max_plate,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        args = ("model", 1.5, np.array([1.0, 2.0]), {"a": 1})
+        assert fingerprint(*args) == fingerprint(*args)
+
+    def test_distinguishes_values(self):
+        assert fingerprint("m", 1.5) != fingerprint("m", 1.5000001)
+        assert fingerprint("m", 1) != fingerprint("m", 1.0)
+        assert fingerprint("m", True) != fingerprint("m", 1)
+
+    def test_distinguishes_array_contents(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = a.copy()
+        b[1] = 2.0000001
+        assert fingerprint(a) != fingerprint(b)
+        assert fingerprint(a) == fingerprint(a.copy())
+
+    def test_equal_models_share_fingerprint(self, viking, paper_sizes):
+        m1 = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        m2 = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        assert m1.fingerprint == m2.fingerprint
+
+    def test_different_workloads_differ(self, viking, paper_sizes,
+                                        viking_single_zone):
+        m1 = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        m2 = RoundServiceTimeModel.for_disk(viking_single_zone,
+                                            paper_sizes)
+        assert m1.fingerprint != m2.fingerprint
+
+    def test_instance_fingerprint_unique(self):
+        assert (instance_fingerprint("x")
+                != instance_fingerprint("x"))
+
+
+class TestCanonicalThreshold:
+    def test_absorbs_arithmetic_noise(self):
+        assert canonical_threshold(0.01) == canonical_threshold(
+            0.1 * 0.1)
+        assert canonical_threshold(0.01) == 0.01
+
+    def test_distinguishes_real_differences(self):
+        assert canonical_threshold(0.01) != canonical_threshold(0.011)
+
+
+class TestBoundCache:
+    def test_hit_miss_accounting(self):
+        c = BoundCache()
+        calls = []
+        for _ in range(3):
+            c.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert len(calls) == 1
+        assert c.stats.misses == 1
+        assert c.stats.hits == 2
+
+    def test_disabled_context_bypasses(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 7
+
+        cache.get_cache().get_or_compute("k", compute)
+        with cache_disabled():
+            cache.get_cache().get_or_compute("k", compute)
+        assert len(calls) == 2
+        assert cache_stats().uncached == 1
+
+
+class TestBisectMaxN:
+    def test_matches_full_scan_on_monotone(self):
+        for boundary in (0, 1, 5, 99, 100):
+            pred = lambda n, b=boundary: n <= b
+            assert (bisect_max_n(pred, 100)
+                    == bisect_max_n(pred, 100, full_scan=True))
+
+    def test_probe_count_logarithmic(self):
+        probes = []
+        boundary = 37
+        n_cap = 4096
+
+        def pred(n):
+            probes.append(n)
+            return n <= boundary
+
+        assert bisect_max_n(pred, n_cap) == boundary
+        # Exponential search + bisection: O(log n_cap) probes, each n
+        # probed at most once thanks to the memo.
+        assert len(set(probes)) == len(probes)
+        assert len(probes) <= 4 * int(np.log2(n_cap))
+
+    def test_verify_above_detects_non_monotone(self):
+        # Predicate true on [1, 10] and again on [50, 60]: the plain
+        # bisection stops at 10; verification probes above must detect
+        # the island and fall back to the exhaustive answer 60.
+        pred = lambda n: n <= 10 or 50 <= n <= 60
+        assert bisect_max_n(pred, 100) == 10
+        assert bisect_max_n(pred, 100, verify_above=8) == 60
+        assert bisect_max_n(pred, 100, full_scan=True) == 60
+
+
+class TestAdmissionCaching:
+    def test_exact_flag_agrees_with_bisection(self, viking,
+                                              paper_sizes):
+        model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        glitch = GlitchModel(model, 1.0)
+        assert (n_max_plate(model, 1.0, 0.01)
+                == n_max_plate(model, 1.0, 0.01, exact=True) == 26)
+        assert (n_max_perror(glitch, 1200, 12, 0.01)
+                == n_max_perror(glitch, 1200, 12, 0.01, exact=True)
+                == 28)
+
+    def test_cached_equals_uncached(self, viking, paper_sizes):
+        model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        cached = n_max_plate(model, 1.0, 0.01)
+        clear_cache()
+        with cache_disabled():
+            uncached = n_max_plate(model, 1.0, 0.01)
+        assert cached == uncached
+
+    def test_plate_scan_optimisation_count(self, viking, paper_sizes,
+                                           monkeypatch):
+        # Perf contract: one n_max_plate solve triggers at most
+        # O(log n_cap) Chernoff optimisations.
+        import repro.core.chernoff as chernoff_mod
+        import repro.core.service_time as st_mod
+
+        calls = []
+        real = chernoff_mod.chernoff_tail_bound
+
+        def counting(logmgf, t):
+            calls.append(t)
+            return real(logmgf, t)
+
+        monkeypatch.setattr(st_mod, "chernoff_tail_bound", counting)
+        model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        n_cap = 512
+        assert n_max_plate(model, 1.0, 0.01, n_cap=n_cap) == 26
+        budget = 4 * int(np.log2(n_cap))
+        assert len(calls) <= budget, (
+            f"{len(calls)} optimisations for one solve "
+            f"(budget {budget})")
+
+    def test_table_rebuild_is_free(self, viking, paper_sizes):
+        from repro.core import AdmissionTable
+
+        model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        table = AdmissionTable(GlitchModel(model, 1.0), m=1200, g=12)
+        table.build(plate_thresholds=(0.001, 0.01, 0.1))
+        misses_after_build = cache_stats().misses
+        # A second model instance over the same configuration reuses
+        # every cached optimisation (content-addressed fingerprint).
+        model2 = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        table2 = AdmissionTable(GlitchModel(model2, 1.0), m=1200, g=12)
+        table2.build(plate_thresholds=(0.001, 0.01, 0.1))
+        assert cache_stats().misses == misses_after_build
+        assert table2.entries() == table.entries()
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            bisect_max_n(lambda n: True, 0)

@@ -63,6 +63,32 @@ class TestSimulate:
         assert code == 0
         assert "simulated p_error" in out
 
+    def test_jobs_bit_identical(self, capsys):
+        base = run(capsys, "simulate", "--n", "28", "--rounds", "3000",
+                   "--seed", "5", "--jobs", "1")
+        par = run(capsys, "simulate", "--n", "28", "--rounds", "3000",
+                  "--seed", "5", "--jobs", "4")
+        assert base[0] == par[0] == 0
+        assert base[1] == par[1]
+
+    def test_jobs_zero_means_all_cores(self, capsys):
+        code, out, _ = run(capsys, "simulate", "--n", "26", "--rounds",
+                           "1000", "--jobs", "0")
+        assert code == 0
+        assert "simulated p_late" in out
+
+
+class TestNoCache:
+    def test_no_cache_flag_same_numbers(self, capsys):
+        from repro.cache import get_cache
+
+        cached = run(capsys, "admission")
+        uncached = run(capsys, "admission", "--no-cache")
+        assert cached[0] == uncached[0] == 0
+        assert cached[1] == uncached[1]
+        # The flag must not leak: the cache is back on afterwards.
+        assert get_cache().enabled
+
 
 class TestWorstCase:
     def test_reproduces_eq41(self, capsys):
