@@ -1,42 +1,94 @@
 """A20: parallel Monte-Carlo scaling and the memoized admission pipeline.
 
-Two infrastructure claims behind the Figure 1 / Table 2 / §5 regeneration
-speed:
+Four infrastructure claims behind the Figure 1 / Table 2 / §5
+regeneration speed:
 
 1. The chunk fan-out of :mod:`repro.parallel` is *bit-identical* across
-   worker counts for a fixed seed, and scales wall-clock with workers.
-   The speedup assertion only fires on hosts with >= 4 cores (CI
-   containers are often single-core; there the bench just records the
-   measured ratio).
-2. The process-wide bound cache collapses the Chernoff-optimisation
+   worker counts AND transports for a fixed seed.  The shared-memory
+   transport writes each chunk's arrays in place and sends only scalars
+   back, so its fan-out overhead sits below the pickling path's (both
+   wall-clocks are recorded; the comparison is informational on boxes
+   where scheduling noise dominates).
+2. Sweeping Figure-1's per-``N`` grid through one shared pool
+   (:func:`repro.parallel.sweep_p_late_parallel`) beats the serial
+   point-by-point loop; the >= 2x assertion only fires on hosts with
+   >= 4 cores (CI containers are often single-core; there the bench
+   just records the measured ratio).
+3. The process-wide bound cache collapses the Chernoff-optimisation
    count of an :class:`repro.core.AdmissionTable` build over a grid of
-   tolerance thresholds: every probed ``(model, n, t)`` is optimised
-   once, so rebuilding the §5 table costs >= 5x fewer optimisations than
-   the uncached pipeline.
+   tolerance thresholds >= 5x versus the uncached pipeline.
+4. The persistent on-disk layer carries those optimisations across a
+   *process restart*: a warm rebuild in a fresh interpreter performs
+   zero new Chernoff solves (every probe is a disk hit).
 """
 
+import json
 import os
+import subprocess
+import sys
 import time
+from pathlib import Path
 
+import numpy as np
+
+import repro
 from repro.analysis import render_table
-from repro.cache import cache_disabled, cache_stats, clear_cache
+from repro.cache import CACHE_DIR_ENV, cache_disabled, cache_stats, clear_cache
 from repro.core import AdmissionTable, GlitchModel, RoundServiceTimeModel
-from repro.parallel import estimate_p_late_parallel
+from repro.parallel import simulate_rounds_parallel, sweep_p_late_parallel
 
 N = 28
 T = 1.0
 ROUNDS = 40_000
 SEED = 424242
+SWEEP_NS = (24, 26, 28, 30)
+SWEEP_ROUNDS = 10_000
 
 PLATE_THRESHOLDS = (0.001, 0.005, 0.01, 0.05, 0.10)
 PERROR_THRESHOLDS = (0.0001, 0.001, 0.01, 0.05, 0.10)
 
+#: Run by a fresh interpreter against a shared REPRO_CACHE_DIR: builds
+#: the §5 table and reports how many Chernoff solves it needed.
+_RESTART_SCRIPT = """\
+import json
+from repro.cache import cache_stats
+from repro.core import AdmissionTable, GlitchModel, RoundServiceTimeModel
+from repro.disk import quantum_viking_2_1
+from repro.workload import paper_fragment_sizes
 
-def _timed_p_late(spec, sizes, jobs):
+model = RoundServiceTimeModel.for_disk(quantum_viking_2_1(),
+                                       paper_fragment_sizes())
+table = AdmissionTable(GlitchModel(model, t=1.0), m=1200, g=12)
+table.build(plate_thresholds=(0.001, 0.005, 0.01, 0.05, 0.10),
+            perror_thresholds=(0.0001, 0.001, 0.01, 0.05, 0.10))
+stats = cache_stats()
+print(json.dumps({"misses": stats.misses, "disk_hits": stats.disk_hits,
+                  "hits": stats.hits}))
+"""
+
+
+def _batches_equal(a, b):
+    return (a.rounds == b.rounds and a.n == b.n
+            and np.array_equal(a.service_times, b.service_times)
+            and np.array_equal(a.seek_times, b.seek_times)
+            and np.array_equal(a.first_seek_times, b.first_seek_times)
+            and np.array_equal(a.glitches, b.glitches))
+
+
+def _timed_transport(spec, sizes, transport, jobs=2):
     start = time.perf_counter()
-    est = estimate_p_late_parallel(spec, sizes, N, T, rounds=ROUNDS,
-                                   seed=SEED, jobs=jobs)
-    return est, time.perf_counter() - start
+    batch = simulate_rounds_parallel(spec, sizes, N, T, rounds=ROUNDS,
+                                     seed=SEED, jobs=jobs,
+                                     transport=transport)
+    return batch, time.perf_counter() - start
+
+
+def _timed_sweep(spec, sizes, jobs):
+    start = time.perf_counter()
+    ests = sweep_p_late_parallel(spec, sizes, SWEEP_NS, T,
+                                 rounds=SWEEP_ROUNDS, seed=SEED,
+                                 jobs=jobs)
+    return ests, time.perf_counter() - start
 
 
 def _optimisations(spec, sizes, *, cached):
@@ -61,41 +113,113 @@ def _optimisations(spec, sizes, *, cached):
     return table.entries(), work
 
 
-def test_a20_parallel_scaling(benchmark, viking, paper_sizes, record):
-    est1, serial_s = _timed_p_late(viking, paper_sizes, jobs=1)
-    est4, par_s = benchmark.pedantic(
-        _timed_p_late, args=(viking, paper_sizes, 4),
-        rounds=1, iterations=1)
-    assert est1 == est4, "fan-out must be bit-identical across jobs"
-    speedup = serial_s / par_s
+def _restart_build(cache_dir):
+    """AdmissionTable build in a brand-new interpreter sharing only the
+    on-disk cache; returns its solve/hit counters."""
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env[CACHE_DIR_ENV] = str(cache_dir)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run([sys.executable, "-c", _RESTART_SCRIPT],
+                          capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, f"restart build failed: {proc.stderr}"
+    return json.loads(proc.stdout.strip().splitlines()[-1])
 
+
+def test_a20_parallel_scaling(benchmark, viking, paper_sizes, record,
+                              record_json, tmp_path, monkeypatch):
+    # 1. Transport comparison: shm fan-out vs full-pickle fan-out.
+    batch_shm, shm_s = benchmark.pedantic(
+        _timed_transport, args=(viking, paper_sizes, "shm"),
+        rounds=1, iterations=1)
+    batch_pickle, pickle_s = _timed_transport(viking, paper_sizes,
+                                              "pickle")
+    batch_serial, serial_s = _timed_transport(viking, paper_sizes,
+                                              "pickle", jobs=1)
+    assert _batches_equal(batch_shm, batch_pickle), (
+        "fan-out must be bit-identical across transports")
+    assert _batches_equal(batch_shm, batch_serial), (
+        "fan-out must be bit-identical across jobs")
+
+    # 2. Sweep-axis parallelism: whole N-grid through one pool.
+    cores = os.cpu_count() or 1
+    sweep_jobs = min(4, cores)
+    ests_serial, sweep_serial_s = _timed_sweep(viking, paper_sizes, 1)
+    ests_par, sweep_par_s = _timed_sweep(viking, paper_sizes, sweep_jobs)
+    assert ests_serial == ests_par, (
+        "sweep must be bit-identical across jobs")
+    sweep_speedup = sweep_serial_s / sweep_par_s
+
+    # 3. Memoized pipeline, in-process: persistent layer disabled so
+    # the cold-build solve count is measured, not served from disk.
+    monkeypatch.setenv("REPRO_PERSISTENT_CACHE", "0")
     entries_cached, work_cached = _optimisations(viking, paper_sizes,
                                                  cached=True)
     entries_uncached, work_uncached = _optimisations(viking, paper_sizes,
                                                      cached=False)
+    monkeypatch.delenv("REPRO_PERSISTENT_CACHE")
+    clear_cache()
     assert entries_cached == entries_uncached
     assert entries_cached["plate"][0.01] == 26
     assert entries_cached["perror"][0.01] == 28
     ratio = work_uncached / work_cached
 
+    # 4. Persistent layer across a process restart: cold build solves,
+    # warm rebuild in a NEW interpreter answers entirely from disk.
+    store_dir = tmp_path / "restart-cache"
+    cold = _restart_build(store_dir)
+    warm = _restart_build(store_dir)
+    assert cold["misses"] > 0 and cold["disk_hits"] == 0
+    assert warm["misses"] == 0, (
+        f"warm restart must need zero new Chernoff solves, "
+        f"performed {warm['misses']}")
+    assert warm["disk_hits"] > 0
+    warm_hit_rate = warm["disk_hits"] / (warm["disk_hits"]
+                                         + warm["misses"])
+
     rows = [
         ["p_late rounds", f"{ROUNDS}"],
         ["serial (jobs=1) [s]", f"{serial_s:.2f}"],
-        ["parallel (jobs=4) [s]", f"{par_s:.2f}"],
-        ["speedup", f"{speedup:.2f}x"],
-        ["bit-identical across jobs", "yes"],
-        ["host cores", str(os.cpu_count())],
+        ["pickle fan-out (jobs=2) [s]", f"{pickle_s:.2f}"],
+        ["shm fan-out (jobs=2) [s]", f"{shm_s:.2f}"],
+        ["bit-identical across transports/jobs", "yes"],
+        [f"sweep {list(SWEEP_NS)} serial [s]", f"{sweep_serial_s:.2f}"],
+        [f"sweep parallel (jobs={sweep_jobs}) [s]",
+         f"{sweep_par_s:.2f}"],
+        ["sweep speedup", f"{sweep_speedup:.2f}x"],
+        ["host cores", str(cores)],
         ["table build: optimisations (uncached)", str(work_uncached)],
         ["table build: optimisations (cached)", str(work_cached)],
         ["optimisation reduction", f"{ratio:.1f}x"],
+        ["restart: cold solves", str(cold["misses"])],
+        ["restart: warm solves", str(warm["misses"])],
+        ["restart: warm disk hit-rate", f"{warm_hit_rate:.0%}"],
     ]
     record("a20_parallel_scaling", render_table(
         ["quantity", "value"], rows,
         title="A20: parallel Monte-Carlo scaling + bound-cache "
         "effectiveness (Table 1 disk, N=28, t=1s)"))
+    record_json("a20_parallel_scaling", {
+        "rounds": ROUNDS,
+        "host_cores": cores,
+        "wall_clock_s": {
+            "serial": serial_s,
+            "pickle_jobs2": pickle_s,
+            "shm_jobs2": shm_s,
+            "sweep_serial": sweep_serial_s,
+            f"sweep_jobs{sweep_jobs}": sweep_par_s,
+        },
+        "shm_vs_pickle_ratio": shm_s / pickle_s,
+        "sweep_speedup": sweep_speedup,
+        "optimisation_reduction": ratio,
+        "restart_cold_solves": cold["misses"],
+        "restart_warm_solves": warm["misses"],
+        "restart_warm_hit_rate": warm_hit_rate,
+    })
 
     assert ratio >= 5.0, (
         f"cache must cut Chernoff optimisations >= 5x, got {ratio:.1f}x")
-    if (os.cpu_count() or 1) >= 4:
-        assert speedup >= 2.0, (
-            f"expected >= 2x speedup at 4 workers, got {speedup:.2f}x")
+    if cores >= 4:
+        assert sweep_speedup >= 2.0, (
+            f"expected >= 2x sweep speedup at {sweep_jobs} workers, "
+            f"got {sweep_speedup:.2f}x")

@@ -13,13 +13,19 @@ Shape to reproduce: the analytic bound saturates to 1 by N = 30 while
 the simulated system first shows stream-level errors at N = 31 and
 degrades massively at N = 32 -- the analytic admission limit (28) gives
 away three streams against the simulated truth (31).
+
+The simulated column comes from
+:func:`repro.parallel.sweep_p_error_parallel`: every (point, run)
+stream lifetime of the grid feeds one worker pool, with per-point seeds
+``2000 + n`` matching the historical per-point loop exactly.
 """
 
 import os
+import time
 
 from repro.analysis import ComparisonRow, comparison_table
 from repro.core import GlitchModel, RoundServiceTimeModel, n_max_perror
-from repro.server.simulation import estimate_p_error
+from repro.parallel import sweep_p_error_parallel
 
 M = 1200
 G = 12
@@ -36,20 +42,22 @@ PAPER = {28: (0.00014, 0.0), 29: (0.318, 0.0), 30: (1.0, 0.0),
 def run_table2(spec, sizes):
     model = RoundServiceTimeModel.for_disk(spec, sizes)
     glitch = GlitchModel(model, t=T)
-    rows = []
-    for n in N_RANGE:
-        analytic = glitch.p_error(n, M, G)
-        sim = estimate_p_error(spec, sizes, n, T, M, G, runs=RUNS,
-                               seed=2000 + n, jobs=JOBS)
-        rows.append(ComparisonRow(label=str(n), analytic=analytic,
-                                  simulated=sim.p_error,
-                                  ci_low=sim.ci_low, ci_high=sim.ci_high))
+    sims = sweep_p_error_parallel(spec, sizes, N_RANGE, T, M, G,
+                                  runs=RUNS,
+                                  seeds=[2000 + n for n in N_RANGE],
+                                  jobs=JOBS)
+    rows = [ComparisonRow(label=str(n), analytic=glitch.p_error(n, M, G),
+                          simulated=sim.p_error, ci_low=sim.ci_low,
+                          ci_high=sim.ci_high)
+            for n, sim in zip(N_RANGE, sims)]
     return rows, n_max_perror(glitch, M, G, 0.01)
 
 
-def test_e6_table2(benchmark, viking, paper_sizes, record):
+def test_e6_table2(benchmark, viking, paper_sizes, record, record_json):
+    start = time.perf_counter()
     rows, analytic_nmax = benchmark.pedantic(
         run_table2, args=(viking, paper_sizes), rounds=1, iterations=1)
+    wall_clock = time.perf_counter() - start
     simulated_nmax = max((int(r.label) for r in rows
                           if r.simulated <= 0.01), default=0)
     table = comparison_table(
@@ -62,6 +70,15 @@ def test_e6_table2(benchmark, viking, paper_sizes, record):
               "value straddles the 1% threshold, so the derived N_max "
               "can land at 30 or 31 depending on simulator details.")
     record("e6_table2", table + footer)
+    record_json("e6_table2", {
+        "wall_clock_s": wall_clock,
+        "jobs": JOBS,
+        "host_cores": os.cpu_count(),
+        "points": len(rows),
+        "runs_per_point": RUNS,
+        "analytic_nmax": analytic_nmax,
+        "simulated_nmax": simulated_nmax,
+    })
 
     by_n = {int(r.label): r for r in rows}
     # Analytic column: tiny at 28, ~0.3 at 29, saturated from 30.

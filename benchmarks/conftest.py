@@ -3,19 +3,41 @@
 Every bench regenerates one paper artifact (table/figure) or ablation.
 Besides the pytest-benchmark timing, each bench writes its data table to
 ``benchmarks/results/<name>.txt`` so the numbers survive output capture
-and feed EXPERIMENTS.md.
+and feed EXPERIMENTS.md; the performance benches additionally emit a
+machine-readable ``benchmarks/results/BENCH_<name>.json`` (wall-clock,
+speedup, cache hit-rate) for trend tracking.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
 
+from repro import cache as cache_mod
 from repro.disk import quantum_viking_2_1, single_zone_viking
 from repro.workload import paper_fragment_sizes
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_persistent_cache(tmp_path_factory):
+    """Keep the on-disk bound cache away from ``~/.cache`` during
+    benches (exported via the environment so pool workers and CLI
+    subprocesses inherit the sandboxed store)."""
+    directory = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get(cache_mod.CACHE_DIR_ENV)
+    os.environ[cache_mod.CACHE_DIR_ENV] = str(directory)
+    cache_mod.set_persistent_cache_dir(directory)
+    yield
+    if previous is None:
+        os.environ.pop(cache_mod.CACHE_DIR_ENV, None)
+    else:
+        os.environ[cache_mod.CACHE_DIR_ENV] = previous
+    cache_mod.reset_persistent_cache()
 
 
 @pytest.fixture(scope="session")
@@ -45,5 +67,20 @@ def record():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
         print(f"\n{text}\n[written to {path}]")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    """Write a machine-readable metrics payload to
+    ``benchmarks/results/BENCH_<name>.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, payload: dict) -> None:
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+        print(f"[metrics written to {path}]")
 
     return _record

@@ -13,24 +13,39 @@ values of N_max"); this module supplies the machinery:
 - :class:`BoundCache` / :func:`get_cache` -- a process-wide memo of
   ``ChernoffResult`` values keyed by ``(model fingerprint, n, t)``,
   with hit/miss statistics and a kill switch (CLI ``--no-cache``).
+- :class:`PersistentCache` -- an on-disk (sqlite) store layered under
+  the in-process memo, so ``AdmissionTable`` builds and
+  ``bisect_max_n`` probes warm-start across process restarts and pool
+  workers (the §5 operations story: an admission server answering
+  ``N_max`` queries at interactive latency from a warm cache).  Keyed
+  by the same content fingerprints, versioned, corruption-tolerant;
+  location from ``REPRO_CACHE_DIR`` (default ``~/.cache/repro``),
+  disabled with ``REPRO_PERSISTENT_CACHE=0``; inspected with the
+  ``repro cache {stats,clear,path}`` CLI.
 - :func:`bisect_max_n` -- the monotone threshold search used by the
   ``N_max`` solvers: exponential search plus bisection, O(log n_cap)
   predicate probes instead of a linear scan, with a documented
   full-scan fallback for non-monotone predicates.
 
-Everything here is deliberately dependency-free within the package so
-that ``repro.core`` modules can import it without cycles.
+Everything here avoids importing other ``repro`` modules (beyond
+:mod:`repro.errors`) so that ``repro.core`` can import it without
+cycles; persisted dataclass values are resolved lazily by module path.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import importlib
 import itertools
+import json
 import math
+import os
+import sqlite3
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -47,6 +62,13 @@ __all__ = [
     "cache_stats",
     "set_cache_enabled",
     "cache_disabled",
+    "PersistentCache",
+    "PersistentCacheStats",
+    "default_cache_dir",
+    "persistent_cache_enabled",
+    "get_persistent_cache",
+    "set_persistent_cache_dir",
+    "reset_persistent_cache",
     "bisect_max_n",
 ]
 
@@ -136,6 +158,322 @@ def canonical_threshold(value: float) -> float:
 
 
 # ----------------------------------------------------------------------
+# The persistent (on-disk) layer
+# ----------------------------------------------------------------------
+
+#: Bump when the row encoding changes; a mismatched store is dropped and
+#: rebuilt rather than misread.
+SCHEMA_VERSION = 1
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+PERSISTENT_CACHE_ENV = "REPRO_PERSISTENT_CACHE"
+
+_DB_FILENAME = "bounds.sqlite"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the on-disk cache directory.
+
+    ``REPRO_CACHE_DIR`` wins; otherwise ``$XDG_CACHE_HOME/repro`` or
+    ``~/.cache/repro``.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def persistent_cache_enabled() -> bool:
+    """False when ``REPRO_PERSISTENT_CACHE`` is 0/false/off/no."""
+    raw = os.environ.get(PERSISTENT_CACHE_ENV, "1").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+def _encode_value(value) -> str | None:
+    """JSON payload for a cacheable value, or ``None`` if the type is
+    not persistable (such values stay memory-only).
+
+    Supported: JSON scalars, and flat dataclasses (scalar fields only)
+    such as :class:`repro.core.chernoff.ChernoffResult` -- encoded with
+    their import path so this module never has to import them.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return json.dumps({"kind": "scalar", "value": value})
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {}
+        for f in dataclasses.fields(value):
+            member = getattr(value, f.name)
+            if not (member is None
+                    or isinstance(member, (bool, int, float, str))):
+                return None
+            fields[f.name] = member
+        cls = type(value)
+        if "." in cls.__qualname__:  # nested class: not importable by name
+            return None
+        return json.dumps({"kind": "dataclass", "module": cls.__module__,
+                           "name": cls.__qualname__, "fields": fields})
+    return None
+
+
+def _decode_value(payload: str):
+    """Inverse of :func:`_encode_value`; raises on any malformed or
+    suspicious payload (callers treat that as a corrupt entry)."""
+    data = json.loads(payload)
+    kind = data["kind"]
+    if kind == "scalar":
+        return data["value"]
+    if kind == "dataclass":
+        module = str(data["module"])
+        if not module.startswith("repro."):
+            raise ValueError(f"refusing to import {module!r}")
+        cls = getattr(importlib.import_module(module), str(data["name"]))
+        if not dataclasses.is_dataclass(cls):
+            raise ValueError(f"{module}.{data['name']} is not a dataclass")
+        return cls(**data["fields"])
+    raise ValueError(f"unknown payload kind {kind!r}")
+
+
+def _persistable_key(key) -> bool:
+    """True when ``key`` survives a round-trip to another process.
+
+    Keys containing an :func:`instance_fingerprint` token are rejected:
+    the serial number is unique to one object lifetime, so persisting it
+    could only ever produce dead entries (or, across restarts, false
+    hits on a different opaque model).
+    """
+    if isinstance(key, str):
+        return not key.startswith("instance:")
+    if key is None or isinstance(key, (bool, int, float)):
+        return True
+    if isinstance(key, tuple):
+        return all(_persistable_key(part) for part in key)
+    return False
+
+
+@dataclass
+class PersistentCacheStats:
+    """Counters of one process's traffic to a :class:`PersistentCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0
+
+    def snapshot(self) -> "PersistentCacheStats":
+        """Independent copy of the counters at this instant."""
+        return PersistentCacheStats(hits=self.hits, misses=self.misses,
+                                    writes=self.writes, errors=self.errors)
+
+
+class PersistentCache:
+    """Fingerprint-keyed on-disk store for bound-cache values.
+
+    A single sqlite file (WAL mode, so pool workers and concurrent CLI
+    invocations can read and write simultaneously).  All failure modes
+    degrade gracefully: a corrupt or version-mismatched store is dropped
+    and rebuilt; an unwritable location disables the layer for the
+    process (counted in ``stats.errors``) instead of raising into the
+    admission pipeline.  Connections are re-opened after ``fork`` --
+    sqlite handles must not cross process boundaries.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = (Path(directory).expanduser() if directory
+                          else default_cache_dir())
+        self.path = self.directory / _DB_FILENAME
+        self.stats = PersistentCacheStats()
+        self._lock = threading.Lock()
+        self._conn: sqlite3.Connection | None = None
+        self._pid: int | None = None
+        self._broken = False
+
+    # -- connection management -----------------------------------------
+    def _init_schema(self, conn: sqlite3.Connection) -> None:
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("CREATE TABLE IF NOT EXISTS meta ("
+                     "key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key='schema_version'").fetchone()
+        if row is None or row[0] != str(SCHEMA_VERSION):
+            conn.execute("DROP TABLE IF EXISTS bounds")
+            conn.execute("DELETE FROM meta")
+            conn.execute("INSERT INTO meta VALUES ('schema_version', ?)",
+                         (str(SCHEMA_VERSION),))
+        conn.execute("CREATE TABLE IF NOT EXISTS bounds ("
+                     "key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+        conn.commit()
+
+    def _open(self) -> sqlite3.Connection:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(str(self.path), timeout=5.0,
+                               check_same_thread=False)
+        try:
+            self._init_schema(conn)
+        except BaseException:
+            conn.close()
+            raise
+        return conn
+
+    def _connect(self) -> sqlite3.Connection | None:
+        """Live connection for this process, or ``None`` when the layer
+        is broken.  Caller holds ``self._lock``."""
+        if self._broken:
+            return None
+        if self._conn is not None and self._pid == os.getpid():
+            return self._conn
+        if self._conn is not None:  # inherited across fork: abandon it
+            self._conn = None
+        try:
+            conn = self._open()
+        except (sqlite3.Error, OSError):
+            # One recovery attempt: treat the file as corrupt, rebuild.
+            self.stats.errors += 1
+            try:
+                self.path.unlink(missing_ok=True)
+                conn = self._open()
+            except (sqlite3.Error, OSError):
+                self.stats.errors += 1
+                self._broken = True
+                return None
+        self._conn, self._pid = conn, os.getpid()
+        return conn
+
+    # -- store operations ----------------------------------------------
+    def get(self, key_str: str):
+        """Decoded value for ``key_str``, or ``None`` on miss (corrupt
+        entries are evicted and count as misses)."""
+        with self._lock:
+            conn = self._connect()
+            if conn is None:
+                return None
+            try:
+                row = conn.execute(
+                    "SELECT value FROM bounds WHERE key=?",
+                    (key_str,)).fetchone()
+            except sqlite3.Error:
+                self.stats.errors += 1
+                return None
+            if row is None:
+                self.stats.misses += 1
+                return None
+            try:
+                value = _decode_value(row[0])
+            except Exception:
+                self.stats.errors += 1
+                try:
+                    conn.execute("DELETE FROM bounds WHERE key=?",
+                                 (key_str,))
+                    conn.commit()
+                except sqlite3.Error:
+                    pass
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return value
+
+    def put(self, key_str: str, value) -> bool:
+        """Persist ``value`` under ``key_str``; False when the value is
+        not persistable or the store is unavailable."""
+        payload = _encode_value(value)
+        if payload is None:
+            return False
+        with self._lock:
+            conn = self._connect()
+            if conn is None:
+                return False
+            try:
+                conn.execute(
+                    "INSERT OR REPLACE INTO bounds VALUES (?, ?)",
+                    (key_str, payload))
+                conn.commit()
+            except sqlite3.Error:
+                self.stats.errors += 1
+                return False
+            self.stats.writes += 1
+            return True
+
+    def entry_count(self) -> int:
+        """Number of persisted entries (0 when unavailable)."""
+        with self._lock:
+            conn = self._connect()
+            if conn is None:
+                return 0
+            try:
+                return int(conn.execute(
+                    "SELECT COUNT(*) FROM bounds").fetchone()[0])
+            except sqlite3.Error:
+                self.stats.errors += 1
+                return 0
+
+    def clear(self) -> int:
+        """Drop every persisted entry; returns how many were dropped."""
+        with self._lock:
+            conn = self._connect()
+            if conn is None:
+                return 0
+            try:
+                dropped = int(conn.execute(
+                    "SELECT COUNT(*) FROM bounds").fetchone()[0])
+                conn.execute("DELETE FROM bounds")
+                conn.commit()
+            except sqlite3.Error:
+                self.stats.errors += 1
+                return 0
+            return dropped
+
+    def close(self) -> None:
+        """Close this process's connection (the file stays)."""
+        with self._lock:
+            if self._conn is not None and self._pid == os.getpid():
+                try:
+                    self._conn.close()
+                except sqlite3.Error:  # pragma: no cover
+                    pass
+            self._conn = None
+            self._pid = None
+
+
+_PERSISTENT: PersistentCache | None = None
+_PERSISTENT_LOCK = threading.Lock()
+
+
+def get_persistent_cache() -> PersistentCache | None:
+    """The process-wide persistent layer, or ``None`` when disabled via
+    ``REPRO_PERSISTENT_CACHE=0``.  Created lazily on first use so the
+    environment and :func:`set_persistent_cache_dir` are honoured."""
+    global _PERSISTENT
+    if not persistent_cache_enabled():
+        return None
+    with _PERSISTENT_LOCK:
+        if _PERSISTENT is None:
+            _PERSISTENT = PersistentCache()
+        return _PERSISTENT
+
+
+def set_persistent_cache_dir(directory: str | Path) -> PersistentCache:
+    """Point the persistent layer at ``directory`` (CLI ``--cache-dir``,
+    test isolation).  Replaces any previously opened store."""
+    global _PERSISTENT
+    with _PERSISTENT_LOCK:
+        if _PERSISTENT is not None:
+            _PERSISTENT.close()
+        _PERSISTENT = PersistentCache(directory)
+        return _PERSISTENT
+
+
+def reset_persistent_cache() -> None:
+    """Forget the current store; the next use re-resolves from the
+    environment."""
+    global _PERSISTENT
+    with _PERSISTENT_LOCK:
+        if _PERSISTENT is not None:
+            _PERSISTENT.close()
+        _PERSISTENT = None
+
+
+# ----------------------------------------------------------------------
 # The bound cache
 # ----------------------------------------------------------------------
 
@@ -145,12 +483,15 @@ class CacheStats:
 
     ``evaluations`` is the number of times the underlying computation
     actually ran (cache misses plus disabled-cache calls) -- the
-    quantity the A20 bench compares cached vs uncached.
+    quantity the A20 bench compares cached vs uncached.  ``disk_hits``
+    counts values served from the persistent layer: no new computation,
+    but a (cheap) sqlite read rather than a dict lookup.
     """
 
     hits: int = 0
     misses: int = 0
     uncached: int = 0
+    disk_hits: int = 0
 
     @property
     def evaluations(self) -> int:
@@ -159,7 +500,8 @@ class CacheStats:
     def snapshot(self) -> "CacheStats":
         """Independent copy of the counters at this instant."""
         return CacheStats(hits=self.hits, misses=self.misses,
-                          uncached=self.uncached)
+                          uncached=self.uncached,
+                          disk_hits=self.disk_hits)
 
 
 @dataclass
@@ -170,10 +512,19 @@ class BoundCache:
     that distinct configurations never collide.  The cache is bounded:
     once ``max_entries`` is reached the oldest insertions are evicted
     (FIFO -- admission scans have strong locality, LRU buys nothing).
+
+    With ``use_persistent`` the on-disk :class:`PersistentCache` is
+    layered underneath: a memory miss consults the store before
+    computing, and computed values are written through.  Only
+    content-fingerprinted keys participate (see
+    :func:`_persistable_key`); values the codec cannot encode stay
+    memory-only.  ``enabled=False`` (CLI ``--no-cache``) bypasses both
+    layers, reads and writes alike.
     """
 
     enabled: bool = True
     max_entries: int = 200_000
+    use_persistent: bool = False
     stats: CacheStats = field(default_factory=CacheStats)
     _store: dict = field(default_factory=dict, repr=False)
 
@@ -189,15 +540,32 @@ class BoundCache:
         else:
             self.stats.hits += 1
             return value
+        persistent = (get_persistent_cache()
+                      if self.use_persistent and _persistable_key(key)
+                      else None)
+        if persistent is not None:
+            key_str = _canonical(key)
+            value = persistent.get(key_str)
+            if value is not None:
+                self.stats.disk_hits += 1
+                self._insert(key, value)
+                return value
         self.stats.misses += 1
         value = compute()
+        self._insert(key, value)
+        if persistent is not None:
+            persistent.put(key_str, value)
+        return value
+
+    def _insert(self, key, value) -> None:
         if len(self._store) >= self.max_entries:
             self._store.pop(next(iter(self._store)))
         self._store[key] = value
-        return value
 
     def clear(self) -> None:
-        """Drop every entry (statistics are reset too)."""
+        """Drop every in-memory entry (statistics are reset too); the
+        persistent layer is untouched -- that is what makes a process
+        restart warm."""
         self._store.clear()
         self.stats = CacheStats()
 
@@ -205,7 +573,7 @@ class BoundCache:
         return len(self._store)
 
 
-_GLOBAL_CACHE = BoundCache()
+_GLOBAL_CACHE = BoundCache(use_persistent=True)
 
 
 def get_cache() -> BoundCache:

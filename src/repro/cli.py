@@ -20,7 +20,13 @@ import sys
 from collections.abc import Sequence
 
 from repro.analysis import format_probability, render_table
-from repro.cache import set_cache_enabled
+from repro.cache import (
+    default_cache_dir,
+    get_persistent_cache,
+    persistent_cache_enabled,
+    set_cache_enabled,
+    set_persistent_cache_dir,
+)
 from repro.core import (
     GlitchModel,
     MultiZoneTransferModel,
@@ -53,6 +59,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the process-wide Chernoff bound "
                         "cache (every b_late query re-optimises)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="directory of the persistent bound cache "
+                        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
 
 
 def _spec(args: argparse.Namespace):
@@ -231,6 +240,39 @@ def _cmd_approx(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.dir is not None:
+        store = set_persistent_cache_dir(args.dir)
+    else:
+        store = get_persistent_cache()
+    if args.action == "path":
+        print(store.path if store is not None else default_cache_dir()
+              / "bounds.sqlite")
+        return 0
+    if store is None:
+        print("persistent cache disabled (REPRO_PERSISTENT_CACHE=0)",
+              file=sys.stderr)
+        return 1 if args.action == "clear" else 0
+    if args.action == "clear":
+        dropped = store.clear()
+        print(f"cleared {dropped} cached bound(s) from {store.path}")
+        return 0
+    stats = store.stats.snapshot()
+    print(render_table(
+        ["quantity", "value"],
+        [
+            ["location", str(store.path)],
+            ["enabled", str(persistent_cache_enabled())],
+            ["entries", str(store.entry_count())],
+            ["session hits", str(stats.hits)],
+            ["session misses", str(stats.misses)],
+            ["session writes", str(stats.writes)],
+            ["session errors", str(stats.errors)],
+        ],
+        title="persistent Chernoff-bound cache"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -315,6 +357,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="reproduction_report.md")
     p.set_defaults(func=_cmd_report)
 
+    p = sub.add_parser("cache",
+                       help="inspect or clear the persistent bound "
+                       "cache")
+    p.add_argument("action", choices=("stats", "clear", "path"),
+                   help="stats: counters and location; clear: drop all "
+                   "persisted bounds; path: print the sqlite file path")
+    p.add_argument("--dir", default=None, metavar="DIR",
+                   help="operate on this cache directory instead of "
+                   "the default")
+    p.set_defaults(func=_cmd_cache)
+
     return parser
 
 
@@ -322,6 +375,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        set_persistent_cache_dir(cache_dir)
     disabled = bool(getattr(args, "no_cache", False))
     if disabled:
         set_cache_enabled(False)

@@ -70,7 +70,12 @@ from repro.core.sharing import (
     effective_stream_capacity,
 )
 from repro.core.faults import recalibration_disturbance, with_recalibration
-from repro.core.farm import FarmPlan, plan_farm, degraded_mode_n_max
+from repro.core.farm import (
+    FarmPlan,
+    degraded_mode_n_max,
+    degraded_modes,
+    plan_farm,
+)
 from repro.core.gss import gss_group_p_late, gss_tradeoff, n_max_gss
 from repro.core.tuning import tune_round_length
 from repro.core.buffering import n_max_hiccup, optimal_prefill
@@ -117,6 +122,7 @@ __all__ = [
     "FarmPlan",
     "plan_farm",
     "degraded_mode_n_max",
+    "degraded_modes",
     "gss_group_p_late",
     "gss_tradeoff",
     "n_max_gss",

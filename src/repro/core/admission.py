@@ -12,7 +12,10 @@ can only push the round later), so the solvers run an exponential-search
 plus bisection (:func:`repro.cache.bisect_max_n`) -- O(log n_cap)
 predicate probes -- and every probed ``b_late`` lands in the process-wide
 bound cache, so §5 table builds over a grid of tolerance thresholds pay
-for each Chernoff optimisation once.
+for each Chernoff optimisation once.  The in-process cache is backed by
+a persistent on-disk store (:class:`repro.cache.PersistentCache`), so a
+repeated table build -- in a pool worker, a later CLI invocation, or an
+entirely new process -- answers from disk with zero new Chernoff solves.
 
 The monotonicity argument holds for the *exact* bounds; discretisation
 effects (e.g. the integer glitch budget discussed in

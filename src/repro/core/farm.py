@@ -18,12 +18,20 @@ deployments stripe within homogeneous groups.
 round batch and the failed disk's (classic RAID-1 read degradation:
 double load on the survivor).  A server that must keep its guarantee
 *through* a single failure admits against the doubled-batch bound.
+
+Both scans accept ``jobs``: the per-disk ``N_max`` solves are
+independent Chernoff-optimisation pipelines, so a heterogeneous plan
+fans them out over the :mod:`repro.parallel` worker pool.  Every
+worker's solves land in the persistent bound cache (:mod:`repro.cache`),
+so a replanned farm -- or the same plan after a process restart --
+re-answers from disk instead of re-optimising.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cache import bisect_max_n
 from repro.core.admission import n_max_perror, n_max_plate
 from repro.core.glitch import GlitchModel
 from repro.core.service_time import RoundServiceTimeModel
@@ -31,7 +39,8 @@ from repro.disk.presets import DiskSpec
 from repro.distributions import Distribution
 from repro.errors import ConfigurationError
 
-__all__ = ["FarmPlan", "plan_farm", "degraded_mode_n_max"]
+__all__ = ["FarmPlan", "plan_farm", "degraded_mode_n_max",
+           "degraded_modes"]
 
 
 @dataclass(frozen=True)
@@ -49,25 +58,55 @@ class FarmPlan:
         return sum(self.per_disk_n_max) - self.n_max_total
 
 
+def _fan_out_specs(worker, tasks, jobs):
+    """Run per-disk solver tasks serially or on the shared pool.
+
+    Imported lazily: :mod:`repro.parallel` pulls in the simulation
+    stack, which this analytic module must not require at import time.
+    """
+    if jobs is None or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    from repro.parallel import fan_out, resolve_jobs
+    return fan_out(worker, tasks, resolve_jobs(jobs))
+
+
+def _per_disk_perror_limit(task) -> int:
+    """Worker: the eq. (3.3.6) limit of one disk (module-level so it
+    pickles into pool workers)."""
+    spec, size_dist, t, m, g, epsilon, multizone = task
+    model = RoundServiceTimeModel.for_disk(spec, size_dist,
+                                           multizone=multizone)
+    glitch = GlitchModel(model, t)
+    return n_max_perror(glitch, m, g, epsilon)
+
+
+def _per_disk_degraded_limits(task) -> tuple[int, int]:
+    """Worker: ``(healthy, failure_proof)`` limits of one disk."""
+    spec, size_dist, t, delta, multizone = task
+    return degraded_mode_n_max(spec, size_dist, t, delta,
+                               multizone=multizone)
+
+
 def plan_farm(specs: list[DiskSpec], size_dist: Distribution, t: float,
               m: int, g: int, epsilon: float,
-              multizone: bool = True) -> FarmPlan:
+              multizone: bool = True,
+              jobs: int | None = None) -> FarmPlan:
     """Admission plan for a striped farm of the given disks.
 
     Every disk gets its own §3 model; the farm admits
     ``D * min_i n_max_i`` because striping loads all disks equally.
+    ``jobs`` fans the per-disk solves out over worker processes
+    (``None`` keeps the serial scan); the result is identical either
+    way -- each limit depends only on its own disk.
     """
     if not specs:
         raise ConfigurationError("need at least one disk")
     if not (0.0 < epsilon < 1.0):
         raise ConfigurationError(
             f"epsilon must be in (0, 1), got {epsilon!r}")
-    limits = []
-    for spec in specs:
-        model = RoundServiceTimeModel.for_disk(spec, size_dist,
-                                               multizone=multizone)
-        glitch = GlitchModel(model, t)
-        limits.append(n_max_perror(glitch, m, g, epsilon))
+    tasks = [(spec, size_dist, t, m, g, epsilon, multizone)
+             for spec in specs]
+    limits = _fan_out_specs(_per_disk_perror_limit, tasks, jobs)
     binding = min(range(len(limits)), key=lambda i: limits[i])
     return FarmPlan(per_disk_n_max=tuple(limits), binding_disk=binding,
                     n_max_total=len(specs) * limits[binding])
@@ -75,7 +114,8 @@ def plan_farm(specs: list[DiskSpec], size_dist: Distribution, t: float,
 
 def degraded_mode_n_max(spec: DiskSpec, size_dist: Distribution,
                         t: float, delta: float,
-                        multizone: bool = True) -> tuple[int, int]:
+                        multizone: bool = True, *,
+                        exact: bool = False) -> tuple[int, int]:
     """Per-disk stream limits ``(healthy, failure_proof)``.
 
     ``healthy`` is the usual eq. (3.1.7) limit.  ``failure_proof`` is
@@ -83,17 +123,35 @@ def degraded_mode_n_max(spec: DiskSpec, size_dist: Distribution,
     mirrored pair absorbing its partner's requests) still meets the
     round deadline with probability ``1 - delta`` -- the admission level
     at which a single disk failure stays invisible to every stream.
+
+    The doubled-batch predicate inherits ``b_late``'s monotonicity in
+    ``n``, so the scan is the same O(log) bisection the healthy solver
+    uses (``exact=True`` falls back to the exhaustive scan, correct for
+    any predicate; the test suite pins bisection == brute force).
     """
     if not (0.0 < delta < 1.0):
         raise ConfigurationError(
             f"delta must be in (0, 1), got {delta!r}")
     model = RoundServiceTimeModel.for_disk(spec, size_dist,
                                            multizone=multizone)
-    healthy = n_max_plate(model, t, delta)
-    failure_proof = 0
-    for n in range(1, healthy + 1):
-        if model.b_late(2 * n, t) <= delta:
-            failure_proof = n
-        else:
-            break
+    healthy = n_max_plate(model, t, delta, exact=exact)
+    if healthy < 1:
+        return healthy, 0
+    failure_proof = bisect_max_n(
+        lambda n: model.b_late(2 * n, t) <= delta, healthy,
+        full_scan=exact)
     return healthy, failure_proof
+
+
+def degraded_modes(specs: list[DiskSpec], size_dist: Distribution,
+                   t: float, delta: float, multizone: bool = True,
+                   jobs: int | None = None) -> list[tuple[int, int]]:
+    """:func:`degraded_mode_n_max` for every disk of a farm, optionally
+    fanned out over the worker pool (one task per disk)."""
+    if not specs:
+        raise ConfigurationError("need at least one disk")
+    if not (0.0 < delta < 1.0):
+        raise ConfigurationError(
+            f"delta must be in (0, 1), got {delta!r}")
+    tasks = [(spec, size_dist, t, delta, multizone) for spec in specs]
+    return _fan_out_specs(_per_disk_degraded_limits, tasks, jobs)

@@ -16,6 +16,7 @@ __all__ = [
     "ChernoffError",
     "AdmissionError",
     "SimulationError",
+    "ParallelExecutionError",
     "GeometryError",
 ]
 
@@ -67,6 +68,16 @@ class AdmissionError(ReproError):
 class SimulationError(ReproError):
     """The discrete-event or Monte-Carlo simulator detected an
     inconsistent internal state (e.g. an event scheduled in the past)."""
+
+
+class ParallelExecutionError(ReproError):
+    """A worker of the process-parallel fan-out failed.
+
+    Raised by :mod:`repro.parallel` in place of the raw pool traceback:
+    the pool is shut down, outstanding tasks are cancelled and every
+    shared-memory block is released before this surfaces.  The original
+    worker exception is attached as ``__cause__``.
+    """
 
 
 class GeometryError(ConfigurationError):

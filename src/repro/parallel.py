@@ -7,14 +7,38 @@ the right granularity -- independent blocks of rounds, independent
 stream lifetimes -- so this module fans them out over a
 :class:`~concurrent.futures.ProcessPoolExecutor`.
 
+Two parallelism axes are exposed:
+
+- **within one estimate** -- :func:`simulate_rounds_parallel` splits one
+  long run into fixed chunks, :func:`simulate_stream_glitches_parallel`
+  one task per stream lifetime;
+- **across an estimate sweep** -- :func:`sweep_p_late_parallel` /
+  :func:`sweep_p_error_parallel` flatten the per-``N`` points of a
+  Figure-1 / Table-2 grid into one global task list, so a full sweep
+  saturates all cores even when a single point has too few chunks to.
+
+Transport
+---------
+Workers write their result arrays directly into
+:mod:`multiprocessing.shared_memory` blocks sized up front from the
+fixed decomposition and return only scalars, so nothing heavier than a
+chunk index crosses the process boundary (``transport="shm"``, the
+default).  ``transport="pickle"`` keeps the historical path in which
+each worker pickles its :class:`RoundBatch` back through the pool --
+retained for the A20 before/after measurement and as a fallback.  Both
+transports produce bit-identical arrays; the blocks are unlinked on
+every exit path, including worker exceptions (see
+``docs/PERFORMANCE.md``).
+
 Determinism contract
 --------------------
 Results are **bit-identical for the same seed regardless of the worker
-count**.  The work decomposition is fixed up front (``rounds`` split
-into ``chunk_rounds``-sized blocks; one task per stream-glitch run) and
-each task draws from its own :class:`numpy.random.SeedSequence` child
-stream (``SeedSequence(seed).spawn(...)``), so the random numbers a
-task consumes depend only on ``(seed, task index)`` -- never on which
+count and transport**.  The work decomposition is fixed up front
+(``rounds`` split into ``chunk_rounds``-sized blocks; one task per
+stream-glitch run) and each task draws from its own
+:class:`numpy.random.SeedSequence` child stream
+(``SeedSequence(seed).spawn(...)``), so the random numbers a task
+consumes depend only on ``(seed, task index)`` -- never on which
 process ran it or in what order tasks finished.  ``jobs=1`` executes
 the identical decomposition in-process, which is what the equivalence
 tests assert against.
@@ -32,14 +56,17 @@ from __future__ import annotations
 
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
+import secrets
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
 from repro.analysis.stats import wilson_interval
 from repro.disk.presets import DiskSpec
 from repro.distributions import Distribution
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ParallelExecutionError, ReproError
 from repro.server.simulation import (
     PErrorEstimate,
     PLateEstimate,
@@ -49,21 +76,51 @@ from repro.server.simulation import (
 
 __all__ = [
     "resolve_jobs",
+    "fan_out",
     "simulate_rounds_parallel",
     "estimate_p_late_parallel",
     "simulate_stream_glitches_parallel",
     "estimate_p_error_parallel",
+    "sweep_p_late_parallel",
+    "sweep_p_error_parallel",
 ]
 
 #: Rounds per fan-out task.  Small enough that typical workloads
 #: (20k-100k rounds) split into tens of tasks and load-balance well,
-#: large enough that per-task pickling/IPC overhead stays negligible.
+#: large enough that per-task IPC overhead stays negligible.
 DEFAULT_CHUNK_ROUNDS = 2048
+
+#: Environment override for the all-cores default of :func:`resolve_jobs`
+#: (used by the CI ``jobs=2`` matrix leg to exercise the pool on shared
+#: runners without oversubscribing them).
+JOBS_ENV = "REPRO_JOBS"
+
+_TRANSPORTS = ("shm", "pickle")
+
+#: Prefix of every shared-memory block this module creates; tests sweep
+#: ``/dev/shm`` for it to prove nothing leaks.
+SHM_PREFIX = "repro_mc"
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """Normalise a ``--jobs`` value: ``None``/``0`` means all cores."""
+    """Normalise a ``--jobs`` value: ``None``/``0`` means all cores.
+
+    The all-cores default can be overridden with the ``REPRO_JOBS``
+    environment variable (an explicit ``jobs`` argument always wins).
+    """
     if jobs is None or jobs == 0:
+        env = os.environ.get(JOBS_ENV)
+        if env is not None and env.strip():
+            try:
+                value = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{JOBS_ENV} must be an integer >= 1, got {env!r}"
+                ) from None
+            if value < 1:
+                raise ConfigurationError(
+                    f"{JOBS_ENV} must be >= 1, got {env!r}")
+            return value
         return os.cpu_count() or 1
     if not isinstance(jobs, int) or jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs!r}")
@@ -82,12 +139,151 @@ def _chunk_sizes(total: int, chunk: int) -> list[int]:
     return [chunk] * full + ([rem] if rem else [])
 
 
-def _run_round_chunk(task) -> RoundBatch:
-    """Worker entry point: simulate one independent block of rounds.
+def _resolve_transport(transport: str) -> str:
+    if transport not in _TRANSPORTS:
+        raise ConfigurationError(
+            f"transport must be one of {_TRANSPORTS}, got {transport!r}")
+    return transport
 
-    Module-level (picklable) on purpose; receives a single tuple so
-    ``ProcessPoolExecutor.map`` can stream tasks.
+
+# ----------------------------------------------------------------------
+# Fail-fast fan-out
+# ----------------------------------------------------------------------
+
+def fan_out(worker, tasks, jobs: int) -> list:
+    """Run ``worker`` over ``tasks``, in-process or on a pool.
+
+    Results come back in task order either way, so callers can
+    concatenate without bookkeeping.  A worker failure fails fast: the
+    first exception cancels every outstanding task, the pool is shut
+    down, and a :class:`ParallelExecutionError` naming the failed task
+    surfaces (library :class:`ReproError` subclasses -- validation
+    errors raised inside a worker -- propagate unchanged).
     """
+    tasks = list(tasks)
+    if jobs == 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        indexed = {pool.submit(worker, task): i
+                   for i, task in enumerate(tasks)}
+        results: list = [None] * len(tasks)
+        for future in as_completed(indexed):
+            index = indexed[future]
+            try:
+                results[index] = future.result()
+            except ReproError:
+                for other in indexed:
+                    other.cancel()
+                raise
+            except Exception as exc:
+                for other in indexed:
+                    other.cancel()
+                raise ParallelExecutionError(
+                    f"parallel worker failed on task {index + 1} of "
+                    f"{len(tasks)}: {type(exc).__name__}: {exc}") from exc
+        return results
+
+
+# ----------------------------------------------------------------------
+# Shared-memory plumbing
+# ----------------------------------------------------------------------
+
+def _create_block(nbytes: int) -> shared_memory.SharedMemory:
+    """Create a named block; the name carries :data:`SHM_PREFIX` so leak
+    checks can find strays."""
+    name = f"{SHM_PREFIX}_{os.getpid()}_{secrets.token_hex(4)}"
+    return shared_memory.SharedMemory(name=name, create=True,
+                                      size=max(1, int(nbytes)))
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without adopting ownership.
+
+    Python < 3.13 registers *attaching* processes with the resource
+    tracker too; with several workers attaching the same block the
+    set-based tracker cache then underflows on unregister (KeyError
+    noise) or, worse, tears blocks down while the creating parent still
+    needs them.  ``track=False`` opts out where available; otherwise the
+    registration call is suppressed for the duration of the attach (the
+    parent owns every block and unregisters via ``unlink``).  Workers
+    are single-threaded, so the brief patch cannot race.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _close_quietly(shm: shared_memory.SharedMemory) -> None:
+    """Close a block, tolerating live exported views on error paths
+    (the mapping dies with the process; the owner still unlinks)."""
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - only on exception paths
+        pass
+
+
+def _destroy_block(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink; tolerates double-unlink on error paths."""
+    _close_quietly(shm)
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+@dataclass(frozen=True)
+class _BatchLayout:
+    """Names and shape of the shared output arrays of one round fan-out.
+
+    The four blocks hold the :class:`RoundBatch` fields for the *whole*
+    run; worker ``i`` writes rows ``[offset_i, offset_i + block_i)``.
+    Sized up front from the fixed chunk decomposition, so no worker ever
+    resizes or reallocates.
+    """
+
+    rounds: int
+    n: int
+    service: str
+    seeks: str
+    first: str
+    glitches: str
+
+    def views(self, blocks) -> tuple[np.ndarray, ...]:
+        """Array views over attached blocks (same order as fields)."""
+        service = np.ndarray((self.rounds,), dtype=np.float64,
+                             buffer=blocks[0].buf)
+        seeks = np.ndarray((self.rounds,), dtype=np.float64,
+                           buffer=blocks[1].buf)
+        first = np.ndarray((self.rounds,), dtype=np.float64,
+                           buffer=blocks[2].buf)
+        glitches = np.ndarray((self.rounds, self.n), dtype=np.bool_,
+                              buffer=blocks[3].buf)
+        return service, seeks, first, glitches
+
+
+def _create_batch_blocks(rounds: int, n: int):
+    """Allocate the four output blocks; returns (layout, blocks)."""
+    blocks = (_create_block(rounds * 8), _create_block(rounds * 8),
+              _create_block(rounds * 8), _create_block(rounds * n))
+    layout = _BatchLayout(rounds=rounds, n=n, service=blocks[0].name,
+                          seeks=blocks[1].name, first=blocks[2].name,
+                          glitches=blocks[3].name)
+    return layout, blocks
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (module-level so they pickle)
+# ----------------------------------------------------------------------
+
+def _run_round_chunk(task) -> RoundBatch:
+    """Pickle-transport worker: simulate one block, return the batch."""
     (spec, size_dist, n, t, rounds, seed_seq, initial_arm, placement,
      recal_prob, recal_duration) = task
     rng = np.random.default_rng(seed_seq)
@@ -97,36 +293,72 @@ def _run_round_chunk(task) -> RoundBatch:
                            recal_duration=recal_duration)
 
 
+def _run_round_chunk_shm(task) -> int:
+    """Shared-memory worker: simulate one block, write it in place.
+
+    Returns only the chunk offset -- the arrays never cross the process
+    boundary.
+    """
+    (layout, offset, spec, size_dist, n, t, rounds, seed_seq,
+     initial_arm, placement, recal_prob, recal_duration) = task
+    rng = np.random.default_rng(seed_seq)
+    batch = simulate_rounds(spec, size_dist, n, t, rounds, rng,
+                            initial_arm=initial_arm, placement=placement,
+                            recal_prob=recal_prob,
+                            recal_duration=recal_duration)
+    blocks = tuple(_attach_block(name) for name in
+                   (layout.service, layout.seeks, layout.first,
+                    layout.glitches))
+    try:
+        arrays = layout.views(blocks)
+        stop = offset + rounds
+        arrays[0][offset:stop] = batch.service_times
+        arrays[1][offset:stop] = batch.seek_times
+        arrays[2][offset:stop] = batch.first_seek_times
+        arrays[3][offset:stop] = batch.glitches
+        del arrays  # views must die before close
+    finally:
+        for shm in blocks:
+            _close_quietly(shm)
+    return offset
+
+
 def _run_glitch_run(task) -> np.ndarray:
-    """Worker entry point: one stream lifetime of ``m`` rounds; returns
-    per-stream glitch counts, shape ``(n,)``."""
+    """Pickle-transport worker: one stream lifetime of ``m`` rounds;
+    returns per-stream glitch counts, shape ``(n,)``."""
     spec, size_dist, n, t, m, seed_seq = task
     rng = np.random.default_rng(seed_seq)
     batch = simulate_rounds(spec, size_dist, n, t, m, rng)
     return np.sum(batch.glitches, axis=0)
 
 
-def _fan_out(worker, tasks, jobs: int) -> list:
-    """Run ``worker`` over ``tasks``, in-process or on a pool.
+def _run_glitch_run_shm(task) -> int:
+    """Shared-memory worker: write one run's glitch-count row in place."""
+    block_name, runs, run_idx, spec, size_dist, n, t, m, seed_seq = task
+    row = _run_glitch_run((spec, size_dist, n, t, m, seed_seq))
+    shm = _attach_block(block_name)
+    try:
+        counts = np.ndarray((runs, n), dtype=np.int64, buffer=shm.buf)
+        counts[run_idx] = row
+        del counts  # view must die before close
+    finally:
+        _close_quietly(shm)
+    return run_idx
 
-    Results come back in task order either way, so callers can
-    concatenate without bookkeeping.
-    """
-    if jobs == 1 or len(tasks) <= 1:
-        return [worker(task) for task in tasks]
-    workers = min(jobs, len(tasks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(worker, tasks))
+
+def _run_sweep_late_chunk(task) -> tuple[int, int]:
+    """Sweep worker: one chunk of one grid point; returns scalars only
+    (point index, late-round count)."""
+    point, spec, size_dist, n, t, rounds, seed_seq = task
+    rng = np.random.default_rng(seed_seq)
+    batch = simulate_rounds(spec, size_dist, n, t, rounds, rng)
+    return point, int(np.sum(batch.service_times > t))
 
 
-def _concat_batches(batches: list[RoundBatch]) -> RoundBatch:
-    return RoundBatch(
-        service_times=np.concatenate(
-            [b.service_times for b in batches]),
-        glitches=np.concatenate([b.glitches for b in batches], axis=0),
-        seek_times=np.concatenate([b.seek_times for b in batches]),
-        first_seek_times=np.concatenate(
-            [b.first_seek_times for b in batches]))
+def _run_sweep_glitch_run(task) -> tuple[int, np.ndarray]:
+    """Sweep worker: one stream lifetime of one grid point."""
+    point, spec, size_dist, n, t, m, seed_seq = task
+    return point, _run_glitch_run((spec, size_dist, n, t, m, seed_seq))
 
 
 # ----------------------------------------------------------------------
@@ -139,33 +371,71 @@ def simulate_rounds_parallel(spec: DiskSpec, size_dist: Distribution,
                              chunk_rounds: int = DEFAULT_CHUNK_ROUNDS,
                              initial_arm: int = 0, placement=None,
                              recal_prob: float = 0.0,
-                             recal_duration: float = 0.0) -> RoundBatch:
+                             recal_duration: float = 0.0,
+                             transport: str = "shm") -> RoundBatch:
     """Chunk-parallel :func:`repro.server.simulation.simulate_rounds`.
 
     ``rounds`` is split into ``chunk_rounds`` blocks; block ``i`` draws
     from ``SeedSequence(seed).spawn(...)[i]`` and starts its sweep at
-    ``initial_arm``.  Bit-identical output for any ``jobs`` value.
+    ``initial_arm``.  Bit-identical output for any ``jobs`` value and
+    either ``transport`` (``"shm"`` writes results into pre-sized
+    shared-memory blocks and returns scalars; ``"pickle"`` ships each
+    chunk's :class:`RoundBatch` back through the pool).
     """
     jobs = resolve_jobs(jobs)
+    transport = _resolve_transport(transport)
     sizes = _chunk_sizes(rounds, chunk_rounds)
     if not sizes:
         raise ConfigurationError(f"rounds must be >= 1, got {rounds!r}")
     children = np.random.SeedSequence(seed).spawn(len(sizes))
-    tasks = [(spec, size_dist, n, t, block, child, initial_arm,
-              placement, recal_prob, recal_duration)
-             for block, child in zip(sizes, children)]
-    return _concat_batches(_fan_out(_run_round_chunk, tasks, jobs))
+
+    if transport == "pickle" or jobs == 1 or len(sizes) <= 1:
+        tasks = [(spec, size_dist, n, t, block, child, initial_arm,
+                  placement, recal_prob, recal_duration)
+                 for block, child in zip(sizes, children)]
+        return _concat_batches(fan_out(_run_round_chunk, tasks, jobs))
+
+    layout, blocks = _create_batch_blocks(rounds, n)
+    try:
+        offsets = [0]
+        for block in sizes[:-1]:
+            offsets.append(offsets[-1] + block)
+        tasks = [(layout, offset, spec, size_dist, n, t, block, child,
+                  initial_arm, placement, recal_prob, recal_duration)
+                 for offset, block, child in zip(offsets, sizes, children)]
+        fan_out(_run_round_chunk_shm, tasks, jobs)
+        service, seeks, first, glitches = layout.views(blocks)
+        batch = RoundBatch(service_times=service.copy(),
+                           glitches=glitches.copy(),
+                           seek_times=seeks.copy(),
+                           first_seek_times=first.copy())
+        del service, seeks, first, glitches
+        return batch
+    finally:
+        for shm in blocks:
+            _destroy_block(shm)
+
+
+def _concat_batches(batches: list[RoundBatch]) -> RoundBatch:
+    return RoundBatch(
+        service_times=np.concatenate(
+            [b.service_times for b in batches]),
+        glitches=np.concatenate([b.glitches for b in batches], axis=0),
+        seek_times=np.concatenate([b.seek_times for b in batches]),
+        first_seek_times=np.concatenate(
+            [b.first_seek_times for b in batches]))
 
 
 def estimate_p_late_parallel(spec: DiskSpec, size_dist: Distribution,
                              n: int, t: float, rounds: int = 20_000,
                              seed: int = 0, jobs: int | None = None,
-                             chunk_rounds: int = DEFAULT_CHUNK_ROUNDS
-                             ) -> PLateEstimate:
+                             chunk_rounds: int = DEFAULT_CHUNK_ROUNDS,
+                             transport: str = "shm") -> PLateEstimate:
     """Monte-Carlo ``p_late`` estimate over the chunk-parallel path."""
     batch = simulate_rounds_parallel(spec, size_dist, n, t, rounds,
                                      seed=seed, jobs=jobs,
-                                     chunk_rounds=chunk_rounds)
+                                     chunk_rounds=chunk_rounds,
+                                     transport=transport)
     late = int(np.sum(batch.service_times > t))
     low, high = wilson_interval(late, rounds)
     return PLateEstimate(n=n, t=t, rounds=rounds, late_rounds=late,
@@ -176,35 +446,53 @@ def simulate_stream_glitches_parallel(spec: DiskSpec,
                                       size_dist: Distribution, n: int,
                                       t: float, m: int, runs: int,
                                       seed: int = 0,
-                                      jobs: int | None = None
+                                      jobs: int | None = None,
+                                      transport: str = "shm"
                                       ) -> np.ndarray:
     """Parallel per-stream glitch counts, shape ``(runs, n)``.
 
     Uses the same per-run ``SeedSequence.spawn`` scheme as the serial
     :func:`repro.server.simulation.simulate_stream_glitches`, so the
     result is bit-identical to the serial function *and* invariant to
-    ``jobs``.
+    ``jobs`` and ``transport``.
     """
     if runs < 1:
         raise ConfigurationError(f"runs must be >= 1, got {runs!r}")
     jobs = resolve_jobs(jobs)
+    transport = _resolve_transport(transport)
     children = np.random.SeedSequence(seed).spawn(runs)
-    tasks = [(spec, size_dist, n, t, m, child) for child in children]
-    rows = _fan_out(_run_glitch_run, tasks, jobs)
-    return np.stack(rows).astype(np.int64)
+
+    if transport == "pickle" or jobs == 1 or runs <= 1:
+        tasks = [(spec, size_dist, n, t, m, child) for child in children]
+        rows = fan_out(_run_glitch_run, tasks, jobs)
+        return np.stack(rows).astype(np.int64)
+
+    block = _create_block(runs * n * 8)
+    try:
+        tasks = [(block.name, runs, run_idx, spec, size_dist, n, t, m,
+                  child) for run_idx, child in enumerate(children)]
+        fan_out(_run_glitch_run_shm, tasks, jobs)
+        counts = np.ndarray((runs, n), dtype=np.int64, buffer=block.buf)
+        result = counts.copy()
+        del counts
+        return result
+    finally:
+        _destroy_block(block)
 
 
 def estimate_p_error_parallel(spec: DiskSpec, size_dist: Distribution,
                               n: int, t: float, m: int, g: int,
                               runs: int = 100, seed: int = 0,
-                              jobs: int | None = None) -> PErrorEstimate:
+                              jobs: int | None = None,
+                              transport: str = "shm") -> PErrorEstimate:
     """Monte-Carlo ``p_error`` estimate over the run-parallel path."""
     if not (0 <= g <= m):
         raise ConfigurationError(f"g must be in [0, m], got {g!r}")
     if not (t > 0.0 and math.isfinite(t)):
         raise ConfigurationError(f"round length must be positive, got {t!r}")
     counts = simulate_stream_glitches_parallel(spec, size_dist, n, t, m,
-                                               runs, seed=seed, jobs=jobs)
+                                               runs, seed=seed, jobs=jobs,
+                                               transport=transport)
     streams = counts.size
     bad = int(np.sum(counts >= g))
     low, high = wilson_interval(bad, streams)
@@ -212,3 +500,113 @@ def estimate_p_error_parallel(spec: DiskSpec, size_dist: Distribution,
                           bad_streams=bad, p_error=bad / streams,
                           ci_low=low, ci_high=high,
                           mean_glitches=float(np.mean(counts)))
+
+
+# ----------------------------------------------------------------------
+# Sweep-axis fan-outs (second parallelism axis)
+# ----------------------------------------------------------------------
+
+def _point_seed_sequences(ns, seed, seeds):
+    """Per-point SeedSequence roots for a sweep.
+
+    With explicit ``seeds`` every point ``i`` draws exactly as a
+    standalone estimate with ``seed=seeds[i]`` would -- this is how the
+    benches keep their historical per-point numbers.  Without ``seeds``
+    the points draw from ``SeedSequence(seed).spawn(len(ns))``
+    substreams, deterministic in ``(seed, grid)`` alone.
+    """
+    if seeds is None:
+        return np.random.SeedSequence(seed).spawn(len(ns))
+    if len(seeds) != len(ns):
+        raise ConfigurationError(
+            f"seeds must match the grid: {len(seeds)} seeds for "
+            f"{len(ns)} points")
+    return [s if isinstance(s, np.random.SeedSequence)
+            else np.random.SeedSequence(s) for s in seeds]
+
+
+def _validated_grid(ns) -> list[int]:
+    ns = [int(n) for n in ns]
+    if not ns:
+        raise ConfigurationError("sweep grid must not be empty")
+    if any(n < 1 for n in ns):
+        raise ConfigurationError(f"every n must be >= 1, got {ns!r}")
+    return ns
+
+
+def sweep_p_late_parallel(spec: DiskSpec, size_dist: Distribution, ns,
+                          t: float, rounds: int = 20_000, *,
+                          seed: int = 0, seeds=None,
+                          jobs: int | None = None,
+                          chunk_rounds: int = DEFAULT_CHUNK_ROUNDS
+                          ) -> list[PLateEstimate]:
+    """``estimate_p_late`` over a grid of ``N`` values, one shared pool.
+
+    All ``(point, chunk)`` tasks of the whole grid are flattened into a
+    single fan-out, so a Figure-1 sweep saturates every core even though
+    each individual point only has ``rounds / chunk_rounds`` chunks.
+    Point ``i`` is bit-identical to
+    ``estimate_p_late_parallel(..., seed=seeds[i])`` for any ``jobs``;
+    workers return only ``(point, late_count)`` scalars.
+    """
+    ns = _validated_grid(ns)
+    jobs = resolve_jobs(jobs)
+    roots = _point_seed_sequences(ns, seed, seeds)
+    sizes = _chunk_sizes(rounds, chunk_rounds)
+    if not sizes:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds!r}")
+    tasks = []
+    for point, (n, root) in enumerate(zip(ns, roots)):
+        for block, child in zip(sizes, root.spawn(len(sizes))):
+            tasks.append((point, spec, size_dist, n, t, block, child))
+    late = [0] * len(ns)
+    for point, count in fan_out(_run_sweep_late_chunk, tasks, jobs):
+        late[point] += count
+    estimates = []
+    for n, count in zip(ns, late):
+        low, high = wilson_interval(count, rounds)
+        estimates.append(PLateEstimate(
+            n=n, t=t, rounds=rounds, late_rounds=count,
+            p_late=count / rounds, ci_low=low, ci_high=high))
+    return estimates
+
+
+def sweep_p_error_parallel(spec: DiskSpec, size_dist: Distribution, ns,
+                           t: float, m: int, g: int, runs: int = 100, *,
+                           seed: int = 0, seeds=None,
+                           jobs: int | None = None
+                           ) -> list[PErrorEstimate]:
+    """``estimate_p_error`` over a grid of ``N`` values, one shared pool.
+
+    The ``(point, run)`` stream lifetimes of the whole grid feed one
+    fan-out; point ``i`` matches ``estimate_p_error(..., seed=seeds[i])``
+    exactly (same per-run ``SeedSequence.spawn`` scheme).  Workers
+    return one ``(n,)`` count row per lifetime.
+    """
+    ns = _validated_grid(ns)
+    if not (0 <= g <= m):
+        raise ConfigurationError(f"g must be in [0, m], got {g!r}")
+    if not (t > 0.0 and math.isfinite(t)):
+        raise ConfigurationError(f"round length must be positive, got {t!r}")
+    if runs < 1:
+        raise ConfigurationError(f"runs must be >= 1, got {runs!r}")
+    jobs = resolve_jobs(jobs)
+    roots = _point_seed_sequences(ns, seed, seeds)
+    tasks = []
+    for point, (n, root) in enumerate(zip(ns, roots)):
+        for child in root.spawn(runs):
+            tasks.append((point, spec, size_dist, n, t, m, child))
+    rows: list[list[np.ndarray]] = [[] for _ in ns]
+    for point, row in fan_out(_run_sweep_glitch_run, tasks, jobs):
+        rows[point].append(row)
+    estimates = []
+    for n, point_rows in zip(ns, rows):
+        counts = np.stack(point_rows).astype(np.int64)
+        streams = counts.size
+        bad = int(np.sum(counts >= g))
+        low, high = wilson_interval(bad, streams)
+        estimates.append(PErrorEstimate(
+            n=n, t=t, m=m, g=g, streams=streams, bad_streams=bad,
+            p_error=bad / streams, ci_low=low, ci_high=high,
+            mean_glitches=float(np.mean(counts))))
+    return estimates

@@ -31,6 +31,7 @@ suite.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,6 +43,7 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "RoundBatch",
+    "resolve_sim_chunk",
     "simulate_rounds",
     "estimate_p_late",
     "simulate_stream_glitches",
@@ -51,8 +53,34 @@ __all__ = [
 ]
 
 #: Rounds per vectorised chunk; bounds peak memory at roughly
-#: ``6 * _CHUNK * N * 8`` bytes.
-_CHUNK = 65536
+#: ``6 * chunk * N * 8`` bytes.
+DEFAULT_SIM_CHUNK = 65536
+
+#: Environment override for :data:`DEFAULT_SIM_CHUNK` (validated int
+#: >= 1).  Chunking changes how the RNG stream is consumed, so results
+#: under a non-default chunk are statistically equivalent but not
+#: bit-equal to the default -- see ``docs/PERFORMANCE.md``.  Its main
+#: use is making the multi-chunk code path cheap to exercise in tests
+#: (it is inherited by :mod:`repro.parallel` workers through the
+#: environment).
+SIM_CHUNK_ENV = "REPRO_SIM_CHUNK"
+
+
+def resolve_sim_chunk() -> int:
+    """The vectorised-chunk size: ``REPRO_SIM_CHUNK`` or the default."""
+    raw = os.environ.get(SIM_CHUNK_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_SIM_CHUNK
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{SIM_CHUNK_ENV} must be an integer >= 1, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(
+            f"{SIM_CHUNK_ENV} must be >= 1, got {raw!r}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -173,8 +201,9 @@ def simulate_rounds(spec: DiskSpec, size_dist: Distribution, n: int,
     arm = float(initial_arm)
     direction_offset = 0
     done = 0
+    chunk_cap = resolve_sim_chunk()
     while done < rounds:
-        chunk = min(_CHUNK, rounds - done)
+        chunk = min(chunk_cap, rounds - done)
         cylinders, rates = _sample_cylinders_rates(spec, rng, (chunk, n),
                                                    placement=placement)
         sizes = np.asarray(size_dist.sample(rng, (chunk, n)), dtype=float)

@@ -2,11 +2,33 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro import cache as cache_mod
 from repro.disk import quantum_viking_2_1, single_zone_viking
 from repro.workload import paper_fragment_sizes
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_persistent_cache(tmp_path_factory):
+    """Keep the on-disk bound cache away from ``~/.cache`` during tests.
+
+    Exported through the environment too, so worker processes and CLI
+    subprocesses spawned by tests inherit the same sandboxed store.
+    """
+    directory = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get(cache_mod.CACHE_DIR_ENV)
+    os.environ[cache_mod.CACHE_DIR_ENV] = str(directory)
+    cache_mod.set_persistent_cache_dir(directory)
+    yield
+    if previous is None:
+        os.environ.pop(cache_mod.CACHE_DIR_ENV, None)
+    else:
+        os.environ[cache_mod.CACHE_DIR_ENV] = previous
+    cache_mod.reset_persistent_cache()
 
 
 @pytest.fixture(scope="session")

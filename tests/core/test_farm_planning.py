@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.farm import degraded_mode_n_max, plan_farm
+from repro.core.farm import degraded_mode_n_max, degraded_modes, plan_farm
 from repro.disk import (
     modern_av_drive,
     quantum_viking_2_1,
@@ -69,3 +69,40 @@ class TestDegradedMode:
     def test_validation(self, viking, paper_sizes):
         with pytest.raises(ConfigurationError):
             degraded_mode_n_max(viking, paper_sizes, 1.0, 1.5)
+
+    @pytest.mark.parametrize("delta", [0.001, 0.01, 0.1])
+    def test_bisection_matches_brute_force_scan(self, paper_sizes,
+                                                delta):
+        # The O(log) doubled-batch bisection must agree with the
+        # exhaustive scan that is exact for any predicate.
+        for spec in (quantum_viking_2_1(), seagate_hawk_1lp(),
+                     scaled_viking(rate_scale=2.0)):
+            fast = degraded_mode_n_max(spec, paper_sizes, 1.0, delta)
+            brute = degraded_mode_n_max(spec, paper_sizes, 1.0, delta,
+                                        exact=True)
+            assert fast == brute, spec.name
+
+
+class TestFarmFanOut:
+    def test_plan_farm_jobs_invariant(self, paper_sizes):
+        specs = [quantum_viking_2_1(), seagate_hawk_1lp(),
+                 modern_av_drive()]
+        serial = plan_farm(specs, paper_sizes, 1.0, 1200, 12, 0.01)
+        fanned = plan_farm(specs, paper_sizes, 1.0, 1200, 12, 0.01,
+                           jobs=2)
+        assert serial == fanned
+
+    def test_degraded_modes_matches_per_disk_calls(self, paper_sizes):
+        specs = [quantum_viking_2_1(), seagate_hawk_1lp()]
+        expected = [degraded_mode_n_max(s, paper_sizes, 1.0, 0.01)
+                    for s in specs]
+        assert degraded_modes(specs, paper_sizes, 1.0, 0.01) == expected
+        assert (degraded_modes(specs, paper_sizes, 1.0, 0.01, jobs=2)
+                == expected)
+
+    def test_degraded_modes_validation(self, paper_sizes):
+        with pytest.raises(ConfigurationError):
+            degraded_modes([], paper_sizes, 1.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            degraded_modes([quantum_viking_2_1()], paper_sizes, 1.0,
+                           0.0)

@@ -68,7 +68,7 @@ class TestSimulateRounds:
         import repro.server.simulation as sim
         rng1 = np.random.default_rng(9)
         full = simulate_rounds(viking, paper_sizes, 20, 1.0, 2000, rng1)
-        monkeypatch.setattr(sim, "_CHUNK", 64)
+        monkeypatch.setenv(sim.SIM_CHUNK_ENV, "64")
         rng2 = np.random.default_rng(9)
         chunked = sim.simulate_rounds(viking, paper_sizes, 20, 1.0, 2000,
                                       rng2)

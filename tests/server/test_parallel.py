@@ -1,21 +1,32 @@
 """Determinism and equivalence tests for the parallel execution layer.
 
 The contract under test: for a fixed seed, every estimate is
-bit-identical no matter how many worker processes compute it, and the
-stream-glitch fan-out matches the serial function exactly.
+bit-identical no matter how many worker processes compute it or which
+transport carries the results, the stream-glitch fan-out matches the
+serial function exactly, a worker failure fails fast with every
+shared-memory block released, and no ``/dev/shm`` blocks outlive any
+call.
 """
+
+import os
 
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.distributions import Gamma
+from repro.errors import ConfigurationError, ParallelExecutionError
 from repro.parallel import (
     DEFAULT_CHUNK_ROUNDS,
+    JOBS_ENV,
+    SHM_PREFIX,
     estimate_p_error_parallel,
     estimate_p_late_parallel,
+    fan_out,
     resolve_jobs,
     simulate_rounds_parallel,
     simulate_stream_glitches_parallel,
+    sweep_p_error_parallel,
+    sweep_p_late_parallel,
 )
 from repro.server import simulation as sim
 
@@ -24,11 +35,69 @@ N = 28
 T = 1.0
 
 
+def _shm_blocks():
+    """Names of live repro shared-memory blocks (None when the host has
+    no /dev/shm to inspect)."""
+    if not os.path.isdir("/dev/shm"):
+        return None
+    return {entry for entry in os.listdir("/dev/shm")
+            if entry.startswith(SHM_PREFIX)}
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_shm_blocks():
+    """Every test in this module must leave /dev/shm as it found it."""
+    before = _shm_blocks()
+    yield
+    after = _shm_blocks()
+    if before is not None:
+        assert after == before, f"leaked shm blocks: {after - before}"
+
+
+def _mul_ten(task):
+    return task * 10
+
+
+def _explode_on_two(task):
+    if task == 2:
+        raise ValueError("task two blew up")
+    return task * 10
+
+
+def _raise_config_error(task):
+    raise ConfigurationError("invalid worker input")
+
+
+class _ExplodingSizes(Gamma):
+    """Fragment-size law whose sampler raises mid-simulation (module
+    level so pool workers can unpickle it)."""
+
+    def sample(self, rng, size=None):
+        raise RuntimeError("sampler exploded")
+
+
 class TestResolveJobs:
-    def test_none_and_zero_mean_all_cores(self):
-        import os
+    def test_none_and_zero_mean_all_cores(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
         assert resolve_jobs(None) == (os.cpu_count() or 1)
         assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_env_overrides_all_cores_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs(None) == 3
+        assert resolve_jobs(0) == 3
+        # An explicit argument always wins over the environment.
+        assert resolve_jobs(1) == 1
+
+    def test_env_validation(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "zero")
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(None)
+        monkeypatch.setenv(JOBS_ENV, "0")
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(None)
+        monkeypatch.setenv(JOBS_ENV, "  ")
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
 
     def test_explicit_passthrough(self):
         assert resolve_jobs(1) == 1
@@ -37,6 +106,36 @@ class TestResolveJobs:
     def test_rejects_negative(self):
         with pytest.raises(ConfigurationError):
             resolve_jobs(-1)
+
+
+class TestFanOutFailFast:
+    def test_results_in_task_order(self):
+        assert fan_out(_mul_ten, [3, 1, 2], jobs=2) == [30, 10, 20]
+
+    def test_worker_exception_wrapped_with_cause(self):
+        with pytest.raises(ParallelExecutionError) as info:
+            fan_out(_explode_on_two, [1, 2, 3], jobs=2)
+        assert "task 2 of 3" in str(info.value)
+        assert "ValueError" in str(info.value)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_repro_errors_propagate_unwrapped(self):
+        # Validation errors raised inside a worker keep their type so
+        # callers can catch them exactly as in the serial path.
+        with pytest.raises(ConfigurationError):
+            fan_out(_raise_config_error, [1, 2], jobs=2)
+
+    def test_in_process_path_raises_directly(self):
+        with pytest.raises(ValueError):
+            fan_out(_explode_on_two, [1, 2, 3], jobs=1)
+
+    def test_shm_released_on_worker_failure(self, viking):
+        sizes = _ExplodingSizes.from_mean_std(200_000.0, 100_000.0)
+        with pytest.raises(ParallelExecutionError):
+            simulate_rounds_parallel(viking, sizes, 4, T, 3000, seed=0,
+                                     jobs=2, chunk_rounds=512,
+                                     transport="shm")
+        # The autouse fixture asserts no /dev/shm leak on teardown.
 
 
 class TestJobsInvariance:
@@ -132,3 +231,122 @@ class TestChunking:
         with pytest.raises(ConfigurationError):
             simulate_stream_glitches_parallel(viking, paper_sizes, 4,
                                               T, 10, 0, jobs=1)
+
+
+class TestTransports:
+    def test_rejects_unknown_transport(self, viking, paper_sizes):
+        with pytest.raises(ConfigurationError):
+            simulate_rounds_parallel(viking, paper_sizes, 4, T, 1000,
+                                     jobs=1, transport="carrier-pigeon")
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_shm_bit_identical_to_pickle(self, viking, paper_sizes,
+                                         jobs):
+        kw = dict(seed=17, chunk_rounds=512)
+        shm = simulate_rounds_parallel(viking, paper_sizes, 8, T, 3000,
+                                       jobs=jobs, transport="shm", **kw)
+        pickled = simulate_rounds_parallel(viking, paper_sizes, 8, T,
+                                           3000, jobs=jobs,
+                                           transport="pickle", **kw)
+        assert np.array_equal(shm.service_times, pickled.service_times)
+        assert np.array_equal(shm.seek_times, pickled.seek_times)
+        assert np.array_equal(shm.first_seek_times,
+                              pickled.first_seek_times)
+        assert np.array_equal(shm.glitches, pickled.glitches)
+
+    def test_glitch_shm_matches_serial(self, viking, paper_sizes):
+        serial = sim.simulate_stream_glitches(viking, paper_sizes, 12,
+                                              T, 40, 6, seed=9)
+        shm = simulate_stream_glitches_parallel(viking, paper_sizes, 12,
+                                                T, 40, 6, seed=9,
+                                                jobs=2, transport="shm")
+        assert np.array_equal(serial, shm)
+
+    def test_p_late_transport_invariant(self, viking, paper_sizes):
+        kw = dict(rounds=3000, seed=23, chunk_rounds=512, jobs=2)
+        assert (estimate_p_late_parallel(viking, paper_sizes, 8, T,
+                                         transport="shm", **kw)
+                == estimate_p_late_parallel(viking, paper_sizes, 8, T,
+                                            transport="pickle", **kw))
+
+    def test_result_arrays_are_writable_copies(self, viking,
+                                               paper_sizes):
+        # Callers get ordinary heap arrays, not views into (unlinked)
+        # shared memory.
+        batch = simulate_rounds_parallel(viking, paper_sizes, 4, T,
+                                         2000, seed=1, jobs=2,
+                                         chunk_rounds=512,
+                                         transport="shm")
+        batch.service_times[0] = -1.0  # must not raise
+        assert batch.service_times.flags.owndata
+
+
+class TestSweeps:
+    def test_sweep_p_late_matches_per_point_estimates(self, viking,
+                                                      paper_sizes):
+        ns = [6, 8, 10]
+        seeds = [1000 + n for n in ns]
+        swept = sweep_p_late_parallel(viking, paper_sizes, ns, T,
+                                      rounds=2000, seeds=seeds, jobs=2,
+                                      chunk_rounds=512)
+        for n, seed, est in zip(ns, seeds, swept):
+            standalone = estimate_p_late_parallel(
+                viking, paper_sizes, n, T, rounds=2000, seed=seed,
+                jobs=1, chunk_rounds=512)
+            assert est == standalone
+
+    def test_sweep_p_late_jobs_invariant(self, viking, paper_sizes):
+        kw = dict(rounds=2000, seed=4, chunk_rounds=512)
+        assert (sweep_p_late_parallel(viking, paper_sizes, [6, 9], T,
+                                      jobs=1, **kw)
+                == sweep_p_late_parallel(viking, paper_sizes, [6, 9], T,
+                                         jobs=2, **kw))
+
+    def test_sweep_p_error_matches_serial_estimates(self, viking,
+                                                    paper_sizes):
+        ns = (29, 31)
+        seeds = [2000 + n for n in ns]
+        swept = sweep_p_error_parallel(viking, paper_sizes, ns, T, 60,
+                                       2, runs=5, seeds=seeds, jobs=2)
+        for n, seed, est in zip(ns, seeds, swept):
+            serial = sim.estimate_p_error(viking, paper_sizes, n, T, 60,
+                                          2, runs=5, seed=seed)
+            assert est == serial
+
+    def test_sweep_validation(self, viking, paper_sizes):
+        with pytest.raises(ConfigurationError):
+            sweep_p_late_parallel(viking, paper_sizes, [], T, jobs=1)
+        with pytest.raises(ConfigurationError):
+            sweep_p_late_parallel(viking, paper_sizes, [5], T,
+                                  rounds=1000, seeds=[1, 2], jobs=1)
+        with pytest.raises(ConfigurationError):
+            sweep_p_error_parallel(viking, paper_sizes, [5], T, 10, 20,
+                                   runs=2, jobs=1)
+
+
+class TestSimChunkEnv:
+    def test_env_threads_through_pool_workers(self, viking, paper_sizes,
+                                              monkeypatch):
+        # A custom vectorisation chunk changes the RNG consumption
+        # interleaving, so the contract is jobs-invariance UNDER the
+        # override, not equality with the default-chunk result.
+        monkeypatch.setenv(sim.SIM_CHUNK_ENV, "97")
+        kw = dict(seed=31, chunk_rounds=256)
+        one = simulate_rounds_parallel(viking, paper_sizes, 6, T, 1024,
+                                       jobs=1, **kw)
+        two = simulate_rounds_parallel(viking, paper_sizes, 6, T, 1024,
+                                       jobs=2, **kw)
+        assert np.array_equal(one.service_times, two.service_times)
+        assert np.array_equal(one.glitches, two.glitches)
+
+    def test_env_validation(self, viking, paper_sizes, monkeypatch):
+        monkeypatch.setenv(sim.SIM_CHUNK_ENV, "lots")
+        with pytest.raises(ConfigurationError):
+            sim.resolve_sim_chunk()
+        monkeypatch.setenv(sim.SIM_CHUNK_ENV, "0")
+        with pytest.raises(ConfigurationError):
+            sim.resolve_sim_chunk()
+        monkeypatch.setenv(sim.SIM_CHUNK_ENV, " ")
+        assert sim.resolve_sim_chunk() == sim.DEFAULT_SIM_CHUNK
+        monkeypatch.delenv(sim.SIM_CHUNK_ENV)
+        assert sim.resolve_sim_chunk() == sim.DEFAULT_SIM_CHUNK

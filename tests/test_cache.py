@@ -1,19 +1,34 @@
-"""Tests of the bound cache: fingerprints, memoized bisection, and the
-cached-vs-uncached / probe-count contracts of the admission pipeline."""
+"""Tests of the bound cache: fingerprints, memoized bisection, the
+cached-vs-uncached / probe-count contracts of the admission pipeline,
+and the persistent on-disk layer (round-trips, corruption tolerance,
+cross-process reuse)."""
+
+import json
+import os
+import sqlite3
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+import repro
 from repro import cache
 from repro.cache import (
+    CACHE_DIR_ENV,
     BoundCache,
+    PersistentCache,
     bisect_max_n,
     cache_disabled,
     cache_stats,
     canonical_threshold,
     clear_cache,
+    default_cache_dir,
     fingerprint,
+    get_persistent_cache,
     instance_fingerprint,
+    persistent_cache_enabled,
 )
 from repro.core import (
     GlitchModel,
@@ -21,6 +36,7 @@ from repro.core import (
     n_max_perror,
     n_max_plate,
 )
+from repro.core.chernoff import ChernoffResult
 from repro.errors import ConfigurationError
 
 
@@ -191,3 +207,206 @@ class TestAdmissionCaching:
     def test_rejects_bad_inputs(self):
         with pytest.raises(ConfigurationError):
             bisect_max_n(lambda n: True, 0)
+
+    def test_verify_above_noop_on_monotone(self):
+        probes = []
+
+        def pred(n):
+            probes.append(n)
+            return n <= 20
+
+        assert bisect_max_n(pred, 200, verify_above=3) == 20
+        # The extra probes must not degrade into a full scan.
+        assert len(probes) <= 4 * int(np.log2(200)) + 3
+
+    def test_full_scan_handles_false_at_one(self):
+        pred = lambda n: 5 <= n <= 7
+        assert bisect_max_n(pred, 10) == 0  # prefix assumption
+        assert bisect_max_n(pred, 10, full_scan=True) == 7
+
+
+@pytest.fixture
+def isolated_store(tmp_path):
+    """Point the process-global persistent layer at a throwaway dir and
+    restore the session-scoped store afterwards."""
+    store = cache.set_persistent_cache_dir(tmp_path)
+    yield store
+    cache.reset_persistent_cache()
+
+
+class TestPersistentCache:
+    def test_scalar_roundtrip(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        assert store.get("key-a") is None
+        assert store.put("key-a", 1.5)
+        assert store.get("key-a") == 1.5
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.writes == 1
+
+    def test_chernoff_result_roundtrip_exact(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        value = ChernoffResult(bound=0.008431772015845197,
+                               log_bound=-4.775742373093779,
+                               theta=13.425323441, t=1.0)
+        store.put("cr", value)
+        # Reopen to force a real disk read, not any in-memory state.
+        store.close()
+        again = PersistentCache(tmp_path).get("cr")
+        assert isinstance(again, ChernoffResult)
+        assert again == value  # bit-exact float round-trip
+
+    def test_unpersistable_values_are_skipped(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        assert not store.put("arr", np.arange(3))
+        assert store.entry_count() == 0
+
+    def test_entry_count_and_clear(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        store.put("a", 1.0)
+        store.put("b", 2.0)
+        assert store.entry_count() == 2
+        assert store.clear() == 2
+        assert store.entry_count() == 0
+        assert store.get("a") is None
+
+    def test_corrupt_file_recovers(self, tmp_path):
+        path = tmp_path / "bounds.sqlite"
+        path.write_bytes(b"this is not a sqlite database ")
+        store = PersistentCache(tmp_path)
+        assert store.get("k") is None  # must not raise
+        assert store.put("k", 3.0)
+        assert store.get("k") == 3.0
+
+    def test_corrupt_row_evicted(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        store.put("good", 1.0)
+        store.close()
+        with sqlite3.connect(tmp_path / "bounds.sqlite") as conn:
+            conn.execute("INSERT INTO bounds VALUES ('bad', 'not json')")
+            conn.execute(
+                "INSERT INTO bounds VALUES ('foreign', ?)",
+                (json.dumps({"kind": "dataclass", "module": "os.path",
+                             "name": "PurePath", "fields": {}}),))
+            conn.commit()
+        reopened = PersistentCache(tmp_path)
+        assert reopened.get("bad") is None
+        assert reopened.get("foreign") is None  # non-repro type refused
+        assert reopened.get("good") == 1.0
+        # Corrupt rows are evicted on first touch, not left to fail
+        # forever.
+        assert reopened.entry_count() == 1
+
+    def test_schema_version_mismatch_drops_entries(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        store.put("k", 9.0)
+        store.close()
+        with sqlite3.connect(tmp_path / "bounds.sqlite") as conn:
+            conn.execute("UPDATE meta SET value='999' "
+                         "WHERE key='schema_version'")
+            conn.commit()
+        reopened = PersistentCache(tmp_path)
+        assert reopened.get("k") is None
+        assert reopened.entry_count() == 0
+
+    def test_env_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERSISTENT_CACHE", "0")
+        assert not persistent_cache_enabled()
+        assert get_persistent_cache() is None
+        monkeypatch.setenv("REPRO_PERSISTENT_CACHE", "1")
+        assert persistent_cache_enabled()
+
+    def test_cache_dir_env_resolution(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+class TestLayeredBoundCache:
+    KEY = ("b_late", "fp-layered-test", 7, "0x1.0p+0")
+
+    def test_write_through_and_disk_hit(self, isolated_store):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 0.25
+
+        first = BoundCache(use_persistent=True)
+        assert first.get_or_compute(self.KEY, compute) == 0.25
+        assert first.stats.misses == 1
+        assert isolated_store.entry_count() == 1
+
+        # A fresh in-process cache (new process, conceptually) answers
+        # from disk without recomputing.
+        second = BoundCache(use_persistent=True)
+        assert second.get_or_compute(self.KEY, compute) == 0.25
+        assert len(calls) == 1
+        assert second.stats.misses == 0
+        assert second.stats.disk_hits == 1
+        # And the disk hit now lives in memory: third lookup is a pure
+        # memory hit.
+        assert second.get_or_compute(self.KEY, compute) == 0.25
+        assert second.stats.hits == 1
+
+    def test_instance_keys_never_persisted(self, isolated_store):
+        key = (instance_fingerprint("numeric-term"), 3)
+        c = BoundCache(use_persistent=True)
+        c.get_or_compute(key, lambda: 1.0)
+        assert isolated_store.entry_count() == 0
+        fresh = BoundCache(use_persistent=True)
+        calls = []
+        fresh.get_or_compute(key, lambda: calls.append(1) or 1.0)
+        assert calls  # recomputed: lifetime-scoped keys stay local
+
+    def test_non_persistent_cache_leaves_disk_alone(self,
+                                                    isolated_store):
+        c = BoundCache()
+        c.get_or_compute(self.KEY, lambda: 4.0)
+        assert isolated_store.entry_count() == 0
+
+    def test_clear_cache_keeps_disk(self, isolated_store):
+        c = BoundCache(use_persistent=True)
+        c.get_or_compute(self.KEY, lambda: 0.5)
+        c.clear()
+        assert isolated_store.entry_count() == 1
+        assert c.get_or_compute(self.KEY, lambda: -1.0) == 0.5
+        assert c.stats.disk_hits == 1
+
+
+_RESTART_SCRIPT = """\
+import json
+from repro.cache import cache_stats
+from repro.core import RoundServiceTimeModel, n_max_plate
+from repro.disk import quantum_viking_2_1
+from repro.workload import paper_fragment_sizes
+
+model = RoundServiceTimeModel.for_disk(quantum_viking_2_1(),
+                                       paper_fragment_sizes())
+assert n_max_plate(model, 1.0, 0.01) == 26
+stats = cache_stats()
+print(json.dumps({"misses": stats.misses,
+                  "disk_hits": stats.disk_hits}))
+"""
+
+
+class TestCrossProcessReuse:
+    def test_restarted_process_solves_nothing(self, tmp_path):
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env[CACHE_DIR_ENV] = str(tmp_path)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        def build():
+            proc = subprocess.run(
+                [sys.executable, "-c", _RESTART_SCRIPT],
+                capture_output=True, text=True, env=env)
+            assert proc.returncode == 0, proc.stderr
+            return json.loads(proc.stdout.strip().splitlines()[-1])
+
+        cold = build()
+        warm = build()
+        assert cold["misses"] > 0
+        assert cold["disk_hits"] == 0
+        assert warm["misses"] == 0, (
+            "warm restart must answer every probe from disk")
+        assert warm["disk_hits"] > 0

@@ -154,6 +154,63 @@ class TestReportCommand:
         assert "Reproduction report" in target.read_text()
 
 
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def _own_store(self, tmp_path):
+        """Each test gets a throwaway persistent store; the session
+        store is restored afterwards."""
+        from repro import cache as cache_mod
+        cache_mod.set_persistent_cache_dir(tmp_path)
+        self.store_dir = tmp_path
+        yield
+        cache_mod.reset_persistent_cache()
+
+    def test_path_prints_sqlite_location(self, capsys):
+        code, out, _ = run(capsys, "cache", "path")
+        assert code == 0
+        assert out.strip().endswith("bounds.sqlite")
+        assert str(self.store_dir) in out
+
+    def test_stats_reports_counters(self, capsys):
+        code, out, _ = run(capsys, "cache", "stats")
+        assert code == 0
+        assert "entries" in out
+        assert "bounds.sqlite" in out
+
+    def test_clear_drops_entries(self, capsys):
+        from repro.cache import get_persistent_cache
+        store = get_persistent_cache()
+        store.put("k", 1.0)
+        code, out, _ = run(capsys, "cache", "clear")
+        assert code == 0
+        assert "cleared 1" in out
+        assert store.entry_count() == 0
+
+    def test_dir_option_targets_another_store(self, capsys, tmp_path):
+        other = tmp_path / "other-store"
+        code, out, _ = run(capsys, "cache", "path", "--dir", str(other))
+        assert code == 0
+        assert str(other) in out
+
+    def test_disabled_store_reported(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PERSISTENT_CACHE", "0")
+        code, _, err = run(capsys, "cache", "stats")
+        assert code == 0
+        assert "disabled" in err
+        code, _, err = run(capsys, "cache", "clear")
+        assert code == 1
+
+    def test_cache_dir_flag_on_compute_commands(self, capsys,
+                                                tmp_path):
+        from repro.cache import clear_cache
+        clear_cache()  # force a real solve so it writes through
+        target = tmp_path / "flag-store"
+        code, _, _ = run(capsys, "plate", "--n-from", "26", "--n-to",
+                         "26", "--cache-dir", str(target))
+        assert code == 0
+        assert (target / "bounds.sqlite").is_file()
+
+
 class TestErrors:
     def test_library_error_becomes_exit_2(self, capsys):
         code, _, err = run(capsys, "admission", "--delta", "2.0")
