@@ -1,7 +1,7 @@
 """Machine-readable registry of the reproduction experiments.
 
 Maps every experiment id (paper tables/figures E1-E8 and ablations
-A1-A15) to its description, the bench that regenerates it and the
+A1-A21) to its description, the bench that regenerates it and the
 result artifact it writes -- the programmatic counterpart of the
 per-experiment index in DESIGN.md.  Used by tooling (e.g. the
 ``reproduce_paper`` example and CI summaries) to enumerate and check
@@ -115,6 +115,12 @@ _ENTRIES = [
                "infrastructure: deterministic Monte-Carlo fan-out and "
                "memoized admission scans",
                "bench_a20_parallel_scaling.py", ("a20_parallel_scaling",)),
+    Experiment("A21", "Runtime failover + load shedding",
+               "degraded-mode guarantee end to end: mirror failover "
+               "with shedding meets the doubled-batch Chernoff bound, "
+               "without shedding it violates",
+               "bench_a21_failover_shedding.py",
+               ("a21_failover_shedding",)),
 ]
 
 #: Registry keyed by experiment id.

@@ -43,6 +43,7 @@ import math
 import os
 import sqlite3
 import threading
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -333,9 +334,20 @@ class PersistentCache:
             try:
                 self.path.unlink(missing_ok=True)
                 conn = self._open()
-            except (sqlite3.Error, OSError):
+            except (sqlite3.Error, OSError) as exc:
+                # Unwritable location (read-only directory, disk full,
+                # REPRO_CACHE_DIR pointing at a file, ...): disable the
+                # on-disk layer for this process and fall back to the
+                # in-memory BoundCache.  Warn exactly once -- admission
+                # solves must never crash on cache plumbing.
                 self.stats.errors += 1
                 self._broken = True
+                warnings.warn(
+                    f"persistent bound cache at {self.path} is "
+                    f"unavailable ({type(exc).__name__}: {exc}); "
+                    f"falling back to the in-memory cache for this "
+                    f"process",
+                    RuntimeWarning, stacklevel=3)
                 return None
         self._conn, self._pid = conn, os.getpid()
         return conn

@@ -5,6 +5,7 @@ Exposes the admission-control math to operators without writing Python::
     python -m repro admission --mean-kb 200 --std-kb 100 --round 1.0
     python -m repro plate --n-from 20 --n-to 32
     python -m repro simulate --n 28 --rounds 20000
+    python -m repro simulate --faults examples/single_disk_failure.toml
     python -m repro worstcase
     python -m repro approx
 
@@ -114,6 +115,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     spec = _spec(args)
     sizes = Gamma.from_mean_std(args.mean_kb * 1000.0,
                                 args.std_kb * 1000.0)
+    if args.faults is not None:
+        return _simulate_faults(args, spec, sizes)
+    if args.n is None:
+        print("error: --n is required without --faults", file=sys.stderr)
+        return 2
     model = RoundServiceTimeModel.for_disk(spec, sizes)
     est = estimate_p_late(spec, sizes, args.n, args.t,
                           rounds=args.rounds, seed=args.seed,
@@ -137,6 +143,45 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["quantity", "value"], rows,
         title=f"simulation at N={args.n} ({est.rounds} rounds)"))
     return 0
+
+
+def _simulate_faults(args: argparse.Namespace, spec, sizes) -> int:
+    """``repro simulate --faults SCHEDULE.toml``: drive the event-driven
+    mirrored server through the fault schedule and check the survivors
+    against the degraded-mode bound."""
+    from repro.server.faults import FaultSchedule, run_failover_scenario
+
+    schedule = FaultSchedule.from_toml(args.faults)
+    result = run_failover_scenario(
+        spec, sizes, disks=args.disks, t=args.t, delta=args.delta,
+        rounds=args.server_rounds, n_per_disk=args.n,
+        shedding=not args.no_shed, shed_mode=args.shed_mode,
+        schedule=schedule, seed=args.seed)
+    report = result.report
+    rows = [
+        ["disks (mirrored pairs)", str(args.disks)],
+        ["streams opened", str(result.streams_opened)],
+        ["healthy N_max / disk", str(result.healthy_n_max)],
+        ["degraded N_max / disk", str(result.degraded_n_max)],
+        ["shedding", "off" if args.no_shed else args.shed_mode],
+        ["failovers (mirror reads)", str(report.failovers)],
+        ["dropped requests", str(report.dropped_requests)],
+        ["streams shed", str(report.shed_streams)],
+        ["streams resumed", str(report.resumed_streams)],
+        ["survivors (never shed)", str(result.survivors)],
+        ["max survivor glitch rate",
+         format_probability(result.max_glitch_rate)],
+        ["tolerance delta", format_probability(result.delta)],
+        ["within degraded-mode bound",
+         "yes" if result.within_bound else "NO"],
+    ]
+    print(render_table(
+        ["quantity", "value"], rows,
+        title=f"fault injection ({args.faults}, "
+        f"{report.rounds} rounds)"))
+    for when, what in report.fault_log:
+        print(f"  fault: {what}")
+    return 0 if result.within_bound or args.no_shed else 1
 
 
 def _cmd_worstcase(args: argparse.Namespace) -> int:
@@ -301,8 +346,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="Monte-Carlo validation")
     _add_common(p)
-    p.add_argument("--n", type=int, required=True,
-                   help="multiprogramming level to simulate")
+    p.add_argument("--n", type=int, default=None,
+                   help="multiprogramming level to simulate (with "
+                   "--faults: streams per disk, default the healthy "
+                   "analytic limit)")
     p.add_argument("--rounds", type=int, default=20_000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jobs", type=int, default=None,
@@ -314,6 +361,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-m", type=int, default=1200)
     p.add_argument("-g", type=int, default=12)
     p.add_argument("--runs", type=int, default=50)
+    p.add_argument("--faults", default=None, metavar="SCHEDULE.toml",
+                   help="run the event-driven mirrored server through "
+                   "this fault schedule instead of the vectorised "
+                   "Monte-Carlo (see docs/ROBUSTNESS.md)")
+    p.add_argument("--disks", type=int, default=2,
+                   help="farm size for --faults (even, mirrored pairs)")
+    p.add_argument("--server-rounds", type=int, default=300,
+                   help="rounds to run the event-driven server under "
+                   "--faults")
+    p.add_argument("--delta", type=float, default=0.01,
+                   help="round-lateness tolerance for the degraded-mode "
+                   "bound under --faults")
+    p.add_argument("--no-shed", action="store_true",
+                   help="disable load shedding under --faults (the "
+                   "survivor absorbs the full doubled batch)")
+    p.add_argument("--shed-mode", choices=("pause", "drop"),
+                   default="pause",
+                   help="shed by pausing (resume on recovery) or "
+                   "dropping streams")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("worstcase",

@@ -40,7 +40,39 @@ from repro.distributions import Distribution
 from repro.errors import ConfigurationError
 
 __all__ = ["FarmPlan", "plan_farm", "degraded_mode_n_max",
-           "degraded_modes"]
+           "degraded_modes", "mirror_of", "shed_target"]
+
+
+def mirror_of(disk: int, disks: int) -> int | None:
+    """RAID-1 partner of ``disk`` in a farm of ``disks`` drives.
+
+    Disks pair up as ``(0, 1), (2, 3), ...``; on an odd-sized farm the
+    last disk has no partner and ``None`` is returned (a failure there
+    is unrecoverable -- its requests are lost until recovery).
+    """
+    if not (0 <= disk < disks):
+        raise ConfigurationError(
+            f"disk {disk} out of range [0, {disks})")
+    partner = disk ^ 1
+    return partner if partner < disks else None
+
+
+def shed_target(disks: int, failure_proof: int) -> int:
+    """Farm-wide stream count the load-shedding policy degrades to.
+
+    ``failure_proof`` is the per-disk limit of
+    :func:`degraded_mode_n_max`: with stride-1 striping the survivor of
+    a mirrored pair absorbs its partner's batch, so keeping every disk's
+    healthy batch at ``failure_proof`` (total ``disks *
+    failure_proof`` streams) keeps the doubled batch within the
+    degraded-mode Chernoff bound.
+    """
+    if disks < 1:
+        raise ConfigurationError(f"disks must be >= 1, got {disks!r}")
+    if failure_proof < 0:
+        raise ConfigurationError(
+            f"failure_proof must be >= 0, got {failure_proof!r}")
+    return disks * failure_proof
 
 
 @dataclass(frozen=True)

@@ -58,6 +58,7 @@ import math
 import os
 import secrets
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
@@ -76,6 +77,7 @@ from repro.server.simulation import (
 
 __all__ = [
     "resolve_jobs",
+    "resolve_worker_retries",
     "fan_out",
     "simulate_rounds_parallel",
     "estimate_p_late_parallel",
@@ -96,6 +98,14 @@ DEFAULT_CHUNK_ROUNDS = 2048
 JOBS_ENV = "REPRO_JOBS"
 
 _TRANSPORTS = ("shm", "pickle")
+
+#: Environment override for how often :func:`fan_out` replaces a broken
+#: worker pool before giving up (``0`` restores strict fail-fast).
+WORKER_RETRIES_ENV = "REPRO_WORKER_RETRIES"
+
+#: Pool replacements tolerated per fan-out: one transient worker death
+#: (OOM kill, node preemption) is absorbed; a second failure surfaces.
+DEFAULT_WORKER_RETRIES = 1
 
 #: Prefix of every shared-memory block this module creates; tests sweep
 #: ``/dev/shm`` for it to prove nothing leaks.
@@ -147,32 +157,42 @@ def _resolve_transport(transport: str) -> str:
 
 
 # ----------------------------------------------------------------------
-# Fail-fast fan-out
+# Fail-fast fan-out (with bounded recovery from worker death)
 # ----------------------------------------------------------------------
 
-def fan_out(worker, tasks, jobs: int) -> list:
-    """Run ``worker`` over ``tasks``, in-process or on a pool.
+def resolve_worker_retries() -> int:
+    """Pool replacements tolerated per fan-out: ``REPRO_WORKER_RETRIES``
+    (an integer >= 0) or :data:`DEFAULT_WORKER_RETRIES`."""
+    raw = os.environ.get(WORKER_RETRIES_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_WORKER_RETRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{WORKER_RETRIES_ENV} must be an integer >= 0, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(
+            f"{WORKER_RETRIES_ENV} must be >= 0, got {raw!r}")
+    return value
 
-    Results come back in task order either way, so callers can
-    concatenate without bookkeeping.  A worker failure fails fast: the
-    first exception cancels every outstanding task, the pool is shut
-    down, and a :class:`ParallelExecutionError` naming the failed task
-    surfaces (library :class:`ReproError` subclasses -- validation
-    errors raised inside a worker -- propagate unchanged).
+
+def _pool_pass(worker, tasks, pending, results, done, jobs: int) -> None:
+    """One pool's attempt at the ``pending`` task indices.
+
+    Fills ``results``/``done`` in place as futures land, so a pool that
+    breaks mid-pass leaves completed work recorded and only the
+    unfinished indices are retried.
     """
-    tasks = list(tasks)
-    if jobs == 1 or len(tasks) <= 1:
-        return [worker(task) for task in tasks]
-    workers = min(jobs, len(tasks))
+    workers = min(jobs, len(pending))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        indexed = {pool.submit(worker, task): i
-                   for i, task in enumerate(tasks)}
-        results: list = [None] * len(tasks)
+        indexed = {pool.submit(worker, tasks[i]): i for i in pending}
         for future in as_completed(indexed):
             index = indexed[future]
             try:
                 results[index] = future.result()
-            except ReproError:
+            except (ReproError, BrokenProcessPool):
                 for other in indexed:
                     other.cancel()
                 raise
@@ -182,7 +202,50 @@ def fan_out(worker, tasks, jobs: int) -> list:
                 raise ParallelExecutionError(
                     f"parallel worker failed on task {index + 1} of "
                     f"{len(tasks)}: {type(exc).__name__}: {exc}") from exc
-        return results
+            done[index] = True
+
+
+def fan_out(worker, tasks, jobs: int) -> list:
+    """Run ``worker`` over ``tasks``, in-process or on a pool.
+
+    Results come back in task order either way, so callers can
+    concatenate without bookkeeping.  A worker *exception* fails fast:
+    the first one cancels every outstanding task, the pool is shut down,
+    and a :class:`ParallelExecutionError` naming the failed task
+    surfaces (library :class:`ReproError` subclasses -- validation
+    errors raised inside a worker -- propagate unchanged).
+
+    Worker *death* (SIGKILL by the OOM killer, node preemption -- the
+    pool raises :class:`BrokenProcessPool`) is transient, not a bug in
+    the task: the broken pool is replaced and only the unfinished tasks
+    are resubmitted, up to :func:`resolve_worker_retries` times.  Every
+    task carries its own ``SeedSequence`` substream, so a rerun draws
+    exactly the random numbers the killed attempt would have -- results
+    stay bit-identical to an undisturbed run (asserted against
+    ``jobs=1`` in the test suite).  After the retry budget a
+    :class:`ParallelExecutionError` surfaces.
+    """
+    tasks = list(tasks)
+    if jobs == 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    retries = resolve_worker_retries()
+    results: list = [None] * len(tasks)
+    done = [False] * len(tasks)
+    failures = 0
+    while True:
+        pending = [i for i, finished in enumerate(done) if not finished]
+        try:
+            _pool_pass(worker, tasks, pending, results, done, jobs)
+            return results
+        except BrokenProcessPool as exc:
+            failures += 1
+            if failures > retries:
+                remaining = sum(1 for finished in done if not finished)
+                raise ParallelExecutionError(
+                    f"worker pool broke {failures} time(s) with "
+                    f"{remaining} of {len(tasks)} task(s) unfinished; "
+                    f"retry budget exhausted "
+                    f"({WORKER_RETRIES_ENV}={retries})") from exc
 
 
 # ----------------------------------------------------------------------

@@ -11,11 +11,25 @@
   :mod:`repro.sim` kernel.
 - :mod:`repro.server.simulation` -- the vectorised Monte-Carlo path used
   for the large validation sweeps (Figure 1, Table 2).
+- :mod:`repro.server.faults` -- runtime fault injection, RAID-1 mirror
+  failover and degraded-mode load shedding (see ``docs/ROBUSTNESS.md``).
 """
 
 from repro.server.layout import StripedLayout, FragmentLocation
 from repro.server.streams import Stream, StreamStats, ClientBuffer
 from repro.server.admission import AdmissionController
+from repro.server.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    ScenarioResult,
+    SheddingPolicy,
+    disk_fail,
+    disk_recover,
+    recalibration_storm,
+    run_failover_scenario,
+    slow_disk,
+)
 from repro.server.server import MediaServer, ServerReport
 from repro.server.simulation import (
     RoundBatch,
@@ -23,8 +37,10 @@ from repro.server.simulation import (
     estimate_p_late,
     simulate_stream_glitches,
     estimate_p_error,
+    simulate_failover_rounds,
     PLateEstimate,
     PErrorEstimate,
+    FailoverEstimate,
 )
 
 __all__ = [
@@ -34,6 +50,16 @@ __all__ = [
     "StreamStats",
     "ClientBuffer",
     "AdmissionController",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "SheddingPolicy",
+    "ScenarioResult",
+    "disk_fail",
+    "disk_recover",
+    "slow_disk",
+    "recalibration_storm",
+    "run_failover_scenario",
     "MediaServer",
     "ServerReport",
     "RoundBatch",
@@ -41,6 +67,8 @@ __all__ = [
     "estimate_p_late",
     "simulate_stream_glitches",
     "estimate_p_error",
+    "simulate_failover_rounds",
     "PLateEstimate",
     "PErrorEstimate",
+    "FailoverEstimate",
 ]

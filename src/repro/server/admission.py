@@ -34,6 +34,7 @@ class AdmissionController:
         self.n_max_per_disk = int(n_max_per_disk)
         self.disks = int(disks)
         self._active = 0
+        self._healthy_n_max = self.n_max_per_disk
         #: Total admission requests seen.
         self.requests = 0
         #: Requests turned away.
@@ -82,6 +83,30 @@ class AdmissionController:
         if self._active <= 0:
             raise ConfigurationError("release() without an active stream")
         self._active -= 1
+
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether a degraded-mode limit is currently in force."""
+        return self.n_max_per_disk != self._healthy_n_max
+
+    def degrade(self, n_max_per_disk: int) -> None:
+        """Lower the per-disk limit to the degraded-mode bound.
+
+        Called by the server when a disk fails: new admissions are then
+        tested against the doubled-batch limit
+        (:func:`repro.core.farm.degraded_mode_n_max`); already-admitted
+        streams above the limit are the shedding policy's business, not
+        this counter's.  Idempotent; :meth:`restore` undoes it.
+        """
+        if n_max_per_disk < 0:
+            raise ConfigurationError(
+                f"n_max_per_disk must be >= 0, got {n_max_per_disk!r}")
+        self.n_max_per_disk = int(n_max_per_disk)
+
+    def restore(self) -> None:
+        """Return to the healthy admission limit (disk recovered)."""
+        self.n_max_per_disk = self._healthy_n_max
 
     def __repr__(self) -> str:
         return (f"AdmissionController(active={self._active}/"

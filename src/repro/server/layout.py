@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.farm import mirror_of
 from repro.disk.presets import DiskSpec
 from repro.errors import ConfigurationError
 
@@ -23,11 +24,19 @@ __all__ = ["FragmentLocation", "StripedLayout"]
 
 @dataclass(frozen=True)
 class FragmentLocation:
-    """Physical address of one stored fragment."""
+    """Physical address of one stored fragment.
+
+    ``mirror_disk``/``mirror_cylinder`` give the RAID-1 replica's
+    address on mirrored layouts (``None`` otherwise); the replica has
+    its own independent in-disk position, preserving the §3.3
+    uncorrelated-positions condition on the failover path too.
+    """
 
     disk: int
     cylinder: int
     size: float
+    mirror_disk: int | None = None
+    mirror_cylinder: int | None = None
 
 
 class StripedLayout:
@@ -42,10 +51,15 @@ class StripedLayout:
     """
 
     def __init__(self, specs: list[DiskSpec],
-                 rng: np.random.Generator) -> None:
+                 rng: np.random.Generator,
+                 mirrored: bool = False) -> None:
         if not specs:
             raise ConfigurationError("need at least one disk")
+        if mirrored and len(specs) < 2:
+            raise ConfigurationError(
+                "mirrored layout needs at least two disks")
         self.specs = list(specs)
+        self.mirrored = bool(mirrored)
         self._rng = rng
         self._objects: dict[str, list[FragmentLocation]] = {}
         self._next_first_disk = 0
@@ -76,8 +90,16 @@ class StripedLayout:
             disk = (first + idx) % self.disks
             cylinder = int(self.specs[disk].geometry.sample_cylinder(
                 self._rng))
-            locations.append(FragmentLocation(disk=disk, cylinder=cylinder,
-                                              size=float(size)))
+            mirror_disk = mirror_cyl = None
+            if self.mirrored:
+                mirror_disk = mirror_of(disk, self.disks)
+                if mirror_disk is not None:
+                    mirror_cyl = int(
+                        self.specs[mirror_disk].geometry.sample_cylinder(
+                            self._rng))
+            locations.append(FragmentLocation(
+                disk=disk, cylinder=cylinder, size=float(size),
+                mirror_disk=mirror_disk, mirror_cylinder=mirror_cyl))
         self._objects[name] = locations
         return locations
 

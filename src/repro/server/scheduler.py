@@ -47,11 +47,16 @@ class DiskScheduler:
     def __init__(self, engine: Engine, drive: DiskDrive,
                  rng: np.random.Generator,
                  on_outcome: Callable[[int, "RoundOutcome"], None],
-                 disk_id: int = 0) -> None:
+                 disk_id: int = 0, faults=None) -> None:
         self.engine = engine
         self.drive = drive
         self.rng = rng
         self.disk_id = disk_id
+        #: Optional :class:`repro.server.faults.FaultInjector` (or any
+        #: object with ``available``/``service_scale``/``round_stall``):
+        #: consulted before every request, so a disk that dies mid-sweep
+        #: abandons the rest of its batch at the fault instant.
+        self.faults = faults
         self._on_outcome = on_outcome
         self._inbox: Store = Store(engine)
         self._round_parity = 0
@@ -81,15 +86,29 @@ class DiskScheduler:
             on_time: list[int] = []
             glitched: list[int] = []
             seek_total = 0.0
+            faults = self.faults
+            if faults is not None:
+                # A recalibration storm seizes the arm before the sweep,
+                # delaying every request of the round (the analytic
+                # disturbance term of repro.core.faults).
+                stall = faults.round_stall(self.disk_id, round_index,
+                                           self.engine.now)
+                if stall > 0.0:
+                    yield self.engine.timeout(stall)
             for position, request in enumerate(ordered):
-                if self.engine.now >= deadline:
-                    # Round over: the rest of the sweep is abandoned.
+                if self.engine.now >= deadline or (
+                        faults is not None
+                        and not faults.available(self.disk_id)):
+                    # Round over -- or the disk died mid-sweep: the rest
+                    # of the batch is abandoned.
                     glitched.extend(
                         r.stream_id for r in ordered[position:])
                     break
                 breakdown = self.drive.serve(request, self.rng)
                 seek_total += breakdown.seek
-                yield self.engine.timeout(breakdown.total)
+                scale = (faults.service_scale(self.disk_id)
+                         if faults is not None else 1.0)
+                yield self.engine.timeout(breakdown.total * scale)
                 if self.engine.now > deadline:
                     glitched.append(request.stream_id)
                 else:

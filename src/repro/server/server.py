@@ -28,7 +28,14 @@ __all__ = ["MediaServer", "ServerReport"]
 
 @dataclass
 class ServerReport:
-    """Summary of one server run."""
+    """Summary of one server run.
+
+    The robustness fields (``failovers`` onward) stay at their zero
+    defaults unless the server runs with a fault injector or shedding
+    policy.  Everything is plain ints/dicts/lists, so two reports from
+    identical runs compare equal -- the determinism contract of
+    :mod:`repro.server.faults` is asserted with ``report_a == report_b``.
+    """
 
     rounds: int = 0
     requests: int = 0
@@ -37,6 +44,26 @@ class ServerReport:
     glitches: int = 0
     late_rounds: int = 0
     per_disk_late_rounds: dict[int, int] = field(default_factory=dict)
+    #: Requests served by the mirror because their home disk was down.
+    failovers: int = 0
+    #: Logical requests lost outright (home disk down, no live mirror).
+    dropped_requests: int = 0
+    #: Streams paused or dropped by the load-shedding policy.
+    shed_streams: int = 0
+    #: Paused streams resumed after capacity returned.
+    resumed_streams: int = 0
+    #: Stream-rounds spent paused (display frozen).
+    paused_stream_rounds: int = 0
+    #: Per-round robustness counters (only rounds with activity).
+    glitches_by_round: dict[int, int] = field(default_factory=dict)
+    failovers_by_round: dict[int, int] = field(default_factory=dict)
+    shed_by_round: dict[int, int] = field(default_factory=dict)
+    paused_by_round: dict[int, int] = field(default_factory=dict)
+    #: ``(sim time, description)`` fault events applied during the run.
+    fault_log: list[tuple[float, str]] = field(default_factory=list)
+    #: ``(round, action, stream_id)`` shedding decisions
+    #: (action in {"pause", "drop", "resume"}).
+    shed_log: list[tuple[int, str, int]] = field(default_factory=list)
 
     @property
     def sharing_factor(self) -> float:
@@ -76,11 +103,27 @@ class MediaServer:
         (useful for deliberately overloading the server in experiments).
     seed:
         Root seed for all randomness (placement, latencies).
+    fault_injector:
+        Optional :class:`repro.server.faults.FaultInjector`.  Its
+        schedule is bound to this server's engine: events at a round
+        boundary ``k * round_length`` take effect before round ``k`` is
+        dispatched; events inside a round flip device state mid-sweep
+        (the affected scheduler abandons the rest of its batch).
+    shedding:
+        Optional :class:`repro.server.faults.SheddingPolicy`: while a
+        disk is failed, the newest streams are paused (or dropped) at
+        round boundaries until the per-disk batch meets the
+        degraded-mode bound, and resumed once capacity returns.
+    mirrored:
+        Lay every fragment out with a RAID-1 replica on its partner
+        disk; requests whose home disk is down fail over to the
+        replica (the survivor serves the doubled batch).
     """
 
     def __init__(self, specs: list[DiskSpec], round_length: float,
                  admission: AdmissionController | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, fault_injector=None, shedding=None,
+                 mirrored: bool = False) -> None:
         if not specs:
             raise ConfigurationError("need at least one disk")
         if round_length <= 0:
@@ -93,15 +136,24 @@ class MediaServer:
         self.specs = list(specs)
         self.round_length = float(round_length)
         self.admission = admission
+        self.faults = fault_injector
+        self.shedding = shedding
         self.rng = RngRegistry(seed)
         self.engine = Engine()
+        # Bind the fault schedule before any scheduler process starts,
+        # so state flips scheduled at the same instant as a request
+        # completion are applied first (calendar sequence order).
+        if self.faults is not None:
+            self.faults.bind(self.engine, len(specs))
         self.layout = StripedLayout(self.specs,
-                                    self.rng.stream("placement"))
+                                    self.rng.stream("placement"),
+                                    mirrored=mirrored)
         self.streams: dict[int, Stream] = {}
         self.report = ServerReport(
             per_disk_late_rounds={d: 0 for d in range(len(specs))})
         self._next_stream_id = 0
         self._round_index = 0
+        self._stream_first_disk: dict[int, int] = {}
         # Per-disk load balance: with stride-1 round-robin striping, a
         # stream's disk in round r is (c + r) mod D for a constant
         # "phase" c, so the per-disk batch size equals the number of
@@ -117,7 +169,8 @@ class MediaServer:
             DiskScheduler(self.engine, DiskDrive(spec.geometry,
                                                  spec.seek_curve),
                           self.rng.stream(f"disk-{d}"),
-                          self._handle_outcome, disk_id=d)
+                          self._handle_outcome, disk_id=d,
+                          faults=self.faults)
             for d, spec in enumerate(self.specs)
         ]
 
@@ -174,6 +227,7 @@ class MediaServer:
         self._startup_delays.append(stream.start_delay)
         self.streams[stream.stream_id] = stream
         self._stream_phase[stream.stream_id] = phase
+        self._stream_first_disk[stream.stream_id] = first_disk
         self._phase_counts[phase] += 1
         self._next_stream_id += 1
         return stream
@@ -184,8 +238,11 @@ class MediaServer:
             raise ConfigurationError(
                 f"stream {stream.stream_id} is not active")
         del self.streams[stream.stream_id]
-        phase = self._stream_phase.pop(stream.stream_id)
-        self._phase_counts[phase] -= 1
+        # Paused streams are not in the phase census.
+        phase = self._stream_phase.pop(stream.stream_id, None)
+        if phase is not None:
+            self._phase_counts[phase] -= 1
+        self._stream_first_disk.pop(stream.stream_id, None)
         if self.admission is not None:
             self.admission.release()
 
@@ -207,9 +264,13 @@ class MediaServer:
             self._round_index += 1
             self.report.rounds += 1
             self._reap_finished()
+        if self.faults is not None:
+            self.report.fault_log = list(self.faults.log)
         return self.report
 
     def _dispatch_round(self) -> None:
+        if self.faults is not None and self.shedding is not None:
+            self._replan_round()
         deadline = (self._round_index + 1) * self.round_length
         batches: dict[int, list[DiskRequest]] = {
             d: [] for d in range(len(self.specs))}
@@ -226,18 +287,132 @@ class MediaServer:
                               []).append(stream.stream_id)
         for (object_name, fragment), members in groups.items():
             location = self.layout.locate(object_name, fragment)
+            serve_disk = location.disk
+            serve_cylinder = location.cylinder
+            if (self.faults is not None
+                    and not self.faults.available(location.disk)):
+                if (location.mirror_disk is not None
+                        and self.faults.available(location.mirror_disk)):
+                    # RAID-1 failover: the surviving partner serves the
+                    # fetch from its own replica position.
+                    serve_disk = location.mirror_disk
+                    serve_cylinder = location.mirror_cylinder
+                    self.report.failovers += 1
+                    self.report.failovers_by_round[self._round_index] = \
+                        self.report.failovers_by_round.get(
+                            self._round_index, 0) + 1
+                else:
+                    # No live copy anywhere: the fetch is lost outright.
+                    self.report.dropped_requests += len(members)
+                    for stream_id in members:
+                        stream = self.streams.get(stream_id)
+                        if stream is not None:
+                            stream.record_glitch(self._round_index)
+                        self.report.glitches += 1
+                        self.report.glitches_by_round[self._round_index] \
+                            = self.report.glitches_by_round.get(
+                                self._round_index, 0) + 1
+                    continue
             representative = members[0]
             self.report.physical_requests += 1
-            batches[location.disk].append(DiskRequest(
+            batches[serve_disk].append(DiskRequest(
                 stream_id=representative, size=location.size,
-                cylinder=location.cylinder))
+                cylinder=serve_cylinder))
             if len(members) > 1:
-                self._multicast[(self._round_index, location.disk,
+                self._multicast[(self._round_index, serve_disk,
                                  representative)] = members
         for disk, requests in batches.items():
             if requests:
                 self._schedulers[disk].submit(self._round_index, deadline,
                                               requests)
+
+    # ------------------------------------------------------------------
+    # load shedding (degraded mode)
+    # ------------------------------------------------------------------
+    def _replan_round(self) -> None:
+        """Re-plan admission and active load at a round boundary.
+
+        While any disk is failed, admission is degraded to the
+        doubled-batch bound and the *newest* streams are shed (paused or
+        dropped, per policy) until the active population fits
+        ``disks * degraded_n_max``; when capacity returns, paused
+        streams are resumed oldest-first.  Runs before the batches are
+        built, so a decision takes effect in the same round.
+        """
+        policy = self.shedding
+        degraded = bool(self.faults.failed_disks())
+        if self.admission is not None:
+            if degraded and not self.admission.degraded:
+                self.admission.degrade(policy.degraded_n_max)
+            elif not degraded and self.admission.degraded:
+                self.admission.restore()
+        by_id = lambda s: s.stream_id  # noqa: E731
+        serving = sorted((s for s in self.streams.values()
+                          if not s.paused), key=by_id)
+        paused = sorted((s for s in self.streams.values() if s.paused),
+                        key=by_id)
+        if degraded:
+            target = policy.target(self.disks)
+        else:
+            target = (self.admission.capacity
+                      if self.admission is not None else len(self.streams))
+        # Resume oldest-first while there is room under the current
+        # bound (all of them, once every disk is healthy again).
+        while paused and len(serving) < target:
+            resumed = paused.pop(0)
+            self._resume_stream(resumed)
+            serving.append(resumed)
+        # Shed newest-first down to the bound.
+        while len(serving) > target:
+            stream = serving.pop()
+            if policy.mode == "drop":
+                self._drop_stream(stream)
+            else:
+                self._pause_stream(stream)
+            paused.append(stream)
+        # Streams still paused this round: their schedule slips by one.
+        for stream in self.streams.values():
+            if stream.paused:
+                stream.defer_round()
+                self.report.paused_stream_rounds += 1
+                self.report.paused_by_round[self._round_index] = \
+                    self.report.paused_by_round.get(
+                        self._round_index, 0) + 1
+
+    def _pause_stream(self, stream: Stream) -> None:
+        stream.pause()
+        # A paused stream leaves the phase census (it issues no
+        # fetches); it re-enters on resume with its slipped phase.
+        phase = self._stream_phase.pop(stream.stream_id, None)
+        if phase is not None:
+            self._phase_counts[phase] -= 1
+        self.report.shed_streams += 1
+        self.report.shed_by_round[self._round_index] = \
+            self.report.shed_by_round.get(self._round_index, 0) + 1
+        self.report.shed_log.append(
+            (self._round_index, "pause", stream.stream_id))
+
+    def _drop_stream(self, stream: Stream) -> None:
+        stream.stats.shed = True
+        self.report.shed_streams += 1
+        self.report.shed_by_round[self._round_index] = \
+            self.report.shed_by_round.get(self._round_index, 0) + 1
+        self.report.shed_log.append(
+            (self._round_index, "drop", stream.stream_id))
+        self.close_stream(stream)
+
+    def _resume_stream(self, stream: Stream) -> None:
+        stream.resume()
+        first_disk = self._stream_first_disk[stream.stream_id]
+        # The paused rounds slipped start_round, so the phase class
+        # moved with it: the stream re-fetches exactly the fragment it
+        # froze on, on that fragment's home disk.
+        phase = (first_disk - stream.start_round) % self.disks
+        self._stream_phase[stream.stream_id] = phase
+        self._phase_counts[phase] += 1
+        self.report.resumed_streams += 1
+        self.report.shed_log.append(
+            (self._round_index, "resume", stream.stream_id))
 
     def _expand_multicast(self, round_index: int, disk: int,
                           representative: int) -> list[int]:
@@ -263,6 +438,9 @@ class MediaServer:
                 if stream is not None:
                     stream.record_glitch(outcome.round_index)
                 self.report.glitches += 1
+                self.report.glitches_by_round[outcome.round_index] = \
+                    self.report.glitches_by_round.get(
+                        outcome.round_index, 0) + 1
 
     def _reap_finished(self) -> None:
         finished = [s for s in self.streams.values()

@@ -48,8 +48,10 @@ __all__ = [
     "estimate_p_late",
     "simulate_stream_glitches",
     "estimate_p_error",
+    "simulate_failover_rounds",
     "PLateEstimate",
     "PErrorEstimate",
+    "FailoverEstimate",
 ]
 
 #: Rounds per vectorised chunk; bounds peak memory at roughly
@@ -318,6 +320,60 @@ def simulate_stream_glitches(spec: DiskSpec, size_dist: Distribution,
         batch = simulate_rounds(spec, size_dist, n, t, m, rng)
         counts[run] = np.sum(batch.glitches, axis=0)
     return counts
+
+
+@dataclass(frozen=True)
+class FailoverEstimate:
+    """Vectorised two-phase estimate of a mirrored-pair failover.
+
+    The survivor of a RAID-1 pair serves ``n_healthy`` requests per
+    round until the partner fails, then ``n_degraded`` per round (the
+    doubled batch -- or the shed batch, when load shedding caps it).
+    ``p_late_*`` are round-overrun probabilities with Wilson 95 % CIs.
+    """
+
+    n_healthy: int
+    n_degraded: int
+    t: float
+    rounds_healthy: int
+    rounds_degraded: int
+    p_late_healthy: float
+    p_late_degraded: float
+    ci_healthy: tuple[float, float]
+    ci_degraded: tuple[float, float]
+
+
+def simulate_failover_rounds(spec: DiskSpec, size_dist: Distribution,
+                             n_healthy: int, n_degraded: int, t: float,
+                             rounds_healthy: int = 2000,
+                             rounds_degraded: int = 2000,
+                             seed: int = 0) -> FailoverEstimate:
+    """Vectorised cross-check of the event-driven failover path.
+
+    Simulates the *survivor* disk of a mirrored pair through a partner
+    failure: ``rounds_healthy`` rounds at batch ``n_healthy``, then
+    ``rounds_degraded`` rounds at batch ``n_degraded`` (``2 n`` without
+    shedding, ``2 n_shed`` with -- each mirrored fetch adds one request
+    to the survivor's sweep).  The arm position carries over between the
+    phases.  Used by bench A21 to confirm the degraded-phase overrun
+    rate agrees with the analytic ``b_late(n_degraded, t)`` bound
+    independently of the event-driven server.
+    """
+    rng = np.random.default_rng(seed)
+    healthy = simulate_rounds(spec, size_dist, n_healthy, t,
+                              rounds_healthy, rng)
+    degraded = simulate_rounds(spec, size_dist, n_degraded, t,
+                               rounds_degraded, rng)
+    late_h = int(np.sum(healthy.service_times > t))
+    late_d = int(np.sum(degraded.service_times > t))
+    return FailoverEstimate(
+        n_healthy=n_healthy, n_degraded=n_degraded, t=t,
+        rounds_healthy=rounds_healthy, rounds_degraded=rounds_degraded,
+        p_late_healthy=late_h / rounds_healthy,
+        p_late_degraded=late_d / rounds_degraded,
+        ci_healthy=wilson_interval(late_h, rounds_healthy),
+        ci_degraded=wilson_interval(late_d, rounds_degraded),
+    )
 
 
 @dataclass(frozen=True)

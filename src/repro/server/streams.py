@@ -62,6 +62,13 @@ class StreamStats:
     delivered: int = 0
     glitches: int = 0
     glitch_rounds: list[int] = field(default_factory=list)
+    #: Times the stream was paused by the load-shedding policy.
+    pauses: int = 0
+    #: Rounds spent paused (display frozen, no fetches issued).
+    paused_rounds: int = 0
+    #: Whether the shedding policy closed the stream outright
+    #: (``mode="drop"``).
+    shed: bool = False
 
     @property
     def requested(self) -> int:
@@ -97,11 +104,41 @@ class Stream:
         self.start_round = int(start_round)
         self.buffer = ClientBuffer(buffer_capacity)
         self.stats = StreamStats()
+        #: Set by the load-shedding policy: a paused stream issues no
+        #: fetches and its playback position freezes (the remaining
+        #: fragments shift later, one round per paused round).
+        self.paused = False
 
     # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Freeze playback (load shedding entered degraded mode)."""
+        if self.paused:
+            raise SimulationError(
+                f"stream {self.stream_id} is already paused")
+        self.paused = True
+        self.stats.pauses += 1
+
+    def resume(self) -> None:
+        """Continue playback from where the pause left off."""
+        if not self.paused:
+            raise SimulationError(
+                f"stream {self.stream_id} is not paused")
+        self.paused = False
+
+    def defer_round(self) -> None:
+        """Account one paused round: the whole remaining schedule slips
+        by one round, so the next fetch resumes at the frozen offset."""
+        if not self.paused:
+            raise SimulationError(
+                f"stream {self.stream_id} is not paused")
+        self.start_round += 1
+        self.stats.paused_rounds += 1
+
     def fragment_for_round(self, round_index: int) -> int | None:
         """Fragment index this stream needs fetched in ``round_index``,
-        or None when the stream is inactive/finished then."""
+        or None when the stream is paused or inactive/finished then."""
+        if self.paused:
+            return None
         offset = round_index - self.start_round
         if offset < 0 or offset >= self.length:
             return None

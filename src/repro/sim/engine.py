@@ -223,6 +223,26 @@ class Engine:
         """Start a process coroutine now."""
         return Process(self, generator)
 
+    def at(self, when: float, callback: Callable[[], None],
+           value: Any = None) -> Event:
+        """Schedule ``callback`` to run at absolute time ``when``.
+
+        The hook an external controller (e.g. a fault injector) uses to
+        mutate model state at an exact simulation instant, deterministically
+        ordered against process events by the calendar's (time, sequence)
+        key.  Times already in the past run at the current time.  Returns
+        the underlying event so processes may also wait on it.
+        """
+        if math.isnan(when):
+            raise SimulationError(f"at() time must be a number, got {when!r}")
+        event = Event(self)
+        event._triggered = True
+        event._ok = True
+        event._value = value
+        event.callbacks.append(lambda _event: callback())
+        self._push(max(float(when), self._now), event)
+        return event
+
     # ------------------------------------------------------------------
     # scheduling internals
     # ------------------------------------------------------------------

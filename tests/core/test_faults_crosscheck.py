@@ -1,0 +1,78 @@
+"""Analytic recalibration bound vs the runtime storm injector.
+
+``tests/core/test_faults_sensitivity.py`` already checks that
+:func:`repro.core.faults.with_recalibration` dominates the *vectorised*
+simulation.  Here the disturbance comes from the other direction: the
+event-driven server runs under a :func:`recalibration_storm` injected by
+the runtime :class:`~repro.server.faults.FaultInjector` (the stall
+seizes the arm before each affected sweep), and the observed per-round
+overrun rate must still sit below the analytic ``b_late`` of the
+recalibrated model with the same ``(prob, stall)`` law.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RoundServiceTimeModel
+from repro.core.faults import with_recalibration
+from repro.server.faults import FaultInjector, recalibration_storm
+from repro.server.server import MediaServer
+
+T = 1.0
+N = 27          # one above the delta=0.01 operating point: nonzero rate
+ROUNDS = 1200
+PROB = 0.5      # storm law: each round stalls 0.15 s w.p. 0.5
+STALL = 0.15
+
+
+def _run_server(spec, size_dist, *, storm: bool, seed: int = 3):
+    injector = (FaultInjector([recalibration_storm(0.0, PROB, ROUNDS * T,
+                                                   stall=STALL)],
+                              seed=seed)
+                if storm else None)
+    server = MediaServer([spec], T, admission=None, seed=seed,
+                         fault_injector=injector)
+    rng = np.random.default_rng(42)
+    for index in range(N):
+        name = f"object-{index}"
+        server.store_object(
+            name, np.asarray(size_dist.sample(rng, ROUNDS), dtype=float))
+        server.open_stream(name)
+    return server.run_rounds(ROUNDS)
+
+
+@pytest.fixture(scope="module")
+def storm_report(viking, paper_sizes):
+    return _run_server(viking, paper_sizes, storm=True)
+
+
+class TestRuntimeStormDominance:
+    def test_recalibrated_bound_dominates_injected_storm(
+            self, storm_report, viking, paper_sizes):
+        model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        bound = with_recalibration(model, PROB, STALL).b_late(N, T)
+        # The analytic mixture term prices exactly the injected law, so
+        # the Chernoff bound must cover the event-driven overrun rate.
+        assert storm_report.rounds == ROUNDS
+        assert storm_report.p_late <= bound
+
+    def test_clean_bound_cannot_cover_the_storm(self, storm_report,
+                                                viking, paper_sizes):
+        model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+        clean_bound = model.b_late(N, T)
+        # The storm pushes the observed rate well above the clean bound:
+        # folding the disturbance into the MGF is load-bearing, not
+        # slack absorbed by Chernoff conservatism.
+        assert storm_report.p_late > 2 * clean_bound
+
+    def test_storm_degrades_the_clean_server(self, storm_report, viking,
+                                             paper_sizes):
+        clean = _run_server(viking, paper_sizes, storm=False)
+        assert clean.p_late <= RoundServiceTimeModel.for_disk(
+            viking, paper_sizes).b_late(N, T)
+        assert storm_report.late_rounds > 10 * clean.late_rounds
+
+    def test_storm_run_is_deterministic(self, storm_report, viking,
+                                        paper_sizes):
+        again = _run_server(viking, paper_sizes, storm=True)
+        assert again == storm_report

@@ -1,0 +1,440 @@
+"""Runtime fault injection, mirror failover and load shedding.
+
+The contracts under test:
+
+- the schedule DSL and its TOML loader validate and round-trip;
+- fault events fire deterministically at exact simulation times, and a
+  whole scenario's :class:`ServerReport` (including the shed/failover
+  event logs) is identical across repeated runs with the same seed;
+- a failed disk's requests fail over to the RAID-1 mirror; without a
+  live mirror they are dropped and counted;
+- the shedding policy pauses the newest streams down to the
+  degraded-mode bound, keeps every surviving stream within the analytic
+  tolerance ``delta``, and resumes paused streams -- at the exact frozen
+  playback offset -- once capacity returns, while the no-shedding
+  configuration demonstrably violates the bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.server.admission import AdmissionController
+from repro.server.faults import (
+    DEFAULT_STALL,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    SheddingPolicy,
+    disk_fail,
+    disk_recover,
+    recalibration_storm,
+    run_failover_scenario,
+    slow_disk,
+)
+from repro.server.server import MediaServer
+from repro.server.streams import Stream
+
+T = 1.0
+DELTA = 0.01
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def _loaded_server(spec, n_streams, rounds, *, disks=2, mirrored=True,
+                   faults=None, shedding=None, admission=None, seed=0):
+    """A farm with ``n_streams`` single-object streams of ``rounds``
+    fragments each."""
+    server = MediaServer([spec] * disks, T, admission=admission,
+                         seed=seed, fault_injector=faults,
+                         shedding=shedding, mirrored=mirrored)
+    size_rng = np.random.default_rng(7)
+    streams = []
+    for index in range(n_streams):
+        sizes = np.full(rounds, 150_000.0) * (
+            1.0 + 0.1 * size_rng.random(rounds))
+        server.store_object(f"obj-{index}", sizes)
+        streams.append(server.open_stream(f"obj-{index}"))
+    return server, streams
+
+
+# ----------------------------------------------------------------------
+# schedule DSL
+# ----------------------------------------------------------------------
+
+class TestFaultDSL:
+    def test_constructors(self):
+        assert disk_fail(3.0, 1) == FaultEvent("disk_fail", 3.0, disk=1)
+        assert disk_recover(4.0).disk == 0
+        assert slow_disk(1.0, 2.5, disk=1).factor == 2.5
+        storm = recalibration_storm(2.0, 0.3, 5.0)
+        assert storm.disk is None
+        assert storm.stall == DEFAULT_STALL
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent("disk_melt", 1.0, disk=0)
+        with pytest.raises(ConfigurationError):
+            disk_fail(-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultEvent("disk_fail", 1.0)  # no disk
+        with pytest.raises(ConfigurationError):
+            slow_disk(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            recalibration_storm(1.0, 1.0, 5.0)  # prob must be < 1
+        with pytest.raises(ConfigurationError):
+            recalibration_storm(1.0, 0.5, 0.0)  # duration
+        with pytest.raises(ConfigurationError):
+            recalibration_storm(1.0, 0.5, 5.0, stall=0.0)
+
+    def test_schedule_sorts_and_validates_disks(self):
+        schedule = FaultSchedule([disk_recover(9.0, 0), disk_fail(2.0, 0)])
+        assert [e.t for e in schedule] == [2.0, 9.0]
+        assert len(schedule) == 2
+        schedule.validate_disks(1)
+        with pytest.raises(ConfigurationError):
+            FaultSchedule([disk_fail(1.0, disk=5)]).validate_disks(2)
+
+    def test_from_dict(self):
+        schedule = FaultSchedule.from_dict({"events": [
+            {"kind": "disk_fail", "t": 4.0, "disk": 1},
+            {"kind": "recalibration_storm", "t": 1.0, "prob": 0.2,
+             "duration": 3.0},
+        ]})
+        assert [e.kind for e in schedule] == ["recalibration_storm",
+                                              "disk_fail"]
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_dict({})
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_dict({"events": []})
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_dict({"events": [{"kind": "disk_fail"}]})
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_dict({"events": [
+                {"kind": "disk_fail", "t": 1.0, "disk": 0,
+                 "severity": 11}]})
+
+    def test_from_toml(self, tmp_path):
+        path = tmp_path / "schedule.toml"
+        path.write_text(
+            '[[events]]\nkind = "disk_fail"\nt = 40.0\ndisk = 0\n\n'
+            '[[events]]\nkind = "disk_recover"\nt = 90.0\ndisk = 0\n',
+            encoding="utf-8")
+        schedule = FaultSchedule.from_toml(path)
+        assert [e.describe() for e in schedule] == [
+            "t=40: disk 0 failed", "t=90: disk 0 recovered"]
+
+    def test_from_toml_rejects_malformed(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("events = not toml [", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_toml(path)
+
+    def test_example_schedule_parses(self):
+        from pathlib import Path
+        example = (Path(__file__).resolve().parents[2] / "examples"
+                   / "single_disk_failure.toml")
+        schedule = FaultSchedule.from_toml(example)
+        assert [e.kind for e in schedule] == ["disk_fail", "disk_recover"]
+
+
+# ----------------------------------------------------------------------
+# injector semantics
+# ----------------------------------------------------------------------
+
+class TestFaultInjector:
+    def test_bind_twice_rejected(self):
+        from repro.sim.engine import Engine
+        injector = FaultInjector([disk_fail(1.0, 0)])
+        injector.bind(Engine(), 1)
+        with pytest.raises(ConfigurationError):
+            injector.bind(Engine(), 1)
+
+    def test_bind_validates_schedule_against_farm(self):
+        from repro.sim.engine import Engine
+        injector = FaultInjector([disk_fail(1.0, disk=3)])
+        with pytest.raises(ConfigurationError):
+            injector.bind(Engine(), 2)
+
+    def test_state_flips_at_exact_times(self):
+        from repro.sim.engine import Engine
+        engine = Engine()
+        injector = FaultInjector([disk_fail(2.0, 0), disk_recover(5.0, 0),
+                                  slow_disk(3.0, 4.0, disk=1)])
+        injector.bind(engine, 2)
+        assert injector.available(0)
+        engine.run(until=2.0)
+        assert not injector.available(0)
+        assert injector.failed_disks() == frozenset({0})
+        assert injector.service_scale(1) == 1.0
+        engine.run(until=3.0)
+        assert injector.service_scale(1) == 4.0
+        engine.run(until=5.0)
+        assert injector.available(0)
+        assert [t for t, _ in injector.log] == [2.0, 3.0, 5.0]
+
+    def test_storm_stall_is_counter_based(self):
+        storm = recalibration_storm(10.0, 0.5, 20.0, stall=0.05)
+        a = FaultInjector([storm], seed=3)
+        b = FaultInjector([storm], seed=3)
+        # Query in different orders: answers depend only on the
+        # (seed, storm, disk, round) coordinates.
+        grid = [(d, r) for d in range(2) for r in range(10, 30)]
+        forward = {key: a.round_stall(key[0], key[1], 15.0)
+                   for key in grid}
+        backward = {key: b.round_stall(key[0], key[1], 15.0)
+                    for key in reversed(grid)}
+        assert forward == backward
+        stalls = set(forward.values())
+        assert stalls <= {0.0, 0.05}
+        assert len(stalls) == 2  # both outcomes occur at prob 0.5
+
+    def test_storm_respects_window_and_disk(self):
+        storm = recalibration_storm(10.0, 0.99, 5.0, disk=1)
+        injector = FaultInjector([storm], seed=0)
+        assert injector.round_stall(0, 12, 12.0) == 0.0  # other disk
+        assert injector.round_stall(1, 8, 8.0) == 0.0    # before window
+        assert injector.round_stall(1, 15, 15.0) == 0.0  # after window
+        inside = [injector.round_stall(1, r, float(r))
+                  for r in range(10, 15)]
+        assert sum(1 for s in inside if s > 0.0) >= 4  # prob 0.99
+
+    def test_seed_changes_storm_draws(self):
+        storm = recalibration_storm(0.0, 0.5, 100.0)
+        a = FaultInjector([storm], seed=0)
+        b = FaultInjector([storm], seed=1)
+        draws_a = [a.round_stall(0, r, 50.0) for r in range(64)]
+        draws_b = [b.round_stall(0, r, 50.0) for r in range(64)]
+        assert draws_a != draws_b
+
+
+# ----------------------------------------------------------------------
+# shedding policy
+# ----------------------------------------------------------------------
+
+class TestSheddingPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SheddingPolicy(-1)
+        with pytest.raises(ConfigurationError):
+            SheddingPolicy(5, mode="panic")
+        assert SheddingPolicy(5).target(4) == 20
+
+    def test_from_model(self, viking, paper_sizes):
+        policy = SheddingPolicy.from_model(viking, paper_sizes, T, DELTA)
+        assert policy.mode == "pause"
+        # The paper's operating point: 26 healthy, 13 failure-proof.
+        assert policy.degraded_n_max == 13
+
+    def test_admission_degrade_restore(self):
+        ctrl = AdmissionController(26, disks=2)
+        assert not ctrl.degraded
+        ctrl.degrade(13)
+        assert ctrl.degraded
+        assert ctrl.capacity == 26
+        ctrl.restore()
+        assert not ctrl.degraded
+        assert ctrl.capacity == 52
+        with pytest.raises(ConfigurationError):
+            ctrl.degrade(-1)
+
+
+# ----------------------------------------------------------------------
+# stream pause/resume mechanics
+# ----------------------------------------------------------------------
+
+class TestStreamPause:
+    def test_pause_freezes_playback_offset(self):
+        stream = Stream(0, "obj", length=10, start_round=0)
+        assert stream.fragment_for_round(4) == 4
+        stream.pause()
+        assert stream.fragment_for_round(4) is None
+        for _ in range(3):  # three paused rounds slip the schedule
+            stream.defer_round()
+        stream.resume()
+        assert stream.fragment_for_round(7) == 4  # same fragment
+        assert stream.stats.pauses == 1
+        assert stream.stats.paused_rounds == 3
+
+    def test_double_pause_and_stray_resume_rejected(self):
+        stream = Stream(0, "obj", length=5, start_round=0)
+        with pytest.raises(SimulationError):
+            stream.resume()
+        with pytest.raises(SimulationError):
+            stream.defer_round()
+        stream.pause()
+        with pytest.raises(SimulationError):
+            stream.pause()
+        stream.resume()
+        with pytest.raises(SimulationError):
+            stream.defer_round()
+
+
+# ----------------------------------------------------------------------
+# failover + shedding, end to end
+# ----------------------------------------------------------------------
+
+class TestFailover:
+    def test_failed_disk_requests_served_by_mirror(self, viking):
+        injector = FaultInjector([disk_fail(10.0, 0)])
+        server, streams = _loaded_server(viking, 8, 30, faults=injector)
+        report = server.run_rounds(30)
+        assert report.failovers > 0
+        assert report.dropped_requests == 0
+        # Every fetch was served somewhere, on time: a lightly-loaded
+        # mirrored pair hides the failure completely.
+        assert report.glitches == 0
+        assert all(s.stats.glitches == 0 for s in streams)
+
+    def test_unmirrored_farm_drops_requests(self, viking):
+        injector = FaultInjector([disk_fail(10.0, 0)])
+        server, streams = _loaded_server(viking, 8, 30, mirrored=False,
+                                         faults=injector)
+        report = server.run_rounds(30)
+        assert report.failovers == 0
+        assert report.dropped_requests > 0
+        assert report.glitches >= report.dropped_requests
+        # The drops land in the post-failure rounds.
+        assert all(r >= 10 for r in report.glitches_by_round)
+
+    def test_mid_round_failure_abandons_rest_of_sweep(self, viking):
+        # Fail mid-round: the affected scheduler abandons its batch at
+        # the fault instant, so that round glitches on the failed disk.
+        injector = FaultInjector([disk_fail(10.05, 0)])
+        server, _ = _loaded_server(viking, 8, 30, mirrored=False,
+                                   faults=injector)
+        report = server.run_rounds(30)
+        assert 10 in report.glitches_by_round
+
+    def test_slow_disk_recovers_with_factor_one(self, viking):
+        injector = FaultInjector([slow_disk(5.0, 50.0, disk=0),
+                                  slow_disk(10.0, 1.0, disk=0)])
+        server, _ = _loaded_server(viking, 8, 30, faults=injector)
+        report = server.run_rounds(30)
+        slowed = {r for r in report.glitches_by_round if 5 <= r < 10}
+        assert slowed  # a 50x slowdown must overrun the round
+        # Factor 1.0 restores full speed; at most one in-flight scaled
+        # request can spill past the restore instant, so the backlog
+        # clears within two rounds.
+        assert not {r for r in report.glitches_by_round if r >= 12}
+
+    def test_fault_log_matches_schedule(self, viking):
+        injector = FaultInjector([disk_fail(3.0, 0), disk_recover(7.0, 0)])
+        server, _ = _loaded_server(viking, 4, 12, faults=injector)
+        report = server.run_rounds(12)
+        assert report.fault_log == [(3.0, "t=3: disk 0 failed"),
+                                    (7.0, "t=7: disk 0 recovered")]
+
+
+class TestSheddingEndToEnd:
+    @pytest.fixture(scope="class")
+    def scenario(self, viking, paper_sizes):
+        return run_failover_scenario(viking, paper_sizes, rounds=120,
+                                     fail_round=40, seed=0)
+
+    def test_shedding_meets_degraded_bound(self, scenario, viking,
+                                           paper_sizes):
+        # The tentpole validation: with shedding, every surviving
+        # stream's simulated glitch rate stays within the analytic
+        # degraded-mode Chernoff tolerance.
+        assert scenario.healthy_n_max == 26
+        assert scenario.degraded_n_max == 13
+        assert scenario.survivors == 26
+        assert scenario.within_bound
+        assert scenario.max_glitch_rate <= DELTA
+        assert scenario.aggregate_glitch_rate <= DELTA
+
+    def test_no_shedding_violates_bound(self, viking, paper_sizes):
+        scenario = run_failover_scenario(viking, paper_sizes, rounds=120,
+                                         fail_round=40, shedding=False,
+                                         seed=0)
+        # The survivor's doubled batch has mean service > the round
+        # length at the paper's operating point: a guaranteed,
+        # persistent violation -- shedding is load-bearing.
+        assert not scenario.within_bound
+        assert scenario.max_glitch_rate > 10 * DELTA
+        assert scenario.report.shed_streams == 0
+
+    def test_sheds_newest_streams_down_to_target(self, scenario):
+        report = scenario.report
+        # 52 streams, degraded target 2 * 13 = 26: shed exactly 26.
+        assert report.shed_streams == 26
+        shed_ids = sorted(sid for _, action, sid in report.shed_log
+                          if action == "pause")
+        assert shed_ids == list(range(26, 52))  # the newest half
+        assert all(r == 40 for r, a, _ in report.shed_log if a == "pause")
+
+    def test_paused_streams_issue_no_fetches(self, scenario):
+        report = scenario.report
+        # Shed at round 40 of 120: each paused stream defers 80 rounds.
+        assert report.paused_stream_rounds == 26 * 80
+        assert report.resumed_streams == 0
+
+    def test_recovery_resumes_at_frozen_offset(self, viking, paper_sizes):
+        scenario = run_failover_scenario(viking, paper_sizes, rounds=120,
+                                         fail_round=40, recover_round=70,
+                                         seed=0)
+        report = scenario.report
+        assert report.resumed_streams == 26
+        assert all(r == 70 for r, a, _ in report.shed_log
+                   if a == "resume")
+        # Paused streams froze for exactly 30 rounds and then resumed
+        # requesting from the frozen offset (no fragment skipped):
+        # by round 120 they have requested 120 - 30 = 90 fragments.
+        assert report.paused_stream_rounds == 26 * 30
+
+    def test_drop_mode_closes_streams(self, viking, paper_sizes):
+        scenario = run_failover_scenario(viking, paper_sizes, rounds=60,
+                                         fail_round=40, shed_mode="drop",
+                                         seed=0)
+        report = scenario.report
+        assert report.shed_streams == 26
+        assert {a for _, a, _ in report.shed_log} == {"drop"}
+        assert report.paused_stream_rounds == 0
+
+    def test_scenario_validation(self, viking, paper_sizes):
+        with pytest.raises(ConfigurationError):
+            run_failover_scenario(viking, paper_sizes, disks=3)
+        with pytest.raises(ConfigurationError):
+            run_failover_scenario(viking, paper_sizes, rounds=50,
+                                  fail_round=60)
+        with pytest.raises(ConfigurationError):
+            run_failover_scenario(viking, paper_sizes, rounds=50,
+                                  fail_round=30, recover_round=20)
+
+
+class TestDeterminism:
+    def test_identical_reports_across_runs(self, viking, paper_sizes):
+        kw = dict(rounds=80, fail_round=30, recover_round=60, seed=5)
+        a = run_failover_scenario(viking, paper_sizes, **kw)
+        b = run_failover_scenario(viking, paper_sizes, **kw)
+        # The full report -- counters, per-round dicts, fault and shed
+        # event logs -- must compare equal, not just the headline rates.
+        assert a.report == b.report
+        assert a.survivor_glitch_rates == b.survivor_glitch_rates
+
+    def test_identical_reports_with_storms(self, viking):
+        schedule = FaultSchedule([
+            disk_fail(10.0, 0), disk_recover(20.0, 0),
+            recalibration_storm(5.0, 0.4, 25.0, stall=0.08)])
+
+        def run():
+            injector = FaultInjector(schedule, seed=11)
+            server, _ = _loaded_server(viking, 8, 40, faults=injector,
+                                       seed=11)
+            return server.run_rounds(40)
+
+        assert run() == run()
+
+    def test_seed_matters(self, viking, paper_sizes):
+        # Under shedding the glitch count is ~0 for any seed, so compare
+        # the overloaded (no-shedding) runs, whose per-round glitch
+        # patterns depend on the sampled sizes and latencies.
+        kw = dict(rounds=60, fail_round=30, shedding=False)
+        a = run_failover_scenario(viking, paper_sizes, seed=0, **kw)
+        b = run_failover_scenario(viking, paper_sizes, seed=1, **kw)
+        assert a.report != b.report

@@ -9,6 +9,7 @@ call.
 """
 
 import os
+import signal
 
 import numpy as np
 import pytest
@@ -19,10 +20,12 @@ from repro.parallel import (
     DEFAULT_CHUNK_ROUNDS,
     JOBS_ENV,
     SHM_PREFIX,
+    WORKER_RETRIES_ENV,
     estimate_p_error_parallel,
     estimate_p_late_parallel,
     fan_out,
     resolve_jobs,
+    resolve_worker_retries,
     simulate_rounds_parallel,
     simulate_stream_glitches_parallel,
     sweep_p_error_parallel,
@@ -74,6 +77,42 @@ class _ExplodingSizes(Gamma):
 
     def sample(self, rng, size=None):
         raise RuntimeError("sampler exploded")
+
+
+#: Path of the kamikaze sentinel file, handed to pool workers through
+#: the environment (inherited on fork and spawn alike).
+_KILL_SENTINEL_ENV = "REPRO_TEST_KILL_SENTINEL"
+
+
+def _draw_from_seed(task):
+    """The retry contract's worker shape: output depends only on the
+    task's own SeedSequence, never on which process ran it."""
+    _index, seed_seq = task
+    return float(np.random.default_rng(seed_seq).random())
+
+
+def _draw_or_die_once(task):
+    """SIGKILL the worker process the first time task 2 is attempted
+    (simulating the OOM killer); the retry serves it normally."""
+    index, _seed_seq = task
+    sentinel = os.environ.get(_KILL_SENTINEL_ENV)
+    if sentinel and index == 2:
+        if not os.path.exists(sentinel):
+            open(sentinel, "w").close()
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _draw_from_seed(task)
+
+
+def _die_always(task):
+    """Unconditional worker death on task 2: exhausts any retry budget."""
+    index, _seed_seq = task
+    if index == 2:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _draw_from_seed(task)
+
+
+def _seeded_tasks(count, seed=0):
+    return list(enumerate(np.random.SeedSequence(seed).spawn(count)))
 
 
 class TestResolveJobs:
@@ -136,6 +175,54 @@ class TestFanOutFailFast:
                                      jobs=2, chunk_rounds=512,
                                      transport="shm")
         # The autouse fixture asserts no /dev/shm leak on teardown.
+
+
+class TestWorkerRetries:
+    def test_resolve_env_validation(self, monkeypatch):
+        monkeypatch.delenv(WORKER_RETRIES_ENV, raising=False)
+        assert resolve_worker_retries() == 1
+        monkeypatch.setenv(WORKER_RETRIES_ENV, "  ")
+        assert resolve_worker_retries() == 1
+        monkeypatch.setenv(WORKER_RETRIES_ENV, "0")
+        assert resolve_worker_retries() == 0
+        monkeypatch.setenv(WORKER_RETRIES_ENV, "3")
+        assert resolve_worker_retries() == 3
+        monkeypatch.setenv(WORKER_RETRIES_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_worker_retries()
+        monkeypatch.setenv(WORKER_RETRIES_ENV, "-1")
+        with pytest.raises(ConfigurationError):
+            resolve_worker_retries()
+
+    def test_sigkilled_worker_retried_bit_identically(self, tmp_path,
+                                                      monkeypatch):
+        # A worker is SIGKILLed mid-fan-out (the OOM-killer scenario):
+        # the broken pool is replaced, only unfinished tasks rerun, and
+        # -- because every task re-seeds from its own SeedSequence --
+        # the result matches the undisturbed jobs=1 run bit for bit.
+        monkeypatch.delenv(WORKER_RETRIES_ENV, raising=False)
+        monkeypatch.setenv(_KILL_SENTINEL_ENV,
+                           str(tmp_path / "killed-once"))
+        expected = fan_out(_draw_from_seed, _seeded_tasks(6), jobs=1)
+        survived = fan_out(_draw_or_die_once, _seeded_tasks(6), jobs=2)
+        assert survived == expected
+        assert os.path.exists(os.environ[_KILL_SENTINEL_ENV])
+
+    def test_budget_exhaustion_surfaces(self, monkeypatch):
+        monkeypatch.delenv(_KILL_SENTINEL_ENV, raising=False)
+        monkeypatch.setenv(WORKER_RETRIES_ENV, "1")
+        with pytest.raises(ParallelExecutionError) as info:
+            fan_out(_die_always, _seeded_tasks(6), jobs=2)
+        assert "retry budget exhausted" in str(info.value)
+        assert WORKER_RETRIES_ENV in str(info.value)
+
+    def test_zero_retries_restores_fail_fast(self, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv(WORKER_RETRIES_ENV, "0")
+        monkeypatch.setenv(_KILL_SENTINEL_ENV,
+                           str(tmp_path / "killed-once"))
+        with pytest.raises(ParallelExecutionError):
+            fan_out(_draw_or_die_once, _seeded_tasks(6), jobs=2)
 
 
 class TestJobsInvariance:

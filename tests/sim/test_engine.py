@@ -253,3 +253,69 @@ class TestRun:
         engine = Engine()
         with pytest.raises(SimulationError):
             engine.step()
+
+
+class TestCalendarCallbacks:
+    def test_at_fires_at_exact_time(self):
+        engine = Engine()
+        fired = []
+        engine.at(3.0, lambda: fired.append(engine.now))
+        engine.run(until=2.0)
+        assert fired == []
+        engine.run(until=3.0)
+        assert fired == [3.0]
+
+    def test_at_boundary_visible_before_next_interval(self):
+        # The fault-injector contract: an event scheduled exactly at a
+        # round boundary k*L is applied during run(until=k*L), so state
+        # is flipped before round k is dispatched.
+        engine = Engine()
+        state = []
+        engine.at(5.0, lambda: state.append("flipped"))
+        engine.run(until=5.0)
+        assert state == ["flipped"]
+
+    def test_at_orders_against_process_events(self):
+        engine = Engine()
+        order = []
+
+        def proc(engine):
+            order.append(("proc", engine.now))
+            yield engine.timeout(1.0)
+            order.append(("proc", engine.now))
+
+        engine.process(proc(engine))
+        engine.at(1.0, lambda: order.append(("at", engine.now)))
+        engine.run()
+        # Same instant: the process's resumption is re-enqueued when its
+        # timeout fires, so the already-queued callback runs first --
+        # state flips apply before work scheduled at the same time, the
+        # ordering MediaServer relies on for boundary fault events.
+        assert order == [("proc", 0.0), ("at", 1.0), ("proc", 1.0)]
+
+    def test_at_rejects_nan(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.at(float("nan"), lambda: None)
+
+    def test_at_in_the_past_runs_now(self):
+        engine = Engine()
+        engine.timeout(4.0)
+        engine.run(until=4.0)
+        fired = []
+        engine.at(1.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [4.0]
+
+    def test_at_event_can_be_awaited(self):
+        engine = Engine()
+        seen = []
+
+        def proc(engine, event):
+            yield event
+            seen.append(engine.now)
+
+        event = engine.at(2.5, lambda: None)
+        engine.process(proc(engine, event))
+        engine.run()
+        assert seen == [2.5]

@@ -8,6 +8,7 @@ import os
 import sqlite3
 import subprocess
 import sys
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -319,6 +320,87 @@ class TestPersistentCache:
     def test_cache_dir_env_resolution(self, monkeypatch, tmp_path):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
         assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+class TestGracefulDegradation:
+    """An unusable store location must never crash an admission solve:
+    the persistent layer warns once, disables itself for the process,
+    and the in-memory cache carries on."""
+
+    @staticmethod
+    def _file_blocked_store(tmp_path):
+        # REPRO_CACHE_DIR pointing at an existing *file*: mkdir fails,
+        # and so does the recovery attempt.  (Permission-bit scenarios
+        # are simulated separately -- root ignores directory modes.)
+        blocker = tmp_path / "not-a-directory"
+        blocker.write_text("occupied", encoding="utf-8")
+        return PersistentCache(blocker)
+
+    def test_blocked_location_degrades_to_noop(self, tmp_path):
+        store = self._file_blocked_store(tmp_path)
+        with pytest.warns(RuntimeWarning,
+                          match="falling back to the in-memory cache"):
+            assert store.get("k") is None
+        assert store.put("k", 1.0) is False
+        assert store.get("k") is None
+        assert store.entry_count() == 0
+        assert store.clear() == 0
+        assert store.stats.errors >= 2  # first failure + retry failure
+
+    def test_warns_exactly_once_per_process(self, tmp_path):
+        store = self._file_blocked_store(tmp_path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store.get("a")
+            store.put("b", 2.0)
+            store.entry_count()
+        runtime = [w for w in caught
+                   if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+
+    def test_permission_denied_degrades(self, tmp_path, monkeypatch):
+        # The read-only-directory / disk-full shape: opening the sqlite
+        # file raises an OSError both times.
+        store = PersistentCache(tmp_path / "denied")
+
+        def deny(self):
+            raise PermissionError(13, "Permission denied")
+
+        monkeypatch.setattr(PersistentCache, "_open", deny)
+        with pytest.warns(RuntimeWarning, match="PermissionError"):
+            assert store.put("k", 1.0) is False
+        assert store.get("k") is None
+
+    def test_layered_cache_still_computes(self, tmp_path):
+        blocker = tmp_path / "cache-as-file"
+        blocker.write_text("occupied", encoding="utf-8")
+        cache.set_persistent_cache_dir(blocker)
+        try:
+            layered = BoundCache(use_persistent=True)
+            key = ("b_late", "fp-degraded", 5, (1.0).hex())
+            with pytest.warns(RuntimeWarning):
+                assert layered.get_or_compute(key, lambda: 0.125) == 0.125
+            # The in-memory layer is intact: hit, no recompute, no
+            # further warnings.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+                assert layered.get_or_compute(key, lambda: -1.0) == 0.125
+            assert layered.stats.hits == 1
+        finally:
+            cache.reset_persistent_cache()
+
+    def test_admission_solve_survives_broken_store(self, tmp_path,
+                                                   viking, paper_sizes):
+        blocker = tmp_path / "cache-as-file"
+        blocker.write_text("occupied", encoding="utf-8")
+        cache.set_persistent_cache_dir(blocker)
+        try:
+            model = RoundServiceTimeModel.for_disk(viking, paper_sizes)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                assert n_max_plate(model, 1.0, 0.01) == 26
+        finally:
+            cache.reset_persistent_cache()
 
 
 class TestLayeredBoundCache:
