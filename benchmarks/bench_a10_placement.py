@@ -8,6 +8,7 @@ analytic model is fed the policy's zone mix.
 
 import numpy as np
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import MultiZoneTransferModel, RoundServiceTimeModel, n_max_plate
 from repro.disk.placement import (
@@ -64,6 +65,9 @@ def test_a10_placement(benchmark, viking, paper_sizes, record):
          for label, m, d, rt, sp, b, nmax in rows],
         title="A10: placement policies on the Table 1 disk")
     record("a10_placement", table)
+    _emit.emit("a10_placement", benchmark,
+               nmax_uniform=rows[0][6], nmax_outer=rows[1][6],
+               nmax_organ_pipe=rows[2][6])
 
     by_label = dict((r[0], r) for r in rows)
     uniform = by_label["sector-uniform (paper)"]

@@ -10,6 +10,7 @@ a farm simulation.
 
 import numpy as np
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import GlitchModel, RoundServiceTimeModel
 from repro.core.striping import (
@@ -90,6 +91,8 @@ def test_a11_phase_balance(benchmark, viking, paper_sizes, record):
               f"N={n_s}: {format_probability(sim_rate)} "
               f"(mixture bound {format_probability(mixture_at_sim)})")
     record("a11_phase_balance", table + footer)
+    _emit.emit("a11_phase_balance", benchmark, sim_glitch_rate=sim_rate,
+               **{f"nmax_balanced_d{d}": b for d, b, _, _, _ in rows})
 
     by_disks = {r[0]: r for r in rows}
     assert by_disks[1][1] == by_disks[1][2]  # one disk: phases moot

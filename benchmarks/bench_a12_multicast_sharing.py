@@ -9,6 +9,7 @@ event-driven server.
 
 import numpy as np
 
+import _emit
 from repro.analysis import render_table
 from repro.core.sharing import (
     effective_stream_capacity,
@@ -90,6 +91,9 @@ def test_a12_multicast_sharing(benchmark, record):
               f"active streams: measured sharing factor {measured:.3f} "
               f"vs model {predicted:.3f}")
     record("a12_multicast_sharing", table + footer)
+    _emit.emit("a12_multicast_sharing", benchmark,
+               measured_sharing=measured, predicted_sharing=predicted,
+               **{f"capacity_zipf{e:g}": c for e, _, _, c in rows})
 
     factors = [r[2] for r in rows]
     capacities = [r[3] for r in rows]

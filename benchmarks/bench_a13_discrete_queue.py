@@ -9,6 +9,7 @@ while the continuous glitch rate never moves.
 
 import numpy as np
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core.mixed import MixedWorkloadModel
 from repro.distributions import Gamma
@@ -51,6 +52,9 @@ def test_a13_discrete_queue(benchmark, viking, paper_sizes, record):
         title=f"A13: discrete queue on the leftover of N={N} continuous "
         f"streams (capacity estimate {capacity:.1f}/round)")
     record("a13_discrete_queue", table)
+    _emit.emit("a13_discrete_queue", benchmark, capacity=capacity,
+               **{f"response_load{load:g}": resp
+                  for load, _, resp, _, _, _ in rows})
 
     by_load = {r[0]: r for r in rows}
     # Response times rise with load; past capacity the queue saturates.

@@ -5,6 +5,7 @@ is perturbed +-10 % around the Table 1 operating point and the
 stream-level admission limit recomputed.
 """
 
+import _emit
 from repro.analysis import render_table
 from repro.analysis.sensitivity import admission_sensitivity
 
@@ -25,6 +26,10 @@ def test_a14_sensitivity(benchmark, viking, record):
           str(r.n_max_high), str(r.swing)] for r in rows],
         title="A14: N_max^perror sensitivity (Table 1 operating point)")
     record("a14_sensitivity", table)
+    _emit.emit("a14_sensitivity", benchmark,
+               n_max_base=rows[0].n_max_base,
+               **{"swing_" + r.parameter.replace(" ", "_"): r.swing
+                  for r in rows})
 
     by_name = {r.parameter: r for r in rows}
     assert all(r.n_max_base == 28 for r in rows)

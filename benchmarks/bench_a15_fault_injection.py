@@ -10,6 +10,7 @@ must sacrifice.
 
 import numpy as np
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import GlitchModel, RoundServiceTimeModel, n_max_perror
 from repro.core.faults import with_recalibration
@@ -52,6 +53,8 @@ def test_a15_fault_injection(benchmark, viking, paper_sizes, record):
         title="A15: thermal-recalibration fault injection "
         "(20000 rounds/point)")
     record("a15_fault_injection", table)
+    _emit.emit("a15_fault_injection", benchmark,
+               nmax_healthy=rows[0][3], nmax_severe=rows[-1][3])
 
     labels = [r[0] for r in rows]
     bounds = [r[1] for r in rows]

@@ -9,6 +9,7 @@ with g = 1 (the paper's choice) maximising throughput.
 
 import numpy as np
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import RoundServiceTimeModel
 from repro.core.gss import gss_group_p_late, gss_tradeoff
@@ -47,6 +48,8 @@ def test_a16_gss(benchmark, viking, paper_sizes, record):
               f"{format_probability(simulated)} (bound "
               f"{format_probability(bound)})")
     record("a16_gss", table + footer)
+    _emit.emit("a16_gss", benchmark, sim_p_late_g4=simulated,
+               **{f"nmax_g{p.groups}": p.n_max for p in points})
 
     nmaxes = [p.n_max for p in points]
     assert nmaxes[0] == 26             # the paper's SCAN point

@@ -8,6 +8,7 @@ and SCAN, Monte-Carlo'd over sector-uniform batches.
 
 import numpy as np
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.disk import DiskRequest
 from repro.disk.scan import (
@@ -80,6 +81,9 @@ def test_a17_disciplines(benchmark, viking, paper_sizes, record):
         title=f"A17: scheduling disciplines, N={N} requests/round "
         f"({BATCHES} batches)")
     record("a17_disciplines", table)
+    _emit.emit("a17_disciplines", benchmark,
+               **{"mean_seek_ms_" + name.split(" ")[0].replace("-", "").lower():
+                  1e3 * mean for name, mean, _, _ in rows})
 
     by_name = dict((name, (mean, p99, p)) for name, mean, p99, p in rows)
     scan_mean = by_name["SCAN (paper)"][0]

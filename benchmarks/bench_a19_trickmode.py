@@ -6,6 +6,7 @@ when a fraction of viewers is in k-times scan mode (every fragment
 fetched, displayed at speed), across FF shares and speeds.
 """
 
+import _emit
 from repro.analysis import render_table
 from repro.core import RoundServiceTimeModel
 from repro.core.trickmode import n_max_with_ff
@@ -35,6 +36,10 @@ def test_a19_trickmode(benchmark, viking, paper_sizes, record):
          for fraction, *values in rows],
         title="A19: admission under fast-forward load (delta = 1%)")
     record("a19_trickmode", table)
+    _emit.emit("a19_trickmode", benchmark,
+               **{f"nmax_ff{fraction:g}_x{k}": v
+                  for fraction, *values in rows
+                  for k, v in zip(SPEEDS, values)})
 
     by_fraction = {fraction: values for fraction, *values in rows}
     assert by_fraction[0.0] == [26, 26]  # no FF: the paper's number

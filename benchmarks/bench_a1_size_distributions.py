@@ -13,6 +13,7 @@ runs through the numeric-quadrature transform.
 
 import numpy as np
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import RoundServiceTimeModel, n_max_plate
 from repro.server.simulation import estimate_p_late
@@ -58,6 +59,9 @@ def test_a1_size_distributions(benchmark, viking, record):
          for name, mean, std, analytic, sim, nmax in rows],
         title="A1: fragment-size law ablation (Table 1 disk, t=1s)")
     record("a1_size_distributions", table)
+    _emit.emit("a1_size_distributions", benchmark,
+               nmax_gamma=rows[0][5], nmax_lognormal=rows[1][5],
+               nmax_pareto=rows[2][5])
 
     by_name = {r[0]: r for r in rows}
     # Conservative for every law.
@@ -92,6 +96,9 @@ def test_a1_truncation_cap_sensitivity(benchmark, viking, record):
          for cap, mean, b, nmax in rows],
         title="A1b: Pareto truncation-cap sensitivity")
     record("a1_truncation_cap", table)
+    _emit.emit("a1_truncation_cap", benchmark,
+               **{f"nmax_cap{cap / 1e6:g}MB": nmax
+                  for cap, _, _, nmax in rows})
     nmaxes = [r[3] for r in rows]
     assert nmaxes == sorted(nmaxes, reverse=True)
     assert np.all(np.diff([r[1] for r in rows]) > 0)  # mean grows w/ cap

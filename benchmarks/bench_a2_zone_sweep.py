@@ -7,6 +7,7 @@ The collapse preserves E[T_trans] but loses the zone-induced variance,
 so it *understates* p_late -- quantifying what the §3.2 machinery buys.
 """
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import MultiZoneTransferModel, RoundServiceTimeModel, n_max_plate
 from repro.server.simulation import estimate_p_late
@@ -62,6 +63,8 @@ def test_a2_zone_sweep(benchmark, viking, paper_sizes, record):
          for z, m, v, a, s, nmax in rows],
         title="A2: zone-count sweep (same capacity range)")
     record("a2_zone_sweep", table)
+    _emit.emit("a2_zone_sweep", benchmark,
+               **{f"nmax_z{z}": nmax for z, _, _, _, _, nmax in rows})
     for _, _, _, analytic, sim, _ in rows:
         assert analytic >= sim
 
@@ -81,6 +84,10 @@ def test_a2_singlezone_collapse(benchmark, viking, paper_sizes, record):
         title="A2b: what ignoring zones does to the bound "
         f"(transfer-variance ratio {result['var_ratio']:.2f}x)")
     record("a2_singlezone_collapse", table)
+    _emit.emit("a2_singlezone_collapse", benchmark,
+               full_nmax=result["full_nmax"],
+               collapsed_nmax=result["collapsed_nmax"],
+               var_ratio=result["var_ratio"])
     # Ignoring zone variability makes the bound optimistic.
     assert result["collapsed_p"] < result["full_p"]
     assert result["var_ratio"] > 1.0

@@ -6,6 +6,7 @@ Longer rounds amortise seeks over more data per request, so the
 admissible *bandwidth* rises with t while per-stream startup worsens.
 """
 
+import _emit
 from repro.analysis import render_table
 from repro.core import GlitchModel, RoundServiceTimeModel, n_max_perror, n_max_plate
 from repro.distributions import Gamma
@@ -43,6 +44,9 @@ def test_a3_round_length(benchmark, viking, record):
          for t, plate, perror, bw, d in rows],
         title="A3: round-length sweep (200 KB/s streams, cv=0.5)")
     record("a3_round_length", table)
+    _emit.emit("a3_round_length", benchmark,
+               **{f"nmax_perror_t{t:g}": perror
+                  for t, _, perror, _, _ in rows})
 
     perrors = [r[2] for r in rows]
     bandwidths = [r[3] for r in rows]

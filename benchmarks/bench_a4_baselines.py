@@ -9,6 +9,7 @@ magnitude looser in the tail; the CLT is tight near the bulk but *not*
 an upper bound in the deep tail.
 """
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import RoundServiceTimeModel
 from repro.core.baselines import (
@@ -51,6 +52,10 @@ def test_a4_baselines(benchmark, viking, paper_sizes, record):
           format_probability(r["clt"])] for r in rows],
         title=f"A4: p_late bounds vs simulation ({ROUNDS} rounds/point)")
     record("a4_baselines", table)
+    worst = max(rows, key=lambda r: r["n"])
+    _emit.emit("a4_baselines", benchmark, n_probe=worst["n"],
+               sim_p_late=worst["sim"], chernoff=worst["chernoff"],
+               tschebyscheff=worst["tschebyscheff"], clt=worst["clt"])
 
     for r in rows:
         # Both true bounds dominate the simulation.

@@ -15,6 +15,7 @@ SEEK(N) of a single edge-anchored sweep.  Two questions:
 
 import numpy as np
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import RoundServiceTimeModel, oyang_seek_bound
 from repro.server.simulation import simulate_rounds
@@ -63,6 +64,9 @@ def test_a5_seek_bound(benchmark, viking, paper_sizes, record):
         title="A5: Oyang seek bound vs simulated SCAN lumped seek "
         "(5000 rounds/point)")
     record("a5_seek_bound", table)
+    _emit.emit("a5_seek_bound", benchmark,
+               **{f"over_bound_n{r['n']}": r["over_bound"]
+                  for r in rows})
 
     for r in rows:
         # The bound truly dominates what it models: the monotone sweep.

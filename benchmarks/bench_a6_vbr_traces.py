@@ -10,6 +10,7 @@ trace statistics remains conservative for the trace-driven system.
 
 import numpy as np
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import RoundServiceTimeModel, n_max_plate
 from repro.distributions import Empirical, Gamma
@@ -66,6 +67,9 @@ def test_a6_vbr_traces(benchmark, viking, record):
         ],
         title="A6: trace-driven VBR workload (MPEG GoP model)")
     record("a6_vbr_traces", table)
+    _emit.emit("a6_vbr_traces", benchmark, n_admit=result["n_admit"],
+               trace_cv=result["cv"], analytic_p=result["analytic_p"],
+               sim_trace_p=result["sim_trace"])
 
     # The admission decision computed from trace statistics must keep
     # the trace-driven system within the analytic guarantee.

@@ -8,6 +8,7 @@ against class-mixed simulation.
 
 import numpy as np
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import n_max_plate
 from repro.core.heterogeneous import (
@@ -66,6 +67,9 @@ def test_a7_heterogeneous(benchmark, viking, record):
     footer = (f"\nfixed-mix bound at {counts}: "
               f"{format_probability(fixed)}")
     record("a7_heterogeneous", table + footer)
+    _emit.emit("a7_heterogeneous", benchmark, fixed_mix_bound=fixed,
+               **{f"nmax_{label.replace(' ', '_').replace('/', '_')}": n
+                  for label, n, _, _ in rows})
 
     by_label = {r[0]: r for r in rows}
     # Light streams pack densest, heavy least, mix in between.

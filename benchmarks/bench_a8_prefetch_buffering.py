@@ -11,6 +11,7 @@ Two claims quantified:
 
 import numpy as np
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import RoundServiceTimeModel
 from repro.core.buffering import PrefetchPlan
@@ -48,6 +49,8 @@ def test_a8_prefetch_buffering(benchmark, viking, paper_sizes, record):
         title=f"A8: prefetch/buffering at N={N} (above N_max), "
         f"{ROUNDS} rounds")
     record("a8_prefetch_buffering", table)
+    _emit.emit("a8_prefetch_buffering", benchmark,
+               **{f"hiccup_h{h}_c{c}": s for h, c, _, s, _, _ in rows})
 
     by_cfg = {(h, c): (a, s, g, b) for h, c, a, s, g, b in rows}
     # Claim 1: without prefetch, deeper buffers do not help the rate.
@@ -88,6 +91,8 @@ def test_a8_chain_capacity_curve(benchmark, viking, paper_sizes, record):
         title="A8b: hiccup rate vs client buffer depth "
         "(N=28, headroom 3)")
     record("a8_capacity_curve", table)
+    _emit.emit("a8_capacity_curve", benchmark,
+               **{f"hiccup_cap{b}": r for b, r in rows})
     rates = [r for _, r in rows]
     assert rates == sorted(rates, reverse=True)
     assert rates[-1] < rates[0] / 50  # geometric decay

@@ -9,6 +9,7 @@ traffic through the leftover time.
 
 import numpy as np
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core.mixed import MixedWorkloadModel
 from repro.distributions import Gamma
@@ -56,6 +57,8 @@ def test_a9_mixed_workload(benchmark, viking, paper_sizes, record):
               f"K={k_budget}; leftover-based throughput estimate: "
               f"{estimate:.1f}/round")
     record("a9_mixed_workload", table + footer)
+    _emit.emit("a9_mixed_workload", benchmark, k_budget=k_budget,
+               throughput_estimate=estimate)
 
     cf = {k: (a, s, d) for policy, k, a, s, d in rows
           if policy == "continuous-first"}

@@ -5,6 +5,7 @@ Var[T_trans] = 0.00011815 s^2, p_late(27, 1s) ~ 0.0103,
 p_late(26, 1s) ~ 0.00225, N_max^plate(delta=0.01) = 26.
 """
 
+import _emit
 from repro.analysis import render_table
 from repro.core import RoundServiceTimeModel, n_max_plate, oyang_seek_bound
 
@@ -37,5 +38,8 @@ def test_e1_section31_example(benchmark, viking_single_zone, paper_sizes,
         ],
         title="E1: Section 3.1 worked example (single-zone disk)")
     record("e1_section31_example", table)
+    _emit.emit("e1_section31_example", benchmark, n_max=result["n_max"],
+               p_late_27=result["p_late_27"],
+               p_late_26=result["p_late_26"])
     assert result["n_max"] == 26
     assert abs(result["p_late_27"] - 0.0103) / 0.0103 < 0.15

@@ -4,6 +4,7 @@ Paper numbers (Table 1 disk, t = 1 s): p_late(26) <= 0.00324,
 p_late(27) ~ 0.0133, N_max = 26 at the 1 % round-lateness threshold.
 """
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import RoundServiceTimeModel, n_max_plate
 
@@ -33,5 +34,8 @@ def test_e2_section32_example(benchmark, viking, paper_sizes, record):
         ],
         title="E2: Section 3.2 worked example (Table 1 multi-zone disk)")
     record("e2_section32_example", table)
+    _emit.emit("e2_section32_example", benchmark, n_max=result["n_max"],
+               p_late_26=result["p_late_26"],
+               p_late_27=result["p_late_27"])
     assert result["n_max"] == 26
     assert abs(result["p_late_27"] - 0.0133) / 0.0133 < 0.20

@@ -5,6 +5,7 @@ with M = 1200 rounds, the probability that an individual stream suffers
 more than 12 glitches (i.e., 1 percent of M) is at most 0.14e-3."
 """
 
+import _emit
 from repro.analysis import format_probability, render_table
 from repro.core import GlitchModel, RoundServiceTimeModel
 
@@ -36,6 +37,10 @@ def test_e4_section33_example(benchmark, viking, paper_sizes, record):
         ],
         title="E4: Section 3.3 worked example (stream-level bound)")
     record("e4_section33_example", table)
+    _emit.emit("e4_section33_example", benchmark,
+               p_error_hr=result["p_error_hr"],
+               p_error_exact=result["p_error_exact"],
+               expected_glitches=result["expected"])
     # Same order of magnitude as the paper's 1.4e-4.
     assert 0.3e-4 < result["p_error_hr"] < 1e-3
     assert result["p_error_exact"] <= result["p_error_hr"]

@@ -7,6 +7,7 @@ T_trans^max = 41.9 ms) gives N_max^wc = 14.  Both are far below the
 stochastic admission levels (26-28).
 """
 
+import _emit
 from repro.analysis import render_table
 from repro.core import (
     GlitchModel,
@@ -54,6 +55,11 @@ def test_e7_worstcase(benchmark, viking, paper_sizes, record):
         ],
         title="E7: eq. (4.1) worst-case vs stochastic admission")
     record("e7_worstcase", table)
+    _emit.emit("e7_worstcase", benchmark,
+               wc_conservative=result["wc_conservative"],
+               wc_optimistic=result["wc_optimistic"],
+               stochastic_plate=result["stochastic_plate"],
+               stochastic_perror=result["stochastic_perror"])
     assert result["wc_conservative"] == 10
     assert result["wc_optimistic"] == 14
     assert result["stochastic_perror"] == 28

@@ -9,6 +9,7 @@ the run-time probe, which must be sub-microsecond-ish.
 
 import time
 
+import _emit
 from repro.analysis import render_table
 from repro.core import AdmissionTable, GlitchModel, RoundServiceTimeModel
 
@@ -47,6 +48,9 @@ def test_e8_build_lookup_table(benchmark, viking, paper_sizes, record):
         title="E8: Section 5 admission lookup table "
         "(Table 1 disk, t=1s, M=1200, g=12)")
     record("e8_admission_lookup", table_text)
+    _emit.emit("e8_admission_lookup", benchmark, probe_ns=probe_ns,
+               nmax_plate_1pct=entries["plate"][0.01],
+               nmax_perror_1pct=entries["perror"][0.01])
 
     assert entries["plate"][0.01] == 26
     assert entries["perror"][0.01] == 28

@@ -3,14 +3,13 @@
 Every bench regenerates one paper artifact (table/figure) or ablation.
 Besides the pytest-benchmark timing, each bench writes its data table to
 ``benchmarks/results/<name>.txt`` so the numbers survive output capture
-and feed EXPERIMENTS.md; the performance benches additionally emit a
-machine-readable ``benchmarks/results/BENCH_<name>.json`` (wall-clock,
-speedup, cache hit-rate) for trend tracking.
+and feed EXPERIMENTS.md, and every bench emits a machine-readable
+``benchmarks/results/BENCH_<name>.json`` (wall-clock plus its headline
+numbers -- see :mod:`_emit`) for trend tracking.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 
@@ -74,13 +73,11 @@ def record():
 @pytest.fixture(scope="session")
 def record_json():
     """Write a machine-readable metrics payload to
-    ``benchmarks/results/BENCH_<name>.json``."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    ``benchmarks/results/BENCH_<name>.json`` (delegates to
+    :mod:`_emit`, the shared emission helper)."""
+    import _emit
 
     def _record(name: str, payload: dict) -> None:
-        path = RESULTS_DIR / f"BENCH_{name}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
-                        + "\n", encoding="utf-8")
-        print(f"[metrics written to {path}]")
+        _emit.emit(name, None, **payload)
 
     return _record

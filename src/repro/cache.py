@@ -27,9 +27,10 @@ values of N_max"); this module supplies the machinery:
   predicate probes instead of a linear scan, with a documented
   full-scan fallback for non-monotone predicates.
 
-Everything here avoids importing other ``repro`` modules (beyond
-:mod:`repro.errors`) so that ``repro.core`` can import it without
-cycles; persisted dataclass values are resolved lazily by module path.
+Everything here avoids importing other ``repro`` modules beyond
+:mod:`repro.errors` and the stdlib-only :mod:`repro.obs` layer, so
+that ``repro.core`` can import it without cycles; persisted dataclass
+values are resolved lazily by module path.
 """
 
 from __future__ import annotations
@@ -43,6 +44,7 @@ import math
 import os
 import sqlite3
 import threading
+import time
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -51,6 +53,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "fingerprint",
@@ -70,6 +74,7 @@ __all__ = [
     "get_persistent_cache",
     "set_persistent_cache_dir",
     "reset_persistent_cache",
+    "publish_cache_metrics",
     "bisect_max_n",
 ]
 
@@ -498,12 +503,17 @@ class CacheStats:
     quantity the A20 bench compares cached vs uncached.  ``disk_hits``
     counts values served from the persistent layer: no new computation,
     but a (cheap) sqlite read rather than a dict lookup.
+    ``evictions`` counts FIFO drops at capacity; ``solve_seconds`` is
+    the wall time spent inside the underlying computations (the
+    per-solve distribution lives in ``BoundCache.solve_histogram``).
     """
 
     hits: int = 0
     misses: int = 0
     uncached: int = 0
     disk_hits: int = 0
+    evictions: int = 0
+    solve_seconds: float = 0.0
 
     @property
     def evaluations(self) -> int:
@@ -513,7 +523,9 @@ class CacheStats:
         """Independent copy of the counters at this instant."""
         return CacheStats(hits=self.hits, misses=self.misses,
                           uncached=self.uncached,
-                          disk_hits=self.disk_hits)
+                          disk_hits=self.disk_hits,
+                          evictions=self.evictions,
+                          solve_seconds=self.solve_seconds)
 
 
 @dataclass
@@ -538,19 +550,41 @@ class BoundCache:
     max_entries: int = 200_000
     use_persistent: bool = False
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Per-solve wall-time distribution (standalone; merged into a
+    #: registry at report time by :func:`publish_cache_metrics`).
+    solve_histogram: Histogram = field(
+        default_factory=lambda: Histogram("bound_solve_seconds"),
+        repr=False)
     _store: dict = field(default_factory=dict, repr=False)
+
+    def _solve(self, compute):
+        """Run the underlying computation, timing it into the stats,
+        the solve histogram and (when tracing) a ``bound_solve``
+        record."""
+        start = time.perf_counter()
+        value = compute()
+        elapsed = time.perf_counter() - start
+        self.stats.solve_seconds += elapsed
+        self.solve_histogram.observe(elapsed)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit("bound_solve", seconds=elapsed)
+        return value
 
     def get_or_compute(self, key, compute):
         """Return the cached value for ``key``, computing it on miss."""
         if not self.enabled:
             self.stats.uncached += 1
-            return compute()
+            return self._solve(compute)
         try:
             value = self._store[key]
         except KeyError:
             pass
         else:
             self.stats.hits += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit("cache_hit", layer="memory")
             return value
         persistent = (get_persistent_cache()
                       if self.use_persistent and _persistable_key(key)
@@ -561,9 +595,17 @@ class BoundCache:
             if value is not None:
                 self.stats.disk_hits += 1
                 self._insert(key, value)
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.emit("cache_hit", layer="disk")
                 return value
         self.stats.misses += 1
-        value = compute()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit("cache_miss",
+                        layer="disk" if persistent is not None
+                        else "memory")
+        value = self._solve(compute)
         self._insert(key, value)
         if persistent is not None:
             persistent.put(key_str, value)
@@ -572,6 +614,7 @@ class BoundCache:
     def _insert(self, key, value) -> None:
         if len(self._store) >= self.max_entries:
             self._store.pop(next(iter(self._store)))
+            self.stats.evictions += 1
         self._store[key] = value
 
     def clear(self) -> None:
@@ -580,6 +623,7 @@ class BoundCache:
         restart warm."""
         self._store.clear()
         self.stats = CacheStats()
+        self.solve_histogram = Histogram("bound_solve_seconds")
 
     def __len__(self) -> int:
         return len(self._store)
@@ -606,6 +650,42 @@ def cache_stats() -> CacheStats:
 def set_cache_enabled(enabled: bool) -> None:
     """Globally enable/disable memoization (CLI ``--no-cache``)."""
     _GLOBAL_CACHE.enabled = bool(enabled)
+
+
+def publish_cache_metrics(registry: MetricsRegistry) -> None:
+    """Publish the global cache state into ``registry`` at report time.
+
+    Layer traffic becomes ``bound_cache_*`` / ``persistent_cache_*``
+    gauges (set, not incremented, so the call is idempotent for
+    scalars) and the per-solve distribution is merged into the
+    registry's ``bound_solve_seconds`` histogram.  Call once, when a
+    run's metrics are exported -- merging the histogram twice would
+    double-count.
+    """
+    cache = _GLOBAL_CACHE
+    stats = cache.stats
+    registry.gauge("bound_cache_entries").set(len(cache))
+    registry.gauge("bound_cache_hits").set(stats.hits)
+    registry.gauge("bound_cache_misses").set(stats.misses)
+    registry.gauge("bound_cache_uncached").set(stats.uncached)
+    registry.gauge("bound_cache_disk_hits").set(stats.disk_hits)
+    registry.gauge("bound_cache_evictions").set(stats.evictions)
+    source = cache.solve_histogram
+    merged = registry.histogram("bound_solve_seconds",
+                                bounds=source.bounds)
+    for i, n in enumerate(source.counts):
+        merged.counts[i] += n
+    merged.count += source.count
+    merged.sum += source.sum
+    merged.min = min(merged.min, source.min)
+    merged.max = max(merged.max, source.max)
+    persistent = get_persistent_cache()
+    if persistent is not None:
+        ps = persistent.stats
+        registry.gauge("persistent_cache_hits").set(ps.hits)
+        registry.gauge("persistent_cache_misses").set(ps.misses)
+        registry.gauge("persistent_cache_writes").set(ps.writes)
+        registry.gauge("persistent_cache_errors").set(ps.errors)
 
 
 @contextmanager

@@ -5,7 +5,10 @@ Exposes the admission-control math to operators without writing Python::
     python -m repro admission --mean-kb 200 --std-kb 100 --round 1.0
     python -m repro plate --n-from 20 --n-to 32
     python -m repro simulate --n 28 --rounds 20000
-    python -m repro simulate --faults examples/single_disk_failure.toml
+    python -m repro simulate --n 20,24,28 --rounds 5000
+    python -m repro simulate --faults examples/single_disk_failure.toml \
+        --trace run.jsonl --metrics run.json
+    python -m repro observe run.jsonl
     python -m repro worstcase
     python -m repro approx
 
@@ -22,9 +25,12 @@ from collections.abc import Sequence
 
 from repro.analysis import format_probability, render_table
 from repro.cache import (
+    cache_stats,
     default_cache_dir,
+    get_cache,
     get_persistent_cache,
     persistent_cache_enabled,
+    publish_cache_metrics,
     set_cache_enabled,
     set_persistent_cache_dir,
 )
@@ -39,9 +45,33 @@ from repro.core import (
 from repro.core.baselines import worst_case_components
 from repro.disk import quantum_viking_2_1, scaled_viking, single_zone_viking
 from repro.distributions import Gamma
+from repro.obs import (
+    NULL_TRACER,
+    RunTelemetry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    validate_trace,
+)
 from repro.server.simulation import estimate_p_error, estimate_p_late
 
 __all__ = ["main", "build_parser"]
+
+
+def _n_list(value: str) -> list[int]:
+    """``--n`` argument: one level or a comma-separated sweep grid."""
+    try:
+        ns = [int(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or comma-separated integers, "
+            f"got {value!r}") from None
+    if not ns:
+        raise argparse.ArgumentTypeError(
+            f"expected at least one integer, got {value!r}")
+    return ns
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -115,48 +145,161 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     spec = _spec(args)
     sizes = Gamma.from_mean_std(args.mean_kb * 1000.0,
                                 args.std_kb * 1000.0)
-    if args.faults is not None:
-        return _simulate_faults(args, spec, sizes)
+    registry = get_registry()
+    if args.metrics is not None:
+        registry.reset()
+    tracer = (Tracer(sink=args.trace) if args.trace is not None
+              else NULL_TRACER)
+    try:
+        if args.faults is not None:
+            code = _simulate_faults(args, spec, sizes, tracer, registry)
+        else:
+            code = _simulate_vectorised(args, spec, sizes, tracer,
+                                        registry)
+    finally:
+        if tracer is not NULL_TRACER:
+            tracer.close()
+        if args.metrics is not None:
+            publish_cache_metrics(registry)
+            registry.write_json(args.metrics)
+    if args.trace is not None:
+        print(f"trace written to {args.trace} "
+              f"({tracer.emitted} records)")
+    if args.metrics is not None:
+        print(f"metrics written to {args.metrics}")
+    return code
+
+
+def _simulate_vectorised(args: argparse.Namespace, spec, sizes,
+                         tracer: Tracer, registry) -> int:
+    """The Monte-Carlo validation paths of ``repro simulate``: one
+    ``N`` through ``estimate_p_late``, a comma-separated grid through
+    the shared-pool ``sweep_*_parallel`` fan-outs."""
     if args.n is None:
         print("error: --n is required without --faults", file=sys.stderr)
         return 2
     model = RoundServiceTimeModel.for_disk(spec, sizes)
-    est = estimate_p_late(spec, sizes, args.n, args.t,
-                          rounds=args.rounds, seed=args.seed,
-                          jobs=args.jobs)
+    if len(args.n) > 1:
+        return _simulate_sweep(args, spec, sizes, model, tracer,
+                               registry)
+    n = args.n[0]
+    bound = model.b_late(n, args.t)
+    if tracer.enabled:
+        tracer.start_run(seed=args.seed, mode="vectorised", n=n,
+                         t=args.t, rounds=args.rounds,
+                         bound_healthy=float(bound))
+    previous = get_tracer()
+    set_tracer(tracer)
+    try:
+        est = estimate_p_late(spec, sizes, n, args.t,
+                              rounds=args.rounds, seed=args.seed,
+                              jobs=args.jobs)
+        pe = None
+        if args.perror:
+            pe = estimate_p_error(spec, sizes, n, args.t, args.m,
+                                  args.g, runs=args.runs,
+                                  seed=args.seed, jobs=args.jobs)
+    finally:
+        set_tracer(previous)
+        if tracer.enabled:
+            tracer.end_run()
+    labels = {"n": str(n)}
+    registry.gauge("sim_p_late", labels=labels).set(est.p_late)
+    registry.gauge("sim_b_late", labels=labels).set(bound)
     rows = [
         ["simulated p_late", format_probability(est.p_late)],
         ["95% CI", f"[{format_probability(est.ci_low)}, "
                    f"{format_probability(est.ci_high)}]"],
-        ["analytic bound", format_probability(
-            model.b_late(args.n, args.t))],
+        ["analytic bound", format_probability(bound)],
     ]
-    if args.perror:
-        pe = estimate_p_error(spec, sizes, args.n, args.t, args.m,
-                              args.g, runs=args.runs, seed=args.seed,
-                              jobs=args.jobs)
+    if pe is not None:
         glitch = GlitchModel(model, args.t)
+        registry.gauge("sim_p_error", labels=labels).set(pe.p_error)
         rows.append(["simulated p_error", format_probability(pe.p_error)])
         rows.append(["analytic p_error bound", format_probability(
-            glitch.p_error(args.n, args.m, args.g))])
+            glitch.p_error(n, args.m, args.g))])
     print(render_table(
         ["quantity", "value"], rows,
-        title=f"simulation at N={args.n} ({est.rounds} rounds)"))
+        title=f"simulation at N={n} ({est.rounds} rounds)"))
     return 0
 
 
-def _simulate_faults(args: argparse.Namespace, spec, sizes) -> int:
+def _simulate_sweep(args: argparse.Namespace, spec, sizes, model,
+                    tracer: Tracer, registry) -> int:
+    """``repro simulate --n N1,N2,...``: the whole grid through one
+    shared worker pool (:func:`repro.parallel.sweep_p_late_parallel`),
+    per-``N`` results published through the metrics registry."""
+    from repro.parallel import sweep_p_error_parallel, sweep_p_late_parallel
+
+    ns = args.n
+    if tracer.enabled:
+        tracer.start_run(seed=args.seed, mode="sweep", ns=list(ns),
+                         t=args.t, rounds=args.rounds)
+    previous = get_tracer()
+    set_tracer(tracer)
+    try:
+        lates = sweep_p_late_parallel(spec, sizes, ns, args.t,
+                                      rounds=args.rounds,
+                                      seed=args.seed, jobs=args.jobs)
+        errors = None
+        if args.perror:
+            errors = sweep_p_error_parallel(spec, sizes, ns, args.t,
+                                            args.m, args.g,
+                                            runs=args.runs,
+                                            seed=args.seed,
+                                            jobs=args.jobs)
+    finally:
+        set_tracer(previous)
+        if tracer.enabled:
+            tracer.end_run()
+    glitch = GlitchModel(model, args.t) if args.perror else None
+    headers = ["N", "p_late", "95% CI", "b_late(N, t)"]
+    if args.perror:
+        headers += ["p_error", "b_error"]
+    rows = []
+    for index, est in enumerate(lates):
+        bound = model.b_late(est.n, args.t)
+        labels = {"n": str(est.n)}
+        registry.gauge("sim_p_late", labels=labels).set(est.p_late)
+        registry.gauge("sim_b_late", labels=labels).set(bound)
+        row = [str(est.n), format_probability(est.p_late),
+               f"[{format_probability(est.ci_low)}, "
+               f"{format_probability(est.ci_high)}]",
+               format_probability(bound)]
+        if errors is not None:
+            pe = errors[index]
+            registry.gauge("sim_p_error", labels=labels).set(pe.p_error)
+            row += [format_probability(pe.p_error),
+                    format_probability(
+                        glitch.p_error(est.n, args.m, args.g))]
+        rows.append(row)
+    print(render_table(
+        headers, rows,
+        title=f"sweep over {len(ns)} N values "
+        f"({args.rounds} rounds each, shared pool)"))
+    return 0
+
+
+def _simulate_faults(args: argparse.Namespace, spec, sizes,
+                     tracer: Tracer = NULL_TRACER,
+                     registry=None) -> int:
     """``repro simulate --faults SCHEDULE.toml``: drive the event-driven
     mirrored server through the fault schedule and check the survivors
     against the degraded-mode bound."""
     from repro.server.faults import FaultSchedule, run_failover_scenario
 
+    if args.n is not None and len(args.n) > 1:
+        print("error: --faults takes a single --n, not a sweep grid",
+              file=sys.stderr)
+        return 2
     schedule = FaultSchedule.from_toml(args.faults)
     result = run_failover_scenario(
         spec, sizes, disks=args.disks, t=args.t, delta=args.delta,
-        rounds=args.server_rounds, n_per_disk=args.n,
+        rounds=args.server_rounds,
+        n_per_disk=args.n[0] if args.n else None,
         shedding=not args.no_shed, shed_mode=args.shed_mode,
-        schedule=schedule, seed=args.seed)
+        schedule=schedule, seed=args.seed, tracer=tracer,
+        metrics=registry if args.metrics is not None else None)
     report = result.report
     rows = [
         ["disks (mirrored pairs)", str(args.disks)],
@@ -315,6 +458,100 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             ["session errors", str(stats.errors)],
         ],
         title="persistent Chernoff-bound cache"))
+    mem = cache_stats()
+    hist = get_cache().solve_histogram
+    rows = [
+        ["entries", str(len(get_cache()))],
+        ["hits", str(mem.hits)],
+        ["misses", str(mem.misses)],
+        ["disk hits", str(mem.disk_hits)],
+        ["evictions", str(mem.evictions)],
+        ["uncached evaluations", str(mem.uncached)],
+        ["solves", str(hist.count)],
+        ["solve time total [s]", f"{mem.solve_seconds:.4f}"],
+    ]
+    if hist.count:
+        rows.append(["solve time mean [ms]", f"{1e3 * hist.mean:.3f}"])
+        rows.append(["solve time p95 [ms]",
+                     f"{1e3 * hist.quantile(0.95):.3f}"])
+        rows.append(["solve time max [ms]", f"{1e3 * hist.max:.3f}"])
+    print(render_table(
+        ["quantity", "value"], rows,
+        title="in-memory bound cache (this process)"))
+    return 0
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    """``repro observe TRACE.jsonl``: reconstruct a recorded run --
+    slowest sweeps, glitch timeline, bound-vs-observed table."""
+    records = read_trace(args.trace)
+    problems = validate_trace(records)
+    for problem in problems:
+        print(f"schema problem: {problem}", file=sys.stderr)
+    if problems and args.validate:
+        return 1
+    telemetry = RunTelemetry.from_records(records)
+    header = telemetry.header
+    print(f"trace {args.trace}: {len(records)} records, "
+          f"{telemetry.round_count} rounds, "
+          f"schema {header.get('schema', '?')}, "
+          f"seed {header.get('seed', '?')}, "
+          f"mode {header.get('mode', '?')}")
+
+    top = telemetry.top_latency(args.top)
+    if top:
+        print(render_table(
+            ["round", "disk", "service [ms]", "late", "served",
+             "glitched"],
+            [[str(s.round_index), str(s.disk), f"{1e3 * s.service:.2f}",
+              "yes" if s.late else "", str(s.served), str(s.glitched)]
+             for s in top],
+            title=f"top {len(top)} latency contributors"))
+    else:
+        print("no sweeps recorded (not a server trace?)")
+
+    timeline = telemetry.glitch_timeline()
+    if timeline:
+        peak = max(count for _, count in timeline)
+        print(render_table(
+            ["round", "glitches", ""],
+            [[str(r), str(count), "#" * max(1, round(30 * count / peak))]
+             for r, count in timeline],
+            title="glitch timeline"))
+    else:
+        print("no glitches recorded")
+
+    comparisons = [row for row in telemetry.bound_table()
+                   if row.disk_rounds]
+    if comparisons:
+        rendered = []
+        for row in comparisons:
+            if row.within_bound is None:
+                verdict = "no bound recorded"
+            elif row.within_bound:
+                verdict = "within bound"
+            else:
+                verdict = "VIOLATED"
+            rendered.append([
+                row.phase, str(row.rounds), str(row.disk_rounds),
+                str(row.late_disk_rounds),
+                format_probability(row.observed_p_late),
+                format_probability(row.bound) if row.bound is not None
+                else "-",
+                verdict])
+        print(render_table(
+            ["phase", "rounds", "sweeps", "late", "observed p_late",
+             "b_late bound", "verdict"],
+            rendered, title="bound vs observed"))
+
+    for record in telemetry.faults:
+        print(f"  fault: {record.get('desc', record)}")
+    if telemetry.sheds:
+        paused = sum(1 for r in telemetry.sheds
+                     if r.get("kind") == "stream_shed")
+        resumed = sum(1 for r in telemetry.sheds
+                      if r.get("kind") == "stream_resume")
+        print(f"  shedding: {paused} shed, {resumed} resumed")
     return 0
 
 
@@ -346,8 +583,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="Monte-Carlo validation")
     _add_common(p)
-    p.add_argument("--n", type=int, default=None,
-                   help="multiprogramming level to simulate (with "
+    p.add_argument("--n", type=_n_list, default=None,
+                   help="multiprogramming level to simulate; a "
+                   "comma-separated list (e.g. 20,24,28) sweeps the "
+                   "grid through one shared worker pool (with "
                    "--faults: streams per disk, default the healthy "
                    "analytic limit)")
     p.add_argument("--rounds", type=int, default=20_000)
@@ -380,6 +619,12 @@ def build_parser() -> argparse.ArgumentParser:
                    default="pause",
                    help="shed by pausing (resume on recovery) or "
                    "dropping streams")
+    p.add_argument("--trace", default=None, metavar="TRACE.jsonl",
+                   help="record a structured event trace to this JSONL "
+                   "file (inspect with 'repro observe')")
+    p.add_argument("--metrics", default=None, metavar="METRICS.json",
+                   help="write the run's metrics registry (counters, "
+                   "gauges, histograms) to this JSON file")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("worstcase",
@@ -433,6 +678,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="operate on this cache directory instead of "
                    "the default")
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser("observe",
+                       help="summarise a recorded trace: slow sweeps, "
+                       "glitch timeline, bound vs observed")
+    p.add_argument("trace", metavar="TRACE.jsonl",
+                   help="trace file from 'repro simulate --trace'")
+    p.add_argument("--top", type=int, default=10,
+                   help="how many of the slowest sweeps to list")
+    p.add_argument("--validate", action="store_true",
+                   help="exit non-zero when the trace fails schema "
+                   "validation")
+    p.set_defaults(func=_cmd_observe)
 
     return parser
 

@@ -1,0 +1,71 @@
+"""Zero-dependency observability: metrics, tracing, run telemetry.
+
+The analytic layer promises a *quantitative* guarantee -- the Chernoff
+bound on ``p_late(N, t)`` -- and this package supplies the measurement
+substrate to hold a live run against it:
+
+- :mod:`repro.obs.metrics` -- a process-wide registry of named
+  counters, gauges and fixed-bucket histograms with snapshot/reset,
+  Prometheus-style text exposition and JSON export;
+- :mod:`repro.obs.trace` -- a structured tracer recording typed event
+  records (round dispatched, sweep served, fragment glitched, stream
+  admitted/shed, fault fired, bound solved, worker task ran) to an
+  in-memory ring buffer with an optional JSONL sink.  A disabled
+  tracer costs its callers one attribute check per event;
+- :mod:`repro.obs.telemetry` -- :class:`RunTelemetry`, which joins a
+  recorded trace's observed per-round service times and glitch counts
+  against the model's predicted ``p_late`` and flags the phases whose
+  empirical tail exceeds the bound.
+
+Everything here imports only the standard library plus
+:mod:`repro.errors`, so every other layer (``core``, ``sim``,
+``server``, ``cache``, ``parallel``) can depend on it without cycles.
+See ``docs/OBSERVABILITY.md`` for the metric-name catalogue and the
+trace record schema.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.telemetry import (
+    BoundComparison,
+    RunTelemetry,
+    SweepRecord,
+)
+from repro.obs.trace import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    validate_record,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "reset_registry",
+    "EVENT_KINDS",
+    "NULL_TRACER",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "read_trace",
+    "validate_record",
+    "validate_trace",
+    "BoundComparison",
+    "RunTelemetry",
+    "SweepRecord",
+]

@@ -1,0 +1,343 @@
+"""Named counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of metrics keyed by
+``(name, labels)``.  Metrics are created on first access and returned
+by identity afterwards, so instrumented code can call
+``registry.counter("requests_total").inc()`` on the hot path without
+holding references.  The registry snapshots to a plain dict, exports
+Prometheus-style text exposition and JSON, and resets in place.
+
+Updates are plain attribute arithmetic (no locks): the simulator and
+server are single-threaded, and the CPython GIL makes the individual
+``+=`` on a float safe enough for the cross-thread cases that exist
+(cache counters under a pool).  The registry's *creation* path is
+locked so two threads asking for the same metric get the same object.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import re
+import threading
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "reset_registry",
+]
+
+_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+#: Default histogram buckets for durations in seconds: microseconds up
+#: to minutes, roughly logarithmic.  Chosen once so that every timing
+#: histogram in the repo is comparable.
+DEFAULT_TIME_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ConfigurationError(
+            f"metric name must match [a-zA-Z_][a-zA-Z0-9_]*, got {name!r}")
+    return name
+
+
+def _label_key(labels: dict | None) -> tuple:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: tuple, extra: tuple = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount!r})")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value:g})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, active streams)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Shorthand for ``inc(-amount)``."""
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value:g})"
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative on export, like Prometheus).
+
+    ``bounds`` are the *upper* bucket edges; an implicit ``+Inf`` bucket
+    catches the tail.  ``observe`` is O(log buckets) via bisect.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count",
+                 "min", "max")
+
+    def __init__(self, name: str, bounds=DEFAULT_TIME_BUCKETS,
+                 labels: tuple = ()) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(not math.isfinite(b) for b in bounds):
+            raise ConfigurationError(
+                f"histogram {name!r} needs finite bucket bounds, "
+                f"got {bounds!r}")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ConfigurationError(
+                f"histogram {name!r} bounds must be strictly increasing, "
+                f"got {bounds!r}")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper edge of the bucket
+        containing the ``q``-quantile; the exact max for ``q = 1``)."""
+        if not (0.0 <= q <= 1.0):
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return math.nan
+        if q == 1.0:
+            return self.max
+        target = q * self.count
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            if running >= target:
+                return bound
+        return self.max
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, n={self.count}, "
+                f"mean={self.mean:.6g})")
+
+
+class MetricsRegistry:
+    """A flat, process-local namespace of metrics.
+
+    The same ``(name, labels)`` pair always returns the same metric
+    object; asking for an existing name with a different metric type is
+    a configuration error (it would silently fork the series).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple], object] = {}
+        self._types: dict[str, type] = {}
+        self._lock = threading.Lock()
+
+    # -- creation ------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict | None, **kwargs):
+        _check_name(name)
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if type(metric) is not cls:
+                raise ConfigurationError(
+                    f"metric {name!r} is already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}")
+            return metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is not None:
+                return metric
+            existing = self._types.get(name)
+            if existing is not None and existing is not cls:
+                raise ConfigurationError(
+                    f"metric {name!r} is already registered as "
+                    f"{existing.__name__}, not {cls.__name__}")
+            metric = cls(name, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+            self._types[name] = cls
+            return metric
+
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        """The counter ``name`` (created on first access)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        """The gauge ``name`` (created on first access)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, labels: dict | None = None,
+                  bounds=DEFAULT_TIME_BUCKETS) -> Histogram:
+        """The histogram ``name`` (created on first access; ``bounds``
+        only applies at creation)."""
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    # -- introspection -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(),
+                           key=lambda m: (m.name, m.labels)))
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of every metric at this instant."""
+        out: dict = {}
+        for metric in self:
+            entry: dict = {"type": type(metric).__name__.lower()}
+            if metric.labels:
+                entry["labels"] = dict(metric.labels)
+            if isinstance(metric, Histogram):
+                entry.update(
+                    count=metric.count, sum=metric.sum, mean=metric.mean,
+                    min=metric.min if metric.count else None,
+                    max=metric.max if metric.count else None,
+                    buckets={f"{b:g}": c for b, c in
+                             zip(metric.bounds + (math.inf,),
+                                 metric.counts)})
+            else:
+                entry["value"] = metric.value
+            key = metric.name
+            if metric.labels:
+                key += _render_labels(metric.labels)
+            out[key] = entry
+        return out
+
+    def reset(self) -> None:
+        """Drop every metric (names become free again)."""
+        with self._lock:
+            self._metrics.clear()
+            self._types.clear()
+
+    # -- export --------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (one line per sample)."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for metric in self:
+            kind = type(metric).__name__.lower()
+            if metric.name not in seen_types:
+                lines.append(f"# TYPE {metric.name} {kind}")
+                seen_types.add(metric.name)
+            if isinstance(metric, Histogram):
+                running = 0
+                for bound, count in zip(metric.bounds, metric.counts):
+                    running += count
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_render_labels(metric.labels, (('le', f'{bound:g}'),))}"
+                        f" {running}")
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_render_labels(metric.labels, (('le', '+Inf'),))}"
+                    f" {metric.count}")
+                lines.append(f"{metric.name}_sum"
+                             f"{_render_labels(metric.labels)}"
+                             f" {metric.sum:g}")
+                lines.append(f"{metric.name}_count"
+                             f"{_render_labels(metric.labels)}"
+                             f" {metric.count}")
+            else:
+                lines.append(f"{metric.name}"
+                             f"{_render_labels(metric.labels)}"
+                             f" {metric.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> str:
+        """JSON document of :meth:`snapshot`."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True,
+                          default=str)
+
+    def write_json(self, path) -> Path:
+        """Write :meth:`to_json` to ``path``; returns the path."""
+        target = Path(path)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+
+_REGISTRY = MetricsRegistry()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide registry (test isolation); returns it."""
+    global _REGISTRY
+    if not isinstance(registry, MetricsRegistry):
+        raise ConfigurationError(
+            f"expected a MetricsRegistry, got {registry!r}")
+    with _REGISTRY_LOCK:
+        _REGISTRY = registry
+    return registry
+
+
+def reset_registry() -> None:
+    """Drop every metric in the process-wide registry."""
+    _REGISTRY.reset()

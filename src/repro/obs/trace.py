@@ -1,0 +1,307 @@
+"""Structured event tracing with a ring buffer and JSONL sink.
+
+A :class:`Tracer` records typed event dicts: every record carries the
+event ``kind``, a monotone sequence number ``seq``, a wall-clock stamp
+``wall`` and (when the event happened inside a simulation) the
+simulation time ``t``; kind-specific fields ride along flat.  Records
+land in a bounded in-memory ring buffer and, when a sink is
+configured, are appended to a JSONL file one object per line -- the
+format :func:`read_trace` and ``repro observe`` consume.
+
+Cost contract: instrumented code guards every emission with
+``if tracer.enabled:`` so that a disabled tracer costs exactly one
+attribute load and branch per event -- no argument tuples, no field
+dicts, no record allocation.  :data:`NULL_TRACER` is the shared
+disabled instance the instrumentation layers default to.
+
+The record schema is versioned (:data:`TRACE_SCHEMA_VERSION`) and
+validated by :func:`validate_record` / :func:`validate_trace`; the CI
+smoke leg runs the validator over a freshly recorded fault-injection
+trace.  See ``docs/OBSERVABILITY.md`` for the catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EVENT_KINDS",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "read_trace",
+    "validate_record",
+    "validate_trace",
+]
+
+#: Bump when record fields change incompatibly; ``run_start`` records
+#: carry it so readers can refuse traces they do not understand.
+TRACE_SCHEMA_VERSION = 1
+
+#: Event kinds and the extra fields each one requires (beyond the
+#: common ``kind``/``seq``/``wall``).  ``t`` is required where the
+#: event is anchored in simulation time.
+EVENT_KINDS: dict[str, tuple[str, ...]] = {
+    # run lifecycle
+    "run_start": ("seed", "schema"),
+    "run_end": (),
+    # server / scheduler
+    "round_dispatch": ("t", "round", "active_streams", "failed_disks"),
+    "sweep_start": ("t", "round", "disk", "batch"),
+    "sweep": ("t", "round", "disk", "service", "late", "served",
+              "glitched"),
+    "fragment_glitch": ("t", "round", "disk", "stream"),
+    "stream_admit": ("stream", "object", "start_round"),
+    "stream_shed": ("round", "stream", "action"),
+    "stream_resume": ("round", "stream"),
+    "fault": ("t", "desc"),
+    # analytic / cache layer
+    "cache_hit": ("layer",),
+    "cache_miss": ("layer",),
+    "bound_solve": ("seconds",),
+    # parallel fan-out
+    "worker_task": ("phase", "task"),
+}
+
+
+class Tracer:
+    """Bounded structured event recorder.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size; the oldest records are dropped (and counted
+        in :attr:`dropped`) once it fills.  The JSONL sink is
+        unaffected by the ring -- every emitted record is written.
+    sink:
+        ``None``, a path (opened lazily, closed by :meth:`close`), or a
+        file-like object with ``write`` (left open).
+    enabled:
+        Start disabled to pre-wire instrumentation at zero cost.
+    clock:
+        Wall-clock source (injectable for tests); defaults to
+        :func:`time.time`.
+    """
+
+    __slots__ = ("enabled", "capacity", "emitted", "dropped", "_records",
+                 "_seq", "_sink", "_sink_path", "_owns_sink", "_clock")
+
+    def __init__(self, capacity: int = 65536, sink=None,
+                 enabled: bool = True, clock=time.time) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"tracer capacity must be >= 1, got {capacity!r}")
+        self.enabled = bool(enabled)
+        self.capacity = int(capacity)
+        self.emitted = 0
+        self.dropped = 0
+        self._records: deque = deque(maxlen=self.capacity)
+        self._seq = 0
+        self._sink = None
+        self._sink_path: Path | None = None
+        self._owns_sink = False
+        self._clock = clock
+        if sink is not None:
+            if hasattr(sink, "write"):
+                self._sink = sink
+            else:
+                self._sink_path = Path(sink)
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, t: float | None = None, **fields) -> dict:
+        """Record one event; returns the record (or ``{}`` if disabled).
+
+        Hot paths must guard with ``if tracer.enabled:`` -- calling
+        ``emit`` already costs the keyword-dict allocation.
+        """
+        if not self.enabled:
+            return {}
+        record = {"kind": kind, "seq": self._seq,
+                  "wall": float(self._clock())}
+        if t is not None:
+            record["t"] = float(t)
+        record.update(fields)
+        self._seq += 1
+        self.emitted += 1
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(record)
+        sink = self._resolve_sink()
+        if sink is not None:
+            sink.write(json.dumps(record, default=_jsonable) + "\n")
+        return record
+
+    def start_run(self, seed: int | None = None, **config) -> dict:
+        """Emit the ``run_start`` header record (seed- and schema-
+        stamped); free-form ``config`` fields ride along."""
+        return self.emit("run_start", seed=seed,
+                         schema=TRACE_SCHEMA_VERSION, **config)
+
+    def end_run(self, **fields) -> dict:
+        """Emit the closing ``run_end`` record."""
+        return self.emit("run_end", **fields)
+
+    # ------------------------------------------------------------------
+    def records(self) -> list[dict]:
+        """Copy of the ring buffer, oldest first."""
+        return list(self._records)
+
+    def clear(self) -> None:
+        """Drop buffered records (the sink file is untouched)."""
+        self._records.clear()
+
+    def _resolve_sink(self):
+        if self._sink is None and self._sink_path is not None:
+            self._sink_path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink = self._sink_path.open("w", encoding="utf-8")
+            self._owns_sink = True
+        return self._sink
+
+    def flush(self) -> None:
+        """Flush the sink, if one is open."""
+        if self._sink is not None and hasattr(self._sink, "flush"):
+            self._sink.flush()
+
+    def close(self) -> None:
+        """Close a tracer-owned sink file (idempotent)."""
+        if self._sink is not None and self._owns_sink:
+            self._sink.close()
+        self._sink = None
+        self._owns_sink = False
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (f"Tracer({state}, emitted={self.emitted}, "
+                f"buffered={len(self._records)})")
+
+
+def _jsonable(value):
+    """JSON fallback for numpy scalars and sets in event fields."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return str(value)
+
+
+#: The shared disabled tracer; instrumentation layers default to it so
+#: a server without tracing pays one ``tracer.enabled`` check per event.
+NULL_TRACER = Tracer(capacity=1, enabled=False)
+
+_CURRENT: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (``NULL_TRACER`` unless one was set)."""
+    return _CURRENT
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` as the process-wide default (``None``
+    restores :data:`NULL_TRACER`); returns the installed tracer."""
+    global _CURRENT
+    if tracer is None:
+        tracer = NULL_TRACER
+    if not isinstance(tracer, Tracer):
+        raise ConfigurationError(f"expected a Tracer, got {tracer!r}")
+    _CURRENT = tracer
+    return tracer
+
+
+# ----------------------------------------------------------------------
+# Reading and validating recorded traces
+# ----------------------------------------------------------------------
+
+def read_trace(path) -> list[dict]:
+    """Parse a JSONL trace file into a list of record dicts."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise ConfigurationError(
+                    f"{path}:{lineno}: trace records must be objects, "
+                    f"got {type(record).__name__}")
+            records.append(record)
+    return records
+
+
+def validate_record(record: dict, index: int | None = None) -> list[str]:
+    """Schema problems of one record (empty list = valid).
+
+    Checks the common envelope (``kind``/``seq``/``wall``), that the
+    kind is in the catalogue, and that the kind's required fields are
+    present.  Unknown extra fields are allowed (forward compatible).
+    """
+    where = f"record {index}" if index is not None else "record"
+    problems = []
+    kind = record.get("kind")
+    if not isinstance(kind, str):
+        return [f"{where}: missing or non-string 'kind'"]
+    if kind not in EVENT_KINDS:
+        return [f"{where}: unknown kind {kind!r}"]
+    if not isinstance(record.get("seq"), int):
+        problems.append(f"{where} ({kind}): missing integer 'seq'")
+    if not isinstance(record.get("wall"), (int, float)):
+        problems.append(f"{where} ({kind}): missing numeric 'wall'")
+    for field in EVENT_KINDS[kind]:
+        if field == "t":
+            if not isinstance(record.get("t"), (int, float)):
+                problems.append(f"{where} ({kind}): missing numeric 't'")
+        elif field not in record:
+            problems.append(f"{where} ({kind}): missing field {field!r}")
+    return problems
+
+
+def validate_trace(records) -> list[str]:
+    """Schema problems across a whole trace (empty list = valid).
+
+    Beyond per-record checks: the trace must open with ``run_start``,
+    declare a schema version this reader understands, and keep ``seq``
+    strictly increasing.
+    """
+    records = list(records)
+    problems = []
+    if not records:
+        return ["trace is empty"]
+    head = records[0]
+    if head.get("kind") != "run_start":
+        problems.append("trace does not start with a run_start record")
+    elif head.get("schema") != TRACE_SCHEMA_VERSION:
+        problems.append(
+            f"trace schema {head.get('schema')!r} != supported "
+            f"{TRACE_SCHEMA_VERSION}")
+    last_seq = None
+    for index, record in enumerate(records):
+        problems.extend(validate_record(record, index))
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            if last_seq is not None and seq <= last_seq:
+                problems.append(
+                    f"record {index}: seq {seq} not increasing "
+                    f"(previous {last_seq})")
+            last_seq = seq
+    return problems

@@ -57,6 +57,7 @@ from __future__ import annotations
 import math
 import os
 import secrets
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -65,6 +66,8 @@ from multiprocessing import resource_tracker, shared_memory
 import numpy as np
 
 from repro.analysis.stats import wilson_interval
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.disk.presets import DiskSpec
 from repro.distributions import Distribution
 from repro.errors import ConfigurationError, ParallelExecutionError, ReproError
@@ -178,6 +181,30 @@ def resolve_worker_retries() -> int:
     return value
 
 
+def _timed_call(payload):
+    """Pool entry point wrapping every worker: returns ``(pid, seconds,
+    result)`` so the parent can account per-task runtime and worker
+    spread without the task payloads changing shape.  Module-level so
+    it pickles; the timing never feeds back into the computation, so
+    the determinism contract is untouched.
+    """
+    worker, task = payload
+    start = time.perf_counter()
+    result = worker(task)
+    return os.getpid(), time.perf_counter() - start, result
+
+
+def _record_task(index: int, pid: int, seconds: float) -> None:
+    """Account one finished task in the process registry and trace."""
+    registry = get_registry()
+    registry.counter("parallel_tasks_total").inc()
+    registry.histogram("parallel_task_seconds").observe(seconds)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.emit("worker_task", phase="done", task=index, pid=pid,
+                    seconds=seconds)
+
+
 def _pool_pass(worker, tasks, pending, results, done, jobs: int) -> None:
     """One pool's attempt at the ``pending`` task indices.
 
@@ -187,11 +214,12 @@ def _pool_pass(worker, tasks, pending, results, done, jobs: int) -> None:
     """
     workers = min(jobs, len(pending))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        indexed = {pool.submit(worker, tasks[i]): i for i in pending}
+        indexed = {pool.submit(_timed_call, (worker, tasks[i])): i
+                   for i in pending}
         for future in as_completed(indexed):
             index = indexed[future]
             try:
-                results[index] = future.result()
+                pid, seconds, results[index] = future.result()
             except (ReproError, BrokenProcessPool):
                 for other in indexed:
                     other.cancel()
@@ -203,6 +231,7 @@ def _pool_pass(worker, tasks, pending, results, done, jobs: int) -> None:
                     f"parallel worker failed on task {index + 1} of "
                     f"{len(tasks)}: {type(exc).__name__}: {exc}") from exc
             done[index] = True
+            _record_task(index, pid, seconds)
 
 
 def fan_out(worker, tasks, jobs: int) -> list:
@@ -226,8 +255,20 @@ def fan_out(worker, tasks, jobs: int) -> list:
     :class:`ParallelExecutionError` surfaces.
     """
     tasks = list(tasks)
+    registry = get_registry()
+    registry.counter("parallel_fanouts_total").inc()
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.emit("worker_task", phase="submit", task=len(tasks),
+                    jobs=jobs)
     if jobs == 1 or len(tasks) <= 1:
-        return [worker(task) for task in tasks]
+        results = []
+        pid = os.getpid()
+        for index, task in enumerate(tasks):
+            start = time.perf_counter()
+            results.append(worker(task))
+            _record_task(index, pid, time.perf_counter() - start)
+        return results
     retries = resolve_worker_retries()
     results: list = [None] * len(tasks)
     done = [False] * len(tasks)
@@ -239,6 +280,7 @@ def fan_out(worker, tasks, jobs: int) -> list:
             return results
         except BrokenProcessPool as exc:
             failures += 1
+            registry.counter("parallel_pool_failures_total").inc()
             if failures > retries:
                 remaining = sum(1 for finished in done if not finished)
                 raise ParallelExecutionError(
@@ -256,8 +298,11 @@ def _create_block(nbytes: int) -> shared_memory.SharedMemory:
     """Create a named block; the name carries :data:`SHM_PREFIX` so leak
     checks can find strays."""
     name = f"{SHM_PREFIX}_{os.getpid()}_{secrets.token_hex(4)}"
-    return shared_memory.SharedMemory(name=name, create=True,
-                                      size=max(1, int(nbytes)))
+    size = max(1, int(nbytes))
+    registry = get_registry()
+    registry.counter("parallel_shm_blocks_total").inc()
+    registry.counter("parallel_shm_bytes_total").inc(size)
+    return shared_memory.SharedMemory(name=name, create=True, size=size)
 
 
 def _attach_block(name: str) -> shared_memory.SharedMemory:

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.farm import degraded_mode_n_max, mirror_of, shed_target
 from repro.errors import ConfigurationError
+from repro.obs.trace import NULL_TRACER
 
 __all__ = [
     "FaultEvent",
@@ -230,6 +231,9 @@ class FaultInjector:
         self.seed = int(seed)
         #: ``(t, description)`` entries, appended as events fire.
         self.log: list[tuple[float, str]] = []
+        #: Structured tracer (the server installs its own before bind);
+        #: every fired event is mirrored as a ``fault`` trace record.
+        self.tracer = NULL_TRACER
         self._failed: set[int] = set()
         self._scale: dict[int, float] = {}
         # Storms are static windows; index them once for stall draws.
@@ -263,6 +267,9 @@ class FaultInjector:
         # Storm windows need no state: they are answered from the
         # schedule itself in round_stall().
         self.log.append((now, event.describe()))
+        if self.tracer.enabled:
+            self.tracer.emit("fault", t=now, desc=event.describe(),
+                             fault_kind=event.kind, disk=event.disk)
 
     # ------------------------------------------------------------------
     # device-state queries (used by MediaServer and DiskScheduler)
@@ -375,7 +382,8 @@ def run_failover_scenario(spec, size_dist, *, disks: int = 2,
                           recover_round: int | None = None,
                           shedding: bool = True, shed_mode: str = "pause",
                           schedule: FaultSchedule | None = None,
-                          seed: int = 0) -> ScenarioResult:
+                          seed: int = 0, tracer=NULL_TRACER,
+                          metrics=None) -> ScenarioResult:
     """Drive a mirrored farm through a single-disk failure.
 
     Opens ``n_per_disk * disks`` streams (default: the healthy analytic
@@ -386,6 +394,13 @@ def run_failover_scenario(spec, size_dist, *, disks: int = 2,
     survivor of the mirrored pair absorbs the full doubled batch -- the
     configuration the paper's guarantee cannot cover, which the bench
     shows violating the bound.
+
+    An enabled ``tracer`` records the whole run and stamps the header
+    with the analytic per-sweep bounds the phases are judged against
+    (``bound_healthy`` at the opened per-disk load, ``bound_degraded``
+    at the shed doubled batch), making the trace self-contained for
+    ``repro observe``.  ``metrics`` is an optional
+    :class:`repro.obs.metrics.MetricsRegistry` handed to the server.
     """
     # Imported here: server.server imports this module's injector types.
     from repro.server.admission import AdmissionController
@@ -420,9 +435,28 @@ def run_failover_scenario(spec, size_dist, *, disks: int = 2,
     policy = (SheddingPolicy(failure_proof, mode=shed_mode)
               if shedding else None)
     admission = AdmissionController(n_per_disk, disks=disks)
+    if tracer.enabled:
+        # Stamp the analytic per-sweep bounds into the header *before*
+        # any other record (validation requires run_start first): the
+        # healthy phase is judged at the opened per-disk load, the
+        # degraded phase at the shed doubled batch on the survivor.
+        from repro.core import RoundServiceTimeModel
+
+        model = RoundServiceTimeModel.for_disk(spec, size_dist)
+        degraded_bound = (float(model.b_late(2 * failure_proof, t))
+                          if failure_proof > 0 else None)
+        tracer.start_run(
+            seed=seed, mode="faults", disks=disks, t=t, rounds=rounds,
+            n_per_disk=n_per_disk, shedding=shedding,
+            shed_mode=shed_mode if shedding else None,
+            healthy_n_max=healthy, degraded_n_max=failure_proof,
+            delta=delta,
+            bound_healthy=float(model.b_late(n_per_disk, t)),
+            bound_degraded=degraded_bound)
     server = MediaServer([spec] * disks, t, admission=admission,
                          seed=seed, fault_injector=injector,
-                         shedding=policy, mirrored=True)
+                         shedding=policy, mirrored=True,
+                         tracer=tracer, metrics=metrics)
 
     # One object per stream, spanning the whole run, sizes drawn from
     # the scenario's own substream so the layout RNG stays untouched.
@@ -436,6 +470,8 @@ def run_failover_scenario(spec, size_dist, *, disks: int = 2,
         server.store_object(name, sizes)
         streams.append(server.open_stream(name))
     report = server.run_rounds(rounds)
+    if tracer.enabled:
+        tracer.end_run()
 
     survivors = [s for s in streams
                  if s.stats.pauses == 0 and not s.stats.shed

@@ -24,6 +24,7 @@ import numpy as np
 from repro.disk.drive import DiskDrive
 from repro.disk.request import DiskRequest
 from repro.disk.scan import order_scan
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.engine import Engine
 from repro.sim.resources import Store
 
@@ -47,11 +48,15 @@ class DiskScheduler:
     def __init__(self, engine: Engine, drive: DiskDrive,
                  rng: np.random.Generator,
                  on_outcome: Callable[[int, "RoundOutcome"], None],
-                 disk_id: int = 0, faults=None) -> None:
+                 disk_id: int = 0, faults=None,
+                 tracer: Tracer = NULL_TRACER) -> None:
         self.engine = engine
         self.drive = drive
         self.rng = rng
         self.disk_id = disk_id
+        #: Structured tracer; the shared disabled instance by default,
+        #: so an untraced sweep pays one branch per round.
+        self.tracer = tracer
         #: Optional :class:`repro.server.faults.FaultInjector` (or any
         #: object with ``available``/``service_scale``/``round_stall``):
         #: consulted before every request, so a disk that dies mid-sweep
@@ -82,6 +87,12 @@ class DiskScheduler:
             ascending = (self._round_parity % 2) == 0
             self._round_parity += 1
             ordered = order_scan(requests, ascending=ascending)
+            if self.tracer.enabled:
+                self.tracer.emit("sweep_start", t=self.engine.now,
+                                 round=round_index, disk=self.disk_id,
+                                 batch=len(ordered),
+                                 ascending=ascending,
+                                 deadline=deadline)
 
             on_time: list[int] = []
             glitched: list[int] = []

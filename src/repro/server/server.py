@@ -16,6 +16,8 @@ from repro.disk.drive import DiskDrive
 from repro.disk.presets import DiskSpec
 from repro.disk.request import DiskRequest
 from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.server.admission import AdmissionController
 from repro.server.layout import StripedLayout
 from repro.server.scheduler import DiskScheduler, RoundOutcome
@@ -118,12 +120,23 @@ class MediaServer:
         Lay every fragment out with a RAID-1 replica on its partner
         disk; requests whose home disk is down fail over to the
         replica (the survivor serves the doubled batch).
+    tracer:
+        Structured :class:`repro.obs.trace.Tracer`.  Defaults to the
+        shared disabled instance, so an untraced server pays one
+        ``enabled`` check per event (see ``docs/OBSERVABILITY.md``
+        for the record catalogue this server emits).
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; when
+        given, the server maintains ``server_*`` counters, gauges and
+        the per-sweep service-time histogram in it.  ``None`` (the
+        default) records nothing.
     """
 
     def __init__(self, specs: list[DiskSpec], round_length: float,
                  admission: AdmissionController | None = None,
                  seed: int = 0, fault_injector=None, shedding=None,
-                 mirrored: bool = False) -> None:
+                 mirrored: bool = False, tracer: Tracer = NULL_TRACER,
+                 metrics: MetricsRegistry | None = None) -> None:
         if not specs:
             raise ConfigurationError("need at least one disk")
         if round_length <= 0:
@@ -140,10 +153,15 @@ class MediaServer:
         self.shedding = shedding
         self.rng = RngRegistry(seed)
         self.engine = Engine()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self._metric_handles = (self._bind_metrics(metrics)
+                                if metrics is not None else None)
         # Bind the fault schedule before any scheduler process starts,
         # so state flips scheduled at the same instant as a request
         # completion are applied first (calendar sequence order).
         if self.faults is not None:
+            self.faults.tracer = self.tracer
             self.faults.bind(self.engine, len(specs))
         self.layout = StripedLayout(self.specs,
                                     self.rng.stream("placement"),
@@ -170,9 +188,30 @@ class MediaServer:
                                                  spec.seek_curve),
                           self.rng.stream(f"disk-{d}"),
                           self._handle_outcome, disk_id=d,
-                          faults=self.faults)
+                          faults=self.faults, tracer=self.tracer)
             for d, spec in enumerate(self.specs)
         ]
+
+    @staticmethod
+    def _bind_metrics(metrics: MetricsRegistry) -> dict:
+        """Resolve the server's metric handles once, up front, so the
+        per-event cost is an attribute bump rather than a dict walk."""
+        return {
+            "rounds": metrics.counter("server_rounds_total"),
+            "requests": metrics.counter("server_requests_total"),
+            "physical": metrics.counter("server_physical_requests_total"),
+            "delivered": metrics.counter("server_delivered_total"),
+            "glitches": metrics.counter("server_glitches_total"),
+            "late": metrics.counter("server_late_disk_rounds_total"),
+            "failovers": metrics.counter("server_failovers_total"),
+            "dropped": metrics.counter("server_dropped_requests_total"),
+            "shed": metrics.counter("server_shed_streams_total"),
+            "resumed": metrics.counter("server_resumed_streams_total"),
+            "admitted": metrics.counter("server_streams_admitted_total"),
+            "active": metrics.gauge("server_active_streams"),
+            "engine_events": metrics.gauge("engine_events_processed"),
+            "sweep_seconds": metrics.histogram("server_sweep_seconds"),
+        }
 
     @property
     def disks(self) -> int:
@@ -230,6 +269,14 @@ class MediaServer:
         self._stream_first_disk[stream.stream_id] = first_disk
         self._phase_counts[phase] += 1
         self._next_stream_id += 1
+        if self.tracer.enabled:
+            self.tracer.emit("stream_admit", stream=stream.stream_id,
+                             object=object_name, start_round=start_round,
+                             delay=stream.start_delay)
+        handles = self._metric_handles
+        if handles is not None:
+            handles["admitted"].inc()
+            handles["active"].set(len(self.streams))
         return stream
 
     def close_stream(self, stream: Stream) -> None:
@@ -257,15 +304,21 @@ class MediaServer:
         """
         if rounds < 1:
             raise ConfigurationError(f"rounds must be >= 1, got {rounds!r}")
+        handles = self._metric_handles
         for _ in range(rounds):
             self._dispatch_round()
             self.engine.run(until=(self._round_index + 1)
                             * self.round_length)
             self._round_index += 1
             self.report.rounds += 1
+            if handles is not None:
+                handles["rounds"].inc()
             self._reap_finished()
         if self.faults is not None:
             self.report.fault_log = list(self.faults.log)
+        if handles is not None:
+            handles["engine_events"].set(self.engine.events_processed)
+            handles["active"].set(len(self.streams))
         return self.report
 
     def _dispatch_round(self) -> None:
@@ -285,6 +338,7 @@ class MediaServer:
             self.report.requests += 1
             groups.setdefault((stream.object_name, fragment),
                               []).append(stream.stream_id)
+        handles = self._metric_handles
         for (object_name, fragment), members in groups.items():
             location = self.layout.locate(object_name, fragment)
             serve_disk = location.disk
@@ -301,9 +355,14 @@ class MediaServer:
                     self.report.failovers_by_round[self._round_index] = \
                         self.report.failovers_by_round.get(
                             self._round_index, 0) + 1
+                    if handles is not None:
+                        handles["failovers"].inc()
                 else:
                     # No live copy anywhere: the fetch is lost outright.
                     self.report.dropped_requests += len(members)
+                    if handles is not None:
+                        handles["dropped"].inc(len(members))
+                        handles["glitches"].inc(len(members))
                     for stream_id in members:
                         stream = self.streams.get(stream_id)
                         if stream is not None:
@@ -312,6 +371,12 @@ class MediaServer:
                         self.report.glitches_by_round[self._round_index] \
                             = self.report.glitches_by_round.get(
                                 self._round_index, 0) + 1
+                        if self.tracer.enabled:
+                            self.tracer.emit(
+                                "fragment_glitch", t=self.engine.now,
+                                round=self._round_index,
+                                disk=location.disk, stream=stream_id,
+                                dropped=True)
                     continue
             representative = members[0]
             self.report.physical_requests += 1
@@ -321,6 +386,21 @@ class MediaServer:
             if len(members) > 1:
                 self._multicast[(self._round_index, serve_disk,
                                  representative)] = members
+        if handles is not None:
+            requested = sum(len(m) for m in groups.values())
+            handles["requests"].inc(requested)
+            handles["physical"].inc(
+                sum(len(batch) for batch in batches.values()))
+            handles["active"].set(len(self.streams))
+        if self.tracer.enabled:
+            failed = (sorted(self.faults.failed_disks())
+                      if self.faults is not None else [])
+            self.tracer.emit(
+                "round_dispatch", t=self.engine.now,
+                round=self._round_index,
+                active_streams=len(self.streams),
+                failed_disks=failed,
+                batches={str(d): len(b) for d, b in batches.items() if b})
         for disk, requests in batches.items():
             if requests:
                 self._schedulers[disk].submit(self._round_index, deadline,
@@ -391,6 +471,11 @@ class MediaServer:
             self.report.shed_by_round.get(self._round_index, 0) + 1
         self.report.shed_log.append(
             (self._round_index, "pause", stream.stream_id))
+        if self._metric_handles is not None:
+            self._metric_handles["shed"].inc()
+        if self.tracer.enabled:
+            self.tracer.emit("stream_shed", round=self._round_index,
+                             stream=stream.stream_id, action="pause")
 
     def _drop_stream(self, stream: Stream) -> None:
         stream.stats.shed = True
@@ -399,6 +484,11 @@ class MediaServer:
             self.report.shed_by_round.get(self._round_index, 0) + 1
         self.report.shed_log.append(
             (self._round_index, "drop", stream.stream_id))
+        if self._metric_handles is not None:
+            self._metric_handles["shed"].inc()
+        if self.tracer.enabled:
+            self.tracer.emit("stream_shed", round=self._round_index,
+                             stream=stream.stream_id, action="drop")
         self.close_stream(stream)
 
     def _resume_stream(self, stream: Stream) -> None:
@@ -413,6 +503,11 @@ class MediaServer:
         self.report.resumed_streams += 1
         self.report.shed_log.append(
             (self._round_index, "resume", stream.stream_id))
+        if self._metric_handles is not None:
+            self._metric_handles["resumed"].inc()
+        if self.tracer.enabled:
+            self.tracer.emit("stream_resume", round=self._round_index,
+                             stream=stream.stream_id)
 
     def _expand_multicast(self, round_index: int, disk: int,
                           representative: int) -> list[int]:
@@ -421,6 +516,7 @@ class MediaServer:
         return members if members is not None else [representative]
 
     def _handle_outcome(self, disk: int, outcome: RoundOutcome) -> None:
+        handles = self._metric_handles
         for rep in outcome.served_on_time:
             for stream_id in self._expand_multicast(outcome.round_index,
                                                     disk, rep):
@@ -428,9 +524,14 @@ class MediaServer:
                 if stream is not None:
                     stream.record_delivery(outcome.round_index)
                     self.report.delivered += 1
+                    if handles is not None:
+                        handles["delivered"].inc()
         if outcome.glitched:
             self.report.late_rounds += 1
             self.report.per_disk_late_rounds[disk] += 1
+            if handles is not None:
+                handles["late"].inc()
+        glitched_members = 0
         for rep in outcome.glitched:
             for stream_id in self._expand_multicast(outcome.round_index,
                                                     disk, rep):
@@ -438,9 +539,29 @@ class MediaServer:
                 if stream is not None:
                     stream.record_glitch(outcome.round_index)
                 self.report.glitches += 1
+                glitched_members += 1
                 self.report.glitches_by_round[outcome.round_index] = \
                     self.report.glitches_by_round.get(
                         outcome.round_index, 0) + 1
+                if self.tracer.enabled:
+                    self.tracer.emit("fragment_glitch", t=self.engine.now,
+                                     round=outcome.round_index, disk=disk,
+                                     stream=stream_id, dropped=False)
+        # Sweep service time: the round's batch is dispatched at the
+        # round boundary, so the span runs from there to completion.
+        service = outcome.finish_time - (outcome.round_index
+                                         * self.round_length)
+        if handles is not None:
+            handles["glitches"].inc(glitched_members)
+            handles["sweep_seconds"].observe(service)
+        if self.tracer.enabled:
+            self.tracer.emit("sweep", t=outcome.finish_time,
+                             round=outcome.round_index, disk=disk,
+                             service=service,
+                             late=bool(outcome.glitched),
+                             served=len(outcome.served_on_time),
+                             glitched=len(outcome.glitched),
+                             seek=outcome.lumped_seek_time)
 
     def _reap_finished(self) -> None:
         finished = [s for s in self.streams.values()

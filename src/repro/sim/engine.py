@@ -195,6 +195,11 @@ class Engine:
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._sequence = 0
+        #: Calendar entries processed so far -- the kernel's unit of
+        #: work.  A plain int (bumped once per :meth:`step`) so the
+        #: count is free; observability layers read it into a gauge at
+        #: report time instead of instrumenting the hot loop.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -266,6 +271,7 @@ class Engine:
             raise SimulationError("event calendar is empty")
         when, _seq, event = heapq.heappop(self._heap)
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:

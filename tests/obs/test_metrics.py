@@ -1,0 +1,170 @@
+"""Counter, Gauge, Histogram and MetricsRegistry tests."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, get_registry, reset_registry
+from repro.obs.metrics import Counter, Gauge, Histogram, set_registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("requests_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_decrease(self):
+        c = Counter("requests_total")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("active")
+        g.set(10.0)
+        g.inc(2.0)
+        g.dec(5.0)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]  # last is the +Inf bucket
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+        assert h.min == 0.5
+        assert h.max == 100.0
+        assert h.mean == pytest.approx(105.0 / 4)
+
+    def test_value_on_edge_lands_in_its_bucket(self):
+        h = Histogram("lat", bounds=(1.0, 2.0))
+        h.observe(1.0)  # le="1" includes 1.0
+        assert h.counts == [1, 0, 0]
+
+    def test_quantiles(self):
+        h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 0.7, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0   # bucket upper edge
+        assert h.quantile(1.0) == 3.0   # exact max
+        assert math.isnan(Histogram("e", bounds=(1.0,)).quantile(0.5))
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("e", bounds=(1.0,)).mean == 0.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", bounds=())
+        with pytest.raises(ConfigurationError):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("h", bounds=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("h", bounds=(1.0, math.inf))
+
+
+class TestMetricsRegistry:
+    def test_same_name_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert len(reg) == 3
+
+    def test_labels_fork_series(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("p_late", labels={"n": "8"})
+        b = reg.gauge("p_late", labels={"n": "12"})
+        assert a is not b
+        a.set(0.1)
+        b.set(0.2)
+        snap = reg.snapshot()
+        assert snap['p_late{n="8"}']["value"] == 0.1
+        assert snap['p_late{n="12"}']["value"] == 0.2
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_bad_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("bad-name")
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+        snap = reg.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 3.0}
+        hist = snap["h"]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 1
+        assert hist["buckets"] == {"1": 0, "2": 1, "inf": 0}
+
+    def test_empty_histogram_snapshot_min_max_none(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0,))
+        snap = reg.snapshot()["h"]
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total").inc(5)
+        h = reg.histogram("lat", bounds=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        text = reg.to_prometheus()
+        assert "# TYPE req_total counter" in text
+        assert "req_total 5" in text
+        # Buckets are cumulative, capped by the +Inf bucket.
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 2" in text
+        assert "lat_count 2" in text
+
+    def test_json_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        path = reg.write_json(tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        assert data["c"]["value"] == 1.0
+
+    def test_reset_frees_names(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        reg.reset()
+        reg.gauge("x")  # no type conflict after reset
+        assert len(reg) == 1
+
+
+class TestGlobalRegistry:
+    def test_get_set_reset(self):
+        original = get_registry()
+        try:
+            mine = MetricsRegistry()
+            assert set_registry(mine) is mine
+            assert get_registry() is mine
+            mine.counter("x").inc()
+            reset_registry()
+            assert len(get_registry()) == 0
+        finally:
+            set_registry(original)
+
+    def test_set_rejects_non_registry(self):
+        with pytest.raises(ConfigurationError):
+            set_registry(object())

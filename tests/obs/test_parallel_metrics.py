@@ -1,0 +1,43 @@
+"""Instrumentation of the parallel fan-out layer."""
+
+from repro.obs import MetricsRegistry, Tracer, set_tracer
+from repro.obs.metrics import set_registry, get_registry
+from repro.parallel import fan_out
+
+
+def _double(task):
+    return task * 2
+
+
+class TestFanOutMetrics:
+    def setup_method(self):
+        self._previous = get_registry()
+        self.registry = set_registry(MetricsRegistry())
+
+    def teardown_method(self):
+        set_registry(self._previous)
+        set_tracer(None)
+
+    def test_serial_path_counts_tasks(self):
+        results = fan_out(_double, [1, 2, 3], jobs=1)
+        assert results == [2, 4, 6]
+        snap = self.registry.snapshot()
+        assert snap["parallel_fanouts_total"]["value"] == 1.0
+        assert snap["parallel_tasks_total"]["value"] == 3.0
+        assert snap["parallel_task_seconds"]["count"] == 3
+
+    def test_serial_path_traces_tasks(self):
+        ticks = iter(range(100))
+        tracer = set_tracer(Tracer(clock=lambda: float(next(ticks))))
+        fan_out(_double, [1, 2], jobs=1)
+        kinds = [r["kind"] for r in tracer.records()]
+        assert kinds == ["worker_task"] * 3  # 1 submit + 2 done
+        phases = [r["phase"] for r in tracer.records()]
+        assert phases == ["submit", "done", "done"]
+
+    def test_pool_path_counts_tasks(self):
+        results = fan_out(_double, [1, 2, 3, 4], jobs=2)
+        assert results == [2, 4, 6, 8]
+        snap = self.registry.snapshot()
+        assert snap["parallel_tasks_total"]["value"] == 4.0
+        assert snap["parallel_task_seconds"]["count"] == 4

@@ -1,0 +1,149 @@
+"""RunTelemetry join and bound-comparison tests."""
+
+import pytest
+
+from repro.obs import BoundComparison, RunTelemetry
+from repro.obs.trace import Tracer
+
+
+def build_trace(bound_healthy=0.01, bound_degraded=0.05):
+    """A small synthetic run: two healthy rounds, one degraded round
+    with a late sweep and glitches."""
+    ticks = iter(range(1000))
+    tracer = Tracer(clock=lambda: float(next(ticks)))
+    header = {}
+    if bound_healthy is not None:
+        header["bound_healthy"] = bound_healthy
+    if bound_degraded is not None:
+        header["bound_degraded"] = bound_degraded
+    tracer.start_run(seed=42, **header)
+    # Round 0: healthy, on time.
+    tracer.emit("round_dispatch", t=0.0, round=0, active_streams=4,
+                failed_disks=[])
+    tracer.emit("sweep", t=0.8, round=0, disk=0, service=0.8, late=False,
+                served=4, glitched=0)
+    # Round 1: healthy, on time.
+    tracer.emit("round_dispatch", t=1.0, round=1, active_streams=4,
+                failed_disks=[])
+    tracer.emit("sweep", t=1.7, round=1, disk=0, service=0.7, late=False,
+                served=4, glitched=0)
+    # Fault, then round 2: degraded, overruns with two glitches.
+    tracer.emit("fault", t=1.9, desc="disk 1 failed")
+    tracer.emit("round_dispatch", t=2.0, round=2, active_streams=4,
+                failed_disks=[1])
+    tracer.emit("fragment_glitch", t=3.1, round=2, disk=0, stream=7)
+    tracer.emit("fragment_glitch", t=3.2, round=2, disk=0, stream=9)
+    tracer.emit("sweep", t=3.2, round=2, disk=0, service=1.2, late=True,
+                served=2, glitched=2)
+    tracer.emit("stream_shed", round=2, stream=9, action="pause")
+    tracer.emit("stream_resume", round=4, stream=9)
+    tracer.end_run()
+    return tracer.records()
+
+
+class TestJoin:
+    def test_rounds_joined(self):
+        tel = RunTelemetry.from_records(build_trace())
+        assert tel.round_count == 3
+        assert tel.header["seed"] == 42
+        assert not tel.rounds[0].degraded
+        assert tel.rounds[2].degraded
+        assert tel.rounds[2].failed_disks == (1,)
+        assert tel.rounds[2].glitches == 2
+        assert tel.rounds[2].late
+        assert tel.rounds[2].max_service == pytest.approx(1.2)
+
+    def test_sweep_record_accessors(self):
+        tel = RunTelemetry.from_records(build_trace())
+        sweeps = tel.sweeps()
+        assert len(sweeps) == 3
+        assert sweeps[-1].requests == 4  # served 2 + glitched 2
+
+    def test_glitch_timeline_and_late_rounds(self):
+        tel = RunTelemetry.from_records(build_trace())
+        assert tel.glitch_timeline() == [(2, 2)]
+        assert tel.late_rounds() == [2]
+
+    def test_top_latency_orders_by_service(self):
+        tel = RunTelemetry.from_records(build_trace())
+        top = tel.top_latency(2)
+        assert [s.service for s in top] == [1.2, 0.8]
+        assert tel.top_latency(0) == []
+
+    def test_faults_and_sheds_collected(self):
+        tel = RunTelemetry.from_records(build_trace())
+        assert len(tel.faults) == 1
+        assert "disk 1" in tel.faults[0]["desc"]
+        assert [s["kind"] for s in tel.sheds] \
+            == ["stream_shed", "stream_resume"]
+
+    def test_headerless_trace_tolerated(self):
+        records = [r for r in build_trace() if r["kind"] != "run_start"]
+        tel = RunTelemetry.from_records(records)
+        assert tel.header == {}
+        assert tel.round_count == 3
+
+
+class TestBoundTable:
+    def test_phases_compared_against_their_bounds(self):
+        tel = RunTelemetry.from_records(
+            build_trace(bound_healthy=0.01, bound_degraded=0.05))
+        healthy, degraded = tel.bound_table()
+        assert healthy.phase == "healthy"
+        assert healthy.disk_rounds == 2
+        assert healthy.observed_p_late == 0.0
+        assert healthy.within_bound is True
+        assert degraded.disk_rounds == 1
+        assert degraded.observed_p_late == 1.0
+        assert degraded.bound == 0.05
+        assert degraded.within_bound is False
+
+    def test_violations_flags_only_exceeding_phases(self):
+        tel = RunTelemetry.from_records(build_trace())
+        violations = tel.violations()
+        assert [v.phase for v in violations] == ["degraded"]
+
+    def test_missing_bound_is_undecided_not_failed(self):
+        tel = RunTelemetry.from_records(
+            build_trace(bound_healthy=None, bound_degraded=None))
+        healthy, degraded = tel.bound_table()
+        assert healthy.within_bound is None
+        assert degraded.within_bound is None
+        assert tel.violations() == []
+
+    def test_empty_phase_is_undecided(self):
+        row = BoundComparison(phase="degraded", rounds=0, disk_rounds=0,
+                              late_disk_rounds=0, observed_p_late=0.0,
+                              bound=0.01)
+        assert row.within_bound is None
+
+
+class TestServerTrace:
+    def test_faulted_run_trace_joins_end_to_end(self, tmp_path, viking,
+                                                paper_sizes):
+        """The real producer: a faulted failover scenario's trace must
+        reconstruct rounds, phases and the bound table."""
+        from repro.obs import read_trace, validate_trace
+        from repro.server.faults import run_failover_scenario
+
+        path = tmp_path / "run.jsonl"
+        ticks = iter(range(100_000))
+        tracer = Tracer(sink=path, clock=lambda: float(next(ticks)))
+        run_failover_scenario(viking, paper_sizes, disks=2, t=1.0,
+                              rounds=30, fail_round=10, seed=5,
+                              tracer=tracer)
+        tracer.close()
+
+        records = read_trace(path)
+        assert validate_trace(records) == []
+        tel = RunTelemetry.from_records(records)
+        assert tel.round_count == 30
+        assert len(tel.faults) == 1
+        healthy, degraded = tel.bound_table()
+        assert healthy.rounds == 10
+        assert degraded.rounds == 20
+        assert healthy.bound is not None
+        assert degraded.bound is not None
+        # The run was admitted under these bounds; the trace must show
+        # the empirical rate respecting them.
+        assert tel.violations() == []

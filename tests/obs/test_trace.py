@@ -1,0 +1,198 @@
+"""Tracer ring buffer, JSONL sink, and trace validation tests."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    validate_record,
+    validate_trace,
+)
+
+
+def make_tracer(**kwargs):
+    ticks = iter(range(10_000))
+    kwargs.setdefault("clock", lambda: float(next(ticks)))
+    return Tracer(**kwargs)
+
+
+class TestTracer:
+    def test_records_carry_envelope(self):
+        tracer = make_tracer()
+        record = tracer.emit("cache_hit", layer="memory")
+        assert record["kind"] == "cache_hit"
+        assert record["seq"] == 0
+        assert record["wall"] == 0.0
+        assert record["layer"] == "memory"
+        assert tracer.emitted == 1
+
+    def test_simulation_time_stamped_when_given(self):
+        tracer = make_tracer()
+        assert "t" not in tracer.emit("run_end")
+        assert tracer.emit("fault", t=3.5, desc="x")["t"] == 3.5
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = make_tracer(capacity=3)
+        for i in range(5):
+            tracer.emit("worker_task", phase="done", task=i)
+        records = tracer.records()
+        assert [r["task"] for r in records] == [2, 3, 4]
+        assert tracer.emitted == 5
+        assert tracer.dropped == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(capacity=0)
+
+    def test_disabled_tracer_emits_nothing(self):
+        tracer = make_tracer(enabled=False)
+        assert tracer.emit("cache_hit", layer="memory") == {}
+        assert tracer.emitted == 0
+        assert len(tracer) == 0
+
+    def test_null_tracer_stays_silent_through_a_server_run(self, viking):
+        """The instrumentation contract: a server built without a tracer
+        must never push a record through NULL_TRACER."""
+        from repro.server import MediaServer
+
+        before = NULL_TRACER.emitted
+        server = MediaServer([viking], 1.0, admission=None, seed=3)
+        server.store_object("clip", [200_000.0] * 10)
+        server.open_stream("clip", balance_start=False)
+        server.run_rounds(5)
+        assert NULL_TRACER.emitted == before
+
+    def test_sink_file_written_and_closed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = make_tracer(sink=path)
+        tracer.start_run(seed=7)
+        tracer.emit("fault", t=1.0, desc="disk 0 down")
+        tracer.end_run()
+        tracer.close()
+        tracer.close()  # idempotent
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert json.loads(lines[0])["kind"] == "run_start"
+
+    def test_sink_survives_ring_overflow(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = make_tracer(capacity=2, sink=path)
+        for i in range(6):
+            tracer.emit("worker_task", phase="done", task=i)
+        tracer.close()
+        assert len(path.read_text().splitlines()) == 6
+        assert len(tracer.records()) == 2
+
+    def test_file_like_sink_left_open(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            tracer = make_tracer(sink=handle)
+            tracer.emit("cache_miss", layer="disk")
+            tracer.close()
+            assert not handle.closed
+        assert "cache_miss" in path.read_text()
+
+    def test_numpy_fields_serialised(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = tmp_path / "t.jsonl"
+        tracer = make_tracer(sink=path)
+        tracer.emit("bound_solve", seconds=np.float64(0.25))
+        tracer.close()
+        assert json.loads(path.read_text())["seconds"] == 0.25
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with make_tracer(sink=path) as tracer:
+            tracer.emit("run_end")
+        assert path.exists()
+
+    def test_global_tracer_install_and_restore(self):
+        assert get_tracer() is NULL_TRACER
+        mine = make_tracer()
+        try:
+            assert set_tracer(mine) is mine
+            assert get_tracer() is mine
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+        with pytest.raises(ConfigurationError):
+            set_tracer("not a tracer")
+
+
+class TestValidation:
+    def _valid_trace(self):
+        tracer = make_tracer()
+        tracer.start_run(seed=1)
+        tracer.emit("round_dispatch", t=0.0, round=0, active_streams=2,
+                    failed_disks=[])
+        tracer.emit("sweep", t=0.9, round=0, disk=0, service=0.9,
+                    late=False, served=2, glitched=0)
+        tracer.end_run()
+        return tracer.records()
+
+    def test_valid_trace_passes(self):
+        assert validate_trace(self._valid_trace()) == []
+
+    def test_every_catalogued_kind_is_emittable(self):
+        tracer = make_tracer()
+        tracer.start_run(seed=0)
+        for kind, fields in EVENT_KINDS.items():
+            if kind == "run_start":
+                continue
+            tracer.emit(kind, **{f: 0 for f in fields})
+        assert validate_trace(tracer.records()) == []
+
+    def test_empty_trace_flagged(self):
+        assert validate_trace([]) == ["trace is empty"]
+
+    def test_missing_header_flagged(self):
+        records = self._valid_trace()[1:]
+        problems = validate_trace(records)
+        assert any("run_start" in p for p in problems)
+
+    def test_wrong_schema_flagged(self):
+        records = self._valid_trace()
+        records[0]["schema"] = TRACE_SCHEMA_VERSION + 1
+        assert any("schema" in p for p in validate_trace(records))
+
+    def test_non_increasing_seq_flagged(self):
+        records = self._valid_trace()
+        records[2]["seq"] = records[1]["seq"]
+        assert any("not increasing" in p for p in validate_trace(records))
+
+    def test_unknown_kind_and_missing_fields(self):
+        assert validate_record({"kind": "no_such_kind"}) \
+            == ["record: unknown kind 'no_such_kind'"]
+        assert validate_record({"seq": 0, "wall": 0.0}) \
+            == ["record: missing or non-string 'kind'"]
+        problems = validate_record(
+            {"kind": "sweep", "seq": 0, "wall": 0.0}, index=4)
+        assert any("missing numeric 't'" in p for p in problems)
+        assert any("'disk'" in p for p in problems)
+
+    def test_read_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = make_tracer(sink=path)
+        tracer.start_run(seed=9)
+        tracer.end_run()
+        tracer.close()
+        records = read_trace(path)
+        assert validate_trace(records) == []
+        assert records[0]["seed"] == 9
+
+    def test_read_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "run_end"}\nnot json\n')
+        with pytest.raises(ConfigurationError):
+            read_trace(path)
+        path.write_text('[1, 2, 3]\n')
+        with pytest.raises(ConfigurationError):
+            read_trace(path)

@@ -176,6 +176,38 @@ class TestMonitor:
         with pytest.raises(SimulationError):
             mon.var  # needs two samples
 
+    def test_empty_monitor_all_accessors_raise(self):
+        mon = Monitor("empty")
+        assert mon.count == 0
+        for accessor in ("mean", "var", "std", "min", "max"):
+            with pytest.raises(SimulationError):
+                getattr(mon, accessor)
+        assert repr(mon) == "Monitor('empty', empty)"
+
+    def test_single_sample(self):
+        mon = Monitor("one")
+        mon.record(3.25)
+        assert mon.count == 1
+        assert mon.mean == 3.25
+        assert mon.min == 3.25
+        assert mon.max == 3.25
+        with pytest.raises(SimulationError):
+            mon.var  # variance undefined for n = 1
+        with pytest.raises(SimulationError):
+            mon.std
+
+    def test_quantile_without_keep_samples_raises_even_empty(self):
+        mon = Monitor("bare")  # keep_samples=False is the default
+        with pytest.raises(SimulationError):
+            mon.quantile(0.5)
+
+    def test_quantile_with_keep_samples_but_no_data_raises(self):
+        mon = Monitor("kept", keep_samples=True)
+        with pytest.raises(SimulationError):
+            mon.quantile(0.5)
+        mon.record(2.0)
+        assert mon.quantile(0.5) == pytest.approx(2.0)
+
 
 class TestTimeWeightedMonitor:
     def test_piecewise_average(self):
@@ -199,3 +231,15 @@ class TestTimeWeightedMonitor:
         mon = TimeWeightedMonitor("x")
         with pytest.raises(SimulationError):
             mon.time_average()
+
+    def test_time_average_now_before_last_rejected(self):
+        mon = TimeWeightedMonitor("x")
+        mon.record(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            mon.time_average(4.0)
+
+    def test_single_record_then_average_to_now(self):
+        mon = TimeWeightedMonitor("x", start_time=0.0, initial=2.0)
+        mon.record(4.0, 8.0)
+        # 2.0 over [0,4), then 8.0 over [4,8): (8 + 32) / 8.
+        assert mon.time_average(8.0) == pytest.approx(5.0)

@@ -211,6 +211,94 @@ class TestCacheCommand:
         assert (target / "bounds.sqlite").is_file()
 
 
+class TestObservability:
+    """``--trace``/``--metrics`` on simulate, and ``repro observe``."""
+
+    EXAMPLE = "examples/single_disk_failure.toml"
+
+    def test_vectorised_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import read_trace, validate_trace
+
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        code, out, _ = run(capsys, "simulate", "--n", "26", "--rounds",
+                           "2000", "--trace", str(trace), "--metrics",
+                           str(metrics))
+        assert code == 0
+        assert "trace written to" in out
+        assert "metrics written to" in out
+        records = read_trace(trace)
+        assert validate_trace(records) == []
+        assert records[0]["mode"] == "vectorised"
+        data = json.loads(metrics.read_text())
+        assert 'sim_p_late{n="26"}' in data
+        assert 'sim_b_late{n="26"}' in data
+        # Cache counters ride along in the same export.
+        assert "bound_cache_hits" in data
+
+    def test_multi_n_sweep(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "m.json"
+        code, out, _ = run(capsys, "simulate", "--n", "8,12", "--rounds",
+                           "1500", "--jobs", "1", "--metrics",
+                           str(metrics))
+        assert code == 0
+        assert "sweep over 2 N values" in out
+        data = json.loads(metrics.read_text())
+        assert 'sim_p_late{n="8"}' in data
+        assert 'sim_p_late{n="12"}' in data
+
+    def test_bad_n_list_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["simulate", "--n", "8,oops"])
+        assert exc.value.code == 2
+        assert "--n" in capsys.readouterr().err
+
+    def test_faults_rejects_sweep_grid(self, capsys):
+        code, _, err = run(capsys, "simulate", "--faults", self.EXAMPLE,
+                           "--n", "8,12", "--server-rounds", "10")
+        assert code == 2
+        assert "single --n" in err
+
+    def test_faulted_trace_observe_roundtrip(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code, _, _ = run(capsys, "simulate", "--faults", self.EXAMPLE,
+                         "--server-rounds", "80", "--trace", str(trace))
+        assert code == 0
+        code, out, err = run(capsys, "observe", str(trace), "--validate")
+        assert code == 0, err
+        assert "mode faults" in out
+        assert "bound vs observed" in out
+        assert "within bound" in out
+        assert "disk 0 failed" in out
+
+    def test_observe_flags_schema_problems(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "run_end", "seq": 0, "wall": 0.0}\n')
+        code, _, err = run(capsys, "observe", str(bad), "--validate")
+        assert code == 1
+        assert "schema problem" in err
+        # Without --validate the summary still prints, problems warned.
+        code, out, err = run(capsys, "observe", str(bad))
+        assert code == 0
+        assert "schema problem" in err
+
+    def test_cache_stats_reports_in_memory_counters(self, capsys,
+                                                    tmp_path):
+        from repro import cache as cache_mod
+        cache_mod.set_persistent_cache_dir(tmp_path)
+        try:
+            code, out, _ = run(capsys, "cache", "stats")
+        finally:
+            cache_mod.reset_persistent_cache()
+        assert code == 0
+        assert "in-memory bound cache" in out
+        assert "solves" in out
+
+
 class TestErrors:
     def test_library_error_becomes_exit_2(self, capsys):
         code, _, err = run(capsys, "admission", "--delta", "2.0")
