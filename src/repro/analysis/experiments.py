@@ -1,7 +1,7 @@
 """Machine-readable registry of the reproduction experiments.
 
 Maps every experiment id (paper tables/figures E1-E8 and ablations
-A1-A21) to its description, the bench that regenerates it and the
+A1-A22) to its description, the bench that regenerates it and the
 result artifact it writes -- the programmatic counterpart of the
 per-experiment index in DESIGN.md.  Used by tooling (e.g. the
 ``reproduce_paper`` example and CI summaries) to enumerate and check
@@ -121,6 +121,11 @@ _ENTRIES = [
                "without shedding it violates",
                "bench_a21_failover_shedding.py",
                ("a21_failover_shedding",)),
+    Experiment("A22", "Sweep kernel speedup",
+               "event engine vs vectorised farm kernel on the same "
+               "failover scenario; the speedup ratio is the CI "
+               "regression gate (benchmarks/report.py)",
+               "bench_a22_server_kernel.py", ("a22_server_kernel",)),
 ]
 
 #: Registry keyed by experiment id.

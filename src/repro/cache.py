@@ -168,8 +168,15 @@ def canonical_threshold(value: float) -> float:
 # ----------------------------------------------------------------------
 
 #: Bump when the row encoding changes; a mismatched store is dropped and
-#: rebuilt rather than misread.
-SCHEMA_VERSION = 1
+#: rebuilt rather than misread.  v2 added the ``last_access`` column
+#: backing LRU eviction (v1 stores are rebuilt -- they only ever held
+#: recomputable bound values).
+SCHEMA_VERSION = 2
+
+#: Default row capacity of the on-disk store; beyond it the
+#: least-recently-*accessed* entries are evicted on write.  Sized so a
+#: store serving many admission sweeps stays a few tens of MB.
+DEFAULT_PERSISTENT_MAX_ENTRIES = 100_000
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 PERSISTENT_CACHE_ENV = "REPRO_PERSISTENT_CACHE"
@@ -266,11 +273,15 @@ class PersistentCacheStats:
     misses: int = 0
     writes: int = 0
     errors: int = 0
+    #: Rows dropped by the LRU policy to stay under ``max_entries``.
+    evictions: int = 0
 
     def snapshot(self) -> "PersistentCacheStats":
         """Independent copy of the counters at this instant."""
         return PersistentCacheStats(hits=self.hits, misses=self.misses,
-                                    writes=self.writes, errors=self.errors)
+                                    writes=self.writes,
+                                    errors=self.errors,
+                                    evictions=self.evictions)
 
 
 class PersistentCache:
@@ -285,10 +296,18 @@ class PersistentCache:
     sqlite handles must not cross process boundaries.
     """
 
-    def __init__(self, directory: str | Path | None = None) -> None:
+    def __init__(self, directory: str | Path | None = None,
+                 max_entries: int = DEFAULT_PERSISTENT_MAX_ENTRIES
+                 ) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries!r}")
         self.directory = (Path(directory).expanduser() if directory
                           else default_cache_dir())
         self.path = self.directory / _DB_FILENAME
+        #: LRU capacity: every read refreshes its row's ``last_access``
+        #: stamp, and writes evict the stalest rows past this count.
+        self.max_entries = int(max_entries)
         self.stats = PersistentCacheStats()
         self._lock = threading.Lock()
         self._conn: sqlite3.Connection | None = None
@@ -308,7 +327,10 @@ class PersistentCache:
             conn.execute("INSERT INTO meta VALUES ('schema_version', ?)",
                          (str(SCHEMA_VERSION),))
         conn.execute("CREATE TABLE IF NOT EXISTS bounds ("
-                     "key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+                     "key TEXT PRIMARY KEY, value TEXT NOT NULL, "
+                     "last_access REAL NOT NULL DEFAULT 0)")
+        conn.execute("CREATE INDEX IF NOT EXISTS bounds_last_access "
+                     "ON bounds (last_access)")
         conn.commit()
 
     def _open(self) -> sqlite3.Connection:
@@ -387,6 +409,15 @@ class PersistentCache:
                     pass
                 self.stats.misses += 1
                 return None
+            # Refresh the LRU stamp; a hit must protect its row from
+            # eviction.  Best-effort: a locked store just skips it.
+            try:
+                conn.execute(
+                    "UPDATE bounds SET last_access=? WHERE key=?",
+                    (time.time(), key_str))
+                conn.commit()
+            except sqlite3.Error:
+                pass
             self.stats.hits += 1
             return value
 
@@ -402,8 +433,20 @@ class PersistentCache:
                 return False
             try:
                 conn.execute(
-                    "INSERT OR REPLACE INTO bounds VALUES (?, ?)",
-                    (key_str, payload))
+                    "INSERT OR REPLACE INTO bounds VALUES (?, ?, ?)",
+                    (key_str, payload, time.time()))
+                excess = int(conn.execute(
+                    "SELECT COUNT(*) FROM bounds").fetchone()[0]
+                    ) - self.max_entries
+                if excess > 0:
+                    # LRU eviction: drop the least-recently-accessed
+                    # rows (key as tie-break for determinism).
+                    conn.execute(
+                        "DELETE FROM bounds WHERE key IN ("
+                        "SELECT key FROM bounds "
+                        "ORDER BY last_access ASC, key ASC LIMIT ?)",
+                        (excess,))
+                    self.stats.evictions += excess
                 conn.commit()
             except sqlite3.Error:
                 self.stats.errors += 1
@@ -686,6 +729,7 @@ def publish_cache_metrics(registry: MetricsRegistry) -> None:
         registry.gauge("persistent_cache_misses").set(ps.misses)
         registry.gauge("persistent_cache_writes").set(ps.writes)
         registry.gauge("persistent_cache_errors").set(ps.errors)
+        registry.gauge("persistent_cache_evictions").set(ps.evictions)
 
 
 @contextmanager

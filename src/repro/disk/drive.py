@@ -10,11 +10,14 @@ is cross-validated against this class in the tests.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.disk.geometry import DiskGeometry
 from repro.disk.request import DiskRequest, ServiceBreakdown
 from repro.disk.seek import SeekCurve
+from repro.disk.sweepkernel import plan_sweep
 from repro.errors import GeometryError
 
 __all__ = ["DiskDrive"]
@@ -32,6 +35,9 @@ class DiskDrive:
     initial_cylinder:
         Arm parking position at construction.
     """
+
+    __slots__ = ("geometry", "seek_curve", "arm_cylinder", "busy_time",
+                 "served")
 
     def __init__(self, geometry: DiskGeometry, seek_curve: SeekCurve,
                  initial_cylinder: int = 0) -> None:
@@ -81,6 +87,45 @@ class DiskDrive:
         seek = self.seek_time_to(request.cylinder)
         rotation = float(rng.uniform(0.0, self.rot))
         transfer = self.transfer_time(request.size, request.cylinder)
+        self.arm_cylinder = request.cylinder
+        breakdown = ServiceBreakdown(seek=seek, rotation=rotation,
+                                     transfer=transfer)
+        self.busy_time += breakdown.total
+        self.served += 1
+        return breakdown
+
+    # ------------------------------------------------------------------
+    def plan_round(self, ordered: Sequence[DiskRequest]
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised precompute of one round's deterministic costs.
+
+        ``ordered`` is the round's batch in serve order; the returned
+        ``(seeks, transfers)`` arrays are aligned with it and computed
+        from the *current* arm position.  Drawing nothing random, the
+        plan stays valid for whatever prefix of the batch an aborted
+        sweep actually serves; feed its entries to
+        :meth:`serve_planned` in order.
+        """
+        count = len(ordered)
+        cylinders = np.fromiter((r.cylinder for r in ordered),
+                                dtype=np.int64, count=count)
+        sizes = np.fromiter((r.size for r in ordered), dtype=float,
+                            count=count)
+        return plan_sweep(self.geometry, self.seek_curve,
+                          self.arm_cylinder, cylinders, sizes)
+
+    def serve_planned(self, request: DiskRequest, seek: float,
+                      transfer: float,
+                      rng: np.random.Generator) -> ServiceBreakdown:
+        """Serve one request whose seek/transfer were precomputed by
+        :meth:`plan_round`.
+
+        Byte-identical to :meth:`serve` -- the planned values match the
+        scalar arithmetic bit for bit and the rotational latency is
+        drawn here, scalar, in serve order, so abandoned requests never
+        consume the RNG.
+        """
+        rotation = float(rng.uniform(0.0, self.rot))
         self.arm_cylinder = request.cylinder
         breakdown = ServiceBreakdown(seek=seek, rotation=rotation,
                                      transfer=transfer)

@@ -120,13 +120,15 @@ class DiskGeometry:
 
         Zone chosen with probability proportional to zone capacity
         (``counts_z * C_z``); cylinder uniform within the zone.  For the
-        paper's equal-track zones this reduces to eq. (3.2.1).
+        paper's equal-track zones this reduces to eq. (3.2.1).  The zone
+        CDF comes from the cached sweep-kernel tables, so per-fragment
+        layout draws no longer rebuild it on every call.
         """
-        weights = self._counts * self.zone_map.capacities
-        probs = weights / np.sum(weights)
-        cum = np.cumsum(probs)
+        from repro.disk.sweepkernel import placement_tables
+
+        tables = placement_tables(self)
         u = rng.random(size=size)
-        zone = np.searchsorted(cum, u, side="right")
+        zone = np.searchsorted(tables.cum_probs, u, side="right")
         lo = self._bounds[zone]
         hi = self._bounds[zone + 1]
         frac = rng.random(size=size)

@@ -9,9 +9,13 @@ from repro.errors import ConfigurationError
 __all__ = ["DiskRequest", "ServiceBreakdown"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DiskRequest:
     """One fragment fetch.
+
+    ``slots=True``: the server materialises one of these per physical
+    fetch per round, so the per-instance ``__dict__`` was measurable
+    allocation churn on the event-driven hot path.
 
     Attributes
     ----------
@@ -37,7 +41,7 @@ class DiskRequest:
                 f"cylinder must be >= 0, got {self.cylinder!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceBreakdown:
     """Timing components of one served request."""
 

@@ -1,0 +1,148 @@
+"""Shared vectorised sweep kernel.
+
+Both simulation paths of the repo score the same arithmetic -- seek
+times along a SCAN sweep, zone transfer rates under sector-uniform
+placement -- but until now each recomputed its lookup tables per call
+(the Monte-Carlo path) or per *request* (the event-driven path).  This
+module is the single home of that arithmetic:
+
+- :class:`PlacementTables` -- per-geometry lookup tables (zone bounds,
+  cylinder counts, transfer rates, the capacity-weighted zone CDF of
+  eq. 3.2.1), built once and cached on the :class:`DiskGeometry`;
+- :func:`sample_cylinders_rates` -- batched cylinder/rate draws, the
+  machinery factored out of ``repro.server.simulation`` (RNG
+  consumption is **bit-identical** to the historical inline code, so
+  seeded Monte-Carlo results are unchanged);
+- :func:`plan_sweep` -- the deterministic per-round precompute of the
+  event-driven scheduler: given a round's batch in serve order, the
+  per-request seek and transfer times as arrays, replacing one Python
+  ``searchsorted``/``SeekCurve`` round-trip per request with one
+  vectorised evaluation per round.
+
+Determinism contract: :func:`plan_sweep` draws no random numbers, and
+its elementwise arithmetic matches the scalar code it replaced bit for
+bit (``SeekCurve`` evaluates the same piecewise expression either way;
+zone rates come from the same ``searchsorted`` on the same boundary
+array).  Rotational latencies stay *outside* this kernel on the event
+path -- they are drawn lazily, one scalar ``uniform`` per actually
+served request, because an abandoned request (deadline passed, disk
+died mid-sweep) must not consume the stream's RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = [
+    "PlacementTables",
+    "placement_tables",
+    "sample_cylinders_rates",
+    "plan_sweep",
+]
+
+
+class PlacementTables:
+    """Precomputed per-geometry lookup tables.
+
+    Attributes
+    ----------
+    zone_bounds:
+        Cylinder boundaries; zone ``z`` covers
+        ``[zone_bounds[z], zone_bounds[z+1])``.
+    zone_counts:
+        Cylinders per zone.
+    rates:
+        Transfer rate (bytes/s) per zone.
+    cum_probs:
+        CDF of the capacity-weighted zone law (eq. 3.2.1): zone ``z``
+        is picked when a uniform draw lands in
+        ``(cum_probs[z-1], cum_probs[z]]``.
+    """
+
+    __slots__ = ("cylinders", "zones", "zone_bounds", "zone_counts",
+                 "rates", "cum_probs")
+
+    def __init__(self, geometry) -> None:
+        zone_map = geometry.zone_map
+        self.cylinders = int(geometry.cylinders)
+        self.zones = int(zone_map.zones)
+        # Copies detached from the geometry's private arrays, computed
+        # with the exact expressions the per-call code used, so every
+        # float matches bit for bit.
+        self.zone_bounds = np.array(geometry.zone_bounds)
+        self.zone_counts = np.array(geometry.zone_cylinder_counts)
+        self.rates = np.array(zone_map.rates)
+        weights = self.zone_counts * zone_map.capacities
+        probs = weights / np.sum(weights)
+        self.cum_probs = np.cumsum(probs)
+
+
+def placement_tables(geometry) -> PlacementTables:
+    """The (cached) lookup tables of ``geometry``.
+
+    Built on first use and memoised on the geometry instance, so every
+    round of every drive sharing the geometry reuses one table set.
+    """
+    tables = getattr(geometry, "_sweep_tables", None)
+    if tables is None:
+        tables = PlacementTables(geometry)
+        geometry._sweep_tables = tables
+    return tables
+
+
+def sample_cylinders_rates(spec, rng: np.random.Generator,
+                           shape, placement=None
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Cylinders and their zone transfer rates under a placement policy
+    (default: sector-uniform, eq. 3.2.1).
+
+    Factored out of ``repro.server.simulation``; the RNG is consumed
+    exactly as the historical inline code consumed it (one
+    ``rng.random(shape)`` for the zone pick, one for the within-zone
+    position -- or one for the policy-CDF inverse), so seeded results
+    are bit-identical before and after the refactor.
+    """
+    geometry = spec.geometry
+    tables = placement_tables(geometry)
+    if placement is not None:
+        cdf = np.cumsum(placement.cylinder_probabilities(geometry))
+        cylinders = np.searchsorted(cdf, rng.random(shape), side="right")
+        cylinders = np.minimum(cylinders, tables.cylinders - 1)
+        zone = np.searchsorted(tables.zone_bounds, cylinders,
+                               side="right") - 1
+        return cylinders.astype(np.int64), tables.rates[zone]
+    zone = np.searchsorted(tables.cum_probs, rng.random(shape),
+                           side="right")
+    zone = np.minimum(zone, tables.zones - 1)
+    lo = tables.zone_bounds[zone]
+    width = tables.zone_counts[zone]
+    cylinders = lo + np.floor(rng.random(shape) * width).astype(np.int64)
+    return cylinders, tables.rates[zone]
+
+
+def plan_sweep(geometry, seek_curve, arm_cylinder: int,
+               cylinders: np.ndarray, sizes: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-request seek and transfer times of one SCAN sweep.
+
+    ``cylinders``/``sizes`` are the round's batch **in serve order**;
+    the first seek starts from ``arm_cylinder``.  Returns
+    ``(seeks, transfers)`` float arrays aligned with the batch.  The
+    plan is valid for any served *prefix* of the batch -- exactly the
+    shapes an aborted sweep (deadline passed, disk failed mid-round)
+    can take -- because each entry only depends on its predecessor.
+    """
+    cyl = np.asarray(cylinders, dtype=np.int64)
+    if cyl.size == 0:
+        return (np.empty(0, dtype=float), np.empty(0, dtype=float))
+    if np.any((cyl < 0) | (cyl >= geometry.cylinders)):
+        raise GeometryError(
+            f"cylinder out of range [0, {geometry.cylinders})")
+    tables = placement_tables(geometry)
+    previous = np.concatenate(([int(arm_cylinder)], cyl[:-1]))
+    seeks = np.asarray(seek_curve(np.abs(cyl - previous)), dtype=float)
+    zone = np.searchsorted(tables.zone_bounds, cyl, side="right") - 1
+    transfers = np.asarray(sizes, dtype=float) / tables.rates[zone]
+    return seeks, transfers

@@ -34,6 +34,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.telemetry import (
     BoundComparison,
+    ClassLatency,
     RunTelemetry,
     SweepRecord,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "validate_record",
     "validate_trace",
     "BoundComparison",
+    "ClassLatency",
     "RunTelemetry",
     "SweepRecord",
 ]

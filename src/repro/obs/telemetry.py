@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SweepRecord", "RoundInfo", "BoundComparison", "RunTelemetry"]
+__all__ = ["SweepRecord", "RoundInfo", "BoundComparison",
+           "ClassLatency", "RunTelemetry"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,66 @@ class RoundInfo:
         return any(s.late for s in self.sweeps)
 
 
+@dataclass
+class ClassLatency:
+    """Fragment-completion latencies of one stream class.
+
+    Latency is measured from the round boundary the fragment's batch
+    was dispatched at to the simulation instant the transfer finished
+    (the server's ``latency_batch`` records carry it per delivered
+    fragment).  Kept as raw samples -- traces are ring-bounded -- so
+    any quantile is exact.
+    """
+
+    klass: str
+    samples: list[float] = field(default_factory=list)
+    streams: set[int] = field(default_factory=set)
+
+    @property
+    def count(self) -> int:
+        """Delivered fragments observed for this class."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean completion latency in seconds (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def max(self) -> float:
+        """Slowest completion in seconds (0.0 when empty)."""
+        return max(self.samples, default=0.0)
+
+    def quantile(self, q: float) -> float:
+        """Exact sample quantile (nearest-rank with interpolation)."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    def histogram(self, bounds) -> list[int]:
+        """Counts per bucket: ``counts[i]`` holds samples <=
+        ``bounds[i]``, with one overflow bucket appended."""
+        edges = sorted(float(b) for b in bounds)
+        counts = [0] * (len(edges) + 1)
+        for sample in self.samples:
+            for index, edge in enumerate(edges):
+                if sample <= edge:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+        return counts
+
+
 @dataclass(frozen=True)
 class BoundComparison:
     """Observed overrun rate of one phase against its analytic bound."""
@@ -93,11 +154,16 @@ class RunTelemetry:
     """
 
     def __init__(self, header: dict, rounds: dict[int, RoundInfo],
-                 faults: list[dict], sheds: list[dict]) -> None:
+                 faults: list[dict], sheds: list[dict],
+                 latencies: dict[str, ClassLatency] | None = None
+                 ) -> None:
         self.header = header
         self.rounds = rounds
         self.faults = faults
         self.sheds = sheds
+        #: Per-stream-class fragment-completion latency accumulators,
+        #: keyed by class label (from ``latency_batch`` records).
+        self.latencies = latencies if latencies is not None else {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -111,6 +177,7 @@ class RunTelemetry:
         rounds: dict[int, RoundInfo] = {}
         faults: list[dict] = []
         sheds: list[dict] = []
+        latencies: dict[str, ClassLatency] = {}
 
         def info(round_index: int) -> RoundInfo:
             entry = rounds.get(round_index)
@@ -140,11 +207,25 @@ class RunTelemetry:
                     glitched=int(record["glitched"])))
             elif kind == "fragment_glitch":
                 info(int(record["round"])).glitches += 1
+            elif kind == "latency_batch":
+                streams = record.get("streams") or ()
+                values = record.get("latencies") or ()
+                classes = record.get("classes") or ()
+                for position, stream in enumerate(streams):
+                    if position >= len(values):
+                        break
+                    klass = (str(classes[position])
+                             if position < len(classes) else "standard")
+                    entry = latencies.get(klass)
+                    if entry is None:
+                        entry = latencies[klass] = ClassLatency(klass)
+                    entry.samples.append(float(values[position]))
+                    entry.streams.add(int(stream))
             elif kind == "fault":
                 faults.append(record)
             elif kind in ("stream_shed", "stream_resume"):
                 sheds.append(record)
-        return cls(header, rounds, faults, sheds)
+        return cls(header, rounds, faults, sheds, latencies)
 
     # ------------------------------------------------------------------
     @property
@@ -169,6 +250,12 @@ class RunTelemetry:
         """The ``k`` slowest sweeps -- where the run spent its rounds."""
         return sorted(self.sweeps(), key=lambda s: s.service,
                       reverse=True)[:max(0, int(k))]
+
+    def latency_summary(self) -> list[ClassLatency]:
+        """Per-stream-class latency accumulators, largest class first
+        (empty when the trace carries no ``latency_batch`` records)."""
+        return sorted(self.latencies.values(),
+                      key=lambda c: (-c.count, c.klass))
 
     def phase_rounds(self, degraded: bool) -> list[RoundInfo]:
         """Rounds of one phase, ascending."""

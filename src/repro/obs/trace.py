@@ -58,6 +58,12 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "sweep": ("t", "round", "disk", "service", "late", "served",
               "glitched"),
     "fragment_glitch": ("t", "round", "disk", "stream"),
+    # One record per (disk, round) with the on-time fragments'
+    # completion latencies (seconds past the round boundary), aligned
+    # lists streams/latencies/classes -- the per-stream latency
+    # telemetry input, batched to keep tracing off the per-request path.
+    "latency_batch": ("t", "round", "disk", "streams", "latencies",
+                      "classes"),
     "stream_admit": ("stream", "object", "start_round"),
     "stream_shed": ("round", "stream", "action"),
     "stream_resume": ("round", "stream"),

@@ -85,6 +85,7 @@ __all__ = [
     "simulate_rounds_parallel",
     "estimate_p_late_parallel",
     "simulate_stream_glitches_parallel",
+    "simulate_farm_disks_parallel",
     "estimate_p_error_parallel",
     "sweep_p_late_parallel",
     "sweep_p_error_parallel",
@@ -586,6 +587,19 @@ def simulate_stream_glitches_parallel(spec: DiskSpec,
         return result
     finally:
         _destroy_block(block)
+
+
+def simulate_farm_disks_parallel(tasks, jobs: int | None = None) -> list:
+    """Fan one :func:`repro.server.simulation.simulate_farm_rounds`
+    task per disk out over the worker pool.
+
+    Each task already carries its own ``SeedSequence`` child, so the
+    result is bit-identical to the serial loop for every worker count.
+    The per-phase tuples are tiny, so the plain pickle transport is
+    used (no shared-memory staging to amortise).
+    """
+    from repro.server.simulation import _simulate_disk_phases
+    return fan_out(_simulate_disk_phases, list(tasks), resolve_jobs(jobs))
 
 
 def estimate_p_error_parallel(spec: DiskSpec, size_dist: Distribution,

@@ -31,15 +31,22 @@ from repro.sim.resources import Store
 __all__ = ["DiskScheduler", "RoundOutcome"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoundOutcome:
-    """Per-request outcome of one disk's round."""
+    """Per-request outcome of one disk's round.
+
+    ``completion_times`` is aligned with ``served_on_time``: entry ``i``
+    is the simulation time stream ``served_on_time[i]``'s fragment
+    finished, feeding the per-stream latency telemetry without another
+    per-request record.
+    """
 
     round_index: int
     served_on_time: tuple[int, ...]
     glitched: tuple[int, ...]
     finish_time: float
     lumped_seek_time: float
+    completion_times: tuple[float, ...] = ()
 
 
 class DiskScheduler:
@@ -95,6 +102,7 @@ class DiskScheduler:
                                  deadline=deadline)
 
             on_time: list[int] = []
+            completions: list[float] = []
             glitched: list[int] = []
             seek_total = 0.0
             faults = self.faults
@@ -106,6 +114,13 @@ class DiskScheduler:
                                            self.engine.now)
                 if stall > 0.0:
                     yield self.engine.timeout(stall)
+            # Per-round vectorised precompute (repro.disk.sweepkernel):
+            # every deterministic cost of the sweep -- seek distances
+            # through the seek curve, zone rates, transfer times -- in
+            # one batched evaluation.  Only the rotational latency stays
+            # a lazy scalar draw inside serve_planned, because abandoned
+            # requests must not consume the RNG.
+            seeks, transfers = self.drive.plan_round(ordered)
             for position, request in enumerate(ordered):
                 if self.engine.now >= deadline or (
                         faults is not None
@@ -115,7 +130,9 @@ class DiskScheduler:
                     glitched.extend(
                         r.stream_id for r in ordered[position:])
                     break
-                breakdown = self.drive.serve(request, self.rng)
+                breakdown = self.drive.serve_planned(
+                    request, float(seeks[position]),
+                    float(transfers[position]), self.rng)
                 seek_total += breakdown.seek
                 scale = (faults.service_scale(self.disk_id)
                          if faults is not None else 1.0)
@@ -124,6 +141,7 @@ class DiskScheduler:
                     glitched.append(request.stream_id)
                 else:
                     on_time.append(request.stream_id)
+                    completions.append(self.engine.now)
 
             outcome = RoundOutcome(
                 round_index=round_index,
@@ -131,5 +149,6 @@ class DiskScheduler:
                 glitched=tuple(glitched),
                 finish_time=self.engine.now,
                 lumped_seek_time=seek_total,
+                completion_times=tuple(completions),
             )
             self._on_outcome(self.disk_id, outcome)

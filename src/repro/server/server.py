@@ -227,7 +227,8 @@ class MediaServer:
         self.layout.store(name, fragment_sizes)
 
     def open_stream(self, object_name: str, buffer_capacity: int = 2,
-                    balance_start: bool = True) -> Stream:
+                    balance_start: bool = True,
+                    klass: str = "standard") -> Stream:
         """Admit and start a stream on a stored object.
 
         Raises :class:`~repro.errors.AdmissionError` when the admission
@@ -259,7 +260,7 @@ class MediaServer:
         phase = (first_disk - start_round) % d
         stream = Stream(self._next_stream_id, object_name, length,
                         start_round=start_round,
-                        buffer_capacity=buffer_capacity)
+                        buffer_capacity=buffer_capacity, klass=klass)
         #: Rounds the stream waits before its first fetch (the §2.3
         #: startup delay, stretched to <= D rounds by balancing).
         stream.start_delay = start_round - self._round_index
@@ -517,15 +518,29 @@ class MediaServer:
 
     def _handle_outcome(self, disk: int, outcome: RoundOutcome) -> None:
         handles = self._metric_handles
-        for rep in outcome.served_on_time:
+        round_start = outcome.round_index * self.round_length
+        # Per-round batching: metric increments and the latency trace
+        # record are emitted once per (disk, round) outcome, not once
+        # per delivered fragment.
+        delivered_count = 0
+        latency_streams: list[int] = []
+        latency_values: list[float] = []
+        latency_classes: list[str] = []
+        for position, rep in enumerate(outcome.served_on_time):
+            completion = outcome.completion_times[position]
             for stream_id in self._expand_multicast(outcome.round_index,
                                                     disk, rep):
                 stream = self.streams.get(stream_id)
                 if stream is not None:
                     stream.record_delivery(outcome.round_index)
                     self.report.delivered += 1
-                    if handles is not None:
-                        handles["delivered"].inc()
+                    delivered_count += 1
+                    if self.tracer.enabled:
+                        latency_streams.append(stream_id)
+                        latency_values.append(completion - round_start)
+                        latency_classes.append(stream.klass)
+        if handles is not None and delivered_count:
+            handles["delivered"].inc(delivered_count)
         if outcome.glitched:
             self.report.late_rounds += 1
             self.report.per_disk_late_rounds[disk] += 1
@@ -549,11 +564,16 @@ class MediaServer:
                                      stream=stream_id, dropped=False)
         # Sweep service time: the round's batch is dispatched at the
         # round boundary, so the span runs from there to completion.
-        service = outcome.finish_time - (outcome.round_index
-                                         * self.round_length)
+        service = outcome.finish_time - round_start
         if handles is not None:
             handles["glitches"].inc(glitched_members)
             handles["sweep_seconds"].observe(service)
+        if self.tracer.enabled and latency_streams:
+            self.tracer.emit("latency_batch", t=outcome.finish_time,
+                             round=outcome.round_index, disk=disk,
+                             streams=latency_streams,
+                             latencies=latency_values,
+                             classes=latency_classes)
         if self.tracer.enabled:
             self.tracer.emit("sweep", t=outcome.finish_time,
                              round=outcome.round_index, disk=disk,

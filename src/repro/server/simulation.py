@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.analysis.stats import wilson_interval
 from repro.disk.presets import DiskSpec
+from repro.disk.sweepkernel import sample_cylinders_rates
 from repro.distributions import Distribution
 from repro.errors import ConfigurationError
 
@@ -49,9 +50,12 @@ __all__ = [
     "simulate_stream_glitches",
     "estimate_p_error",
     "simulate_failover_rounds",
+    "simulate_farm_rounds",
     "PLateEstimate",
     "PErrorEstimate",
     "FailoverEstimate",
+    "FarmPhaseStats",
+    "FarmRoundsEstimate",
 ]
 
 #: Rounds per vectorised chunk; bounds peak memory at roughly
@@ -144,28 +148,14 @@ def _sample_cylinders_rates(spec: DiskSpec, rng: np.random.Generator,
                             placement=None
                             ) -> tuple[np.ndarray, np.ndarray]:
     """Cylinders and their zone transfer rates under a placement policy
-    (default: sector-uniform, eq. 3.2.1)."""
-    geometry = spec.geometry
-    zone_map = spec.zone_map
-    if placement is not None:
-        cdf = np.cumsum(placement.cylinder_probabilities(geometry))
-        cylinders = np.searchsorted(cdf, rng.random(shape), side="right")
-        cylinders = np.minimum(cylinders, geometry.cylinders - 1)
-        zone = np.searchsorted(geometry.zone_bounds, cylinders,
-                               side="right") - 1
-        return cylinders.astype(np.int64), zone_map.rates[zone]
-    bounds = geometry.zone_bounds
-    counts = geometry.zone_cylinder_counts
-    weights = counts * zone_map.capacities
-    probs = weights / np.sum(weights)
-    cum = np.cumsum(probs)
-    zone = np.searchsorted(cum, rng.random(shape), side="right")
-    zone = np.minimum(zone, zone_map.zones - 1)
-    lo = bounds[zone]
-    width = counts[zone]
-    cylinders = lo + np.floor(rng.random(shape) * width).astype(np.int64)
-    rates = zone_map.rates[zone]
-    return cylinders, rates
+    (default: sector-uniform, eq. 3.2.1).
+
+    Thin alias of :func:`repro.disk.sweepkernel.sample_cylinders_rates`
+    (the machinery was factored there so the event-driven path can share
+    it); RNG consumption -- and therefore every seeded result -- is
+    unchanged.
+    """
+    return sample_cylinders_rates(spec, rng, shape, placement=placement)
 
 
 def simulate_rounds(spec: DiskSpec, size_dist: Distribution, n: int,
@@ -374,6 +364,213 @@ def simulate_failover_rounds(spec: DiskSpec, size_dist: Distribution,
         ci_healthy=wilson_interval(late_h, rounds_healthy),
         ci_degraded=wilson_interval(late_d, rounds_degraded),
     )
+
+
+@dataclass(frozen=True)
+class FarmPhaseStats:
+    """Aggregate statistics of one phase of a farm-level simulation.
+
+    ``disk_rounds`` counts the active (disk, round) pairs of the phase
+    (a failed disk contributes none); ``requests`` the fragments
+    simulated across them.
+    """
+
+    name: str
+    rounds: int
+    disk_rounds: int
+    late_disk_rounds: int
+    requests: int
+    glitches: int
+
+    @property
+    def p_late(self) -> float:
+        """Fraction of active (disk, round) pairs that overran."""
+        if self.disk_rounds == 0:
+            return 0.0
+        return self.late_disk_rounds / self.disk_rounds
+
+    @property
+    def glitch_rate(self) -> float:
+        """Fraction of simulated requests that missed the deadline."""
+        if self.requests == 0:
+            return 0.0
+        return self.glitches / self.requests
+
+    def p_late_ci(self) -> tuple[float, float]:
+        """Wilson 95 % interval on :attr:`p_late`."""
+        if self.disk_rounds == 0:
+            return (0.0, 1.0)
+        return wilson_interval(self.late_disk_rounds, self.disk_rounds)
+
+    def glitch_ci(self) -> tuple[float, float]:
+        """Wilson 95 % interval on :attr:`glitch_rate`."""
+        if self.requests == 0:
+            return (0.0, 1.0)
+        return wilson_interval(self.glitches, self.requests)
+
+
+@dataclass(frozen=True)
+class FarmRoundsEstimate:
+    """Farm-level vectorised Monte-Carlo estimate.
+
+    ``per_disk[d][p]`` is the raw ``(rounds, late, requests, glitches)``
+    tuple of disk ``d`` in phase ``p`` (phases ordered as
+    :attr:`phases`); the phase records aggregate over disks.
+    """
+
+    disks: int
+    n_per_disk: int
+    t: float
+    fail_disk: int | None
+    shedding: bool
+    phases: tuple[FarmPhaseStats, ...]
+    per_disk: tuple[tuple[tuple[int, int, int, int], ...], ...]
+
+    def phase(self, name: str) -> FarmPhaseStats:
+        """The phase record named ``name`` (raises on unknown names)."""
+        for record in self.phases:
+            if record.name == name:
+                return record
+        raise ConfigurationError(
+            f"no phase {name!r}; have "
+            f"{[p.name for p in self.phases]!r}")
+
+    def survivor_degraded(self) -> FarmPhaseStats:
+        """Degraded-phase statistics of the surviving mirror alone
+        (the disk that absorbs the doubled batch)."""
+        if self.fail_disk is None:
+            raise ConfigurationError("run simulated no failure")
+        from repro.core.farm import mirror_of
+        partner = mirror_of(self.fail_disk, self.disks)
+        if partner is None:
+            raise ConfigurationError(
+                f"disk {self.fail_disk} has no mirror on a farm of "
+                f"{self.disks}")
+        index = [p.name for p in self.phases].index("degraded")
+        rounds, late, requests, glitches = self.per_disk[partner][index]
+        return FarmPhaseStats(name="survivor_degraded", rounds=rounds,
+                              disk_rounds=rounds, late_disk_rounds=late,
+                              requests=requests, glitches=glitches)
+
+
+def _simulate_disk_phases(task):
+    """Worker: one disk's rounds through every phase (module-level so it
+    pickles into pool workers).
+
+    ``task`` is ``(spec, size_dist, t, phases, seed_sequence)`` with
+    ``phases`` a tuple of ``(name, batch, rounds)``.  The disk's RNG is
+    carried across phases (like :func:`simulate_failover_rounds`), and
+    a phase with an empty batch draws nothing, so results are
+    bit-identical regardless of how disks are spread over workers.
+    """
+    spec, size_dist, t, phases, child = task
+    rng = np.random.default_rng(child)
+    results = []
+    for _name, batch, rounds in phases:
+        if batch < 1 or rounds < 1:
+            results.append((0, 0, 0, 0))
+            continue
+        batch_result = simulate_rounds(spec, size_dist, batch, t, rounds,
+                                       rng)
+        late = int(np.sum(batch_result.service_times > t))
+        glitches = int(np.sum(batch_result.glitches))
+        results.append((rounds, late, rounds * batch, glitches))
+    return tuple(results)
+
+
+def simulate_farm_rounds(spec: DiskSpec, size_dist: Distribution, *,
+                         disks: int = 2, n_per_disk: int, t: float,
+                         rounds: int, fail_disk: int | None = 0,
+                         fail_round: int | None = None,
+                         recover_round: int | None = None,
+                         shedding: bool = True,
+                         degraded_n_max: int | None = None,
+                         seed: int = 0,
+                         jobs: int | None = None) -> FarmRoundsEstimate:
+    """Farm-level vectorised Monte-Carlo through a mirrored failover.
+
+    The statistical counterpart of
+    :func:`repro.server.faults.run_failover_scenario`: all ``disks``
+    drives are simulated jointly through up to three phases -- healthy
+    rounds ``[0, fail_round)``, degraded rounds ``[fail_round,
+    recover_round)`` with the per-disk populations of
+    :func:`repro.core.farm.failover_phase_batches` (failed disk idle,
+    survivor doubled, shedding caps applied), and recovered rounds
+    ``[recover_round, rounds)`` back at ``n_per_disk``.  With
+    ``fail_round=None`` (or ``fail_disk=None``) the whole run is one
+    healthy phase.
+
+    Where the event-driven scenario walks every request through the
+    kernel calendar, this path batches each (disk, phase) into
+    :func:`simulate_rounds` -- orders of magnitude faster, at the cost
+    of the event path's exact arm carry-over across phase boundaries
+    and its per-stream bookkeeping.  The two are cross-validated
+    statistically (Wilson intervals) in the test suite; use the event
+    engine when per-stream traces matter and this one for sweeps.
+
+    Each disk draws from its own ``SeedSequence`` child, so ``jobs``
+    fan-out (via :mod:`repro.parallel`) is bit-identical to the serial
+    loop for every worker count.
+    """
+    _validate(spec, n_per_disk, t, rounds)
+    if disks < 1:
+        raise ConfigurationError(f"disks must be >= 1, got {disks!r}")
+    if fail_disk is not None and not (0 <= fail_disk < disks):
+        raise ConfigurationError(
+            f"fail_disk {fail_disk} out of range [0, {disks})")
+    failing = fail_disk is not None and fail_round is not None
+    if failing:
+        if not (0 <= fail_round <= rounds):
+            raise ConfigurationError(
+                f"fail_round must be in [0, {rounds}], got {fail_round!r}")
+        recover_end = rounds if recover_round is None else recover_round
+        if not (fail_round <= recover_end <= rounds):
+            raise ConfigurationError(
+                f"recover_round must be in [{fail_round}, {rounds}], "
+                f"got {recover_round!r}")
+        from repro.core.farm import failover_phase_batches
+        healthy_batches, degraded_batches = failover_phase_batches(
+            disks, n_per_disk, degraded_n_max=degraded_n_max,
+            fail_disk=fail_disk, shedding=shedding)
+        phase_plan = [
+            ("healthy", healthy_batches, fail_round),
+            ("degraded", degraded_batches, recover_end - fail_round),
+            ("recovered", healthy_batches, rounds - recover_end),
+        ]
+    else:
+        phase_plan = [("healthy", (n_per_disk,) * disks, rounds)]
+
+    root = np.random.SeedSequence([seed, 0xFA9A])
+    tasks = [
+        (spec, size_dist, t,
+         tuple((name, batches[disk], phase_rounds)
+               for name, batches, phase_rounds in phase_plan),
+         child)
+        for disk, child in enumerate(root.spawn(disks))
+    ]
+    if jobs is not None:
+        from repro.parallel import simulate_farm_disks_parallel
+        per_disk = simulate_farm_disks_parallel(tasks, jobs)
+    else:
+        per_disk = [_simulate_disk_phases(task) for task in tasks]
+
+    phases = []
+    for index, (name, _batches, phase_rounds) in enumerate(phase_plan):
+        disk_rounds = late = requests = glitches = 0
+        for disk in range(disks):
+            d_rounds, d_late, d_requests, d_glitches = \
+                per_disk[disk][index]
+            disk_rounds += d_rounds
+            late += d_late
+            requests += d_requests
+            glitches += d_glitches
+        phases.append(FarmPhaseStats(
+            name=name, rounds=phase_rounds, disk_rounds=disk_rounds,
+            late_disk_rounds=late, requests=requests, glitches=glitches))
+    return FarmRoundsEstimate(
+        disks=disks, n_per_disk=n_per_disk, t=t,
+        fail_disk=fail_disk if failing else None, shedding=shedding,
+        phases=tuple(phases), per_disk=tuple(per_disk))
 
 
 @dataclass(frozen=True)

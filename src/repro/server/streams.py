@@ -20,6 +20,8 @@ class ClientBuffer:
 
     MIN_CAPACITY = 2
 
+    __slots__ = ("capacity", "_occupied", "high_watermark")
+
     def __init__(self, capacity: int = MIN_CAPACITY) -> None:
         if capacity < self.MIN_CAPACITY:
             raise ConfigurationError(
@@ -55,7 +57,7 @@ class ClientBuffer:
         return True
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamStats:
     """Aggregated delivery statistics of one stream."""
 
@@ -88,10 +90,18 @@ class Stream:
     A stream starts at ``start_round`` and requests fragment
     ``r - start_round`` of its object in round ``r`` (to be displayed in
     round ``r + 1``), until the object is exhausted.
+
+    ``klass`` is a free-form service-class label ("standard" unless the
+    opener says otherwise); the per-stream latency telemetry buckets its
+    fragment-completion histograms by it.
     """
 
+    __slots__ = ("stream_id", "object_name", "length", "start_round",
+                 "buffer", "stats", "paused", "klass", "start_delay")
+
     def __init__(self, stream_id: int, object_name: str, length: int,
-                 start_round: int, buffer_capacity: int = 2) -> None:
+                 start_round: int, buffer_capacity: int = 2,
+                 klass: str = "standard") -> None:
         if length < 1:
             raise ConfigurationError(
                 f"object length must be >= 1, got {length!r}")
@@ -104,6 +114,10 @@ class Stream:
         self.start_round = int(start_round)
         self.buffer = ClientBuffer(buffer_capacity)
         self.stats = StreamStats()
+        self.klass = str(klass)
+        #: Rounds the admitting server delayed the first fetch (set by
+        #: MediaServer.open_stream when balancing phase classes).
+        self.start_delay = 0
         #: Set by the load-shedding policy: a paused stream issues no
         #: fetches and its playback position freezes (the remaining
         #: fragments shift later, one round per paused round).

@@ -147,3 +147,101 @@ class TestServerTrace:
         # The run was admitted under these bounds; the trace must show
         # the empirical rate respecting them.
         assert tel.violations() == []
+
+
+def latency_trace():
+    """A trace carrying per-fragment completion latencies for two
+    stream classes across two rounds."""
+    ticks = iter(range(1000))
+    tracer = Tracer(clock=lambda: float(next(ticks)))
+    tracer.start_run(seed=1)
+    tracer.emit("latency_batch", t=0.9, round=0, disk=0,
+                streams=[1, 2, 3], latencies=[0.2, 0.4, 0.6],
+                classes=["standard", "standard", "premium"])
+    tracer.emit("latency_batch", t=1.9, round=1, disk=0,
+                streams=[1, 3], latencies=[0.3, 0.5],
+                classes=["standard", "premium"])
+    tracer.end_run()
+    return tracer.records()
+
+
+class TestClassLatency:
+    def test_latency_batches_joined_per_class(self):
+        tel = RunTelemetry.from_records(latency_trace())
+        summary = tel.latency_summary()
+        assert [c.klass for c in summary] == ["standard", "premium"]
+        standard, premium = summary
+        assert standard.count == 3
+        assert standard.streams == {1, 2}
+        assert standard.samples == [0.2, 0.4, 0.3]
+        assert premium.count == 2
+        assert premium.streams == {3}
+        assert premium.max == pytest.approx(0.6)
+
+    def test_quantiles_interpolate(self):
+        tel = RunTelemetry.from_records(latency_trace())
+        standard = tel.latency_summary()[0]
+        assert standard.quantile(0.0) == pytest.approx(0.2)
+        assert standard.quantile(0.5) == pytest.approx(0.3)
+        assert standard.quantile(1.0) == pytest.approx(0.4)
+        assert standard.mean == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            standard.quantile(1.5)
+
+    def test_histogram_buckets_with_overflow(self):
+        tel = RunTelemetry.from_records(latency_trace())
+        standard = tel.latency_summary()[0]
+        assert standard.histogram([0.25, 0.35]) == [1, 1, 1]
+        assert standard.histogram([1.0]) == [3, 0]
+
+    def test_missing_class_defaults_to_standard(self):
+        records = [{"kind": "latency_batch", "t": 0.5, "round": 0,
+                    "disk": 0, "streams": [4, 5],
+                    "latencies": [0.1, 0.2], "classes": ["premium"]}]
+        tel = RunTelemetry.from_records(records)
+        by_class = {c.klass: c for c in tel.latency_summary()}
+        assert by_class["premium"].samples == [0.1]
+        assert by_class["standard"].samples == [0.2]
+
+    def test_ragged_batch_is_bounds_checked(self):
+        records = [{"kind": "latency_batch", "t": 0.5, "round": 0,
+                    "disk": 0, "streams": [4, 5, 6],
+                    "latencies": [0.1], "classes": []}]
+        tel = RunTelemetry.from_records(records)
+        summary = tel.latency_summary()
+        assert len(summary) == 1
+        assert summary[0].samples == [0.1]
+
+    def test_empty_class_accessors(self):
+        from repro.obs import ClassLatency
+        empty = ClassLatency("standard")
+        assert empty.count == 0
+        assert empty.mean == 0.0
+        assert empty.max == 0.0
+        assert empty.quantile(0.5) == 0.0
+
+    def test_real_server_trace_carries_latencies(self, tmp_path, viking,
+                                                 paper_sizes):
+        """End to end: a traced failover run produces latency batches
+        whose fragment count matches the report's delivered total."""
+        from repro.obs import read_trace, validate_trace
+        from repro.server.faults import run_failover_scenario
+
+        path = tmp_path / "run.jsonl"
+        ticks = iter(range(100_000))
+        tracer = Tracer(sink=path, clock=lambda: float(next(ticks)))
+        result = run_failover_scenario(viking, paper_sizes, disks=2,
+                                       t=1.0, rounds=20, fail_round=8,
+                                       seed=5, tracer=tracer)
+        tracer.close()
+
+        records = read_trace(path)
+        assert validate_trace(records) == []
+        tel = RunTelemetry.from_records(records)
+        summary = tel.latency_summary()
+        assert summary, "traced run must emit latency batches"
+        assert sum(c.count for c in summary) \
+            == result.report.delivered
+        # Completion latencies are bounded by observed sweep times.
+        slowest = max(s.service for s in tel.sweeps())
+        assert all(c.max <= slowest + 1e-9 for c in summary)

@@ -1,0 +1,312 @@
+"""Sweep-kernel tests: plan/serve bit-identity, SCAN elevator order,
+golden same-seed server reports, and the farm kernel's statistical
+agreement with the event engine.
+
+The tentpole contract of the vectorised sweep kernel is twofold: the
+event-driven path must stay *byte-identical* for a given seed (the plan
+arrays replace scalar arithmetic bit for bit, and the rotational draw
+stays lazy so abandoned requests never consume the RNG), and the
+farm-level batched path must agree *statistically* (Wilson intervals)
+with the event engine it shortcuts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import wilson_interval
+from repro.core.farm import failover_phase_batches
+from repro.disk.drive import DiskDrive
+from repro.disk.presets import quantum_viking_2_1
+from repro.disk.request import DiskRequest
+from repro.disk.sweepkernel import plan_sweep, sample_cylinders_rates
+from repro.distributions import Gamma
+from repro.errors import ConfigurationError
+from repro.server.faults import run_failover_scenario
+from repro.server.scheduler import DiskScheduler
+from repro.server.simulation import (simulate_farm_rounds,
+                                     simulate_rounds)
+from repro.sim.engine import Engine
+
+
+@pytest.fixture(scope="module")
+def viking():
+    return quantum_viking_2_1()
+
+
+@pytest.fixture(scope="module")
+def sizes():
+    return Gamma.from_mean_std(200_000.0, 100_000.0)
+
+
+class TestPlanServeIdentity:
+    def test_plan_matches_scalar_serve_bitwise(self, viking):
+        """plan_round + serve_planned is byte-identical to serve()."""
+        rng = np.random.default_rng(42)
+        cylinders = rng.integers(0, viking.cylinders, size=40)
+        requests = [DiskRequest(stream_id=i, size=150_000.0 + 1000.0 * i,
+                                cylinder=int(c))
+                    for i, c in enumerate(cylinders)]
+        scalar = DiskDrive(viking.geometry, viking.seek_curve)
+        planned = DiskDrive(viking.geometry, viking.seek_curve)
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+
+        expected = [scalar.serve(r, rng_a) for r in requests]
+        seeks, transfers = planned.plan_round(requests)
+        observed = [planned.serve_planned(r, float(seeks[i]),
+                                          float(transfers[i]), rng_b)
+                    for i, r in enumerate(requests)]
+        assert observed == expected
+        assert planned.busy_time == scalar.busy_time
+        assert planned.arm_cylinder == scalar.arm_cylinder
+
+    def test_plan_valid_for_any_served_prefix(self, viking):
+        """An aborted sweep serves a prefix; the plan must not depend
+        on whether the suffix is ever served."""
+        requests = [DiskRequest(stream_id=i, size=200_000.0,
+                                cylinder=100 * i) for i in range(10)]
+        drive = DiskDrive(viking.geometry, viking.seek_curve)
+        full_seeks, full_transfers = drive.plan_round(requests)
+        prefix_seeks, prefix_transfers = drive.plan_round(requests[:4])
+        np.testing.assert_array_equal(prefix_seeks, full_seeks[:4])
+        np.testing.assert_array_equal(prefix_transfers,
+                                      full_transfers[:4])
+
+    def test_plan_sweep_rejects_out_of_range(self, viking):
+        from repro.errors import GeometryError
+        with pytest.raises(GeometryError):
+            plan_sweep(viking.geometry, viking.seek_curve, 0,
+                       np.array([viking.cylinders]), np.array([1.0]))
+
+    def test_sample_cylinders_matches_legacy_layout(self, viking):
+        """The factored sampler consumes the RNG exactly like the old
+        inline code: two uniform draws, zone pick then offset."""
+        tables_rng = np.random.default_rng(3)
+        manual_rng = np.random.default_rng(3)
+        cylinders, rates = sample_cylinders_rates(viking, tables_rng,
+                                                  (5, 7))
+        geometry = viking.geometry
+        weights = (geometry.zone_cylinder_counts
+                   * geometry.zone_map.capacities)
+        cum = np.cumsum(weights / np.sum(weights))
+        zone = np.searchsorted(cum, manual_rng.random((5, 7)),
+                               side="right")
+        zone = np.minimum(zone, geometry.zones - 1)
+        lo = geometry.zone_bounds[zone]
+        width = geometry.zone_bounds[zone + 1] - lo
+        expected = lo + np.floor(
+            manual_rng.random((5, 7)) * width).astype(np.int64)
+        np.testing.assert_array_equal(cylinders, expected)
+        np.testing.assert_array_equal(
+            rates, viking.zone_map.rates[
+                geometry.zone_of_cylinder(expected)])
+
+
+def _run_scheduler_rounds(viking, cylinder_batches):
+    """Run one DiskScheduler through the given per-round cylinder
+    batches with generous deadlines; returns the outcomes."""
+    engine = Engine()
+    drive = DiskDrive(viking.geometry, viking.seek_curve)
+    outcomes = []
+    scheduler = DiskScheduler(engine, drive, np.random.default_rng(0),
+                              lambda disk, outcome:
+                              outcomes.append(outcome))
+    deadline = 0.0
+    for round_index, cylinders in enumerate(cylinder_batches):
+        deadline += 1e9
+        scheduler.submit(round_index, deadline,
+                         [DiskRequest(stream_id=i, size=200_000.0,
+                                      cylinder=c)
+                          for i, c in enumerate(cylinders)])
+    scheduler.shutdown()
+    engine.run()
+    return outcomes
+
+
+class TestScanElevatorProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.lists(st.integers(min_value=0, max_value=1999),
+                             min_size=1, max_size=20),
+                    min_size=1, max_size=4))
+    def test_rounds_sweep_in_alternating_cylinder_order(self, batches):
+        """With no deadline pressure every batch is served completely,
+        in ascending cylinder order on even rounds and descending on
+        odd rounds (the SCAN elevator), regardless of arrival order."""
+        viking = quantum_viking_2_1()
+        outcomes = _run_scheduler_rounds(viking, batches)
+        assert len(outcomes) == len(batches)
+        for round_index, (cylinders, outcome) in enumerate(
+                zip(batches, outcomes)):
+            assert not outcome.glitched
+            served_cyls = [cylinders[sid]
+                           for sid in outcome.served_on_time]
+            assert sorted(served_cyls) == sorted(cylinders)
+            expected = sorted(served_cyls,
+                              reverse=(round_index % 2 == 1))
+            assert served_cyls == expected
+            # Completion times are aligned with served_on_time and
+            # strictly increase along the sweep.
+            assert len(outcome.completion_times) == len(served_cyls)
+            assert list(outcome.completion_times) == sorted(
+                outcome.completion_times)
+
+
+#: Golden values captured on the pre-kernel event engine.  The sweep
+#: kernel refactor must keep every same-seed report byte-identical.
+GOLDEN_SHED = dict(delivered=2470, requests=2470, physical_requests=2470,
+                   rounds=60, glitches=0, late_rounds=0,
+                   dropped_requests=0, failovers=325,
+                   paused_stream_rounds=650, shed_streams=26,
+                   resumed_streams=26)
+GOLDEN_NOSHED = dict(delivered=2028, requests=3000,
+                     physical_requests=3000, rounds=50, glitches=912,
+                     late_rounds=36, dropped_requests=0, failovers=1050)
+
+
+class TestGoldenReports:
+    def _shed_scenario(self, viking, sizes):
+        return run_failover_scenario(viking, sizes, disks=2, t=1.0,
+                                     delta=0.01, rounds=60,
+                                     fail_round=20, recover_round=45,
+                                     shedding=True, seed=7)
+
+    def _noshed_scenario(self, viking, sizes):
+        return run_failover_scenario(viking, sizes, disks=2, t=1.0,
+                                     delta=0.01, rounds=50,
+                                     fail_round=15, shedding=False,
+                                     n_per_disk=30, seed=11)
+
+    def test_shed_golden(self, viking, sizes):
+        report = self._shed_scenario(viking, sizes).report
+        for key, expected in GOLDEN_SHED.items():
+            assert getattr(report, key) == expected, key
+        assert report.shed_by_round == {20: 26}
+        assert report.glitches_by_round == {}
+        assert report.failovers_by_round == {
+            r: 13 for r in range(20, 45)}
+
+    def test_noshed_golden(self, viking, sizes):
+        result = self._noshed_scenario(viking, sizes)
+        report = result.report
+        for key, expected in GOLDEN_NOSHED.items():
+            assert getattr(report, key) == expected, key
+        assert result.aggregate_glitch_rate == pytest.approx(
+            0.31020408163265306, abs=0.0)
+        assert report.glitches_by_round[15] == 25
+        assert report.glitches_by_round[48] == 32
+        assert report.per_disk_late_rounds == {0: 0, 1: 36}
+
+    def test_same_seed_reports_compare_equal(self, viking, sizes):
+        first = self._shed_scenario(viking, sizes).report
+        second = self._shed_scenario(viking, sizes).report
+        assert first == second
+
+
+class TestFailoverPhaseBatches:
+    def test_shedding_populations(self):
+        healthy, degraded = failover_phase_batches(
+            4, 30, degraded_n_max=13, fail_disk=2, shedding=True)
+        assert healthy == (30, 30, 30, 30)
+        assert degraded == (13, 13, 0, 26)
+
+    def test_no_shedding_doubles_the_survivor(self):
+        _, degraded = failover_phase_batches(2, 30, shedding=False)
+        assert degraded == (0, 60)
+
+    def test_odd_farm_last_disk_has_no_survivor(self):
+        _, degraded = failover_phase_batches(3, 10, shedding=False,
+                                             fail_disk=2)
+        assert degraded == (10, 10, 0)
+
+    def test_shedding_requires_bound(self):
+        with pytest.raises(ConfigurationError):
+            failover_phase_batches(2, 30, shedding=True)
+
+
+class TestFarmKernel:
+    def test_phase_structure_and_counts(self, viking, sizes):
+        est = simulate_farm_rounds(viking, sizes, disks=2, n_per_disk=8,
+                                   t=1.0, rounds=100, fail_round=40,
+                                   recover_round=70, shedding=False,
+                                   seed=5)
+        names = [p.name for p in est.phases]
+        assert names == ["healthy", "degraded", "recovered"]
+        healthy = est.phase("healthy")
+        assert healthy.rounds == 40 and healthy.disk_rounds == 80
+        assert healthy.requests == 80 * 8
+        degraded = est.phase("degraded")
+        # The failed disk idles; the survivor doubles.
+        assert degraded.disk_rounds == 30
+        assert degraded.requests == 30 * 16
+        assert est.per_disk[0][1] == (0, 0, 0, 0)
+        recovered = est.phase("recovered")
+        assert recovered.rounds == 30 and recovered.disk_rounds == 60
+
+    def test_no_failure_single_phase(self, viking, sizes):
+        est = simulate_farm_rounds(viking, sizes, disks=3, n_per_disk=5,
+                                   t=1.0, rounds=50, fail_round=None,
+                                   seed=1)
+        assert [p.name for p in est.phases] == ["healthy"]
+        assert est.fail_disk is None
+        assert est.phase("healthy").disk_rounds == 150
+
+    def test_jobs_fanout_bit_identical(self, viking, sizes):
+        kwargs = dict(disks=2, n_per_disk=10, t=1.0, rounds=200,
+                      fail_round=80, shedding=False, seed=13)
+        serial = simulate_farm_rounds(viking, sizes, **kwargs)
+        pooled = simulate_farm_rounds(viking, sizes, jobs=2, **kwargs)
+        assert serial.per_disk == pooled.per_disk
+        assert serial.phases == pooled.phases
+
+    def test_cross_validates_event_engine(self, viking, sizes):
+        """The farm kernel's degraded-phase glitch rate must agree
+        (overlapping Wilson 95 % intervals) with the event-driven
+        no-shed scenario it shortcuts."""
+        event = run_failover_scenario(viking, sizes, disks=2, t=1.0,
+                                      delta=0.01, rounds=50,
+                                      fail_round=15, shedding=False,
+                                      n_per_disk=30, seed=11)
+        degraded_rounds = 50 - 15
+        event_glitches = sum(
+            count for r, count in
+            event.report.glitches_by_round.items() if r >= 15)
+        event_requests = degraded_rounds * 60
+        event_ci = wilson_interval(event_glitches, event_requests)
+
+        kernel = simulate_farm_rounds(viking, sizes, disks=2,
+                                      n_per_disk=30, t=1.0, rounds=4000,
+                                      fail_round=500, shedding=False,
+                                      seed=3)
+        kernel_ci = kernel.survivor_degraded().glitch_ci()
+        assert kernel_ci[0] <= event_ci[1] and \
+            event_ci[0] <= kernel_ci[1], (
+                f"event CI {event_ci} and kernel CI {kernel_ci} "
+                f"do not overlap")
+
+    def test_kernel_matches_plain_simulate_rounds_when_healthy(
+            self, viking, sizes):
+        """A single healthy disk through the farm wrapper reproduces
+        simulate_rounds on the farm's per-disk seed exactly."""
+        est = simulate_farm_rounds(viking, sizes, disks=1, n_per_disk=6,
+                                   t=1.0, rounds=300, fail_round=None,
+                                   seed=9)
+        child = np.random.SeedSequence([9, 0xFA9A]).spawn(1)[0]
+        batch = simulate_rounds(viking, sizes, 6, 1.0, 300,
+                                np.random.default_rng(child))
+        late = int(np.sum(batch.service_times > 1.0))
+        glitches = int(np.sum(batch.glitches))
+        assert est.per_disk[0][0] == (300, late, 1800, glitches)
+
+    def test_validation_errors(self, viking, sizes):
+        with pytest.raises(ConfigurationError):
+            simulate_farm_rounds(viking, sizes, disks=0, n_per_disk=5,
+                                 t=1.0, rounds=10)
+        with pytest.raises(ConfigurationError):
+            simulate_farm_rounds(viking, sizes, disks=2, n_per_disk=5,
+                                 t=1.0, rounds=10, fail_round=20)
+        with pytest.raises(ConfigurationError):
+            simulate_farm_rounds(viking, sizes, disks=2, n_per_disk=5,
+                                 t=1.0, rounds=10, fail_round=5,
+                                 recover_round=3)

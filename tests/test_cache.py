@@ -284,9 +284,10 @@ class TestPersistentCache:
         store.put("good", 1.0)
         store.close()
         with sqlite3.connect(tmp_path / "bounds.sqlite") as conn:
-            conn.execute("INSERT INTO bounds VALUES ('bad', 'not json')")
             conn.execute(
-                "INSERT INTO bounds VALUES ('foreign', ?)",
+                "INSERT INTO bounds VALUES ('bad', 'not json', 0)")
+            conn.execute(
+                "INSERT INTO bounds VALUES ('foreign', ?, 0)",
                 (json.dumps({"kind": "dataclass", "module": "os.path",
                              "name": "PurePath", "fields": {}}),))
             conn.commit()
@@ -492,3 +493,70 @@ class TestCrossProcessReuse:
         assert warm["misses"] == 0, (
             "warm restart must answer every probe from disk")
         assert warm["disk_hits"] > 0
+
+
+class TestLRUEviction:
+    """The persistent store is bounded: inserts past ``max_entries``
+    evict the least-recently-*accessed* rows (gets refresh recency, so
+    hot bounds survive cold ones regardless of insertion order)."""
+
+    def test_capacity_is_enforced_on_put(self, tmp_path):
+        store = PersistentCache(tmp_path, max_entries=5)
+        for index in range(8):
+            store.put(f"k{index}", float(index))
+        assert store.entry_count() == 5
+        assert store.stats.evictions == 3
+
+    def test_eviction_is_least_recently_accessed(self, tmp_path):
+        store = PersistentCache(tmp_path, max_entries=5)
+        for index in range(5):
+            store.put(f"k{index}", float(index))
+        # Touch the oldest insert: k0 becomes the most recent access,
+        # so the next eviction must fall on k1 instead.
+        assert store.get("k0") == 0.0
+        store.put("k5", 5.0)
+        assert store.get("k0") == 0.0
+        assert store.get("k1") is None
+        assert store.stats.evictions == 1
+
+    def test_overwrite_does_not_evict(self, tmp_path):
+        store = PersistentCache(tmp_path, max_entries=2)
+        store.put("a", 1.0)
+        store.put("b", 2.0)
+        store.put("a", 3.0)  # replace, not insert
+        assert store.entry_count() == 2
+        assert store.stats.evictions == 0
+        assert store.get("a") == 3.0
+        assert store.get("b") == 2.0
+
+    def test_recency_survives_reopen(self, tmp_path):
+        store = PersistentCache(tmp_path, max_entries=3)
+        for index in range(3):
+            store.put(f"k{index}", float(index))
+        assert store.get("k0") == 0.0
+        store.close()
+        reopened = PersistentCache(tmp_path, max_entries=3)
+        reopened.put("k3", 3.0)
+        assert reopened.get("k0") == 0.0  # touched before the restart
+        assert reopened.get("k1") is None
+
+    def test_v1_schema_rebuilds_cleanly(self, tmp_path):
+        """A pre-LRU (schema v1, two-column) database is dropped and
+        rebuilt rather than half-migrated."""
+        path = tmp_path / "bounds.sqlite"
+        with sqlite3.connect(path) as conn:
+            conn.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, "
+                         "value TEXT NOT NULL)")
+            conn.execute("INSERT INTO meta VALUES ('schema_version', '1')")
+            conn.execute("CREATE TABLE bounds (key TEXT PRIMARY KEY, "
+                         "value TEXT NOT NULL)")
+            conn.execute("INSERT INTO bounds VALUES ('old', '1.0')")
+            conn.commit()
+        store = PersistentCache(tmp_path)
+        assert store.get("old") is None
+        assert store.put("new", 2.0)
+        assert store.get("new") == 2.0
+
+    def test_max_entries_validated(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            PersistentCache(tmp_path, max_entries=0)
