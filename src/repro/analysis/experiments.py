@@ -126,6 +126,11 @@ _ENTRIES = [
                "failover scenario; the speedup ratio is the CI "
                "regression gate (benchmarks/report.py)",
                "bench_a22_server_kernel.py", ("a22_server_kernel",)),
+    Experiment("A23", "Live daemon warm start + QPS",
+               "repro serve operationally: cold vs warm admission-table "
+               "build (the gated warm-start speedup) and admissions/sec "
+               "over HTTP through a fault storm",
+               "bench_a23_serve_qps.py", ("a23_serve_qps",)),
 ]
 
 #: Registry keyed by experiment id.

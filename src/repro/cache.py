@@ -275,13 +275,16 @@ class PersistentCacheStats:
     errors: int = 0
     #: Rows dropped by the LRU policy to stay under ``max_entries``.
     evictions: int = 0
+    #: Rows bulk-loaded into memory by :meth:`PersistentCache.preload`.
+    preloaded: int = 0
 
     def snapshot(self) -> "PersistentCacheStats":
         """Independent copy of the counters at this instant."""
         return PersistentCacheStats(hits=self.hits, misses=self.misses,
                                     writes=self.writes,
                                     errors=self.errors,
-                                    evictions=self.evictions)
+                                    evictions=self.evictions,
+                                    preloaded=self.preloaded)
 
 
 class PersistentCache:
@@ -313,6 +316,9 @@ class PersistentCache:
         self._conn: sqlite3.Connection | None = None
         self._pid: int | None = None
         self._broken = False
+        #: Warm-start read layer: decoded rows bulk-loaded by
+        #: :meth:`preload`, consulted by :meth:`get` before sqlite.
+        self._preloaded: dict[str, object] | None = None
 
     # -- connection management -----------------------------------------
     def _init_schema(self, conn: sqlite3.Connection) -> None:
@@ -380,10 +386,56 @@ class PersistentCache:
         return conn
 
     # -- store operations ----------------------------------------------
+    def preload(self, limit: int | None = None) -> int:
+        """Bulk-load the most recently accessed rows into memory.
+
+        The §5 operations story wants a *warm* admission server: after
+        ``preload()`` every hit on a loaded row is a dict lookup -- no
+        sqlite round-trip, no LRU-stamp write -- so the daemon answers
+        table builds and ``N_max`` probes at interactive latency right
+        after a restart.  ``limit`` caps how many rows are loaded
+        (default: all, up to ``max_entries``); corrupt rows are skipped
+        and counted in ``stats.errors``.  Returns the number of rows
+        loaded.  Writes through :meth:`put` keep the loaded view
+        coherent; entries evicted on disk may linger here until the
+        next ``preload`` or :meth:`clear` (stale *presence* is safe --
+        values are immutable functions of their key).
+        """
+        if limit is not None and limit < 1:
+            raise ConfigurationError(
+                f"preload limit must be >= 1, got {limit!r}")
+        with self._lock:
+            conn = self._connect()
+            if conn is None:
+                return 0
+            loaded: dict[str, object] = {}
+            try:
+                rows = conn.execute(
+                    "SELECT key, value FROM bounds "
+                    "ORDER BY last_access DESC, key ASC LIMIT ?",
+                    (limit if limit is not None else self.max_entries,)
+                ).fetchall()
+            except sqlite3.Error:
+                self.stats.errors += 1
+                return 0
+            for key_str, payload in rows:
+                try:
+                    loaded[key_str] = _decode_value(payload)
+                except Exception:
+                    self.stats.errors += 1
+            self._preloaded = loaded
+            self.stats.preloaded += len(loaded)
+            return len(loaded)
+
     def get(self, key_str: str):
         """Decoded value for ``key_str``, or ``None`` on miss (corrupt
         entries are evicted and count as misses)."""
         with self._lock:
+            if self._preloaded is not None:
+                value = self._preloaded.get(key_str)
+                if value is not None:
+                    self.stats.hits += 1
+                    return value
             conn = self._connect()
             if conn is None:
                 return None
@@ -452,6 +504,9 @@ class PersistentCache:
                 self.stats.errors += 1
                 return False
             self.stats.writes += 1
+            if self._preloaded is not None:
+                # Keep the warm-start view coherent with the store.
+                self._preloaded[key_str] = value
             return True
 
     def entry_count(self) -> int:
@@ -468,8 +523,10 @@ class PersistentCache:
                 return 0
 
     def clear(self) -> int:
-        """Drop every persisted entry; returns how many were dropped."""
+        """Drop every persisted entry (and any preloaded view); returns
+        how many were dropped."""
         with self._lock:
+            self._preloaded = None
             conn = self._connect()
             if conn is None:
                 return 0
@@ -730,6 +787,7 @@ def publish_cache_metrics(registry: MetricsRegistry) -> None:
         registry.gauge("persistent_cache_writes").set(ps.writes)
         registry.gauge("persistent_cache_errors").set(ps.errors)
         registry.gauge("persistent_cache_evictions").set(ps.evictions)
+        registry.gauge("persistent_cache_preloaded").set(ps.preloaded)
 
 
 @contextmanager

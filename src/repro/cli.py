@@ -45,6 +45,7 @@ from repro.core import (
 from repro.core.baselines import worst_case_components
 from repro.disk import quantum_viking_2_1, scaled_viking, single_zone_viking
 from repro.distributions import Gamma
+from repro.errors import ConfigurationError
 from repro.obs import (
     NULL_TRACER,
     RunTelemetry,
@@ -390,11 +391,19 @@ def _simulate_faults_kernel(args: argparse.Namespace, spec,
     healthy_n_max, degraded_n_max = degraded_mode_n_max(
         spec, sizes, args.t, args.delta)
     n_per_disk = args.n[0] if args.n else healthy_n_max
+    # Rejoin semantics follow the shed mode: pause-mode shedding
+    # resumes every paused stream at the first healthy round boundary
+    # (instant rejoin), drop-mode sheds permanently (the recovered
+    # phase holds the shed populations, optionally ramping back up
+    # over --rejoin-rounds as new arrivals refill the farm).
+    instant = args.shed_mode == "pause" and not args.no_shed
     est = simulate_farm_rounds(
         spec, sizes, disks=args.disks, n_per_disk=n_per_disk, t=args.t,
         rounds=args.server_rounds, fail_disk=fail_disk,
         fail_round=fail_round, recover_round=recover_round,
         shedding=not args.no_shed, degraded_n_max=degraded_n_max,
+        instant_rejoin=instant,
+        rejoin_rounds=0 if instant else args.rejoin_rounds,
         seed=args.seed, jobs=args.jobs)
     rows = []
     for phase in est.phases:
@@ -663,6 +672,106 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the live admission daemon until --duration elapses or the
+    operator interrupts it."""
+    import time
+    from pathlib import Path
+
+    from repro.serve import (FaultFeed, ServeConfig, ServeDaemon,
+                             ServeHandle)
+    from repro.server.faults import FaultSchedule
+
+    sizes = Gamma.from_mean_std(args.mean_kb * 1000.0,
+                                args.std_kb * 1000.0)
+    config = ServeConfig(spec=_spec(args), size_dist=sizes, t=args.t,
+                         epsilon=args.epsilon, delta=args.delta,
+                         m=args.m, g=args.g, disks=args.disks,
+                         shed_mode=args.shed_mode,
+                         preload=not args.no_preload)
+    daemon = ServeDaemon(config)
+    schedule = (FaultSchedule.from_toml(args.fault_schedule)
+                if args.fault_schedule else None)
+    if schedule is not None:
+        schedule.validate_disks(args.disks)
+    handle = ServeHandle(daemon, host=args.host, port=args.port)
+    handle.start()
+    if args.port_file:
+        Path(args.port_file).write_text(f"{handle.port}\n",
+                                        encoding="utf-8")
+    print(f"repro serve: listening on {handle.url} "
+          f"(n_max={daemon.controller.n_max_per_disk}/disk x "
+          f"{args.disks} disks, degraded={daemon.degraded_n_max}, "
+          f"table build {daemon.build_seconds * 1e3:.1f} ms)")
+    feed = None
+    if schedule is not None:
+        feed = FaultFeed(daemon, schedule,
+                         time_scale=args.time_scale).start()
+        print(f"repro serve: replaying {len(schedule)} fault event(s) "
+              f"at time scale {args.time_scale:g}")
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive mode
+            while True:
+                time.sleep(3600.0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    finally:
+        if feed is not None:
+            feed.stop()
+        handle.stop()
+    snap = daemon.controller.snapshot()
+    print(f"repro serve: stopped after "
+          f"{time.time() - daemon.started_at:.1f}s -- "
+          f"{snap['requests']} requests, "
+          f"{snap['requests'] - snap['rejections']} admitted, "
+          f"{snap['rejections']} rejected, {snap['active']} active")
+    if args.metrics:
+        daemon.registry.write_json(args.metrics)
+        print(f"metrics written to {args.metrics}")
+    return 0
+
+
+def _resolve_serve_url(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    if args.url:
+        return args.url
+    if args.port_file:
+        port = int(Path(args.port_file).read_text().strip())
+        return f"http://127.0.0.1:{port}"
+    raise ConfigurationError("need --url or --port-file")
+
+
+def _cmd_admit(args: argparse.Namespace) -> int:
+    """Load-generation client for a running ``repro serve`` daemon."""
+    import json as _json
+
+    from repro.serve import ServeClient
+
+    client = ServeClient(_resolve_serve_url(args))
+    if args.fault:
+        result = client.fault(args.fault, disk=args.disk)
+        print(_json.dumps(result))
+    if args.until_reject:
+        admitted = client.admit_until_reject()
+        print(f"admitted {admitted} stream(s) before rejection")
+    elif args.count:
+        admitted = sum(client.admit()["admitted"]
+                       for _ in range(args.count))
+        print(f"admitted {admitted}/{args.count} stream(s)")
+    if args.release:
+        for _ in range(args.release):
+            client.release()
+        print(f"released {args.release} stream(s)")
+    if args.scrape:
+        print(client.metrics(), end="")
+    if args.state:
+        print(_json.dumps(client.state(), indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -736,6 +845,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default="pause",
                    help="shed by pausing (resume on recovery) or "
                    "dropping streams")
+    p.add_argument("--rejoin-rounds", type=int, default=0,
+                   help="--engine kernel with --shed-mode drop: ramp "
+                   "the recovered-phase population from the shed level "
+                   "back to n_per_disk over this many rounds (0: hold "
+                   "the shed level; see docs/ROBUSTNESS.md)")
     p.add_argument("--trace", default=None, metavar="TRACE.jsonl",
                    help="record a structured event trace to this JSONL "
                    "file (inspect with 'repro observe')")
@@ -795,6 +909,79 @@ def build_parser() -> argparse.ArgumentParser:
                    help="operate on this cache directory instead of "
                    "the default")
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser("serve",
+                       help="run the live admission-control daemon "
+                       "(HTTP /admit /release /fault /metrics "
+                       "/healthz /state)")
+    _add_common(p)
+    p.add_argument("--epsilon", type=float, default=0.01,
+                   help="stream-error tolerance for the admission "
+                   "table")
+    p.add_argument("--delta", type=float, default=0.01,
+                   help="round-lateness tolerance for the "
+                   "degraded-mode bound")
+    p.add_argument("-m", type=int, default=1200,
+                   help="rounds per stream (playback length)")
+    p.add_argument("-g", type=int, default=12,
+                   help="tolerated glitches per stream")
+    p.add_argument("--disks", type=int, default=2,
+                   help="farm size the daemon admits against")
+    p.add_argument("--shed-mode", choices=("pause", "drop"),
+                   default="pause",
+                   help="shed by pausing (resume on recovery) or "
+                   "dropping streams")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0: ephemeral; see --port-file)")
+    p.add_argument("--port-file", default=None, metavar="FILE",
+                   help="write the bound port here (for scripts using "
+                   "--port 0)")
+    p.add_argument("--fault-schedule", default=None,
+                   metavar="SCHEDULE.toml",
+                   help="replay this fault schedule against the live "
+                   "daemon (times scaled by --time-scale)")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   help="wall seconds per schedule second when "
+                   "replaying --fault-schedule")
+    p.add_argument("--duration", type=float, default=None,
+                   help="serve for this many seconds then exit "
+                   "(default: until interrupted)")
+    p.add_argument("--no-preload", action="store_true",
+                   help="skip bulk-loading the persistent bound cache "
+                   "at startup")
+    p.add_argument("--metrics", default=None, metavar="METRICS.json",
+                   help="write the final metrics registry to this "
+                   "JSON file on shutdown")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("admit",
+                       help="client for a running 'repro serve' "
+                       "daemon: drive admissions, inject faults, "
+                       "scrape metrics")
+    p.add_argument("--url", default=None,
+                   help="daemon base URL (e.g. http://127.0.0.1:8080)")
+    p.add_argument("--port-file", default=None, metavar="FILE",
+                   help="read the daemon port from this file "
+                   "(written by 'repro serve --port-file')")
+    p.add_argument("--count", type=int, default=0, metavar="N",
+                   help="attempt N admissions")
+    p.add_argument("--until-reject", action="store_true",
+                   help="admit until the daemon rejects; print the "
+                   "count")
+    p.add_argument("--release", type=int, default=0, metavar="N",
+                   help="release N streams (oldest first)")
+    p.add_argument("--fault", default=None,
+                   choices=("disk_fail", "disk_recover"),
+                   help="inject this fault event before admitting")
+    p.add_argument("--disk", type=int, default=0,
+                   help="disk index for --fault")
+    p.add_argument("--scrape", action="store_true",
+                   help="print the daemon's /metrics exposition")
+    p.add_argument("--state", action="store_true",
+                   help="print the daemon's /state JSON")
+    p.set_defaults(func=_cmd_admit)
 
     p = sub.add_parser("observe",
                        help="summarise a recorded trace: slow sweeps, "

@@ -33,7 +33,9 @@ class Empirical(Distribution):
         self._n = data.size
         self._mean = float(np.mean(self._data))
         self._var = float(np.var(self._data))
-        if self._var == 0.0:
+        # Degenerate means all samples equal -- not var underflowing to
+        # 0.0, which distinct subnormal samples can produce.
+        if self._data[0] == self._data[-1]:
             raise ConfigurationError(
                 "degenerate sample (zero variance); use Deterministic")
 

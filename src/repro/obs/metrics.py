@@ -37,6 +37,7 @@ __all__ = [
 ]
 
 _NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
 
 #: Default histogram buckets for durations in seconds: microseconds up
 #: to minutes, roughly logarithmic.  Chosen once so that every timing
@@ -57,14 +58,34 @@ def _check_name(name: str) -> str:
 def _label_key(labels: dict | None) -> tuple:
     if not labels:
         return ()
-    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    pairs = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    for key, _value in pairs:
+        if not _LABEL_NAME_RE.match(key):
+            raise ConfigurationError(
+                f"label name must match [a-zA-Z_][a-zA-Z0-9_]*, "
+                f"got {key!r}")
+    return pairs
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format escaping for quoted label values:
+    backslash, double quote and newline (in that order)."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """Escaping for ``# HELP`` text: backslash and newline only (the
+    exposition format leaves quotes alone outside label values)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _render_labels(labels: tuple, extra: tuple = ()) -> str:
     pairs = labels + extra
     if not pairs:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + inner + "}"
 
 
@@ -194,12 +215,17 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, tuple], object] = {}
         self._types: dict[str, type] = {}
+        self._help: dict[str, str] = {}
         self._lock = threading.Lock()
 
     # -- creation ------------------------------------------------------
-    def _get(self, cls, name: str, labels: dict | None, **kwargs):
+    def _get(self, cls, name: str, labels: dict | None, help: str | None,
+             **kwargs):
         _check_name(name)
         key = (name, _label_key(labels))
+        if help and name not in self._help:
+            with self._lock:
+                self._help.setdefault(name, str(help))
         metric = self._metrics.get(key)
         if metric is not None:
             if type(metric) is not cls:
@@ -221,19 +247,23 @@ class MetricsRegistry:
             self._types[name] = cls
             return metric
 
-    def counter(self, name: str, labels: dict | None = None) -> Counter:
-        """The counter ``name`` (created on first access)."""
-        return self._get(Counter, name, labels)
+    def counter(self, name: str, labels: dict | None = None,
+                help: str | None = None) -> Counter:
+        """The counter ``name`` (created on first access); ``help``
+        becomes the series' ``# HELP`` text on first use."""
+        return self._get(Counter, name, labels, help)
 
-    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+    def gauge(self, name: str, labels: dict | None = None,
+              help: str | None = None) -> Gauge:
         """The gauge ``name`` (created on first access)."""
-        return self._get(Gauge, name, labels)
+        return self._get(Gauge, name, labels, help)
 
     def histogram(self, name: str, labels: dict | None = None,
-                  bounds=DEFAULT_TIME_BUCKETS) -> Histogram:
+                  bounds=DEFAULT_TIME_BUCKETS,
+                  help: str | None = None) -> Histogram:
         """The histogram ``name`` (created on first access; ``bounds``
         only applies at creation)."""
-        return self._get(Histogram, name, labels, bounds=bounds)
+        return self._get(Histogram, name, labels, help, bounds=bounds)
 
     # -- introspection -------------------------------------------------
     def __len__(self) -> int:
@@ -271,15 +301,22 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
             self._types.clear()
+            self._help.clear()
 
     # -- export --------------------------------------------------------
     def to_prometheus(self) -> str:
-        """Prometheus text exposition (one line per sample)."""
+        """Prometheus text exposition (one line per sample), with
+        ``# HELP``/``# TYPE`` headers and label-value escaping per the
+        text-format spec -- the daemon serves this to real scrapers."""
         lines: list[str] = []
         seen_types: set[str] = set()
         for metric in self:
             kind = type(metric).__name__.lower()
             if metric.name not in seen_types:
+                help_text = self._help.get(metric.name)
+                if help_text:
+                    lines.append(f"# HELP {metric.name} "
+                                 f"{_escape_help(help_text)}")
                 lines.append(f"# TYPE {metric.name} {kind}")
                 seen_types.add(metric.name)
             if isinstance(metric, Histogram):

@@ -1,0 +1,40 @@
+"""Live admission-control service (``repro serve``).
+
+The paper's §5 scheme is an *online* admission test: a stream enters
+only while the precomputed stochastic guarantee still holds.  This
+package turns the batch machinery (``AdmissionTable``, the persistent
+bound cache, ``SheddingPolicy``, ``MetricsRegistry``) into a
+long-running daemon:
+
+- :class:`~repro.serve.daemon.ServeDaemon` -- the thread-safe service
+  core: admits/releases streams against the locked
+  :class:`~repro.server.admission.AdmissionController`, applies the
+  shedding policy live as disk fail/recover events arrive, and keeps
+  every counter in a :class:`~repro.obs.metrics.MetricsRegistry`;
+- :mod:`~repro.serve.http` -- a stdlib ``ThreadingHTTPServer`` front
+  end exposing ``POST /admit``, ``POST /release``, ``POST /fault`` and
+  ``GET /metrics`` (Prometheus text exposition), ``GET /healthz``,
+  ``GET /state``;
+- :class:`~repro.serve.http.FaultFeed` -- replays a TOML
+  :class:`~repro.server.faults.FaultSchedule` against the daemon in
+  scaled wall-clock time;
+- :class:`~repro.serve.client.ServeClient` -- a ``urllib`` client used
+  by ``repro admit``, the serve smoke test and bench A23.
+
+Everything is standard library only; the daemon warm-starts by bulk
+loading the persistent bound cache
+(:meth:`repro.cache.PersistentCache.preload`), so a restart answers
+table builds without re-running a single Chernoff optimisation.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.http import FaultFeed, ServeHandle
+
+__all__ = [
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeHandle",
+    "FaultFeed",
+    "ServeClient",
+]

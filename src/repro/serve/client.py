@@ -1,0 +1,109 @@
+"""``urllib`` client for a running ``repro serve`` daemon.
+
+Used by the ``repro admit`` CLI, the serve smoke test and bench A23 --
+no third-party HTTP library, no connection pooling cleverness: one
+request per call against the daemon's thread-per-request server.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Thin JSON client bound to one daemon base URL."""
+
+    def __init__(self, url: str, timeout: float = 10.0) -> None:
+        if not url.startswith(("http://", "https://")):
+            raise ConfigurationError(
+                f"daemon url must start with http(s)://, got {url!r}")
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> tuple[int, bytes]:
+        data = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"}
+            if data else {})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            # 4xx carries a JSON error payload we want to surface, not
+            # an exception -- a 409 rejection is a *result* here.
+            with exc:
+                return exc.code, exc.read()
+
+    def _json(self, method: str, path: str,
+              body: dict | None = None) -> tuple[int, dict]:
+        status, payload = self._request(method, path, body)
+        try:
+            return status, json.loads(payload.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise ConfigurationError(
+                f"daemon returned non-JSON for {path}: "
+                f"{payload[:120]!r}") from None
+
+    # -- operations ----------------------------------------------------
+    def admit(self) -> dict:
+        """One admission attempt.  Returns ``{"admitted": bool, ...}``
+        -- a 409 rejection is reported, not raised."""
+        status, data = self._json("POST", "/admit")
+        data["admitted"] = status == 200
+        return data
+
+    def admit_until_reject(self, cap: int = 100_000) -> int:
+        """Admit repeatedly until the daemon says no; returns how many
+        were admitted.  ``cap`` guards against a daemon that never
+        rejects."""
+        admitted = 0
+        for _ in range(cap):
+            if not self.admit()["admitted"]:
+                return admitted
+            admitted += 1
+        raise ConfigurationError(
+            f"daemon still admitting after {cap} streams")
+
+    def release(self, stream: int | None = None) -> dict:
+        """Release ``stream`` (or the oldest active one)."""
+        body = {"stream": stream} if stream is not None else {}
+        status, data = self._json("POST", "/release", body)
+        if status != 200:
+            raise ConfigurationError(
+                f"release failed ({status}): {data.get('error')}")
+        return data
+
+    def fault(self, kind: str, disk: int = 0) -> dict:
+        """Inject one fault event."""
+        status, data = self._json("POST", "/fault",
+                                  {"kind": kind, "disk": disk})
+        if status != 200:
+            raise ConfigurationError(
+                f"fault failed ({status}): {data.get('error')}")
+        return data
+
+    def metrics(self) -> str:
+        """Prometheus text exposition from ``/metrics``."""
+        status, payload = self._request("GET", "/metrics")
+        if status != 200:
+            raise ConfigurationError(f"/metrics returned {status}")
+        return payload.decode("utf-8")
+
+    def healthz(self) -> dict:
+        """Liveness JSON from ``/healthz``."""
+        return self._json("GET", "/healthz")[1]
+
+    def state(self) -> dict:
+        """Full daemon state JSON from ``/state``."""
+        return self._json("GET", "/state")[1]

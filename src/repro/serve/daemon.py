@@ -1,0 +1,343 @@
+"""The admission daemon's service core (transport-agnostic).
+
+:class:`ServeDaemon` owns the run-time state of a live §5 admission
+server: the precomputed :class:`~repro.core.admission.AdmissionTable`,
+the locked :class:`~repro.server.admission.AdmissionController`, the
+:class:`~repro.server.faults.SheddingPolicy` applied when a disk
+fails, and the per-stream ledger that decides *which* streams are shed
+(newest first) and resumed (oldest first) -- the same semantics the
+event-driven :class:`~repro.server.server.MediaServer` implements per
+round boundary, applied here at fault-event time.
+
+All public methods are safe to call from any number of HTTP worker
+threads: stream bookkeeping runs under one daemon lock, and the
+controller's own re-entrant lock makes the admission test atomic.
+Every transition is counted in a
+:class:`~repro.obs.metrics.MetricsRegistry` and, when a tracer is
+enabled, emitted as structured trace events so ``GET /state`` can
+summarise the run through :class:`~repro.obs.RunTelemetry`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cache import get_persistent_cache
+from repro.core import AdmissionTable, GlitchModel, RoundServiceTimeModel
+from repro.core.farm import degraded_mode_n_max
+from repro.disk import quantum_viking_2_1
+from repro.distributions import Gamma
+from repro.errors import AdmissionError, ConfigurationError
+from repro.obs import MetricsRegistry, RunTelemetry
+from repro.obs.trace import NULL_TRACER
+from repro.server.admission import AdmissionController
+from repro.server.faults import SheddingPolicy
+
+__all__ = ["ServeConfig", "ServeDaemon"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Parameters of one daemon instance.
+
+    Defaults mirror the CLI's: the Table 1 Viking drive, the paper's
+    200 KB +/- 100 KB fragment law, one-second rounds, the paper's
+    tolerance pair ``epsilon = delta = 0.01`` and stream shape
+    ``(m, g) = (1200, 12)``.
+    """
+
+    spec: object = field(default_factory=quantum_viking_2_1)
+    size_dist: object = None
+    t: float = 1.0
+    epsilon: float = 0.01
+    delta: float = 0.01
+    m: int = 1200
+    g: int = 12
+    disks: int = 2
+    shed_mode: str = "pause"
+    #: Bulk-load the persistent bound cache before building the table.
+    preload: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_dist is None:
+            object.__setattr__(
+                self, "size_dist",
+                Gamma.from_mean_std(200_000.0, 100_000.0))
+        if self.disks < 1:
+            raise ConfigurationError(
+                f"disks must be >= 1, got {self.disks!r}")
+        if self.shed_mode not in ("pause", "drop"):
+            raise ConfigurationError(
+                f"shed_mode must be 'pause' or 'drop', "
+                f"got {self.shed_mode!r}")
+
+
+class ServeDaemon:
+    """Thread-safe admission service over a precomputed lookup table."""
+
+    def __init__(self, config: ServeConfig | None = None,
+                 registry: MetricsRegistry | None = None,
+                 tracer=NULL_TRACER) -> None:
+        self.config = config or ServeConfig()
+        self.registry = registry or MetricsRegistry()
+        self.tracer = tracer
+        self.started_at = time.time()
+
+        cfg = self.config
+        preloaded = 0
+        if cfg.preload:
+            persistent = get_persistent_cache()
+            if persistent is not None:
+                preloaded = persistent.preload()
+        build_start = time.perf_counter()
+        model = RoundServiceTimeModel.for_disk(cfg.spec, cfg.size_dist)
+        glitch = GlitchModel(model, cfg.t)
+        self.table = AdmissionTable(glitch, m=cfg.m, g=cfg.g)
+        self.table.build(plate_thresholds=(cfg.delta,),
+                         perror_thresholds=(cfg.epsilon,))
+        healthy, failure_proof = degraded_mode_n_max(
+            cfg.spec, cfg.size_dist, cfg.t, cfg.delta)
+        self.build_seconds = time.perf_counter() - build_start
+
+        self.controller = AdmissionController.from_table(
+            self.table, epsilon=cfg.epsilon, disks=cfg.disks)
+        self.policy = SheddingPolicy(failure_proof, mode=cfg.shed_mode)
+        self.healthy_n_max = healthy
+        self.degraded_n_max = failure_proof
+
+        #: Admission order, newest last -- shed from the tail, resume
+        #: from the head.  Guards: ``self._lock``.
+        self._streams: list[int] = []
+        self._paused: list[int] = []
+        self._failed_disks: set[int] = set()
+        self._next_stream = 0
+        self._lock = threading.Lock()
+
+        m = self.registry
+        self._admitted = m.counter(
+            "serve_admitted_total",
+            help="Streams admitted by the daemon")
+        self._rejected = m.counter(
+            "serve_rejected_total",
+            help="Admission requests denied (guarantee would break)")
+        self._released = m.counter(
+            "serve_released_total", help="Streams released by clients")
+        self._shed = m.counter(
+            "serve_shed_total",
+            help="Streams shed by the policy during degraded phases")
+        self._resumed = m.counter(
+            "serve_resumed_total",
+            help="Paused streams resumed after recovery")
+        self._dropped = m.counter(
+            "serve_dropped_total",
+            help="Streams dropped permanently (shed_mode=drop)")
+        self._active_gauge = m.gauge(
+            "serve_active_streams", help="Streams admitted right now")
+        self._paused_gauge = m.gauge(
+            "serve_paused_streams",
+            help="Streams paused awaiting recovery")
+        self._degraded_gauge = m.gauge(
+            "serve_degraded",
+            help="1 while a degraded-mode limit is in force")
+        self._admit_hist = m.histogram(
+            "serve_admit_seconds",
+            help="Latency of the admission test (lock + table lookup)")
+        m.gauge("serve_table_build_seconds",
+                help="Wall time of the admission-table build at "
+                "startup").set(self.build_seconds)
+        m.gauge("serve_n_max_per_disk",
+                help="Healthy per-disk stream limit in force"
+                ).set(self.controller.n_max_per_disk)
+        m.gauge("serve_degraded_n_max",
+                help="Failure-proof per-disk limit applied on disk "
+                "failure").set(failure_proof)
+        m.gauge("serve_cache_preloaded_entries",
+                help="Persistent-cache rows bulk-loaded at startup"
+                ).set(preloaded)
+        if tracer.enabled:
+            tracer.start_run(disks=cfg.disks, t=cfg.t,
+                             epsilon=cfg.epsilon, delta=cfg.delta,
+                             n_max=self.controller.n_max_per_disk,
+                             degraded_n_max=failure_proof,
+                             shed_mode=cfg.shed_mode)
+
+    # -- client operations ---------------------------------------------
+    def _count_request(self, op: str) -> None:
+        self.registry.counter(
+            "serve_requests_total", {"op": op},
+            help="Requests answered, by operation").inc()
+
+    def admit(self) -> dict:
+        """Admit one stream; returns its ticket.
+
+        Raises :class:`~repro.errors.AdmissionError` when one more
+        stream would break the per-disk guarantee -- the HTTP layer
+        maps that to a 409 rather than treating it as a failure.
+        """
+        self._count_request("admit")
+        start = time.perf_counter()
+        try:
+            with self._lock:
+                self.controller.admit()
+                stream = self._next_stream
+                self._next_stream += 1
+                self._streams.append(stream)
+                active = self.controller.active
+        except AdmissionError:
+            self._rejected.inc()
+            raise
+        finally:
+            self._admit_hist.observe(time.perf_counter() - start)
+        self._admitted.inc()
+        self._active_gauge.set(active)
+        if self.tracer.enabled:
+            self.tracer.emit("stream_admit", stream=stream,
+                             object=None, start_round=None)
+        return {"stream": stream, "active": active}
+
+    def release(self, stream: int | None = None) -> dict:
+        """Release a stream (by ticket, or the oldest active one)."""
+        self._count_request("release")
+        with self._lock:
+            if not self._streams:
+                raise ConfigurationError("no active stream to release")
+            if stream is None:
+                stream = self._streams.pop(0)
+            else:
+                try:
+                    self._streams.remove(int(stream))
+                except ValueError:
+                    raise ConfigurationError(
+                        f"stream {stream!r} is not active") from None
+                stream = int(stream)
+            self.controller.release()
+            active = self.controller.active
+        self._released.inc()
+        self._active_gauge.set(active)
+        return {"stream": stream, "active": active}
+
+    # -- fault handling ------------------------------------------------
+    def fault(self, kind: str, disk: int = 0) -> dict:
+        """Apply one fault event to the live controller.
+
+        ``disk_fail`` degrades the admission limit and sheds the
+        newest streams down to the policy target; ``disk_recover``
+        restores the healthy limit and (pause mode) resumes paused
+        streams oldest-first.  Other kinds are counted and traced but
+        have no admission-side effect (they perturb service times,
+        which the daemon does not simulate).
+        """
+        self.registry.counter(
+            "serve_faults_total", {"kind": str(kind)},
+            help="Fault events applied, by kind").inc()
+        if self.tracer.enabled:
+            self.tracer.emit("fault", t=time.time() - self.started_at,
+                             desc=f"{kind} disk={disk}")
+        if kind == "disk_fail":
+            return self._apply_fail(int(disk))
+        if kind == "disk_recover":
+            return self._apply_recover(int(disk))
+        if kind in ("slow_disk", "recalibration_storm"):
+            return {"applied": False, "kind": kind}
+        raise ConfigurationError(f"unknown fault kind {kind!r}")
+
+    def _apply_fail(self, disk: int) -> dict:
+        cfg = self.config
+        if not (0 <= disk < cfg.disks):
+            raise ConfigurationError(
+                f"disk {disk} out of range [0, {cfg.disks})")
+        shed: list[int] = []
+        with self._lock:
+            self._failed_disks.add(disk)
+            self.controller.degrade(self.degraded_n_max)
+            target = self.policy.target(cfg.disks)
+            while self.controller.active > target and self._streams:
+                victim = self._streams.pop()  # newest first
+                self.controller.release()
+                shed.append(victim)
+            if self.policy.mode == "pause":
+                # Keep the paused ledger in admission order (ticket
+                # ids are monotonic), so recovery resumes oldest
+                # first.
+                self._paused.extend(shed)
+                self._paused.sort()
+            active, paused = self.controller.active, len(self._paused)
+        self._shed.inc(len(shed))
+        if self.policy.mode == "drop":
+            self._dropped.inc(len(shed))
+        self._active_gauge.set(active)
+        self._paused_gauge.set(paused)
+        self._degraded_gauge.set(1)
+        if self.tracer.enabled:
+            for victim in shed:
+                self.tracer.emit("stream_shed", round=None,
+                                 stream=victim,
+                                 action=self.policy.mode)
+        return {"applied": True, "kind": "disk_fail", "disk": disk,
+                "shed": len(shed), "active": active}
+
+    def _apply_recover(self, disk: int) -> dict:
+        resumed: list[int] = []
+        with self._lock:
+            self._failed_disks.discard(disk)
+            if self._failed_disks:
+                # Another disk is still down: stay degraded.
+                return {"applied": True, "kind": "disk_recover",
+                        "disk": disk, "resumed": 0,
+                        "active": self.controller.active}
+            self.controller.restore()
+            while self._paused and self.controller.would_admit():
+                stream = self._paused.pop(0)  # oldest first
+                self.controller.admit()
+                self._streams.append(stream)
+                resumed.append(stream)
+            active, paused = self.controller.active, len(self._paused)
+        self._resumed.inc(len(resumed))
+        self._active_gauge.set(active)
+        self._paused_gauge.set(paused)
+        self._degraded_gauge.set(0)
+        if self.tracer.enabled:
+            for stream in resumed:
+                self.tracer.emit("stream_resume", round=None,
+                                 stream=stream)
+        return {"applied": True, "kind": "disk_recover", "disk": disk,
+                "resumed": len(resumed), "active": active}
+
+    # -- views ---------------------------------------------------------
+    def healthz(self) -> dict:
+        """Liveness summary (cheap: one controller snapshot)."""
+        snap = self.controller.snapshot()
+        return {"status": "degraded" if snap["degraded"] else "ok",
+                "active": snap["active"],
+                "capacity": snap["capacity"],
+                "uptime_seconds": time.time() - self.started_at}
+
+    def state(self) -> dict:
+        """Full JSON state: controller snapshot, policy, table entries,
+        failed disks, and (when tracing) the RunTelemetry digest of the
+        recorded events."""
+        with self._lock:
+            controller = self.controller.snapshot()
+            paused = list(self._paused)
+            failed = sorted(self._failed_disks)
+        state = {
+            "controller": controller,
+            "policy": {"mode": self.policy.mode,
+                       "degraded_n_max": self.policy.degraded_n_max,
+                       "target": self.policy.target(self.config.disks)},
+            "table": self.table.entries(),
+            "paused_streams": paused,
+            "failed_disks": failed,
+            "uptime_seconds": time.time() - self.started_at,
+            "build_seconds": self.build_seconds,
+        }
+        if self.tracer.enabled:
+            telemetry = RunTelemetry.from_records(self.tracer.records())
+            state["telemetry"] = {
+                "faults": len(telemetry.faults),
+                "sheds": len(telemetry.sheds),
+                "rounds": len(telemetry.rounds),
+            }
+        return state

@@ -1,0 +1,235 @@
+"""HTTP front end for :class:`~repro.serve.daemon.ServeDaemon`.
+
+A stdlib ``ThreadingHTTPServer`` (one thread per request, no external
+dependencies) exposing:
+
+- ``POST /admit``   -> 200 ``{"stream": ..., "active": ...}`` or
+  409 ``{"error": ...}`` when admission would break the guarantee;
+- ``POST /release`` -> 200; JSON body ``{"stream": n}`` optional
+  (default: oldest active stream);
+- ``POST /fault``   -> 200; JSON body ``{"kind": "disk_fail",
+  "disk": 0}`` applies the event to the live controller;
+- ``GET /metrics``  -> Prometheus text exposition of the daemon's
+  registry (version 0.0.4 content type);
+- ``GET /healthz``  -> liveness JSON;
+- ``GET /state``    -> full controller/policy/table JSON view.
+
+:class:`ServeHandle` owns the server lifecycle: ``start()`` spawns the
+accept loop thread, ``stop()`` shuts it down and joins every request
+thread (``block_on_close``), so a clean exit leaks nothing -- the CI
+smoke test asserts exactly that.  :class:`FaultFeed` replays a TOML
+:class:`~repro.server.faults.FaultSchedule` against the daemon in
+scaled wall-clock time.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import AdmissionError, ConfigurationError, ReproError
+from repro.serve.daemon import ServeDaemon
+
+__all__ = ["ServeHandle", "FaultFeed", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_MAX_BODY = 64 * 1024
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    """Request-per-thread server that joins its workers on close."""
+
+    daemon_threads = False
+    block_on_close = True
+    #: Fast restarts over leaked-port paranoia: tests bind ephemeral
+    #: ports, the CLI binds user-chosen ones.
+    allow_reuse_address = True
+
+    def __init__(self, address, daemon: ServeDaemon) -> None:
+        super().__init__(address, _Handler)
+        self.daemon = daemon
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the daemon; all responses are JSON except
+    ``/metrics``."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        """Quiet by default; the metrics registry is the access log."""
+
+    # -- plumbing ------------------------------------------------------
+    def _send(self, status: int, payload: bytes,
+              content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, data: dict) -> None:
+        self._send(status, (json.dumps(data) + "\n").encode("utf-8"))
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        if length > _MAX_BODY:
+            raise ConfigurationError(
+                f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw.decode("utf-8")) if raw.strip() else {}
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ConfigurationError(
+                f"request body is not JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"request body must be a JSON object, got {data!r}")
+        return data
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:
+        """Read-only views: metrics, health, state."""
+        daemon = self.server.daemon
+        if self.path == "/metrics":
+            text = daemon.registry.to_prometheus()
+            self._send(200, text.encode("utf-8"),
+                       content_type=PROMETHEUS_CONTENT_TYPE)
+        elif self.path == "/healthz":
+            self._send_json(200, daemon.healthz())
+        elif self.path == "/state":
+            self._send_json(200, daemon.state())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:
+        """Mutating operations: admit, release, fault."""
+        daemon = self.server.daemon
+        try:
+            body = self._read_body()
+            if self.path == "/admit":
+                self._send_json(200, daemon.admit())
+            elif self.path == "/release":
+                self._send_json(200, daemon.release(body.get("stream")))
+            elif self.path == "/fault":
+                kind = body.get("kind")
+                if not kind:
+                    raise ConfigurationError(
+                        "fault body needs a 'kind' key")
+                self._send_json(
+                    200, daemon.fault(str(kind),
+                                      int(body.get("disk", 0))))
+            else:
+                self._send_json(404,
+                                {"error": f"no route {self.path!r}"})
+        except AdmissionError as exc:
+            self._send_json(409, {"error": str(exc), "admitted": False})
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+
+
+class ServeHandle:
+    """Lifecycle wrapper: daemon + HTTP server + accept-loop thread."""
+
+    def __init__(self, daemon: ServeDaemon, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.daemon = daemon
+        self.server = _ServeHTTPServer((host, port), daemon)
+        self.host, self.port = self.server.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServeHandle":
+        """Spawn the accept loop; returns self for chaining."""
+        if self._thread is not None:
+            raise ConfigurationError("serve handle already started")
+        self._thread = threading.Thread(
+            target=self.server.serve_forever,
+            name=f"repro-serve:{self.port}")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, join the accept loop and every request
+        thread, close the listening socket.  Idempotent."""
+        if self._thread is not None:
+            self.server.shutdown()
+            self._thread.join()
+            self._thread = None
+        self.server.server_close()
+
+    def __enter__(self) -> "ServeHandle":
+        """Start on entry (``with ServeHandle(daemon) as handle:``)."""
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        """Always stop, even when the body raised."""
+        self.stop()
+
+
+class FaultFeed:
+    """Replays a :class:`~repro.server.faults.FaultSchedule` against a
+    live daemon.
+
+    Event times are interpreted as seconds and multiplied by
+    ``time_scale`` -- a schedule authored in round units (the CLI
+    convention, one round = ``t`` seconds) replayed with
+    ``time_scale=0.01`` injects a round-300 failure after 3 wall
+    seconds.  The feed runs in its own thread; ``stop()`` cancels any
+    remaining events and joins it.
+    """
+
+    def __init__(self, daemon: ServeDaemon, schedule,
+                 time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ConfigurationError(
+                f"time_scale must be positive, got {time_scale!r}")
+        self.daemon = daemon
+        self.events = list(schedule)
+        self.time_scale = float(time_scale)
+        self.applied = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _run(self) -> None:
+        elapsed = 0.0
+        for event in self.events:
+            delay = event.t * self.time_scale - elapsed
+            if delay > 0 and self._stop.wait(delay):
+                return
+            elapsed = event.t * self.time_scale
+            if self._stop.is_set():
+                return
+            self.daemon.fault(event.kind,
+                              event.disk if event.disk is not None
+                              else 0)
+            self.applied += 1
+
+    def start(self) -> "FaultFeed":
+        """Spawn the replay thread; returns self for chaining."""
+        if self._thread is not None:
+            raise ConfigurationError("fault feed already started")
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve-faults")
+        self._thread.start()
+        return self
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the replay to finish."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def stop(self) -> None:
+        """Cancel pending events and join the thread.  Idempotent."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None

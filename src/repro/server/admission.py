@@ -10,11 +10,20 @@ n_max``.
 
 Lookup tables with precomputed ``n_max`` per tolerance threshold (the §5
 scheme) plug in through :meth:`AdmissionController.from_table`.
+
+The controller is thread-safe: the live daemon (``repro serve``) drives
+it from many HTTP worker threads at once, so the admission test and the
+counter increment must be one atomic step -- an unlocked
+check-then-increment would let two threads both pass the
+``ceil((active+1)/disks) <= n_max`` test and overshoot the analytic
+guarantee.  All state transitions (``admit``/``release``/``degrade``/
+``restore``) take the same re-entrant lock.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 
 from repro.core.admission import AdmissionTable
 from repro.errors import AdmissionError, ConfigurationError
@@ -35,6 +44,10 @@ class AdmissionController:
         self.disks = int(disks)
         self._active = 0
         self._healthy_n_max = self.n_max_per_disk
+        self._degraded = False
+        # Re-entrant: admit() calls would_admit() under the lock, and
+        # instrumented subclasses/tests may do the same.
+        self._lock = threading.RLock()
         #: Total admission requests seen.
         self.requests = 0
         #: Requests turned away.
@@ -60,35 +73,55 @@ class AdmissionController:
         (``n_max_per_disk * disks``)."""
         return self.n_max_per_disk * self.disks
 
+    @property
+    def healthy_n_max(self) -> int:
+        """The per-disk limit in force while every disk is healthy."""
+        return self._healthy_n_max
+
     def would_admit(self) -> bool:
         """Whether one more stream fits without breaking the per-disk
         guarantee."""
-        return math.ceil((self._active + 1) / self.disks) \
-            <= self.n_max_per_disk
+        with self._lock:
+            return math.ceil((self._active + 1) / self.disks) \
+                <= self.n_max_per_disk
 
     def admit(self) -> None:
-        """Admit a stream or raise :class:`AdmissionError`."""
-        self.requests += 1
-        if not self.would_admit():
-            self.rejections += 1
-            raise AdmissionError(
-                f"admission denied: {self._active} active streams, "
-                f"per-disk limit {self.n_max_per_disk} on "
-                f"{self.disks} disk(s)",
-                active_streams=self._active, limit=self.capacity)
-        self._active += 1
+        """Admit a stream or raise :class:`AdmissionError`.
+
+        Check and increment happen atomically under the controller
+        lock, so concurrent callers can never jointly overshoot the
+        per-disk guarantee.
+        """
+        with self._lock:
+            self.requests += 1
+            if not self.would_admit():
+                self.rejections += 1
+                raise AdmissionError(
+                    f"admission denied: {self._active} active streams, "
+                    f"per-disk limit {self.n_max_per_disk} on "
+                    f"{self.disks} disk(s)",
+                    active_streams=self._active, limit=self.capacity)
+            self._active += 1
 
     def release(self) -> None:
         """A stream terminated."""
-        if self._active <= 0:
-            raise ConfigurationError("release() without an active stream")
-        self._active -= 1
+        with self._lock:
+            if self._active <= 0:
+                raise ConfigurationError(
+                    "release() without an active stream")
+            self._active -= 1
 
     # ------------------------------------------------------------------
     @property
     def degraded(self) -> bool:
-        """Whether a degraded-mode limit is currently in force."""
-        return self.n_max_per_disk != self._healthy_n_max
+        """Whether a degraded-mode limit is currently in force.
+
+        Tracked as an explicit flag set by :meth:`degrade` and cleared
+        by :meth:`restore` -- comparing the current limit against the
+        healthy one would misreport a degraded phase whose bound
+        happens to equal the healthy limit.
+        """
+        return self._degraded
 
     def degrade(self, n_max_per_disk: int) -> None:
         """Lower the per-disk limit to the degraded-mode bound.
@@ -102,11 +135,31 @@ class AdmissionController:
         if n_max_per_disk < 0:
             raise ConfigurationError(
                 f"n_max_per_disk must be >= 0, got {n_max_per_disk!r}")
-        self.n_max_per_disk = int(n_max_per_disk)
+        with self._lock:
+            self.n_max_per_disk = int(n_max_per_disk)
+            self._degraded = True
 
     def restore(self) -> None:
         """Return to the healthy admission limit (disk recovered)."""
-        self.n_max_per_disk = self._healthy_n_max
+        with self._lock:
+            self.n_max_per_disk = self._healthy_n_max
+            self._degraded = False
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Consistent point-in-time view of the controller state (one
+        lock acquisition), for the daemon's ``/state`` endpoint."""
+        with self._lock:
+            return {
+                "active": self._active,
+                "capacity": self.capacity,
+                "n_max_per_disk": self.n_max_per_disk,
+                "healthy_n_max": self._healthy_n_max,
+                "disks": self.disks,
+                "degraded": self._degraded,
+                "requests": self.requests,
+                "rejections": self.rejections,
+            }
 
     def __repr__(self) -> str:
         return (f"AdmissionController(active={self._active}/"

@@ -478,6 +478,43 @@ def _simulate_disk_phases(task):
     return tuple(results)
 
 
+def _rejoin_plan(disks: int, n_per_disk: int, kept: int, span: int,
+                 rejoin_rounds: int) -> list[tuple[str, tuple[int, ...],
+                                                   int]]:
+    """Recovered-phase plan entries for the post-recovery rejoin.
+
+    The recovered phase starts from the *shed* populations -- every
+    disk back in service at the degraded ``kept`` level -- and ramps
+    linearly back to ``n_per_disk`` over ``rejoin_rounds`` rounds
+    (``0`` holds the shed level for the rest of the run: drop-mode
+    semantics, where shed streams never return and no arrival process
+    refills the farm).  Consecutive rounds at the same level are merged
+    into one entry.
+    """
+    if span <= 0:
+        return [("recovered", (kept,) * disks, 0)]
+    if rejoin_rounds <= 0 or kept >= n_per_disk:
+        return [("recovered", (kept,) * disks, span)]
+    entries: list[tuple[str, tuple[int, ...], int]] = []
+    level_rounds: list[int] = []
+    for step in range(min(rejoin_rounds, span)):
+        fraction = (step + 1) / rejoin_rounds
+        level_rounds.append(
+            kept + math.ceil(fraction * (n_per_disk - kept)))
+    remaining = span - len(level_rounds)
+    if remaining > 0:
+        level_rounds.extend([n_per_disk] * remaining)
+    start = 0
+    for index in range(1, len(level_rounds) + 1):
+        if (index == len(level_rounds)
+                or level_rounds[index] != level_rounds[start]):
+            entries.append(("recovered",
+                            (level_rounds[start],) * disks,
+                            index - start))
+            start = index
+    return entries
+
+
 def simulate_farm_rounds(spec: DiskSpec, size_dist: Distribution, *,
                          disks: int = 2, n_per_disk: int, t: float,
                          rounds: int, fail_disk: int | None = 0,
@@ -485,6 +522,8 @@ def simulate_farm_rounds(spec: DiskSpec, size_dist: Distribution, *,
                          recover_round: int | None = None,
                          shedding: bool = True,
                          degraded_n_max: int | None = None,
+                         instant_rejoin: bool = False,
+                         rejoin_rounds: int = 0,
                          seed: int = 0,
                          jobs: int | None = None) -> FarmRoundsEstimate:
     """Farm-level vectorised Monte-Carlo through a mirrored failover.
@@ -496,9 +535,19 @@ def simulate_farm_rounds(spec: DiskSpec, size_dist: Distribution, *,
     recover_round)`` with the per-disk populations of
     :func:`repro.core.farm.failover_phase_batches` (failed disk idle,
     survivor doubled, shedding caps applied), and recovered rounds
-    ``[recover_round, rounds)`` back at ``n_per_disk``.  With
-    ``fail_round=None`` (or ``fail_disk=None``) the whole run is one
-    healthy phase.
+    ``[recover_round, rounds)``.  With ``fail_round=None`` (or
+    ``fail_disk=None``) the whole run is one healthy phase.
+
+    The recovered phase starts from the *shed* populations: every disk
+    rejoins at the degraded ``kept`` level and, with ``rejoin_rounds >
+    0``, ramps linearly back to ``n_per_disk`` (an arrival process
+    refilling the freed capacity).  ``rejoin_rounds=0`` (default) holds
+    the shed level -- the event engine's drop-mode semantics, where
+    shed streams never return.  ``instant_rejoin=True`` pins the old
+    behaviour -- the full ``n_per_disk`` population reappears at
+    ``recover_round`` -- which matches the event engine's pause-mode
+    shedding (every paused stream resumes at the first healthy round
+    boundary).
 
     Where the event-driven scenario walks every request through the
     kernel calendar, this path batches each (disk, phase) into
@@ -518,6 +567,13 @@ def simulate_farm_rounds(spec: DiskSpec, size_dist: Distribution, *,
     if fail_disk is not None and not (0 <= fail_disk < disks):
         raise ConfigurationError(
             f"fail_disk {fail_disk} out of range [0, {disks})")
+    if rejoin_rounds < 0:
+        raise ConfigurationError(
+            f"rejoin_rounds must be >= 0, got {rejoin_rounds!r}")
+    if instant_rejoin and rejoin_rounds:
+        raise ConfigurationError(
+            "instant_rejoin=True and rejoin_rounds are mutually "
+            "exclusive (an instant rejoin has no ramp)")
     failing = fail_disk is not None and fail_round is not None
     if failing:
         if not (0 <= fail_round <= rounds):
@@ -532,10 +588,19 @@ def simulate_farm_rounds(spec: DiskSpec, size_dist: Distribution, *,
         healthy_batches, degraded_batches = failover_phase_batches(
             disks, n_per_disk, degraded_n_max=degraded_n_max,
             fail_disk=fail_disk, shedding=shedding)
+        recovered_span = rounds - recover_end
+        if instant_rejoin:
+            recovered_plan = [("recovered", healthy_batches,
+                               recovered_span)]
+        else:
+            kept = (min(n_per_disk, degraded_n_max) if shedding
+                    else n_per_disk)
+            recovered_plan = _rejoin_plan(disks, n_per_disk, kept,
+                                          recovered_span, rejoin_rounds)
         phase_plan = [
             ("healthy", healthy_batches, fail_round),
             ("degraded", degraded_batches, recover_end - fail_round),
-            ("recovered", healthy_batches, rounds - recover_end),
+            *recovered_plan,
         ]
     else:
         phase_plan = [("healthy", (n_per_disk,) * disks, rounds)]
@@ -554,23 +619,46 @@ def simulate_farm_rounds(spec: DiskSpec, size_dist: Distribution, *,
     else:
         per_disk = [_simulate_disk_phases(task) for task in tasks]
 
-    phases = []
+    # Group consecutive plan entries by phase name (a rejoin ramp
+    # splits "recovered" into several entries) and aggregate both the
+    # farm-level phase records and the per-disk raw tuples, so the
+    # estimate keeps its three-phase shape regardless of ramp depth.
+    groups: list[tuple[str, list[int], int]] = []
     for index, (name, _batches, phase_rounds) in enumerate(phase_plan):
+        if groups and groups[-1][0] == name:
+            groups[-1][1].append(index)
+            groups[-1] = (name, groups[-1][1],
+                          groups[-1][2] + phase_rounds)
+        else:
+            groups.append((name, [index], phase_rounds))
+
+    phases = []
+    grouped_per_disk = []
+    for disk in range(disks):
+        row = []
+        for _name, indices, _rounds in groups:
+            totals = [0, 0, 0, 0]
+            for index in indices:
+                for position, value in enumerate(per_disk[disk][index]):
+                    totals[position] += value
+            row.append(tuple(totals))
+        grouped_per_disk.append(tuple(row))
+    for group_index, (name, _indices, group_rounds) in enumerate(groups):
         disk_rounds = late = requests = glitches = 0
         for disk in range(disks):
             d_rounds, d_late, d_requests, d_glitches = \
-                per_disk[disk][index]
+                grouped_per_disk[disk][group_index]
             disk_rounds += d_rounds
             late += d_late
             requests += d_requests
             glitches += d_glitches
         phases.append(FarmPhaseStats(
-            name=name, rounds=phase_rounds, disk_rounds=disk_rounds,
+            name=name, rounds=group_rounds, disk_rounds=disk_rounds,
             late_disk_rounds=late, requests=requests, glitches=glitches))
     return FarmRoundsEstimate(
         disks=disks, n_per_disk=n_per_disk, t=t,
         fail_disk=fail_disk if failing else None, shedding=shedding,
-        phases=tuple(phases), per_disk=tuple(per_disk))
+        phases=tuple(phases), per_disk=tuple(grouped_per_disk))
 
 
 @dataclass(frozen=True)

@@ -121,6 +121,15 @@ class TestEmpirical:
         with pytest.raises(ConfigurationError):
             Empirical([1.0, math.nan])
 
+    def test_distinct_subnormal_samples_are_not_degenerate(self):
+        # Distinct samples this tiny make np.var underflow to exactly
+        # 0.0; degeneracy must be judged on the values, not the
+        # variance.
+        e = Empirical([0.0, 7.585714701943343e-242, 2.2250738585e-313])
+        assert e.var() == 0.0
+        assert e.log_mgf(0.0) == pytest.approx(0.0)
+        assert e.log_mgf(0.1) >= 0.1 * e.mean() - 1e-9
+
 
 class TestDeterministic:
     def test_point_mass(self):

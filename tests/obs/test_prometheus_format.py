@@ -1,0 +1,259 @@
+"""Prometheus text exposition-format conformance.
+
+The ``repro serve`` daemon hands :meth:`MetricsRegistry.to_prometheus`
+to real scrapers, so the output must be *parseable*, not just
+eyeballable: label values escaped (backslash, quote, newline), every
+series announced by ``# TYPE`` (and ``# HELP`` when registered),
+histograms cumulative with a ``+Inf`` bucket and matching
+``_sum``/``_count``.  The checker below re-parses every line with a
+strict grammar instead of substring assertions.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+
+NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+#: One escaped label value: any run of non-special chars or a legal
+#: escape sequence (\\, \", \n) -- a raw quote/backslash/newline is a
+#: parse error.
+VALUE = r'(?:[^"\\\n]|\\\\|\\"|\\n)*'
+SAMPLE_RE = re.compile(
+    rf'^({NAME})(?:\{{({NAME}="{VALUE}"(?:,{NAME}="{VALUE}")*)\}})?'
+    rf' (-?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?|inf|nan))$', re.IGNORECASE)
+LABEL_RE = re.compile(rf'({NAME})="({VALUE})"(?:,|$)')
+HELP_RE = re.compile(rf'^# HELP ({NAME}) ((?:[^\\\n]|\\\\|\\n)*)$')
+TYPE_RE = re.compile(rf'^# TYPE ({NAME}) (counter|gauge|histogram)$')
+
+
+def unescape(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        if value[i] == "\\":
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+            i += 2
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+def parse_exposition(text: str) -> dict:
+    """Strictly parse exposition text.
+
+    Returns ``{"samples": {name+labels: float}, "types": {name: kind},
+    "help": {name: text}, "labels": {name+labels: dict}}``.  Raises
+    AssertionError on any line the grammar rejects, on a ``# TYPE``
+    after a sample of that series, or on a duplicate sample.
+    """
+    samples: dict = {}
+    labels_by_key: dict = {}
+    types: dict = {}
+    helps: dict = {}
+    announced_after_sample: list = []
+    for line in text.splitlines():
+        assert line == line.rstrip(), f"trailing whitespace: {line!r}"
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            match = HELP_RE.match(line)
+            assert match, f"malformed HELP line: {line!r}"
+            helps[match.group(1)] = match.group(2)
+            continue
+        if line.startswith("# TYPE "):
+            match = TYPE_RE.match(line)
+            assert match, f"malformed TYPE line: {line!r}"
+            name = match.group(1)
+            assert name not in types, f"duplicate TYPE for {name}"
+            if any(key.split("{")[0].startswith(name)
+                   for key in samples):
+                announced_after_sample.append(name)
+            types[name] = match.group(2)
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        name, raw_labels, raw_value = match.groups()
+        label_dict = {}
+        if raw_labels:
+            consumed = sum(
+                len(m.group(0)) for m in LABEL_RE.finditer(raw_labels))
+            assert consumed == len(raw_labels), (
+                f"unparseable label section: {raw_labels!r}")
+            for m in LABEL_RE.finditer(raw_labels):
+                label_dict[m.group(1)] = unescape(m.group(2))
+        key = name + (
+            "{" + ",".join(f"{k}={v!r}"
+                           for k, v in sorted(label_dict.items())) + "}"
+            if label_dict else "")
+        assert key not in samples, f"duplicate sample: {key}"
+        samples[key] = float(raw_value)
+        labels_by_key[key] = label_dict
+    assert not announced_after_sample, (
+        f"TYPE after samples for {announced_after_sample}")
+    return {"samples": samples, "types": types, "help": helps,
+            "labels": labels_by_key}
+
+
+class TestLabelEscaping:
+    def test_quotes_backslashes_newlines_round_trip(self):
+        registry = MetricsRegistry()
+        nasty = 'say "hi"\\path\nnext'
+        registry.counter("requests_total", {"query": nasty}).inc(3)
+        parsed = parse_exposition(registry.to_prometheus())
+        [key] = [k for k in parsed["samples"] if "query" in k]
+        assert parsed["labels"][key]["query"] == nasty
+        assert parsed["samples"][key] == 3.0
+
+    def test_raw_specials_never_leak_into_the_text(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", {"q": 'a"b\\c\nd'}).set(1)
+        text = registry.to_prometheus()
+        for line in text.splitlines():
+            # No literal newline can survive inside a line, and every
+            # quote inside the label section must be escaped or a
+            # delimiter.
+            assert "\n" not in line
+            inner = line[line.index('{') + 1:line.rindex('}')] \
+                if "{" in line else ""
+            stripped = inner.replace('\\\\', '').replace('\\"', '')
+            assert stripped.count('"') % 2 == 0
+
+    def test_multiple_escaped_labels_sorted_and_parseable(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total",
+                         {"b": 'x\\', "a": '"q"'}).inc()
+        parsed = parse_exposition(registry.to_prometheus())
+        [key] = [k for k in parsed["samples"] if "{" in k]
+        assert parsed["labels"][key] == {"a": '"q"', "b": "x\\"}
+
+    def test_label_names_are_validated(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("ok_total", {"bad-name": "v"})
+
+
+class TestHelpAndType:
+    def test_help_and_type_precede_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("admits_total",
+                         help="Streams admitted by the daemon").inc()
+        registry.gauge("active_streams", help="Currently active")
+        text = registry.to_prometheus()
+        parsed = parse_exposition(text)
+        assert parsed["types"] == {"admits_total": "counter",
+                                   "active_streams": "gauge"}
+        assert parsed["help"]["admits_total"] == \
+            "Streams admitted by the daemon"
+        lines = text.splitlines()
+        assert lines.index("# HELP admits_total Streams admitted by "
+                           "the daemon") \
+            < lines.index("# TYPE admits_total counter")
+
+    def test_help_escapes_backslash_and_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", help="line1\nline2\\end").inc()
+        parsed = parse_exposition(registry.to_prometheus())
+        assert parsed["help"]["c_total"] == "line1\\nline2\\\\end"
+
+    def test_type_emitted_once_per_labelled_family(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", {"op": "admit"}).inc(2)
+        registry.counter("ops_total", {"op": "release"}).inc(5)
+        text = registry.to_prometheus()
+        assert text.count("# TYPE ops_total counter") == 1
+        parsed = parse_exposition(text)
+        assert parsed["samples"]["ops_total{op='admit'}"] == 2.0
+        assert parsed["samples"]["ops_total{op='release'}"] == 5.0
+
+    def test_help_without_registration_is_absent(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet_total").inc()
+        parsed = parse_exposition(registry.to_prometheus())
+        assert "quiet_total" not in parsed["help"]
+        assert parsed["types"]["quiet_total"] == "counter"
+
+
+class TestHistogramExposition:
+    def test_cumulative_buckets_inf_sum_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", bounds=(0.1, 1.0, 5.0),
+                                  help="Admit latency")
+        for value in (0.05, 0.5, 0.5, 2.0, 50.0):
+            hist.observe(value)
+        parsed = parse_exposition(registry.to_prometheus())
+        samples = parsed["samples"]
+        assert parsed["types"]["lat_seconds"] == "histogram"
+        assert samples["lat_seconds_bucket{le='0.1'}"] == 1.0
+        assert samples["lat_seconds_bucket{le='1'}"] == 3.0
+        assert samples["lat_seconds_bucket{le='5'}"] == 4.0
+        assert samples["lat_seconds_bucket{le='+Inf'}"] == 5.0
+        assert samples["lat_seconds_count"] == 5.0
+        assert samples["lat_seconds_sum"] == pytest.approx(53.05)
+
+    def test_bucket_counts_monotone_and_inf_equals_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds")
+        rng_values = [10 ** (i % 7 - 5) * 1.3 for i in range(100)]
+        for value in rng_values:
+            hist.observe(value)
+        parsed = parse_exposition(registry.to_prometheus())
+        buckets = [(key, value)
+                   for key, value in parsed["samples"].items()
+                   if key.startswith("h_seconds_bucket")]
+        counts = [value for _k, value in buckets]
+        assert counts == sorted(counts)
+        assert counts[-1] == parsed["samples"]["h_seconds_count"] == 100
+        le_values = [parsed["labels"][key]["le"] for key, _v in buckets]
+        assert le_values[-1] == "+Inf"
+        assert [float(le) for le in le_values[:-1]] == \
+            sorted(float(le) for le in le_values[:-1])
+
+    def test_labelled_histogram_keeps_labels_on_every_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("rt_seconds", {"disk": "0"},
+                           bounds=(1.0,)).observe(0.5)
+        parsed = parse_exposition(registry.to_prometheus())
+        for suffix in ("_bucket", "_sum", "_count"):
+            matching = [key for key in parsed["samples"]
+                        if key.startswith(f"rt_seconds{suffix}{{")]
+            assert matching, f"missing rt_seconds{suffix} series"
+            for key in matching:
+                assert parsed["labels"][key]["disk"] == "0"
+
+    def test_infinite_observation_lands_in_inf_bucket_only(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("x_seconds", bounds=(1.0,))
+        hist.observe(math.inf)
+        parsed = parse_exposition(registry.to_prometheus())
+        assert parsed["samples"]["x_seconds_bucket{le='1'}"] == 0.0
+        assert parsed["samples"]["x_seconds_bucket{le='+Inf'}"] == 1.0
+
+
+class TestWholeDocument:
+    def test_full_registry_parses_strictly(self):
+        registry = MetricsRegistry()
+        registry.counter("serve_requests_total", {"op": "admit"},
+                         help="Requests by op").inc(7)
+        registry.counter("serve_requests_total", {"op": "release"}).inc(2)
+        registry.gauge("serve_active_streams",
+                       help="Admitted right now").set(5)
+        registry.histogram("serve_admit_seconds", bounds=(0.001, 0.01),
+                           help="Admit call latency").observe(0.002)
+        text = registry.to_prometheus()
+        assert text.endswith("\n") and not text.endswith("\n\n")
+        parsed = parse_exposition(text)
+        assert parsed["types"] == {
+            "serve_requests_total": "counter",
+            "serve_active_streams": "gauge",
+            "serve_admit_seconds": "histogram",
+        }
+        assert parsed["samples"]["serve_active_streams"] == 5.0
+
+    def test_empty_registry_is_empty_document(self):
+        assert MetricsRegistry().to_prometheus() == ""

@@ -1,0 +1,121 @@
+"""End-to-end CLI smoke: ``repro serve`` + ``repro admit``.
+
+This is the serve smoke leg CI runs with ``-W error::ResourceWarning``:
+a real daemon on an ephemeral port, admits driven over HTTP until
+rejection, one fail/recover fault injected, ``/metrics`` scraped, and
+a clean shutdown asserted (exit code 0, no leaked threads).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def no_thread_leaks():
+    """The CLI must not leave daemon machinery running."""
+    before = set(threading.enumerate())
+    yield
+    leaked = [t for t in threading.enumerate()
+              if t not in before and t.is_alive()]
+    assert not leaked, f"leaked threads: {[t.name for t in leaked]}"
+
+
+def _wait_for_port_file(path, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists() and path.read_text().strip():
+            return path.read_text().strip()
+        time.sleep(0.02)
+    raise AssertionError("daemon never wrote its port file")
+
+
+class TestServeSmoke:
+    def test_serve_admit_fault_scrape_shutdown(self, tmp_path, capsys):
+        port_file = tmp_path / "serve.port"
+        exit_codes = []
+
+        def run_daemon():
+            exit_codes.append(main([
+                "serve", "--port", "0",
+                "--port-file", str(port_file),
+                "--duration", "8", "--disks", "2",
+            ]))
+
+        server_thread = threading.Thread(target=run_daemon,
+                                         name="cli-serve")
+        server_thread.start()
+        chunks = []
+
+        def drain():
+            chunks.append(capsys.readouterr().out)
+            return chunks[-1]
+
+        try:
+            _wait_for_port_file(port_file)
+            code = main(["admit", "--port-file", str(port_file),
+                         "--until-reject"])
+            assert code == 0
+            assert "admitted 56 stream(s) before rejection" in drain()
+
+            code = main(["admit", "--port-file", str(port_file),
+                         "--fault", "disk_fail", "--disk", "0",
+                         "--state"])
+            assert code == 0
+            out = drain()
+            assert '"shed": 30' in out
+            assert '"degraded": true' in out
+
+            code = main(["admit", "--port-file", str(port_file),
+                         "--fault", "disk_recover", "--disk", "0",
+                         "--scrape"])
+            assert code == 0
+            out = drain()
+            assert '"resumed": 30' in out
+            assert "# TYPE serve_admitted_total counter" in out
+            assert "serve_resumed_total 30" in out
+            assert "serve_degraded 0" in out
+        finally:
+            server_thread.join(timeout=30.0)
+        assert not server_thread.is_alive()
+        assert exit_codes == [0]
+        drain()
+        combined = "".join(chunks)
+        assert "repro serve: listening on http://127.0.0.1:" in combined
+        assert "repro serve: stopped" in combined
+
+    def test_serve_replays_fault_schedule(self, tmp_path, capsys):
+        schedule = tmp_path / "storm.toml"
+        schedule.write_text(
+            '[[events]]\nkind = "disk_fail"\nt = 0.02\ndisk = 0\n\n'
+            '[[events]]\nkind = "disk_recover"\nt = 0.06\ndisk = 0\n',
+            encoding="utf-8")
+        metrics_json = tmp_path / "metrics.json"
+        code = main(["serve", "--port", "0", "--duration", "0.5",
+                     "--fault-schedule", str(schedule),
+                     "--metrics", str(metrics_json)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replaying 2 fault event(s)" in out
+        assert metrics_json.exists()
+        payload = metrics_json.read_text()
+        assert '"serve_faults_total{kind=\\"disk_fail\\"}"' in payload
+
+    def test_admit_needs_a_target(self, capsys):
+        code = main(["admit", "--count", "1"])
+        assert code == 2
+        assert "need --url or --port-file" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_schedule_disks(self, tmp_path, capsys):
+        schedule = tmp_path / "bad.toml"
+        schedule.write_text(
+            '[[events]]\nkind = "disk_fail"\nt = 1.0\ndisk = 9\n',
+            encoding="utf-8")
+        code = main(["serve", "--port", "0", "--duration", "0.1",
+                     "--disks", "2",
+                     "--fault-schedule", str(schedule)])
+        assert code == 2
+        assert "targets disk 9" in capsys.readouterr().err

@@ -1,0 +1,237 @@
+"""ServeDaemon unit tests (transport-free).
+
+The daemon is the §5 scheme gone live: a locked admission controller
+fed from a precomputed lookup table, with the shedding policy applied
+at fault-event time.  These tests drive the service core directly --
+the HTTP layer has its own suite.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.serve import ServeConfig, ServeDaemon
+
+
+@pytest.fixture(scope="module")
+def daemon_factory():
+    """Build daemons with a small-footprint config (shared module
+    scope keeps table builds to a handful thanks to the bound cache)."""
+    def build(**overrides):
+        return ServeDaemon(ServeConfig(**overrides))
+    return build
+
+
+class TestAdmitRelease:
+    def test_admits_to_paper_capacity_then_409s(self, daemon_factory):
+        daemon = daemon_factory(disks=2)
+        # Paper Table: N_max^perror = 28 per disk at epsilon = 0.01.
+        assert daemon.controller.n_max_per_disk == 28
+        tickets = [daemon.admit()["stream"] for _ in range(56)]
+        assert tickets == list(range(56))
+        with pytest.raises(AdmissionError):
+            daemon.admit()
+        snapshot = daemon.registry.snapshot()
+        assert snapshot["serve_admitted_total"]["value"] == 56
+        assert snapshot["serve_rejected_total"]["value"] == 1
+        assert snapshot["serve_active_streams"]["value"] == 56
+
+    def test_release_by_ticket_and_oldest(self, daemon_factory):
+        daemon = daemon_factory(disks=1)
+        first = daemon.admit()["stream"]
+        second = daemon.admit()["stream"]
+        assert daemon.release(second)["stream"] == second
+        assert daemon.release()["stream"] == first
+        assert daemon.controller.active == 0
+        with pytest.raises(ConfigurationError):
+            daemon.release()
+
+    def test_release_unknown_ticket_rejected(self, daemon_factory):
+        daemon = daemon_factory(disks=1)
+        daemon.admit()
+        with pytest.raises(ConfigurationError):
+            daemon.release(999)
+        assert daemon.controller.active == 1
+
+    def test_admit_latency_histogram_fills(self, daemon_factory):
+        daemon = daemon_factory(disks=1)
+        daemon.admit()
+        hist = daemon.registry.histogram("serve_admit_seconds")
+        assert hist.count == 1
+        assert hist.sum > 0.0
+
+
+class TestFaultHandling:
+    def test_fail_sheds_newest_to_target(self, daemon_factory):
+        daemon = daemon_factory(disks=2)
+        for _ in range(56):
+            daemon.admit()
+        result = daemon.fault("disk_fail", 0)
+        # Target = disks * degraded_n_max = 2 * 13 = 26.
+        assert result["shed"] == 30
+        assert result["active"] == 26
+        assert daemon.controller.degraded
+        state = daemon.state()
+        # Newest (highest tickets) were shed, oldest kept serving.
+        assert state["paused_streams"] == list(range(26, 56))
+        assert state["failed_disks"] == [0]
+
+    def test_recover_resumes_oldest_first(self, daemon_factory):
+        daemon = daemon_factory(disks=2)
+        for _ in range(56):
+            daemon.admit()
+        daemon.fault("disk_fail", 0)
+        result = daemon.fault("disk_recover", 0)
+        assert result["resumed"] == 30
+        assert result["active"] == 56
+        assert not daemon.controller.degraded
+        assert daemon.state()["paused_streams"] == []
+
+    def test_drop_mode_never_resumes(self, daemon_factory):
+        daemon = daemon_factory(disks=2, shed_mode="drop")
+        for _ in range(56):
+            daemon.admit()
+        fail = daemon.fault("disk_fail", 0)
+        assert fail["shed"] == 30
+        recover = daemon.fault("disk_recover", 0)
+        assert recover["resumed"] == 0
+        assert recover["active"] == 26
+        snapshot = daemon.registry.snapshot()
+        assert snapshot["serve_dropped_total"]["value"] == 30
+        # The freed capacity is available to *new* arrivals.
+        assert daemon.admit()["active"] == 27
+
+    def test_degraded_admission_uses_degraded_limit(self,
+                                                    daemon_factory):
+        daemon = daemon_factory(disks=2)
+        daemon.fault("disk_fail", 1)
+        for _ in range(26):
+            daemon.admit()
+        with pytest.raises(AdmissionError):
+            daemon.admit()
+        daemon.fault("disk_recover", 1)
+        daemon.admit()  # healthy limit back in force
+
+    def test_stays_degraded_until_all_disks_back(self, daemon_factory):
+        daemon = daemon_factory(disks=4)
+        daemon.fault("disk_fail", 0)
+        daemon.fault("disk_fail", 2)
+        partial = daemon.fault("disk_recover", 0)
+        assert daemon.controller.degraded
+        assert partial["resumed"] == 0
+        daemon.fault("disk_recover", 2)
+        assert not daemon.controller.degraded
+
+    def test_service_perturbations_are_noops(self, daemon_factory):
+        daemon = daemon_factory(disks=2)
+        assert daemon.fault("slow_disk", 0)["applied"] is False
+        assert daemon.fault("recalibration_storm")["applied"] is False
+        with pytest.raises(ConfigurationError):
+            daemon.fault("meteor_strike", 0)
+        with pytest.raises(ConfigurationError):
+            daemon.fault("disk_fail", 9)
+
+    def test_fault_counters_by_kind(self, daemon_factory):
+        daemon = daemon_factory(disks=2)
+        daemon.fault("disk_fail", 0)
+        daemon.fault("disk_recover", 0)
+        daemon.fault("slow_disk", 0)
+        snapshot = daemon.registry.snapshot()
+        assert snapshot['serve_faults_total{kind="disk_fail"}'][
+            "value"] == 1
+        assert snapshot['serve_faults_total{kind="slow_disk"}'][
+            "value"] == 1
+
+
+class TestConcurrency:
+    def test_hammer_admits_exactly_capacity(self, daemon_factory):
+        """The locked controller means the daemon can never jointly
+        overshoot: N threads racing on admit() admit exactly
+        ``capacity`` streams, no matter the interleaving."""
+        daemon = daemon_factory(disks=2)
+        capacity = daemon.controller.capacity
+        threads = 12
+        per_thread = 10
+        barrier = threading.Barrier(threads)
+        admitted = []
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                try:
+                    admitted.append(daemon.admit()["stream"])
+                except AdmissionError:
+                    pass
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert len(admitted) == capacity
+        assert len(set(admitted)) == capacity  # unique tickets
+        assert daemon.controller.active == capacity
+
+    def test_concurrent_faults_and_admits_stay_consistent(
+            self, daemon_factory):
+        daemon = daemon_factory(disks=2)
+        stop = threading.Event()
+
+        def flipper():
+            while not stop.is_set():
+                daemon.fault("disk_fail", 0)
+                daemon.fault("disk_recover", 0)
+
+        def churner():
+            while not stop.is_set():
+                try:
+                    ticket = daemon.admit()["stream"]
+                except AdmissionError:
+                    continue
+                try:
+                    daemon.release(ticket)
+                except ConfigurationError:
+                    pass  # shed between admit and release: fine
+
+        pool = [threading.Thread(target=flipper),
+                threading.Thread(target=churner),
+                threading.Thread(target=churner)]
+        for thread in pool:
+            thread.start()
+        import time
+        time.sleep(0.25)
+        stop.set()
+        for thread in pool:
+            thread.join()
+        daemon.fault("disk_recover", 0)
+        snap = daemon.controller.snapshot()
+        assert 0 <= snap["active"] <= snap["capacity"]
+        # Ledger and counter agree after the storm.
+        assert len(daemon.state()["controller"]) >= 1
+        with daemon._lock:
+            assert len(daemon._streams) == daemon.controller.active
+
+
+class TestConfigAndState:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(disks=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(shed_mode="panic")
+
+    def test_state_shape(self, daemon_factory):
+        daemon = daemon_factory(disks=2)
+        state = daemon.state()
+        assert state["policy"]["target"] == 26
+        assert state["controller"]["disks"] == 2
+        assert "perror" in state["table"]
+        assert state["build_seconds"] >= 0.0
+        assert state["uptime_seconds"] >= 0.0
+
+    def test_startup_gauges(self, daemon_factory):
+        daemon = daemon_factory(disks=2)
+        snapshot = daemon.registry.snapshot()
+        assert snapshot["serve_n_max_per_disk"]["value"] == 28
+        assert snapshot["serve_degraded_n_max"]["value"] == 13
+        assert snapshot["serve_table_build_seconds"]["value"] >= 0.0

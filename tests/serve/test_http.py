@@ -1,0 +1,204 @@
+"""HTTP layer tests: routes, concurrency over real sockets, fault
+replay, metrics exposition and clean shutdown.
+
+Every test binds an ephemeral loopback port (``port=0``) and must
+leave no thread behind -- the module-level fixture asserts the thread
+census is unchanged after each test, which is the contract the CI
+smoke leg (and ``-W error::ResourceWarning``) relies on.
+"""
+
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (FaultFeed, ServeClient, ServeConfig,
+                         ServeDaemon, ServeHandle)
+from repro.server.faults import FaultSchedule, disk_fail, disk_recover
+
+
+@pytest.fixture(autouse=True)
+def no_thread_leaks():
+    """Every test must return the process to its starting thread set."""
+    before = set(threading.enumerate())
+    yield
+    leaked = [t for t in threading.enumerate()
+              if t not in before and t.is_alive()]
+    assert not leaked, f"leaked threads: {[t.name for t in leaked]}"
+
+
+@pytest.fixture
+def served():
+    """A running daemon on an ephemeral port, stopped afterwards."""
+    daemon = ServeDaemon(ServeConfig(disks=2))
+    handle = ServeHandle(daemon)
+    handle.start()
+    try:
+        yield handle, ServeClient(handle.url)
+    finally:
+        handle.stop()
+
+
+class TestRoutes:
+    def test_admit_release_roundtrip(self, served):
+        _handle, client = served
+        first = client.admit()
+        assert first["admitted"] and first["stream"] == 0
+        assert client.release(first["stream"])["active"] == 0
+
+    def test_reject_is_409_not_an_error(self, served):
+        handle, client = served
+        capacity = handle.daemon.controller.capacity
+        assert client.admit_until_reject() == capacity
+        rejected = client.admit()
+        assert rejected["admitted"] is False
+        assert "denied" in rejected["error"]
+
+    def test_healthz_and_state(self, served):
+        _handle, client = served
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["capacity"] == 56
+        state = client.state()
+        assert state["controller"]["disks"] == 2
+        assert state["policy"]["mode"] == "pause"
+
+    def test_unknown_routes_404(self, served):
+        _handle, client = served
+        status, data = client._json("GET", "/nope")
+        assert status == 404 and "no route" in data["error"]
+        status, _data = client._json("POST", "/nope")
+        assert status == 404
+
+    def test_malformed_bodies_400(self, served):
+        handle, _client = served
+        request = urllib.request.Request(
+            handle.url + "/fault", data=b"not json", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert err.value.code == 400
+        err.value.close()
+        status, data = ServeClient(handle.url)._json(
+            "POST", "/fault", {})
+        assert status == 400 and "kind" in data["error"]
+
+    def test_fault_over_http_sheds_live(self, served):
+        handle, client = served
+        client.admit_until_reject()
+        result = client.fault("disk_fail", 0)
+        assert result["shed"] == 30 and result["active"] == 26
+        assert client.healthz()["status"] == "degraded"
+        assert client.fault("disk_recover", 0)["resumed"] == 30
+        assert client.healthz()["status"] == "ok"
+        assert handle.daemon.controller.active == 56
+
+    def test_metrics_exposition_scrapes(self, served):
+        _handle, client = served
+        client.admit()
+        text = client.metrics()
+        lines = text.splitlines()
+        assert "# TYPE serve_admitted_total counter" in lines
+        assert "# HELP serve_admitted_total Streams admitted by the " \
+            "daemon" in lines
+        assert "serve_admitted_total 1" in lines
+        assert any(line.startswith("serve_admit_seconds_bucket")
+                   for line in lines)
+        assert 'serve_requests_total{op="admit"} 1' in lines
+
+    def test_metrics_content_type(self, served):
+        handle, _client = served
+        with urllib.request.urlopen(handle.url + "/metrics",
+                                    timeout=5.0) as resp:
+            assert resp.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4")
+
+
+class TestConcurrentClients:
+    def test_racing_http_admits_never_overshoot(self, served):
+        """20 threads hammer POST /admit over real sockets; the locked
+        controller admits exactly ``capacity`` of them."""
+        handle, _client = served
+        capacity = handle.daemon.controller.capacity
+        threads = 20
+        per_thread = 4
+        barrier = threading.Barrier(threads)
+        outcomes = []
+
+        def worker():
+            client = ServeClient(handle.url)
+            barrier.wait()
+            for _ in range(per_thread):
+                outcomes.append(client.admit()["admitted"])
+
+        pool = [threading.Thread(target=worker)
+                for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert sum(outcomes) == capacity
+        assert outcomes.count(False) == threads * per_thread - capacity
+        assert handle.daemon.controller.active == capacity
+
+
+class TestFaultFeed:
+    def test_schedule_replay_applies_in_order(self, served):
+        handle, client = served
+        client.admit_until_reject()
+        schedule = FaultSchedule([disk_fail(0.02, 0),
+                                  disk_recover(0.06, 0)])
+        feed = FaultFeed(handle.daemon, schedule, time_scale=1.0)
+        feed.start()
+        feed.join(timeout=5.0)
+        feed.stop()
+        assert feed.applied == 2
+        assert not handle.daemon.controller.degraded
+        assert handle.daemon.controller.active == 56
+        snapshot = handle.daemon.registry.snapshot()
+        assert snapshot["serve_shed_total"]["value"] == 30
+        assert snapshot["serve_resumed_total"]["value"] == 30
+
+    def test_stop_cancels_pending_events(self, served):
+        handle, _client = served
+        schedule = FaultSchedule([disk_fail(60.0, 0)])
+        feed = FaultFeed(handle.daemon, schedule).start()
+        feed.stop()
+        assert feed.applied == 0
+        assert not handle.daemon.controller.degraded
+
+    def test_time_scale_validation(self, served):
+        handle, _client = served
+        with pytest.raises(ConfigurationError):
+            FaultFeed(handle.daemon, FaultSchedule([disk_fail(1.0, 0)]),
+                      time_scale=0.0)
+
+
+class TestLifecycle:
+    def test_context_manager_cleans_up(self):
+        daemon = ServeDaemon(ServeConfig(disks=2))
+        with ServeHandle(daemon) as handle:
+            assert ServeClient(handle.url).healthz()["status"] == "ok"
+        # Port is released: a fresh handle can bind and serve again.
+        with ServeHandle(daemon) as handle2:
+            assert ServeClient(handle2.url).healthz()["status"] == "ok"
+
+    def test_stop_is_idempotent(self):
+        handle = ServeHandle(ServeDaemon(ServeConfig(disks=2)))
+        handle.start()
+        handle.stop()
+        handle.stop()
+
+    def test_double_start_rejected(self):
+        handle = ServeHandle(ServeDaemon(ServeConfig(disks=2)))
+        handle.start()
+        try:
+            with pytest.raises(ConfigurationError):
+                handle.start()
+        finally:
+            handle.stop()
+
+    def test_client_url_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServeClient("ftp://nope")

@@ -1,5 +1,8 @@
 """Run-time admission controller tests (§5)."""
 
+import threading
+import time
+
 import pytest
 
 from repro.core import AdmissionTable, GlitchModel, RoundServiceTimeModel
@@ -55,6 +58,168 @@ class TestCounting:
             AdmissionController(n_max_per_disk=-1)
         with pytest.raises(ConfigurationError):
             AdmissionController(n_max_per_disk=1, disks=0)
+
+
+class TestDegradedFlag:
+    def test_degrade_then_restore(self):
+        ctrl = AdmissionController(n_max_per_disk=10, disks=2)
+        assert not ctrl.degraded
+        ctrl.degrade(4)
+        assert ctrl.degraded
+        assert ctrl.n_max_per_disk == 4
+        ctrl.restore()
+        assert not ctrl.degraded
+        assert ctrl.n_max_per_disk == 10
+
+    def test_equal_limit_still_reports_degraded(self):
+        # Regression: when the degraded-mode bound happens to equal the
+        # healthy limit, the controller must still report degraded --
+        # the old implementation compared limits and silently claimed
+        # healthy, so `repro observe` and the daemon's /state would lie
+        # during a real degraded phase.
+        ctrl = AdmissionController(n_max_per_disk=7, disks=2)
+        ctrl.degrade(7)
+        assert ctrl.degraded
+        assert ctrl.n_max_per_disk == 7
+        ctrl.restore()
+        assert not ctrl.degraded
+
+    def test_degrade_is_idempotent(self):
+        ctrl = AdmissionController(n_max_per_disk=9, disks=1)
+        ctrl.degrade(3)
+        ctrl.degrade(3)
+        assert ctrl.degraded
+        ctrl.restore()
+        ctrl.restore()
+        assert not ctrl.degraded
+        assert ctrl.n_max_per_disk == 9
+
+    def test_snapshot_is_consistent(self):
+        ctrl = AdmissionController(n_max_per_disk=3, disks=2)
+        ctrl.admit()
+        ctrl.degrade(1)
+        snap = ctrl.snapshot()
+        assert snap["active"] == 1
+        assert snap["degraded"] is True
+        assert snap["n_max_per_disk"] == 1
+        assert snap["healthy_n_max"] == 3
+        assert snap["requests"] == 1
+        assert snap["rejections"] == 0
+
+
+class TestThreadSafety:
+    def test_widened_race_window_never_overshoots(self, monkeypatch):
+        """Regression for the unlocked check-then-increment race.
+
+        ``admit()`` used to run ``would_admit()`` and ``_active += 1``
+        as two separate steps; widening the gap between them with a
+        sleep made every pre-fix run overshoot the guarantee.  With the
+        lock, the sleep happens inside the critical section and the
+        cap holds exactly.
+        """
+        real = AdmissionController.would_admit
+
+        def slow_would_admit(self):
+            verdict = real(self)
+            time.sleep(0.002)  # widen the check-to-increment window
+            return verdict
+
+        monkeypatch.setattr(AdmissionController, "would_admit",
+                            slow_would_admit)
+        ctrl = AdmissionController(n_max_per_disk=2, disks=2)  # cap 4
+        threads = 10
+        barrier = threading.Barrier(threads)
+        outcomes = []
+
+        def worker():
+            barrier.wait()
+            try:
+                ctrl.admit()
+                outcomes.append("admitted")
+            except AdmissionError:
+                outcomes.append("rejected")
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert ctrl.active == 4
+        assert outcomes.count("admitted") == 4
+        assert outcomes.count("rejected") == 6
+        assert ctrl.requests == threads
+        assert ctrl.rejections == 6
+
+    def test_admit_release_hammer_stays_within_capacity(self):
+        """N threads hammering admit/release: the active count must
+        never exceed capacity at any observed instant, and the final
+        accounting must balance."""
+        ctrl = AdmissionController(n_max_per_disk=4, disks=2)  # cap 8
+        threads, iterations = 8, 200
+        barrier = threading.Barrier(threads)
+        overshoots = []
+        admitted_total = [0] * threads
+
+        def worker(index):
+            barrier.wait()
+            held = 0
+            for _ in range(iterations):
+                try:
+                    ctrl.admit()
+                    held += 1
+                    admitted_total[index] += 1
+                except AdmissionError:
+                    pass
+                if ctrl.active > ctrl.capacity:
+                    overshoots.append(ctrl.active)
+                if held and held % 2 == 0:
+                    ctrl.release()
+                    ctrl.release()
+                    held -= 2
+            for _ in range(held):
+                ctrl.release()
+
+        pool = [threading.Thread(target=worker, args=(i,))
+                for i in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert not overshoots, f"active exceeded capacity: {overshoots}"
+        assert ctrl.active == 0
+        assert ctrl.requests == threads * iterations
+        assert ctrl.requests - ctrl.rejections == sum(admitted_total)
+
+    def test_concurrent_degrade_restore_is_safe(self):
+        ctrl = AdmissionController(n_max_per_disk=6, disks=2)
+        stop = threading.Event()
+
+        def flipper():
+            while not stop.is_set():
+                ctrl.degrade(2)
+                ctrl.restore()
+
+        def admitter():
+            while not stop.is_set():
+                try:
+                    ctrl.admit()
+                except AdmissionError:
+                    continue
+                ctrl.release()
+
+        pool = [threading.Thread(target=flipper),
+                threading.Thread(target=admitter),
+                threading.Thread(target=admitter)]
+        for thread in pool:
+            thread.start()
+        time.sleep(0.2)
+        stop.set()
+        for thread in pool:
+            thread.join()
+        ctrl.restore()
+        assert ctrl.n_max_per_disk == 6
+        assert not ctrl.degraded
+        assert 0 <= ctrl.active <= ctrl.capacity
 
 
 class TestTableIntegration:

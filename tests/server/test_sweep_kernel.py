@@ -310,3 +310,118 @@ class TestFarmKernel:
             simulate_farm_rounds(viking, sizes, disks=2, n_per_disk=5,
                                  t=1.0, rounds=10, fail_round=5,
                                  recover_round=3)
+
+
+class TestRecoveredRejoin:
+    """Recovered-phase rejoin semantics (the PR 5 carry-over bugfix).
+
+    The old kernel modelled the recovered phase with the *healthy*
+    populations, so streams shed during the degraded phase reappeared
+    out of thin air at ``recover_round``.  The fixed default starts the
+    recovered phase from the shed populations (event-engine drop-mode
+    semantics); ``rejoin_rounds`` ramps back up, and
+    ``instant_rejoin=True`` pins the old behaviour (pause-mode
+    semantics, where every paused stream resumes at once).
+    """
+
+    #: 2 disks x 30 streams, failure rounds [20, 45) of 60, shed to the
+    #: degraded bound of 13 per disk.
+    KW = dict(disks=2, n_per_disk=30, t=1.0, rounds=60, fail_round=20,
+              recover_round=45, shedding=True, degraded_n_max=13,
+              seed=7)
+
+    def test_recovered_phase_starts_from_shed_population(self, viking,
+                                                         sizes):
+        """Regression (fails pre-fix): by default the recovered phase
+        runs at the shed level, not the healthy one."""
+        est = simulate_farm_rounds(viking, sizes, **self.KW)
+        assert [p.name for p in est.phases] == \
+            ["healthy", "degraded", "recovered"]
+        recovered = est.phase("recovered")
+        assert recovered.rounds == 15
+        # 15 rounds x 2 disks x 13 kept streams -- the pre-fix code
+        # produced 15 x 2 x 30 = 900 requests here.
+        assert recovered.requests == 15 * 2 * 13
+        for disk in range(2):
+            assert est.per_disk[disk][2][2] == 15 * 13
+
+    def test_instant_rejoin_pins_old_behaviour(self, viking, sizes):
+        est = simulate_farm_rounds(viking, sizes, instant_rejoin=True,
+                                   **self.KW)
+        recovered = est.phase("recovered")
+        assert recovered.rounds == 15
+        assert recovered.requests == 15 * 2 * 30
+        for disk in range(2):
+            assert est.per_disk[disk][2][2] == 15 * 30
+
+    def test_rejoin_ramp_refills_to_full_population(self, viking,
+                                                    sizes):
+        """``rejoin_rounds=5`` ramps 13 -> 30 per disk linearly and the
+        three-phase estimate shape survives the split plan."""
+        est = simulate_farm_rounds(viking, sizes, rejoin_rounds=5,
+                                   **self.KW)
+        assert [p.name for p in est.phases] == \
+            ["healthy", "degraded", "recovered"]
+        recovered = est.phase("recovered")
+        assert recovered.rounds == 15
+        # Ramp levels ceil-interpolated from 13 to 30 over 5 rounds
+        # (17, 20, 24, 27, 30), then 10 rounds at the full 30.
+        per_disk_requests = (17 + 20 + 24 + 27 + 30) + 10 * 30
+        assert recovered.requests == 2 * per_disk_requests
+        hold = simulate_farm_rounds(viking, sizes, **self.KW)
+        instant = simulate_farm_rounds(viking, sizes,
+                                       instant_rejoin=True, **self.KW)
+        assert hold.phase("recovered").requests \
+            < recovered.requests \
+            < instant.phase("recovered").requests
+
+    def test_ramp_shorter_than_span_is_capped(self, viking, sizes):
+        """A ramp longer than the remaining rounds never overshoots the
+        run length and still ends at n_per_disk-sized rounds."""
+        kwargs = dict(self.KW, rounds=48)  # only 3 recovered rounds
+        est = simulate_farm_rounds(viking, sizes, rejoin_rounds=5,
+                                   **kwargs)
+        recovered = est.phase("recovered")
+        assert recovered.rounds == 3
+        # First three ramp levels: 17, 20, 24.
+        assert recovered.requests == 2 * (17 + 20 + 24)
+
+    def test_drop_mode_cross_validates_event_engine(self, viking,
+                                                    sizes):
+        """Drop-mode event engine vs the kernel default: the recovered
+        populations must match exactly and the recovered-phase glitch
+        rates must agree (overlapping Wilson 95 % intervals)."""
+        event = run_failover_scenario(viking, sizes, disks=2, t=1.0,
+                                      delta=0.01, rounds=60,
+                                      fail_round=20, recover_round=45,
+                                      shedding=True, shed_mode="drop",
+                                      seed=7)
+        remaining = event.streams_opened - event.report.shed_streams
+        span = 60 - 45
+        event_glitches = sum(
+            count for r, count in
+            event.report.glitches_by_round.items() if r >= 45)
+        event_ci = wilson_interval(event_glitches, span * remaining)
+
+        kernel = simulate_farm_rounds(
+            viking, sizes, disks=2,
+            n_per_disk=event.streams_opened // 2, t=1.0, rounds=2000,
+            fail_round=200, recover_round=500, shedding=True,
+            degraded_n_max=event.degraded_n_max, seed=3)
+        recovered = kernel.phase("recovered")
+        # Same per-round farm population after a drop-mode recovery.
+        assert recovered.requests == recovered.rounds * remaining
+        kernel_ci = wilson_interval(recovered.glitches,
+                                    recovered.requests)
+        assert kernel_ci[0] <= event_ci[1] and \
+            event_ci[0] <= kernel_ci[1], (
+                f"event CI {event_ci} and kernel CI {kernel_ci} "
+                f"do not overlap")
+
+    def test_rejoin_validation(self, viking, sizes):
+        with pytest.raises(ConfigurationError):
+            simulate_farm_rounds(viking, sizes, rejoin_rounds=-1,
+                                 **self.KW)
+        with pytest.raises(ConfigurationError):
+            simulate_farm_rounds(viking, sizes, instant_rejoin=True,
+                                 rejoin_rounds=5, **self.KW)

@@ -318,6 +318,81 @@ class TestPersistentCache:
         monkeypatch.setenv("REPRO_PERSISTENT_CACHE", "1")
         assert persistent_cache_enabled()
 
+
+class TestPreload:
+    """Warm-start bulk load for the `repro serve` daemon."""
+
+    def test_preload_serves_hits_without_sqlite(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        store.put("a", 1.0)
+        store.put("b", 2.0)
+        store.close()
+        reopened = PersistentCache(tmp_path)
+        assert reopened.preload() == 2
+        assert reopened.stats.preloaded == 2
+        # Break the underlying file: preloaded reads must still work,
+        # proving the hot path no longer touches sqlite.
+        reopened._broken = True
+        assert reopened.get("a") == 1.0
+        assert reopened.get("b") == 2.0
+        assert reopened.stats.hits == 2
+
+    def test_preload_limit_keeps_most_recently_accessed(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        for i in range(6):
+            store.put(f"k{i}", float(i))
+        store.get("k1")  # freshen k1's last_access past the others'
+        assert store.preload(limit=1) == 1
+        store._broken = True
+        assert store.get("k1") == 1.0
+        with pytest.raises(ConfigurationError):
+            store.preload(limit=0)
+
+    def test_put_keeps_preloaded_view_coherent(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        store.put("a", 1.0)
+        store.preload()
+        store.put("fresh", 9.0)
+        store._broken = True
+        assert store.get("fresh") == 9.0
+        assert store.get("a") == 1.0
+
+    def test_clear_drops_preloaded_view(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        store.put("a", 1.0)
+        store.preload()
+        store.clear()
+        assert store.get("a") is None
+
+    def test_preload_skips_corrupt_rows(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        store.put("good", 1.0)
+        store.close()
+        with sqlite3.connect(tmp_path / "bounds.sqlite") as conn:
+            conn.execute(
+                "INSERT INTO bounds VALUES ('bad', 'not json', 0)")
+            conn.commit()
+        reopened = PersistentCache(tmp_path)
+        assert reopened.preload() == 1
+        assert reopened.stats.errors == 1
+        assert reopened.get("good") == 1.0
+
+    def test_preload_on_missing_store_is_empty(self, tmp_path):
+        store = PersistentCache(tmp_path / "nothing-here")
+        assert store.preload() == 0
+        assert store.get("x") is None
+
+    def test_dataclass_values_preload_decoded(self, tmp_path):
+        store = PersistentCache(tmp_path)
+        value = ChernoffResult(bound=0.01, log_bound=-4.6,
+                               theta=13.4, t=1.0)
+        store.put("cr", value)
+        store.close()
+        reopened = PersistentCache(tmp_path)
+        reopened.preload()
+        reopened._broken = True
+        assert reopened.get("cr") == value
+
     def test_cache_dir_env_resolution(self, monkeypatch, tmp_path):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
         assert default_cache_dir() == tmp_path / "elsewhere"

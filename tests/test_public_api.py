@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.core",
     "repro.disk",
     "repro.distributions",
+    "repro.serve",
     "repro.server",
     "repro.sim",
     "repro.workload",
