@@ -68,6 +68,45 @@ def _render(headers: list[str], rows: list[list[str]]) -> str:
     return "\n".join(lines)
 
 
+_BAR_WIDTH = 36
+
+
+def _histogram_lines(name: str, histograms: dict) -> list[str]:
+    """Render one emission's per-class latency histograms.
+
+    Expects the shape benches emit under ``latency_histograms``:
+    ``{class: {"bounds": [...], "counts": [...], "mean": s,
+    "count": n}}`` where ``counts`` carries one overflow bucket beyond
+    the last bound.  Malformed classes are skipped, not fatal -- the
+    summary must survive hand-edited or truncated emissions.
+    """
+    lines = [f"{name}: fragment-latency histograms"]
+    for klass in sorted(histograms):
+        data = histograms[klass]
+        if not isinstance(data, dict):
+            continue
+        bounds = data.get("bounds") or []
+        counts = data.get("counts") or []
+        if len(counts) != len(bounds) + 1:
+            continue
+        total = sum(counts)
+        mean = data.get("mean")
+        summary = f"  {klass}: {total} fragment(s)"
+        if isinstance(mean, (int, float)) and not isinstance(mean, bool):
+            summary += f", mean {_format(float(mean))}s"
+        lines.append(summary)
+        labels = [f"<= {_format(float(b))}s" for b in bounds]
+        labels.append(f" > {_format(float(bounds[-1]))}s"
+                      if bounds else "all")
+        width = max(len(label) for label in labels)
+        peak = max(counts) or 1
+        for label, count in zip(labels, counts):
+            bar = "#" * round(_BAR_WIDTH * count / peak)
+            lines.append(f"    {label.rjust(width)} | "
+                         f"{str(count).rjust(len(str(peak)))} | {bar}")
+    return lines if len(lines) > 1 else []
+
+
 def summarise(results_dir: Path) -> int:
     paths = sorted(results_dir.glob("BENCH_*.json"))
     if not paths:
@@ -75,6 +114,7 @@ def summarise(results_dir: Path) -> int:
               file=sys.stderr)
         return 1
     rows = []
+    histogram_sections = []
     for path in paths:
         payload = _load(path)
         name = path.stem[len("BENCH_"):]
@@ -92,8 +132,14 @@ def summarise(results_dir: Path) -> int:
         rows.append([name,
                      _format(wall) if wall is not None else "-",
                      rendered])
+        histograms = payload.get("latency_histograms")
+        if isinstance(histograms, dict) and histograms:
+            histogram_sections.extend(
+                ["", *_histogram_lines(name, histograms)])
     print(f"{len(rows)} benchmark emission(s) in {results_dir}\n")
     print(_render(["bench", "wall [s]", "headline metrics"], rows))
+    for line in histogram_sections:
+        print(line)
     return 0
 
 

@@ -131,6 +131,13 @@ _ENTRIES = [
                "build (the gated warm-start speedup) and admissions/sec "
                "over HTTP through a fault storm",
                "bench_a23_serve_qps.py", ("a23_serve_qps",)),
+    Experiment("A24", "Scenario-compiler speedup",
+               "a fault storm (failure + recalibration storm + "
+               "recovery) through the event engine vs the scenario "
+               "compiler's kernel path, plus the threads-vs-fork "
+               "transport ratio; the compiled-path speedup is a CI "
+               "regression gate",
+               "bench_a24_scenario_kernel.py", ("a24_scenario_kernel",)),
 ]
 
 #: Registry keyed by experiment id.

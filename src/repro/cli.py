@@ -160,10 +160,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         import cProfile
         profiler = cProfile.Profile()
         profiler.enable()
+    scenario = (args.faults is not None or args.trick
+                or args.farm_spec is not None)
     try:
-        if args.faults is not None and args.engine == "kernel":
-            code = _simulate_faults_kernel(args, spec, sizes)
-        elif args.faults is not None:
+        if scenario and args.engine == "kernel":
+            code = _simulate_scenario_kernel(args, spec, sizes)
+        elif scenario:
             code = _simulate_faults(args, spec, sizes, tracer, registry)
         else:
             code = _simulate_vectorised(args, spec, sizes, tracer,
@@ -310,22 +312,35 @@ def _simulate_faults(args: argparse.Namespace, spec, sizes,
     mirrored server through the fault schedule and check the survivors
     against the degraded-mode bound."""
     from repro.server.faults import FaultSchedule, run_failover_scenario
+    from repro.server.scenario import parse_farm_spec
 
     if args.n is not None and len(args.n) > 1:
         print("error: --faults takes a single --n, not a sweep grid",
               file=sys.stderr)
         return 2
+    if args.trick:
+        print("error: --trick requires --engine kernel (the event "
+              "engine has no trick-mode load model)", file=sys.stderr)
+        return 2
+    if args.faults is None:
+        print("error: --engine event needs --faults; use --engine "
+              "kernel for schedule-free heterogeneous scenarios",
+              file=sys.stderr)
+        return 2
+    specs = (parse_farm_spec(args.farm_spec)
+             if args.farm_spec is not None else None)
+    disks = len(specs) if specs is not None else args.disks
     schedule = FaultSchedule.from_toml(args.faults)
     result = run_failover_scenario(
-        spec, sizes, disks=args.disks, t=args.t, delta=args.delta,
-        rounds=args.server_rounds,
+        spec, sizes, specs=specs, disks=disks, t=args.t,
+        delta=args.delta, rounds=args.server_rounds,
         n_per_disk=args.n[0] if args.n else None,
         shedding=not args.no_shed, shed_mode=args.shed_mode,
         schedule=schedule, seed=args.seed, tracer=tracer,
         metrics=registry if args.metrics is not None else None)
     report = result.report
     rows = [
-        ["disks (mirrored pairs)", str(args.disks)],
+        ["disks (mirrored pairs)", str(disks)],
         ["streams opened", str(result.streams_opened)],
         ["healthy N_max / disk", str(result.healthy_n_max)],
         ["degraded N_max / disk", str(result.degraded_n_max)],
@@ -350,81 +365,86 @@ def _simulate_faults(args: argparse.Namespace, spec, sizes,
     return 0 if result.within_bound or args.no_shed else 1
 
 
-def _simulate_faults_kernel(args: argparse.Namespace, spec,
-                            sizes) -> int:
-    """``repro simulate --faults ... --engine kernel``: the same failover
-    scenario through the vectorised farm kernel
-    (:func:`repro.server.simulation.simulate_farm_rounds`) -- orders of
-    magnitude faster than the event engine, statistically equivalent,
-    without per-stream bookkeeping."""
+def _simulate_scenario_kernel(args: argparse.Namespace, spec,
+                              sizes) -> int:
+    """``repro simulate --engine kernel`` with ``--faults`` /
+    ``--trick`` / ``--farm-spec``: compile the whole scenario -- any
+    fault schedule (fail/recover/slow-disk/recalibration-storm),
+    trick-mode segments, heterogeneous mirrored layouts -- into
+    constant-state phase batches and price them on the vectorised sweep
+    kernel (:mod:`repro.server.scenario`).  Orders of magnitude faster
+    than the event engine and statistically cross-validated against it;
+    anything the compiler cannot represent raises loudly instead of
+    degrading."""
     from repro.core.farm import degraded_mode_n_max
-    from repro.server.faults import FaultSchedule
-    from repro.server.simulation import simulate_farm_rounds
+    from repro.obs.telemetry import bound_table_from_estimate
+    from repro.server.faults import FaultSchedule, SheddingPolicy
+    from repro.server.scenario import (
+        analytic_phase_bounds,
+        compile_scenario,
+        parse_farm_spec,
+        parse_trick_spec,
+        simulate_scenario,
+    )
 
     if args.n is not None and len(args.n) > 1:
-        print("error: --faults takes a single --n, not a sweep grid",
-              file=sys.stderr)
+        print("error: scenario runs take a single --n, not a sweep "
+              "grid", file=sys.stderr)
         return 2
-    schedule = FaultSchedule.from_toml(args.faults)
-    fail_disk = fail_round = recover_round = None
-    for event in schedule:
-        if event.kind == "disk_fail":
-            if fail_round is not None:
-                print("error: --engine kernel supports a single "
-                      "disk_fail event", file=sys.stderr)
-                return 2
-            fail_disk = event.disk
-            fail_round = int(round(event.t / args.t))
-        elif event.kind == "disk_recover":
-            recover_round = int(round(event.t / args.t))
-        else:
-            print(f"error: --engine kernel cannot model "
-                  f"{event.kind!r} events (use --engine event)",
-                  file=sys.stderr)
-            return 2
-    # The event engine simply never fires events scheduled past the end
-    # of the run; mirror that by dropping them from the phase plan.
-    if recover_round is not None and recover_round >= args.server_rounds:
-        recover_round = None
-    if fail_round is not None and fail_round >= args.server_rounds:
-        fail_disk = fail_round = recover_round = None
-    healthy_n_max, degraded_n_max = degraded_mode_n_max(
-        spec, sizes, args.t, args.delta)
+    if args.farm_spec is not None:
+        specs = parse_farm_spec(args.farm_spec)
+    else:
+        specs = (spec,) * args.disks
+    schedule = (FaultSchedule.from_toml(args.faults)
+                if args.faults is not None else None)
+    trick = tuple(parse_trick_spec(text) for text in (args.trick or ()))
+
+    # Farm admission binds at the weakest disk (core.farm rule), so the
+    # shedding limit of a heterogeneous layout is the per-disk minimum.
+    limits = [degraded_mode_n_max(s, sizes, args.t, args.delta)
+              for s in specs]
+    healthy_n_max = min(limit[0] for limit in limits)
+    degraded_n_max = min(limit[1] for limit in limits)
     n_per_disk = args.n[0] if args.n else healthy_n_max
-    # Rejoin semantics follow the shed mode: pause-mode shedding
-    # resumes every paused stream at the first healthy round boundary
-    # (instant rejoin), drop-mode sheds permanently (the recovered
-    # phase holds the shed populations, optionally ramping back up
-    # over --rejoin-rounds as new arrivals refill the farm).
-    instant = args.shed_mode == "pause" and not args.no_shed
-    est = simulate_farm_rounds(
-        spec, sizes, disks=args.disks, n_per_disk=n_per_disk, t=args.t,
-        rounds=args.server_rounds, fail_disk=fail_disk,
-        fail_round=fail_round, recover_round=recover_round,
-        shedding=not args.no_shed, degraded_n_max=degraded_n_max,
-        instant_rejoin=instant,
-        rejoin_rounds=0 if instant else args.rejoin_rounds,
-        seed=args.seed, jobs=args.jobs)
+    policy = (None if args.no_shed
+              else SheddingPolicy(degraded_n_max, mode=args.shed_mode))
+    compiled = compile_scenario(
+        specs, sizes, n_per_disk=n_per_disk, t=args.t,
+        rounds=args.server_rounds, schedule=schedule, policy=policy,
+        trick=trick, rejoin_rounds=args.rejoin_rounds)
+    est = simulate_scenario(compiled, seed=args.seed, jobs=args.jobs)
+    bounds = analytic_phase_bounds(compiled)
     rows = []
-    for phase in est.phases:
+    for phase, comparison in zip(est.phases,
+                                 bound_table_from_estimate(est, bounds)):
         if phase.disk_rounds == 0:
             continue
         low, high = phase.glitch_ci()
+        within = comparison.within_bound
         rows.append([phase.name, str(phase.rounds),
                      str(phase.disk_rounds),
                      format_probability(phase.p_late),
+                     (format_probability(comparison.bound)
+                      if comparison.bound is not None else "-"),
+                     "-" if within is None else ("yes" if within
+                                                 else "NO"),
                      format_probability(phase.glitch_rate),
                      f"[{format_probability(low)}, "
                      f"{format_probability(high)}]"])
+    source = args.faults if args.faults is not None else "no schedule"
     print(render_table(
-        ["phase", "rounds", "disk-rounds", "p_late", "glitch rate",
-         "glitch 95% CI"], rows,
-        title=f"farm kernel ({args.faults}, {args.disks} disks, "
+        ["phase", "rounds", "disk-rounds", "p_late", "b_late bound",
+         "within", "glitch rate", "glitch 95% CI"], rows,
+        title=f"scenario kernel ({source}, {compiled.disks} disks, "
         f"n/disk={n_per_disk}, "
         f"shedding {'off' if args.no_shed else 'on'})"))
-    degraded = est.phase("degraded") if fail_round is not None else None
-    if degraded is not None and degraded.disk_rounds:
-        within = degraded.glitch_rate <= args.delta
+    for line in compiled.describe():
+        print(f"  {line}")
+    degraded = [p for p in est.phases
+                if p.name.startswith("degraded") and p.disk_rounds]
+    if degraded:
+        worst = max(p.glitch_rate for p in degraded)
+        within = worst <= args.delta
         print(f"  degraded glitch rate vs delta={args.delta:g}: "
               f"{'within bound' if within else 'VIOLATED'}")
         return 0 if within or args.no_shed else 1
@@ -823,10 +843,23 @@ def build_parser() -> argparse.ArgumentParser:
                    "Monte-Carlo (see docs/ROBUSTNESS.md)")
     p.add_argument("--engine", choices=("event", "kernel"),
                    default="event",
-                   help="--faults backend: the exact event-driven "
-                   "server (default) or the vectorised farm sweep "
-                   "kernel (statistically equivalent, much faster; "
-                   "disk_fail/disk_recover schedules only)")
+                   help="scenario backend: the exact event-driven "
+                   "server (default) or the scenario compiler on the "
+                   "vectorised farm sweep kernel (statistically "
+                   "equivalent, much faster; handles any fault "
+                   "schedule plus --trick and --farm-spec)")
+    p.add_argument("--trick", action="append", default=None,
+                   metavar="START:END:NFF:K",
+                   help="trick-mode segment: during rounds [START, "
+                   "END) each disk serves NFF scan-mode fast-forward "
+                   "streams at K-times speed (repeatable; --engine "
+                   "kernel only)")
+    p.add_argument("--farm-spec", default=None,
+                   metavar="PRESET[,PRESET...]",
+                   help="heterogeneous farm layout, one disk preset "
+                   "per disk in mirror order (overrides --disks; "
+                   "presets: quantum_viking_2_1, single_zone_viking, "
+                   "seagate_hawk_1lp, modern_av_drive)")
     p.add_argument("--profile", action="store_true",
                    help="profile the run with cProfile and print the "
                    "top cumulative hot spots")

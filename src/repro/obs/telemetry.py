@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 __all__ = ["SweepRecord", "RoundInfo", "BoundComparison",
-           "ClassLatency", "RunTelemetry"]
+           "ClassLatency", "RunTelemetry", "bound_table_from_estimate"]
 
 
 @dataclass(frozen=True)
@@ -143,6 +143,31 @@ class BoundComparison:
         if self.bound is None or self.disk_rounds == 0:
             return None
         return self.observed_p_late <= self.bound
+
+
+def bound_table_from_estimate(estimate, bounds) -> list[BoundComparison]:
+    """Observed vs analytic ``p_late`` for a kernel-path estimate.
+
+    The statistical engine produces a
+    :class:`~repro.server.simulation.FarmRoundsEstimate` rather than a
+    trace, but its per-phase records carry exactly the counts a
+    :class:`BoundComparison` needs; ``bounds`` maps phase names to
+    analytic ``b_late`` values (``None`` entries -- e.g. slow-disk
+    phases with no analytic transform -- yield undecided comparisons,
+    mirroring a trace with no recorded bound).  One row per estimate
+    phase, in timeline order, so the compiled-scenario CLI path and
+    ``repro observe`` render the same table shape.
+    """
+    table = []
+    for phase in estimate.phases:
+        bound = bounds.get(phase.name) if bounds else None
+        table.append(BoundComparison(
+            phase=phase.name, rounds=phase.rounds,
+            disk_rounds=phase.disk_rounds,
+            late_disk_rounds=phase.late_disk_rounds,
+            observed_p_late=phase.p_late,
+            bound=float(bound) if bound is not None else None))
+    return table
 
 
 class RunTelemetry:

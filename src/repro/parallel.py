@@ -25,8 +25,13 @@ fixed decomposition and return only scalars, so nothing heavier than a
 chunk index crosses the process boundary (``transport="shm"``, the
 default).  ``transport="pickle"`` keeps the historical path in which
 each worker pickles its :class:`RoundBatch` back through the pool --
-retained for the A20 before/after measurement and as a fallback.  Both
-transports produce bit-identical arrays; the blocks are unlinked on
+retained for the A20 before/after measurement and as a fallback.
+``transport="threads"`` (or ``REPRO_PARALLEL_TRANSPORT=threads``) runs
+the same chunk workers on a :class:`~concurrent.futures.
+ThreadPoolExecutor` instead -- results are shared by address space, so
+there is neither fork nor pickling; a real win on free-threaded
+builds and the only option where fork is unavailable.  All transports
+produce bit-identical arrays; the shared-memory blocks are unlinked on
 every exit path, including worker exceptions (see
 ``docs/PERFORMANCE.md``).
 
@@ -58,7 +63,11 @@ import math
 import os
 import secrets
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -81,6 +90,7 @@ from repro.server.simulation import (
 __all__ = [
     "resolve_jobs",
     "resolve_worker_retries",
+    "resolve_transport",
     "fan_out",
     "simulate_rounds_parallel",
     "estimate_p_late_parallel",
@@ -101,7 +111,16 @@ DEFAULT_CHUNK_ROUNDS = 2048
 #: runners without oversubscribing them).
 JOBS_ENV = "REPRO_JOBS"
 
-_TRANSPORTS = ("shm", "pickle")
+_TRANSPORTS = ("shm", "pickle", "threads")
+
+#: Environment override for the default result transport.  An explicit
+#: ``transport=`` argument always wins; ``REPRO_PARALLEL_TRANSPORT``
+#: retargets every ``transport=None`` fan-out in the process --
+#: ``threads`` runs chunk workers on a :class:`ThreadPoolExecutor`
+#: instead of a process pool (a real win on free-threaded builds and a
+#: zero-fork fallback), with the same fail-fast and bit-identical
+#: determinism contracts.
+TRANSPORT_ENV = "REPRO_PARALLEL_TRANSPORT"
 
 #: Environment override for how often :func:`fan_out` replaces a broken
 #: worker pool before giving up (``0`` restores strict fail-fast).
@@ -153,7 +172,19 @@ def _chunk_sizes(total: int, chunk: int) -> list[int]:
     return [chunk] * full + ([rem] if rem else [])
 
 
-def _resolve_transport(transport: str) -> str:
+def resolve_transport(transport: str | None = None) -> str:
+    """Normalise a result-transport choice.
+
+    An explicit ``transport`` argument wins; ``None`` falls back to the
+    ``REPRO_PARALLEL_TRANSPORT`` environment variable and then to the
+    ``"shm"`` default.  Valid values: ``"shm"`` (process pool, results
+    written into shared memory), ``"pickle"`` (process pool, results
+    pickled back), ``"threads"`` (thread pool, results shared by
+    address space).  All three are bit-identical for the same seed.
+    """
+    if transport is None:
+        env = os.environ.get(TRANSPORT_ENV)
+        transport = env.strip() if env is not None and env.strip() else "shm"
     if transport not in _TRANSPORTS:
         raise ConfigurationError(
             f"transport must be one of {_TRANSPORTS}, got {transport!r}")
@@ -206,15 +237,19 @@ def _record_task(index: int, pid: int, seconds: float) -> None:
                     seconds=seconds)
 
 
-def _pool_pass(worker, tasks, pending, results, done, jobs: int) -> None:
+def _pool_pass(worker, tasks, pending, results, done, jobs: int,
+               executor_cls=ProcessPoolExecutor) -> None:
     """One pool's attempt at the ``pending`` task indices.
 
     Fills ``results``/``done`` in place as futures land, so a pool that
     breaks mid-pass leaves completed work recorded and only the
-    unfinished indices are retried.
+    unfinished indices are retried.  ``executor_cls`` selects the pool
+    flavour: the ``threads`` transport substitutes a
+    :class:`ThreadPoolExecutor` (which cannot raise
+    :class:`BrokenProcessPool`, so its pass is always final).
     """
     workers = min(jobs, len(pending))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with executor_cls(max_workers=workers) as pool:
         indexed = {pool.submit(_timed_call, (worker, tasks[i])): i
                    for i in pending}
         for future in as_completed(indexed):
@@ -235,7 +270,8 @@ def _pool_pass(worker, tasks, pending, results, done, jobs: int) -> None:
             _record_task(index, pid, seconds)
 
 
-def fan_out(worker, tasks, jobs: int) -> list:
+def fan_out(worker, tasks, jobs: int,
+            transport: str | None = None) -> list:
     """Run ``worker`` over ``tasks``, in-process or on a pool.
 
     Results come back in task order either way, so callers can
@@ -245,6 +281,13 @@ def fan_out(worker, tasks, jobs: int) -> list:
     surfaces (library :class:`ReproError` subclasses -- validation
     errors raised inside a worker -- propagate unchanged).
 
+    ``transport`` picks the pool flavour (``None`` defers to
+    :func:`resolve_transport`, i.e. ``REPRO_PARALLEL_TRANSPORT``):
+    ``"shm"``/``"pickle"`` fan out over worker processes, ``"threads"``
+    over a thread pool in this process -- no fork, no pickling, same
+    fail-fast semantics and, because every task carries its own
+    ``SeedSequence`` substream, bit-identical results.
+
     Worker *death* (SIGKILL by the OOM killer, node preemption -- the
     pool raises :class:`BrokenProcessPool`) is transient, not a bug in
     the task: the broken pool is replaced and only the unfinished tasks
@@ -253,7 +296,8 @@ def fan_out(worker, tasks, jobs: int) -> list:
     exactly the random numbers the killed attempt would have -- results
     stay bit-identical to an undisturbed run (asserted against
     ``jobs=1`` in the test suite).  After the retry budget a
-    :class:`ParallelExecutionError` surfaces.
+    :class:`ParallelExecutionError` surfaces.  (Threads cannot die this
+    way; their single pass is always final.)
     """
     tasks = list(tasks)
     registry = get_registry()
@@ -270,6 +314,9 @@ def fan_out(worker, tasks, jobs: int) -> list:
             results.append(worker(task))
             _record_task(index, pid, time.perf_counter() - start)
         return results
+    executor_cls = (ThreadPoolExecutor
+                    if resolve_transport(transport) == "threads"
+                    else ProcessPoolExecutor)
     retries = resolve_worker_retries()
     results: list = [None] * len(tasks)
     done = [False] * len(tasks)
@@ -277,7 +324,8 @@ def fan_out(worker, tasks, jobs: int) -> list:
     while True:
         pending = [i for i, finished in enumerate(done) if not finished]
         try:
-            _pool_pass(worker, tasks, pending, results, done, jobs)
+            _pool_pass(worker, tasks, pending, results, done, jobs,
+                       executor_cls)
             return results
         except BrokenProcessPool as exc:
             failures += 1
@@ -481,28 +529,31 @@ def simulate_rounds_parallel(spec: DiskSpec, size_dist: Distribution,
                              initial_arm: int = 0, placement=None,
                              recal_prob: float = 0.0,
                              recal_duration: float = 0.0,
-                             transport: str = "shm") -> RoundBatch:
+                             transport: str | None = None) -> RoundBatch:
     """Chunk-parallel :func:`repro.server.simulation.simulate_rounds`.
 
     ``rounds`` is split into ``chunk_rounds`` blocks; block ``i`` draws
     from ``SeedSequence(seed).spawn(...)[i]`` and starts its sweep at
     ``initial_arm``.  Bit-identical output for any ``jobs`` value and
-    either ``transport`` (``"shm"`` writes results into pre-sized
+    every ``transport`` (``"shm"`` writes results into pre-sized
     shared-memory blocks and returns scalars; ``"pickle"`` ships each
-    chunk's :class:`RoundBatch` back through the pool).
+    chunk's :class:`RoundBatch` back through the pool; ``"threads"``
+    runs the chunks on a thread pool in this process; ``None`` defers
+    to ``REPRO_PARALLEL_TRANSPORT``).
     """
     jobs = resolve_jobs(jobs)
-    transport = _resolve_transport(transport)
+    transport = resolve_transport(transport)
     sizes = _chunk_sizes(rounds, chunk_rounds)
     if not sizes:
         raise ConfigurationError(f"rounds must be >= 1, got {rounds!r}")
     children = np.random.SeedSequence(seed).spawn(len(sizes))
 
-    if transport == "pickle" or jobs == 1 or len(sizes) <= 1:
+    if transport in ("pickle", "threads") or jobs == 1 or len(sizes) <= 1:
         tasks = [(spec, size_dist, n, t, block, child, initial_arm,
                   placement, recal_prob, recal_duration)
                  for block, child in zip(sizes, children)]
-        return _concat_batches(fan_out(_run_round_chunk, tasks, jobs))
+        return _concat_batches(
+            fan_out(_run_round_chunk, tasks, jobs, transport=transport))
 
     layout, blocks = _create_batch_blocks(rounds, n)
     try:
@@ -512,7 +563,7 @@ def simulate_rounds_parallel(spec: DiskSpec, size_dist: Distribution,
         tasks = [(layout, offset, spec, size_dist, n, t, block, child,
                   initial_arm, placement, recal_prob, recal_duration)
                  for offset, block, child in zip(offsets, sizes, children)]
-        fan_out(_run_round_chunk_shm, tasks, jobs)
+        fan_out(_run_round_chunk_shm, tasks, jobs, transport="shm")
         service, seeks, first, glitches = layout.views(blocks)
         batch = RoundBatch(service_times=service.copy(),
                            glitches=glitches.copy(),
@@ -539,7 +590,8 @@ def estimate_p_late_parallel(spec: DiskSpec, size_dist: Distribution,
                              n: int, t: float, rounds: int = 20_000,
                              seed: int = 0, jobs: int | None = None,
                              chunk_rounds: int = DEFAULT_CHUNK_ROUNDS,
-                             transport: str = "shm") -> PLateEstimate:
+                             transport: str | None = None
+                             ) -> PLateEstimate:
     """Monte-Carlo ``p_late`` estimate over the chunk-parallel path."""
     batch = simulate_rounds_parallel(spec, size_dist, n, t, rounds,
                                      seed=seed, jobs=jobs,
@@ -556,7 +608,7 @@ def simulate_stream_glitches_parallel(spec: DiskSpec,
                                       t: float, m: int, runs: int,
                                       seed: int = 0,
                                       jobs: int | None = None,
-                                      transport: str = "shm"
+                                      transport: str | None = None
                                       ) -> np.ndarray:
     """Parallel per-stream glitch counts, shape ``(runs, n)``.
 
@@ -568,19 +620,19 @@ def simulate_stream_glitches_parallel(spec: DiskSpec,
     if runs < 1:
         raise ConfigurationError(f"runs must be >= 1, got {runs!r}")
     jobs = resolve_jobs(jobs)
-    transport = _resolve_transport(transport)
+    transport = resolve_transport(transport)
     children = np.random.SeedSequence(seed).spawn(runs)
 
-    if transport == "pickle" or jobs == 1 or runs <= 1:
+    if transport in ("pickle", "threads") or jobs == 1 or runs <= 1:
         tasks = [(spec, size_dist, n, t, m, child) for child in children]
-        rows = fan_out(_run_glitch_run, tasks, jobs)
+        rows = fan_out(_run_glitch_run, tasks, jobs, transport=transport)
         return np.stack(rows).astype(np.int64)
 
     block = _create_block(runs * n * 8)
     try:
         tasks = [(block.name, runs, run_idx, spec, size_dist, n, t, m,
                   child) for run_idx, child in enumerate(children)]
-        fan_out(_run_glitch_run_shm, tasks, jobs)
+        fan_out(_run_glitch_run_shm, tasks, jobs, transport="shm")
         counts = np.ndarray((runs, n), dtype=np.int64, buffer=block.buf)
         result = counts.copy()
         del counts
@@ -589,24 +641,28 @@ def simulate_stream_glitches_parallel(spec: DiskSpec,
         _destroy_block(block)
 
 
-def simulate_farm_disks_parallel(tasks, jobs: int | None = None) -> list:
+def simulate_farm_disks_parallel(tasks, jobs: int | None = None,
+                                 transport: str | None = None) -> list:
     """Fan one :func:`repro.server.simulation.simulate_farm_rounds`
     task per disk out over the worker pool.
 
     Each task already carries its own ``SeedSequence`` child, so the
-    result is bit-identical to the serial loop for every worker count.
-    The per-phase tuples are tiny, so the plain pickle transport is
-    used (no shared-memory staging to amortise).
+    result is bit-identical to the serial loop for every worker count
+    and every transport.  The per-phase tuples are tiny, so ``"shm"``
+    degrades to plain pickling (no shared-memory staging to amortise);
+    ``"threads"`` keeps the fan-out in this process.
     """
     from repro.server.simulation import _simulate_disk_phases
-    return fan_out(_simulate_disk_phases, list(tasks), resolve_jobs(jobs))
+    return fan_out(_simulate_disk_phases, list(tasks), resolve_jobs(jobs),
+                   transport=transport)
 
 
 def estimate_p_error_parallel(spec: DiskSpec, size_dist: Distribution,
                               n: int, t: float, m: int, g: int,
                               runs: int = 100, seed: int = 0,
                               jobs: int | None = None,
-                              transport: str = "shm") -> PErrorEstimate:
+                              transport: str | None = None
+                              ) -> PErrorEstimate:
     """Monte-Carlo ``p_error`` estimate over the run-parallel path."""
     if not (0 <= g <= m):
         raise ConfigurationError(f"g must be in [0, m], got {g!r}")

@@ -375,7 +375,7 @@ class ScenarioResult:
         return self.max_glitch_rate <= self.delta
 
 
-def run_failover_scenario(spec, size_dist, *, disks: int = 2,
+def run_failover_scenario(spec, size_dist, *, specs=None, disks: int = 2,
                           t: float = 1.0, delta: float = 0.01,
                           rounds: int = 300, n_per_disk: int | None = None,
                           fail_disk: int = 0, fail_round: int = 40,
@@ -395,6 +395,13 @@ def run_failover_scenario(spec, size_dist, *, disks: int = 2,
     configuration the paper's guarantee cannot cover, which the bench
     shows violating the bound.
 
+    ``specs`` optionally gives a heterogeneous layout, one
+    :class:`~repro.disk.presets.DiskSpec` per disk in mirror-pair order
+    (it must match ``disks``); the analytic limits then bind at the
+    weakest disk, the farm-admission rule of :mod:`repro.core.farm`.
+    The homogeneous ``spec`` argument is ignored when ``specs`` is
+    given.
+
     An enabled ``tracer`` records the whole run and stamps the header
     with the analytic per-sweep bounds the phases are judged against
     (``bound_healthy`` at the opened per-disk load, ``bound_degraded``
@@ -412,8 +419,20 @@ def run_failover_scenario(spec, size_dist, *, disks: int = 2,
             f"got {disks!r}")
     if rounds < 2:
         raise ConfigurationError(f"rounds must be >= 2, got {rounds!r}")
-    healthy, failure_proof = degraded_mode_n_max(spec, size_dist, t,
-                                                 delta)
+    if specs is not None:
+        specs = list(specs)
+        if len(specs) != disks:
+            raise ConfigurationError(
+                f"specs must list one DiskSpec per disk: got "
+                f"{len(specs)} for a farm of {disks}")
+    else:
+        specs = [spec] * disks
+    # Weakest-disk limits: on a striped farm every disk serves the same
+    # batch, so admission -- healthy and degraded -- binds at the
+    # slowest drive.
+    limits = [degraded_mode_n_max(s, size_dist, t, delta) for s in specs]
+    healthy = min(limit[0] for limit in limits)
+    failure_proof = min(limit[1] for limit in limits)
     if n_per_disk is None:
         n_per_disk = healthy
     if n_per_disk < 1:
@@ -442,8 +461,10 @@ def run_failover_scenario(spec, size_dist, *, disks: int = 2,
         # degraded phase at the shed doubled batch on the survivor.
         from repro.core import RoundServiceTimeModel
 
-        model = RoundServiceTimeModel.for_disk(spec, size_dist)
-        degraded_bound = (float(model.b_late(2 * failure_proof, t))
+        models = [RoundServiceTimeModel.for_disk(s, size_dist)
+                  for s in specs]
+        degraded_bound = (max(float(m.b_late(2 * failure_proof, t))
+                              for m in models)
                           if failure_proof > 0 else None)
         tracer.start_run(
             seed=seed, mode="faults", disks=disks, t=t, rounds=rounds,
@@ -451,9 +472,10 @@ def run_failover_scenario(spec, size_dist, *, disks: int = 2,
             shed_mode=shed_mode if shedding else None,
             healthy_n_max=healthy, degraded_n_max=failure_proof,
             delta=delta,
-            bound_healthy=float(model.b_late(n_per_disk, t)),
+            bound_healthy=max(float(m.b_late(n_per_disk, t))
+                              for m in models),
             bound_degraded=degraded_bound)
-    server = MediaServer([spec] * disks, t, admission=admission,
+    server = MediaServer(specs, t, admission=admission,
                          seed=seed, fault_injector=injector,
                          shedding=policy, mirrored=True,
                          tracer=tracer, metrics=metrics)

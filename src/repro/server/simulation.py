@@ -162,7 +162,8 @@ def simulate_rounds(spec: DiskSpec, size_dist: Distribution, n: int,
                     t: float, rounds: int, rng: np.random.Generator,
                     initial_arm: int = 0, placement=None,
                     recal_prob: float = 0.0,
-                    recal_duration: float = 0.0) -> RoundBatch:
+                    recal_duration: float = 0.0,
+                    service_scale: float = 1.0) -> RoundBatch:
     """Simulate ``rounds`` SCAN rounds of ``n`` requests each.
 
     Rounds are simulated back-to-back on one drive: sweep direction
@@ -176,6 +177,12 @@ def simulate_rounds(spec: DiskSpec, size_dist: Distribution, n: int,
     stall at the start of a round with the given probability (see
     :mod:`repro.core.faults`; stalling before the sweep delays every
     request of the round, matching the analytic disturbance term).
+
+    ``service_scale`` multiplies every per-request service time
+    (seek + rotation + transfer), matching the event engine's
+    ``slow_disk`` semantics where the :class:`DiskScheduler` scales
+    ``breakdown.total``; recalibration stalls are *not* scaled, also
+    matching the event path (the arm seizure precedes the sweep).
     """
     _validate(spec, n, t, rounds)
     if recal_prob < 0.0 or recal_prob >= 1.0:
@@ -184,6 +191,9 @@ def simulate_rounds(spec: DiskSpec, size_dist: Distribution, n: int,
     if recal_prob > 0.0 and recal_duration <= 0.0:
         raise ConfigurationError(
             "recal_duration must be positive when recal_prob > 0")
+    if not (service_scale > 0.0 and math.isfinite(service_scale)):
+        raise ConfigurationError(
+            f"service_scale must be positive, got {service_scale!r}")
     service_times = np.empty(rounds, dtype=float)
     seek_totals = np.empty(rounds, dtype=float)
     first_seeks = np.empty(rounds, dtype=float)
@@ -224,6 +234,8 @@ def simulate_rounds(spec: DiskSpec, size_dist: Distribution, n: int,
         rotation = rng.uniform(0.0, rot, size=(chunk, n))
         transfer = sorted_sizes / sorted_rates
         completion = np.cumsum(seek_times + rotation + transfer, axis=1)
+        if service_scale != 1.0:
+            completion = completion * service_scale
         if recal_prob > 0.0:
             stall = np.where(rng.random(chunk) < recal_prob,
                              recal_duration, 0.0)
@@ -458,24 +470,78 @@ def _simulate_disk_phases(task):
     pickles into pool workers).
 
     ``task`` is ``(spec, size_dist, t, phases, seed_sequence)`` with
-    ``phases`` a tuple of ``(name, batch, rounds)``.  The disk's RNG is
-    carried across phases (like :func:`simulate_failover_rounds`), and
-    a phase with an empty batch draws nothing, so results are
-    bit-identical regardless of how disks are spread over workers.
+    ``phases`` a tuple of plain ``(name, batch, rounds)`` entries or the
+    scenario compiler's extended ``(name, batch, rounds, service_scale,
+    recal_prob, recal_stall)`` form (plain entries run at full speed
+    with no storm, consuming the RNG identically to earlier releases).
+    The disk's RNG is carried across phases (like
+    :func:`simulate_failover_rounds`), and a phase with an empty batch
+    draws nothing, so results are bit-identical regardless of how disks
+    are spread over workers.
     """
     spec, size_dist, t, phases, child = task
     rng = np.random.default_rng(child)
     results = []
-    for _name, batch, rounds in phases:
+    for entry in phases:
+        _name, batch, rounds = entry[:3]
+        scale = entry[3] if len(entry) > 3 else 1.0
+        recal_prob = entry[4] if len(entry) > 4 else 0.0
+        recal_stall = entry[5] if len(entry) > 5 else 0.0
         if batch < 1 or rounds < 1:
             results.append((0, 0, 0, 0))
             continue
         batch_result = simulate_rounds(spec, size_dist, batch, t, rounds,
-                                       rng)
+                                       rng, recal_prob=recal_prob,
+                                       recal_duration=recal_stall,
+                                       service_scale=scale)
         late = int(np.sum(batch_result.service_times > t))
         glitches = int(np.sum(batch_result.glitches))
         results.append((rounds, late, rounds * batch, glitches))
     return tuple(results)
+
+
+def _group_phase_results(phase_plan, per_disk, disks):
+    """Aggregate per-(disk, plan-entry) raw tuples into named phases.
+
+    Consecutive plan entries sharing a name are merged (a rejoin ramp
+    -- or a compiled scenario's constant-state segments -- split one
+    logical phase into several entries), yielding the
+    ``(phases, per_disk)`` pair of :class:`FarmRoundsEstimate`.
+    """
+    groups: list[tuple[str, list[int], int]] = []
+    for index, entry in enumerate(phase_plan):
+        name, _batches, phase_rounds = entry[0], entry[1], entry[2]
+        if groups and groups[-1][0] == name:
+            groups[-1][1].append(index)
+            groups[-1] = (name, groups[-1][1],
+                          groups[-1][2] + phase_rounds)
+        else:
+            groups.append((name, [index], phase_rounds))
+
+    phases = []
+    grouped_per_disk = []
+    for disk in range(disks):
+        row = []
+        for _name, indices, _rounds in groups:
+            totals = [0, 0, 0, 0]
+            for index in indices:
+                for position, value in enumerate(per_disk[disk][index]):
+                    totals[position] += value
+            row.append(tuple(totals))
+        grouped_per_disk.append(tuple(row))
+    for group_index, (name, _indices, group_rounds) in enumerate(groups):
+        disk_rounds = late = requests = glitches = 0
+        for disk in range(disks):
+            d_rounds, d_late, d_requests, d_glitches = \
+                grouped_per_disk[disk][group_index]
+            disk_rounds += d_rounds
+            late += d_late
+            requests += d_requests
+            glitches += d_glitches
+        phases.append(FarmPhaseStats(
+            name=name, rounds=group_rounds, disk_rounds=disk_rounds,
+            late_disk_rounds=late, requests=requests, glitches=glitches))
+    return tuple(phases), tuple(grouped_per_disk)
 
 
 def _rejoin_plan(disks: int, n_per_disk: int, kept: int, span: int,
@@ -623,42 +689,12 @@ def simulate_farm_rounds(spec: DiskSpec, size_dist: Distribution, *,
     # splits "recovered" into several entries) and aggregate both the
     # farm-level phase records and the per-disk raw tuples, so the
     # estimate keeps its three-phase shape regardless of ramp depth.
-    groups: list[tuple[str, list[int], int]] = []
-    for index, (name, _batches, phase_rounds) in enumerate(phase_plan):
-        if groups and groups[-1][0] == name:
-            groups[-1][1].append(index)
-            groups[-1] = (name, groups[-1][1],
-                          groups[-1][2] + phase_rounds)
-        else:
-            groups.append((name, [index], phase_rounds))
-
-    phases = []
-    grouped_per_disk = []
-    for disk in range(disks):
-        row = []
-        for _name, indices, _rounds in groups:
-            totals = [0, 0, 0, 0]
-            for index in indices:
-                for position, value in enumerate(per_disk[disk][index]):
-                    totals[position] += value
-            row.append(tuple(totals))
-        grouped_per_disk.append(tuple(row))
-    for group_index, (name, _indices, group_rounds) in enumerate(groups):
-        disk_rounds = late = requests = glitches = 0
-        for disk in range(disks):
-            d_rounds, d_late, d_requests, d_glitches = \
-                grouped_per_disk[disk][group_index]
-            disk_rounds += d_rounds
-            late += d_late
-            requests += d_requests
-            glitches += d_glitches
-        phases.append(FarmPhaseStats(
-            name=name, rounds=group_rounds, disk_rounds=disk_rounds,
-            late_disk_rounds=late, requests=requests, glitches=glitches))
+    phases, grouped_per_disk = _group_phase_results(
+        phase_plan, per_disk, disks)
     return FarmRoundsEstimate(
         disks=disks, n_per_disk=n_per_disk, t=t,
         fail_disk=fail_disk if failing else None, shedding=shedding,
-        phases=tuple(phases), per_disk=tuple(grouped_per_disk))
+        phases=phases, per_disk=grouped_per_disk)
 
 
 @dataclass(frozen=True)

@@ -178,6 +178,10 @@ class TestFanOutFailFast:
 
 
 class TestWorkerRetries:
+    # These tests SIGKILL the worker *process*, so they pin a process
+    # transport: under REPRO_PARALLEL_TRANSPORT=threads the worker
+    # would be a thread of this very interpreter.
+
     def test_resolve_env_validation(self, monkeypatch):
         monkeypatch.delenv(WORKER_RETRIES_ENV, raising=False)
         assert resolve_worker_retries() == 1
@@ -204,7 +208,8 @@ class TestWorkerRetries:
         monkeypatch.setenv(_KILL_SENTINEL_ENV,
                            str(tmp_path / "killed-once"))
         expected = fan_out(_draw_from_seed, _seeded_tasks(6), jobs=1)
-        survived = fan_out(_draw_or_die_once, _seeded_tasks(6), jobs=2)
+        survived = fan_out(_draw_or_die_once, _seeded_tasks(6), jobs=2,
+                           transport="shm")
         assert survived == expected
         assert os.path.exists(os.environ[_KILL_SENTINEL_ENV])
 
@@ -212,7 +217,8 @@ class TestWorkerRetries:
         monkeypatch.delenv(_KILL_SENTINEL_ENV, raising=False)
         monkeypatch.setenv(WORKER_RETRIES_ENV, "1")
         with pytest.raises(ParallelExecutionError) as info:
-            fan_out(_die_always, _seeded_tasks(6), jobs=2)
+            fan_out(_die_always, _seeded_tasks(6), jobs=2,
+                    transport="shm")
         assert "retry budget exhausted" in str(info.value)
         assert WORKER_RETRIES_ENV in str(info.value)
 
@@ -222,7 +228,8 @@ class TestWorkerRetries:
         monkeypatch.setenv(_KILL_SENTINEL_ENV,
                            str(tmp_path / "killed-once"))
         with pytest.raises(ParallelExecutionError):
-            fan_out(_draw_or_die_once, _seeded_tasks(6), jobs=2)
+            fan_out(_draw_or_die_once, _seeded_tasks(6), jobs=2,
+                    transport="shm")
 
 
 class TestJobsInvariance:
