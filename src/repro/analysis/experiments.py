@@ -138,6 +138,14 @@ _ENTRIES = [
                "transport ratio; the compiled-path speedup is a CI "
                "regression gate",
                "bench_a24_scenario_kernel.py", ("a24_scenario_kernel",)),
+    Experiment("A25", "Closed-loop adaptive admission",
+               "a static and an adaptive daemon through the same "
+               "deterministic slow-disk drift: static admission "
+               "provably violates epsilon while the controller "
+               "retunes (cached Chernoff re-solves at t/s) and holds "
+               "it; the violation ratio is a CI regression gate",
+               "bench_a25_adaptive_control.py",
+               ("a25_adaptive_control",)),
 ]
 
 #: Registry keyed by experiment id.

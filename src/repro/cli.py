@@ -681,6 +681,32 @@ def _cmd_observe(args: argparse.Namespace) -> int:
              "b_late bound", "verdict"],
             rendered, title="bound vs observed"))
 
+    if args.window:
+        rendered = []
+        for row in telemetry.windowed_bound_table(args.window):
+            if not row.disk_rounds:
+                continue
+            if row.within_bound is None:
+                verdict = "no bound recorded"
+            elif row.within_bound:
+                verdict = "within bound"
+            else:
+                verdict = "VIOLATED"
+            rendered.append([
+                row.phase, str(row.disk_rounds),
+                str(row.late_disk_rounds),
+                format_probability(row.observed_p_late),
+                format_probability(row.bound) if row.bound is not None
+                else "-",
+                verdict])
+        if rendered:
+            print(render_table(
+                ["window", "sweeps", "late", "observed p_late",
+                 "bound", "verdict"],
+                rendered,
+                title=f"bound vs observed per {args.window}-round "
+                      f"window"))
+
     for record in telemetry.faults:
         print(f"  fault: {record.get('desc', record)}")
     if telemetry.sheds:
@@ -693,22 +719,31 @@ def _cmd_observe(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the live admission daemon until --duration elapses or the
-    operator interrupts it."""
+    """Run the live admission daemon until --duration elapses, a
+    SIGTERM/SIGINT arrives, or the operator interrupts it."""
+    import signal
+    import threading
     import time
     from pathlib import Path
 
-    from repro.serve import (FaultFeed, ServeConfig, ServeDaemon,
-                             ServeHandle)
+    from repro.control import ControllerConfig
+    from repro.serve import (FaultFeed, RoundTicker, ServeConfig,
+                             ServeDaemon, ServeHandle)
     from repro.server.faults import FaultSchedule
 
     sizes = Gamma.from_mean_std(args.mean_kb * 1000.0,
                                 args.std_kb * 1000.0)
+    control = None
+    if args.adaptive:
+        control = ControllerConfig(guard_band=args.guard_band)
     config = ServeConfig(spec=_spec(args), size_dist=sizes, t=args.t,
                          epsilon=args.epsilon, delta=args.delta,
                          m=args.m, g=args.g, disks=args.disks,
                          shed_mode=args.shed_mode,
-                         preload=not args.no_preload)
+                         preload=not args.no_preload,
+                         adaptive=args.adaptive, control=control,
+                         snapshot_path=args.snapshot_path,
+                         probe_seed=args.probe_seed)
     daemon = ServeDaemon(config)
     schedule = (FaultSchedule.from_toml(args.fault_schedule)
                 if args.fault_schedule else None)
@@ -723,30 +758,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"(n_max={daemon.controller.n_max_per_disk}/disk x "
           f"{args.disks} disks, degraded={daemon.degraded_n_max}, "
           f"table build {daemon.build_seconds * 1e3:.1f} ms)")
-    feed = None
+    if daemon.state()["restored"]:
+        print(f"repro serve: restored snapshot "
+              f"{args.snapshot_path} "
+              f"({daemon.controller.active} active stream(s))")
     if schedule is not None:
         feed = FaultFeed(daemon, schedule,
                          time_scale=args.time_scale).start()
+        handle.attach(feed)
         print(f"repro serve: replaying {len(schedule)} fault event(s) "
               f"at time scale {args.time_scale:g}")
+    interval = args.round_interval
+    if interval is None:
+        interval = 0.2 if args.adaptive else 0.0
+    if interval > 0:
+        handle.attach(RoundTicker(daemon, interval=interval).start())
+        print(f"repro serve: probing one round every {interval:g}s"
+              + (" (adaptive control on)" if args.adaptive else ""))
+
+    # Graceful shutdown: SIGTERM/SIGINT trip an event; the finally
+    # block snapshots the ledger and joins every feed/server thread.
+    # Registration fails with ValueError off the main thread (the
+    # in-process test harness) -- interrupts then fall through to the
+    # KeyboardInterrupt path below.
+    stop = threading.Event()
+    previous: dict = {}
+
+    def _on_signal(signum, frame):
+        stop.set()
+
     try:
-        if args.duration is not None:
-            time.sleep(args.duration)
-        else:  # pragma: no cover - interactive mode
-            while True:
-                time.sleep(3600.0)
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _on_signal)
+    except ValueError:
+        previous = {}
+    signalled = False
+    try:
+        signalled = stop.wait(args.duration)  # None: wait forever
     except KeyboardInterrupt:  # pragma: no cover - interactive mode
-        pass
+        signalled = True
     finally:
-        if feed is not None:
-            feed.stop()
         handle.stop()
+        written = daemon.save_snapshot(clean=True)
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
     snap = daemon.controller.snapshot()
-    print(f"repro serve: stopped after "
+    reason = "signal" if signalled else "duration elapsed"
+    print(f"repro serve: stopped ({reason}) after "
           f"{time.time() - daemon.started_at:.1f}s -- "
           f"{snap['requests']} requests, "
           f"{snap['requests'] - snap['rejections']} admitted, "
           f"{snap['rejections']} rejected, {snap['active']} active")
+    if args.adaptive:
+        view = daemon.control_state()["controller"]
+        print(f"repro serve: controller state={view['state']} "
+              f"retunes={view['retunes']} "
+              f"watchdog_trips={view['watchdog_trips']} "
+              f"n_max={view['n_max']} t_mult={view['t_mult']:g}")
+    if written is not None:
+        print(f"repro serve: clean snapshot written to {written}")
     if args.metrics:
         daemon.registry.write_json(args.metrics)
         print(f"metrics written to {args.metrics}")
@@ -772,7 +842,8 @@ def _cmd_admit(args: argparse.Namespace) -> int:
 
     client = ServeClient(_resolve_serve_url(args))
     if args.fault:
-        result = client.fault(args.fault, disk=args.disk)
+        result = client.fault(args.fault, disk=args.disk,
+                              factor=args.factor)
         print(_json.dumps(result))
     if args.until_reject:
         admitted = client.admit_until_reject()
@@ -785,10 +856,14 @@ def _cmd_admit(args: argparse.Namespace) -> int:
         for _ in range(args.release):
             client.release()
         print(f"released {args.release} stream(s)")
+    if args.snapshot:
+        print(_json.dumps(client.snapshot()))
     if args.scrape:
         print(client.metrics(), end="")
     if args.state:
         print(_json.dumps(client.state(), indent=2, sort_keys=True))
+    if args.control:
+        print(_json.dumps(client.control(), indent=2, sort_keys=True))
     return 0
 
 
@@ -984,6 +1059,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-preload", action="store_true",
                    help="skip bulk-loading the persistent bound cache "
                    "at startup")
+    p.add_argument("--adaptive", action="store_true",
+                   help="run the closed-loop controller: retune "
+                   "(N_max, t) online from observed round lateness "
+                   "(docs/ROBUSTNESS.md)")
+    p.add_argument("--guard-band", type=float, default=0.25,
+                   help="fraction of the analytic bound reserved as "
+                   "early-warning margin before the controller "
+                   "tightens (default: 0.25)")
+    p.add_argument("--round-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="probe one service round this often "
+                   "(default: 0.2 with --adaptive, off otherwise)")
+    p.add_argument("--snapshot-path", default=None,
+                   metavar="SNAPSHOT.json",
+                   help="crash-safe ledger snapshot: restored on "
+                   "start, refreshed on faults/retunes, written "
+                   "clean on shutdown")
+    p.add_argument("--probe-seed", type=int, default=0,
+                   help="seed of the deterministic round probe")
     p.add_argument("--metrics", default=None, metavar="METRICS.json",
                    help="write the final metrics registry to this "
                    "JSON file on shutdown")
@@ -1006,14 +1100,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--release", type=int, default=0, metavar="N",
                    help="release N streams (oldest first)")
     p.add_argument("--fault", default=None,
-                   choices=("disk_fail", "disk_recover"),
+                   choices=("disk_fail", "disk_recover", "slow_disk"),
                    help="inject this fault event before admitting")
     p.add_argument("--disk", type=int, default=0,
                    help="disk index for --fault")
+    p.add_argument("--factor", type=float, default=1.0,
+                   help="service drift factor for --fault slow_disk")
     p.add_argument("--scrape", action="store_true",
                    help="print the daemon's /metrics exposition")
     p.add_argument("--state", action="store_true",
                    help="print the daemon's /state JSON")
+    p.add_argument("--control", action="store_true",
+                   help="print the daemon's /control JSON (window "
+                   "aggregates, controller state)")
+    p.add_argument("--snapshot", action="store_true",
+                   help="ask the daemon to persist its crash-safe "
+                   "snapshot now")
     p.set_defaults(func=_cmd_admit)
 
     p = sub.add_parser("observe",
@@ -1023,6 +1125,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace file from 'repro simulate --trace'")
     p.add_argument("--top", type=int, default=10,
                    help="how many of the slowest sweeps to list")
+    p.add_argument("--window", type=int, default=None, metavar="N",
+                   help="also show bound-vs-observed over trailing "
+                   "N-round windows (the live controller's view)")
     p.add_argument("--validate", action="store_true",
                    help="exit non-zero when the trace fails schema "
                    "validation")

@@ -1,0 +1,97 @@
+"""Deterministic round probe feeding the control loop.
+
+The live daemon admits streams but does not, by itself, move a disk
+arm: there is no physical signal to observe.  The probe closes that
+gap the same way the statistical engine does -- it *samples* each
+round's sweep on the calibrated multi-zone disk model
+(:func:`repro.server.simulation.simulate_rounds`), one round per alive
+disk per tick, with the daemon's live drift state (``slow_disk``
+factors) applied as ``service_scale``.  In production the observations
+would come from real sweep timings; here the probe doubles as the
+drift *generator* for tests, benches and the chaos suite, which is
+exactly what makes the convergence scenarios reproducible: every
+sample is a pure function of the probe seed and the call sequence.
+
+The probe owns one :class:`numpy.random.Generator` seeded via
+``SeedSequence([seed, 0xC7A1])`` and must be driven from one thread at
+a time (the daemon serialises ticks under its tick lock).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.window import LATENCY_EDGES, RoundObservation
+from repro.errors import ConfigurationError
+
+__all__ = ["ServiceProbe"]
+
+
+class ServiceProbe:
+    """Seeded per-round sweep sampler for a daemon's disk farm."""
+
+    def __init__(self, spec, size_dist, seed: int = 0) -> None:
+        self.spec = spec
+        self.size_dist = size_dist
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, 0xC7A1]))
+        #: Rounds sampled so far (all disks of a tick share one round).
+        self.samples = 0
+
+    def sample_round(self, round_index: int, t_budget: float,
+                     disks, service_model) -> RoundObservation:
+        """Probe one round.
+
+        ``disks`` is a sequence of ``(disk, n_requests, scale)`` for
+        every alive disk: ``n_requests`` the worst-case batch the disk
+        serves this round (doubled when covering a failed mirror) and
+        ``scale`` its current slow-disk factor.  Returns the aggregated
+        :class:`RoundObservation`, stamped with the disk-weighted
+        nominal bound ``b_late(n, t_budget)`` -- the reference the
+        controller's guard band is measured against.
+        """
+        # Local import keeps daemon startup light when never ticked.
+        from repro.server.simulation import simulate_rounds
+
+        if t_budget <= 0.0:
+            raise ConfigurationError(
+                f"round budget must be positive, got {t_budget!r}")
+        disk_rounds = late = requests = glitched = 0
+        observed = expected = 0.0
+        bound_weight = 0.0
+        counts = [0] * (len(LATENCY_EDGES) + 1)
+        for _, n, scale in disks:
+            n = int(n)
+            if n < 1:
+                continue
+            batch = simulate_rounds(
+                self.spec, self.size_dist, n, t_budget, 1, self._rng,
+                service_scale=float(scale))
+            service = float(batch.service_times[0])
+            disk_rounds += 1
+            requests += n
+            glitched += int(batch.glitches.sum())
+            observed += service
+            expected += float(service_model.mean(n))
+            bound_weight += float(service_model.b_late(n, t_budget))
+            if service > t_budget:
+                late += 1
+            relative = service / t_budget
+            for index, edge in enumerate(LATENCY_EDGES):
+                if relative <= edge:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+        self.samples += 1
+        return RoundObservation(
+            round_index=int(round_index),
+            disk_rounds=disk_rounds,
+            late_disk_rounds=late,
+            requests=requests,
+            glitched=glitched,
+            observed_service=observed,
+            expected_service=expected,
+            bound=bound_weight / disk_rounds if disk_rounds else 0.0,
+            latency_counts=tuple(counts))

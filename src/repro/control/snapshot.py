@@ -1,0 +1,124 @@
+"""Crash-safe snapshot/restore of the daemon ledger + controller.
+
+The admitted-stream guarantee must survive a ``kill -9``: a restarted
+daemon may never hand out a ticket that an unreachable client already
+holds, and may never resurrect capacity the controller had already
+shed.  The format here is deliberately boring -- one versioned JSON
+document -- with two non-negotiable mechanics:
+
+**Atomic replace.**  :func:`write_snapshot` writes to a same-directory
+temp file, ``fsync``\\ s it, ``os.replace``\\ s it over the target and
+then ``fsync``\\ s the directory.  A crash at any instant leaves either
+the complete old snapshot or the complete new one, never a torn file.
+
+**Ticket watermark.**  The snapshot records ``next_stream`` and
+whether it was written *clean* (daemon quiesced, no requests in
+flight).  Restoring a clean snapshot resumes ticket numbering exactly
+(the bit-for-bit round-trip the test suite pins).  Restoring an
+*unclean* snapshot -- the ``kill -9`` case, where admissions may have
+raced the last write -- advances ``next_stream`` by
+:data:`TICKET_RESERVE` before the first admission, so even tickets
+granted after the snapshot was written can never be re-issued.  The
+reserve burns at most 4096 integers per unclean restart against an
+unbounded ticket space: zero duplicate admissions, no write on the
+admit hot path.
+
+Snapshots embed the daemon's config fingerprint
+(:func:`repro.cache.fingerprint` over the admission-relevant
+parameters); restoring under a different configuration is refused
+rather than silently re-interpreting ledger entries admitted under
+other bounds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SNAPSHOT_VERSION", "TICKET_RESERVE", "write_snapshot",
+           "read_snapshot"]
+
+SNAPSHOT_VERSION = 1
+
+#: Ticket numbers skipped when restoring an unclean snapshot.
+TICKET_RESERVE = 4096
+
+_KIND = "repro-serve-snapshot"
+
+
+def write_snapshot(path: str | Path, payload: dict) -> Path:
+    """Atomically persist ``payload`` (adding version/kind headers)."""
+    path = Path(path)
+    document = {"kind": _KIND, "version": SNAPSHOT_VERSION}
+    document.update(payload)
+    data = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    try:
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        finally:
+            raise
+    # Durable rename: fsync the containing directory (best effort on
+    # filesystems that refuse O_RDONLY directory fsync).
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return path
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+    return path
+
+
+def read_snapshot(path: str | Path,
+                  expected_fingerprint: str | None = None) -> dict:
+    """Load and validate a snapshot document.
+
+    Raises :class:`~repro.errors.ConfigurationError` on a torn/foreign
+    file, an unsupported version, or (when ``expected_fingerprint`` is
+    given) a config mismatch -- a ledger admitted under different
+    bounds must not be restored silently.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read snapshot {path}: {exc}") from exc
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"snapshot {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("kind") != _KIND:
+        raise ConfigurationError(
+            f"{path} is not a repro serve snapshot")
+    version = document.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"snapshot {path} has version {version!r}; this build "
+            f"reads version {SNAPSHOT_VERSION}")
+    if (expected_fingerprint is not None
+            and document.get("config_fingerprint")
+            != expected_fingerprint):
+        raise ConfigurationError(
+            f"snapshot {path} was written under a different daemon "
+            f"configuration (fingerprint "
+            f"{document.get('config_fingerprint')!r} != "
+            f"{expected_fingerprint!r}); refusing to restore")
+    return document

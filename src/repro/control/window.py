@@ -1,0 +1,226 @@
+"""Windowed bound-vs-observed telemetry for the closed control loop.
+
+The controller never looks at raw probe samples: every round the
+daemon folds one :class:`RoundObservation` into a bounded
+:class:`TelemetryWindow`, and the plan step reads only the window's
+aggregates -- observed ``p_late`` with Wilson score bounds, the
+disk-round-weighted analytic reference bound stamped for the rounds in
+the window, the stream-slot glitch rate, and the observed/expected
+service-time ratio used to estimate the drift scale.  Keeping the
+statistics windowed (rather than cumulative) is what lets the loop
+*forget*: after a retune the window is cleared so stale pre-retune
+lateness cannot keep triggering, and after a drift passes the ratio
+decays back within one window length.
+
+Everything here is plain arithmetic over a deque -- no locks (the
+daemon serialises access under its own lock) and no clocks, so windows
+round-trip exactly through the crash-safe snapshot
+(:mod:`repro.control.snapshot`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.analysis.stats import wilson_interval
+from repro.distributions import binomial_tail
+from repro.errors import ConfigurationError
+
+__all__ = ["RoundObservation", "TelemetryWindow", "LATENCY_EDGES"]
+
+#: Relative service-time histogram edges, as fractions of the round
+#: budget ``t``; one overflow bucket beyond 1.0 counts late sweeps.
+LATENCY_EDGES = (0.5, 0.75, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class RoundObservation:
+    """Aggregate of one probed round across every alive disk.
+
+    ``bound`` is the analytic reference stamped for this round: the
+    disk-weighted mean of ``b_late(n_disk, t_budget)`` over the alive
+    disks, evaluated at *nominal* disk speed -- the whole point of the
+    loop is that observed lateness under drift exceeds this stamp.
+    """
+
+    round_index: int
+    disk_rounds: int          # alive disks probed this round
+    late_disk_rounds: int     # of those, sweeps that overran t_budget
+    requests: int             # stream slots served across the disks
+    glitched: int             # slots whose fragment missed its round
+    observed_service: float   # summed sweep seconds (drifted)
+    expected_service: float   # summed model mean(n) seconds (nominal)
+    bound: float              # stamped b_late reference for this round
+    latency_counts: tuple[int, ...] = ()  # histogram over LATENCY_EDGES
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (snapshot payload)."""
+        return {
+            "round_index": self.round_index,
+            "disk_rounds": self.disk_rounds,
+            "late_disk_rounds": self.late_disk_rounds,
+            "requests": self.requests,
+            "glitched": self.glitched,
+            "observed_service": self.observed_service,
+            "expected_service": self.expected_service,
+            "bound": self.bound,
+            "latency_counts": list(self.latency_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundObservation":
+        return cls(
+            round_index=int(data["round_index"]),
+            disk_rounds=int(data["disk_rounds"]),
+            late_disk_rounds=int(data["late_disk_rounds"]),
+            requests=int(data["requests"]),
+            glitched=int(data["glitched"]),
+            observed_service=float(data["observed_service"]),
+            expected_service=float(data["expected_service"]),
+            bound=float(data["bound"]),
+            latency_counts=tuple(
+                int(c) for c in data.get("latency_counts", ())))
+
+
+class TelemetryWindow:
+    """Sliding window of the most recent :class:`RoundObservation`."""
+
+    def __init__(self, maxlen: int = 64) -> None:
+        if maxlen < 1:
+            raise ConfigurationError(
+                f"window maxlen must be >= 1, got {maxlen!r}")
+        self.maxlen = int(maxlen)
+        self._obs: deque[RoundObservation] = deque(maxlen=self.maxlen)
+
+    # -- mutation ------------------------------------------------------
+    def add(self, obs: RoundObservation) -> None:
+        """Fold one round's probe into the window (oldest evicted at
+        ``maxlen``)."""
+        self._obs.append(obs)
+
+    def clear(self) -> None:
+        """Forget everything (called after every retune, so the next
+        plan step runs on post-retune evidence only)."""
+        self._obs.clear()
+
+    # -- aggregates ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._obs)
+
+    @property
+    def rounds(self) -> int:
+        return len(self._obs)
+
+    @property
+    def disk_rounds(self) -> int:
+        return sum(o.disk_rounds for o in self._obs)
+
+    @property
+    def late_disk_rounds(self) -> int:
+        return sum(o.late_disk_rounds for o in self._obs)
+
+    @property
+    def requests(self) -> int:
+        return sum(o.requests for o in self._obs)
+
+    @property
+    def glitched(self) -> int:
+        return sum(o.glitched for o in self._obs)
+
+    @property
+    def observed_p_late(self) -> float:
+        """Point estimate of the per-sweep overrun rate."""
+        total = self.disk_rounds
+        return self.late_disk_rounds / total if total else 0.0
+
+    def p_late_interval(self, confidence: float = 0.95
+                        ) -> tuple[float, float]:
+        """Wilson score interval for the overrun rate -- the tighten
+        trigger reads the *lower* bound (confident violation only) and
+        the relax trigger the *upper* (comfortable margin only)."""
+        total = self.disk_rounds
+        if total < 1:
+            return (0.0, 1.0)
+        return wilson_interval(self.late_disk_rounds, total,
+                               confidence=confidence)
+
+    @property
+    def bound(self) -> float:
+        """Disk-round-weighted mean of the stamped per-round bounds."""
+        total = self.disk_rounds
+        if not total:
+            return 0.0
+        return sum(o.bound * o.disk_rounds for o in self._obs) / total
+
+    @property
+    def glitch_rate(self) -> float:
+        """Fraction of stream slots that glitched in the window."""
+        total = self.requests
+        return self.glitched / total if total else 0.0
+
+    def observed_p_error(self, m: int, g: int) -> float:
+        """Stream-level ``P[> g glitches in m rounds]`` implied by the
+        window's empirical slot glitch rate (exact binomial tail,
+        eq. 3.3.5 with the observed rate in place of ``b_glitch``)."""
+        rate = self.glitch_rate
+        if rate <= 0.0:
+            return 0.0
+        return float(binomial_tail(m, min(rate, 1.0), g))
+
+    @property
+    def service_ratio(self) -> float:
+        """Observed / nominal-model service seconds; the drift-scale
+        estimator divides this by its calibrated steady-state value."""
+        expected = sum(o.expected_service for o in self._obs)
+        if expected <= 0.0:
+            return 1.0
+        return sum(o.observed_service for o in self._obs) / expected
+
+    def latency_histogram(self) -> dict:
+        """Summed sweep-service histogram over :data:`LATENCY_EDGES`
+        (relative to the round budget), one overflow bucket last."""
+        counts = [0] * (len(LATENCY_EDGES) + 1)
+        for obs in self._obs:
+            for index, count in enumerate(obs.latency_counts):
+                if index < len(counts):
+                    counts[index] += count
+        return {"edges": list(LATENCY_EDGES), "counts": counts}
+
+    # -- persistence ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable form: ``from_dict`` round-trips exactly."""
+        return {"maxlen": self.maxlen,
+                "observations": [o.to_dict() for o in self._obs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetryWindow":
+        window = cls(maxlen=int(data.get("maxlen", 64)))
+        for entry in data.get("observations", ()):
+            window.add(RoundObservation.from_dict(entry))
+        return window
+
+    def summary(self, m: int | None = None, g: int | None = None,
+                confidence: float = 0.95) -> dict:
+        """JSON view for ``/control`` and the CLI."""
+        lower, upper = self.p_late_interval(confidence)
+        out = {
+            "rounds": self.rounds,
+            "disk_rounds": self.disk_rounds,
+            "late_disk_rounds": self.late_disk_rounds,
+            "observed_p_late": self.observed_p_late,
+            "p_late_lower": lower,
+            "p_late_upper": upper,
+            "bound": self.bound,
+            "glitch_rate": self.glitch_rate,
+            "service_ratio": self.service_ratio,
+            "latency_histogram": self.latency_histogram(),
+        }
+        if m is not None and g is not None:
+            out["observed_p_error"] = self.observed_p_error(m, g)
+        return out
+
+    def __repr__(self) -> str:
+        return (f"TelemetryWindow(rounds={self.rounds}, "
+                f"p_late={self.observed_p_late:.4f}, "
+                f"bound={self.bound:.4f})")

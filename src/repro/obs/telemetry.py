@@ -311,6 +311,46 @@ class RunTelemetry:
                 bound=float(bound) if bound is not None else None))
         return table
 
+    def windowed_bound_table(self, window: int
+                             ) -> list[BoundComparison]:
+        """Observed vs analytic ``p_late`` over trailing round windows.
+
+        Splits the recorded rounds (in timeline order) into
+        consecutive windows of ``window`` rounds and compares each
+        against the bound of its dominant phase -- the same gap the
+        live controller's :class:`~repro.control.window.
+        TelemetryWindow` watches, reconstructed offline from a trace.
+        A window mixing healthy and degraded rounds is labelled by
+        whichever phase contributes more sweeps and compared against
+        that phase's bound, so a drift that only violates *locally*
+        (invisible in the whole-run average) shows up in its window's
+        row.  Rows are named ``"rounds[a..b]"``.
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        ordered = [self.rounds[r] for r in sorted(self.rounds)]
+        table = []
+        for start in range(0, len(ordered), window):
+            chunk = ordered[start:start + window]
+            degraded_sweeps = sum(len(i.sweeps) for i in chunk
+                                  if i.degraded)
+            healthy_sweeps = sum(len(i.sweeps) for i in chunk
+                                 if not i.degraded)
+            degraded = degraded_sweeps > healthy_sweeps
+            bound = self.header.get(
+                "bound_degraded" if degraded else "bound_healthy")
+            sweeps = [s for info in chunk for s in info.sweeps]
+            late = sum(1 for s in sweeps if s.late)
+            first = chunk[0].round_index
+            last = chunk[-1].round_index
+            table.append(BoundComparison(
+                phase=f"rounds[{first}..{last}]",
+                rounds=len(chunk), disk_rounds=len(sweeps),
+                late_disk_rounds=late,
+                observed_p_late=late / len(sweeps) if sweeps else 0.0,
+                bound=float(bound) if bound is not None else None))
+        return table
+
     def violations(self) -> list[BoundComparison]:
         """Phases whose empirical overrun rate exceeds their bound."""
         return [row for row in self.bound_table()

@@ -18,8 +18,19 @@ long-running daemon:
 - :class:`~repro.serve.http.FaultFeed` -- replays a TOML
   :class:`~repro.server.faults.FaultSchedule` against the daemon in
   scaled wall-clock time;
-- :class:`~repro.serve.client.ServeClient` -- a ``urllib`` client used
-  by ``repro admit``, the serve smoke test and bench A23.
+- :class:`~repro.serve.http.RoundTicker` -- drives the daemon's
+  measurement/control loop (``tick_round``) at wall-clock cadence;
+- :class:`~repro.serve.client.ServeClient` -- a retrying ``urllib``
+  client (exponential backoff + jitter, idempotency-aware) used by
+  ``repro admit``, the smoke/chaos legs and benches A23/A25.
+
+With ``adaptive=True`` the daemon additionally runs the closed-loop
+controller from :mod:`repro.control`: a telemetry window compares
+observed per-round lateness against the bounds stamped for the
+current operating point and retunes ``(N_max, t)`` online through
+cached Chernoff re-solves, with a watchdog escalating to hard
+shedding; ``snapshot_path`` makes the whole ledger crash-safe
+(fsync-atomic versioned JSON, unclean-restart ticket reserve).
 
 Everything is standard library only; the daemon warm-starts by bulk
 loading the persistent bound cache
@@ -29,12 +40,13 @@ table builds without re-running a single Chernoff optimisation.
 
 from repro.serve.client import ServeClient
 from repro.serve.daemon import ServeConfig, ServeDaemon
-from repro.serve.http import FaultFeed, ServeHandle
+from repro.serve.http import FaultFeed, RoundTicker, ServeHandle
 
 __all__ = [
     "ServeConfig",
     "ServeDaemon",
     "ServeHandle",
     "FaultFeed",
+    "RoundTicker",
     "ServeClient",
 ]

@@ -1,13 +1,36 @@
 """``urllib`` client for a running ``repro serve`` daemon.
 
-Used by the ``repro admit`` CLI, the serve smoke test and bench A23 --
-no third-party HTTP library, no connection pooling cleverness: one
-request per call against the daemon's thread-per-request server.
+Used by the ``repro admit`` CLI, the serve smoke test, the chaos leg
+and benches A23/A25 -- no third-party HTTP library, no connection
+pooling cleverness: one request per call against the daemon's
+thread-per-request server.
+
+The client is **retrying**: transport failures (connection refused
+while the daemon restarts from a snapshot, a connection torn mid
+flight by ``kill -9``) are retried with exponential backoff plus
+deterministic decorrelation jitter, up to ``retries`` attempts per
+call, each under its own ``timeout``.  Retry safety is per operation:
+
+- *connect-stage* failures (``ConnectionRefusedError`` and friends
+  wrapped in ``URLError``) are retried for every operation -- the
+  request never reached the daemon, so re-sending cannot double-apply;
+- *mid-flight* failures (the connection died after the request was
+  sent; the daemon may or may not have processed it) are retried only
+  for idempotent operations: reads, ``release`` of an explicit stream
+  (releasing an already-released ticket is a 400 the caller sees as
+  "done"), and ``fault``/``snapshot`` whose doubled application is a
+  no-op.  A mid-flight ``admit`` is *not* retried -- a blind re-send
+  could admit two streams for one request -- and surfaces as a
+  :class:`~repro.errors.ConfigurationError` naming the ambiguity.
+
+Exhausted retries raise :class:`~repro.errors.ConfigurationError`
+(never a raw ``ConnectionError``), carrying the last transport error.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -15,39 +38,95 @@ from repro.errors import ConfigurationError
 
 __all__ = ["ServeClient"]
 
+#: Transport-level exceptions that mean "the daemon was unreachable or
+#: the connection died" -- candidates for retry.
+_TRANSPORT_ERRORS = (urllib.error.URLError, ConnectionError,
+                     TimeoutError, OSError)
+
+
+def _is_connect_stage(exc: BaseException) -> bool:
+    """Whether the failure happened before the request was sent (safe
+    to retry for any operation)."""
+    reason = getattr(exc, "reason", exc)
+    return isinstance(reason, (ConnectionRefusedError,
+                               ConnectionAbortedError))
+
 
 class ServeClient:
-    """Thin JSON client bound to one daemon base URL."""
+    """Retrying JSON client bound to one daemon base URL."""
 
-    def __init__(self, url: str, timeout: float = 10.0) -> None:
+    def __init__(self, url: str, timeout: float = 10.0, *,
+                 retries: int = 5, backoff: float = 0.05,
+                 backoff_max: float = 2.0,
+                 sleep=time.sleep) -> None:
         if not url.startswith(("http://", "https://")):
             raise ConfigurationError(
                 f"daemon url must start with http(s)://, got {url!r}")
+        if retries < 1:
+            raise ConfigurationError(
+                f"retries must be >= 1, got {retries!r}")
+        if backoff <= 0 or backoff_max < backoff:
+            raise ConfigurationError(
+                f"need 0 < backoff <= backoff_max, got "
+                f"{backoff!r}/{backoff_max!r}")
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_max = float(backoff_max)
+        self._sleep = sleep
+        #: Transport retries performed over this client's lifetime.
+        self.retried = 0
 
     # -- plumbing ------------------------------------------------------
+    def _delay(self, attempt: int) -> float:
+        """Exponential backoff with deterministic decorrelation jitter
+        (golden-ratio phase per attempt: spreads concurrent clients
+        without consuming global RNG state)."""
+        base = min(self.backoff * (2.0 ** attempt), self.backoff_max)
+        jitter = ((attempt + 1) * 0.618033988749895) % 1.0
+        return base * (0.5 + 0.5 * jitter)
+
     def _request(self, method: str, path: str,
-                 body: dict | None = None) -> tuple[int, bytes]:
+                 body: dict | None = None, *,
+                 idempotent: bool = True) -> tuple[int, bytes]:
         data = (json.dumps(body).encode("utf-8")
                 if body is not None else None)
-        request = urllib.request.Request(
-            self.url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"}
-            if data else {})
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as resp:
-                return resp.status, resp.read()
-        except urllib.error.HTTPError as exc:
-            # 4xx carries a JSON error payload we want to surface, not
-            # an exception -- a 409 rejection is a *result* here.
-            with exc:
-                return exc.code, exc.read()
+        last: BaseException | None = None
+        for attempt in range(self.retries):
+            request = urllib.request.Request(
+                self.url + path, data=data, method=method,
+                headers={"Content-Type": "application/json"}
+                if data else {})
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as resp:
+                    return resp.status, resp.read()
+            except urllib.error.HTTPError as exc:
+                # 4xx carries a JSON error payload we want to surface,
+                # not an exception -- a 409 rejection is a *result*.
+                with exc:
+                    return exc.code, exc.read()
+            except _TRANSPORT_ERRORS as exc:
+                last = exc
+                if not idempotent and not _is_connect_stage(exc):
+                    raise ConfigurationError(
+                        f"{method} {path} failed mid-flight ({exc}); "
+                        f"not retrying a non-idempotent operation -- "
+                        f"the daemon may have already applied it"
+                        ) from exc
+                if attempt + 1 < self.retries:
+                    self.retried += 1
+                    self._sleep(self._delay(attempt))
+        raise ConfigurationError(
+            f"{method} {path} unreachable after {self.retries} "
+            f"attempt(s): {last}") from last
 
     def _json(self, method: str, path: str,
-              body: dict | None = None) -> tuple[int, dict]:
-        status, payload = self._request(method, path, body)
+              body: dict | None = None, *,
+              idempotent: bool = True) -> tuple[int, dict]:
+        status, payload = self._request(method, path, body,
+                                        idempotent=idempotent)
         try:
             return status, json.loads(payload.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError):
@@ -58,8 +137,9 @@ class ServeClient:
     # -- operations ----------------------------------------------------
     def admit(self) -> dict:
         """One admission attempt.  Returns ``{"admitted": bool, ...}``
-        -- a 409 rejection is reported, not raised."""
-        status, data = self._json("POST", "/admit")
+        -- a 409 rejection is reported, not raised.  Connect-stage
+        failures retry; mid-flight ones raise (see module docs)."""
+        status, data = self._json("POST", "/admit", idempotent=False)
         data["admitted"] = status == 200
         return data
 
@@ -76,21 +156,39 @@ class ServeClient:
             f"daemon still admitting after {cap} streams")
 
     def release(self, stream: int | None = None) -> dict:
-        """Release ``stream`` (or the oldest active one)."""
+        """Release ``stream`` (or the oldest active one).
+
+        Explicit-stream releases are idempotent (a doubled release of
+        the same ticket answers 400, which we treat as released) and
+        therefore retried mid-flight; anonymous releases pop the
+        oldest stream and are connect-stage-retry only.
+        """
         body = {"stream": stream} if stream is not None else {}
-        status, data = self._json("POST", "/release", body)
+        status, data = self._json("POST", "/release", body,
+                                  idempotent=stream is not None)
         if status != 200:
             raise ConfigurationError(
                 f"release failed ({status}): {data.get('error')}")
         return data
 
-    def fault(self, kind: str, disk: int = 0) -> dict:
-        """Inject one fault event."""
-        status, data = self._json("POST", "/fault",
-                                  {"kind": kind, "disk": disk})
+    def fault(self, kind: str, disk: int = 0,
+              factor: float = 1.0) -> dict:
+        """Inject one fault event (``slow_disk`` takes ``factor``)."""
+        body = {"kind": kind, "disk": disk}
+        if factor != 1.0:
+            body["factor"] = factor
+        status, data = self._json("POST", "/fault", body)
         if status != 200:
             raise ConfigurationError(
                 f"fault failed ({status}): {data.get('error')}")
+        return data
+
+    def snapshot(self) -> dict:
+        """Ask the daemon to persist its crash-safe snapshot now."""
+        status, data = self._json("POST", "/snapshot")
+        if status != 200:
+            raise ConfigurationError(
+                f"snapshot failed ({status}): {data.get('error')}")
         return data
 
     def metrics(self) -> str:
@@ -107,3 +205,7 @@ class ServeClient:
     def state(self) -> dict:
         """Full daemon state JSON from ``/state``."""
         return self._json("GET", "/state")[1]
+
+    def control(self) -> dict:
+        """Control-plane JSON from ``/control``."""
+        return self._json("GET", "/control")[1]

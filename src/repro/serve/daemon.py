@@ -9,24 +9,48 @@ fails, and the per-stream ledger that decides *which* streams are shed
 event-driven :class:`~repro.server.server.MediaServer` implements per
 round boundary, applied here at fault-event time.
 
+On top of the static service, two optional planes from
+:mod:`repro.control`:
+
+- a **measurement plane** (:meth:`ServeDaemon.tick_round`): each tick
+  probes one round per alive disk on the calibrated disk model -- with
+  live ``slow_disk`` drift factors applied -- and folds the result
+  into a :class:`~repro.control.window.TelemetryWindow`, so observed
+  ``p_late``/glitch rates are compared against the analytic bounds
+  stamped for the current operating point;
+- a **control plane** (``adaptive=True``): the
+  :class:`~repro.control.controller.Controller` reads that window and
+  retunes ``(N_max, t)`` online through cached Chernoff re-solves,
+  shedding (watchdog: hard-dropping) or gradually rejoining streams.
+
+Both planes are crash-safe: with ``snapshot_path`` set the daemon
+persists a versioned, fsync-atomic snapshot of the ledger + controller
+state after every fault/retune, restores it on start, and applies the
+unclean-restart ticket reserve so a ``kill -9`` mid-storm can never
+re-issue a granted ticket (:mod:`repro.control.snapshot`).
+
 All public methods are safe to call from any number of HTTP worker
 threads: stream bookkeeping runs under one daemon lock, and the
 controller's own re-entrant lock makes the admission test atomic.
-Every transition is counted in a
-:class:`~repro.obs.metrics.MetricsRegistry` and, when a tracer is
-enabled, emitted as structured trace events so ``GET /state`` can
-summarise the run through :class:`~repro.obs.RunTelemetry`.
+``tick_round`` is additionally serialised by a tick lock (the probe
+RNG is sequential state); ticks sample *outside* the daemon lock so
+the admission hot path never waits on a probe or a re-solve.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.cache import get_persistent_cache
+from repro.cache import fingerprint, get_persistent_cache
+from repro.control import (Controller, ControllerConfig, ServiceProbe,
+                           TelemetryWindow, TICKET_RESERVE,
+                           read_snapshot, write_snapshot)
 from repro.core import AdmissionTable, GlitchModel, RoundServiceTimeModel
-from repro.core.farm import degraded_mode_n_max
+from repro.core.farm import degraded_mode_n_max, mirror_of
 from repro.disk import quantum_viking_2_1
 from repro.distributions import Gamma
 from repro.errors import AdmissionError, ConfigurationError
@@ -59,6 +83,14 @@ class ServeConfig:
     shed_mode: str = "pause"
     #: Bulk-load the persistent bound cache before building the table.
     preload: bool = True
+    #: Run the closed-loop controller (``repro serve --adaptive``).
+    adaptive: bool = False
+    #: Control-loop knobs; defaults built when ``adaptive`` and unset.
+    control: ControllerConfig | None = None
+    #: Crash-safe ledger snapshot location (None: snapshots disabled).
+    snapshot_path: str | None = None
+    #: Seed of the deterministic round probe.
+    probe_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.size_dist is None:
@@ -72,6 +104,17 @@ class ServeConfig:
             raise ConfigurationError(
                 f"shed_mode must be 'pause' or 'drop', "
                 f"got {self.shed_mode!r}")
+        if self.control is None and self.adaptive:
+            object.__setattr__(self, "control", ControllerConfig())
+
+    def fingerprint(self) -> str:
+        """Content hash of the admission-relevant parameters -- the
+        compatibility key stamped into snapshots (adaptive/snapshot
+        settings excluded: they do not change what a ticket means)."""
+        return fingerprint(
+            "serve-config", self.spec, self.size_dist, float(self.t),
+            float(self.epsilon), float(self.delta), int(self.m),
+            int(self.g), int(self.disks), self.shed_mode)
 
 
 class ServeDaemon:
@@ -92,8 +135,9 @@ class ServeDaemon:
             if persistent is not None:
                 preloaded = persistent.preload()
         build_start = time.perf_counter()
-        model = RoundServiceTimeModel.for_disk(cfg.spec, cfg.size_dist)
-        glitch = GlitchModel(model, cfg.t)
+        self.model = RoundServiceTimeModel.for_disk(cfg.spec,
+                                                    cfg.size_dist)
+        glitch = GlitchModel(self.model, cfg.t)
         self.table = AdmissionTable(glitch, m=cfg.m, g=cfg.g)
         self.table.build(plate_thresholds=(cfg.delta,),
                          perror_thresholds=(cfg.epsilon,))
@@ -104,7 +148,9 @@ class ServeDaemon:
         self.controller = AdmissionController.from_table(
             self.table, epsilon=cfg.epsilon, disks=cfg.disks)
         self.policy = SheddingPolicy(failure_proof, mode=cfg.shed_mode)
-        self.healthy_n_max = healthy
+        #: The limit actually enforced while healthy -- the epsilon
+        #: table point, not degraded_mode_n_max's delta-based one.
+        self.healthy_n_max = self.controller.n_max_per_disk
         self.degraded_n_max = failure_proof
 
         #: Admission order, newest last -- shed from the tail, resume
@@ -112,8 +158,32 @@ class ServeDaemon:
         self._streams: list[int] = []
         self._paused: list[int] = []
         self._failed_disks: set[int] = set()
+        #: Live slow-disk drift factors, by disk (1.0 entries elided).
+        self._slow: dict[int, float] = {}
         self._next_stream = 0
         self._lock = threading.Lock()
+
+        # -- measurement + control planes ------------------------------
+        control_cfg = cfg.control or ControllerConfig()
+        self._window = TelemetryWindow(maxlen=control_cfg.window_rounds)
+        self._probe = ServiceProbe(cfg.spec, cfg.size_dist,
+                                   seed=cfg.probe_seed)
+        self._ctl: Controller | None = None
+        if cfg.adaptive:
+            self._ctl = Controller(
+                control_cfg, self.model, cfg.t, delta=cfg.delta,
+                epsilon=cfg.epsilon, m=cfg.m, g=cfg.g,
+                healthy_n_max=self.controller.n_max_per_disk,
+                fallback_n_max=failure_proof)
+        #: Per-disk limit imposed by the control loop (None: none).
+        self._control_n_max: int | None = None
+        self._t_mult = 1.0
+        self._round_index = 0
+        #: Streams rejoined per tick after a relax (0: no ramp active).
+        self._rejoin_quota = 0
+        self._tick_lock = threading.Lock()
+        self._restored = False
+        self._restored_clean = False
 
         m = self.registry
         self._admitted = m.counter(
@@ -144,6 +214,39 @@ class ServeDaemon:
         self._admit_hist = m.histogram(
             "serve_admit_seconds",
             help="Latency of the admission test (lock + table lookup)")
+        self._rounds_total = m.counter(
+            "serve_rounds_total", help="Rounds probed by tick_round")
+        self._late_rounds = m.counter(
+            "serve_late_disk_rounds_total",
+            help="Probed sweeps that overran the round budget")
+        self._retunes = m.counter(
+            "serve_retunes_total",
+            help="Controller decisions applied (tighten/relax/"
+            "watchdog)")
+        self._watchdog_trips = m.counter(
+            "serve_watchdog_trips_total",
+            help="Watchdog escalations to hard shedding")
+        self._snapshot_writes = m.counter(
+            "serve_snapshot_writes_total",
+            help="Crash-safe snapshots persisted")
+        self._p_late_gauge = m.gauge(
+            "serve_observed_p_late",
+            help="Windowed observed per-sweep overrun rate")
+        self._control_gauge = m.gauge(
+            "serve_control_n_max",
+            help="Per-disk limit imposed by the control loop "
+            "(healthy limit while quiescent)")
+        self._t_mult_gauge = m.gauge(
+            "serve_t_mult",
+            help="Round-length multiplier in force")
+        self._service_hist = m.histogram(
+            "serve_round_service_seconds",
+            help="Probed sweep service times")
+        self._control_gauge.set(self.controller.n_max_per_disk)
+        self._t_mult_gauge.set(1.0)
+        m.gauge("serve_adaptive",
+                help="1 when the closed-loop controller is enabled"
+                ).set(1 if cfg.adaptive else 0)
         m.gauge("serve_table_build_seconds",
                 help="Wall time of the admission-table build at "
                 "startup").set(self.build_seconds)
@@ -156,6 +259,14 @@ class ServeDaemon:
         m.gauge("serve_cache_preloaded_entries",
                 help="Persistent-cache rows bulk-loaded at startup"
                 ).set(preloaded)
+        self._restored_gauge = m.gauge(
+            "serve_snapshot_restored",
+            help="1 when this daemon restored a snapshot at startup "
+            "(2: an unclean one, ticket reserve applied)")
+
+        if cfg.snapshot_path and Path(cfg.snapshot_path).exists():
+            self._restore_snapshot(cfg.snapshot_path)
+
         if tracer.enabled:
             tracer.start_run(disks=cfg.disks, t=cfg.t,
                              epsilon=cfg.epsilon, delta=cfg.delta,
@@ -218,16 +329,65 @@ class ServeDaemon:
         self._active_gauge.set(active)
         return {"stream": stream, "active": active}
 
+    # -- shared retarget helpers (call with self._lock held) -----------
+    def _fault_limit_locked(self) -> int:
+        return (self.degraded_n_max if self._failed_disks
+                else self.healthy_n_max)
+
+    def _apply_limit_locked(self) -> None:
+        """Impose ``min(fault limit, control limit)`` on the
+        admission controller."""
+        limit = self._fault_limit_locked()
+        if self._control_n_max is not None:
+            limit = min(limit, self._control_n_max)
+        if self._failed_disks or self._control_n_max is not None:
+            self.controller.degrade(limit)
+        else:
+            self.controller.restore()
+
+    def _shed_to_capacity_locked(self, mode: str) -> list[int]:
+        """Shed newest-first until the active count fits the current
+        capacity; pause mode parks victims in admission order."""
+        shed: list[int] = []
+        while (self.controller.active > self.controller.capacity
+               and self._streams):
+            victim = self._streams.pop()  # newest first
+            self.controller.release()
+            shed.append(victim)
+        if mode == "pause" and shed:
+            # Keep the paused ledger in admission order (ticket ids
+            # are monotonic), so recovery resumes oldest first.
+            self._paused.extend(shed)
+            self._paused.sort()
+        return shed
+
+    def _resume_locked(self, limit: int | None = None) -> list[int]:
+        """Resume paused streams oldest-first while capacity allows,
+        up to ``limit`` of them (None: all that fit)."""
+        resumed: list[int] = []
+        while self._paused and self.controller.would_admit():
+            if limit is not None and len(resumed) >= limit:
+                break
+            stream = self._paused.pop(0)  # oldest first
+            self.controller.admit()
+            self._streams.append(stream)
+            resumed.append(stream)
+        return resumed
+
     # -- fault handling ------------------------------------------------
-    def fault(self, kind: str, disk: int = 0) -> dict:
+    def fault(self, kind: str, disk: int = 0,
+              factor: float = 1.0) -> dict:
         """Apply one fault event to the live controller.
 
         ``disk_fail`` degrades the admission limit and sheds the
         newest streams down to the policy target; ``disk_recover``
         restores the healthy limit and (pause mode) resumes paused
-        streams oldest-first.  Other kinds are counted and traced but
-        have no admission-side effect (they perturb service times,
-        which the daemon does not simulate).
+        streams oldest-first.  ``slow_disk`` records a live service
+        drift factor the round probe applies from the next tick on --
+        the signal the adaptive controller reacts to.  Recalibration
+        storms are counted and traced but have no admission-side
+        effect.  Every applied event refreshes the crash-safe snapshot
+        when one is configured.
         """
         self.registry.counter(
             "serve_faults_total", {"kind": str(kind)},
@@ -236,33 +396,30 @@ class ServeDaemon:
             self.tracer.emit("fault", t=time.time() - self.started_at,
                              desc=f"{kind} disk={disk}")
         if kind == "disk_fail":
-            return self._apply_fail(int(disk))
-        if kind == "disk_recover":
-            return self._apply_recover(int(disk))
-        if kind in ("slow_disk", "recalibration_storm"):
+            result = self._apply_fail(int(disk))
+        elif kind == "disk_recover":
+            result = self._apply_recover(int(disk))
+        elif kind == "slow_disk":
+            result = self._apply_slow(int(disk), float(factor))
+        elif kind == "recalibration_storm":
             return {"applied": False, "kind": kind}
-        raise ConfigurationError(f"unknown fault kind {kind!r}")
+        else:
+            raise ConfigurationError(f"unknown fault kind {kind!r}")
+        if self.config.snapshot_path:
+            self.save_snapshot()
+        return result
+
+    def _check_disk(self, disk: int) -> None:
+        if not (0 <= disk < self.config.disks):
+            raise ConfigurationError(
+                f"disk {disk} out of range [0, {self.config.disks})")
 
     def _apply_fail(self, disk: int) -> dict:
-        cfg = self.config
-        if not (0 <= disk < cfg.disks):
-            raise ConfigurationError(
-                f"disk {disk} out of range [0, {cfg.disks})")
-        shed: list[int] = []
+        self._check_disk(disk)
         with self._lock:
             self._failed_disks.add(disk)
-            self.controller.degrade(self.degraded_n_max)
-            target = self.policy.target(cfg.disks)
-            while self.controller.active > target and self._streams:
-                victim = self._streams.pop()  # newest first
-                self.controller.release()
-                shed.append(victim)
-            if self.policy.mode == "pause":
-                # Keep the paused ledger in admission order (ticket
-                # ids are monotonic), so recovery resumes oldest
-                # first.
-                self._paused.extend(shed)
-                self._paused.sort()
+            self._apply_limit_locked()
+            shed = self._shed_to_capacity_locked(self.policy.mode)
             active, paused = self.controller.active, len(self._paused)
         self._shed.inc(len(shed))
         if self.policy.mode == "drop":
@@ -279,7 +436,7 @@ class ServeDaemon:
                 "shed": len(shed), "active": active}
 
     def _apply_recover(self, disk: int) -> dict:
-        resumed: list[int] = []
+        self._check_disk(disk)
         with self._lock:
             self._failed_disks.discard(disk)
             if self._failed_disks:
@@ -287,23 +444,292 @@ class ServeDaemon:
                 return {"applied": True, "kind": "disk_recover",
                         "disk": disk, "resumed": 0,
                         "active": self.controller.active}
-            self.controller.restore()
-            while self._paused and self.controller.would_admit():
-                stream = self._paused.pop(0)  # oldest first
-                self.controller.admit()
-                self._streams.append(stream)
-                resumed.append(stream)
+            self._apply_limit_locked()
+            resumed = self._resume_locked()
             active, paused = self.controller.active, len(self._paused)
+            degraded = self.controller.degraded
         self._resumed.inc(len(resumed))
         self._active_gauge.set(active)
         self._paused_gauge.set(paused)
-        self._degraded_gauge.set(0)
+        self._degraded_gauge.set(1 if degraded else 0)
         if self.tracer.enabled:
             for stream in resumed:
                 self.tracer.emit("stream_resume", round=None,
                                  stream=stream)
         return {"applied": True, "kind": "disk_recover", "disk": disk,
                 "resumed": len(resumed), "active": active}
+
+    def _apply_slow(self, disk: int, factor: float) -> dict:
+        self._check_disk(disk)
+        if not (factor > 0.0 and math.isfinite(factor)):
+            raise ConfigurationError(
+                f"slow_disk factor must be positive, got {factor!r}")
+        with self._lock:
+            if factor == 1.0:
+                self._slow.pop(disk, None)
+            else:
+                self._slow[disk] = factor
+            slow = dict(self._slow)
+        self.registry.gauge(
+            "serve_slow_disks",
+            help="Disks with a live slow-disk drift factor"
+            ).set(len(slow))
+        return {"applied": True, "kind": "slow_disk", "disk": disk,
+                "factor": factor}
+
+    # -- measurement + control plane -----------------------------------
+    def tick_round(self) -> dict:
+        """Probe one service round and run one controller step.
+
+        Samples each alive disk's sweep on the calibrated disk model
+        (drift factors applied), folds the observation into the
+        telemetry window, and -- when adaptive -- lets the controller
+        plan/verify a retune which is then applied under the daemon
+        lock.  Sampling and Chernoff re-solves run *outside* that
+        lock, so admissions never stall behind the control loop.
+        Driven by the HTTP layer's ``RoundTicker`` in wall-clock time,
+        or called directly (tests, benches) for determinism.
+        """
+        cfg = self.config
+        with self._tick_lock:
+            with self._lock:
+                active = self.controller.active
+                failed = frozenset(self._failed_disks)
+                slow = dict(self._slow)
+                t_budget = cfg.t * self._t_mult
+                index = self._round_index
+                self._round_index += 1
+            plan = []
+            if active > 0:
+                per_disk = math.ceil(active / cfg.disks)
+                for disk in range(cfg.disks):
+                    if disk in failed:
+                        continue
+                    n = per_disk
+                    mirror = mirror_of(disk, cfg.disks)
+                    if mirror is not None and mirror in failed:
+                        n = min(active, 2 * per_disk)
+                    plan.append((disk, n, slow.get(disk, 1.0)))
+            obs = None
+            if plan:
+                obs = self._probe.sample_round(index, t_budget, plan,
+                                               self.model)
+            decision = None
+            applied: dict = {}
+            if obs is not None:
+                with self._lock:
+                    self._window.add(obs)
+                # The controller step may re-solve Chernoff bounds;
+                # the window is only ever mutated on this (tick)
+                # thread, so reading it lock-free here is safe.
+                if self._ctl is not None:
+                    decision = self._ctl.step(self._window)
+                with self._lock:
+                    if decision is not None:
+                        applied = self._apply_decision_locked(decision)
+                    elif (self._ctl is not None and self._rejoin_quota
+                          and self._paused
+                          and not self._failed_disks):
+                        rejoined = self._resume_locked(
+                            limit=self._rejoin_quota)
+                        if rejoined:
+                            applied = {"resumed": rejoined}
+                        if not self._paused:
+                            self._rejoin_quota = 0
+                    active = self.controller.active
+                    paused = len(self._paused)
+                    p_late = self._window.observed_p_late
+            if obs is not None:
+                self._rounds_total.inc()
+                self._late_rounds.inc(obs.late_disk_rounds)
+                self._p_late_gauge.set(p_late)
+                if obs.disk_rounds:
+                    self._service_hist.observe(
+                        obs.observed_service / obs.disk_rounds)
+                if applied.get("resumed"):
+                    self._resumed.inc(len(applied["resumed"]))
+                if applied.get("shed"):
+                    self._shed.inc(len(applied["shed"]))
+                    if applied.get("mode") == "drop":
+                        self._dropped.inc(len(applied["shed"]))
+                self._active_gauge.set(active)
+                self._paused_gauge.set(paused)
+        if decision is not None:
+            self._retunes.inc()
+            if decision.kind == "watchdog":
+                self._watchdog_trips.inc()
+            self._control_gauge.set(decision.n_max)
+            self._t_mult_gauge.set(decision.t_mult)
+            self._degraded_gauge.set(
+                1 if self.controller.degraded else 0)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "fault", t=time.time() - self.started_at,
+                    desc=f"retune {decision.kind}: "
+                         f"n_max={decision.n_max} "
+                         f"t_mult={decision.t_mult:g}")
+            if cfg.snapshot_path:
+                self.save_snapshot()
+        result = {"round": index, "probed": obs is not None}
+        if obs is not None:
+            result.update(disk_rounds=obs.disk_rounds,
+                          late_disk_rounds=obs.late_disk_rounds,
+                          glitched=obs.glitched)
+        if decision is not None:
+            result["decision"] = decision.to_dict()
+            result["shed"] = len(applied.get("shed", ()))
+        if applied.get("resumed"):
+            result["resumed"] = len(applied["resumed"])
+        return result
+
+    def _apply_decision_locked(self, decision) -> dict:
+        """Retarget the ledger to a verified controller decision."""
+        self._t_mult = float(decision.t_mult)
+        relaxed_out = (decision.n_max >= self.healthy_n_max
+                       and decision.t_mult == 1.0)
+        self._control_n_max = None if relaxed_out else int(
+            decision.n_max)
+        self._apply_limit_locked()
+        mode = ("drop" if decision.kind == "watchdog"
+                else self.policy.mode)
+        shed = self._shed_to_capacity_locked(mode)
+        resumed: list[int] = []
+        if decision.kind == "relax":
+            headroom = self.controller.capacity - self.controller.active
+            if self._paused and headroom > 0:
+                self._rejoin_quota = max(1, math.ceil(
+                    headroom / self._ctl.config.rejoin_rounds))
+                resumed = self._resume_locked(limit=self._rejoin_quota)
+            else:
+                self._rejoin_quota = 0
+        else:
+            self._rejoin_quota = 0
+        self._ctl.committed(decision)
+        self._window.clear()
+        if self.tracer.enabled:
+            for victim in shed:
+                self.tracer.emit("stream_shed", round=None,
+                                 stream=victim, action=mode)
+            for stream in resumed:
+                self.tracer.emit("stream_resume", round=None,
+                                 stream=stream)
+        return {"shed": shed, "resumed": resumed, "mode": mode}
+
+    # -- crash-safe snapshots ------------------------------------------
+    def snapshot_payload(self, clean: bool = False) -> dict:
+        """Consistent snapshot document (see
+        :mod:`repro.control.snapshot` for the format contract)."""
+        with self._lock:
+            snap = self.controller.snapshot()
+            payload = {
+                "clean": bool(clean),
+                "config_fingerprint": self.config.fingerprint(),
+                "written_at": time.time(),
+                "ledger": {
+                    "next_stream": self._next_stream,
+                    "streams": list(self._streams),
+                    "paused": list(self._paused),
+                    "failed_disks": sorted(self._failed_disks),
+                    "slow": {str(d): f for d, f
+                             in sorted(self._slow.items())},
+                    "requests": snap["requests"],
+                    "rejections": snap["rejections"],
+                    "counters": {
+                        "admitted": self._admitted.value,
+                        "rejected": self._rejected.value,
+                        "released": self._released.value,
+                        "shed": self._shed.value,
+                        "resumed": self._resumed.value,
+                        "dropped": self._dropped.value,
+                    },
+                },
+                "control": {
+                    "round_index": self._round_index,
+                    "t_mult": self._t_mult,
+                    "control_n_max": self._control_n_max,
+                    "rejoin_quota": self._rejoin_quota,
+                    "window": self._window.to_dict(),
+                    "controller": (self._ctl.to_dict()
+                                   if self._ctl else None),
+                },
+            }
+        return payload
+
+    def save_snapshot(self, clean: bool = False) -> Path | None:
+        """Persist the crash-safe snapshot (no-op when unconfigured)."""
+        path = self.config.snapshot_path
+        if not path:
+            return None
+        written = write_snapshot(path, self.snapshot_payload(clean))
+        self._snapshot_writes.inc()
+        return written
+
+    def _restore_snapshot(self, path: str) -> None:
+        """Reinstate ledger + controller state from ``path``.
+
+        A clean snapshot resumes ticket numbering exactly; an unclean
+        one (the ``kill -9`` case) advances the ticket counter by the
+        reserve so no granted ticket can ever be re-issued.
+        """
+        document = read_snapshot(path, self.config.fingerprint())
+        ledger = document.get("ledger") or {}
+        control = document.get("control") or {}
+        clean = bool(document.get("clean", False))
+        with self._lock:
+            self._streams = [int(s) for s in
+                             ledger.get("streams", ())]
+            self._paused = sorted(
+                int(s) for s in ledger.get("paused", ()))
+            self._failed_disks = {
+                int(d) for d in ledger.get("failed_disks", ())}
+            self._slow = {int(d): float(f) for d, f
+                          in (ledger.get("slow") or {}).items()}
+            reserve = 0 if clean else TICKET_RESERVE
+            self._next_stream = int(
+                ledger.get("next_stream", 0)) + reserve
+            self.controller.restore_state(
+                active=len(self._streams),
+                requests=int(ledger.get("requests", 0)),
+                rejections=int(ledger.get("rejections", 0)))
+            self._round_index = int(control.get("round_index", 0))
+            self._t_mult = float(control.get("t_mult", 1.0))
+            raw_limit = control.get("control_n_max")
+            self._control_n_max = (int(raw_limit)
+                                   if raw_limit is not None else None)
+            self._rejoin_quota = int(control.get("rejoin_quota", 0))
+            window = control.get("window")
+            if window:
+                self._window = TelemetryWindow.from_dict(window)
+            if self._ctl is not None and control.get("controller"):
+                self._ctl.restore_dict(control["controller"])
+            self._apply_limit_locked()
+            active = self.controller.active
+            paused = len(self._paused)
+            degraded = self.controller.degraded
+        counters = ledger.get("counters") or {}
+        for metric, key in ((self._admitted, "admitted"),
+                            (self._rejected, "rejected"),
+                            (self._released, "released"),
+                            (self._shed, "shed"),
+                            (self._resumed, "resumed"),
+                            (self._dropped, "dropped")):
+            value = float(counters.get(key, 0) or 0)
+            if value > 0:
+                metric.inc(value)
+        self._active_gauge.set(active)
+        self._paused_gauge.set(paused)
+        self._degraded_gauge.set(1 if degraded else 0)
+        if self._ctl is not None:
+            self._control_gauge.set(self._ctl.n_max)
+        self._t_mult_gauge.set(self._t_mult)
+        if self._slow:
+            self.registry.gauge(
+                "serve_slow_disks",
+                help="Disks with a live slow-disk drift factor"
+                ).set(len(self._slow))
+        self._restored = True
+        self._restored_clean = clean
+        self._restored_gauge.set(1 if clean else 2)
 
     # -- views ---------------------------------------------------------
     def healthz(self) -> dict:
@@ -314,22 +740,60 @@ class ServeDaemon:
                 "capacity": snap["capacity"],
                 "uptime_seconds": time.time() - self.started_at}
 
+    def control_state(self) -> dict:
+        """The ``/control`` view: window aggregates, controller state
+        machine, live drift factors, and the operating point."""
+        cfg = self.config
+        with self._lock:
+            out = {
+                "adaptive": cfg.adaptive,
+                "round_index": self._round_index,
+                "t_mult": self._t_mult,
+                "round_budget": cfg.t * self._t_mult,
+                "control_n_max": self._control_n_max,
+                "effective_n_max": self.controller.n_max_per_disk,
+                "healthy_n_max": self.healthy_n_max,
+                "fallback_n_max": self.degraded_n_max,
+                "rejoin_quota": self._rejoin_quota,
+                "slow_disks": {str(d): f for d, f
+                               in sorted(self._slow.items())},
+                "window": self._window.summary(cfg.m, cfg.g),
+                "controller": (self._ctl.summary()
+                               if self._ctl else None),
+            }
+        out["snapshot"] = {
+            "path": cfg.snapshot_path,
+            "restored": self._restored,
+            "restored_clean": self._restored_clean,
+            "writes": self._snapshot_writes.value,
+        }
+        return out
+
     def state(self) -> dict:
         """Full JSON state: controller snapshot, policy, table entries,
-        failed disks, and (when tracing) the RunTelemetry digest of the
-        recorded events."""
+        failed disks, control plane, and (when tracing) the
+        RunTelemetry digest of the recorded events."""
         with self._lock:
             controller = self.controller.snapshot()
             paused = list(self._paused)
             failed = sorted(self._failed_disks)
+            streams = list(self._streams)
+            next_stream = self._next_stream
+            slow = {str(d): f for d, f in sorted(self._slow.items())}
         state = {
             "controller": controller,
             "policy": {"mode": self.policy.mode,
                        "degraded_n_max": self.policy.degraded_n_max,
                        "target": self.policy.target(self.config.disks)},
             "table": self.table.entries(),
+            "streams": streams,
+            "next_stream": next_stream,
             "paused_streams": paused,
             "failed_disks": failed,
+            "slow_disks": slow,
+            "adaptive": self.config.adaptive,
+            "t_mult": self._t_mult,
+            "restored": self._restored,
             "uptime_seconds": time.time() - self.started_at,
             "build_seconds": self.build_seconds,
         }

@@ -8,18 +8,27 @@ dependencies) exposing:
 - ``POST /release`` -> 200; JSON body ``{"stream": n}`` optional
   (default: oldest active stream);
 - ``POST /fault``   -> 200; JSON body ``{"kind": "disk_fail",
-  "disk": 0}`` applies the event to the live controller;
+  "disk": 0}`` applies the event to the live controller
+  (``slow_disk`` also takes ``"factor"``);
+- ``POST /snapshot``-> 200; persists the crash-safe ledger snapshot
+  and returns where it was written;
 - ``GET /metrics``  -> Prometheus text exposition of the daemon's
   registry (version 0.0.4 content type);
 - ``GET /healthz``  -> liveness JSON;
-- ``GET /state``    -> full controller/policy/table JSON view.
+- ``GET /state``    -> full controller/policy/table JSON view;
+- ``GET /control``  -> control-plane view: telemetry window
+  aggregates, controller state machine, drift factors.
 
 :class:`ServeHandle` owns the server lifecycle: ``start()`` spawns the
-accept loop thread, ``stop()`` shuts it down and joins every request
-thread (``block_on_close``), so a clean exit leaks nothing -- the CI
-smoke test asserts exactly that.  :class:`FaultFeed` replays a TOML
+accept loop thread, ``stop()`` first stops any attached background
+feeds (:meth:`ServeHandle.attach`), then shuts the server down and
+joins every request thread (``block_on_close``), so a clean exit
+leaks nothing -- the CI smoke test asserts exactly that.
+:class:`FaultFeed` replays a TOML
 :class:`~repro.server.faults.FaultSchedule` against the daemon in
-scaled wall-clock time.
+scaled wall-clock time; :class:`RoundTicker` drives the daemon's
+measurement/control loop (:meth:`~repro.serve.daemon.ServeDaemon.
+tick_round`) at a fixed wall-clock cadence.
 """
 
 from __future__ import annotations
@@ -31,7 +40,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.errors import AdmissionError, ConfigurationError, ReproError
 from repro.serve.daemon import ServeDaemon
 
-__all__ = ["ServeHandle", "FaultFeed", "PROMETHEUS_CONTENT_TYPE"]
+__all__ = ["ServeHandle", "FaultFeed", "RoundTicker",
+           "PROMETHEUS_CONTENT_TYPE"]
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 _MAX_BODY = 64 * 1024
@@ -93,7 +103,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:
-        """Read-only views: metrics, health, state."""
+        """Read-only views: metrics, health, state, control plane."""
         daemon = self.server.daemon
         if self.path == "/metrics":
             text = daemon.registry.to_prometheus()
@@ -103,11 +113,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, daemon.healthz())
         elif self.path == "/state":
             self._send_json(200, daemon.state())
+        elif self.path == "/control":
+            self._send_json(200, daemon.control_state())
         else:
             self._send_json(404, {"error": f"no route {self.path!r}"})
 
     def do_POST(self) -> None:
-        """Mutating operations: admit, release, fault."""
+        """Mutating operations: admit, release, fault, snapshot."""
         daemon = self.server.daemon
         try:
             body = self._read_body()
@@ -121,8 +133,15 @@ class _Handler(BaseHTTPRequestHandler):
                     raise ConfigurationError(
                         "fault body needs a 'kind' key")
                 self._send_json(
-                    200, daemon.fault(str(kind),
-                                      int(body.get("disk", 0))))
+                    200, daemon.fault(
+                        str(kind), int(body.get("disk", 0)),
+                        factor=float(body.get("factor", 1.0))))
+            elif self.path == "/snapshot":
+                written = daemon.save_snapshot()
+                if written is None:
+                    raise ConfigurationError(
+                        "daemon has no --snapshot-path configured")
+                self._send_json(200, {"written": str(written)})
             else:
                 self._send_json(404,
                                 {"error": f"no route {self.path!r}"})
@@ -141,11 +160,20 @@ class ServeHandle:
         self.server = _ServeHTTPServer((host, port), daemon)
         self.host, self.port = self.server.server_address[:2]
         self._thread: threading.Thread | None = None
+        self._feeds: list = []
 
     @property
     def url(self) -> str:
         """Base URL clients should talk to."""
         return f"http://{self.host}:{self.port}"
+
+    def attach(self, feed) -> "ServeHandle":
+        """Register a background feed (:class:`FaultFeed`,
+        :class:`RoundTicker`) so :meth:`stop` tears it down *before*
+        the HTTP server -- a feed left running would keep mutating the
+        daemon (or, mid-sleep, outlive the process's clean exit)."""
+        self._feeds.append(feed)
+        return self
 
     def start(self) -> "ServeHandle":
         """Spawn the accept loop; returns self for chaining."""
@@ -158,8 +186,12 @@ class ServeHandle:
         return self
 
     def stop(self) -> None:
-        """Stop accepting, join the accept loop and every request
-        thread, close the listening socket.  Idempotent."""
+        """Stop attached feeds, stop accepting, join the accept loop
+        and every request thread, close the listening socket.
+        Idempotent."""
+        while self._feeds:
+            # Reverse order of attachment; each stop() joins.
+            self._feeds.pop().stop()
         if self._thread is not None:
             self.server.shutdown()
             self._thread.join()
@@ -184,7 +216,8 @@ class FaultFeed:
     convention, one round = ``t`` seconds) replayed with
     ``time_scale=0.01`` injects a round-300 failure after 3 wall
     seconds.  The feed runs in its own thread; ``stop()`` cancels any
-    remaining events and joins it.
+    remaining events (including one it is currently sleeping towards)
+    and joins it.
     """
 
     def __init__(self, daemon: ServeDaemon, schedule,
@@ -210,7 +243,8 @@ class FaultFeed:
                 return
             self.daemon.fault(event.kind,
                               event.disk if event.disk is not None
-                              else 0)
+                              else 0,
+                              factor=event.factor)
             self.applied += 1
 
     def start(self) -> "FaultFeed":
@@ -229,6 +263,45 @@ class FaultFeed:
 
     def stop(self) -> None:
         """Cancel pending events and join the thread.  Idempotent."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+
+class RoundTicker:
+    """Drives :meth:`~repro.serve.daemon.ServeDaemon.tick_round` at a
+    fixed wall-clock cadence -- the production heartbeat of the
+    measurement/control loop.  Tests and benches skip the ticker and
+    call ``tick_round()`` directly for determinism."""
+
+    def __init__(self, daemon: ServeDaemon,
+                 interval: float = 0.2) -> None:
+        if interval <= 0:
+            raise ConfigurationError(
+                f"tick interval must be positive, got {interval!r}")
+        self.daemon = daemon
+        self.interval = float(interval)
+        self.ticks = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.daemon.tick_round()
+            self.ticks += 1
+
+    def start(self) -> "RoundTicker":
+        """Spawn the tick thread; returns self for chaining."""
+        if self._thread is not None:
+            raise ConfigurationError("round ticker already started")
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve-ticker")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Cancel the cadence and join the thread.  Idempotent."""
         self._stop.set()
         if self._thread is not None:
             self._thread.join()

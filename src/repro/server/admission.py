@@ -145,6 +145,27 @@ class AdmissionController:
             self.n_max_per_disk = self._healthy_n_max
             self._degraded = False
 
+    def restore_state(self, *, active: int, requests: int = 0,
+                      rejections: int = 0) -> None:
+        """Reinstate counters from a persisted snapshot.
+
+        Used by the daemon's crash-safe restore path
+        (:mod:`repro.control.snapshot`): the restored ``active`` count
+        must reflect the persisted ledger exactly, even when it
+        exceeds the current limit (the shedding policy, not this
+        counter, decides who goes).  Request/rejection totals carry
+        over so ``/state`` stays continuous across restarts.
+        """
+        if active < 0 or requests < 0 or rejections < 0:
+            raise ConfigurationError(
+                "restore_state needs non-negative counters, got "
+                f"active={active!r} requests={requests!r} "
+                f"rejections={rejections!r}")
+        with self._lock:
+            self._active = int(active)
+            self.requests = int(requests)
+            self.rejections = int(rejections)
+
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """Consistent point-in-time view of the controller state (one

@@ -1,0 +1,117 @@
+"""TelemetryWindow aggregate arithmetic and snapshot round-trips."""
+
+import pytest
+
+from repro.control import RoundObservation, TelemetryWindow
+from repro.control.window import LATENCY_EDGES
+from repro.distributions import binomial_tail
+from repro.errors import ConfigurationError
+
+
+def make_obs(index, *, disk_rounds=2, late=0, requests=56, glitched=0,
+             observed=1.6, expected=1.6, bound=0.047,
+             counts=(0, 2, 0, 0, 0)):
+    return RoundObservation(
+        round_index=index, disk_rounds=disk_rounds,
+        late_disk_rounds=late, requests=requests, glitched=glitched,
+        observed_service=observed, expected_service=expected,
+        bound=bound, latency_counts=tuple(counts))
+
+
+class TestAggregates:
+    def test_empty_window_is_neutral(self):
+        window = TelemetryWindow(maxlen=8)
+        assert window.rounds == 0
+        assert window.observed_p_late == 0.0
+        assert window.bound == 0.0
+        assert window.glitch_rate == 0.0
+        assert window.service_ratio == 1.0
+        assert window.p_late_interval() == (0.0, 1.0)
+        assert window.observed_p_error(1200, 12) == 0.0
+
+    def test_counts_and_p_late(self):
+        window = TelemetryWindow(maxlen=16)
+        for i in range(10):
+            window.add(make_obs(i, late=1 if i < 3 else 0))
+        assert window.rounds == 10
+        assert window.disk_rounds == 20
+        assert window.late_disk_rounds == 3
+        assert window.observed_p_late == pytest.approx(3 / 20)
+        lower, upper = window.p_late_interval()
+        assert lower < 3 / 20 < upper
+
+    def test_bound_is_disk_round_weighted(self):
+        window = TelemetryWindow(maxlen=8)
+        window.add(make_obs(0, disk_rounds=1, bound=0.10,
+                            counts=(0, 1, 0, 0, 0)))
+        window.add(make_obs(1, disk_rounds=3, bound=0.02,
+                            counts=(0, 3, 0, 0, 0)))
+        assert window.bound == pytest.approx(
+            (0.10 * 1 + 0.02 * 3) / 4)
+
+    def test_service_ratio_tracks_drift(self):
+        window = TelemetryWindow(maxlen=8)
+        for i in range(4):
+            window.add(make_obs(i, observed=2.0, expected=1.6))
+        assert window.service_ratio == pytest.approx(1.25)
+
+    def test_observed_p_error_is_binomial_tail_of_rate(self):
+        window = TelemetryWindow(maxlen=8)
+        window.add(make_obs(0, requests=100, glitched=3))
+        assert window.glitch_rate == pytest.approx(0.03)
+        assert window.observed_p_error(1200, 12) == pytest.approx(
+            float(binomial_tail(1200, 0.03, 12)))
+
+    def test_latency_histogram_sums_buckets(self):
+        window = TelemetryWindow(maxlen=8)
+        window.add(make_obs(0, counts=(1, 1, 0, 0, 0)))
+        window.add(make_obs(1, counts=(0, 0, 1, 0, 1)))
+        hist = window.latency_histogram()
+        assert hist["edges"] == list(LATENCY_EDGES)
+        assert hist["counts"] == [1, 1, 1, 0, 1]
+
+    def test_maxlen_evicts_oldest(self):
+        window = TelemetryWindow(maxlen=3)
+        for i in range(5):
+            window.add(make_obs(i, late=1 if i == 0 else 0))
+        # The i=0 late observation fell off the back.
+        assert window.rounds == 3
+        assert window.late_disk_rounds == 0
+
+    def test_clear_forgets_everything(self):
+        window = TelemetryWindow(maxlen=8)
+        window.add(make_obs(0, late=2))
+        window.clear()
+        assert window.rounds == 0
+        assert window.observed_p_late == 0.0
+
+    def test_maxlen_validation(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryWindow(maxlen=0)
+
+
+class TestPersistence:
+    def test_round_trip_is_exact(self):
+        window = TelemetryWindow(maxlen=8)
+        for i in range(5):
+            window.add(make_obs(i, late=i % 2, glitched=i,
+                                observed=1.6 + 0.1 * i))
+        restored = TelemetryWindow.from_dict(window.to_dict())
+        assert restored.to_dict() == window.to_dict()
+        assert restored.maxlen == 8
+        assert restored.observed_p_late == window.observed_p_late
+        assert restored.service_ratio == window.service_ratio
+
+    def test_observation_round_trip(self):
+        obs = make_obs(7, late=1, glitched=2)
+        assert RoundObservation.from_dict(obs.to_dict()) == obs
+
+    def test_summary_shape(self):
+        window = TelemetryWindow(maxlen=8)
+        window.add(make_obs(0))
+        summary = window.summary(1200, 12)
+        for key in ("rounds", "disk_rounds", "observed_p_late",
+                    "p_late_lower", "p_late_upper", "bound",
+                    "glitch_rate", "service_ratio",
+                    "latency_histogram", "observed_p_error"):
+            assert key in summary

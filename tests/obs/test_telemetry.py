@@ -118,6 +118,67 @@ class TestBoundTable:
         assert row.within_bound is None
 
 
+def drift_trace(late_rounds=(6, 7), total=8, bound_healthy=0.3,
+                degraded_from=None):
+    """``total`` single-sweep rounds; those in ``late_rounds`` overrun.
+    Rounds >= ``degraded_from`` (if set) run with disk 1 failed."""
+    ticks = iter(range(1000))
+    tracer = Tracer(clock=lambda: float(next(ticks)))
+    tracer.start_run(seed=7, bound_healthy=bound_healthy,
+                     bound_degraded=0.05)
+    for r in range(total):
+        degraded = degraded_from is not None and r >= degraded_from
+        tracer.emit("round_dispatch", t=float(r), round=r,
+                    active_streams=4,
+                    failed_disks=[1] if degraded else [])
+        late = r in late_rounds
+        tracer.emit("sweep", t=r + 0.9, round=r, disk=0,
+                    service=1.2 if late else 0.8, late=late,
+                    served=4, glitched=0)
+    tracer.end_run()
+    return tracer.records()
+
+
+class TestWindowedBoundTable:
+    def test_local_drift_invisible_in_the_run_average(self):
+        """The whole-run healthy rate (2/8 = 0.25) sits inside the 0.3
+        bound, but the trailing window is saturated -- exactly the gap
+        the live controller's TelemetryWindow watches, reconstructed
+        offline."""
+        tel = RunTelemetry.from_records(drift_trace())
+        (healthy, _degraded) = tel.bound_table()
+        assert healthy.within_bound is True
+        rows = tel.windowed_bound_table(2)
+        assert [r.phase for r in rows] == [
+            "rounds[0..1]", "rounds[2..3]", "rounds[4..5]",
+            "rounds[6..7]"]
+        assert [r.within_bound for r in rows] == [
+            True, True, True, False]
+        assert rows[-1].observed_p_late == 1.0
+        assert rows[-1].bound == 0.3
+
+    def test_mixed_window_labelled_by_dominant_phase(self):
+        # Rounds 0-4 healthy, 5-7 degraded: the window [4..7] holds one
+        # healthy and three degraded sweeps, so it compares against the
+        # degraded bound.
+        tel = RunTelemetry.from_records(
+            drift_trace(late_rounds=(), degraded_from=5))
+        rows = tel.windowed_bound_table(4)
+        assert rows[0].bound == 0.3
+        assert rows[1].bound == 0.05
+
+    def test_remainder_window_is_kept(self):
+        tel = RunTelemetry.from_records(drift_trace(late_rounds=()))
+        rows = tel.windowed_bound_table(3)
+        assert [r.rounds for r in rows] == [3, 3, 2]
+        assert rows[-1].phase == "rounds[6..7]"
+
+    def test_window_validation(self):
+        tel = RunTelemetry.from_records(drift_trace())
+        with pytest.raises(ValueError, match="window"):
+            tel.windowed_bound_table(0)
+
+
 class TestServerTrace:
     def test_faulted_run_trace_joins_end_to_end(self, tmp_path, viking,
                                                 paper_sizes):

@@ -1,0 +1,181 @@
+"""ServeClient retry discipline (no sockets: urlopen is stubbed).
+
+The contract: transport failures never escape as raw
+``ConnectionError``; connect-stage failures retry with bounded
+exponential backoff for every operation; mid-flight failures retry
+only idempotent operations -- a mid-flight ``admit`` raises
+immediately because a blind re-send could admit two streams for one
+request.
+"""
+
+import io
+import json
+import urllib.error
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import ServeClient
+
+
+class FakeResponse:
+    def __init__(self, payload: dict, status: int = 200):
+        self.status = status
+        self._body = json.dumps(payload).encode("utf-8")
+
+    def read(self):
+        return self._body
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class FlakyTransport:
+    """urlopen stand-in that raises scripted errors, then answers."""
+
+    def __init__(self, errors, payload):
+        self.errors = list(errors)
+        self.payload = payload
+        self.calls = 0
+
+    def __call__(self, request, timeout=None):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return FakeResponse(self.payload)
+
+
+def refused():
+    return urllib.error.URLError(ConnectionRefusedError(111, "refused"))
+
+
+def reset_mid_flight():
+    return ConnectionResetError(104, "reset by peer")
+
+
+@pytest.fixture
+def client():
+    sleeps = []
+    client = ServeClient("http://127.0.0.1:1", retries=4,
+                         backoff=0.05, backoff_max=0.4,
+                         sleep=sleeps.append)
+    client.sleeps = sleeps
+    return client
+
+
+def patch_transport(monkeypatch, transport):
+    monkeypatch.setattr("urllib.request.urlopen", transport)
+
+
+class TestConnectStageRetry:
+    def test_admit_retries_connection_refused(self, monkeypatch,
+                                              client):
+        """The daemon is restarting from a snapshot: refused connects
+        retry even for the non-idempotent admit (nothing was sent)."""
+        transport = FlakyTransport([refused(), refused()],
+                                   {"stream": 0, "active": 1})
+        patch_transport(monkeypatch, transport)
+        result = client.admit()
+        assert result["admitted"] and result["stream"] == 0
+        assert transport.calls == 3
+        assert client.retried == 2
+
+    def test_backoff_grows_and_is_capped(self, monkeypatch, client):
+        patch_transport(monkeypatch, FlakyTransport(
+            [refused()] * 3, {"ok": True}))
+        client.state()
+        assert len(client.sleeps) == 3
+        assert client.sleeps[0] < client.sleeps[-1]
+        assert all(0 < s <= client.backoff_max for s in client.sleeps)
+
+    def test_exhaustion_raises_configuration_error(self, monkeypatch,
+                                                   client):
+        patch_transport(monkeypatch, FlakyTransport(
+            [refused()] * 10, {"ok": True}))
+        with pytest.raises(ConfigurationError,
+                           match="unreachable after 4"):
+            client.healthz()
+        # Never a raw ConnectionError / URLError escaping.
+
+
+class TestMidFlightDiscipline:
+    def test_admit_never_retries_mid_flight(self, monkeypatch, client):
+        """The connection died after the request was sent: the daemon
+        may have admitted.  A blind retry could double-admit."""
+        transport = FlakyTransport([reset_mid_flight()],
+                                   {"stream": 0})
+        patch_transport(monkeypatch, transport)
+        with pytest.raises(ConfigurationError,
+                           match="non-idempotent"):
+            client.admit()
+        assert transport.calls == 1
+        assert client.retried == 0
+
+    def test_explicit_release_retries_mid_flight(self, monkeypatch,
+                                                 client):
+        """Releasing ticket N twice is a 400 the caller reads as
+        'released': safe to re-send."""
+        transport = FlakyTransport([reset_mid_flight()],
+                                   {"stream": 5, "active": 0})
+        patch_transport(monkeypatch, transport)
+        assert client.release(5)["stream"] == 5
+        assert transport.calls == 2
+
+    def test_anonymous_release_does_not_retry_mid_flight(
+            self, monkeypatch, client):
+        """release() with no ticket pops *some* oldest stream --
+        re-sending would pop a second one."""
+        patch_transport(monkeypatch, FlakyTransport(
+            [reset_mid_flight()], {"stream": 0}))
+        with pytest.raises(ConfigurationError,
+                           match="non-idempotent"):
+            client.release()
+
+    def test_reads_and_faults_retry_mid_flight(self, monkeypatch,
+                                               client):
+        for call in (client.state, client.control, client.healthz,
+                     lambda: client.fault("slow_disk", 0, factor=1.2),
+                     client.snapshot):
+            transport = FlakyTransport(
+                [reset_mid_flight()],
+                {"written": "x", "applied": True, "factor": 1.2})
+            patch_transport(monkeypatch, transport)
+            call()
+            assert transport.calls == 2
+
+
+class TestResults:
+    def test_409_is_a_result_not_an_exception(self, monkeypatch,
+                                              client):
+        def rejecting(request, timeout=None):
+            raise urllib.error.HTTPError(
+                request.full_url, 409, "conflict", {},
+                io.BytesIO(json.dumps(
+                    {"error": "denied", "admitted": False}
+                    ).encode("utf-8")))
+        patch_transport(monkeypatch, rejecting)
+        result = client.admit()
+        assert result["admitted"] is False
+        assert "denied" in result["error"]
+
+    def test_non_json_body_is_a_configuration_error(self, monkeypatch,
+                                                    client):
+        class Garbage(FakeResponse):
+            def __init__(self):
+                self.status = 200
+                self._body = b"\x00not json"
+        patch_transport(monkeypatch,
+                        lambda request, timeout=None: Garbage())
+        with pytest.raises(ConfigurationError, match="non-JSON"):
+            client.state()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServeClient("ftp://x")
+        with pytest.raises(ConfigurationError):
+            ServeClient("http://x", retries=0)
+        with pytest.raises(ConfigurationError):
+            ServeClient("http://x", backoff=0.5, backoff_max=0.1)

@@ -123,14 +123,23 @@ class TestFaultHandling:
         daemon.fault("disk_recover", 2)
         assert not daemon.controller.degraded
 
-    def test_service_perturbations_are_noops(self, daemon_factory):
+    def test_slow_disk_records_drift_factor(self, daemon_factory):
         daemon = daemon_factory(disks=2)
-        assert daemon.fault("slow_disk", 0)["applied"] is False
+        result = daemon.fault("slow_disk", 0, factor=1.3)
+        assert result["applied"] is True
+        assert result["factor"] == 1.3
+        assert daemon.state()["slow_disks"] == {"0": 1.3}
+        # factor=1 clears the drift entry.
+        daemon.fault("slow_disk", 0, factor=1.0)
+        assert daemon.state()["slow_disks"] == {}
+        # Storms still have no admission-side effect.
         assert daemon.fault("recalibration_storm")["applied"] is False
         with pytest.raises(ConfigurationError):
             daemon.fault("meteor_strike", 0)
         with pytest.raises(ConfigurationError):
             daemon.fault("disk_fail", 9)
+        with pytest.raises(ConfigurationError):
+            daemon.fault("slow_disk", 0, factor=-2.0)
 
     def test_fault_counters_by_kind(self, daemon_factory):
         daemon = daemon_factory(disks=2)

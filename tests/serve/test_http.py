@@ -8,6 +8,7 @@ smoke leg (and ``-W error::ResourceWarning``) relies on.
 """
 
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -202,3 +203,72 @@ class TestLifecycle:
     def test_client_url_validation(self):
         with pytest.raises(ConfigurationError):
             ServeClient("ftp://nope")
+
+
+class TestControlPlaneRoutes:
+    def test_control_view_over_http(self, served):
+        _handle, client = served
+        control = client.control()
+        assert control["adaptive"] is False
+        assert control["healthy_n_max"] == 28
+        assert control["window"]["rounds"] == 0
+        assert control["snapshot"]["path"] is None
+
+    def test_snapshot_route_requires_a_path(self, served):
+        _handle, client = served
+        with pytest.raises(ConfigurationError,
+                           match="no --snapshot-path"):
+            client.snapshot()
+
+    def test_snapshot_route_persists(self, tmp_path):
+        path = tmp_path / "snap.json"
+        daemon = ServeDaemon(ServeConfig(disks=2,
+                                         snapshot_path=str(path)))
+        with ServeHandle(daemon) as handle:
+            client = ServeClient(handle.url)
+            client.admit()
+            written = client.snapshot()["written"]
+        assert written == str(path)
+        assert path.exists()
+
+    def test_slow_disk_factor_over_http(self, served):
+        _handle, client = served
+        result = client.fault("slow_disk", 1, factor=1.4)
+        assert result["applied"] is True and result["factor"] == 1.4
+        assert client.state()["slow_disks"] == {"1": 1.4}
+
+
+class TestGracefulShutdown:
+    def test_attached_feed_dies_with_the_handle(self):
+        """Regression: a FaultFeed sleeping towards a far-future event
+        used to outlive ServeHandle.stop() -- attach() guarantees the
+        feed is stopped (and joined) before the server."""
+        daemon = ServeDaemon(ServeConfig(disks=2))
+        handle = ServeHandle(daemon).start()
+        schedule = FaultSchedule([disk_fail(3600.0, 0)])
+        feed = FaultFeed(daemon, schedule).start()
+        handle.attach(feed)
+        handle.stop()  # must join the mid-sleep feed thread
+        assert feed.applied == 0
+        assert feed._thread is None
+        # The no_thread_leaks fixture asserts nothing survived.
+
+    def test_attached_ticker_dies_with_the_handle(self):
+        from repro.serve import RoundTicker
+        daemon = ServeDaemon(ServeConfig(disks=2))
+        daemon.admit()
+        handle = ServeHandle(daemon).start()
+        ticker = RoundTicker(daemon, interval=0.01).start()
+        handle.attach(ticker)
+        deadline = time.time() + 5.0
+        while ticker.ticks == 0 and time.time() < deadline:
+            time.sleep(0.01)
+        handle.stop()
+        assert ticker.ticks >= 1
+        assert daemon.state()["controller"]["active"] == 1
+
+    def test_ticker_interval_validation(self):
+        from repro.serve import RoundTicker
+        daemon = ServeDaemon(ServeConfig(disks=2))
+        with pytest.raises(ConfigurationError):
+            RoundTicker(daemon, interval=0.0)
