@@ -146,6 +146,14 @@ _ENTRIES = [
                "it; the violation ratio is a CI regression gate",
                "bench_a25_adaptive_control.py",
                ("a25_adaptive_control",)),
+    Experiment("A26", "Span-tracing overhead + SLO detection",
+               "interleaved spans-off/spans-on request pairs against "
+               "one live daemon gate the tracing overhead "
+               "(median-paired admissions/sec ratio, a CI regression "
+               "gate) and a deterministic drift storm gates the SLO "
+               "engine's burn-rate detection latency",
+               "bench_a26_trace_overhead.py",
+               ("a26_trace_overhead",)),
 ]
 
 #: Registry keyed by experiment id.

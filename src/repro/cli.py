@@ -50,10 +50,15 @@ from repro.obs import (
     NULL_TRACER,
     RunTelemetry,
     Tracer,
+    build_span_trees,
+    critical_path,
     get_registry,
     get_tracer,
     read_trace,
+    read_trace_lenient,
+    render_span_tree,
     set_tracer,
+    slo_report_from_records,
     validate_trace,
 )
 from repro.server.simulation import estimate_p_error, estimate_p_late
@@ -607,10 +612,54 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_spans(records) -> None:
+    """The ``--spans`` section: per-name root summary, then the
+    slowest tree of each name with its critical path."""
+    roots = build_span_trees(records)
+    if not roots:
+        print("no spans recorded (trace written without span "
+              "instrumentation?)")
+        return
+    groups: dict[str, list] = {}
+    for root in roots:
+        groups.setdefault(root.name, []).append(root)
+    rows = []
+    for name in sorted(groups):
+        group = groups[name]
+        timed = [r.seconds for r in group if r.seconds is not None]
+        incomplete = sum(1 for root in group
+                         for node in root.walk() if not node.complete)
+        rows.append([
+            name, str(len(group)),
+            f"{1e3 * sum(timed) / len(timed):.2f}" if timed else "-",
+            f"{1e3 * max(timed):.2f}" if timed else "-",
+            str(incomplete) if incomplete else ""])
+    print(render_table(
+        ["root span", "count", "mean [ms]", "max [ms]", "incomplete"],
+        rows, title="span trees"))
+    for name in sorted(groups):
+        slowest = max(groups[name],
+                      key=lambda root: root.seconds or 0.0)
+        print(f"slowest {name}:")
+        for line in render_span_tree(slowest, indent="  "):
+            print(line)
+        path = critical_path(slowest)
+        if len(path) > 1:
+            print("  critical path: "
+                  + " -> ".join(node.name for node in path))
+
+
 def _cmd_observe(args: argparse.Namespace) -> int:
     """``repro observe TRACE.jsonl``: reconstruct a recorded run --
     slowest sweeps, glitch timeline, bound-vs-observed table."""
-    records = read_trace(args.trace)
+    records, damage = read_trace_lenient(args.trace)
+    if not records:
+        detail = damage[0] if damage else "the file is empty"
+        print(f"error: {args.trace} holds no readable trace records "
+              f"({detail})", file=sys.stderr)
+        return 1
+    for problem in damage:
+        print(f"trace damage: {problem}", file=sys.stderr)
     problems = validate_trace(records)
     for problem in problems:
         print(f"schema problem: {problem}", file=sys.stderr)
@@ -715,7 +764,85 @@ def _cmd_observe(args: argparse.Namespace) -> int:
         resumed = sum(1 for r in telemetry.sheds
                       if r.get("kind") == "stream_resume")
         print(f"  shedding: {paused} shed, {resumed} resumed")
-    return 0
+    if args.spans:
+        _render_spans(records)
+    # A damaged tail still gets the prefix summarised above, but the
+    # exit code must flag that the trace is not the whole story.
+    return 1 if damage else 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """``repro slo TRACE.jsonl``: replay a recorded trace through the
+    ε error-budget tracker and report burn rates + alert history."""
+    records, damage = read_trace_lenient(args.trace)
+    if not records:
+        detail = damage[0] if damage else "the file is empty"
+        print(f"error: {args.trace} holds no readable trace records "
+              f"({detail})", file=sys.stderr)
+        return 1
+    for problem in damage:
+        print(f"trace damage: {problem}", file=sys.stderr)
+    report = slo_report_from_records(
+        records, epsilon=args.epsilon, delta=args.delta,
+        m=args.m, g=args.g,
+        fast_window=args.fast_window, slow_window=args.slow_window,
+        page_burn=args.page_burn, warn_burn=args.warn_burn)
+    if not report["observed_rounds"]:
+        print("error: trace has no per-round observations (need "
+              "round_observe records from 'repro serve --trace' or "
+              "sweep records from 'repro simulate --trace')",
+              file=sys.stderr)
+        return 1
+
+    def burn(value):
+        return f"{value:.3f}" if value is not None else "(no budget)"
+
+    rows = [
+        ["epsilon / delta",
+         f"{report['epsilon']:g} / {report['delta']:g}"],
+        ["stream shape (m, g)", f"({report['m']}, {report['g']})"],
+        ["per-slot budget (healthy)",
+         format_probability(report['budget_per_slot'])],
+        ["per-slot budget (degraded)",
+         format_probability(report['degraded_budget_per_slot'])],
+        ["rounds observed", str(report["observed_rounds"])],
+        ["degraded rounds", str(report["degraded_rounds"])],
+        ["slots served", str(report["slots"])],
+        ["slots glitched", str(report["glitched_slots"])],
+        ["budget spent", burn(report["budget_spent"])],
+        ["budget remaining", burn(report["budget_remaining"])],
+        [f"fast burn ({report['fast_window_rounds']} rounds)",
+         burn(report["fast_burn"])],
+        [f"slow burn ({report['slow_window_rounds']} rounds)",
+         burn(report["slow_burn"])],
+        ["max fast burn",
+         f"{report['max_fast_burn']:.3f}"
+         + (f" (round {report['max_fast_burn_round']})"
+            if report["max_fast_burn_round"] is not None else "")],
+        ["final state", report["state"]],
+        ["pages / warnings",
+         f"{report['pages']} / {report['warnings']}"],
+    ]
+    if report["first_page_round"] is not None:
+        rows.append(["first page round",
+                     str(report["first_page_round"])])
+    print(render_table(["quantity", "value"], rows,
+                       title="epsilon error-budget report"))
+    if report["transitions"]:
+        print(render_table(
+            ["round", "from", "to", "fast burn", "slow burn"],
+            [[str(t["round"]), t["from"], t["to"],
+              burn(t["fast_burn"]), burn(t["slow_burn"])]
+             for t in report["transitions"]],
+            title="alert transitions"))
+    if report["pages"]:
+        print(f"verdict: PAGE -- the fast window burned >= "
+              f"{args.page_burn:g}x the sustainable epsilon rate",
+              file=sys.stderr)
+        return 1
+    print(f"verdict: {report['state']} -- budget burn within the "
+          f"stream tolerance")
+    return 1 if damage else 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -743,8 +870,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                          preload=not args.no_preload,
                          adaptive=args.adaptive, control=control,
                          snapshot_path=args.snapshot_path,
-                         probe_seed=args.probe_seed)
-    daemon = ServeDaemon(config)
+                         probe_seed=args.probe_seed,
+                         slo_fast_window=args.slo_fast_window,
+                         slo_slow_window=args.slo_slow_window)
+    tracer = Tracer(sink=args.trace) if args.trace else NULL_TRACER
+    daemon = ServeDaemon(config, tracer=tracer)
     schedule = (FaultSchedule.from_toml(args.fault_schedule)
                 if args.fault_schedule else None)
     if schedule is not None:
@@ -800,6 +930,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         handle.stop()
         written = daemon.save_snapshot(clean=True)
+        if tracer.enabled:
+            tracer.end_run()
+            tracer.close()
         for signum, handler in previous.items():
             signal.signal(signum, handler)
     snap = daemon.controller.snapshot()
@@ -820,6 +953,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.metrics:
         daemon.registry.write_json(args.metrics)
         print(f"metrics written to {args.metrics}")
+    if args.trace:
+        print(f"repro serve: trace written to {args.trace} "
+              f"(inspect with 'repro observe --spans' / 'repro slo')")
     return 0
 
 
@@ -1081,6 +1217,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", default=None, metavar="METRICS.json",
                    help="write the final metrics registry to this "
                    "JSON file on shutdown")
+    p.add_argument("--trace", default=None, metavar="TRACE.jsonl",
+                   help="record spans + round observations to this "
+                   "JSONL file (reconstruct admit trees with 'repro "
+                   "observe --spans', replay the budget with "
+                   "'repro slo')")
+    p.add_argument("--slo-fast-window", type=int, default=32,
+                   metavar="ROUNDS",
+                   help="fast burn-rate window of the epsilon error "
+                   "budget, in probed rounds (storm detector -> "
+                   "page)")
+    p.add_argument("--slo-slow-window", type=int, default=256,
+                   metavar="ROUNDS",
+                   help="slow burn-rate window in probed rounds "
+                   "(leak detector -> warn)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("admit",
@@ -1131,7 +1281,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--validate", action="store_true",
                    help="exit non-zero when the trace fails schema "
                    "validation")
+    p.add_argument("--spans", action="store_true",
+                   help="reconstruct span trees (client -> HTTP -> "
+                   "admission -> ledger) and print the critical path "
+                   "of the slowest tree per root name")
     p.set_defaults(func=_cmd_observe)
+
+    p = sub.add_parser("slo",
+                       help="offline epsilon error-budget report: "
+                       "replay a recorded trace through the "
+                       "burn-rate tracker")
+    p.add_argument("trace", metavar="TRACE.jsonl",
+                   help="trace file from 'repro serve --trace' or "
+                   "'repro simulate --trace'")
+    p.add_argument("--epsilon", type=float, default=None,
+                   help="stream-error tolerance (default: the value "
+                   "stamped in the trace header, else 0.01)")
+    p.add_argument("--delta", type=float, default=None,
+                   help="degraded-mode tolerance (default: header, "
+                   "else 0.01)")
+    p.add_argument("-m", type=int, default=None,
+                   help="rounds per stream (default: header, else "
+                   "1200)")
+    p.add_argument("-g", type=int, default=None,
+                   help="tolerated glitches per stream (default: "
+                   "header, else 12)")
+    p.add_argument("--fast-window", type=int, default=32,
+                   metavar="ROUNDS",
+                   help="fast burn-rate window in rounds")
+    p.add_argument("--slow-window", type=int, default=256,
+                   metavar="ROUNDS",
+                   help="slow burn-rate window in rounds")
+    p.add_argument("--page-burn", type=float, default=6.0,
+                   help="fast-window burn rate that pages")
+    p.add_argument("--warn-burn", type=float, default=1.0,
+                   help="slow-window burn rate that warns (1.0 = "
+                   "exactly unsustainable)")
+    p.set_defaults(func=_cmd_slo)
 
     return parser
 

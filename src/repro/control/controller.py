@@ -388,6 +388,34 @@ class Controller:
                     reason=f"{why} (scale ~{scale:g})")
         return None
 
+    def evidence(self, window) -> dict:
+        """The decision audit of one plan pass -- the same window
+        aggregates, Wilson interval, stamped bound and guard line
+        :meth:`step` reasons over, packaged as flat span attributes so
+        every ``control.plan`` span carries *why* the controller did
+        (or did not) act."""
+        cfg = self.config
+        point = window.observed_p_late
+        lower, upper = window.p_late_interval(cfg.confidence)
+        if window.late_disk_rounds == 0:
+            lower = 0.0  # zero-late window: zero evidence (see step)
+        reference = window.bound
+        return {
+            "rounds": window.rounds,
+            "disk_rounds": window.disk_rounds,
+            "late_disk_rounds": window.late_disk_rounds,
+            "p_late": point,
+            "p_late_lower": lower,
+            "p_late_upper": upper,
+            "bound": reference,
+            "guard": (1.0 - cfg.guard_band) * reference,
+            "guard_band": cfg.guard_band,
+            "service_ratio": window.service_ratio,
+            "state": self.state,
+            "n_max": self.n_max,
+            "t_mult": self.t_mult,
+        }
+
     def committed(self, decision: Decision) -> None:
         """The daemon applied ``decision``; start the cooldown."""
         self.n_max = int(decision.n_max)

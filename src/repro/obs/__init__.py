@@ -15,7 +15,14 @@ substrate to hold a live run against it:
 - :mod:`repro.obs.telemetry` -- :class:`RunTelemetry`, which joins a
   recorded trace's observed per-round service times and glitch counts
   against the model's predicted ``p_late`` and flags the phases whose
-  empirical tail exceeds the bound.
+  empirical tail exceeds the bound;
+- :mod:`repro.obs.spans` -- causally-linked spans (trace-id /
+  parent-id, monotonic durations, attributes) emitted through the same
+  tracer, with ``X-Repro-Trace`` header propagation so one JSONL file
+  reconstructs a full client -> HTTP -> admission -> ledger tree;
+- :mod:`repro.obs.slo` -- the paper's ε re-cast as a per-round error
+  budget: :func:`slot_glitch_budget` inverts the exact binomial tail
+  and :class:`SLOTracker` raises multi-window burn-rate alerts.
 
 Everything here imports only the standard library plus
 :mod:`repro.errors`, so every other layer (``core``, ``sim``,
@@ -32,6 +39,26 @@ from repro.obs.metrics import (
     get_registry,
     reset_registry,
 )
+from repro.obs.slo import (
+    SLOTracker,
+    slo_report_from_records,
+    slot_glitch_budget,
+)
+from repro.obs.spans import (
+    NOOP_SPAN,
+    TRACE_HEADER,
+    Span,
+    SpanContext,
+    SpanNode,
+    build_span_trees,
+    critical_path,
+    current_span,
+    format_trace_header,
+    new_id,
+    parse_trace_header,
+    render_span_tree,
+    start_span,
+)
 from repro.obs.telemetry import (
     BoundComparison,
     ClassLatency,
@@ -44,7 +71,9 @@ from repro.obs.trace import (
     TRACE_SCHEMA_VERSION,
     Tracer,
     get_tracer,
+    publish_trace_metrics,
     read_trace,
+    read_trace_lenient,
     set_tracer,
     validate_record,
     validate_trace,
@@ -64,8 +93,26 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "read_trace",
+    "read_trace_lenient",
+    "publish_trace_metrics",
     "validate_record",
     "validate_trace",
+    "NOOP_SPAN",
+    "TRACE_HEADER",
+    "Span",
+    "SpanContext",
+    "SpanNode",
+    "build_span_trees",
+    "critical_path",
+    "current_span",
+    "format_trace_header",
+    "new_id",
+    "parse_trace_header",
+    "render_span_tree",
+    "start_span",
+    "SLOTracker",
+    "slo_report_from_records",
+    "slot_glitch_budget",
     "BoundComparison",
     "ClassLatency",
     "RunTelemetry",

@@ -1,0 +1,399 @@
+"""Distributed spans over the :mod:`repro.obs.trace` event stream.
+
+A *span* is one timed operation with a name, attributes, and a place in
+a tree: ``client.admit`` covers one logical admission from the client's
+point of view, its ``client.request`` children cover each wire attempt,
+and on the daemon side ``http.admit`` ->
+``admission.admit`` / ``ledger.append`` descend through the layers
+that serve it.  Spans are *not* a second telemetry channel: each one
+emits ordinary ``span_start``/``span_end`` records through a
+:class:`~repro.obs.trace.Tracer`, so a single JSONL trace file carries
+rounds, faults *and* the full causal tree of every admission, and
+``repro observe --spans`` rebuilds the trees offline with
+:func:`build_span_trees`.
+
+Identity and propagation follow the usual tracing model:
+
+- a :class:`SpanContext` is ``(trace_id, span_id, parent_id)``; every
+  span in one logical operation shares the ``trace_id``;
+- within a process the active span is kept on a thread-local stack, so
+  :func:`start_span` parents new spans automatically (the HTTP handler
+  opens ``http.admit``, and ``admission.admit`` started on the same
+  thread becomes its child without any signature changes);
+- across the wire the context travels in the :data:`TRACE_HEADER`
+  (``X-Repro-Trace``) HTTP header as ``trace_id/span_id/attempt`` --
+  the client stamps the *attempt number* so retries share the parent
+  trace-id and the daemon can tell a retried request from a fresh one
+  (and keep its request counters honest).
+
+Durations are monotonic (``time.perf_counter``), never wall-clock
+differences.  With a disabled tracer :func:`start_span` returns the
+shared :data:`NOOP_SPAN`, costing one branch and no allocation -- the
+same cost contract the rest of :mod:`repro.obs.trace` keeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.obs.trace import Tracer, get_tracer
+
+__all__ = [
+    "TRACE_HEADER",
+    "SpanContext",
+    "Span",
+    "NOOP_SPAN",
+    "new_id",
+    "start_span",
+    "current_span",
+    "format_trace_header",
+    "parse_trace_header",
+    "SpanNode",
+    "build_span_trees",
+    "critical_path",
+    "render_span_tree",
+]
+
+#: HTTP header carrying ``trace_id/parent_span_id/attempt`` across the
+#: client -> daemon hop.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: Process-unique id prefix + atomic counter: cheaper than a UUID per
+#: span on the admission hot path, still unique across processes.
+_ID_PREFIX = os.urandom(4).hex()
+_IDS = itertools.count(1)
+
+
+def new_id() -> str:
+    """A fresh process-unique span/trace id (8 hex chars + counter)."""
+    return f"{_ID_PREFIX}{next(_IDS):06x}"
+
+
+class SpanContext(NamedTuple):
+    """Identity of one span: where it belongs and who started it.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is built per
+    span on the admission hot path and tuple construction is several
+    times cheaper than ``object.__setattr__`` per field.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    def child(self) -> "SpanContext":
+        """A fresh context parented on this one (same trace)."""
+        return SpanContext(self.trace_id, new_id(), self.span_id)
+
+
+def format_trace_header(context: SpanContext, attempt: int = 1) -> str:
+    """Serialise ``context`` (+ attempt number) for the wire."""
+    return f"{context.trace_id}/{context.span_id}/{int(attempt)}"
+
+
+def parse_trace_header(value) -> tuple[SpanContext | None, int]:
+    """Parse an ``X-Repro-Trace`` value into ``(context, attempt)``.
+
+    Anything malformed -- absent header, wrong arity, empty ids, junk
+    attempt -- degrades to ``(None, 1)``: a broken header must never
+    turn into a 4xx for an otherwise-valid admission.
+    """
+    if not value or not isinstance(value, str):
+        return None, 1
+    parts = value.strip().split("/")
+    if len(parts) < 2:
+        return None, 1
+    trace_id, span_id = parts[0].strip(), parts[1].strip()
+    if not trace_id or not span_id or len(value) > 256:
+        return None, 1
+    attempt = 1
+    if len(parts) >= 3:
+        try:
+            attempt = max(1, int(parts[2]))
+        except ValueError:
+            attempt = 1
+    return SpanContext(trace_id, span_id), attempt
+
+
+# ----------------------------------------------------------------------
+# Live spans
+# ----------------------------------------------------------------------
+
+_ACTIVE = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        stack = _ACTIVE.stack = []
+    return stack
+
+
+def current_span():
+    """The innermost active :class:`Span` on this thread (or None)."""
+    stack = getattr(_ACTIVE, "stack", None)
+    return stack[-1] if stack else None
+
+
+class Span:
+    """One live timed operation, emitted as ``span_start`` now and
+    ``span_end`` on :meth:`finish` (duration from
+    ``time.perf_counter``).  Use as a context manager: entering pushes
+    it on the thread-local stack so nested :func:`start_span` calls
+    parent on it automatically; exiting pops and finishes (stamping
+    ``error`` when the body raised)."""
+
+    __slots__ = ("tracer", "context", "name", "attrs", "_t0",
+                 "_finished", "_pushed")
+
+    def __init__(self, tracer: Tracer, context: SpanContext, name: str,
+                 attrs: dict | None = None) -> None:
+        self.tracer = tracer
+        self.context = context
+        self.name = name
+        self.attrs: dict = {}
+        self._finished = False
+        self._pushed = False
+        record = {"kind": "span_start", "seq": 0, "wall": 0.0,
+                  "trace": context.trace_id, "span": context.span_id,
+                  "name": name}
+        if context.parent_id is not None:
+            record["parent"] = context.parent_id
+        if attrs:
+            # start_span hands over a fresh kwargs dict; no copy needed.
+            record["attrs"] = attrs
+        self._t0 = time.perf_counter()
+        tracer.emit_record(record)
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes, carried on the ``span_end`` record."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, **attrs) -> None:
+        """Emit ``span_end`` with the monotonic duration (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        seconds = time.perf_counter() - self._t0
+        if attrs:
+            self.attrs.update(attrs)
+        record = {"kind": "span_end", "seq": 0, "wall": 0.0,
+                  "trace": self.context.trace_id,
+                  "span": self.context.span_id,
+                  "name": self.name, "seconds": seconds}
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        self.tracer.emit_record(record)
+
+    def __enter__(self) -> "Span":
+        _stack().append(self)
+        self._pushed = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._pushed:
+            stack = _stack()
+            if stack and stack[-1] is self:
+                stack.pop()
+            elif self in stack:  # defensive: out-of-order exits
+                stack.remove(self)
+            self._pushed = False
+        if exc_type is not None and "error" not in self.attrs:
+            self.attrs["error"] = exc_type.__name__
+        self.finish()
+        return False
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, trace={self.context.trace_id}, "
+                f"span={self.context.span_id})")
+
+
+class _NoopSpan:
+    """The do-nothing span a disabled tracer hands out: no context, no
+    records, no thread-local traffic -- one shared instance."""
+
+    __slots__ = ()
+    context = None
+    name = ""
+    attrs: dict = {}
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def finish(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NOOP_SPAN"
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def start_span(name: str, *, tracer: Tracer | None = None,
+               parent=None, trace_id: str | None = None,
+               **attrs):
+    """Open a span (emit ``span_start``) and return it.
+
+    ``tracer`` defaults to the process-wide one; when it is disabled
+    the shared :data:`NOOP_SPAN` comes back and nothing is recorded.
+    ``parent`` may be a :class:`Span` or :class:`SpanContext`;
+    unspecified, the innermost active span on this thread is the
+    parent, else the span starts a new trace (``trace_id`` lets a
+    caller pin the trace of a parentless span -- the client does this
+    so every retry attempt shares one trace)."""
+    if tracer is None:
+        tracer = get_tracer()
+    if not tracer.enabled:
+        return NOOP_SPAN
+    if parent is None:
+        parent = current_span()
+    context = getattr(parent, "context", parent)
+    if isinstance(context, SpanContext):
+        span_context = context.child()
+    else:
+        span_context = SpanContext(trace_id or new_id(), new_id())
+    return Span(tracer, span_context, name, attrs or None)
+
+
+# ----------------------------------------------------------------------
+# Offline reconstruction
+# ----------------------------------------------------------------------
+
+@dataclass
+class SpanNode:
+    """One span rebuilt from ``span_start``/``span_end`` records."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    name: str = "?"
+    wall: float = 0.0
+    seconds: float | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list = field(default_factory=list)
+    #: Both the start and the end record were present.
+    complete: bool = False
+
+    def walk(self):
+        """This node then every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_span_trees(records) -> list[SpanNode]:
+    """Rebuild span trees from trace records (other kinds ignored).
+
+    Spans whose parent never appears in the trace become roots of
+    their own tree -- the normal shape for a daemon-side trace whose
+    client ran untraced in another process: the ``http.*`` span still
+    carries the client's trace-id, it just has nobody above it here.
+    A ``span_start`` without its ``span_end`` (request in flight when
+    the sink closed, daemon SIGKILLed) yields an incomplete node with
+    ``seconds=None`` rather than being dropped.
+    """
+    nodes: dict[str, SpanNode] = {}
+    order: list[str] = []
+
+    def node(trace_id: str, span_id: str) -> SpanNode:
+        entry = nodes.get(span_id)
+        if entry is None:
+            entry = nodes[span_id] = SpanNode(trace_id, span_id)
+            order.append(span_id)
+        return entry
+
+    for record in records:
+        kind = record.get("kind")
+        if kind not in ("span_start", "span_end"):
+            continue
+        span_id = str(record.get("span", ""))
+        if not span_id:
+            continue
+        entry = node(str(record.get("trace", "")), span_id)
+        entry.name = str(record.get("name", entry.name))
+        attrs = record.get("attrs")
+        if isinstance(attrs, dict):
+            entry.attrs.update(attrs)
+        if kind == "span_start":
+            entry.wall = float(record.get("wall", 0.0))
+            parent = record.get("parent")
+            if parent is not None:
+                entry.parent_id = str(parent)
+        else:
+            seconds = record.get("seconds")
+            if isinstance(seconds, (int, float)):
+                entry.seconds = float(seconds)
+            if not entry.wall:
+                entry.wall = float(record.get("wall", 0.0))
+            entry.complete = True
+    # A start-only span is incomplete; a node first seen via span_end
+    # (ring overflow ate the start) keeps complete=True but has no
+    # parent edge unless the end record names one.
+    for span_id in order:
+        entry = nodes[span_id]
+        if entry.seconds is None:
+            entry.complete = False
+    roots: list[SpanNode] = []
+    for span_id in order:
+        entry = nodes[span_id]
+        parent = (nodes.get(entry.parent_id)
+                  if entry.parent_id is not None else None)
+        if parent is not None and parent is not entry:
+            parent.children.append(entry)
+        else:
+            roots.append(entry)
+    for entry in nodes.values():
+        entry.children.sort(key=lambda child: child.wall)
+    roots.sort(key=lambda root: root.wall)
+    return roots
+
+
+def critical_path(root: SpanNode) -> list[SpanNode]:
+    """Root-to-leaf chain following the slowest child at each level --
+    the spans an admission's latency actually waited on."""
+    path = [root]
+    current = root
+    while current.children:
+        current = max(current.children,
+                      key=lambda child: child.seconds or 0.0)
+        path.append(current)
+    return path
+
+
+def _format_attrs(attrs: dict, limit: int = 4) -> str:
+    parts = []
+    for key, value in attrs.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:g}")
+        elif isinstance(value, (str, int, bool)):
+            parts.append(f"{key}={value}")
+        if len(parts) >= limit:
+            break
+    return "  ".join(parts)
+
+
+def render_span_tree(root: SpanNode, indent: str = "") -> list[str]:
+    """ASCII lines for one span tree (``repro observe --spans``)."""
+    duration = (f"{root.seconds * 1e3:.2f} ms"
+                if root.seconds is not None else "(no end record)")
+    line = f"{indent}{root.name}  {duration}"
+    attrs = _format_attrs(root.attrs)
+    if attrs:
+        line += f"  [{attrs}]"
+    lines = [line]
+    for child in root.children:
+        lines.extend(render_span_tree(child, indent + "  "))
+    return lines

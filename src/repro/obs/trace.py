@@ -23,6 +23,7 @@ trace.  See ``docs/OBSERVABILITY.md`` for the catalogue.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from pathlib import Path
@@ -37,6 +38,8 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "read_trace",
+    "read_trace_lenient",
+    "publish_trace_metrics",
     "validate_record",
     "validate_trace",
 ]
@@ -68,6 +71,14 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "stream_shed": ("round", "stream", "action"),
     "stream_resume": ("round", "stream"),
     "fault": ("t", "desc"),
+    # distributed spans (repro.obs.spans): one timed operation each,
+    # trace/span/parent ids tie them into per-admission trees.
+    "span_start": ("trace", "span", "name"),
+    "span_end": ("trace", "span", "name", "seconds"),
+    # serve measurement plane: one record per probed daemon round --
+    # the offline SLO burn-rate replay input (``repro slo``).
+    "round_observe": ("round", "disk_rounds", "late_disk_rounds",
+                      "requests", "glitched", "degraded", "bound"),
     # analytic / cache layer
     "cache_hit": ("layer",),
     "cache_miss": ("layer",),
@@ -86,6 +97,10 @@ class Tracer:
         Ring-buffer size; the oldest records are dropped (and counted
         in :attr:`dropped`) once it fills.  The JSONL sink is
         unaffected by the ring -- every emitted record is written.
+        The default is deliberately modest: the ring is a live
+        debugging aid, and tens of thousands of retained record dicts
+        are a measurable garbage-collector burden on the admission
+        hot path (every full collection walks them).
     sink:
         ``None``, a path (opened lazily, closed by :meth:`close`), or a
         file-like object with ``write`` (left open).
@@ -97,9 +112,10 @@ class Tracer:
     """
 
     __slots__ = ("enabled", "capacity", "emitted", "dropped", "_records",
-                 "_seq", "_sink", "_sink_path", "_owns_sink", "_clock")
+                 "_seq", "_sink", "_sink_path", "_owns_sink", "_clock",
+                 "_emit_lock", "_pending", "_write_lock", "_has_sink")
 
-    def __init__(self, capacity: int = 65536, sink=None,
+    def __init__(self, capacity: int = 4096, sink=None,
                  enabled: bool = True, clock=time.time) -> None:
         if capacity < 1:
             raise ConfigurationError(
@@ -114,11 +130,25 @@ class Tracer:
         self._sink_path: Path | None = None
         self._owns_sink = False
         self._clock = clock
+        # The serve daemon emits from many HTTP worker threads plus the
+        # round ticker at once; seq must stay strictly increasing and a
+        # JSONL line must never interleave.  Disabled tracers return
+        # before ever touching the lock.
+        self._emit_lock = threading.Lock()
+        # Sink writes are deferred: emit() only appends the record to
+        # ``_pending`` (no JSON encoding on the hot path) and the
+        # serialisation happens in :meth:`flush` -- per control round
+        # in the serve daemon, at ``_PENDING_FLUSH`` records otherwise,
+        # always on :meth:`close`.  ``_write_lock`` orders concurrent
+        # drains so the JSONL stays in seq order.
+        self._pending: list = []
+        self._write_lock = threading.Lock()
         if sink is not None:
             if hasattr(sink, "write"):
                 self._sink = sink
             else:
                 self._sink_path = Path(sink)
+        self._has_sink = sink is not None
 
     # ------------------------------------------------------------------
     def emit(self, kind: str, t: float | None = None, **fields) -> dict:
@@ -129,19 +159,41 @@ class Tracer:
         """
         if not self.enabled:
             return {}
-        record = {"kind": kind, "seq": self._seq,
-                  "wall": float(self._clock())}
         if t is not None:
-            record["t"] = float(t)
+            fields["t"] = float(t)
+        return self.emit_fields(kind, fields)
+
+    def emit_fields(self, kind: str, fields: dict) -> dict:
+        """:meth:`emit` without the kwargs repack: ``fields`` is taken
+        over by the record (the span layer builds its payload dict once
+        and hands it straight here -- one less dict per record on the
+        admission hot path).  The caller must not reuse ``fields``."""
+        if not self.enabled:
+            return {}
+        record = {"kind": kind, "seq": 0, "wall": 0.0}
         record.update(fields)
-        self._seq += 1
-        self.emitted += 1
-        if len(self._records) == self.capacity:
-            self.dropped += 1
-        self._records.append(record)
-        sink = self._resolve_sink()
-        if sink is not None:
-            sink.write(json.dumps(record, default=_jsonable) + "\n")
+        return self.emit_record(record)
+
+    def emit_record(self, record: dict) -> dict:
+        """The zero-copy emit core: ``record`` already carries
+        ``kind`` (plus placeholder ``seq``/``wall`` slots so the JSONL
+        keeps its envelope-first key order) and is stamped and filed
+        in place -- no second dict per record.  The caller hands over
+        ownership and must not mutate ``record`` afterwards."""
+        if not self.enabled:
+            return {}
+        with self._emit_lock:
+            record["seq"] = self._seq
+            record["wall"] = self._clock()
+            self._seq += 1
+            self.emitted += 1
+            if len(self._records) == self.capacity:
+                self.dropped += 1
+            self._records.append(record)
+            if self._has_sink:
+                self._pending.append(record)
+        if len(self._pending) >= _PENDING_FLUSH:
+            self._drain()
         return record
 
     def start_run(self, seed: int | None = None, **config) -> dict:
@@ -170,13 +222,36 @@ class Tracer:
             self._owns_sink = True
         return self._sink
 
+    def _drain(self) -> None:
+        """Serialise and write the pending records (order-preserving:
+        the swap happens under the emit lock while the write lock is
+        held, so concurrent drains cannot reorder batches)."""
+        with self._write_lock:
+            with self._emit_lock:
+                if not self._pending:
+                    return
+                pending, self._pending = self._pending, []
+                sink = self._resolve_sink()
+            if sink is not None:
+                if _C_ENCODE is not None:
+                    chunks: list = []
+                    for record in pending:
+                        chunks += _C_ENCODE(record, 0)
+                        chunks.append("\n")
+                else:  # pragma: no cover
+                    chunks = [_JSON_ENCODER.encode(record) + "\n"
+                              for record in pending]
+                sink.write("".join(chunks))
+
     def flush(self) -> None:
-        """Flush the sink, if one is open."""
+        """Drain deferred records to the sink and flush it."""
+        self._drain()
         if self._sink is not None and hasattr(self._sink, "flush"):
             self._sink.flush()
 
     def close(self) -> None:
-        """Close a tracer-owned sink file (idempotent)."""
+        """Drain and close a tracer-owned sink file (idempotent)."""
+        self._drain()
         if self._sink is not None and self._owns_sink:
             self._sink.close()
         self._sink = None
@@ -204,6 +279,28 @@ def _jsonable(value):
     if isinstance(value, (set, frozenset)):
         return sorted(value)
     return str(value)
+
+
+#: One shared encoder (building one per record is measurable on the
+#: admission hot path) and the backstop drain threshold for tracers
+#: nobody flushes periodically -- small enough that a backstop drain
+#: is a ~1ms blip rather than a multi-ms stall of whichever emitter
+#: crosses the threshold.
+_JSON_ENCODER = json.JSONEncoder(separators=(",", ":"),
+                                 default=_jsonable)
+_PENDING_FLUSH = 1024
+
+# The stdlib pays a fixed per-call cost rebuilding its C encoder in
+# every ``encode()``; caching the C callable once roughly halves the
+# per-record serialisation cost of a drain.  Falls back to the plain
+# encoder on interpreters without the accelerator.
+try:
+    import json.encoder as _json_encoder_mod
+    _C_ENCODE = _json_encoder_mod.c_make_encoder(
+        None, _jsonable, _json_encoder_mod.encode_basestring_ascii,
+        None, ":", ",", False, False, True)
+except (ImportError, AttributeError, TypeError):  # pragma: no cover
+    _C_ENCODE = None
 
 
 #: The shared disabled tracer; instrumentation layers default to it so
@@ -253,6 +350,83 @@ def read_trace(path) -> list[dict]:
                     f"got {type(record).__name__}")
             records.append(record)
     return records
+
+
+def read_trace_lenient(path) -> tuple[list[dict], list[str]]:
+    """Parse a JSONL trace, tolerating damage; returns
+    ``(records, problems)``.
+
+    :func:`read_trace` is strict -- right for validation, wrong for a
+    post-mortem: the trace of a SIGKILLed daemon usually ends in a
+    half-written line, and an operator reading the wreckage wants the
+    intact prefix plus a one-line diagnosis, not a parser traceback.
+    Rules: blank lines are skipped; an unparseable *final* line is
+    reported as truncation (the SIGKILL signature) and the prefix kept;
+    unparseable or non-object lines elsewhere are reported and skipped.
+    An empty file yields ``([], [])`` -- the caller decides what an
+    empty trace means.
+    """
+    records: list[dict] = []
+    problems: list[str] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    numbered = [(lineno, line.strip())
+                for lineno, line in enumerate(lines, start=1)]
+    numbered = [(lineno, line) for lineno, line in numbered if line]
+    for position, (lineno, line) in enumerate(numbered):
+        last = position == len(numbered) - 1
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if last:
+                problems.append(
+                    f"line {lineno}: truncated final record "
+                    f"(half-written line -- daemon killed mid-write?)")
+            else:
+                problems.append(
+                    f"line {lineno}: unparseable record skipped")
+            continue
+        if not isinstance(record, dict):
+            problems.append(
+                f"line {lineno}: non-object record skipped "
+                f"({type(record).__name__})")
+            continue
+        records.append(record)
+    return records, problems
+
+
+def publish_trace_metrics(registry, tracer: Tracer | None = None) -> None:
+    """Mirror a tracer's loss/volume counters into a metrics registry.
+
+    Follows the ``publish_cache_metrics`` idiom: safe to call on every
+    scrape.  ``trace_emitted_total``/``trace_dropped_total`` are real
+    Prometheus counters advanced by the delta since the last publish,
+    so silent ring-buffer loss is visible to operators instead of only
+    living on the Tracer instance.
+    """
+    if tracer is None:
+        tracer = get_tracer()
+    emitted = registry.counter(
+        "trace_emitted_total",
+        help="Trace records emitted by the tracer")
+    emitted.inc(max(0.0, tracer.emitted - emitted.value))
+    dropped = registry.counter(
+        "trace_dropped_total",
+        help="Trace records evicted from the ring buffer (sink files "
+        "are unaffected)")
+    dropped.inc(max(0.0, tracer.dropped - dropped.value))
+    registry.gauge(
+        "trace_buffered_records",
+        help="Trace records currently held in the ring buffer"
+        ).set(len(tracer))
+    registry.gauge(
+        "trace_ring_capacity",
+        help="Ring buffer capacity of the tracer"
+        ).set(tracer.capacity)
+    registry.gauge(
+        "trace_enabled",
+        help="1 while the tracer is recording"
+        ).set(1 if tracer.enabled else 0)
 
 
 def validate_record(record: dict, index: int | None = None) -> list[str]:

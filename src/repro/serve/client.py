@@ -25,6 +25,14 @@ call, each under its own ``timeout``.  Retry safety is per operation:
 
 Exhausted retries raise :class:`~repro.errors.ConfigurationError`
 (never a raw ``ConnectionError``), carrying the last transport error.
+
+Every wire request carries the ``X-Repro-Trace`` header
+(``trace_id/span_id/attempt``): with a tracer enabled the ids come
+from real ``client.<op>``/``client.request`` spans so the daemon's
+spans join the client's tree; without one, fresh ids are minted so the
+daemon still sees a client-originated trace-id and -- crucially -- the
+attempt number, which keeps retried requests out of its primary
+request counters.
 """
 
 from __future__ import annotations
@@ -35,6 +43,14 @@ import urllib.error
 import urllib.request
 
 from repro.errors import ConfigurationError
+from repro.obs.spans import (
+    TRACE_HEADER,
+    SpanContext,
+    format_trace_header,
+    new_id,
+    start_span,
+)
+from repro.obs.trace import get_tracer
 
 __all__ = ["ServeClient"]
 
@@ -58,7 +74,7 @@ class ServeClient:
     def __init__(self, url: str, timeout: float = 10.0, *,
                  retries: int = 5, backoff: float = 0.05,
                  backoff_max: float = 2.0,
-                 sleep=time.sleep) -> None:
+                 sleep=time.sleep, tracer=None) -> None:
         if not url.startswith(("http://", "https://")):
             raise ConfigurationError(
                 f"daemon url must start with http(s)://, got {url!r}")
@@ -75,6 +91,8 @@ class ServeClient:
         self.backoff = float(backoff)
         self.backoff_max = float(backoff_max)
         self._sleep = sleep
+        #: None defers to the process-wide tracer at call time.
+        self._tracer = tracer
         #: Transport retries performed over this client's lifetime.
         self.retried = 0
 
@@ -92,35 +110,71 @@ class ServeClient:
                  idempotent: bool = True) -> tuple[int, bytes]:
         data = (json.dumps(body).encode("utf-8")
                 if body is not None else None)
-        last: BaseException | None = None
-        for attempt in range(self.retries):
-            request = urllib.request.Request(
-                self.url + path, data=data, method=method,
-                headers={"Content-Type": "application/json"}
-                if data else {})
-            try:
-                with urllib.request.urlopen(
-                        request, timeout=self.timeout) as resp:
-                    return resp.status, resp.read()
-            except urllib.error.HTTPError as exc:
-                # 4xx carries a JSON error payload we want to surface,
-                # not an exception -- a 409 rejection is a *result*.
-                with exc:
-                    return exc.code, exc.read()
-            except _TRANSPORT_ERRORS as exc:
-                last = exc
-                if not idempotent and not _is_connect_stage(exc):
-                    raise ConfigurationError(
-                        f"{method} {path} failed mid-flight ({exc}); "
-                        f"not retrying a non-idempotent operation -- "
-                        f"the daemon may have already applied it"
-                        ) from exc
+        tracer = (self._tracer if self._tracer is not None
+                  else get_tracer())
+        op = path.strip("/").replace("/", ".") or "root"
+        op_span = start_span(f"client.{op}", tracer=tracer,
+                             method=method, path=path)
+        with op_span:
+            trace_id = (op_span.context.trace_id
+                        if op_span.context is not None else new_id())
+            last: BaseException | None = None
+            for attempt in range(self.retries):
+                number = attempt + 1
+                attempt_span = start_span(
+                    "client.request", tracer=tracer,
+                    parent=(op_span if op_span.context is not None
+                            else None),
+                    trace_id=trace_id, attempt=number)
+                with attempt_span:
+                    # The wire context is the attempt span when traced;
+                    # otherwise mint ids so the daemon still receives a
+                    # client-originated trace-id + attempt number.
+                    context = attempt_span.context or SpanContext(
+                        trace_id, new_id())
+                    headers = {TRACE_HEADER:
+                               format_trace_header(context, number)}
+                    if data:
+                        headers["Content-Type"] = "application/json"
+                    request = urllib.request.Request(
+                        self.url + path, data=data, method=method,
+                        headers=headers)
+                    try:
+                        with urllib.request.urlopen(
+                                request, timeout=self.timeout) as resp:
+                            payload = resp.read()
+                            attempt_span.set(status=resp.status)
+                            op_span.set(status=resp.status,
+                                        attempts=number)
+                            return resp.status, payload
+                    except urllib.error.HTTPError as exc:
+                        # 4xx carries a JSON error payload we want to
+                        # surface, not an exception -- a 409 rejection
+                        # is a *result*.
+                        with exc:
+                            payload = exc.read()
+                        attempt_span.set(status=exc.code)
+                        op_span.set(status=exc.code, attempts=number)
+                        return exc.code, payload
+                    except _TRANSPORT_ERRORS as exc:
+                        last = exc
+                        attempt_span.set(error=type(exc).__name__)
+                        if not idempotent and not _is_connect_stage(exc):
+                            op_span.set(error="mid-flight",
+                                        attempts=number)
+                            raise ConfigurationError(
+                                f"{method} {path} failed mid-flight "
+                                f"({exc}); not retrying a "
+                                f"non-idempotent operation -- the "
+                                f"daemon may have already applied it"
+                                ) from exc
                 if attempt + 1 < self.retries:
                     self.retried += 1
                     self._sleep(self._delay(attempt))
-        raise ConfigurationError(
-            f"{method} {path} unreachable after {self.retries} "
-            f"attempt(s): {last}") from last
+            op_span.set(error="unreachable", attempts=self.retries)
+            raise ConfigurationError(
+                f"{method} {path} unreachable after {self.retries} "
+                f"attempt(s): {last}") from last
 
     def _json(self, method: str, path: str,
               body: dict | None = None, *,
@@ -209,3 +263,7 @@ class ServeClient:
     def control(self) -> dict:
         """Control-plane JSON from ``/control``."""
         return self._json("GET", "/control")[1]
+
+    def slo(self) -> dict:
+        """Error-budget burn-rate state JSON from ``/slo``."""
+        return self._json("GET", "/slo")[1]

@@ -55,7 +55,9 @@ from repro.disk import quantum_viking_2_1
 from repro.distributions import Gamma
 from repro.errors import AdmissionError, ConfigurationError
 from repro.obs import MetricsRegistry, RunTelemetry
-from repro.obs.trace import NULL_TRACER
+from repro.obs.slo import SLOTracker, slot_glitch_budget
+from repro.obs.spans import start_span
+from repro.obs.trace import NULL_TRACER, publish_trace_metrics
 from repro.server.admission import AdmissionController
 from repro.server.faults import SheddingPolicy
 
@@ -91,6 +93,12 @@ class ServeConfig:
     snapshot_path: str | None = None
     #: Seed of the deterministic round probe.
     probe_seed: int = 0
+    #: Burn-rate alert windows of the ε error-budget tracker, in
+    #: probed rounds (``repro serve --slo-fast-window/--slo-slow-
+    #: window``).  Fast catches storms (page), slow catches leaks
+    #: (warn).
+    slo_fast_window: int = 32
+    slo_slow_window: int = 256
 
     def __post_init__(self) -> None:
         if self.size_dist is None:
@@ -104,13 +112,19 @@ class ServeConfig:
             raise ConfigurationError(
                 f"shed_mode must be 'pause' or 'drop', "
                 f"got {self.shed_mode!r}")
+        if self.slo_fast_window < 1 or (self.slo_slow_window
+                                        < self.slo_fast_window):
+            raise ConfigurationError(
+                f"need 1 <= slo_fast_window <= slo_slow_window, got "
+                f"{self.slo_fast_window!r}/{self.slo_slow_window!r}")
         if self.control is None and self.adaptive:
             object.__setattr__(self, "control", ControllerConfig())
 
     def fingerprint(self) -> str:
         """Content hash of the admission-relevant parameters -- the
-        compatibility key stamped into snapshots (adaptive/snapshot
-        settings excluded: they do not change what a ticket means)."""
+        compatibility key stamped into snapshots (adaptive/snapshot/
+        SLO-window settings excluded: they do not change what a
+        ticket means)."""
         return fingerprint(
             "serve-config", self.spec, self.size_dist, float(self.t),
             float(self.epsilon), float(self.delta), int(self.m),
@@ -147,7 +161,17 @@ class ServeDaemon:
 
         self.controller = AdmissionController.from_table(
             self.table, epsilon=cfg.epsilon, disks=cfg.disks)
+        #: Admission-layer spans ride the daemon's tracer.
+        self.controller.tracer = tracer
         self.policy = SheddingPolicy(failure_proof, mode=cfg.shed_mode)
+        #: ε as an error budget: the per-slot glitch rate the stream
+        #: shape (m, g, ε) sustains, burned round by round; degraded
+        #: rounds are charged against the δ-based promise instead.
+        self.slo = SLOTracker(
+            slot_glitch_budget(cfg.m, cfg.g, cfg.epsilon),
+            degraded_budget=cfg.delta,
+            fast_window=cfg.slo_fast_window,
+            slow_window=cfg.slo_slow_window)
         #: The limit actually enforced while healthy -- the epsilon
         #: table point, not degraded_mode_n_max's delta-based one.
         self.healthy_n_max = self.controller.n_max_per_disk
@@ -270,32 +294,49 @@ class ServeDaemon:
         if tracer.enabled:
             tracer.start_run(disks=cfg.disks, t=cfg.t,
                              epsilon=cfg.epsilon, delta=cfg.delta,
+                             m=cfg.m, g=cfg.g,
                              n_max=self.controller.n_max_per_disk,
                              degraded_n_max=failure_proof,
                              shed_mode=cfg.shed_mode)
 
     # -- client operations ---------------------------------------------
-    def _count_request(self, op: str) -> None:
+    def _count_request(self, op: str, retried: bool = False) -> None:
+        """Count one answered request.  Retried attempts (client
+        stamped ``attempt > 1`` in ``X-Repro-Trace``) land in their own
+        counter so a flaky network cannot inflate the primary rates."""
+        if retried:
+            self.registry.counter(
+                "serve_requests_retried_total", {"op": op},
+                help="Retried client attempts answered (attempt > 1 "
+                "in X-Repro-Trace), by operation").inc()
+            return
         self.registry.counter(
             "serve_requests_total", {"op": op},
             help="Requests answered, by operation").inc()
 
-    def admit(self) -> dict:
+    def admit(self, *, retried: bool = False) -> dict:
         """Admit one stream; returns its ticket.
 
         Raises :class:`~repro.errors.AdmissionError` when one more
         stream would break the per-disk guarantee -- the HTTP layer
         maps that to a 409 rather than treating it as a failure.
         """
-        self._count_request("admit")
+        self._count_request("admit", retried)
+        tracer = self.tracer
         start = time.perf_counter()
         try:
+            # No daemon-level wrapper span: the serve tree is
+            # client -> HTTP handler -> admission test -> ledger
+            # mutation, and the HTTP span (or the caller's span, for
+            # embedded use) is the parent of both children here.
             with self._lock:
                 self.controller.admit()
-                stream = self._next_stream
-                self._next_stream += 1
-                self._streams.append(stream)
-                active = self.controller.active
+                with start_span("ledger.append", tracer=tracer) as span:
+                    stream = self._next_stream
+                    self._next_stream += 1
+                    self._streams.append(stream)
+                    active = self.controller.active
+                    span.set(stream=stream, active=active)
         except AdmissionError:
             self._rejected.inc()
             raise
@@ -303,17 +344,19 @@ class ServeDaemon:
             self._admit_hist.observe(time.perf_counter() - start)
         self._admitted.inc()
         self._active_gauge.set(active)
-        if self.tracer.enabled:
-            self.tracer.emit("stream_admit", stream=stream,
-                             object=None, start_round=None)
+        # No separate stream_admit record: the ledger.append span
+        # already carries the ticket, and one less record per admit
+        # keeps the traced hot path inside the A26 overhead cap.
         return {"stream": stream, "active": active}
 
-    def release(self, stream: int | None = None) -> dict:
+    def release(self, stream: int | None = None, *,
+                retried: bool = False) -> dict:
         """Release a stream (by ticket, or the oldest active one)."""
-        self._count_request("release")
+        self._count_request("release", retried)
         with self._lock:
             if not self._streams:
-                raise ConfigurationError("no active stream to release")
+                raise ConfigurationError(
+                    "no active stream to release")
             if stream is None:
                 stream = self._streams.pop(0)
             else:
@@ -321,7 +364,8 @@ class ServeDaemon:
                     self._streams.remove(int(stream))
                 except ValueError:
                     raise ConfigurationError(
-                        f"stream {stream!r} is not active") from None
+                        f"stream {stream!r} is not active"
+                        ) from None
                 stream = int(stream)
             self.controller.release()
             active = self.controller.active
@@ -375,8 +419,8 @@ class ServeDaemon:
         return resumed
 
     # -- fault handling ------------------------------------------------
-    def fault(self, kind: str, disk: int = 0,
-              factor: float = 1.0) -> dict:
+    def fault(self, kind: str, disk: int = 0, factor: float = 1.0,
+              *, retried: bool = False) -> dict:
         """Apply one fault event to the live controller.
 
         ``disk_fail`` degrades the admission limit and sheds the
@@ -389,6 +433,7 @@ class ServeDaemon:
         effect.  Every applied event refreshes the crash-safe snapshot
         when one is configured.
         """
+        self._count_request("fault", retried)
         self.registry.counter(
             "serve_faults_total", {"kind": str(kind)},
             help="Fault events applied, by kind").inc()
@@ -491,7 +536,9 @@ class ServeDaemon:
         or called directly (tests, benches) for determinism.
         """
         cfg = self.config
-        with self._tick_lock:
+        tracer = self.tracer
+        with self._tick_lock, \
+                start_span("control.cycle", tracer=tracer) as cycle:
             with self._lock:
                 active = self.controller.active
                 failed = frozenset(self._failed_disks)
@@ -499,6 +546,7 @@ class ServeDaemon:
                 t_budget = cfg.t * self._t_mult
                 index = self._round_index
                 self._round_index += 1
+            cycle.set(round=index)
             plan = []
             if active > 0:
                 per_disk = math.ceil(active / cfg.disks)
@@ -512,8 +560,14 @@ class ServeDaemon:
                     plan.append((disk, n, slow.get(disk, 1.0)))
             obs = None
             if plan:
-                obs = self._probe.sample_round(index, t_budget, plan,
-                                               self.model)
+                with start_span("control.observe", tracer=tracer,
+                                round=index) as observe_span:
+                    obs = self._probe.sample_round(index, t_budget,
+                                                   plan, self.model)
+                    observe_span.set(
+                        disk_rounds=obs.disk_rounds,
+                        late_disk_rounds=obs.late_disk_rounds,
+                        glitched=obs.glitched)
             decision = None
             applied: dict = {}
             if obs is not None:
@@ -523,10 +577,28 @@ class ServeDaemon:
                 # the window is only ever mutated on this (tick)
                 # thread, so reading it lock-free here is safe.
                 if self._ctl is not None:
-                    decision = self._ctl.step(self._window)
+                    with start_span("control.plan", tracer=tracer,
+                                    round=index) as plan_span:
+                        decision = self._ctl.step(self._window)
+                        plan_span.set(
+                            **self._ctl.evidence(self._window))
+                        if decision is not None:
+                            plan_span.set(decision=decision.kind,
+                                          n_max=decision.n_max,
+                                          t_mult=decision.t_mult,
+                                          reason=decision.reason)
                 with self._lock:
                     if decision is not None:
-                        applied = self._apply_decision_locked(decision)
+                        with start_span("control.apply",
+                                        tracer=tracer, round=index,
+                                        decision=decision.kind
+                                        ) as apply_span:
+                            applied = self._apply_decision_locked(
+                                decision)
+                            apply_span.set(
+                                shed=len(applied.get("shed", ())),
+                                resumed=len(applied.get("resumed",
+                                                        ())))
                     elif (self._ctl is not None and self._rejoin_quota
                           and self._paused
                           and not self._failed_disks):
@@ -554,6 +626,27 @@ class ServeDaemon:
                         self._dropped.inc(len(applied["shed"]))
                 self._active_gauge.set(active)
                 self._paused_gauge.set(paused)
+                # Burn the ε error budget with this round's evidence;
+                # degraded rounds run under the δ-based promise.
+                degraded_round = bool(failed)
+                slo_state = self.slo.observe(
+                    obs.glitched, obs.requests,
+                    degraded=degraded_round, round_index=index)
+                self.slo.publish(self.registry)
+                cycle.set(slo=slo_state)
+                if tracer.enabled:
+                    tracer.emit(
+                        "round_observe", round=index,
+                        disk_rounds=obs.disk_rounds,
+                        late_disk_rounds=obs.late_disk_rounds,
+                        requests=obs.requests,
+                        glitched=obs.glitched,
+                        degraded=degraded_round,
+                        bound=obs.bound)
+        if tracer.enabled:
+            # Drain deferred sink writes here, once per round, so the
+            # admission hot path never serialises JSON.
+            tracer.flush()
         if decision is not None:
             self._retunes.inc()
             if decision.kind == "watchdog":
@@ -652,6 +745,7 @@ class ServeDaemon:
                     "controller": (self._ctl.to_dict()
                                    if self._ctl else None),
                 },
+                "slo": self.slo.to_dict(),
             }
         return payload
 
@@ -702,6 +796,10 @@ class ServeDaemon:
                 self._window = TelemetryWindow.from_dict(window)
             if self._ctl is not None and control.get("controller"):
                 self._ctl.restore_dict(control["controller"])
+            # Pre-SLO snapshots simply lack the key; the fresh
+            # tracker's budget was rebuilt from the same (m, g, ε).
+            if document.get("slo"):
+                self.slo = SLOTracker.from_dict(document["slo"])
             self._apply_limit_locked()
             active = self.controller.active
             paused = len(self._paused)
@@ -732,6 +830,17 @@ class ServeDaemon:
         self._restored_gauge.set(1 if clean else 2)
 
     # -- views ---------------------------------------------------------
+    def slo_state(self) -> dict:
+        """The ``GET /slo`` view: burn rates, alert state, budget."""
+        return self.slo.summary()
+
+    def refresh_export_metrics(self) -> None:
+        """Refresh scrape-time derived metrics -- trace emit/drop
+        counters and the SLO burn gauges -- so ``/metrics`` reflects
+        this instant even between ticks.  Idempotent."""
+        publish_trace_metrics(self.registry, self.tracer)
+        self.slo.publish(self.registry)
+
     def healthz(self) -> dict:
         """Liveness summary (cheap: one controller snapshot)."""
         snap = self.controller.snapshot()
@@ -767,6 +876,7 @@ class ServeDaemon:
             "restored_clean": self._restored_clean,
             "writes": self._snapshot_writes.value,
         }
+        out["slo"] = self.slo.summary()
         return out
 
     def state(self) -> dict:

@@ -13,11 +13,24 @@ dependencies) exposing:
 - ``POST /snapshot``-> 200; persists the crash-safe ledger snapshot
   and returns where it was written;
 - ``GET /metrics``  -> Prometheus text exposition of the daemon's
-  registry (version 0.0.4 content type);
+  registry (version 0.0.4 content type), refreshed with trace-loss
+  counters and SLO burn gauges at scrape time;
 - ``GET /healthz``  -> liveness JSON;
 - ``GET /state``    -> full controller/policy/table JSON view;
 - ``GET /control``  -> control-plane view: telemetry window
-  aggregates, controller state machine, drift factors.
+  aggregates, controller state machine, drift factors;
+- ``GET /slo``      -> ε error-budget view: burn rates over the
+  fast/slow round windows, alert state, budget remaining.
+
+Mutating requests honour the ``X-Repro-Trace`` header: the handler
+opens an ``http.<op>`` span parented on the client's span context (so
+one JSONL trace reconstructs client -> HTTP -> admission -> ledger),
+and the attempt number stamped by :class:`~repro.serve.client.
+ServeClient` retries routes attempt > 1 into the daemon's *retried*
+request counter instead of the primary one.  ``/release`` is the one
+unspanned mutation -- it stays fully counter-visible, but the admit
+chain is the traced artifact and skipping one span per admit/release
+cycle keeps tracing inside the A26 overhead budget.
 
 :class:`ServeHandle` owns the server lifecycle: ``start()`` spawns the
 accept loop thread, ``stop()`` first stops any attached background
@@ -38,12 +51,18 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import AdmissionError, ConfigurationError, ReproError
+from repro.obs.spans import TRACE_HEADER, parse_trace_header, start_span
 from repro.serve.daemon import ServeDaemon
 
 __all__ = ["ServeHandle", "FaultFeed", "RoundTicker",
            "PROMETHEUS_CONTENT_TYPE"]
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Span names for the known mutating routes, precomputed so the admit
+#: hot path skips the per-request string surgery.
+_SPAN_NAMES = {"/admit": "http.admit", "/fault": "http.fault",
+               "/snapshot": "http.snapshot"}
 _MAX_BODY = 64 * 1024
 
 
@@ -80,8 +99,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_json(self, status: int, data: dict) -> None:
+    def _send_json(self, status: int, data: dict) -> int:
         self._send(status, (json.dumps(data) + "\n").encode("utf-8"))
+        return status
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -103,9 +123,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:
-        """Read-only views: metrics, health, state, control plane."""
+        """Read-only views: metrics, health, state, control, SLO."""
         daemon = self.server.daemon
         if self.path == "/metrics":
+            daemon.refresh_export_metrics()
             text = daemon.registry.to_prometheus()
             self._send(200, text.encode("utf-8"),
                        content_type=PROMETHEUS_CONTENT_TYPE)
@@ -115,40 +136,78 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, daemon.state())
         elif self.path == "/control":
             self._send_json(200, daemon.control_state())
+        elif self.path == "/slo":
+            self._send_json(200, daemon.slo_state())
         else:
             self._send_json(404, {"error": f"no route {self.path!r}"})
 
     def do_POST(self) -> None:
-        """Mutating operations: admit, release, fault, snapshot."""
+        """Mutating operations: admit, release, fault, snapshot.
+
+        The ``X-Repro-Trace`` header joins the daemon-side span tree
+        onto the client's trace and flags retried attempts so they
+        stay out of the primary request counters.  A malformed header
+        never fails the request (it parses as absent).
+        """
         daemon = self.server.daemon
+        context, attempt = parse_trace_header(
+            self.headers.get(TRACE_HEADER))
+        if self.path == "/release":
+            # Releases are counter-visible (including the retried
+            # split) but not spanned: the admit chain is the traced
+            # artifact, and skipping one span per admit/release cycle
+            # keeps tracing inside the A26 overhead budget.
+            self._dispatch_post(daemon, attempt > 1)
+            return
+        name = _SPAN_NAMES.get(self.path)
+        if name is None:
+            op = self.path.strip("/").replace("/", ".") or "root"
+            name = f"http.{op}"
+        if attempt > 1:
+            span = start_span(name, tracer=daemon.tracer,
+                              parent=context, attempt=attempt)
+        else:
+            span = start_span(name, tracer=daemon.tracer,
+                              parent=context)
+        with span:
+            status = self._dispatch_post(daemon, attempt > 1)
+            span.set(status=status)
+
+    def _dispatch_post(self, daemon: ServeDaemon,
+                       retried: bool) -> int:
+        """Route one mutating request; returns the HTTP status sent."""
         try:
             body = self._read_body()
             if self.path == "/admit":
-                self._send_json(200, daemon.admit())
-            elif self.path == "/release":
-                self._send_json(200, daemon.release(body.get("stream")))
-            elif self.path == "/fault":
+                return self._send_json(200,
+                                       daemon.admit(retried=retried))
+            if self.path == "/release":
+                return self._send_json(
+                    200, daemon.release(body.get("stream"),
+                                        retried=retried))
+            if self.path == "/fault":
                 kind = body.get("kind")
                 if not kind:
                     raise ConfigurationError(
                         "fault body needs a 'kind' key")
-                self._send_json(
+                return self._send_json(
                     200, daemon.fault(
                         str(kind), int(body.get("disk", 0)),
-                        factor=float(body.get("factor", 1.0))))
-            elif self.path == "/snapshot":
+                        factor=float(body.get("factor", 1.0)),
+                        retried=retried))
+            if self.path == "/snapshot":
                 written = daemon.save_snapshot()
                 if written is None:
                     raise ConfigurationError(
                         "daemon has no --snapshot-path configured")
-                self._send_json(200, {"written": str(written)})
-            else:
-                self._send_json(404,
-                                {"error": f"no route {self.path!r}"})
+                return self._send_json(200, {"written": str(written)})
+            return self._send_json(
+                404, {"error": f"no route {self.path!r}"})
         except AdmissionError as exc:
-            self._send_json(409, {"error": str(exc), "admitted": False})
+            return self._send_json(
+                409, {"error": str(exc), "admitted": False})
         except ReproError as exc:
-            self._send_json(400, {"error": str(exc)})
+            return self._send_json(400, {"error": str(exc)})
 
 
 class ServeHandle:

@@ -27,6 +27,8 @@ import threading
 
 from repro.core.admission import AdmissionTable
 from repro.errors import AdmissionError, ConfigurationError
+from repro.obs.spans import start_span
+from repro.obs.trace import NULL_TRACER
 
 __all__ = ["AdmissionController"]
 
@@ -52,6 +54,10 @@ class AdmissionController:
         self.requests = 0
         #: Requests turned away.
         self.rejections = 0
+        #: Span sink for the admission test; the serve daemon points
+        #: this at its tracer so every live admit records an
+        #: ``admission.admit`` span.  Disabled tracers cost one branch.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     @classmethod
@@ -92,16 +98,21 @@ class AdmissionController:
         lock, so concurrent callers can never jointly overshoot the
         per-disk guarantee.
         """
-        with self._lock:
+        with self._lock, start_span("admission.admit",
+                                    tracer=self.tracer) as span:
             self.requests += 1
             if not self.would_admit():
                 self.rejections += 1
+                span.set(granted=False, active=self._active,
+                         n_max=self.n_max_per_disk)
                 raise AdmissionError(
                     f"admission denied: {self._active} active streams, "
                     f"per-disk limit {self.n_max_per_disk} on "
                     f"{self.disks} disk(s)",
                     active_streams=self._active, limit=self.capacity)
             self._active += 1
+            span.set(granted=True, active=self._active,
+                     n_max=self.n_max_per_disk)
 
     def release(self) -> None:
         """A stream terminated."""

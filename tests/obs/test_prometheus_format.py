@@ -257,3 +257,42 @@ class TestWholeDocument:
 
     def test_empty_registry_is_empty_document(self):
         assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestLiveDaemonExposition:
+    """The real ``/metrics`` document of a traced serve daemon -- the
+    new span/SLO series must survive the strict grammar too."""
+
+    def test_slo_and_trace_series_parse_strictly(self):
+        from repro.obs import Tracer
+        from repro.serve import (ServeClient, ServeConfig, ServeDaemon,
+                                 ServeHandle)
+
+        tracer = Tracer()
+        daemon = ServeDaemon(ServeConfig(disks=2), tracer=tracer)
+        handle = ServeHandle(daemon)
+        handle.start()
+        try:
+            client = ServeClient(handle.url)
+            stream = client.admit()["stream"]
+            daemon.tick_round()  # probed: one active stream
+            client.release(stream)
+            parsed = parse_exposition(client.metrics())
+        finally:
+            handle.stop()
+        samples = parsed["samples"]
+        types = parsed["types"]
+        # SLO engine: burn rates, state, budget, page/warn counters.
+        assert types["slo_state"] == "gauge"
+        assert types["slo_pages_total"] == "counter"
+        assert samples["slo_state"] == 0.0
+        assert samples["slo_burn_rate_fast"] == 0.0
+        assert samples["slo_budget_per_slot"] > 0.0
+        assert samples["slo_rounds_observed"] == 1.0
+        # Trace-loss visibility: emitted/dropped counters + gauges.
+        assert types["trace_emitted_total"] == "counter"
+        assert types["trace_dropped_total"] == "counter"
+        assert samples["trace_emitted_total"] > 0.0
+        assert samples["trace_enabled"] == 1.0
+        # The pre-existing serve series still parse alongside.
+        assert samples["serve_requests_total{op='admit'}"] == 1.0

@@ -9,9 +9,12 @@ from repro.obs import (
     EVENT_KINDS,
     NULL_TRACER,
     TRACE_SCHEMA_VERSION,
+    MetricsRegistry,
     Tracer,
     get_tracer,
+    publish_trace_metrics,
     read_trace,
+    read_trace_lenient,
     set_tracer,
     validate_record,
     validate_trace,
@@ -196,3 +199,96 @@ class TestValidation:
         path.write_text('[1, 2, 3]\n')
         with pytest.raises(ConfigurationError):
             read_trace(path)
+
+
+class TestLenientRead:
+    """read_trace_lenient: post-mortem parsing of damaged JSONL."""
+
+    def test_clean_trace_reads_without_problems(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = make_tracer(sink=path)
+        tracer.start_run(seed=3)
+        tracer.end_run()
+        tracer.close()
+        records, problems = read_trace_lenient(path)
+        assert problems == []
+        assert [r["kind"] for r in records] == ["run_start", "run_end"]
+
+    def test_truncated_final_line_diagnosed_and_prefix_kept(
+            self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = make_tracer(sink=path)
+        tracer.start_run(seed=3)
+        tracer.emit("fault", t=1.0, desc="disk 0 down")
+        tracer.close()
+        # Simulate a SIGKILL mid-write: chop the last line in half.
+        text = path.read_text()
+        path.write_text(text[:len(text) - 25])
+        records, problems = read_trace_lenient(path)
+        assert [r["kind"] for r in records] == ["run_start"]
+        assert len(problems) == 1
+        assert "truncated final record" in problems[0]
+        assert "line 2" in problems[0]
+
+    def test_mid_file_garbage_skipped_with_notice(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "run_end"}\n'
+                        'not json at all\n'
+                        '[1, 2]\n'
+                        '{"kind": "run_end"}\n')
+        records, problems = read_trace_lenient(path)
+        assert len(records) == 2
+        assert any("line 2: unparseable record skipped" in p
+                   for p in problems)
+        assert any("line 3: non-object record skipped" in p
+                   for p in problems)
+
+    def test_empty_and_blank_files_yield_nothing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert read_trace_lenient(path) == ([], [])
+        path.write_text("\n  \n\n")
+        assert read_trace_lenient(path) == ([], [])
+
+
+class TestPublishTraceMetrics:
+    def test_counters_track_tracer_totals_idempotently(self):
+        registry = MetricsRegistry()
+        tracer = make_tracer(capacity=2)
+        for i in range(5):
+            tracer.emit("worker_task", phase="done", task=i)
+        publish_trace_metrics(registry, tracer)
+        publish_trace_metrics(registry, tracer)  # scrape twice
+        snap = registry.snapshot()
+        assert snap["trace_emitted_total"]["value"] == 5
+        assert snap["trace_dropped_total"]["value"] == 3
+        assert snap["trace_buffered_records"]["value"] == 2
+        assert snap["trace_ring_capacity"]["value"] == 2
+        assert snap["trace_enabled"]["value"] == 1
+
+    def test_counters_advance_by_delta_on_later_scrapes(self):
+        registry = MetricsRegistry()
+        tracer = make_tracer()
+        tracer.emit("run_end")
+        publish_trace_metrics(registry, tracer)
+        tracer.emit("run_end")
+        tracer.emit("run_end")
+        publish_trace_metrics(registry, tracer)
+        snap = registry.snapshot()
+        assert snap["trace_emitted_total"]["value"] == 3
+
+    def test_defaults_to_global_tracer(self):
+        registry = MetricsRegistry()
+        mine = make_tracer()
+        mine.emit("run_end")
+        try:
+            set_tracer(mine)
+            publish_trace_metrics(registry)
+        finally:
+            set_tracer(None)
+        assert registry.snapshot()["trace_emitted_total"]["value"] == 1
+
+    def test_disabled_tracer_reports_enabled_zero(self):
+        registry = MetricsRegistry()
+        publish_trace_metrics(registry, NULL_TRACER)
+        assert registry.snapshot()["trace_enabled"]["value"] == 0

@@ -104,6 +104,58 @@ class TestServeSmoke:
         payload = metrics_json.read_text()
         assert '"serve_faults_total{kind=\\"disk_fail\\"}"' in payload
 
+    def test_serve_trace_feeds_observe_and_slo(self, tmp_path, capsys):
+        """``repro serve --trace`` writes a JSONL that the offline
+        ``observe --spans`` and ``slo`` commands can digest whole."""
+        from repro.obs import read_trace, validate_trace
+        from repro.obs.spans import build_span_trees
+
+        port_file = tmp_path / "serve.port"
+        trace = tmp_path / "run.jsonl"
+        exit_codes = []
+
+        def run_daemon():
+            exit_codes.append(main([
+                "serve", "--port", "0",
+                "--port-file", str(port_file),
+                "--duration", "6", "--disks", "2",
+                "--round-interval", "0.1",
+                "--trace", str(trace),
+                "--slo-fast-window", "8", "--slo-slow-window", "16",
+            ]))
+
+        server_thread = threading.Thread(target=run_daemon,
+                                         name="cli-serve-trace")
+        server_thread.start()
+        try:
+            _wait_for_port_file(port_file)
+            assert main(["admit", "--port-file", str(port_file),
+                         "--count", "3"]) == 0
+            time.sleep(0.4)  # let a few traced rounds tick
+        finally:
+            server_thread.join(timeout=30.0)
+        assert exit_codes == [0]
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+
+        records = read_trace(trace)
+        assert validate_trace(records) == []
+        roots = build_span_trees(records)
+        names = {r.name for r in roots}
+        assert "http.admit" in names  # daemon-side spans recorded
+        assert "control.cycle" in names
+        assert any(r["kind"] == "round_observe" for r in records)
+
+        assert main(["observe", str(trace), "--spans"]) == 0
+        spans_out = capsys.readouterr().out
+        assert "span trees" in spans_out
+        assert "critical path" in spans_out
+
+        assert main(["slo", str(trace)]) == 0
+        slo_out = capsys.readouterr().out
+        assert "epsilon error-budget report" in slo_out
+        assert "verdict: ok" in slo_out
+
     def test_admit_needs_a_target(self, capsys):
         code = main(["admit", "--count", "1"])
         assert code == 2

@@ -15,6 +15,7 @@ import urllib.error
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.obs.spans import parse_trace_header
 from repro.serve import ServeClient
 
 
@@ -145,6 +146,72 @@ class TestMidFlightDiscipline:
             patch_transport(monkeypatch, transport)
             call()
             assert transport.calls == 2
+
+
+class TestTracePropagation:
+    """Every attempt carries X-Repro-Trace; retries share the trace-id
+    and stamp increasing attempt numbers so the daemon can keep them
+    out of the primary request counters."""
+
+    class RecordingTransport(FlakyTransport):
+        def __init__(self, errors, payload):
+            super().__init__(errors, payload)
+            self.headers = []
+
+        def __call__(self, request, timeout=None):
+            # urllib capitalises header names: X-repro-trace.
+            self.headers.append(request.get_header("X-repro-trace"))
+            return super().__call__(request, timeout=timeout)
+
+    def test_header_always_sent_even_untraced(self, monkeypatch,
+                                              client):
+        transport = self.RecordingTransport([], {"status": "ok"})
+        patch_transport(monkeypatch, transport)
+        client.healthz()
+        [header] = transport.headers
+        context, attempt = parse_trace_header(header)
+        assert context is not None and attempt == 1
+
+    def test_retries_share_trace_id_and_count_attempts(
+            self, monkeypatch, client):
+        transport = self.RecordingTransport(
+            [refused(), refused()], {"status": "ok"})
+        patch_transport(monkeypatch, transport)
+        client.healthz()
+        parsed = [parse_trace_header(h) for h in transport.headers]
+        assert [attempt for _ctx, attempt in parsed] == [1, 2, 3]
+        trace_ids = {ctx.trace_id for ctx, _attempt in parsed}
+        assert len(trace_ids) == 1
+        # Each attempt is its own span: distinct span-ids.
+        span_ids = {ctx.span_id for ctx, _attempt in parsed}
+        assert len(span_ids) == 3
+
+    def test_traced_client_emits_attempt_spans(self, monkeypatch):
+        from repro.obs import Tracer
+        from repro.obs.spans import start_span  # noqa: F401
+
+        ticks = iter(range(1000))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        sleeps = []
+        client = ServeClient("http://127.0.0.1:1", retries=4,
+                             backoff=0.01, backoff_max=0.1,
+                             sleep=sleeps.append, tracer=tracer)
+        transport = self.RecordingTransport(
+            [refused()], {"status": "ok"})
+        patch_transport(monkeypatch, transport)
+        client.healthz()
+        starts = [r for r in tracer.records()
+                  if r["kind"] == "span_start"]
+        names = [r["name"] for r in starts]
+        assert names.count("client.request") == 2
+        attempts = [r["attrs"]["attempt"] for r in starts
+                    if r["name"] == "client.request"]
+        assert attempts == [1, 2]
+        # The wire header matches the emitted attempt spans exactly.
+        wire = [parse_trace_header(h) for h in transport.headers]
+        emitted_span_ids = {r["span"] for r in starts
+                            if r["name"] == "client.request"}
+        assert {ctx.span_id for ctx, _a in wire} == emitted_span_ids
 
 
 class TestResults:

@@ -286,6 +286,106 @@ class TestObservability:
         assert code == 0
         assert "schema problem" in err
 
+    def _spanned_trace(self, tmp_path):
+        from repro.obs import Tracer
+        from repro.obs.spans import start_span
+
+        path = tmp_path / "spans.jsonl"
+        ticks = iter(range(1000))
+        with Tracer(sink=path,
+                    clock=lambda: float(next(ticks))) as tracer:
+            tracer.start_run(seed=1)
+            with start_span("client.admit", tracer=tracer):
+                with start_span("http.admit", tracer=tracer):
+                    pass
+            tracer.end_run()
+        return path
+
+    def test_observe_empty_trace_is_a_one_line_diagnosis(self, capsys,
+                                                         tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code, out, err = run(capsys, "observe", str(empty))
+        assert code == 1
+        assert out == ""
+        lines = [line for line in err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error:")
+        assert "no readable trace records" in lines[0]
+
+    def test_observe_truncated_trace_warns_and_exits_1(self, capsys,
+                                                       tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code, _, _ = run(capsys, "simulate", "--faults", self.EXAMPLE,
+                         "--server-rounds", "40", "--trace", str(trace))
+        assert code == 0
+        text = trace.read_text()
+        trace.write_text(text[:len(text) - 20])  # SIGKILL mid-write
+        code, out, err = run(capsys, "observe", str(trace))
+        assert code == 1
+        assert "truncated final record" in err
+        assert "daemon killed mid-write" in err
+        # The intact prefix is still summarised.
+        assert "records" in out
+
+    def test_observe_spans_renders_tree(self, capsys, tmp_path):
+        path = self._spanned_trace(tmp_path)
+        code, out, err = run(capsys, "observe", str(path), "--spans")
+        assert code == 0, err
+        assert "client.admit" in out
+        assert "http.admit" in out
+        assert "critical path" in out
+
+    def test_slo_replays_round_records(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "rounds.jsonl"
+        lines = [{"kind": "run_start", "seq": 0, "wall": 0.0,
+                  "seed": None, "schema": 1, "epsilon": 0.01,
+                  "delta": 0.01, "m": 1200, "g": 12}]
+        for i in range(8):
+            lines.append({"kind": "round_observe", "seq": i + 1,
+                          "wall": 0.0, "round": i, "disk_rounds": 2,
+                          "late_disk_rounds": 0, "requests": 100,
+                          "glitched": 0, "degraded": False,
+                          "bound": 1e-6})
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        code, out, err = run(capsys, "slo", str(path))
+        assert code == 0, err
+        assert "epsilon error-budget report" in out
+        assert "burn" in out
+
+    def test_slo_pages_exit_1(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "storm.jsonl"
+        lines = [{"kind": "run_start", "seq": 0, "wall": 0.0,
+                  "seed": None, "schema": 1, "epsilon": 0.001,
+                  "delta": 0.01, "m": 1200, "g": 12}]
+        for i in range(8):
+            lines.append({"kind": "round_observe", "seq": i + 1,
+                          "wall": 0.0, "round": i, "disk_rounds": 2,
+                          "late_disk_rounds": 2, "requests": 100,
+                          "glitched": 60, "degraded": False,
+                          "bound": 1e-6})
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        code, out, err = run(capsys, "slo", str(path), "--fast-window",
+                             "4", "--slow-window", "8")
+        assert code == 1
+        assert "PAGE" in err
+        assert "page" in out
+
+    def test_slo_without_rounds_is_an_error(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "bare.jsonl"
+        path.write_text(json.dumps(
+            {"kind": "run_start", "seq": 0, "wall": 0.0, "seed": None,
+             "schema": 1}) + "\n")
+        code, _, err = run(capsys, "slo", str(path))
+        assert code == 1
+        assert "no per-round observations" in err
+
     def test_cache_stats_reports_in_memory_counters(self, capsys,
                                                     tmp_path):
         from repro import cache as cache_mod
