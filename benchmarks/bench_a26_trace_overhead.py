@@ -54,8 +54,13 @@ DRIFT = 1.25
 HEALTHY_ROUNDS = 12
 DETECTION_CAP_ROUNDS = 120
 SEED = 7
-#: Spans may cost at most 5% of spans-off admissions/sec.
-MIN_QPS_RATIO = 0.95
+#: Spans may cost at most 10% of spans-off admissions/sec.  The cap
+#: was 5% when a round trip took ~2ms (per-request connections, Nagle
+#: stall); the keep-alive client and single-send responses cut the
+#: spans-off round trip ~5x, so the unchanged absolute span cost --
+#: a handful of emit records per request -- is now a larger fraction
+#: of a much smaller denominator.
+MIN_QPS_RATIO = 0.90
 
 
 def _paired_pass(tmp_dir, tag):

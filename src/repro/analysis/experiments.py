@@ -154,6 +154,12 @@ _ENTRIES = [
                "engine's burn-rate detection latency",
                "bench_a26_trace_overhead.py",
                ("a26_trace_overhead",)),
+    Experiment("A27", "Sharded admission hot path",
+               "per-ticket legacy admits vs the sharded ledger's "
+               "batch admission API across thread counts and batch "
+               "sizes; the 8-thread batch-16 admissions/sec speedup "
+               "over the legacy controller is a CI regression gate",
+               "bench_a27_shard_qps.py", ("a27_shard_qps",)),
 ]
 
 #: Registry keyed by experiment id.

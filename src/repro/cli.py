@@ -872,7 +872,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                          snapshot_path=args.snapshot_path,
                          probe_seed=args.probe_seed,
                          slo_fast_window=args.slo_fast_window,
-                         slo_slow_window=args.slo_slow_window)
+                         slo_slow_window=args.slo_slow_window,
+                         shards=args.shards)
     tracer = Tracer(sink=args.trace) if args.trace else NULL_TRACER
     daemon = ServeDaemon(config, tracer=tracer)
     schedule = (FaultSchedule.from_toml(args.fault_schedule)
@@ -887,6 +888,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"repro serve: listening on {handle.url} "
           f"(n_max={daemon.controller.n_max_per_disk}/disk x "
           f"{args.disks} disks, degraded={daemon.degraded_n_max}, "
+          f"{daemon.controller.shards} shard(s), "
           f"table build {daemon.build_seconds * 1e3:.1f} ms)")
     if daemon.state()["restored"]:
         print(f"repro serve: restored snapshot "
@@ -977,29 +979,43 @@ def _cmd_admit(args: argparse.Namespace) -> int:
     from repro.serve import ServeClient
 
     client = ServeClient(_resolve_serve_url(args))
-    if args.fault:
-        result = client.fault(args.fault, disk=args.disk,
-                              factor=args.factor)
-        print(_json.dumps(result))
-    if args.until_reject:
-        admitted = client.admit_until_reject()
-        print(f"admitted {admitted} stream(s) before rejection")
-    elif args.count:
-        admitted = sum(client.admit()["admitted"]
-                       for _ in range(args.count))
-        print(f"admitted {admitted}/{args.count} stream(s)")
-    if args.release:
-        for _ in range(args.release):
-            client.release()
-        print(f"released {args.release} stream(s)")
-    if args.snapshot:
-        print(_json.dumps(client.snapshot()))
-    if args.scrape:
-        print(client.metrics(), end="")
-    if args.state:
-        print(_json.dumps(client.state(), indent=2, sort_keys=True))
-    if args.control:
-        print(_json.dumps(client.control(), indent=2, sort_keys=True))
+    try:
+        if args.fault:
+            result = client.fault(args.fault, disk=args.disk,
+                                  factor=args.factor)
+            print(_json.dumps(result))
+        if args.until_reject:
+            admitted = client.admit_until_reject()
+            print(f"admitted {admitted} stream(s) before rejection")
+        elif args.count and args.batch:
+            result = client.admit_many(args.count, batch=args.batch)
+            print(f"admitted {result['granted']}/{args.count} "
+                  f"stream(s) in batches of {args.batch}")
+        elif args.count:
+            admitted = sum(client.admit()["admitted"]
+                           for _ in range(args.count))
+            print(f"admitted {admitted}/{args.count} stream(s)")
+        if args.release and args.batch:
+            streams = client.state()["streams"][:args.release]
+            result = client.release_many(streams, batch=args.batch)
+            print(f"released {len(result['released'])} stream(s) in "
+                  f"batches of {args.batch}")
+        elif args.release:
+            for _ in range(args.release):
+                client.release()
+            print(f"released {args.release} stream(s)")
+        if args.snapshot:
+            print(_json.dumps(client.snapshot()))
+        if args.scrape:
+            print(client.metrics(), end="")
+        if args.state:
+            print(_json.dumps(client.state(), indent=2,
+                              sort_keys=True))
+        if args.control:
+            print(_json.dumps(client.control(), indent=2,
+                              sort_keys=True))
+    finally:
+        client.close()
     return 0
 
 
@@ -1231,6 +1247,10 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="ROUNDS",
                    help="slow burn-rate window in probed rounds "
                    "(leak detector -> warn)")
+    p.add_argument("--shards", type=int, default=0, metavar="S",
+                   help="admission-counter stripes in the hot path "
+                   "(0: auto, about 2x the CPU count; 1: the legacy "
+                   "single-lock behaviour)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("admit",
@@ -1244,6 +1264,10 @@ def build_parser() -> argparse.ArgumentParser:
                    "(written by 'repro serve --port-file')")
     p.add_argument("--count", type=int, default=0, metavar="N",
                    help="attempt N admissions")
+    p.add_argument("--batch", type=int, default=0, metavar="K",
+                   help="use the batch endpoints, K tickets per "
+                   "request (with --count/--release; 0: one "
+                   "request per ticket)")
     p.add_argument("--until-reject", action="store_true",
                    help="admit until the daemon rejects; print the "
                    "count")

@@ -243,6 +243,12 @@ class Controller:
         #: measured relative to it.  ``None`` until calibrated.
         self.calibration: float | None = None
         self.last_decision: Decision | None = None
+        #: Admission-shard epoch at the last applied decision (None
+        #: until one is applied).  Observability only -- the epoch
+        #: counts shard-limit redistributions, which depend on the
+        #: shard layout, so it is surfaced in :meth:`summary` but kept
+        #: out of :meth:`to_dict` (snapshots stay shard-independent).
+        self.applied_epoch: int | None = None
         #: Current operating point as applied by the daemon.
         self.n_max = int(healthy_n_max)
         self.t_mult = 1.0
@@ -416,8 +422,15 @@ class Controller:
             "t_mult": self.t_mult,
         }
 
-    def committed(self, decision: Decision) -> None:
-        """The daemon applied ``decision``; start the cooldown."""
+    def committed(self, decision: Decision, *,
+                  epoch: int | None = None) -> None:
+        """The daemon applied ``decision``; start the cooldown.
+
+        ``epoch`` is the admission controller's shard epoch after the
+        retarget, recorded for the ``/control`` view.
+        """
+        if epoch is not None:
+            self.applied_epoch = int(epoch)
         self.n_max = int(decision.n_max)
         self.t_mult = float(decision.t_mult)
         self.retunes += 1
@@ -481,6 +494,7 @@ class Controller:
         out["config"] = self.config.to_dict()
         out["healthy_n_max"] = self.healthy_n_max
         out["fallback_n_max"] = self.fallback_n_max
+        out["applied_epoch"] = self.applied_epoch
         return out
 
     def __repr__(self) -> str:

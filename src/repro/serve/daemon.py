@@ -2,12 +2,25 @@
 
 :class:`ServeDaemon` owns the run-time state of a live §5 admission
 server: the precomputed :class:`~repro.core.admission.AdmissionTable`,
-the locked :class:`~repro.server.admission.AdmissionController`, the
-:class:`~repro.server.faults.SheddingPolicy` applied when a disk
+the striped :class:`~repro.server.admission.ShardedAdmissionController`,
+the :class:`~repro.server.faults.SheddingPolicy` applied when a disk
 fails, and the per-stream ledger that decides *which* streams are shed
 (newest first) and resumed (oldest first) -- the same semantics the
 event-driven :class:`~repro.server.server.MediaServer` implements per
 round boundary, applied here at fault-event time.
+
+The hot path is sharded: the ledger is striped into one segment per
+controller shard, and an admit or a release-by-ticket touches exactly
+one shard lock (the ticket counter has its own micro-lock).  Batch
+admission (:meth:`ServeDaemon.admit_many`) grants k tickets under a
+single shard acquisition with one ``admission.admit`` span and one
+``ledger.append`` span for the whole batch.  Global events -- fault,
+shed/resume, controller retarget, snapshot, ``/state`` -- run under
+the daemon lock *plus* :meth:`ShardedAdmissionController.quiesced`,
+which takes every shard lock in fixed order, so they always observe a
+ledger that agrees with the counters (ledger mutations happen inside
+the controller's on-grant/on-release callbacks, under the same shard
+lock as the count).
 
 On top of the static service, two optional planes from
 :mod:`repro.control`:
@@ -27,22 +40,27 @@ Both planes are crash-safe: with ``snapshot_path`` set the daemon
 persists a versioned, fsync-atomic snapshot of the ledger + controller
 state after every fault/retune, restores it on start, and applies the
 unclean-restart ticket reserve so a ``kill -9`` mid-storm can never
-re-issue a granted ticket (:mod:`repro.control.snapshot`).
+re-issue a granted ticket (:mod:`repro.control.snapshot`).  Snapshots
+are shard-count independent: the persisted stream list is the sorted
+merge of the segments, and restore re-stripes it round-robin, so a
+snapshot written under ``--shards 16`` restores bit-for-bit under
+``--shards 1``.
 
 All public methods are safe to call from any number of HTTP worker
-threads: stream bookkeeping runs under one daemon lock, and the
-controller's own re-entrant lock makes the admission test atomic.
-``tick_round`` is additionally serialised by a tick lock (the probe
-RNG is sequential state); ticks sample *outside* the daemon lock so
-the admission hot path never waits on a probe or a re-solve.
+threads.  ``tick_round`` is additionally serialised by a tick lock
+(the probe RNG is sequential state); ticks sample *outside* the
+daemon lock so the admission hot path never waits on a probe or a
+re-solve.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 import time
 from dataclasses import dataclass, field
+from itertools import chain
 from pathlib import Path
 
 from repro.cache import fingerprint, get_persistent_cache
@@ -58,10 +76,15 @@ from repro.obs import MetricsRegistry, RunTelemetry
 from repro.obs.slo import SLOTracker, slot_glitch_budget
 from repro.obs.spans import start_span
 from repro.obs.trace import NULL_TRACER, publish_trace_metrics
-from repro.server.admission import AdmissionController
+from repro.server.admission import ShardedAdmissionController
 from repro.server.faults import SheddingPolicy
 
-__all__ = ["ServeConfig", "ServeDaemon"]
+__all__ = ["ServeConfig", "ServeDaemon", "BATCH_SIZE_BOUNDS"]
+
+#: Batch-size histogram buckets: powers of two up to the HTTP layer's
+#: request-size ceiling (a 64 KB body holds far more than 256 ids).
+BATCH_SIZE_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                     256.0)
 
 
 @dataclass(frozen=True)
@@ -99,6 +122,11 @@ class ServeConfig:
     #: (warn).
     slo_fast_window: int = 32
     slo_slow_window: int = 256
+    #: Admission-counter stripes (``repro serve --shards``); 0 picks
+    #: the auto default (about 2x the worker-thread count).  Purely a
+    #: concurrency knob: excluded from the snapshot fingerprint, and
+    #: snapshots restore across different shard counts.
+    shards: int = 0
 
     def __post_init__(self) -> None:
         if self.size_dist is None:
@@ -117,13 +145,16 @@ class ServeConfig:
             raise ConfigurationError(
                 f"need 1 <= slo_fast_window <= slo_slow_window, got "
                 f"{self.slo_fast_window!r}/{self.slo_slow_window!r}")
+        if self.shards < 0:
+            raise ConfigurationError(
+                f"shards must be >= 0 (0: auto), got {self.shards!r}")
         if self.control is None and self.adaptive:
             object.__setattr__(self, "control", ControllerConfig())
 
     def fingerprint(self) -> str:
         """Content hash of the admission-relevant parameters -- the
         compatibility key stamped into snapshots (adaptive/snapshot/
-        SLO-window settings excluded: they do not change what a
+        SLO-window/shard settings excluded: they do not change what a
         ticket means)."""
         return fingerprint(
             "serve-config", self.spec, self.size_dist, float(self.t),
@@ -159,8 +190,9 @@ class ServeDaemon:
             cfg.spec, cfg.size_dist, cfg.t, cfg.delta)
         self.build_seconds = time.perf_counter() - build_start
 
-        self.controller = AdmissionController.from_table(
-            self.table, epsilon=cfg.epsilon, disks=cfg.disks)
+        self.controller = ShardedAdmissionController.from_table(
+            self.table, epsilon=cfg.epsilon, disks=cfg.disks,
+            shards=(cfg.shards or None))
         #: Admission-layer spans ride the daemon's tracer.
         self.controller.tracer = tracer
         self.policy = SheddingPolicy(failure_proof, mode=cfg.shed_mode)
@@ -177,14 +209,28 @@ class ServeDaemon:
         self.healthy_n_max = self.controller.n_max_per_disk
         self.degraded_n_max = failure_proof
 
-        #: Admission order, newest last -- shed from the tail, resume
-        #: from the head.  Guards: ``self._lock``.
-        self._streams: list[int] = []
+        #: The striped ledger: one ascending segment of live tickets
+        #: per controller shard, mutated only inside the controller's
+        #: grant/release callbacks (so always under that shard's lock)
+        #: or under a full quiesce.  Ticket ids are globally monotonic,
+        #: so the sorted merge of the segments is the admission order.
+        self._segments: list[list[int]] = [
+            [] for _ in range(self.controller.shards)]
+        #: Ticket -> owning shard.  Written under the shard lock;
+        #: lock-free reads see a GIL-atomic point-in-time value and
+        #: re-validate under the lock before acting.
+        self._shard_of: dict[int, int] = {}
         self._paused: list[int] = []
         self._failed_disks: set[int] = set()
         #: Live slow-disk drift factors, by disk (1.0 entries elided).
         self._slow: dict[int, float] = {}
         self._next_stream = 0
+        #: Micro-lock for the monotonic ticket counter: taken inside a
+        #: shard lock on the grant path (lock order: daemon lock ->
+        #: shard locks -> ticket lock).
+        self._ticket_lock = threading.Lock()
+        #: The global-event lock (fault/control/snapshot/views).  The
+        #: admit/release hot paths never take it.
         self._lock = threading.Lock()
 
         # -- measurement + control planes ------------------------------
@@ -238,6 +284,9 @@ class ServeDaemon:
         self._admit_hist = m.histogram(
             "serve_admit_seconds",
             help="Latency of the admission test (lock + table lookup)")
+        self._batch_hist = m.histogram(
+            "serve_admit_batch_size", bounds=BATCH_SIZE_BOUNDS,
+            help="Tickets requested per batch admission call")
         self._rounds_total = m.counter(
             "serve_rounds_total", help="Rounds probed by tick_round")
         self._late_rounds = m.counter(
@@ -283,6 +332,16 @@ class ServeDaemon:
         m.gauge("serve_cache_preloaded_entries",
                 help="Persistent-cache rows bulk-loaded at startup"
                 ).set(preloaded)
+        m.gauge("serve_shards",
+                help="Admission-counter stripes in the hot path"
+                ).set(self.controller.shards)
+        self._epoch_gauge = m.gauge(
+            "serve_admission_epoch",
+            help="Shard-limit redistribution epoch (bumps on retarget "
+            "and slow-path rebalance)")
+        self._rebalance_gauge = m.gauge(
+            "serve_admission_rebalances",
+            help="Slow-path shard-slack rebalances performed")
         self._restored_gauge = m.gauge(
             "serve_snapshot_restored",
             help="1 when this daemon restored a snapshot at startup "
@@ -297,7 +356,8 @@ class ServeDaemon:
                              m=cfg.m, g=cfg.g,
                              n_max=self.controller.n_max_per_disk,
                              degraded_n_max=failure_proof,
-                             shed_mode=cfg.shed_mode)
+                             shed_mode=cfg.shed_mode,
+                             shards=self.controller.shards)
 
     # -- client operations ---------------------------------------------
     def _count_request(self, op: str, retried: bool = False) -> None:
@@ -314,6 +374,35 @@ class ServeDaemon:
             "serve_requests_total", {"op": op},
             help="Requests answered, by operation").inc()
 
+    def _grant_tickets(self, out: dict):
+        """Build the controller ``on_grant`` callback: issue a block
+        of monotonic tickets, splice them into the granting shard's
+        segment, and record one ``ledger.append`` span for the block.
+        Runs under the granting shard's lock, *after* the
+        ``admission.admit`` span has closed -- the two stay siblings
+        under the caller's HTTP span."""
+        tracer = self.tracer
+
+        def on_grant(index: int, granted: int) -> None:
+            with self._ticket_lock:
+                first = self._next_stream
+                self._next_stream += granted
+            tickets = list(range(first, first + granted))
+            # Monotonic ids: appending keeps the segment ascending.
+            self._segments[index].extend(tickets)
+            for ticket in tickets:
+                self._shard_of[ticket] = index
+            active = self.controller.active
+            with start_span("ledger.append", tracer=tracer) as span:
+                span.set(stream=tickets[0], active=active)
+                if granted > 1:
+                    span.set(count=granted,
+                             last_stream=tickets[-1])
+            out["streams"] = tickets
+            out["active"] = active
+
+        return on_grant
+
     def admit(self, *, retried: bool = False) -> dict:
         """Admit one stream; returns its ticket.
 
@@ -322,58 +411,170 @@ class ServeDaemon:
         maps that to a 409 rather than treating it as a failure.
         """
         self._count_request("admit", retried)
-        tracer = self.tracer
         start = time.perf_counter()
+        out: dict = {}
         try:
             # No daemon-level wrapper span: the serve tree is
             # client -> HTTP handler -> admission test -> ledger
             # mutation, and the HTTP span (or the caller's span, for
             # embedded use) is the parent of both children here.
-            with self._lock:
-                self.controller.admit()
-                with start_span("ledger.append", tracer=tracer) as span:
-                    stream = self._next_stream
-                    self._next_stream += 1
-                    self._streams.append(stream)
-                    active = self.controller.active
-                    span.set(stream=stream, active=active)
+            self.controller.admit_batch(1,
+                                        on_grant=self._grant_tickets(out))
         except AdmissionError:
             self._rejected.inc()
             raise
         finally:
             self._admit_hist.observe(time.perf_counter() - start)
         self._admitted.inc()
-        self._active_gauge.set(active)
-        # No separate stream_admit record: the ledger.append span
-        # already carries the ticket, and one less record per admit
-        # keeps the traced hot path inside the A26 overhead cap.
-        return {"stream": stream, "active": active}
+        self._active_gauge.set(out["active"])
+        return {"stream": out["streams"][0], "active": out["active"]}
+
+    def admit_many(self, count: int, *,
+                   retried: bool = False) -> dict:
+        """Admit up to ``count`` streams under one shard acquisition.
+
+        Partial-grant: when fewer than ``count`` slots remain
+        globally, the remainder is rejected (counted) and the grant is
+        returned; only a zero-grant raises
+        :class:`~repro.errors.AdmissionError`.  ``count == 0`` is a
+        free probe.
+        """
+        count = int(count)
+        self._count_request("admit_batch", retried)
+        if count > 0:
+            self._batch_hist.observe(count)
+        start = time.perf_counter()
+        out: dict = {}
+        try:
+            granted = self.controller.admit_batch(
+                count, on_grant=self._grant_tickets(out))
+        except AdmissionError:
+            self._rejected.inc(count)
+            raise
+        finally:
+            self._admit_hist.observe(time.perf_counter() - start)
+        if granted == 0:
+            return {"requested": count, "granted": 0, "streams": [],
+                    "active": self.controller.active}
+        self._admitted.inc(granted)
+        if granted < count:
+            self._rejected.inc(count - granted)
+        self._active_gauge.set(out["active"])
+        return {"requested": count, "granted": granted,
+                "streams": out["streams"], "active": out["active"]}
+
+    def _remove_ticket_locked(self, stream: int, index: int) -> int:
+        """Unlink ``stream`` from shard ``index``'s segment; call
+        under that shard's lock.  Returns how many were removed (0:
+        the ticket was shed/moved since the caller looked it up)."""
+        if self._shard_of.get(stream) != index:
+            return 0
+        segment = self._segments[index]
+        at = bisect.bisect_left(segment, stream)
+        if at < len(segment) and segment[at] == stream:
+            del segment[at]
+            del self._shard_of[stream]
+            return 1
+        return 0
+
+    def _release_ticket(self, stream: int) -> None:
+        """Release one ticket through its shard's fast path; retries
+        the lookup when a concurrent global event moves the ticket
+        between the lock-free lookup and the shard lock."""
+        for _ in range(8):
+            index = self._shard_of.get(stream)
+            if index is None:
+                break
+            removed = self.controller.release_on(
+                index,
+                lambda: self._remove_ticket_locked(stream, index))
+            if removed:
+                return
+        raise ConfigurationError(f"stream {stream!r} is not active")
+
+    def _pop_oldest_locked(self) -> int:
+        """Remove and return the oldest live ticket; call under the
+        daemon lock + controller quiesce."""
+        best = None
+        for index, segment in enumerate(self._segments):
+            if segment and (best is None
+                            or segment[0] < self._segments[best][0]):
+                best = index
+        if best is None:
+            raise ConfigurationError("no active stream to release")
+        stream = self._segments[best].pop(0)
+        del self._shard_of[stream]
+        self.controller.release_locked(best, 1)
+        return stream
 
     def release(self, stream: int | None = None, *,
                 retried: bool = False) -> dict:
         """Release a stream (by ticket, or the oldest active one)."""
         self._count_request("release", retried)
-        with self._lock:
-            if not self._streams:
-                raise ConfigurationError(
-                    "no active stream to release")
-            if stream is None:
-                stream = self._streams.pop(0)
-            else:
-                try:
-                    self._streams.remove(int(stream))
-                except ValueError:
-                    raise ConfigurationError(
-                        f"stream {stream!r} is not active"
-                        ) from None
-                stream = int(stream)
-            self.controller.release()
+        if stream is None:
+            # Oldest-first needs a consistent global view.
+            with self._lock, self.controller.quiesced():
+                stream = self._pop_oldest_locked()
+                active = self.controller.active
+        else:
+            stream = int(stream)
+            self._release_ticket(stream)
             active = self.controller.active
         self._released.inc()
         self._active_gauge.set(active)
         return {"stream": stream, "active": active}
 
-    # -- shared retarget helpers (call with self._lock held) -----------
+    def release_many(self, streams, *, retried: bool = False) -> dict:
+        """Release a batch of tickets, grouped so each shard's lock is
+        taken once.  Unknown/already-released tickets are reported in
+        ``missing`` rather than failing the batch."""
+        self._count_request("release_batch", retried)
+        released: list[int] = []
+        missing: list[int] = []
+        groups: dict[int, list[int]] = {}
+        for raw in streams:
+            stream = int(raw)
+            index = self._shard_of.get(stream)
+            if index is None:
+                missing.append(stream)
+            else:
+                groups.setdefault(index, []).append(stream)
+        for index, group in groups.items():
+            got: list[int] = []
+
+            def unlink(index=index, group=group, got=got) -> int:
+                for stream in group:
+                    if self._remove_ticket_locked(stream, index):
+                        got.append(stream)
+                return len(got)
+
+            self.controller.release_on(index, unlink)
+            released.extend(got)
+            for stream in group:
+                if stream not in got:
+                    # Moved by a concurrent global event: single-path
+                    # retry resolves the new shard (or reports it).
+                    try:
+                        self._release_ticket(stream)
+                        released.append(stream)
+                    except ConfigurationError:
+                        missing.append(stream)
+        active = self.controller.active
+        if released:
+            self._released.inc(len(released))
+            self._active_gauge.set(active)
+        return {"released": released, "missing": missing,
+                "active": active}
+
+    # -- shared retarget helpers ---------------------------------------
+    # All _*_locked helpers below run under self._lock AND
+    # self.controller.quiesced(): every shard lock is held, so the
+    # segments and counters form one consistent picture.
+    def _ledger_streams_locked(self) -> list[int]:
+        """Sorted merge of the live segments (== admission order,
+        ticket ids being monotonic)."""
+        return sorted(chain.from_iterable(self._segments))
+
     def _fault_limit_locked(self) -> int:
         return (self.degraded_n_max if self._failed_disks
                 else self.healthy_n_max)
@@ -385,18 +586,24 @@ class ServeDaemon:
         if self._control_n_max is not None:
             limit = min(limit, self._control_n_max)
         if self._failed_disks or self._control_n_max is not None:
-            self.controller.degrade(limit)
+            self.controller.degrade_locked(limit)
         else:
-            self.controller.restore()
+            self.controller.restore_locked()
 
     def _shed_to_capacity_locked(self, mode: str) -> list[int]:
         """Shed newest-first until the active count fits the current
         capacity; pause mode parks victims in admission order."""
         shed: list[int] = []
         while (self.controller.active > self.controller.capacity
-               and self._streams):
-            victim = self._streams.pop()  # newest first
-            self.controller.release()
+               and any(self._segments)):
+            # Newest first == the global max ticket: the largest
+            # segment tail (segments are ascending).
+            victim_shard = max(
+                (i for i, seg in enumerate(self._segments) if seg),
+                key=lambda i: self._segments[i][-1])
+            victim = self._segments[victim_shard].pop()
+            del self._shard_of[victim]
+            self.controller.release_locked(victim_shard, 1)
             shed.append(victim)
         if mode == "pause" and shed:
             # Keep the paused ledger in admission order (ticket ids
@@ -409,12 +616,18 @@ class ServeDaemon:
         """Resume paused streams oldest-first while capacity allows,
         up to ``limit`` of them (None: all that fit)."""
         resumed: list[int] = []
-        while self._paused and self.controller.would_admit():
+        while self._paused and self.controller.would_admit_locked():
             if limit is not None and len(resumed) >= limit:
                 break
             stream = self._paused.pop(0)  # oldest first
-            self.controller.admit()
-            self._streams.append(stream)
+
+            def relink(index: int, stream=stream) -> None:
+                # Old ticket rejoining a live segment: insort, not
+                # append (newer tickets were granted meanwhile).
+                bisect.insort(self._segments[index], stream)
+                self._shard_of[stream] = index
+
+            self.controller.admit_locked(relink)
             resumed.append(stream)
         return resumed
 
@@ -461,7 +674,7 @@ class ServeDaemon:
 
     def _apply_fail(self, disk: int) -> dict:
         self._check_disk(disk)
-        with self._lock:
+        with self._lock, self.controller.quiesced():
             self._failed_disks.add(disk)
             self._apply_limit_locked()
             shed = self._shed_to_capacity_locked(self.policy.mode)
@@ -482,7 +695,7 @@ class ServeDaemon:
 
     def _apply_recover(self, disk: int) -> dict:
         self._check_disk(disk)
-        with self._lock:
+        with self._lock, self.controller.quiesced():
             self._failed_disks.discard(disk)
             if self._failed_disks:
                 # Another disk is still down: stay degraded.
@@ -530,10 +743,11 @@ class ServeDaemon:
         (drift factors applied), folds the observation into the
         telemetry window, and -- when adaptive -- lets the controller
         plan/verify a retune which is then applied under the daemon
-        lock.  Sampling and Chernoff re-solves run *outside* that
-        lock, so admissions never stall behind the control loop.
-        Driven by the HTTP layer's ``RoundTicker`` in wall-clock time,
-        or called directly (tests, benches) for determinism.
+        lock plus a controller quiesce.  Sampling and Chernoff
+        re-solves run *outside* those locks, so admissions never stall
+        behind the control loop.  Driven by the HTTP layer's
+        ``RoundTicker`` in wall-clock time, or called directly (tests,
+        benches) for determinism.
         """
         cfg = self.config
         tracer = self.tracer
@@ -587,7 +801,7 @@ class ServeDaemon:
                                           n_max=decision.n_max,
                                           t_mult=decision.t_mult,
                                           reason=decision.reason)
-                with self._lock:
+                with self._lock, self.controller.quiesced():
                     if decision is not None:
                         with start_span("control.apply",
                                         tracer=tracer, round=index,
@@ -676,7 +890,8 @@ class ServeDaemon:
         return result
 
     def _apply_decision_locked(self, decision) -> dict:
-        """Retarget the ledger to a verified controller decision."""
+        """Retarget the ledger to a verified controller decision;
+        call under the daemon lock + controller quiesce."""
         self._t_mult = float(decision.t_mult)
         relaxed_out = (decision.n_max >= self.healthy_n_max
                        and decision.t_mult == 1.0)
@@ -697,7 +912,7 @@ class ServeDaemon:
                 self._rejoin_quota = 0
         else:
             self._rejoin_quota = 0
-        self._ctl.committed(decision)
+        self._ctl.committed(decision, epoch=self.controller.epoch)
         self._window.clear()
         if self.tracer.enabled:
             for victim in shed:
@@ -711,16 +926,24 @@ class ServeDaemon:
     # -- crash-safe snapshots ------------------------------------------
     def snapshot_payload(self, clean: bool = False) -> dict:
         """Consistent snapshot document (see
-        :mod:`repro.control.snapshot` for the format contract)."""
-        with self._lock:
-            snap = self.controller.snapshot()
+        :mod:`repro.control.snapshot` for the format contract).
+
+        Shard-count independent by construction: streams are the
+        sorted merge of the segments and the counters are global sums,
+        so the same logical state snapshots to the same document under
+        any ``--shards`` setting.
+        """
+        with self._lock, self.controller.quiesced():
+            snap = self.controller.snapshot_locked()
+            with self._ticket_lock:
+                next_stream = self._next_stream
             payload = {
                 "clean": bool(clean),
                 "config_fingerprint": self.config.fingerprint(),
                 "written_at": time.time(),
                 "ledger": {
-                    "next_stream": self._next_stream,
-                    "streams": list(self._streams),
+                    "next_stream": next_stream,
+                    "streams": self._ledger_streams_locked(),
                     "paused": list(self._paused),
                     "failed_disks": sorted(self._failed_disks),
                     "slow": {str(d): f for d, f
@@ -763,15 +986,23 @@ class ServeDaemon:
 
         A clean snapshot resumes ticket numbering exactly; an unclean
         one (the ``kill -9`` case) advances the ticket counter by the
-        reserve so no granted ticket can ever be re-issued.
+        reserve so no granted ticket can ever be re-issued.  The
+        persisted stream list is re-striped round-robin over however
+        many shards *this* daemon runs -- restore works across shard
+        counts.
         """
         document = read_snapshot(path, self.config.fingerprint())
         ledger = document.get("ledger") or {}
         control = document.get("control") or {}
         clean = bool(document.get("clean", False))
-        with self._lock:
-            self._streams = [int(s) for s in
-                             ledger.get("streams", ())]
+        with self._lock, self.controller.quiesced():
+            streams = sorted(int(s) for s in ledger.get("streams", ()))
+            count = self.controller.shards
+            self._segments = [streams[i::count] for i in range(count)]
+            self._shard_of = {
+                stream: index
+                for index, segment in enumerate(self._segments)
+                for stream in segment}
             self._paused = sorted(
                 int(s) for s in ledger.get("paused", ()))
             self._failed_disks = {
@@ -779,10 +1010,11 @@ class ServeDaemon:
             self._slow = {int(d): float(f) for d, f
                           in (ledger.get("slow") or {}).items()}
             reserve = 0 if clean else TICKET_RESERVE
-            self._next_stream = int(
-                ledger.get("next_stream", 0)) + reserve
-            self.controller.restore_state(
-                active=len(self._streams),
+            with self._ticket_lock:
+                self._next_stream = int(
+                    ledger.get("next_stream", 0)) + reserve
+            self.controller.restore_state_locked(
+                shard_actives=[len(s) for s in self._segments],
                 requests=int(ledger.get("requests", 0)),
                 rejections=int(ledger.get("rejections", 0)))
             self._round_index = int(control.get("round_index", 0))
@@ -836,17 +1068,34 @@ class ServeDaemon:
 
     def refresh_export_metrics(self) -> None:
         """Refresh scrape-time derived metrics -- trace emit/drop
-        counters and the SLO burn gauges -- so ``/metrics`` reflects
-        this instant even between ticks.  Idempotent."""
+        counters, the SLO burn gauges, and the per-shard admission
+        gauges -- so ``/metrics`` reflects this instant even between
+        ticks.  Idempotent, and lock-free on the hot-path state."""
         publish_trace_metrics(self.registry, self.tracer)
         self.slo.publish(self.registry)
+        total = 0
+        for index, (active, limit) in enumerate(
+                self.controller.shard_counts()):
+            label = {"shard": str(index)}
+            self.registry.gauge(
+                "serve_shard_active", label,
+                help="Streams admitted on this stripe").set(active)
+            self.registry.gauge(
+                "serve_shard_limit", label,
+                help="Capacity slice assigned to this stripe"
+                ).set(limit)
+            total += active
+        self._active_gauge.set(total)
+        self._epoch_gauge.set(self.controller.epoch)
+        self._rebalance_gauge.set(self.controller.rebalances)
 
     def healthz(self) -> dict:
-        """Liveness summary (cheap: one controller snapshot)."""
-        snap = self.controller.snapshot()
-        return {"status": "degraded" if snap["degraded"] else "ok",
-                "active": snap["active"],
-                "capacity": snap["capacity"],
+        """Liveness summary (lock-free: stripe-sum reads only)."""
+        controller = self.controller
+        return {"status": ("degraded" if controller.degraded
+                           else "ok"),
+                "active": controller.active,
+                "capacity": controller.capacity,
                 "uptime_seconds": time.time() - self.started_at}
 
     def control_state(self) -> dict:
@@ -870,6 +1119,12 @@ class ServeDaemon:
                 "controller": (self._ctl.summary()
                                if self._ctl else None),
             }
+        out["shards"] = {
+            "count": self.controller.shards,
+            "epoch": self.controller.epoch,
+            "debt": self.controller.debt,
+            "rebalances": self.controller.rebalances,
+        }
         out["snapshot"] = {
             "path": cfg.snapshot_path,
             "restored": self._restored,
@@ -883,12 +1138,13 @@ class ServeDaemon:
         """Full JSON state: controller snapshot, policy, table entries,
         failed disks, control plane, and (when tracing) the
         RunTelemetry digest of the recorded events."""
-        with self._lock:
-            controller = self.controller.snapshot()
+        with self._lock, self.controller.quiesced():
+            controller = self.controller.snapshot_locked()
+            streams = self._ledger_streams_locked()
             paused = list(self._paused)
             failed = sorted(self._failed_disks)
-            streams = list(self._streams)
-            next_stream = self._next_stream
+            with self._ticket_lock:
+                next_stream = self._next_stream
             slow = {str(d): f for d, f in sorted(self._slow.items())}
         state = {
             "controller": controller,

@@ -1,12 +1,18 @@
 """HTTP front end for :class:`~repro.serve.daemon.ServeDaemon`.
 
-A stdlib ``ThreadingHTTPServer`` (one thread per request, no external
-dependencies) exposing:
+A stdlib ``ThreadingHTTPServer`` (one thread per connection, no
+external dependencies) exposing:
 
 - ``POST /admit``   -> 200 ``{"stream": ..., "active": ...}`` or
   409 ``{"error": ...}`` when admission would break the guarantee;
+- ``POST /admit/batch`` -> 200 ``{"requested": k, "granted": g,
+  "streams": [...], "active": ...}``; body ``{"count": k}``.  One
+  shard acquisition and one span for the whole batch; partial grants
+  return 200 with ``granted < requested``, a zero grant returns 409;
 - ``POST /release`` -> 200; JSON body ``{"stream": n}`` optional
   (default: oldest active stream);
+- ``POST /release/batch`` -> 200 ``{"released": [...], "missing":
+  [...], "active": ...}``; body ``{"streams": [...]}``;
 - ``POST /fault``   -> 200; JSON body ``{"kind": "disk_fail",
   "disk": 0}`` applies the event to the live controller
   (``slow_disk`` also takes ``"factor"``);
@@ -14,30 +20,50 @@ dependencies) exposing:
   and returns where it was written;
 - ``GET /metrics``  -> Prometheus text exposition of the daemon's
   registry (version 0.0.4 content type), refreshed with trace-loss
-  counters and SLO burn gauges at scrape time;
+  counters, SLO burn gauges and per-shard admission gauges at scrape
+  time;
 - ``GET /healthz``  -> liveness JSON;
 - ``GET /state``    -> full controller/policy/table JSON view;
 - ``GET /control``  -> control-plane view: telemetry window
-  aggregates, controller state machine, drift factors;
+  aggregates, controller state machine, drift factors, shard epoch;
 - ``GET /slo``      -> ε error-budget view: burn rates over the
   fast/slow round windows, alert state, budget remaining.
+
+Connections are HTTP/1.1 persistent: a keep-alive client
+(:class:`~repro.serve.client.ServeClient`) pays the TCP handshake
+once and its requests keep landing on the same worker thread -- which
+also pins them to one admission shard, so the sharded hot path runs
+contention-free per connection.  The server tracks live connection
+sockets and force-closes them on shutdown, so ``block_on_close`` can
+still join every worker and a clean exit leaks nothing.
+
+Two response fast paths skip JSON encoding entirely: admission
+rejects are answered from a one-slot pre-encoded 409 cache (the
+reject message is stable while the daemon sits at capacity -- the
+common case under overload), and ``/healthz`` reuses a pre-encoded
+prefix keyed on (status, active, capacity), appending only the uptime
+float.  Both caches produce byte-identical output to a fresh
+``json.dumps``.
 
 Mutating requests honour the ``X-Repro-Trace`` header: the handler
 opens an ``http.<op>`` span parented on the client's span context (so
 one JSONL trace reconstructs client -> HTTP -> admission -> ledger),
 and the attempt number stamped by :class:`~repro.serve.client.
 ServeClient` retries routes attempt > 1 into the daemon's *retried*
-request counter instead of the primary one.  ``/release`` is the one
-unspanned mutation -- it stays fully counter-visible, but the admit
-chain is the traced artifact and skipping one span per admit/release
-cycle keeps tracing inside the A26 overhead budget.
+request counter instead of the primary one.  ``/release`` and
+``/release/batch`` are the unspanned mutations -- they stay fully
+counter-visible, but the admit chain is the traced artifact and
+skipping one span per admit/release cycle keeps tracing inside the
+A26 overhead budget.  A batch admit opens one ``http.admit_batch``
+span for the whole batch (per-ticket events would defeat the
+amortisation the endpoint exists for).
 
 :class:`ServeHandle` owns the server lifecycle: ``start()`` spawns the
 accept loop thread, ``stop()`` first stops any attached background
-feeds (:meth:`ServeHandle.attach`), then shuts the server down and
-joins every request thread (``block_on_close``), so a clean exit
-leaks nothing -- the CI smoke test asserts exactly that.
-:class:`FaultFeed` replays a TOML
+feeds (:meth:`ServeHandle.attach`), then shuts the server down,
+force-closes the tracked keep-alive connections and joins every
+request thread (``block_on_close``) -- the CI smoke test asserts
+exactly that.  :class:`FaultFeed` replays a TOML
 :class:`~repro.server.faults.FaultSchedule` against the daemon in
 scaled wall-clock time; :class:`RoundTicker` drives the daemon's
 measurement/control loop (:meth:`~repro.serve.daemon.ServeDaemon.
@@ -47,7 +73,10 @@ tick_round`) at a fixed wall-clock cadence.
 from __future__ import annotations
 
 import json
+import socket
+import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import AdmissionError, ConfigurationError, ReproError
@@ -61,13 +90,24 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Span names for the known mutating routes, precomputed so the admit
 #: hot path skips the per-request string surgery.
-_SPAN_NAMES = {"/admit": "http.admit", "/fault": "http.fault",
-               "/snapshot": "http.snapshot"}
+_SPAN_NAMES = {"/admit": "http.admit",
+               "/admit/batch": "http.admit_batch",
+               "/fault": "http.fault", "/snapshot": "http.snapshot"}
+#: Routes that are counter-visible but never spanned (see module doc).
+_UNSPANNED = ("/release", "/release/batch")
 _MAX_BODY = 64 * 1024
 
 
 class _ServeHTTPServer(ThreadingHTTPServer):
-    """Request-per-thread server that joins its workers on close."""
+    """Request-per-thread server that joins its workers on close.
+
+    Keep-alive means a worker thread lives as long as its connection:
+    the server keeps the set of live connection sockets so
+    :meth:`close_connections` can force idle keep-alive workers out of
+    their blocking read at shutdown -- without it, ``block_on_close``
+    would wait forever on a client that simply kept its connection
+    open.
+    """
 
     daemon_threads = False
     block_on_close = True
@@ -78,6 +118,45 @@ class _ServeHTTPServer(ThreadingHTTPServer):
     def __init__(self, address, daemon: ServeDaemon) -> None:
         super().__init__(address, _Handler)
         self.daemon = daemon
+        self._conn_lock = threading.Lock()
+        self._conns: set = set()
+        #: One-slot pre-encoded 409 cache: (reject message, body).
+        self.reject_cache: tuple = (None, b"")
+        #: Pre-encoded healthz prefix: ((degraded, active, capacity),
+        #: bytes up to the uptime value).
+        self.healthz_cache: tuple = (None, b"")
+
+    def get_request(self):
+        request, address = super().get_request()
+        with self._conn_lock:
+            self._conns.add(request)
+        return request, address
+
+    def shutdown_request(self, request) -> None:
+        with self._conn_lock:
+            self._conns.discard(request)
+        super().shutdown_request(request)
+
+    def close_connections(self) -> None:
+        """Force-close every live connection so keep-alive workers
+        unblock and can be joined."""
+        with self._conn_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for request in conns:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def handle_error(self, request, client_address) -> None:
+        """A force-closed keep-alive connection raises in its worker
+        during shutdown (and an impatient client mid-response any
+        time); that is connection lifecycle, not a server error."""
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, OSError)):
+            return
+        super().handle_error(request, client_address)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -86,6 +165,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
+    #: Buffer the response writer so headers + body leave in ONE
+    #: send() (handle_one_request flushes after each response).  With
+    #: the default unbuffered wfile the body is a second small packet
+    #: that Nagle holds until the client ACKs the header packet --
+    #: a ~40ms delayed-ACK stall per keep-alive response.
+    wbufsize = -1
+    disable_nagle_algorithm = True
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib name
         """Quiet by default; the metrics registry is the access log."""
@@ -102,6 +188,38 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_json(self, status: int, data: dict) -> int:
         self._send(status, (json.dumps(data) + "\n").encode("utf-8"))
         return status
+
+    def _send_reject(self, exc: AdmissionError) -> int:
+        """409 from the pre-encoded one-slot cache.  At capacity every
+        reject carries the same message (same active count, same
+        limit), so the overload path never touches ``json.dumps``."""
+        message = str(exc)
+        key, body = self.server.reject_cache
+        if key != message:
+            body = (json.dumps({"error": message, "admitted": False})
+                    + "\n").encode("utf-8")
+            self.server.reject_cache = (message, body)
+        self._send(409, body)
+        return 409
+
+    def _send_healthz(self) -> None:
+        """Liveness from a pre-encoded prefix; only the uptime float
+        is formatted per request.  Byte-identical to ``_send_json(200,
+        daemon.healthz())``."""
+        daemon = self.server.daemon
+        controller = daemon.controller
+        key = (controller.degraded, controller.active,
+               controller.capacity)
+        cached_key, prefix = self.server.healthz_cache
+        if key != cached_key:
+            prefix = (
+                '{"status": "%s", "active": %d, "capacity": %d, '
+                '"uptime_seconds": '
+                % ("degraded" if key[0] else "ok", key[1], key[2])
+            ).encode("utf-8")
+            self.server.healthz_cache = (key, prefix)
+        uptime = time.time() - daemon.started_at
+        self._send(200, prefix + repr(uptime).encode("ascii") + b"}\n")
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -131,7 +249,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, text.encode("utf-8"),
                        content_type=PROMETHEUS_CONTENT_TYPE)
         elif self.path == "/healthz":
-            self._send_json(200, daemon.healthz())
+            self._send_healthz()
         elif self.path == "/state":
             self._send_json(200, daemon.state())
         elif self.path == "/control":
@@ -142,7 +260,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no route {self.path!r}"})
 
     def do_POST(self) -> None:
-        """Mutating operations: admit, release, fault, snapshot.
+        """Mutating operations: admit (single/batch), release
+        (single/batch), fault, snapshot.
 
         The ``X-Repro-Trace`` header joins the daemon-side span tree
         onto the client's trace and flags retried attempts so they
@@ -152,11 +271,7 @@ class _Handler(BaseHTTPRequestHandler):
         daemon = self.server.daemon
         context, attempt = parse_trace_header(
             self.headers.get(TRACE_HEADER))
-        if self.path == "/release":
-            # Releases are counter-visible (including the retried
-            # split) but not spanned: the admit chain is the traced
-            # artifact, and skipping one span per admit/release cycle
-            # keeps tracing inside the A26 overhead budget.
+        if self.path in _UNSPANNED:
             self._dispatch_post(daemon, attempt > 1)
             return
         name = _SPAN_NAMES.get(self.path)
@@ -181,10 +296,33 @@ class _Handler(BaseHTTPRequestHandler):
             if self.path == "/admit":
                 return self._send_json(200,
                                        daemon.admit(retried=retried))
+            if self.path == "/admit/batch":
+                try:
+                    count = int(body.get("count", 1))
+                except (TypeError, ValueError):
+                    raise ConfigurationError(
+                        f"admit batch 'count' must be an integer, "
+                        f"got {body.get('count')!r}") from None
+                return self._send_json(
+                    200, daemon.admit_many(count, retried=retried))
             if self.path == "/release":
                 return self._send_json(
                     200, daemon.release(body.get("stream"),
                                         retried=retried))
+            if self.path == "/release/batch":
+                raw = body.get("streams")
+                if not isinstance(raw, list):
+                    raise ConfigurationError(
+                        "release batch body needs a 'streams' list")
+                try:
+                    streams = [int(s) for s in raw]
+                except (TypeError, ValueError):
+                    raise ConfigurationError(
+                        f"release batch 'streams' must be integers, "
+                        f"got {raw!r}") from None
+                return self._send_json(
+                    200, daemon.release_many(streams,
+                                             retried=retried))
             if self.path == "/fault":
                 kind = body.get("kind")
                 if not kind:
@@ -204,8 +342,7 @@ class _Handler(BaseHTTPRequestHandler):
             return self._send_json(
                 404, {"error": f"no route {self.path!r}"})
         except AdmissionError as exc:
-            return self._send_json(
-                409, {"error": str(exc), "admitted": False})
+            return self._send_reject(exc)
         except ReproError as exc:
             return self._send_json(400, {"error": str(exc)})
 
@@ -245,9 +382,9 @@ class ServeHandle:
         return self
 
     def stop(self) -> None:
-        """Stop attached feeds, stop accepting, join the accept loop
-        and every request thread, close the listening socket.
-        Idempotent."""
+        """Stop attached feeds, stop accepting, force-close live
+        keep-alive connections, join the accept loop and every request
+        thread, close the listening socket.  Idempotent."""
         while self._feeds:
             # Reverse order of attachment; each stop() joins.
             self._feeds.pop().stop()
@@ -255,6 +392,10 @@ class ServeHandle:
             self.server.shutdown()
             self._thread.join()
             self._thread = None
+        # Unblock idle keep-alive workers *before* server_close joins
+        # them (block_on_close) -- an open client connection would
+        # otherwise park the join forever.
+        self.server.close_connections()
         self.server.server_close()
 
     def __enter__(self) -> "ServeHandle":

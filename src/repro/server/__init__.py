@@ -17,7 +17,11 @@
 
 from repro.server.layout import StripedLayout, FragmentLocation
 from repro.server.streams import Stream, StreamStats, ClientBuffer
-from repro.server.admission import AdmissionController
+from repro.server.admission import (
+    AdmissionController,
+    ShardedAdmissionController,
+    default_shard_count,
+)
 from repro.server.faults import (
     FaultEvent,
     FaultInjector,
@@ -50,6 +54,8 @@ __all__ = [
     "StreamStats",
     "ClientBuffer",
     "AdmissionController",
+    "ShardedAdmissionController",
+    "default_shard_count",
     "FaultEvent",
     "FaultInjector",
     "FaultSchedule",

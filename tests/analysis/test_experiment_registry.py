@@ -27,7 +27,7 @@ class TestRegistry:
     def test_all_ablations_present(self):
         ablation_ids = {e.id for e in all_experiments()
                         if not e.is_paper_artifact}
-        assert ablation_ids == {f"A{i}" for i in range(1, 27)}
+        assert ablation_ids == {f"A{i}" for i in range(1, 28)}
 
     def test_every_bench_file_exists(self):
         for exp in all_experiments():

@@ -217,9 +217,9 @@ class TestConcurrency:
         snap = daemon.controller.snapshot()
         assert 0 <= snap["active"] <= snap["capacity"]
         # Ledger and counter agree after the storm.
-        assert len(daemon.state()["controller"]) >= 1
-        with daemon._lock:
-            assert len(daemon._streams) == daemon.controller.active
+        state = daemon.state()
+        assert len(state["streams"]) == state["controller"]["active"]
+        assert len(state["streams"]) == daemon.controller.active
 
 
 class TestConfigAndState:
